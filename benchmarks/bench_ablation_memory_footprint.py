@@ -1,0 +1,86 @@
+"""E9 — Section V-A's memory claim, quantified.
+
+"The size of tidset and bitvector is generally one order of magnitude
+larger than the diffset's."  This bench measures, per generation of an
+Apriori run on each dense dataset, the candidate-payload footprint of all
+three representations and asserts the order-of-magnitude gap on the dense
+sets.
+
+Benchmarked kernel: one generation-footprint measurement over the chess
+generation-1 payloads.
+"""
+
+from conftest import emit
+
+from repro import paper
+from repro.analysis import render_grid
+from repro.core import run_apriori
+from repro.datasets import get_dataset
+from repro.parallel import AprioriTrace
+from repro.representations import get_representation
+from repro.representations.memory import measure_generation
+
+
+def _per_generation_bytes(db, support, representation) -> dict[int, int]:
+    trace = AprioriTrace()
+    run_apriori(db, support, representation, sink=trace)
+    out = {1: int(trace.singletons.payload_bytes.sum())}
+    for gen in trace.generations:
+        out[gen.generation] = int(gen.payload_bytes.sum())
+    return out
+
+
+def test_ablation_memory_footprint(benchmark):
+    rows = []
+    ratios = {}
+    for dataset in ("chess", "mushroom"):
+        db = get_dataset(dataset)
+        support = paper.PAPER_SUPPORTS[dataset]
+        per_rep = {
+            rep: _per_generation_bytes(db, support, rep)
+            for rep in paper.REPRESENTATION_NAMES
+        }
+        generations = sorted(per_rep["tidset"])
+        for gen in generations:
+            rows.append(
+                [f"{dataset} gen{gen}"]
+                + [
+                    f"{per_rep[rep].get(gen, 0) / 1024:.0f}K"
+                    for rep in paper.REPRESENTATION_NAMES
+                ]
+            )
+        total_tid = sum(per_rep["tidset"].values())
+        total_dif = sum(per_rep["diffset"].values())
+        ratios[dataset] = total_tid / max(total_dif, 1)
+        rows.append(
+            [f"{dataset} TOTAL"]
+            + [
+                f"{sum(per_rep[rep].values()) / 1024:.0f}K"
+                for rep in paper.REPRESENTATION_NAMES
+            ]
+        )
+
+    text = render_grid(
+        ["generation"] + list(paper.REPRESENTATION_NAMES),
+        rows,
+        title=(
+            "E9. Candidate payload bytes per Apriori generation "
+            f"(tidset/diffset ratios: "
+            + ", ".join(f"{k}={v:.0f}x" for k, v in ratios.items())
+            + ")"
+        ),
+    )
+    emit("e9_ablation_memory_footprint", text)
+
+    # The order-of-magnitude claim holds on chess (the densest surrogate:
+    # every generation's diffsets are ~12x smaller).  The mushroom
+    # surrogate keeps a consistent but smaller stored-payload advantage
+    # (its mid-support class items carry fat level-1/2 diffsets) — a
+    # documented deviation recorded in EXPERIMENTS.md.
+    assert ratios["chess"] >= 10
+    assert ratios["mushroom"] >= 2
+
+    chess = get_dataset("chess")
+    rep = get_representation("tidset")
+    singletons = rep.build_singletons(chess)
+    benchmark(measure_generation, rep, singletons, 1)

@@ -1,0 +1,53 @@
+"""E7 — Section V remark: Quest-style data stops scaling at the item count.
+
+"Because the number of items is less than the number of processors, they
+did not show scalability beyond [that] and we did not report them here."
+This bench regenerates that negative result with the Quest-style T40I10
+surrogate: parallel Eclat's speedup is bounded by (and flat beyond) its
+top-level task count.
+
+Benchmarked kernel: the 1024-thread replay of the T40I10 trace.
+"""
+
+from conftest import emit
+
+from repro import paper
+from repro.analysis import render_speedup_series
+from repro.datasets import get_dataset
+from repro.parallel import (
+    run_scalability_study,
+    simulate_eclat,
+    speedup_series,
+)
+
+
+def test_item_limited_scaling(benchmark):
+    db = get_dataset("T40I10")
+    study = run_scalability_study(
+        db, "eclat", "tidset", 0.02, thread_counts=paper.THREAD_COUNTS
+    )
+    n_tasks = len(study.mining_result.k_itemsets(1))
+    series = speedup_series([study])
+    emit(
+        "e7_item_limited_scaling",
+        render_speedup_series(
+            series,
+            title=(
+                "Eclat on T40I10-style data "
+                f"({n_tasks} frequent items < 1024 threads)"
+            ),
+        ),
+    )
+
+    assert n_tasks < 1024
+    ups = study.speedups()
+    # Speedup never exceeds the number of top-level tasks and the curve is
+    # flat once the team outnumbers them.
+    assert max(ups.values()) <= n_tasks
+    saturated = [
+        ups[t] for t in study.thread_counts if t >= 2 * n_tasks
+    ]
+    if len(saturated) >= 2:
+        assert max(saturated) / min(saturated) < 1.05
+
+    benchmark(simulate_eclat, study.trace, 1024)

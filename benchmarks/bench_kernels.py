@@ -1,0 +1,57 @@
+"""E10 — Wall-clock microbenchmarks of the real kernels.
+
+Unlike E1-E9 (which report *simulated* Blacklight times), these timings are
+real: the combine kernels of each representation on chess-scale operands,
+and the three complete miners on the chess surrogate.  They document what
+the pure-Python substrate actually costs and give pytest-benchmark
+regression coverage over the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.core import apriori, eclat, fpgrowth
+from repro.datasets import get_dataset
+from repro.representations import get_representation
+
+
+@pytest.fixture(scope="module")
+def chess():
+    return get_dataset("chess")
+
+
+@pytest.fixture(scope="module")
+def chess_support():
+    return paper.PAPER_SUPPORTS["chess"]
+
+
+@pytest.mark.parametrize("rep_name", ["tidset", "bitvector", "diffset"])
+def test_combine_kernel(benchmark, chess, rep_name):
+    rep = get_representation(rep_name)
+    singletons = rep.build_singletons(chess)
+    supports = np.array([v.support for v in singletons])
+    dense = np.argsort(supports)[-2:]  # the two heaviest operands
+    left, right = singletons[int(dense[0])], singletons[int(dense[1])]
+    benchmark(rep.combine, left, right)
+
+
+@pytest.mark.parametrize("rep_name", ["tidset", "bitvector", "diffset"])
+def test_build_singletons(benchmark, chess, rep_name):
+    rep = get_representation(rep_name)
+    benchmark(rep.build_singletons, chess)
+
+
+def test_miner_apriori_diffset(benchmark, chess, chess_support):
+    result = benchmark(apriori, chess, chess_support, "diffset")
+    assert len(result) > 100
+
+
+def test_miner_eclat_diffset(benchmark, chess, chess_support):
+    result = benchmark(eclat, chess, chess_support, "diffset")
+    assert len(result) > 100
+
+
+def test_miner_fpgrowth(benchmark, chess, chess_support):
+    result = benchmark(fpgrowth, chess, chess_support)
+    assert len(result) > 100

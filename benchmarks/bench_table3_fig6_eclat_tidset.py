@@ -1,0 +1,53 @@
+"""E4 — Table III + Figure 6: parallel Eclat with tidset.
+
+Regenerates the runtime table and speedup series for Eclat over tidsets.
+Shape assertions encode Section V-B: every dataset's curve is monotone
+non-decreasing (Eclat never loses ground as threads grow — its data is
+task-private, so the interconnect cannot strangle it the way it does
+Apriori).
+
+Benchmarked kernel: the 1024-thread replay of the pumsb trace.
+"""
+
+from conftest import emit, save_record
+
+from repro.analysis import (
+    render_runtime_table,
+    render_speedup_series,
+    speedup_chart,
+)
+from repro.parallel import runtime_table, simulate_eclat, speedup_series
+
+
+def _assert_monotone_non_degrading(study) -> None:
+    ups = study.speedups()
+    values = [ups[t] for t in study.thread_counts]
+    for a, b in zip(values, values[1:]):
+        assert b >= 0.80 * a, (study.label(), values)
+
+
+def test_table3_fig6_eclat_tidset(benchmark, studies):
+    all_studies = studies.all_datasets("eclat", "tidset")
+
+    table = runtime_table(
+        all_studies,
+        "TABLE III. RUNNING TIME FOR ECLAT WITH TIDSET (simulated seconds)",
+    )
+    series = speedup_series(all_studies)
+    emit(
+        "table3_fig6_eclat_tidset",
+        render_runtime_table(table)
+        + "\n\n"
+        + render_speedup_series(
+            series, title="Figure 6. Scalability of Eclat with Tidset"
+        )
+        + "\n\n"
+        + speedup_chart(series, title="speedup curve"),
+    )
+    save_record("E4", "Eclat with tidset", all_studies)
+
+    for study in all_studies:
+        _assert_monotone_non_degrading(study)
+
+    pumsb = next(s for s in all_studies if s.dataset == "pumsb")
+    benchmark(simulate_eclat, pumsb.trace, 1024)

@@ -1,0 +1,47 @@
+"""E5 — Table VI + Figure 7: parallel Eclat with bitvector.
+
+(The paper's table numbering is inconsistent — the bitvector runtime table
+is labelled "TABLE VI" while appearing between Tables III and V; we keep
+the paper's label.)  Same layout and monotone-shape assertions as E4.
+
+Benchmarked kernel: the 1024-thread replay of the chess trace.
+"""
+
+from conftest import emit, save_record
+
+from repro.analysis import (
+    render_runtime_table,
+    render_speedup_series,
+    speedup_chart,
+)
+from repro.parallel import runtime_table, simulate_eclat, speedup_series
+
+
+def test_table4_fig7_eclat_bitvector(benchmark, studies):
+    all_studies = studies.all_datasets("eclat", "bitvector")
+
+    table = runtime_table(
+        all_studies,
+        "TABLE VI. RUNNING TIME FOR ECLAT WITH BITVECTOR (simulated seconds)",
+    )
+    series = speedup_series(all_studies)
+    emit(
+        "table4_fig7_eclat_bitvector",
+        render_runtime_table(table)
+        + "\n\n"
+        + render_speedup_series(
+            series, title="Figure 7. Scalability of Eclat with Bitvector"
+        )
+        + "\n\n"
+        + speedup_chart(series, title="speedup curve"),
+    )
+    save_record("E5", "Eclat with bitvector", all_studies)
+
+    for study in all_studies:
+        ups = study.speedups()
+        values = [ups[t] for t in study.thread_counts]
+        for a, b in zip(values, values[1:]):
+            assert b >= 0.80 * a, (study.label(), values)
+
+    chess = next(s for s in all_studies if s.dataset == "chess")
+    benchmark(simulate_eclat, chess.trace, 1024)

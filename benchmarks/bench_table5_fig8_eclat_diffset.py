@@ -1,0 +1,57 @@
+"""E6 — Table V + Figure 8: parallel Eclat with diffset.
+
+Regenerates the runtime table and speedup series for Eclat over diffsets —
+the configuration the paper calls Eclat's best.  Assertions: curves stay
+monotone on the dense datasets, and diffset Eclat is the fastest Eclat in
+absolute simulated time on chess (dense data, where the representation's
+advantage is strongest).
+
+Benchmarked kernel: the 1024-thread replay of the chess trace.
+"""
+
+from conftest import emit, save_record
+
+from repro.analysis import (
+    render_runtime_table,
+    render_speedup_series,
+    speedup_chart,
+)
+from repro.parallel import runtime_table, simulate_eclat, speedup_series
+
+
+def test_table5_fig8_eclat_diffset(benchmark, studies):
+    all_studies = studies.all_datasets("eclat", "diffset")
+
+    table = runtime_table(
+        all_studies,
+        "TABLE V. RUNNING TIME FOR ECLAT WITH DIFFSET (simulated seconds)",
+    )
+    series = speedup_series(all_studies)
+    emit(
+        "table5_fig8_eclat_diffset",
+        render_runtime_table(table)
+        + "\n\n"
+        + render_speedup_series(
+            series, title="Figure 8. Scalability of Eclat with Diffset"
+        )
+        + "\n\n"
+        + speedup_chart(series, title="speedup curve"),
+    )
+    save_record("E6", "Eclat with diffset", all_studies)
+
+    # Dense datasets: monotone non-degrading curves.
+    for study in all_studies:
+        if study.dataset in ("chess", "mushroom"):
+            ups = study.speedups()
+            values = [ups[t] for t in study.thread_counts]
+            for a, b in zip(values, values[1:]):
+                assert b >= 0.80 * a, (study.label(), values)
+
+    # Diffset is Eclat's fastest representation on dense chess, at every
+    # thread count (the "best with diffset" conclusion, in absolute time).
+    chess_diffset = next(s for s in all_studies if s.dataset == "chess")
+    chess_tidset = studies.get("chess", "eclat", "tidset")
+    for t in chess_diffset.thread_counts:
+        assert chess_diffset.runtime(t) < chess_tidset.runtime(t)
+
+    benchmark(simulate_eclat, chess_diffset.trace, 1024)

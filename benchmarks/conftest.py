@@ -1,0 +1,75 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Mining a full-size surrogate is expensive in pure Python, so every study
+(dataset x algorithm x representation at the canonical support) is computed
+at most once per pytest session and shared across benchmark modules through
+the session-scoped ``studies`` fixture.  pytest-benchmark then times the
+cheap deterministic part — the machine-model replay — while each module
+prints and persists the paper-style tables under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import paper
+from repro.analysis import from_studies
+from repro.datasets import get_dataset
+from repro.parallel import ScalabilityStudy, run_scalability_study
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class StudyCache:
+    """Lazily mines and caches scalability studies for the session."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, ScalabilityStudy] = {}
+
+    def get(
+        self, dataset: str, algorithm: str, representation: str
+    ) -> ScalabilityStudy:
+        key = (dataset, algorithm, representation)
+        if key not in self._cache:
+            support = paper.PAPER_SUPPORTS[dataset]
+            self._cache[key] = run_scalability_study(
+                get_dataset(dataset),
+                algorithm,
+                representation,
+                support,
+                thread_counts=paper.THREAD_COUNTS,
+                machine=paper.PAPER_MACHINE,
+            )
+        return self._cache[key]
+
+    def all_datasets(
+        self, algorithm: str, representation: str
+    ) -> list[ScalabilityStudy]:
+        return [
+            self.get(row.dataset, algorithm, representation)
+            for row in paper.paper_rows()
+        ]
+
+
+@pytest.fixture(scope="session")
+def studies() -> StudyCache:
+    return StudyCache()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # Write to the real stdout so the table shows up even under capture.
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+def save_record(experiment_id: str, title: str, studies_list, notes=None) -> None:
+    """Persist the experiment record JSON next to the rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = from_studies(experiment_id, title, studies_list, notes=notes)
+    record.save(RESULTS_DIR / f"{experiment_id}.json")

@@ -1,0 +1,72 @@
+"""What-if studies on the machine model.
+
+The NUMA machine is an explicit, parameterized object — so questions the
+paper could not ask of its fixed hardware take a few lines here:
+
+* What if the interconnect were ideal (uniform memory)?
+* What if NumaLink had twice the effective bisection bandwidth?
+* What if blades carried 64 cores instead of 16?
+
+Each variant replays the same measured Apriori-with-tidset trace from the
+chess surrogate, isolating the machine's contribution to the famous stall.
+
+Run with:  python examples/machine_whatif.py
+"""
+
+from repro import paper
+from repro.analysis import render_grid
+from repro.datasets import make_chess
+from repro.machine import BLACKLIGHT, UNIFORM_MEMORY
+from repro.parallel import apriori_time_curve, run_scalability_study
+
+THREADS = [1, 16, 64, 256, 1024]
+
+VARIANTS = {
+    "blacklight (paper)": BLACKLIGHT,
+    "uniform memory": UNIFORM_MEMORY,
+    "2x bisection": BLACKLIGHT.with_overrides(
+        name="2x-bisection",
+        bisection_bandwidth=2 * BLACKLIGHT.bisection_bandwidth,
+    ),
+    "64-core blades": BLACKLIGHT.with_overrides(
+        name="fat-blades", cores_per_blade=64
+    ),
+}
+
+
+def main() -> None:
+    db = make_chess()
+    support = paper.PAPER_SUPPORTS["chess"]
+    base = run_scalability_study(
+        db, "apriori", "tidset", support, thread_counts=THREADS
+    )
+    trace = base.trace
+    print(f"trace: apriori/tidset on {db.name}@{support:g}")
+
+    rows = []
+    for label, machine in VARIANTS.items():
+        times = apriori_time_curve(trace, THREADS, machine=machine)
+        t1 = times[1].total_seconds
+        rows.append(
+            [label]
+            + [f"{t1 / times[t].total_seconds:5.1f}x" for t in THREADS]
+        )
+
+    print()
+    print(
+        render_grid(
+            ["machine"] + [f"{t} thr" for t in THREADS],
+            rows,
+            title="Apriori+tidset speedup under machine variants",
+        )
+    )
+    print(
+        "\nReading: the stall is interconnect-made — uniform memory or more\n"
+        "bisection recovers scaling without touching a line of the miner;\n"
+        "fatter blades push the cliff out (more threads before traffic\n"
+        "leaves the blade)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: mine frequent itemsets three ways and check they agree.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import apriori, eclat, fpgrowth
+from repro.datasets import parse_fimi
+
+# A small market-basket database in FIMI text format: one transaction per
+# line, items as integers.  (Use repro.datasets.read_fimi for files.)
+GROCERIES = """\
+1 2 5
+2 4
+2 3
+1 2 4
+1 3
+2 3
+1 3
+1 2 3 5
+1 2 3
+"""
+
+
+def main() -> None:
+    db = parse_fimi(GROCERIES, name="groceries")
+    print(f"database: {db.n_transactions} transactions, {db.n_items} item ids")
+
+    # Mine with all three algorithms.  `min_support` accepts an absolute
+    # count (int) or a fraction of transactions (float); representation is
+    # any of "tidset" / "bitvector" / "diffset" for the vertical miners.
+    by_apriori = apriori(db, min_support=2, representation="tidset")
+    by_eclat = eclat(db, min_support=2, representation="diffset")
+    by_fpgrowth = fpgrowth(db, min_support=2)
+
+    assert by_apriori.same_itemsets(by_eclat)
+    assert by_apriori.same_itemsets(by_fpgrowth)
+    print(by_apriori.summary())
+
+    print("\nfrequent itemsets (support >= 2):")
+    for items, support in sorted(
+        by_apriori.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        label = ",".join(str(i) for i in items)
+        print(f"  {{{label}}}: {support}")
+
+    # Relative thresholds work the same way.
+    at_40pct = eclat(db, min_support=0.4, representation="tidset")
+    print(f"\nat 40% relative support: {len(at_40pct)} itemsets")
+
+
+if __name__ == "__main__":
+    main()

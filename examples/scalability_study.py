@@ -1,0 +1,73 @@
+"""Reproduce one of the paper's scalability curves end to end.
+
+Runs the full pipeline on the mushroom surrogate: mine once with cost
+tracing, replay the trace on the simulated Blacklight at 1..1024 threads
+for all three representations and both algorithms, and print the paper-
+style runtime/speedup tables plus per-region bottleneck diagnostics.
+
+Run with:  python examples/scalability_study.py
+"""
+
+from repro import paper
+from repro.analysis import (
+    karp_flatt_series,
+    render_runtime_table,
+    render_speedup_series,
+)
+from repro.datasets import make_mushroom
+from repro.parallel import run_scalability_study, runtime_table, speedup_series
+
+
+def main() -> None:
+    db = make_mushroom()
+    support = paper.PAPER_SUPPORTS["mushroom"]
+    print(f"dataset: {db.stats().row()}, min_support={support}")
+
+    for algorithm in ("apriori", "eclat"):
+        studies = []
+        for representation in paper.REPRESENTATION_NAMES:
+            study = run_scalability_study(
+                db,
+                algorithm,
+                representation,
+                support,
+                thread_counts=paper.THREAD_COUNTS,
+            )
+            # Re-label rows by representation so one table compares formats.
+            study.dataset = representation
+            studies.append(study)
+
+        print()
+        print(
+            render_runtime_table(
+                runtime_table(
+                    studies,
+                    f"{algorithm.upper()} on mushroom — simulated seconds "
+                    "(rows = representation)",
+                )
+            )
+        )
+        print()
+        print(
+            render_speedup_series(
+                speedup_series(studies),
+                title=f"{algorithm.upper()} speedup vs one thread",
+            )
+        )
+
+        # Bottleneck diagnostics at full machine width.
+        print("\nbottlenecks at 1024 threads:")
+        for study in studies:
+            simulated = study.times[1024]
+            limited = simulated.link_limited_regions or ["compute-bound"]
+            kf = karp_flatt_series(study.runtimes())[1024]
+            print(
+                f"  {study.representation:9s}: "
+                f"{simulated.total_seconds * 1e3:7.2f} ms, "
+                f"Karp-Flatt serial fraction {kf:.3f}, "
+                f"link-limited regions: {', '.join(limited)}"
+            )
+
+
+if __name__ == "__main__":
+    main()

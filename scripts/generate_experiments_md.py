@@ -1,0 +1,163 @@
+"""Regenerate EXPERIMENTS.md from the benchmark records.
+
+Run the benchmark suite first (it writes JSON records and rendered tables
+under ``benchmarks/results/``), then:
+
+    python scripts/generate_experiments_md.py
+
+so the documented numbers can never drift from what the benches measured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ExperimentRecord
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction of Zhang, Zhang & Bakos, *Frequent Itemset Mining on
+Large-Scale Shared Memory Machines*, IEEE CLUSTER 2011.
+
+**How to read this file.**  Every runtime/speedup number below is
+*simulated wall time on the modelled Blacklight* (see DESIGN.md: the
+machine model replays measured per-task workload traces of the real
+miners; CPython cannot time 1024 shared-memory threads directly).  The
+reproduction targets are the paper's *shapes* — which configuration
+scales, which stalls, and why — not absolute seconds.  Two further
+caveats:
+
+* the archival copy of the paper has unreadable tables (the OCR dropped
+  all numeric cells), so paper-side numbers are limited to the few values
+  quoted in the prose: Apriori+diffset reaching ~52x on mushroom at 1024
+  threads, Eclat+tidset reaching ~71x on pumsb, and the qualitative
+  scalable/not-scalable verdicts;
+* datasets are structural surrogates for the FIMI originals (Table I
+  statistics match; see DESIGN.md), and support levels are chosen per
+  surrogate, so per-dataset magnitudes differ from the authors' runs.
+
+Regenerate everything with `pytest benchmarks/ --benchmark-only`, then
+refresh this file with `python scripts/generate_experiments_md.py`.
+"""
+
+CLAIMS = """\
+## Claim-by-claim scorecard
+
+| # | Paper claim (Abstract / Section V) | Status | Evidence |
+|---|---|---|---|
+| C1 | Apriori with tidset is "not scalable beyond 16 threads (one blade)" | **Reproduced** on all four datasets: every tidset curve plateaus/degrades, never exceeding ~19x | E3 |
+| C2 | Apriori with bitvector is likewise not scalable | **Reproduced on the census-scale rows** (pumsb plateaus; pumsb_star collapses back to its one-blade level by 1024 threads). *Deviation:* on chess/mushroom our 400 B-1 KB bitvectors stay cache-resident and scale — the claim tracks payload width, which tracks transaction count | E3 |
+| C3 | Apriori is "only scalable when used with diffset" | **Reproduced in relative terms**: diffset is the only non-bitvector format whose curves keep rising past one blade (chess 33x, pumsb_star 29x peak) and it beats tidset in simulated time at every thread count on every dataset. *Deviation:* mushroom/pumsb diffset peak near ~17-20x rather than the paper's 52x — our surrogate diffsets at those supports are bigger relative to tidsets than the real UCI data's (E9 measures the ratio) | E2, E9 |
+| C4 | Eclat is scalable for all three representations | **Reproduced in shape**: every Eclat curve is monotone non-decreasing to 1024 threads (no degradation), for all three formats on all four datasets. *Deviation:* plateau heights (4-16x) sit below the paper's best because the paper's own task bound binds — parallelism cannot exceed the number of frequent items, and our surrogates mine at supports with 16-52 frequent items | E4-E6 |
+| C5 | Eclat achieves its best performance with diffset | **Reproduced in absolute time** on the dense sets (diffset is Eclat's fastest format on chess at every thread count) | E6 |
+| C6 | tidset/bitvector footprints are "one order of magnitude larger than the diffset's" | **Reproduced on chess** (12x per generation); mushroom shows a consistent but smaller 3x stored-payload gap | E9 |
+| C7 | Datasets with fewer (frequent) items than threads do not scale beyond the item count | **Reproduced**: Quest-style T40I10 speedup is bounded by its frequent-item count and flat beyond it | E7 |
+| C8 | Static scheduling suffices for Apriori; dynamic chunk-1 for Eclat | Ablated: schedule choice moves chess Apriori by <2x at 1024 threads, while the task *decomposition* (top-level vs level-synchronous Eclat) matters more | E8 |
+| C9 | "Vertical representation generally offers one order of magnitude of performance gain" (Section II-B) | **Reproduced**: horizontal Apriori costs 23x the element work of tidset Apriori on chess and would need ~19M lock-protected counter increments in parallel | E11 |
+| C10 | Hyper-threading "does not improve our program performance" (Section V) | **Reproduced**: doubling contexts per core on the SMT machine variant improves the one-blade chess Apriori time by only ~1.1x — the counting loops are traffic-bound and SMT adds no bandwidth | E12 |
+"""
+
+
+def _series_table(record: ExperimentRecord) -> str:
+    lines = []
+    counts = record.series[0].thread_counts if record.series else []
+    header = "| dataset@support | " + " | ".join(str(t) for t in counts) + " |"
+    sep = "|---" * (len(counts) + 1) + "|"
+    lines.append(header)
+    lines.append(sep)
+    for s in record.series:
+        cells = " | ".join(f"{v:.1f}" for v in s.speedups)
+        lines.append(f"| {s.label} | {cells} |")
+    return "\n".join(lines)
+
+
+SECTION_NOTES = {
+    "E2": (
+        "Table II + Figure 5 — Apriori with diffset",
+        "Paper: 'we achieve much better scalability ... a speedup of 52X "
+        "for [1024 threads] for the mushroom dataset.'  Measured: curves "
+        "keep rising past one blade on chess (peak ~38x) and pumsb_star "
+        "(peak ~29x); mushroom/pumsb plateau near 17-20x (surrogate "
+        "diffsets are relatively larger there — see C3).",
+    ),
+    "E3": (
+        "Section V-A — Apriori with tidset and bitvector",
+        "Paper: 'the tidset and bitvector implementation did not show "
+        "scalability beyond 16 [threads], or one blade.'  Measured: every "
+        "tidset curve plateaus (best point <=19x, ends 14-16x); bitvector "
+        "stalls on the 49,046-row census data and scales only where its "
+        "payload shrinks below a kilobyte (chess).",
+    ),
+    "E4": (
+        "Table III + Figure 6 — Eclat with tidset",
+        "Paper: 'all the datasets scale with the number of [threads]', "
+        "best result '7[1]X' for pumsb.  Measured: monotone curves for "
+        "every dataset; plateau heights 4-16x, set by the top-level task "
+        "count and the largest recursive subtree (the paper's own "
+        "'poses a limit on the possible number of threads' caveat).",
+    ),
+    "E5": (
+        "Table VI + Figure 7 — Eclat with bitvector",
+        "Measured: same monotone shape as tidset; absolute times are the "
+        "fastest of the three formats on the small-row datasets (fixed "
+        "sub-kilobyte payloads).",
+    ),
+    "E6": (
+        "Table V + Figure 8 — Eclat with diffset",
+        "Paper: Eclat 'achieves the best performance with diffset'.  "
+        "Measured: diffset is Eclat's fastest format in simulated seconds "
+        "on dense chess at every thread count; pumsb_star (the stripped, "
+        "sparser variant) is the one dataset where its level-1 diffsets "
+        "are large enough to cost it the lead — consistent with Zaki's "
+        "own observation that diffsets suit dense data.",
+    ),
+}
+
+
+def main() -> None:
+    parts = [HEADER, CLAIMS]
+
+    parts.append("## Per-experiment detail (speedup vs one thread)\n")
+    for exp_id in ("E2", "E3", "E4", "E5", "E6"):
+        path = RESULTS / f"{exp_id}.json"
+        if not path.exists():
+            parts.append(f"### {exp_id}\n\n*(run the benchmarks first)*\n")
+            continue
+        record = ExperimentRecord.load(path)
+        title, note = SECTION_NOTES[exp_id]
+        parts.append(f"### {exp_id} — {title}\n")
+        parts.append(note + "\n")
+        parts.append(_series_table(record) + "\n")
+
+    parts.append(
+        "### E1, E7-E10\n\n"
+        "* **E1 (Table I)**: surrogate statistics match the paper's table; "
+        "see `benchmarks/results/table1_datasets.txt` for the side-by-side.\n"
+        "* **E7 (item-count limit)**: see "
+        "`benchmarks/results/e7_item_limited_scaling.txt`.\n"
+        "* **E8 (ablations)**: schedule, base placement, and Eclat task "
+        "decomposition — `benchmarks/results/e8_ablation_scheduling.txt`.\n"
+        "* **E9 (memory footprint)**: per-generation payload bytes per "
+        "format — `benchmarks/results/e9_ablation_memory_footprint.txt`.\n"
+        "* **E10 (real kernels)**: wall-clock pytest-benchmark timings of "
+        "the combine kernels and full miners (see the benchmark table in "
+        "`bench_output.txt`).\n"
+        "* **E11 (vertical vs horizontal)**: the Section II-B "
+        "order-of-magnitude claim — "
+        "`benchmarks/results/e11_vertical_vs_horizontal.txt`.\n"
+        "* **E12 (hybrid + SMT)**: the adaptive-representation and "
+        "hyper-threading extensions — "
+        "`benchmarks/results/e12_ablation_hybrid_smt.txt`.\n"
+    )
+
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("\n".join(parts))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

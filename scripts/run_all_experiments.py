@@ -1,0 +1,95 @@
+"""One-command reproduction driver.
+
+Runs every paper experiment (E1-E9, E11, E12 tables; the wall-clock E10
+numbers need pytest-benchmark) without pytest, prints each table as it
+completes, saves the rendered outputs + JSON records under
+``benchmarks/results/``, and finishes by regenerating EXPERIMENTS.md.
+
+    python scripts/run_all_experiments.py            # full (several minutes)
+    python scripts/run_all_experiments.py --quick    # chess + mushroom only
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import paper
+from repro.analysis import (
+    from_studies,
+    render_dataset_stats,
+    render_runtime_table,
+    render_speedup_series,
+    speedup_chart,
+)
+from repro.datasets import PAPER_STATS, get_dataset
+from repro.parallel import run_scalability_study, runtime_table, speedup_series
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+TABLES = [
+    ("E2", "apriori", "diffset", "TABLE II / Figure 5: Apriori with diffset"),
+    ("E3a", "apriori", "tidset", "Apriori with tidset (not reported scalable)"),
+    ("E3b", "apriori", "bitvector", "Apriori with bitvector (not reported scalable)"),
+    ("E4", "eclat", "tidset", "TABLE III / Figure 6: Eclat with tidset"),
+    ("E5", "eclat", "bitvector", "TABLE VI / Figure 7: Eclat with bitvector"),
+    ("E6", "eclat", "diffset", "TABLE V / Figure 8: Eclat with diffset"),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="chess + mushroom only (fast)")
+    args = parser.parse_args()
+    rows = paper.quick_rows() if args.quick else paper.paper_rows()
+    RESULTS.mkdir(exist_ok=True)
+
+    # E1 — Table I.
+    print("== E1: Table I ==")
+    stats_rows = [get_dataset(r.dataset).stats().row() for r in rows]
+    print(render_dataset_stats(stats_rows))
+    print()
+
+    for exp_id, algorithm, representation, title in TABLES:
+        print(f"== {exp_id}: {title} ==")
+        started = time.time()
+        studies = []
+        for row in rows:
+            studies.append(
+                run_scalability_study(
+                    row.load(),
+                    algorithm,
+                    representation,
+                    row.min_support,
+                    thread_counts=paper.THREAD_COUNTS,
+                )
+            )
+        table = runtime_table(studies, f"{title} (simulated seconds)")
+        series = speedup_series(studies)
+        print(render_runtime_table(table))
+        print()
+        print(render_speedup_series(series, title="speedup vs one thread"))
+        print()
+        print(speedup_chart(series))
+        print(f"({time.time() - started:.0f}s)\n")
+        if not args.quick:
+            from_studies(exp_id.rstrip("ab"), title, studies).save(
+                RESULTS / f"{exp_id}.json"
+            )
+
+    if not args.quick:
+        print("== regenerating EXPERIMENTS.md ==")
+        subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "generate_experiments_md.py")],
+            check=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

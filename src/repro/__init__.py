@@ -1,0 +1,44 @@
+"""repro — reproduction of "Frequent Itemset Mining on Large-Scale Shared
+Memory Machines" (Zhang, Zhang & Bakos, IEEE CLUSTER 2011).
+
+Public API highlights:
+
+* :func:`repro.apriori`, :func:`repro.eclat`, :func:`repro.fpgrowth` — the
+  miners, each usable with the ``tidset``, ``bitvector``, or ``diffset``
+  representation.
+* :mod:`repro.datasets` — FIMI parsing, Quest-style generation, and the
+  Table I benchmark surrogates.
+* :mod:`repro.machine` / :mod:`repro.openmp` — the Blacklight NUMA model and
+  the OpenMP-style schedule simulator.
+* :mod:`repro.parallel` — instrumented parallel Apriori/Eclat and the
+  scalability-study harness that regenerates the paper's tables and figures.
+"""
+
+from repro.core import (
+    MiningResult,
+    apriori,
+    brute_force,
+    eclat,
+    fpgrowth,
+    run_apriori,
+    run_eclat,
+)
+from repro.datasets import TransactionDatabase, get_dataset, read_fimi
+from repro.representations import get_representation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MiningResult",
+    "TransactionDatabase",
+    "apriori",
+    "eclat",
+    "fpgrowth",
+    "brute_force",
+    "run_apriori",
+    "run_eclat",
+    "get_dataset",
+    "read_fimi",
+    "get_representation",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Performance analysis, table rendering, and experiment records."""
+
+from repro.analysis.metrics import (
+    efficiency,
+    karp_flatt,
+    karp_flatt_series,
+    speedup,
+)
+from repro.analysis.tables import (
+    format_seconds,
+    render_dataset_stats,
+    render_grid,
+    render_runtime_table,
+    render_speedup_series,
+)
+from repro.analysis.charts import sparkline, speedup_chart
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    SeriesRecord,
+    from_studies,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "karp_flatt",
+    "karp_flatt_series",
+    "format_seconds",
+    "render_grid",
+    "render_runtime_table",
+    "render_speedup_series",
+    "render_dataset_stats",
+    "sparkline",
+    "speedup_chart",
+    "ExperimentRecord",
+    "SeriesRecord",
+    "from_studies",
+]

@@ -1,0 +1,79 @@
+"""Terminal charts for speedup curves (the figures, without matplotlib).
+
+The paper's Figures 5-8 plot speedup against thread count per dataset.
+:func:`speedup_chart` renders the same thing as a monospace scatter/line
+grid so the benches and examples can show curve *shape* directly in a
+terminal or log file, offline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.parallel.speedup import SpeedupSeries
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """One-line trend glyphs for a series (8-level resolution)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(7, int((v - lo) / span * 8))] for v in values
+    )
+
+
+def speedup_chart(
+    series: list[SpeedupSeries],
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A monospace chart of speedup-vs-threads curves.
+
+    The x axis is the (log-spaced) thread counts in sweep order; the y
+    axis is linear speedup.  Each series gets a glyph; collisions show the
+    later series' glyph.
+    """
+    if height < 3:
+        raise ConfigurationError("height must be >= 3")
+    if not series:
+        return title
+    counts = series[0].thread_counts
+    for s in series:
+        if s.thread_counts != counts:
+            raise ConfigurationError("all series must share thread counts")
+
+    peak = max(max(s.speedups) for s in series)
+    peak = max(peak, 1e-9)
+    n_cols = len(counts)
+    col_width = 6
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+
+    for idx, s in enumerate(series):
+        glyph = SERIES_GLYPHS[idx % len(SERIES_GLYPHS)]
+        for col, value in enumerate(s.speedups):
+            row = height - 1 - int(value / peak * (height - 1))
+            grid[row][col * col_width + col_width // 2] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_value = peak * (height - 1 - i) / (height - 1)
+        lines.append(f"{y_value:6.1f} |" + "".join(row))
+    axis = "-" * (n_cols * col_width)
+    lines.append(" " * 7 + "+" + axis)
+    labels = "".join(str(t).center(col_width) for t in counts)
+    lines.append(" " * 8 + labels)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * 8 + legend)
+    return "\n".join(lines)

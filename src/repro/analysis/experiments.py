@@ -1,0 +1,96 @@
+"""Experiment records: structured results with JSON persistence.
+
+Every bench can persist what it measured as an :class:`ExperimentRecord`;
+EXPERIMENTS.md is generated from these records so the documentation never
+drifts from the code.  Records are plain JSON on disk — diff-able and
+tool-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.parallel.runner import ScalabilityStudy
+
+
+@dataclass
+class SeriesRecord:
+    """One curve: a labelled {threads: value} mapping."""
+
+    label: str
+    thread_counts: list[int]
+    runtimes_seconds: list[float]
+    speedups: list[float]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's full output (one table + one figure)."""
+
+    experiment_id: str
+    title: str
+    algorithm: str
+    representation: str
+    machine: str
+    series: list[SeriesRecord] = field(default_factory=list)
+    notes: dict[str, object] = field(default_factory=dict)
+
+    def add_study(self, study: ScalabilityStudy) -> None:
+        ups = study.speedups()
+        self.series.append(
+            SeriesRecord(
+                label=study.label(),
+                thread_counts=list(study.thread_counts),
+                runtimes_seconds=[study.runtime(t) for t in study.thread_counts],
+                speedups=[ups[t] for t in study.thread_counts],
+            )
+        )
+
+    def peak_speedups(self) -> dict[str, float]:
+        return {s.label: max(s.speedups) for s in self.series}
+
+    def final_speedups(self) -> dict[str, float]:
+        return {s.label: s.speedups[-1] for s in self.series}
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(asdict(self), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentRecord":
+        raw = json.loads(Path(path).read_text())
+        series = [SeriesRecord(**s) for s in raw.pop("series", [])]
+        record = cls(**{k: v for k, v in raw.items() if k != "series"})
+        record.series = series
+        return record
+
+
+def from_studies(
+    experiment_id: str,
+    title: str,
+    studies: list[ScalabilityStudy],
+    notes: dict[str, object] | None = None,
+) -> ExperimentRecord:
+    """Bundle a set of same-shape studies into one record."""
+    if not studies:
+        raise ConfigurationError("need at least one study")
+    algos = {s.algorithm for s in studies}
+    reps = {s.representation for s in studies}
+    record = ExperimentRecord(
+        experiment_id=experiment_id,
+        title=title,
+        algorithm=algos.pop() if len(algos) == 1 else "mixed",
+        representation=reps.pop() if len(reps) == 1 else "mixed",
+        machine=studies[0].machine,
+        notes=notes or {},
+    )
+    for study in studies:
+        record.add_study(study)
+    return record

@@ -1,0 +1,66 @@
+"""Parallel-performance metrics: speedup, efficiency, Karp-Flatt.
+
+Small, dependency-free helpers shared by the benches and examples; each
+works on plain ``{thread_count: seconds}`` mappings so they compose with
+both simulated and wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def speedup(times: dict[int, float], baseline_threads: int = 1) -> dict[int, float]:
+    """Speedup of each point relative to the baseline thread count."""
+    if baseline_threads not in times:
+        raise ConfigurationError(
+            f"baseline {baseline_threads} not in measured thread counts"
+        )
+    base = times[baseline_threads]
+    out: dict[int, float] = {}
+    for threads, seconds in times.items():
+        if seconds <= 0:
+            raise ConfigurationError(f"non-positive time at {threads} threads")
+        out[threads] = base / seconds
+    return out
+
+
+def efficiency(times: dict[int, float], baseline_threads: int = 1) -> dict[int, float]:
+    """Parallel efficiency: speedup divided by thread count."""
+    ups = speedup(times, baseline_threads)
+    return {t: s / t for t, s in ups.items()}
+
+
+def karp_flatt(observed_speedup: float, n_threads: int) -> float:
+    """Karp-Flatt experimentally determined serial fraction.
+
+    ``e = (1/S - 1/T) / (1 - 1/T)``.  A rising ``e`` across thread counts
+    indicates overhead growth (communication), not just Amdahl serialism —
+    exactly the diagnostic that separates the paper's Apriori-tidset curve
+    (rising e) from Apriori-diffset (flat-ish e).
+    """
+    if n_threads <= 1:
+        raise ConfigurationError("Karp-Flatt needs more than one thread")
+    if observed_speedup <= 0:
+        raise ConfigurationError("speedup must be positive")
+    return (1.0 / observed_speedup - 1.0 / n_threads) / (1.0 - 1.0 / n_threads)
+
+
+def karp_flatt_series(
+    times: dict[int, float], baseline_threads: int = 1
+) -> dict[int, float]:
+    """Karp-Flatt fraction at each measured multi-thread point."""
+    ups = speedup(times, baseline_threads)
+    return {
+        t: karp_flatt(s, t)
+        for t, s in ups.items()
+        if t > 1
+    }
+
+
+def scaled_down_note(paper_value: float, measured: float) -> str:
+    """One-line comparison phrase used by EXPERIMENTS.md generators."""
+    if paper_value <= 0:
+        return f"measured {measured:.1f} (paper value unavailable)"
+    ratio = measured / paper_value
+    return f"measured {measured:.1f} vs paper {paper_value:.1f} ({ratio:.2f}x)"

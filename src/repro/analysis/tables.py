@@ -1,0 +1,78 @@
+"""ASCII rendering of the paper-style tables and speedup series.
+
+The benches print through these helpers so that every table carries the
+same layout the paper uses: runtime tables with ``dataset@support`` rows
+and thread-count columns (Tables II-V), and speedup series per dataset
+(the data behind Figures 5-8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.parallel.speedup import RuntimeTable, SpeedupSeries
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact fixed-width time formatting (matches the tables' feel)."""
+    if seconds >= 100:
+        return f"{seconds:.0f}"
+    if seconds >= 1:
+        return f"{seconds:.2f}"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}m"
+    return f"{seconds * 1e6:.0f}u"
+
+
+def render_grid(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Monospace grid with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_runtime_table(table: RuntimeTable) -> str:
+    """The Table II-V layout: rows = dataset@support, columns = threads.
+
+    Times are simulated seconds on the modelled machine.
+    """
+    headers = ["dataset@sup"] + [str(t) for t in table.thread_counts]
+    rows = [
+        [label] + [format_seconds(v) for v in values]
+        for label, values in table.rows
+    ]
+    return render_grid(headers, rows, title=table.title)
+
+
+def render_speedup_series(
+    series: list[SpeedupSeries], title: str = ""
+) -> str:
+    """The Figure 5-8 data: speedup relative to one thread per dataset."""
+    if not series:
+        return title
+    counts = series[0].thread_counts
+    headers = ["dataset@sup"] + [str(t) for t in counts]
+    rows = [
+        [s.label] + [f"{v:.1f}" for v in s.speedups]
+        for s in series
+    ]
+    return render_grid(headers, rows, title=title)
+
+
+def render_dataset_stats(rows: list[tuple], title: str = "TABLE I") -> str:
+    """Table I layout: dataset, items, avg length, transactions, size."""
+    headers = ["Dataset", "Items", "AvgLen", "Transactions", "Size"]
+    return render_grid(
+        headers, [[str(c) for c in row] for row in rows], title=title
+    )

@@ -1,0 +1,6 @@
+"""Execution backends: serial reference and real process parallelism."""
+
+from repro.backends.serial import mine_serial
+from repro.backends.multiprocessing_backend import eclat_multiprocessing
+
+__all__ = ["mine_serial", "eclat_multiprocessing"]

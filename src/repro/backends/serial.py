@@ -1,0 +1,28 @@
+"""Serial execution backend — the reference every other backend matches."""
+
+from __future__ import annotations
+
+from repro.core.apriori import apriori
+from repro.core.eclat import eclat
+from repro.core.result import MiningResult
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+
+_ALGORITHMS = {"apriori": apriori, "eclat": eclat}
+
+
+def mine_serial(
+    db: TransactionDatabase,
+    min_support: float | int,
+    algorithm: str = "eclat",
+    representation: str = "tidset",
+    **kwargs,
+) -> MiningResult:
+    """Mine on the calling thread with the requested algorithm/format."""
+    try:
+        fn = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+        ) from None
+    return fn(db, min_support, representation, **kwargs)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows:
+
+* ``mine``      — frequent itemsets from a FIMI file or a named surrogate;
+* ``rules``     — association rules on top of a mining run;
+* ``scalability`` — the paper pipeline: trace a miner, replay it on the
+  simulated Blacklight across thread counts, print the table and chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.charts import speedup_chart
+from repro.analysis.tables import render_runtime_table, render_speedup_series
+from repro.core import apriori, eclat, fpgrowth
+from repro.core.charm import charm
+from repro.datasets import available_datasets, get_dataset, read_fimi
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.machine.topology import standard_thread_counts
+from repro.parallel import run_scalability_study, runtime_table, speedup_series
+from repro.rules import generate_rules
+
+_MINERS = {
+    "apriori": apriori,
+    "eclat": eclat,
+    "fpgrowth": lambda db, sup, _rep: fpgrowth(db, sup),
+    "charm": lambda db, sup, _rep: charm(db, sup),
+}
+
+
+def _load_database(source: str) -> TransactionDatabase:
+    """A path loads a FIMI file; otherwise the name hits the registry."""
+    path = Path(source)
+    if path.exists():
+        return read_fimi(path)
+    if source in available_datasets():
+        return get_dataset(source)
+    raise SystemExit(
+        f"error: {source!r} is neither a file nor a dataset name "
+        f"(available: {', '.join(available_datasets())})"
+    )
+
+
+def _parse_support(text: str) -> float | int:
+    value = float(text)
+    if value >= 1 and value == int(value):
+        return int(value)
+    return value
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", help="FIMI file path or dataset name")
+    parser.add_argument(
+        "-s", "--min-support", type=_parse_support, default=0.5,
+        help="absolute count (>= 1) or relative fraction (< 1); default 0.5",
+    )
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    db = _load_database(args.dataset)
+    miner = _MINERS[args.algorithm]
+    result = miner(db, args.min_support, args.representation)
+    print(result.summary())
+    if args.top:
+        ranked = sorted(
+            result.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
+        )[: args.top]
+        for items, support in ranked:
+            print(f"  {{{','.join(map(str, items))}}}: {support}")
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    db = _load_database(args.dataset)
+    result = fpgrowth(db, args.min_support)
+    rules = generate_rules(result, min_confidence=args.min_confidence)
+    print(f"{len(rules)} rules at confidence >= {args.min_confidence}")
+    for rule in rules[: args.top]:
+        print(f"  {rule}")
+    return 0
+
+
+def cmd_scalability(args: argparse.Namespace) -> int:
+    db = _load_database(args.dataset)
+    counts = standard_thread_counts(args.max_threads)
+    study = run_scalability_study(
+        db, args.algorithm, args.representation, args.min_support,
+        thread_counts=counts,
+    )
+    print(study.mining_result.summary())
+    print()
+    print(
+        render_runtime_table(
+            runtime_table([study], "simulated runtime (seconds)")
+        )
+    )
+    series = speedup_series([study])
+    print()
+    print(render_speedup_series(series, title="speedup vs one thread"))
+    print()
+    print(speedup_chart(series, title="speedup curve"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel frequent itemset mining "
+        "(CLUSTER 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine frequent (or closed) itemsets")
+    _add_common(mine)
+    mine.add_argument(
+        "-a", "--algorithm", choices=sorted(_MINERS), default="eclat"
+    )
+    mine.add_argument(
+        "-r", "--representation",
+        choices=["tidset", "bitvector", "diffset", "hybrid"],
+        default="tidset",
+    )
+    mine.add_argument("-t", "--top", type=int, default=10,
+                      help="print the N most frequent itemsets")
+    mine.set_defaults(func=cmd_mine)
+
+    rules = sub.add_parser("rules", help="association rules (FP-growth)")
+    _add_common(rules)
+    rules.add_argument("-c", "--min-confidence", type=float, default=0.6)
+    rules.add_argument("-t", "--top", type=int, default=10)
+    rules.set_defaults(func=cmd_rules)
+
+    scal = sub.add_parser(
+        "scalability", help="simulated Blacklight thread sweep"
+    )
+    _add_common(scal)
+    scal.add_argument(
+        "-a", "--algorithm", choices=["apriori", "eclat"], default="eclat"
+    )
+    scal.add_argument(
+        "-r", "--representation",
+        choices=["tidset", "bitvector", "diffset"], default="diffset",
+    )
+    scal.add_argument("--max-threads", type=int, default=1024)
+    scal.set_defaults(func=cmd_scalability)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Core frequent itemset mining algorithms."""
+
+from repro.core.itemset import Itemset, canonical, is_subset, join, share_prefix
+from repro.core.result import MiningResult, from_mapping, resolve_min_support
+from repro.core.candidate_gen import CandidateJoin, generate_candidates
+from repro.core.level_table import Level, LevelTable
+from repro.core.apriori import AprioriRun, apriori, run_apriori
+from repro.core.eclat import EclatRun, eclat, run_eclat
+from repro.core.fpgrowth import fpgrowth
+from repro.core.brute_force import brute_force
+from repro.core.apriori_horizontal import (
+    HorizontalAprioriRun,
+    apriori_horizontal,
+    run_apriori_horizontal,
+)
+from repro.core.charm import charm, closed_itemsets_via_charm
+from repro.core.genmax import genmax, maximal_itemsets_via_genmax
+from repro.core.closed_maximal import (
+    closed_itemsets,
+    condensation_summary,
+    maximal_itemsets,
+)
+
+__all__ = [
+    "Itemset",
+    "canonical",
+    "is_subset",
+    "join",
+    "share_prefix",
+    "MiningResult",
+    "from_mapping",
+    "resolve_min_support",
+    "CandidateJoin",
+    "generate_candidates",
+    "Level",
+    "LevelTable",
+    "AprioriRun",
+    "apriori",
+    "run_apriori",
+    "EclatRun",
+    "eclat",
+    "run_eclat",
+    "fpgrowth",
+    "brute_force",
+    "apriori_horizontal",
+    "run_apriori_horizontal",
+    "HorizontalAprioriRun",
+    "charm",
+    "closed_itemsets_via_charm",
+    "genmax",
+    "maximal_itemsets_via_genmax",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "condensation_summary",
+]

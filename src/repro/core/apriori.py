@@ -1,0 +1,197 @@
+"""Apriori (Algorithm 1) over any vertical representation.
+
+The level-wise loop iterates candidate generation, support counting, and
+pruning until no candidate survives.  Support counting is the parallel
+region in the paper (the outer loop over candidates), so each counting step
+is surfaced to an optional :class:`AprioriSink` as an independent *task*
+with its parents and measured :class:`OpCost` — that trace is what the
+machine simulator schedules.
+
+The serial phases (candidate generation and pruning) are also surfaced,
+because on the real machine they bound scalability via Amdahl's law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.candidate_gen import candidate_generation_ops, generate_candidates
+from repro.core.level_table import Level, LevelTable
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations import Representation, get_representation
+from repro.representations.base import OpCost
+
+
+class AprioriSink(Protocol):
+    """Observer for the per-task cost trace of one Apriori run."""
+
+    def on_singletons(self, level: Level, build_cost: OpCost) -> None:
+        """Generation 1 built (the horizontal-to-vertical pass)."""
+
+    def on_count_task(
+        self,
+        generation: int,
+        candidate_index: int,
+        left_parent: int,
+        right_parent: int,
+        cost: OpCost,
+        payload_bytes: int,
+    ) -> None:
+        """One support-counting task (one iteration of the parallel loop).
+
+        ``left_parent``/``right_parent`` index the *frequent survivors* of
+        the previous generation, in survivor order — the simulator maps them
+        to memory homes via the previous generation's schedule.
+        """
+
+    def on_generation_done(self, level: Level, candidate_gen_ops: int) -> None:
+        """A generation finished counting+pruning; ``candidate_gen_ops`` is
+        the element cost of the serial join/prune phase that produced it."""
+
+
+class _NullSink:
+    def on_singletons(self, level: Level, build_cost: OpCost) -> None:
+        pass
+
+    def on_count_task(self, *args, **kwargs) -> None:
+        pass
+
+    def on_generation_done(self, level: Level, candidate_gen_ops: int) -> None:
+        pass
+
+
+@dataclass
+class AprioriRun:
+    """Everything one Apriori execution produced."""
+
+    result: MiningResult
+    table: LevelTable
+    total_cost: OpCost
+    n_generations: int
+
+
+def run_apriori(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    sink: AprioriSink | None = None,
+    prune: bool = True,
+    max_generations: int | None = None,
+) -> AprioriRun:
+    """Execute Apriori and return the result plus its level table and trace.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    min_support:
+        Relative (float) or absolute (int) threshold.
+    representation:
+        A :class:`Representation` instance or its registry name.
+    sink:
+        Optional cost-trace observer (used by the parallel simulator).
+    prune:
+        Toggle downward-closure pruning (ablation hook).
+    max_generations:
+        Optional cap on the number of generations (for bounded experiments).
+    """
+    rep = (
+        get_representation(representation)
+        if isinstance(representation, str)
+        else representation
+    )
+    sink = sink or _NullSink()
+    min_sup = resolve_min_support(db, min_support)
+
+    result = MiningResult(
+        dataset=db.name,
+        algorithm="apriori",
+        representation=rep.name,
+        min_support=min_sup,
+        n_transactions=db.n_transactions,
+    )
+    table = LevelTable()
+    total_cost = OpCost()
+
+    # --- Generation 1: one row per item ------------------------------------
+    level = table.new_singleton_level(db.n_items)
+    singletons = rep.build_singletons(db, min_support=min_sup)
+    build_cost = rep.singleton_build_cost(db)
+    total_cost += build_cost
+    level.verticals = singletons
+    level.supports = np.asarray([v.support for v in singletons], np.int64)
+    level.kept = level.supports >= min_sup
+    sink.on_singletons(level, build_cost)
+    sink.on_generation_done(level, candidate_gen_ops=0)
+
+    for row in level.kept_positions():
+        result.add(level.itemsets[row], int(level.supports[row]))
+
+    frequent_itemsets = level.frequent_itemsets()
+    frequent_verticals = level.frequent_verticals()
+
+    # --- Generations 2.. ----------------------------------------------------
+    generation = 1
+    while frequent_itemsets:
+        if max_generations is not None and generation >= max_generations:
+            break
+        generation += 1
+        candidates = generate_candidates(frequent_itemsets, prune=prune)
+        if not candidates:
+            break
+        gen_ops = candidate_generation_ops(
+            len(frequent_itemsets), len(candidates), generation
+        )
+        level = table.new_level(generation, candidates)
+        assert level.verticals is not None
+
+        for idx, cand in enumerate(candidates):
+            left = frequent_verticals[cand.left_parent]
+            right = frequent_verticals[cand.right_parent]
+            vertical, cost = rep.combine(left, right)
+            total_cost += cost
+            level.verticals.append(vertical)
+            level.supports[idx] = vertical.support
+            sink.on_count_task(
+                generation,
+                idx,
+                cand.left_parent,
+                cand.right_parent,
+                cost,
+                rep.payload_bytes(vertical),
+            )
+
+        level.kept = level.supports >= min_sup
+        sink.on_generation_done(level, candidate_gen_ops=gen_ops)
+
+        for row in level.kept_positions():
+            result.add(level.itemsets[row], int(level.supports[row]))
+
+        # The previous generation's payloads are no longer needed.
+        table[generation - 1].release_verticals()
+        frequent_itemsets = level.frequent_itemsets()
+        frequent_verticals = level.frequent_verticals()
+
+    if len(table) and table[len(table)].verticals is not None:
+        table[len(table)].release_verticals()
+
+    return AprioriRun(
+        result=result,
+        table=table,
+        total_cost=total_cost,
+        n_generations=len(table),
+    )
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    **kwargs,
+) -> MiningResult:
+    """Frequent itemsets via Apriori (thin wrapper over :func:`run_apriori`)."""
+    return run_apriori(db, min_support, representation, **kwargs).result

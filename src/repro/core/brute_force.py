@@ -1,0 +1,63 @@
+"""Brute-force frequent itemset enumeration — the test oracle.
+
+Counts every subset (up to a size cap) of every transaction in a hash map,
+then filters by the threshold.  Exponential in transaction length, so it
+guards against misuse; it exists purely so the property-based tests can
+check Apriori/Eclat/FP-growth against an implementation too simple to be
+wrong.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+
+
+#: Refuse transactions longer than this (2^length subsets each).
+MAX_TRANSACTION_LENGTH = 20
+
+
+def brute_force(
+    db: TransactionDatabase,
+    min_support: float | int,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Enumerate-and-count frequent itemsets.
+
+    Parameters
+    ----------
+    max_size:
+        Optional cap on itemset cardinality; ``None`` enumerates every
+        subset of every transaction.
+    """
+    longest = max((t.size for t in db), default=0)
+    if max_size is None and longest > MAX_TRANSACTION_LENGTH:
+        raise ConfigurationError(
+            f"brute force without max_size on transactions of length "
+            f"{longest} would enumerate 2^{longest} subsets; pass max_size"
+        )
+
+    min_sup = resolve_min_support(db, min_support)
+    counts: dict[tuple[int, ...], int] = defaultdict(int)
+    for transaction in db:
+        items = tuple(int(i) for i in transaction)
+        top = len(items) if max_size is None else min(max_size, len(items))
+        for k in range(1, top + 1):
+            for subset in combinations(items, k):
+                counts[subset] += 1
+
+    result = MiningResult(
+        dataset=db.name,
+        algorithm="brute_force",
+        representation="horizontal",
+        min_support=min_sup,
+        n_transactions=db.n_transactions,
+    )
+    for items, support in counts.items():
+        if support >= min_sup:
+            result.add(items, support)
+    return result

@@ -1,0 +1,69 @@
+"""Closed and maximal itemset post-processing.
+
+The paper mines all frequent itemsets; closed (no superset with equal
+support) and maximal (no frequent superset) subsets are the standard
+condensed views downstream users ask for, so the library provides them as
+filters over any :class:`MiningResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult
+
+
+def _supersets_by_one(items: Itemset, candidates: dict[Itemset, int]) -> list[Itemset]:
+    """Frequent supersets of ``items`` with exactly one extra item.
+
+    Checking one-larger supersets suffices for both filters: support is
+    monotone, so an equal-support superset of any size implies an
+    equal-support superset one item larger (closedness), and any frequent
+    superset implies a frequent one-larger superset (maximality).
+    """
+    found = []
+    for sup_items in candidates:
+        if len(sup_items) != len(items) + 1:
+            continue
+        it = iter(sup_items)
+        if all(any(x == y for y in it) for x in items):
+            found.append(sup_items)
+    return found
+
+
+def closed_itemsets(result: MiningResult) -> dict[Itemset, int]:
+    """Frequent itemsets with no superset of equal support."""
+    by_size = result.by_size()
+    closed: dict[Itemset, int] = {}
+    for k, level in by_size.items():
+        bigger = by_size.get(k + 1, {})
+        for items, support in level.items():
+            if not any(
+                bigger_support == support
+                for sup in _supersets_by_one(items, bigger)
+                for bigger_support in (bigger[sup],)
+            ):
+                closed[items] = support
+    return closed
+
+
+def maximal_itemsets(result: MiningResult) -> dict[Itemset, int]:
+    """Frequent itemsets with no frequent superset at all."""
+    by_size = result.by_size()
+    maximal: dict[Itemset, int] = {}
+    for k, level in by_size.items():
+        bigger = by_size.get(k + 1, {})
+        for items, support in level.items():
+            if not _supersets_by_one(items, bigger):
+                maximal[items] = support
+    return maximal
+
+
+def condensation_summary(result: MiningResult) -> dict[str, int]:
+    """Counts of all / closed / maximal itemsets (reporting helper)."""
+    return {
+        "frequent": len(result),
+        "closed": len(closed_itemsets(result)),
+        "maximal": len(maximal_itemsets(result)),
+    }

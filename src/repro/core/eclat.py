@@ -1,0 +1,221 @@
+"""Eclat (Algorithm 2) over any vertical representation.
+
+Eclat explores the candidate space by equivalence classes: the frequent
+itemsets sharing a prefix form a class, and every ordered pair inside a
+class joins into a candidate one item longer.  The serial miner here walks
+classes depth-first (the textbook formulation); the *parallel structure* it
+exposes through :class:`EclatSink` follows the paper's Algorithm 2, whose
+recursive call (line 10) sits outside the pair loops: execution is
+**level-synchronous**, and the parallel loop at line 3 runs over all
+frequent i-itemsets of the current generation.  One loop iteration — one
+*task* — takes a class member ``c_i`` and joins it with every later sibling
+``c_k``, producing the next generation's members with prefix ``c_i``.
+
+That task decomposition is what the trace records: every combine is
+attributed to ``(depth, left member)``, every frequent child gets a global
+index at its depth and remembers which task created it.  The machine
+simulator replays each depth as one OpenMP ``schedule(dynamic, 1)`` region,
+with the child verticals first-touched by their creating task — the
+"generated data each thread reuses" of Section IV.
+
+Item-processing order is configurable: ``"support"`` (ascending, the
+standard Eclat convention from Zaki — smaller intermediates, balanced
+classes) or ``"id"`` (raw item-number order).  Both orders mine identical
+itemsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.representations import Representation, get_representation
+from repro.representations.base import OpCost, Vertical
+
+
+class EclatSink(Protocol):
+    """Observer for the per-task cost trace of one Eclat run."""
+
+    def on_singletons(
+        self,
+        n_frequent: int,
+        build_cost: OpCost,
+        payload_bytes: list[int] | None = None,
+    ) -> None:
+        """Generation-1 members built during the (serial) database load.
+
+        ``payload_bytes[i]`` is the payload size of depth-1 member ``i`` in
+        processing order.
+        """
+
+    def on_combine(
+        self,
+        depth: int,
+        left_index: int,
+        right_index: int,
+        cost: OpCost,
+        child_payload_bytes: int,
+        child_index: int,
+    ) -> None:
+        """One candidate combined.
+
+        ``left_index``/``right_index`` are global indices of the parents
+        among the frequent ``depth``-itemsets (processing order);
+        ``child_index`` is the child's global index among the frequent
+        ``depth+1``-itemsets, or ``-1`` if the candidate was infrequent.
+        The task owning this combine is ``(depth, left_index)``.
+        """
+
+
+class _NullSink:
+    def on_singletons(self, n_frequent, build_cost, payload_bytes=None) -> None:
+        pass
+
+    def on_combine(self, *args, **kwargs) -> None:
+        pass
+
+
+@dataclass
+class EclatRun:
+    """Everything one Eclat execution produced."""
+
+    result: MiningResult
+    total_cost: OpCost
+    n_toplevel_tasks: int
+    max_depth: int
+
+
+@dataclass
+class _State:
+    """Mutable recursion state shared across the depth-first walk."""
+
+    rep: Representation
+    min_sup: int
+    result: MiningResult
+    sink: "EclatSink | _NullSink"
+    #: Next global index to hand out per depth (1-based depths).
+    counters: dict[int, int] = field(default_factory=dict)
+    total_cost: OpCost = field(default_factory=OpCost)
+    max_depth: int = 1
+
+    def next_index(self, depth: int) -> int:
+        idx = self.counters.get(depth, 0)
+        self.counters[depth] = idx + 1
+        return idx
+
+
+@dataclass(slots=True)
+class _Member:
+    """One class member: itemset (processing order), vertical, global index."""
+
+    items: Itemset
+    vertical: Vertical
+    index: int
+
+
+def _mine_class(state: _State, class_members: list[_Member], depth: int) -> None:
+    """Mine one equivalence class of ``depth``-itemsets (lines 3-10)."""
+    state.max_depth = max(state.max_depth, depth)
+    for i, left in enumerate(class_members):
+        next_class: list[_Member] = []
+        for right in class_members[i + 1 :]:
+            candidate = left.items + (right.items[-1],)
+            vertical, cost = state.rep.combine(left.vertical, right.vertical)
+            state.total_cost += cost
+            if vertical.support >= state.min_sup:
+                child_index = state.next_index(depth + 1)
+                # `candidate` is in processing order; results are canonical.
+                state.result.add(tuple(sorted(candidate)), vertical.support)
+                next_class.append(_Member(candidate, vertical, child_index))
+            else:
+                child_index = -1
+            state.sink.on_combine(
+                depth,
+                left.index,
+                right.index,
+                cost,
+                state.rep.payload_bytes(vertical),
+                child_index,
+            )
+        if next_class:
+            _mine_class(state, next_class, depth + 1)
+
+
+def run_eclat(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    sink: EclatSink | None = None,
+    item_order: str = "support",
+) -> EclatRun:
+    """Execute Eclat and return the result plus its cost trace.
+
+    Parameters
+    ----------
+    item_order:
+        ``"support"`` (default) processes rarest items first; ``"id"`` keeps
+        raw item-number order.  Identical results, different cost profile.
+    """
+    rep = (
+        get_representation(representation)
+        if isinstance(representation, str)
+        else representation
+    )
+    if item_order not in ("support", "id"):
+        raise ConfigurationError(
+            f"item_order must be 'support' or 'id', got {item_order!r}"
+        )
+    snk: EclatSink | _NullSink = sink or _NullSink()
+    min_sup = resolve_min_support(db, min_support)
+
+    result = MiningResult(
+        dataset=db.name,
+        algorithm="eclat",
+        representation=rep.name,
+        min_support=min_sup,
+        n_transactions=db.n_transactions,
+    )
+
+    singletons = rep.build_singletons(db, min_support=min_sup)
+    build_cost = rep.singleton_build_cost(db)
+    frequent: list[tuple[int, Vertical]] = [
+        (item, v) for item, v in enumerate(singletons) if v.support >= min_sup
+    ]
+    if item_order == "support":
+        frequent.sort(key=lambda entry: (entry[1].support, entry[0]))
+    members = []
+    for index, (item, vertical) in enumerate(frequent):
+        result.add((item,), vertical.support)
+        members.append(_Member((item,), vertical, index))
+    snk.on_singletons(
+        len(members),
+        build_cost,
+        payload_bytes=[m.vertical.payload.nbytes for m in members],
+    )
+
+    state = _State(rep=rep, min_sup=min_sup, result=result, sink=snk)
+    state.total_cost += build_cost
+
+    if members:
+        _mine_class(state, members, 1)
+
+    return EclatRun(
+        result=result,
+        total_cost=state.total_cost,
+        n_toplevel_tasks=len(members),
+        max_depth=state.max_depth,
+    )
+
+
+def eclat(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    **kwargs,
+) -> MiningResult:
+    """Frequent itemsets via Eclat (thin wrapper over :func:`run_eclat`)."""
+    return run_eclat(db, min_support, representation, **kwargs).result

@@ -1,0 +1,124 @@
+"""GenMax-style maximal frequent itemset mining.
+
+The maximal frequent itemsets (no frequent superset) are the smallest
+condensed representation that still determines *frequency* (though not
+supports).  This implements the core of Gouda & Zaki's GenMax on the
+library's tidset machinery: depth-first class search with
+
+* **progressive focusing** — a candidate subtree is pruned when the union
+  of its prefix with all remaining class items is subsumed by an
+  already-found maximal set (the superset check), and
+* **PEP (parent equivalence pruning)** — an extension whose tidset equals
+  the prefix's is absorbed into the prefix directly.
+
+Results are validated against filtering the full lattice through
+:func:`repro.core.closed_maximal.maximal_itemsets`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations.tidset import TIDSET_DTYPE, intersect_sorted
+
+
+class _MaximalStore:
+    """Maximal sets found so far, with a superset test."""
+
+    def __init__(self) -> None:
+        self.sets: list[tuple[frozenset, int]] = []
+
+    def subsumes(self, items: frozenset) -> bool:
+        return any(items <= found for found, _ in self.sets)
+
+    def add(self, items: frozenset, support: int) -> None:
+        # Keep the store thin: drop any previous set the new one covers.
+        self.sets = [
+            (found, s) for found, s in self.sets if not found < items
+        ]
+        self.sets.append((items, support))
+
+
+def _genmax(
+    prefix: frozenset,
+    prefix_tids: np.ndarray,
+    class_items: list[tuple[int, np.ndarray]],
+    min_sup: int,
+    store: _MaximalStore,
+) -> None:
+    """Expand one prefix with its candidate extension items."""
+    # Progressive focusing: if prefix + every remaining item is already
+    # inside a known maximal set, nothing new can come from this subtree.
+    ceiling = prefix | {item for item, _ in class_items}
+    if store.subsumes(ceiling):
+        return
+
+    # Build the frequent extensions, applying PEP.
+    extensions: list[tuple[int, np.ndarray]] = []
+    absorbed = set()
+    for item, tids in class_items:
+        joined = intersect_sorted(prefix_tids, tids) if prefix else tids
+        if joined.size < min_sup:
+            continue
+        if joined.size == prefix_tids.size and prefix:
+            # PEP: the extension loses nothing — fold it into the prefix.
+            absorbed.add(item)
+        else:
+            extensions.append((item, joined))
+    prefix = prefix | absorbed
+
+    if not extensions:
+        if prefix and not store.subsumes(prefix):
+            store.add(prefix, int(prefix_tids.size))
+        return
+
+    # Ascending support keeps classes small (the GenMax/Eclat heuristic).
+    extensions.sort(key=lambda e: e[1].size)
+    for i, (item, tids) in enumerate(extensions):
+        _genmax(
+            prefix | {item},
+            tids,
+            extensions[i + 1 :],
+            min_sup,
+            store,
+        )
+
+
+def genmax(
+    db: TransactionDatabase,
+    min_support: float | int,
+) -> MiningResult:
+    """Maximal frequent itemsets via GenMax."""
+    min_sup = resolve_min_support(db, min_support)
+    result = MiningResult(
+        dataset=db.name,
+        algorithm="genmax",
+        representation="tidset",
+        min_support=min_sup,
+        n_transactions=db.n_transactions,
+    )
+    items = [
+        (item, tids.astype(TIDSET_DTYPE))
+        for item, tids in enumerate(db.tidlists())
+        if tids.size >= min_sup
+    ]
+    if not items:
+        return result
+
+    store = _MaximalStore()
+    all_tids = np.arange(db.n_transactions, dtype=TIDSET_DTYPE)
+    _genmax(frozenset(), all_tids, items, min_sup, store)
+
+    for found, support in store.sets:
+        result.add(tuple(sorted(found)), support)
+    return result
+
+
+def maximal_itemsets_via_genmax(
+    db: TransactionDatabase, min_support: float | int
+) -> dict[Itemset, int]:
+    """Convenience wrapper returning a plain dict."""
+    return dict(genmax(db, min_support).itemsets)

@@ -1,0 +1,59 @@
+"""Canonical itemset utilities.
+
+Every itemset in the library is a sorted tuple of non-negative ints (the
+paper's standing assumption: "all items in the itemset are sorted according
+to item number").  These helpers enforce that invariant and implement the
+prefix tests both miners' candidate generation relies on.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+Itemset = tuple[int, ...]
+
+
+def canonical(items: Iterable[int]) -> Itemset:
+    """Sorted, duplicate-free tuple form of an itemset."""
+    return tuple(sorted(set(int(i) for i in items)))
+
+
+def is_canonical(items: Sequence[int]) -> bool:
+    """True when ``items`` is already sorted and duplicate-free."""
+    return all(items[i] < items[i + 1] for i in range(len(items) - 1))
+
+
+def share_prefix(a: Itemset, b: Itemset) -> bool:
+    """True when two equal-length itemsets agree on all but the last item.
+
+    This is the join condition of both Apriori's candidate generation and
+    Eclat's equivalence classes (Algorithm 2, line 5).
+    """
+    if len(a) != len(b) or not a:
+        return False
+    return a[:-1] == b[:-1]
+
+
+def join(a: Itemset, b: Itemset) -> Itemset:
+    """Join two prefix-sharing itemsets into their (k+1)-item child.
+
+    The caller must ensure ``share_prefix(a, b)`` and ``a[-1] < b[-1]``.
+    """
+    return a + (b[-1],)
+
+
+def subsets_of_size(items: Itemset, k: int) -> Iterator[Itemset]:
+    """All size-``k`` subsets, in lexicographic order."""
+    return combinations(items, k)
+
+
+def proper_subsets(items: Itemset) -> Iterator[Itemset]:
+    """All (k-1)-item subsets of a k-itemset (downward-closure check set)."""
+    return combinations(items, len(items) - 1)
+
+
+def is_subset(small: Itemset, big: Itemset) -> bool:
+    """Subset test for canonical tuples (merge scan, O(|big|))."""
+    it = iter(big)
+    return all(any(x == y for y in it) for x in small)

@@ -1,0 +1,133 @@
+"""Level-table candidate storage (the paper's trie-as-table, Section II-A).
+
+The classic Apriori implementations store candidates in a trie; the paper
+flattens the trie into "a table that stores the nodes associated with each
+level of the tree" to suit the OpenMP loop model.  :class:`LevelTable` is
+that structure: one :class:`Level` per generation, holding parallel arrays
+of candidate itemsets, parent indices, supports, and (while the generation
+is live) the vertical payloads.
+
+The parallel-Apriori instrumentation reads this table to reconstruct where
+each parent's payload lives (which simulated thread first touched it), so it
+must preserve candidate order exactly as generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidate_gen import CandidateJoin
+from repro.core.itemset import Itemset
+from repro.errors import MiningError
+from repro.representations.base import Vertical
+
+
+@dataclass
+class Level:
+    """One generation of candidates.
+
+    ``itemsets``/``left_parent``/``right_parent``/``supports`` are parallel
+    arrays over the *generated* candidates (pre-pruning).  ``kept`` marks the
+    frequent survivors; ``kept_positions`` maps each survivor to its row so
+    the next generation's parent indices can be translated back.
+    """
+
+    generation: int
+    itemsets: list[Itemset] = field(default_factory=list)
+    left_parent: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    right_parent: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    supports: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    kept: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    verticals: list[Vertical] | None = None
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.itemsets)
+
+    @property
+    def n_frequent(self) -> int:
+        return int(self.kept.sum()) if self.kept.size else 0
+
+    def kept_positions(self) -> np.ndarray:
+        """Row indices of the frequent survivors, in order."""
+        return np.nonzero(self.kept)[0]
+
+    def frequent_itemsets(self) -> list[Itemset]:
+        return [self.itemsets[i] for i in self.kept_positions()]
+
+    def frequent_verticals(self) -> list[Vertical]:
+        if self.verticals is None:
+            raise MiningError(
+                f"generation {self.generation} verticals were already released"
+            )
+        return [self.verticals[i] for i in self.kept_positions()]
+
+    def release_verticals(self) -> None:
+        """Drop payloads once the next generation has consumed them."""
+        self.verticals = None
+
+
+class LevelTable:
+    """The per-level candidate tables for one Apriori run."""
+
+    def __init__(self) -> None:
+        self._levels: list[Level] = []
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __getitem__(self, generation: int) -> Level:
+        """Level for 1-based generation number ``generation``."""
+        if generation < 1 or generation > len(self._levels):
+            raise MiningError(f"no level for generation {generation}")
+        return self._levels[generation - 1]
+
+    def levels(self) -> list[Level]:
+        return list(self._levels)
+
+    def new_level(
+        self,
+        generation: int,
+        candidates: list[CandidateJoin],
+    ) -> Level:
+        """Append the table for one generation of joined candidates."""
+        if generation != len(self._levels) + 1:
+            raise MiningError(
+                f"levels must be appended in order; expected generation "
+                f"{len(self._levels) + 1}, got {generation}"
+            )
+        level = Level(
+            generation=generation,
+            itemsets=[c.items for c in candidates],
+            left_parent=np.asarray([c.left_parent for c in candidates], np.int64),
+            right_parent=np.asarray([c.right_parent for c in candidates], np.int64),
+            supports=np.zeros(len(candidates), np.int64),
+            kept=np.zeros(len(candidates), bool),
+            verticals=[],
+        )
+        self._levels.append(level)
+        return level
+
+    def new_singleton_level(self, n_items: int) -> Level:
+        """Generation-1 table: one row per item, no parents."""
+        if self._levels:
+            raise MiningError("singleton level must be the first level")
+        level = Level(
+            generation=1,
+            itemsets=[(item,) for item in range(n_items)],
+            left_parent=np.full(n_items, -1, np.int64),
+            right_parent=np.full(n_items, -1, np.int64),
+            supports=np.zeros(n_items, np.int64),
+            kept=np.zeros(n_items, bool),
+            verticals=[],
+        )
+        self._levels.append(level)
+        return level
+
+    def total_candidates(self) -> int:
+        return sum(level.n_candidates for level in self._levels)
+
+    def total_frequent(self) -> int:
+        return sum(level.n_frequent for level in self._levels)

@@ -1,0 +1,164 @@
+"""Mining result container and support-threshold resolution."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.itemset import Itemset, canonical, is_subset
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+
+
+def resolve_min_support(db: TransactionDatabase, min_support: float | int) -> int:
+    """Turn a relative (float in (0, 1]) or absolute (int >= 1) threshold
+    into an absolute count.
+
+    The paper quotes thresholds relative to the transaction count
+    (``chess@0.2`` means 20% of transactions); benchmarks pass floats.
+    A relative threshold is rounded up so that ``support >= min_support``
+    matches the relative definition exactly.
+    """
+    if isinstance(min_support, bool):
+        raise ConfigurationError("min_support must be a number, not bool")
+    if isinstance(min_support, float):
+        if not 0.0 < min_support <= 1.0:
+            raise ConfigurationError(
+                f"relative min_support must be in (0, 1], got {min_support}"
+            )
+        # Epsilon guards against float noise like 0.3 * 10 == 3.0000000000000004
+        # flipping the ceiling up a whole transaction.
+        return max(1, math.ceil(min_support * db.n_transactions - 1e-9))
+    if min_support < 1:
+        raise ConfigurationError(
+            f"absolute min_support must be >= 1, got {min_support}"
+        )
+    return int(min_support)
+
+
+@dataclass
+class MiningResult:
+    """All frequent itemsets with their absolute supports.
+
+    Attributes
+    ----------
+    dataset:
+        Name of the mined database.
+    algorithm / representation:
+        Which miner and vertical format produced the result.
+    min_support:
+        The absolute threshold applied.
+    n_transactions:
+        Transaction count of the database (for relative supports).
+    itemsets:
+        Mapping from canonical itemset tuple to absolute support.  The empty
+        itemset is never included.
+    """
+
+    dataset: str
+    algorithm: str
+    representation: str
+    min_support: int
+    n_transactions: int
+    itemsets: dict[Itemset, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.itemsets)
+
+    def __contains__(self, items: Iterable[int]) -> bool:
+        return canonical(items) in self.itemsets
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self.itemsets)
+
+    def support(self, items: Iterable[int]) -> int:
+        """Absolute support of a frequent itemset (KeyError if infrequent)."""
+        return self.itemsets[canonical(items)]
+
+    def relative_support(self, items: Iterable[int]) -> float:
+        """Support as a fraction of the transaction count."""
+        if self.n_transactions == 0:
+            return 0.0
+        return self.support(items) / self.n_transactions
+
+    def add(self, items: Itemset, support: int) -> None:
+        """Record one frequent itemset (assumes canonical input)."""
+        self.itemsets[items] = support
+
+    # -- views ---------------------------------------------------------------
+
+    def by_size(self) -> dict[int, dict[Itemset, int]]:
+        """Frequent itemsets grouped by cardinality (generation)."""
+        grouped: dict[int, dict[Itemset, int]] = defaultdict(dict)
+        for items, support in self.itemsets.items():
+            grouped[len(items)][items] = support
+        return dict(grouped)
+
+    def k_itemsets(self, k: int) -> dict[Itemset, int]:
+        """All frequent itemsets of exactly ``k`` items."""
+        return {i: s for i, s in self.itemsets.items() if len(i) == k}
+
+    def max_size(self) -> int:
+        """Largest frequent itemset cardinality (0 when empty)."""
+        return max((len(i) for i in self.itemsets), default=0)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        sizes = self.by_size()
+        per_size = ", ".join(f"|L{k}|={len(v)}" for k, v in sorted(sizes.items()))
+        return (
+            f"{self.algorithm}/{self.representation} on {self.dataset} "
+            f"(min_support={self.min_support}/{self.n_transactions}): "
+            f"{len(self)} frequent itemsets [{per_size}]"
+        )
+
+    # -- comparisons -----------------------------------------------------------
+
+    def same_itemsets(self, other: "MiningResult") -> bool:
+        """True when both results found identical itemset->support maps.
+
+        This is the cross-algorithm correctness check: two miners agree iff
+        this holds, regardless of which algorithm or format produced them.
+        """
+        return self.itemsets == other.itemsets
+
+    def difference(self, other: "MiningResult") -> dict[str, dict[Itemset, object]]:
+        """Diagnostic diff against another result (for test failure output)."""
+        only_self = {i: s for i, s in self.itemsets.items() if i not in other.itemsets}
+        only_other = {
+            i: s for i, s in other.itemsets.items() if i not in self.itemsets
+        }
+        support_mismatch = {
+            i: (s, other.itemsets[i])
+            for i, s in self.itemsets.items()
+            if i in other.itemsets and other.itemsets[i] != s
+        }
+        return {
+            "only_self": only_self,
+            "only_other": only_other,
+            "support_mismatch": support_mismatch,
+        }
+
+
+def from_mapping(
+    mapping: Mapping[Iterable[int], int],
+    *,
+    dataset: str = "unnamed",
+    algorithm: str = "manual",
+    representation: str = "none",
+    min_support: int = 1,
+    n_transactions: int = 0,
+) -> MiningResult:
+    """Build a result from a plain mapping (test convenience)."""
+    result = MiningResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        representation=representation,
+        min_support=min_support,
+        n_transactions=n_transactions,
+    )
+    for items, support in mapping.items():
+        result.add(canonical(items), int(support))
+    return result

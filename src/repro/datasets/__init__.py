@@ -1,0 +1,57 @@
+"""Transaction database substrate: containers, parsers, and generators."""
+
+from repro.datasets.transaction_db import DatasetStats, TransactionDatabase
+from repro.datasets.fimi import dumps_fimi, parse_fimi, read_fimi, write_fimi
+from repro.datasets.synthetic import (
+    DenseAttributeGenerator,
+    QuestGenerator,
+    split_domains,
+)
+from repro.datasets.benchmark_suite import (
+    PAPER_STATS,
+    load_all_benchmark_datasets,
+    load_benchmark_dataset,
+    make_chess,
+    make_mushroom,
+    make_pumsb,
+    make_pumsb_star,
+)
+from repro.datasets.perturb import (
+    add_noise,
+    sample_transactions,
+    split,
+    support_drift,
+)
+from repro.datasets.registry import (
+    available_datasets,
+    clear_cache,
+    get_dataset,
+    register_dataset,
+)
+
+__all__ = [
+    "DatasetStats",
+    "TransactionDatabase",
+    "parse_fimi",
+    "read_fimi",
+    "write_fimi",
+    "dumps_fimi",
+    "QuestGenerator",
+    "DenseAttributeGenerator",
+    "split_domains",
+    "PAPER_STATS",
+    "make_chess",
+    "make_mushroom",
+    "make_pumsb",
+    "make_pumsb_star",
+    "load_benchmark_dataset",
+    "load_all_benchmark_datasets",
+    "available_datasets",
+    "sample_transactions",
+    "split",
+    "add_noise",
+    "support_drift",
+    "get_dataset",
+    "register_dataset",
+    "clear_cache",
+]

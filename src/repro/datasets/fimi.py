@@ -1,0 +1,82 @@
+"""Reader/writer for the FIMI repository text format.
+
+The Frequent Itemset Mining Implementations repository (fimi.cs.helsinki.fi)
+distributes every benchmark dataset (chess, mushroom, pumsb, ...) as plain
+text: one transaction per line, items as whitespace-separated non-negative
+integers.  This module parses and emits that format so the real files can be
+dropped into the benchmark harness when available; the surrogates in
+:mod:`repro.datasets.benchmark_suite` are used otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import DatasetError
+from repro.datasets.transaction_db import TransactionDatabase
+
+
+def parse_fimi(text: str, name: str = "fimi") -> TransactionDatabase:
+    """Parse FIMI-format text into a :class:`TransactionDatabase`.
+
+    Blank lines are treated as empty transactions (they count toward the
+    transaction total, matching how the FIMI tools behave).  Anything that is
+    not a non-negative integer raises :class:`DatasetError` with the line
+    number.
+    """
+    return read_fimi(io.StringIO(text), name=name)
+
+
+def read_fimi(source: TextIO | str | Path, name: str | None = None) -> TransactionDatabase:
+    """Read a FIMI ``.dat`` file (path or open text handle)."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", encoding="ascii") as handle:
+            return read_fimi(handle, name=name or path.stem)
+    transactions: list[list[int]] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            transactions.append([])
+            continue
+        try:
+            items = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise DatasetError(f"line {lineno}: non-integer token ({exc})") from exc
+        if any(i < 0 for i in items):
+            raise DatasetError(f"line {lineno}: negative item id")
+        transactions.append(items)
+    # Trailing blank lines are an artifact of text files, not transactions.
+    while transactions and not transactions[-1]:
+        transactions.pop()
+    return TransactionDatabase(transactions, name=name or "fimi")
+
+
+def write_fimi(db: TransactionDatabase, target: TextIO | str | Path) -> None:
+    """Write a database in FIMI format (round-trips with :func:`read_fimi`)."""
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w", encoding="ascii") as handle:
+            write_fimi(db, handle)
+        return
+    for transaction in db:
+        target.write(" ".join(str(int(i)) for i in transaction))
+        target.write("\n")
+
+
+def dumps_fimi(db: TransactionDatabase) -> str:
+    """FIMI text for a database (convenience wrapper over :func:`write_fimi`)."""
+    buf = io.StringIO()
+    write_fimi(db, buf)
+    return buf.getvalue()
+
+
+def load_any(paths: Iterable[str | Path]) -> list[TransactionDatabase]:
+    """Load several FIMI files, skipping paths that do not exist."""
+    out = []
+    for p in paths:
+        p = Path(p)
+        if p.exists():
+            out.append(read_fimi(p))
+    return out

@@ -1,0 +1,315 @@
+"""Synthetic transaction data generators.
+
+Two families are provided:
+
+* :class:`QuestGenerator` — a from-scratch implementation of the IBM Quest
+  market-basket generator (Agrawal & Srikant, VLDB'94) that produced the
+  classic ``T..I..D..`` datasets such as T40I10D100K, which the paper tested
+  and found non-scalable once the thread count exceeds the number of
+  (frequent) items.
+
+* :class:`DenseAttributeGenerator` — a dense, attribute-valued generator used
+  to build surrogates for the UCI-derived FIMI datasets (chess, mushroom,
+  pumsb, pumsb_star).  Those datasets are discretized attribute tables: every
+  transaction has exactly one item per attribute, so the average transaction
+  length equals the attribute count and the data is extremely dense — the
+  regime where diffsets shine.  The generator models inter-attribute
+  correlation through latent classes so that large frequent itemsets exist.
+
+Both generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.datasets.transaction_db import TransactionDatabase
+
+
+# ---------------------------------------------------------------------------
+# IBM Quest-style generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QuestGenerator:
+    """IBM Quest-style synthetic basket generator.
+
+    Parameters mirror the classic naming: a dataset ``T{t}I{i}D{d}`` has
+    average transaction length ``t``, average potentially-frequent-pattern
+    length ``i`` and ``d`` transactions.
+
+    Attributes
+    ----------
+    n_items:
+        Universe size ``N``.
+    avg_transaction_length:
+        ``T`` — mean of the Poisson transaction length.
+    avg_pattern_length:
+        ``I`` — mean of the Poisson pattern length.
+    n_patterns:
+        ``L`` — size of the pool of potentially frequent itemsets.
+    correlation:
+        Fraction of each pattern's items drawn from the previous pattern
+        (Quest default 0.5); creates overlapping patterns.
+    mean_corruption:
+        Mean of the per-pattern corruption level (Quest default 0.5): items
+        are dropped from a pattern instance while a uniform draw stays below
+        the level, making patterns appear partially.
+    seed:
+        RNG seed; the generator is fully deterministic.
+    """
+
+    n_items: int = 1000
+    avg_transaction_length: float = 10.0
+    avg_pattern_length: float = 4.0
+    n_patterns: int = 200
+    correlation: float = 0.5
+    mean_corruption: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_items <= 0:
+            raise ConfigurationError("n_items must be positive")
+        if self.avg_transaction_length <= 0 or self.avg_pattern_length <= 0:
+            raise ConfigurationError("average lengths must be positive")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ConfigurationError("correlation must be in [0, 1]")
+
+    def _build_pattern_pool(
+        self, rng: np.random.Generator
+    ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+        """The pool of potentially frequent itemsets with weights and
+        corruption levels."""
+        # Item popularity is skewed (Zipf-like) as in Quest.
+        ranks = np.arange(1, self.n_items + 1, dtype=np.float64)
+        popularity = 1.0 / ranks
+        popularity /= popularity.sum()
+
+        patterns: list[np.ndarray] = []
+        previous: np.ndarray | None = None
+        for _ in range(self.n_patterns):
+            size = max(1, int(rng.poisson(self.avg_pattern_length)))
+            size = min(size, self.n_items)
+            chosen: set[int] = set()
+            if previous is not None and previous.size:
+                n_carry = int(round(self.correlation * min(size, previous.size)))
+                if n_carry:
+                    carry = rng.choice(previous, size=n_carry, replace=False)
+                    chosen.update(int(c) for c in carry)
+            while len(chosen) < size:
+                chosen.add(int(rng.choice(self.n_items, p=popularity)))
+            pattern = np.asarray(sorted(chosen), dtype=np.int64)
+            patterns.append(pattern)
+            previous = pattern
+
+        weights = rng.exponential(scale=1.0, size=self.n_patterns)
+        weights /= weights.sum()
+        corruption = np.clip(
+            rng.normal(self.mean_corruption, 0.1, size=self.n_patterns), 0.0, 0.95
+        )
+        return patterns, weights, corruption
+
+    def generate(self, n_transactions: int, name: str | None = None) -> TransactionDatabase:
+        """Generate ``n_transactions`` baskets."""
+        if n_transactions < 0:
+            raise ConfigurationError("n_transactions must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        patterns, weights, corruption = self._build_pattern_pool(rng)
+
+        transactions: list[list[int]] = []
+        for _ in range(n_transactions):
+            target_len = max(1, int(rng.poisson(self.avg_transaction_length)))
+            basket: set[int] = set()
+            # Fill the basket from weighted patterns until the target length
+            # is reached; oversized final patterns are kept half the time
+            # (the Quest rule).
+            guard = 0
+            while len(basket) < target_len and guard < 64:
+                guard += 1
+                idx = int(rng.choice(self.n_patterns, p=weights))
+                pattern = patterns[idx]
+                level = corruption[idx]
+                kept = pattern[rng.random(pattern.size) >= level]
+                if kept.size == 0:
+                    continue
+                if len(basket) + kept.size > target_len and basket:
+                    if rng.random() < 0.5:
+                        break
+                basket.update(int(i) for i in kept)
+            transactions.append(sorted(basket))
+
+        label = name or (
+            f"T{int(self.avg_transaction_length)}"
+            f"I{int(self.avg_pattern_length)}"
+            f"D{n_transactions}"
+        )
+        return TransactionDatabase(transactions, n_items=self.n_items, name=label)
+
+
+# ---------------------------------------------------------------------------
+# Dense attribute-valued generator (UCI surrogate substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DenseAttributeGenerator:
+    """Dense attribute-table generator.
+
+    Models a discretized relational table: ``n_attributes`` columns, column
+    ``j`` having ``domain_sizes[j]`` possible values.  Every row (transaction)
+    contains exactly one item per column, so the transaction length is the
+    attribute count, as in chess/mushroom/pumsb.
+
+    Correlation is induced by ``n_classes`` latent classes: each class has a
+    preferred value per attribute, picked with probability ``peak``; the
+    remaining mass is spread over the domain with a Zipf profile.  Dense
+    frequent itemsets then arise from class-consistent value combinations —
+    the same mechanism that makes the UCI datasets pathologically dense for
+    tidset-based miners.
+
+    Attributes
+    ----------
+    domain_sizes:
+        Per-attribute domain cardinality.  Item ids are allocated
+        contiguously per attribute.
+    n_classes:
+        Number of latent classes.
+    peak:
+        Probability that an attribute takes its class-preferred value.
+    zipf_s:
+        Zipf exponent for the non-preferred mass.
+    n_shared_attributes:
+        The first this-many attributes are *shared*: they take one
+        class-independent dominant value with a per-attribute probability
+        drawn from a linear ladder between ``shared_peak`` (first
+        attribute) and ``shared_floor`` (last).  Deviations are independent
+        and rare at the top of the ladder, so itemsets over the dominant
+        values lose only a sliver of support per added item — the property
+        of real census/endgame tables that makes deep diffsets orders of
+        magnitude smaller than the corresponding tidsets.  pumsb_star is
+        produced by stripping the >= 80%-support items this creates.
+    shared_peak / shared_floor:
+        Top and bottom of the dominance ladder.
+    seed:
+        RNG seed.
+    """
+
+    domain_sizes: tuple[int, ...] = (2, 2, 2)
+    n_classes: int = 2
+    peak: float = 0.7
+    zipf_s: float = 1.2
+    n_shared_attributes: int = 0
+    shared_peak: float = 0.95
+    shared_floor: float = 0.74
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.domain_sizes or any(d <= 0 for d in self.domain_sizes):
+            raise ConfigurationError("domain_sizes must be positive")
+        if self.n_classes <= 0:
+            raise ConfigurationError("n_classes must be positive")
+        if not 0.0 <= self.peak < 1.0:
+            raise ConfigurationError("peak must be in [0, 1)")
+        if not 0 <= self.n_shared_attributes <= len(self.domain_sizes):
+            raise ConfigurationError(
+                "n_shared_attributes must be within the attribute count"
+            )
+        if not 0.0 <= self.shared_peak < 1.0:
+            raise ConfigurationError("shared_peak must be in [0, 1)")
+        if not 0.0 <= self.shared_floor <= self.shared_peak:
+            raise ConfigurationError(
+                "shared_floor must be in [0, shared_peak]"
+            )
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.domain_sizes)
+
+    @property
+    def n_items(self) -> int:
+        return int(sum(self.domain_sizes))
+
+    def _item_offsets(self) -> np.ndarray:
+        return np.concatenate([[0], np.cumsum(self.domain_sizes)[:-1]]).astype(np.int64)
+
+    def generate(self, n_transactions: int, name: str = "dense") -> TransactionDatabase:
+        """Generate ``n_transactions`` rows."""
+        if n_transactions < 0:
+            raise ConfigurationError("n_transactions must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        offsets = self._item_offsets()
+
+        # Class priors: mildly skewed so some classes dominate (creates very
+        # frequent value combinations, as in chess endgame tables).
+        priors = rng.dirichlet(np.full(self.n_classes, 2.0))
+
+        # Preferred value per (class, attribute) and base Zipf profile per
+        # attribute.
+        preferred = [
+            rng.integers(0, d, size=self.n_classes) for d in self.domain_sizes
+        ]
+        zipf_profiles = []
+        for d in self.domain_sizes:
+            ranks = np.arange(1, d + 1, dtype=np.float64)
+            profile = ranks ** (-self.zipf_s)
+            profile /= profile.sum()
+            zipf_profiles.append(profile)
+
+        classes = rng.choice(self.n_classes, size=n_transactions, p=priors)
+        # Dominance ladder for the shared attributes: attribute j keeps its
+        # dominant value with probability descending from shared_peak to
+        # shared_floor, deviations independent across attributes and rows.
+        n_shared = self.n_shared_attributes
+        if n_shared > 1:
+            # Concave descent: most shared attributes sit near the peak
+            # (real census tables have many near-constant columns), with a
+            # short tail down to the floor.
+            frac = np.linspace(0.0, 1.0, n_shared)
+            ladder = self.shared_floor + (self.shared_peak - self.shared_floor) * np.sqrt(
+                1.0 - frac
+            )
+        else:
+            ladder = np.full(n_shared, self.shared_peak)
+        columns: list[np.ndarray] = []
+        for j, d in enumerate(self.domain_sizes):
+            zipf_vals = rng.choice(d, size=n_transactions, p=zipf_profiles[j])
+            if j < n_shared:
+                dominant = int(rng.integers(0, d))
+                keep = rng.random(n_transactions) < ladder[j]
+                values = np.where(keep, dominant, zipf_vals)
+            else:
+                class_vals = preferred[j][classes]
+                use_peak = rng.random(n_transactions) < self.peak
+                values = np.where(use_peak, class_vals, zipf_vals)
+            columns.append(values + offsets[j])
+        matrix = np.stack(columns, axis=1).astype(np.int32)
+
+        # Rows are strictly increasing by construction (one value per
+        # attribute, contiguous id ranges), so the canonical fast path holds.
+        return TransactionDatabase(
+            list(matrix), n_items=self.n_items, name=name, assume_canonical=True
+        )
+
+
+def split_domains(n_attributes: int, n_items: int, seed: int = 0) -> tuple[int, ...]:
+    """Partition ``n_items`` values across ``n_attributes`` domains.
+
+    Used by the benchmark-suite surrogates to hit an exact Table I item
+    count: every attribute gets at least two values and the remainder is
+    spread deterministically.
+    """
+    if n_attributes <= 0:
+        raise ConfigurationError("n_attributes must be positive")
+    if n_items < 2 * n_attributes:
+        raise ConfigurationError("need at least two values per attribute")
+    base = n_items // n_attributes
+    extra = n_items - base * n_attributes
+    rng = np.random.default_rng(seed)
+    sizes = np.full(n_attributes, base, dtype=np.int64)
+    bump = rng.choice(n_attributes, size=extra, replace=False)
+    sizes[bump] += 1
+    return tuple(int(s) for s in sizes)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent combination of parameters."""
+
+
+class DatasetError(ReproError):
+    """A transaction database is malformed or cannot be parsed."""
+
+
+class RepresentationError(ReproError):
+    """A vertical representation was used outside its contract.
+
+    Examples: combining candidates built against different databases, or
+    requesting the diffset recurrence for candidates with mismatched
+    prefixes.
+    """
+
+
+class MiningError(ReproError):
+    """A mining algorithm detected an internal inconsistency."""
+
+
+class SimulationError(ReproError):
+    """The machine or scheduler simulator was driven into an invalid state."""

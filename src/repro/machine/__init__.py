@@ -1,0 +1,40 @@
+"""NUMA shared-memory machine model (the Blacklight substitute)."""
+
+from repro.machine.blacklight import BLACKLIGHT, UNIFORM_MEMORY, MachineSpec
+from repro.machine.cost_model import CostModel
+from repro.machine.memory_model import (
+    PlacementMap,
+    first_touch_placement,
+    interleaved_placement,
+    per_blade_link_traffic,
+    remote_read_bytes,
+)
+from repro.machine.smt import smt_machine
+from repro.machine.topology import NumaTopology, standard_thread_counts
+from repro.machine.analytic import (
+    WorkloadSummary,
+    amdahl_speedup,
+    efficiency_at,
+    saturation_threads,
+    speedup_upper_bound,
+)
+
+__all__ = [
+    "MachineSpec",
+    "BLACKLIGHT",
+    "UNIFORM_MEMORY",
+    "CostModel",
+    "NumaTopology",
+    "standard_thread_counts",
+    "smt_machine",
+    "WorkloadSummary",
+    "amdahl_speedup",
+    "speedup_upper_bound",
+    "saturation_threads",
+    "efficiency_at",
+    "PlacementMap",
+    "interleaved_placement",
+    "first_touch_placement",
+    "remote_read_bytes",
+    "per_blade_link_traffic",
+]

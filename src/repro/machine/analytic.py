@@ -1,0 +1,99 @@
+"""Closed-form scalability bounds — the simulator's sanity envelope.
+
+Given a workload summary (total parallel work, serial work, remote bytes,
+task-count limit), classical laws bound what any schedule can achieve:
+
+* Amdahl: ``S(T) <= (w_s + w_p) / (w_s + w_p / T)``;
+* task-count: ``S(T) <= min(T, n_tasks) * (1 + imbalance)^-1`` — no
+  schedule beats the largest-task critical path;
+* interconnect: time >= remote bytes / bisection bandwidth.
+
+The test suite checks that the event-level simulator never reports a
+speedup above these bounds (a strong internal-consistency property), and
+the examples use the bounds to annotate where each curve *must* flatten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """The aggregates the analytic bounds need."""
+
+    #: Perfectly parallelizable work, in seconds at one thread.
+    parallel_seconds: float
+    #: Serial work (load, candidate generation), in seconds.
+    serial_seconds: float
+    #: Bytes that must cross the interconnect at full machine width.
+    remote_bytes: float = 0.0
+    #: Number of independent tasks (caps usable threads); None = unbounded.
+    n_tasks: int | None = None
+    #: Largest single task, in seconds (critical path floor).
+    max_task_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.parallel_seconds < 0 or self.serial_seconds < 0:
+            raise ConfigurationError("work terms must be non-negative")
+        if self.max_task_seconds > self.parallel_seconds + 1e-12:
+            raise ConfigurationError(
+                "max task cannot exceed the total parallel work"
+            )
+
+
+def amdahl_speedup(summary: WorkloadSummary, n_threads: int) -> float:
+    """Amdahl's law for the serial/parallel split."""
+    if n_threads < 1:
+        raise ConfigurationError("n_threads must be >= 1")
+    total = summary.serial_seconds + summary.parallel_seconds
+    if total == 0:
+        return 1.0
+    floor = summary.serial_seconds + summary.parallel_seconds / n_threads
+    return total / floor if floor > 0 else float("inf")
+
+
+def speedup_upper_bound(
+    summary: WorkloadSummary,
+    n_threads: int,
+    machine: MachineSpec = BLACKLIGHT,
+) -> float:
+    """The tightest of the classical upper bounds at ``n_threads``.
+
+    Composes Amdahl with the critical-path floor (largest task), the
+    task-count cap, and the bisection floor for the remote traffic.
+    """
+    total = summary.serial_seconds + summary.parallel_seconds
+    if total == 0:
+        return 1.0
+    effective_threads = n_threads
+    if summary.n_tasks is not None:
+        effective_threads = min(n_threads, max(summary.n_tasks, 1))
+    time_floor = summary.serial_seconds + max(
+        summary.parallel_seconds / effective_threads,
+        summary.max_task_seconds,
+        (summary.remote_bytes / machine.bisection_bandwidth)
+        if n_threads > machine.cores_per_blade
+        else 0.0,
+    )
+    return total / time_floor if time_floor > 0 else float("inf")
+
+
+def saturation_threads(summary: WorkloadSummary) -> float:
+    """Thread count beyond which Amdahl alone halts meaningful gains.
+
+    Defined as the T where the parallel share drops to the serial share
+    (the knee of the Amdahl curve); infinite for a fully parallel load.
+    """
+    if summary.serial_seconds == 0:
+        return float("inf")
+    return summary.parallel_seconds / summary.serial_seconds
+
+
+def efficiency_at(summary: WorkloadSummary, n_threads: int,
+                  machine: MachineSpec = BLACKLIGHT) -> float:
+    """Upper-bound parallel efficiency at ``n_threads``."""
+    return speedup_upper_bound(summary, n_threads, machine) / n_threads

@@ -1,0 +1,95 @@
+"""Translate measured operation counts into simulated seconds.
+
+Per-task time on a core is composed of three sequential phases (the kernels
+are streaming loops, so compute and memory phases overlap poorly for the
+set-merge representations):
+
+* compute: ``cpu_ops / element_rate``;
+* local traffic: ``(local_read + written) / local_bandwidth`` — written
+  payloads are always first-touched locally;
+* remote traffic: latency per chunk plus the bytes at the per-thread remote
+  stream rate.
+
+The aggregate interconnect constraint (a blade link cannot move more than
+``link_bandwidth`` bytes per second, no matter how many threads want it) is
+applied by the scheduler simulator, which knows the task-to-blade
+assignment; this module only prices individual tasks and serial phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Vectorized pricing of tasks on a given machine."""
+
+    spec: MachineSpec = BLACKLIGHT
+
+    def compute_time(self, cpu_ops: np.ndarray | float) -> np.ndarray | float:
+        """Seconds of pure element processing."""
+        return np.asarray(cpu_ops, dtype=np.float64) / self.spec.element_rate
+
+    def local_time(self, local_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Seconds to move bytes through blade-local memory."""
+        return np.asarray(local_bytes, dtype=np.float64) / self.spec.local_bandwidth
+
+    def remote_time(self, remote_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Seconds for one thread to pull bytes from a remote blade.
+
+        Zero bytes cost zero (no gratuitous latency charge); otherwise each
+        started chunk pays the round-trip latency and the payload streams at
+        the per-thread remote rate.
+        """
+        b = np.asarray(remote_bytes, dtype=np.float64)
+        chunks = np.ceil(b / self.spec.remote_chunk_bytes)
+        time = chunks * self.spec.remote_latency + b / self.spec.remote_stream_bandwidth
+        return np.where(b > 0, time, 0.0)
+
+    def task_time(
+        self,
+        cpu_ops: np.ndarray | float,
+        local_bytes: np.ndarray | float,
+        remote_bytes: np.ndarray | float,
+    ) -> np.ndarray:
+        """Total per-task seconds as seen by the executing thread."""
+        return np.asarray(
+            self.compute_time(cpu_ops)
+            + self.local_time(local_bytes)
+            + self.remote_time(remote_bytes),
+            dtype=np.float64,
+        )
+
+    def serial_time(self, ops: float) -> float:
+        """Seconds of a serial (single-thread, local-data) phase."""
+        return float(ops) / self.spec.serial_op_rate
+
+    def fork_join_time(self, n_threads: int) -> float:
+        """Cost of opening + closing one parallel region with T threads."""
+        if n_threads <= 1:
+            return 0.0
+        return (
+            self.spec.fork_join_base
+            + self.spec.fork_join_per_log2_thread * float(np.log2(n_threads))
+        )
+
+    def link_serialization_time(
+        self, per_blade_traffic_bytes: np.ndarray
+    ) -> float:
+        """Lower bound from the busiest blade link."""
+        if per_blade_traffic_bytes.size == 0:
+            return 0.0
+        return float(per_blade_traffic_bytes.max()) / self.spec.link_bandwidth
+
+    def bisection_time(self, total_remote_bytes: float) -> float:
+        """Lower bound from aggregate interconnect throughput."""
+        return float(total_remote_bytes) / self.spec.bisection_bandwidth
+
+    def iteration_overhead_time(self, n_iterations: int = 1) -> float:
+        """Per-iteration bookkeeping cost (payload-independent)."""
+        return self.spec.iteration_overhead_ops * n_iterations / self.spec.element_rate

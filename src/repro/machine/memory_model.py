@@ -1,0 +1,94 @@
+"""First-touch page placement tracking.
+
+On a NUMA Linux/SGI system, a page is physically allocated on the blade of
+the first thread that writes it.  For the miners this means a candidate's
+vertical payload lives wherever its support-counting task ran, and the
+next generation's tasks pay remote-access costs whenever they read a parent
+that was first-touched on another blade.  :class:`PlacementMap` records the
+home blade of every candidate in a generation; :func:`interleaved_placement`
+models the shared base data (loaded serially, pages striped round-robin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machine.topology import NumaTopology
+
+
+@dataclass(frozen=True)
+class PlacementMap:
+    """Home blade of each candidate payload in one generation."""
+
+    home_blades: np.ndarray  # int64, one entry per candidate
+
+    def __post_init__(self) -> None:
+        if self.home_blades.ndim != 1:
+            raise SimulationError("home_blades must be one-dimensional")
+
+    def __len__(self) -> int:
+        return int(self.home_blades.size)
+
+    def homes_of(self, indices: np.ndarray) -> np.ndarray:
+        """Home blades of the given candidate indices."""
+        return self.home_blades[indices]
+
+    def select(self, keep_mask: np.ndarray) -> "PlacementMap":
+        """Placement of the surviving candidates only (post-pruning view)."""
+        return PlacementMap(self.home_blades[keep_mask])
+
+
+def interleaved_placement(n_entries: int, topology: NumaTopology) -> PlacementMap:
+    """Round-robin home blades for serially-initialized shared data."""
+    homes = np.arange(n_entries, dtype=np.int64) % topology.n_blades
+    return PlacementMap(homes)
+
+
+def first_touch_placement(
+    iteration_thread: np.ndarray, topology: NumaTopology
+) -> PlacementMap:
+    """Home blade of each candidate = blade of the thread that computed it."""
+    threads = np.asarray(iteration_thread, dtype=np.int64)
+    if threads.size and (threads.min() < 0 or threads.max() >= topology.n_threads):
+        raise SimulationError(
+            "iteration_thread contains ids outside the team "
+            f"[0, {topology.n_threads})"
+        )
+    return PlacementMap(np.asarray(topology.blade_of_thread(threads), np.int64))
+
+
+def remote_read_bytes(
+    reader_blades: np.ndarray,
+    parent_homes: np.ndarray,
+    parent_bytes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split each read into (local_bytes, remote_bytes) by blade match."""
+    remote_mask = reader_blades != parent_homes
+    remote = np.where(remote_mask, parent_bytes, 0)
+    local = np.where(remote_mask, 0, parent_bytes)
+    return local, remote
+
+
+def per_blade_link_traffic(
+    reader_blades: np.ndarray,
+    parent_homes: np.ndarray,
+    parent_bytes: np.ndarray,
+    n_blades: int,
+) -> np.ndarray:
+    """Total bytes crossing each blade's link (in + out), per blade.
+
+    A remote read of B bytes loads both the reader's link (inbound) and the
+    home blade's link (outbound); local reads load neither.  The scheduler
+    simulator takes ``max(traffic / link_bandwidth)`` over blades as the
+    interconnect-serialization lower bound — this is the hot-spot effect
+    that throttles Apriori when one blade homes the popular parents.
+    """
+    remote_mask = reader_blades != parent_homes
+    traffic = np.zeros(n_blades, dtype=np.float64)
+    if remote_mask.any():
+        np.add.at(traffic, parent_homes[remote_mask], parent_bytes[remote_mask])
+        np.add.at(traffic, reader_blades[remote_mask], parent_bytes[remote_mask])
+    return traffic

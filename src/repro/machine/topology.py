@@ -1,0 +1,75 @@
+"""NUMA topology model: blades, cores, and thread-to-blade mapping.
+
+Blacklight (the paper's testbed, Section V) is an SGI Altix UV 1000: 256
+blades, each holding two 8-core Nehalem-EX sockets (16 cores) and 128 GB of
+blade-local memory, joined by a NumaLink 5 interconnect.  Threads are pinned
+in blade order — the paper scales "16 processors (one blade) to 1024
+processors (64 blades)" — so thread ``t`` runs on blade ``t // 16``.
+
+Only the properties the cost model consumes are represented: how many
+blades a team spans, which blade a thread (and therefore its first-touch
+pages) belongs to, and how many cores share each blade's interconnect link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """A team of threads laid out across NUMA blades."""
+
+    n_threads: int
+    cores_per_blade: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ConfigurationError("n_threads must be >= 1")
+        if self.cores_per_blade < 1:
+            raise ConfigurationError("cores_per_blade must be >= 1")
+
+    @property
+    def n_blades(self) -> int:
+        """Blades spanned by the team (partially filled blades count)."""
+        return -(-self.n_threads // self.cores_per_blade)
+
+    def blade_of_thread(self, thread: int | np.ndarray) -> int | np.ndarray:
+        """Blade hosting ``thread`` (vectorized over arrays)."""
+        return thread // self.cores_per_blade
+
+    def threads_on_blade(self, blade: int) -> int:
+        """How many of the team's threads live on ``blade``."""
+        if blade < 0 or blade >= self.n_blades:
+            raise ConfigurationError(
+                f"blade {blade} out of range for {self.n_blades} blades"
+            )
+        start = blade * self.cores_per_blade
+        return max(0, min(self.n_threads - start, self.cores_per_blade))
+
+    def interleaved_home(self, index: int | np.ndarray) -> int | np.ndarray:
+        """Home blade of page ``index`` under round-robin interleaving.
+
+        Shared base data (the generation-1 verticals) is modelled as
+        page-interleaved across the team's blades, the usual allocation
+        policy for data initialized by a serial loader on a big SMP.
+        """
+        return index % self.n_blades
+
+    def is_single_blade(self) -> bool:
+        """True when all threads share one blade (zero NUMA traffic)."""
+        return self.n_blades == 1
+
+
+def standard_thread_counts(max_threads: int = 1024) -> list[int]:
+    """The paper's sweep: 1 (baseline) then one to 64 blades doubling."""
+    counts = [1]
+    t = 16
+    while t <= max_threads:
+        counts.append(t)
+        t *= 2
+    return counts

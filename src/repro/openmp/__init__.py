@@ -1,0 +1,27 @@
+"""OpenMP-style loop scheduling and parallel-region simulation."""
+
+from repro.openmp.schedule import (
+    APRIORI_SCHEDULE,
+    ECLAT_SCHEDULE,
+    ScheduleSpec,
+    chunk_boundaries,
+    static_assignment,
+)
+from repro.openmp.simulator import ParallelForOutcome, simulate_parallel_for
+from repro.openmp.team import RegionResult, ThreadTeam
+from repro.openmp.events import ChunkEvent, check_trace, load_balance_summary
+
+__all__ = [
+    "ScheduleSpec",
+    "APRIORI_SCHEDULE",
+    "ECLAT_SCHEDULE",
+    "static_assignment",
+    "chunk_boundaries",
+    "ParallelForOutcome",
+    "simulate_parallel_for",
+    "ThreadTeam",
+    "RegionResult",
+    "ChunkEvent",
+    "check_trace",
+    "load_balance_summary",
+]

@@ -1,0 +1,80 @@
+"""Execution-trace events emitted by the parallel-for simulator.
+
+The simulator can optionally record a :class:`ChunkEvent` per dispatched
+chunk.  Tests use the trace to check scheduling invariants (every iteration
+executed exactly once, threads never overlap themselves, dynamic dispatch
+order respects availability); examples use it to visualize load balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkEvent:
+    """One chunk's execution record."""
+
+    thread: int
+    start_iteration: int
+    end_iteration: int  # exclusive
+    start_time: float
+    end_time: float
+
+    @property
+    def n_iterations(self) -> int:
+        return self.end_iteration - self.start_iteration
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+def check_trace(events: list[ChunkEvent], n_iterations: int) -> None:
+    """Validate a trace: full coverage, no overlap per thread.
+
+    Raises :class:`SimulationError` on the first violation; used as a
+    self-check by tests and available to callers who extend the simulator.
+    """
+    covered = np.zeros(n_iterations, dtype=np.int64)
+    for ev in events:
+        if ev.start_iteration < 0 or ev.end_iteration > n_iterations:
+            raise SimulationError(f"chunk {ev} outside the iteration space")
+        if ev.end_time < ev.start_time:
+            raise SimulationError(f"chunk {ev} ends before it starts")
+        covered[ev.start_iteration : ev.end_iteration] += 1
+    missing = np.nonzero(covered == 0)[0]
+    if missing.size:
+        raise SimulationError(f"iterations never executed: {missing[:10].tolist()}")
+    doubled = np.nonzero(covered > 1)[0]
+    if doubled.size:
+        raise SimulationError(f"iterations executed twice: {doubled[:10].tolist()}")
+
+    by_thread: dict[int, list[ChunkEvent]] = {}
+    for ev in events:
+        by_thread.setdefault(ev.thread, []).append(ev)
+    for thread, evs in by_thread.items():
+        evs.sort(key=lambda e: e.start_time)
+        for prev, cur in zip(evs, evs[1:]):
+            if cur.start_time < prev.end_time - 1e-12:
+                raise SimulationError(
+                    f"thread {thread} overlaps itself: {prev} then {cur}"
+                )
+
+
+def load_balance_summary(events: list[ChunkEvent], n_threads: int) -> dict[str, float]:
+    """Busy-time statistics across threads (imbalance diagnostics)."""
+    busy = np.zeros(n_threads, dtype=np.float64)
+    for ev in events:
+        busy[ev.thread] += ev.duration
+    if busy.max() == 0.0:
+        return {"max_busy": 0.0, "mean_busy": 0.0, "imbalance": 0.0}
+    return {
+        "max_busy": float(busy.max()),
+        "mean_busy": float(busy.mean()),
+        "imbalance": float(busy.max() / busy.mean() - 1.0) if busy.mean() else 0.0,
+    }

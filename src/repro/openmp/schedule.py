@@ -1,0 +1,119 @@
+"""OpenMP 3.0 loop-schedule semantics: static, dynamic, guided.
+
+The paper's implementations hang everything on the OpenMP scheduler:
+parallel Apriori uses ``schedule(static)`` (Section III — "the static
+scheduling can partition the workload as there [are] enough iterations"),
+parallel Eclat uses ``schedule(dynamic, 1)`` (Section IV — "we choose the
+chunksize to as small as possible ... so that the load imbalance can be
+minimized").  This module reproduces how each schedule carves an iteration
+space into chunks and, for static, which thread owns each chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ScheduleKind = Literal["static", "dynamic", "guided"]
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """An OpenMP ``schedule(kind[, chunk])`` clause."""
+
+    kind: ScheduleKind = "static"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("static", "dynamic", "guided"):
+            raise ConfigurationError(f"unknown schedule kind {self.kind!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+
+    def __str__(self) -> str:
+        chunk = "" if self.chunk_size is None else f",{self.chunk_size}"
+        return f"schedule({self.kind}{chunk})"
+
+
+#: The clauses the paper actually uses.
+APRIORI_SCHEDULE = ScheduleSpec("static", 1)
+ECLAT_SCHEDULE = ScheduleSpec("dynamic", 1)
+
+
+def static_assignment(
+    n_iterations: int, n_threads: int, chunk_size: int | None = None
+) -> np.ndarray:
+    """Thread owning each iteration under ``schedule(static[, chunk])``.
+
+    Without a chunk size, iterations split into ``n_threads`` contiguous
+    blocks of near-equal size (leading blocks one larger, the libgomp rule).
+    With a chunk size, fixed-size chunks are dealt round-robin.
+    """
+    if n_iterations < 0 or n_threads < 1:
+        raise ConfigurationError("need n_iterations >= 0 and n_threads >= 1")
+    if n_iterations == 0:
+        return np.empty(0, dtype=np.int64)
+    if chunk_size is None:
+        # Threads [0, extra) own (base+1)-size blocks, the rest base-size.
+        base = n_iterations // n_threads
+        extra = n_iterations % n_threads
+        sizes = np.full(n_threads, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return np.repeat(np.arange(n_threads, dtype=np.int64), sizes)
+    iters = np.arange(n_iterations, dtype=np.int64)
+    return (iters // chunk_size) % n_threads
+
+
+def chunk_boundaries(
+    n_iterations: int, n_threads: int, spec: ScheduleSpec
+) -> list[tuple[int, int]]:
+    """Chunks ``[start, end)`` in dispatch order for any schedule kind.
+
+    * static (no chunk): one contiguous block per thread;
+    * static/dynamic with chunk ``c``: fixed-size chunks in order;
+    * guided: chunk ~ ``remaining / (2 * n_threads)``, exponentially
+      shrinking, never below the clause chunk (default 1) except the last
+      (the OpenMP rule; the divisor is implementation-defined and 2T is the
+      common libgomp choice).
+    """
+    if n_iterations == 0:
+        return []
+    if spec.kind == "static" and spec.chunk_size is None:
+        assignment = static_assignment(n_iterations, n_threads)
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        for i in range(1, n_iterations + 1):
+            if i == n_iterations or assignment[i] != assignment[start]:
+                bounds.append((start, i))
+                start = i
+        return bounds
+    if spec.kind in ("static", "dynamic"):
+        chunk = spec.chunk_size if spec.chunk_size is not None else 1
+        return [
+            (s, min(s + chunk, n_iterations)) for s in range(0, n_iterations, chunk)
+        ]
+    # guided
+    min_chunk = spec.chunk_size if spec.chunk_size is not None else 1
+    bounds = []
+    start = 0
+    while start < n_iterations:
+        remaining = n_iterations - start
+        size = max(min_chunk, -(-remaining // (2 * n_threads)))
+        size = min(size, remaining)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def validate_assignment(assignment: np.ndarray, n_threads: int) -> None:
+    """Raise if any iteration maps outside the team (test helper)."""
+    if assignment.size == 0:
+        return
+    if assignment.min() < 0 or assignment.max() >= n_threads:
+        raise ConfigurationError(
+            f"assignment uses threads outside [0, {n_threads})"
+        )

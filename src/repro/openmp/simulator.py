@@ -1,0 +1,160 @@
+"""Deterministic makespan simulation of one OpenMP parallel-for.
+
+Given per-iteration durations (priced by :class:`repro.machine.CostModel`
+from measured operation counts), this module replays the loop under a
+:class:`ScheduleSpec` on a simulated thread team:
+
+* **static** — ownership is fixed up front, so a thread's finish time is the
+  sum of its iterations (plus nothing: static scheduling has no runtime
+  dispatch cost);
+* **dynamic / guided** — chunks are dispatched in order to the earliest
+  available thread through a contended queue: each dequeue holds a global
+  lock for ``dynamic_dequeue_cost`` seconds, which is what makes chunk-1
+  dynamic scheduling expensive for tiny tasks on many threads.
+
+The simulation is event-free list scheduling — exact for static, and the
+standard greedy model for dynamic — so results are deterministic and fast
+enough to sweep 1..1024 threads inside a benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.openmp.events import ChunkEvent
+from repro.openmp.schedule import ScheduleSpec, chunk_boundaries, static_assignment
+
+
+@dataclass
+class ParallelForOutcome:
+    """Result of simulating one parallel loop."""
+
+    makespan: float
+    iteration_thread: np.ndarray
+    thread_busy: np.ndarray
+    n_chunks: int
+    events: list[ChunkEvent] | None = None
+
+    @property
+    def total_busy(self) -> float:
+        return float(self.thread_busy.sum())
+
+    @property
+    def imbalance(self) -> float:
+        """max busy / mean busy - 1 (0 == perfectly balanced)."""
+        mean = self.thread_busy.mean() if self.thread_busy.size else 0.0
+        if mean == 0.0:
+            return 0.0
+        return float(self.thread_busy.max() / mean - 1.0)
+
+
+def simulate_parallel_for(
+    durations: np.ndarray,
+    n_threads: int,
+    schedule: ScheduleSpec,
+    machine: MachineSpec = BLACKLIGHT,
+    collect_events: bool = False,
+) -> ParallelForOutcome:
+    """Replay a parallel-for and return its makespan and assignment."""
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.ndim != 1:
+        raise SimulationError("durations must be a 1-D array")
+    if durations.size and durations.min() < 0:
+        raise SimulationError("durations must be non-negative")
+    if n_threads < 1:
+        raise SimulationError("n_threads must be >= 1")
+
+    n = durations.size
+    if n == 0:
+        return ParallelForOutcome(
+            makespan=0.0,
+            iteration_thread=np.empty(0, np.int64),
+            thread_busy=np.zeros(n_threads),
+            n_chunks=0,
+            events=[] if collect_events else None,
+        )
+
+    if schedule.kind == "static":
+        return _simulate_static(durations, n_threads, schedule, collect_events)
+    return _simulate_queued(
+        durations, n_threads, schedule, machine, collect_events
+    )
+
+
+def _simulate_static(
+    durations: np.ndarray,
+    n_threads: int,
+    schedule: ScheduleSpec,
+    collect_events: bool,
+) -> ParallelForOutcome:
+    assignment = static_assignment(durations.size, n_threads, schedule.chunk_size)
+    thread_busy = np.bincount(
+        assignment, weights=durations, minlength=n_threads
+    ).astype(np.float64)
+
+    events: list[ChunkEvent] | None = None
+    n_chunks = len(chunk_boundaries(durations.size, n_threads, schedule))
+    if collect_events:
+        events = []
+        clock = np.zeros(n_threads, dtype=np.float64)
+        for start, end in chunk_boundaries(durations.size, n_threads, schedule):
+            thread = int(assignment[start])
+            begin = clock[thread]
+            finish = begin + float(durations[start:end].sum())
+            clock[thread] = finish
+            events.append(ChunkEvent(thread, start, end, begin, finish))
+
+    return ParallelForOutcome(
+        makespan=float(thread_busy.max()),
+        iteration_thread=assignment,
+        thread_busy=thread_busy,
+        n_chunks=n_chunks,
+        events=events,
+    )
+
+
+def _simulate_queued(
+    durations: np.ndarray,
+    n_threads: int,
+    schedule: ScheduleSpec,
+    machine: MachineSpec,
+    collect_events: bool,
+) -> ParallelForOutcome:
+    """Dynamic/guided: greedy dispatch through a contended queue lock."""
+    bounds = chunk_boundaries(durations.size, n_threads, schedule)
+    dequeue = machine.dynamic_dequeue_cost
+
+    heap: list[tuple[float, int]] = [(0.0, t) for t in range(n_threads)]
+    heapq.heapify(heap)
+    lock_free = 0.0
+    assignment = np.empty(durations.size, dtype=np.int64)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    events: list[ChunkEvent] | None = [] if collect_events else None
+
+    for start, end in bounds:
+        available, thread = heapq.heappop(heap)
+        # Grab the queue lock: wait for whoever holds it, pay the dequeue.
+        acquire = max(available, lock_free)
+        begin = acquire + dequeue
+        lock_free = begin
+        work = float(durations[start:end].sum())
+        finish = begin + work
+        assignment[start:end] = thread
+        thread_busy[thread] += work + dequeue  # lock *wait* time is idle, not busy
+        heapq.heappush(heap, (finish, thread))
+        if events is not None:
+            events.append(ChunkEvent(thread, start, end, begin, finish))
+
+    makespan = max(t for t, _ in heap)
+    return ParallelForOutcome(
+        makespan=float(makespan),
+        iteration_thread=assignment,
+        thread_busy=thread_busy,
+        n_chunks=len(bounds),
+        events=events,
+    )

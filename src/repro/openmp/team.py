@@ -1,0 +1,98 @@
+"""Thread team: topology + cost model + parallel-region composition.
+
+:class:`ThreadTeam` is the object the instrumented parallel miners talk to.
+It bundles the NUMA layout of ``n_threads`` pinned threads with the machine
+cost model, and composes one *parallel region's* simulated time from its
+three bottlenecks:
+
+``region = max(schedule makespan, busiest-link serialization) + fork/join``
+
+The max-composition expresses that compute/dispatch and interconnect
+transfer pipeline against each other — the region cannot finish before the
+slowest thread is done, nor before the busiest blade link has moved its
+bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.machine.cost_model import CostModel
+from repro.machine.topology import NumaTopology
+from repro.openmp.schedule import ScheduleSpec
+from repro.openmp.simulator import ParallelForOutcome, simulate_parallel_for
+
+
+@dataclass
+class RegionResult:
+    """Simulated time of one parallel region, with its breakdown."""
+
+    time: float
+    makespan: float
+    link_bound: float
+    fork_join: float
+    outcome: ParallelForOutcome
+
+    @property
+    def link_limited(self) -> bool:
+        """True when the interconnect, not compute, set the region's pace."""
+        return self.link_bound > self.makespan
+
+
+@dataclass
+class ThreadTeam:
+    """``n_threads`` pinned threads on a machine."""
+
+    n_threads: int
+    machine: MachineSpec = BLACKLIGHT
+    topology: NumaTopology = field(init=False)
+    cost_model: CostModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.topology = NumaTopology(
+            n_threads=self.n_threads, cores_per_blade=self.machine.cores_per_blade
+        )
+        self.cost_model = CostModel(self.machine)
+
+    def run_region(
+        self,
+        durations: np.ndarray,
+        schedule: ScheduleSpec,
+        per_blade_link_bytes: np.ndarray | None = None,
+        total_remote_bytes: float = 0.0,
+        collect_events: bool = False,
+    ) -> RegionResult:
+        """Simulate one parallel-for over the given per-iteration durations."""
+        outcome = simulate_parallel_for(
+            durations,
+            self.n_threads,
+            schedule,
+            machine=self.machine,
+            collect_events=collect_events,
+        )
+        link_bound = (
+            self.cost_model.link_serialization_time(per_blade_link_bytes)
+            if per_blade_link_bytes is not None
+            else 0.0
+        )
+        link_bound = max(
+            link_bound, self.cost_model.bisection_time(total_remote_bytes)
+        )
+        fork_join = self.cost_model.fork_join_time(self.n_threads)
+        time = max(outcome.makespan, link_bound) + fork_join
+        return RegionResult(
+            time=time,
+            makespan=outcome.makespan,
+            link_bound=link_bound,
+            fork_join=fork_join,
+            outcome=outcome,
+        )
+
+    def reader_blades(self, iteration_thread: np.ndarray) -> np.ndarray:
+        """Blade on which each iteration executed."""
+        return np.asarray(
+            self.topology.blade_of_thread(iteration_thread), dtype=np.int64
+        )

@@ -1,0 +1,60 @@
+"""Instrumented parallel FIM: trace collection + NUMA-machine replay."""
+
+from repro.parallel.tasks import (
+    AprioriGenerationTrace,
+    AprioriSingletonTrace,
+    AprioriTrace,
+    EclatLevelTrace,
+    EclatTaskTrace,
+    EclatToplevelView,
+    EclatTrace,
+    toplevel_view,
+)
+from repro.parallel.persistence import (
+    load_apriori_trace,
+    load_eclat_trace,
+    save_apriori_trace,
+    save_eclat_trace,
+)
+from repro.parallel.timing import RegionBreakdown, SimulatedTime
+from repro.parallel.validation import validate_apriori_trace, validate_eclat_trace
+from repro.parallel.apriori_parallel import apriori_time_curve, simulate_apriori
+from repro.parallel.eclat_parallel import eclat_time_curve, simulate_eclat
+from repro.parallel.runner import ScalabilityStudy, run_scalability_study
+from repro.parallel.speedup import (
+    RuntimeTable,
+    SpeedupSeries,
+    runtime_table,
+    scaling_verdict,
+    speedup_series,
+)
+
+__all__ = [
+    "AprioriTrace",
+    "AprioriGenerationTrace",
+    "AprioriSingletonTrace",
+    "EclatTrace",
+    "EclatTaskTrace",
+    "EclatLevelTrace",
+    "EclatToplevelView",
+    "toplevel_view",
+    "save_apriori_trace",
+    "load_apriori_trace",
+    "save_eclat_trace",
+    "load_eclat_trace",
+    "validate_apriori_trace",
+    "validate_eclat_trace",
+    "SimulatedTime",
+    "RegionBreakdown",
+    "simulate_apriori",
+    "apriori_time_curve",
+    "simulate_eclat",
+    "eclat_time_curve",
+    "ScalabilityStudy",
+    "run_scalability_study",
+    "RuntimeTable",
+    "SpeedupSeries",
+    "runtime_table",
+    "speedup_series",
+    "scaling_verdict",
+]

@@ -1,0 +1,199 @@
+"""Simulated parallel Apriori (Section III) on the NUMA machine model.
+
+The real algorithm runs once under :class:`AprioriTrace`; this module then
+replays the trace at any thread count:
+
+* the database load and vertical build are serial (the master thread reads
+  the file), so the generation-1 verticals are first-touched on **blade 0**
+  under the default ``master`` placement — the classic NUMA pitfall the
+  paper's memory-exchange explanation describes;
+* each later generation is one ``schedule(static)`` parallel region over
+  its candidates; a task's duration combines measured element ops, local
+  traffic, and remote traffic for whichever parent payloads live on another
+  blade;
+* candidate generation + pruning between regions is serial (Amdahl term);
+* each region is also bounded below by its busiest blade link — with all
+  generation-1 payloads homed on blade 0, generation 2's reads serialize on
+  blade 0's link, which is what pins tidset/bitvector Apriori near one
+  blade of useful parallelism while diffset's small payloads squeeze
+  through.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.machine.cache_model import charge_left_reads, charge_right_reads
+from repro.machine.memory_model import (
+    PlacementMap,
+    first_touch_placement,
+    interleaved_placement,
+    per_blade_link_traffic,
+    remote_read_bytes,
+)
+from repro.openmp.schedule import APRIORI_SCHEDULE, ScheduleSpec, static_assignment
+from repro.openmp.team import ThreadTeam
+from repro.parallel.tasks import AprioriTrace
+from repro.parallel.timing import RegionBreakdown, SimulatedTime
+
+BasePlacement = Literal["master", "interleaved"]
+
+
+def _singleton_placement(
+    n_items: int, policy: BasePlacement, team: ThreadTeam
+) -> PlacementMap:
+    if policy == "master":
+        return PlacementMap(np.zeros(n_items, dtype=np.int64))
+    if policy == "interleaved":
+        return interleaved_placement(n_items, team.topology)
+    raise SimulationError(f"unknown base placement {policy!r}")
+
+
+def _dynamic_assignment(
+    team: ThreadTeam,
+    schedule: ScheduleSpec,
+    provisional_durations: np.ndarray,
+) -> np.ndarray:
+    """Assignment for non-static schedules, from a provisional simulation.
+
+    Dynamic dispatch order depends on durations, which depend on remote
+    penalties, which depend on the assignment; one provisional round with
+    local-only durations breaks the cycle (documented approximation — the
+    paper's Apriori is static, so this path only serves the scheduling
+    ablation).
+    """
+    outcome = team.run_region(provisional_durations, schedule).outcome
+    return outcome.iteration_thread
+
+
+def simulate_apriori(
+    trace: AprioriTrace,
+    n_threads: int,
+    machine: MachineSpec = BLACKLIGHT,
+    schedule: ScheduleSpec = APRIORI_SCHEDULE,
+    base_placement: BasePlacement = "master",
+) -> SimulatedTime:
+    """Simulated wall time of the traced Apriori run at ``n_threads``."""
+    if trace.singletons is None:
+        raise SimulationError("trace has no generation-1 record; run the miner first")
+
+    team = ThreadTeam(n_threads, machine)
+    cost = team.cost_model
+    topo = team.topology
+
+    # Serial load: read the database, build + count the singleton verticals.
+    # Reported but NOT counted in total_seconds — the paper times the mining
+    # loop, not I/O.
+    load_seconds = cost.serial_time(trace.singletons.build_ops)
+
+    result = SimulatedTime(
+        algorithm="apriori",
+        representation="",
+        n_threads=n_threads,
+        total_seconds=0.0,
+        load_seconds=load_seconds,
+    )
+
+    gen1_homes = _singleton_placement(
+        trace.singletons.payload_bytes.size, base_placement, team
+    )
+    prev_homes = gen1_homes.select(trace.singletons.kept_mask)
+
+    for gen in trace.generations:
+        n = gen.n_candidates
+        if schedule.kind == "static":
+            assignment = static_assignment(n, n_threads, schedule.chunk_size)
+        else:
+            provisional = cost.task_time(
+                gen.cpu_ops,
+                gen.left_bytes + gen.right_bytes + gen.bytes_written,
+                np.zeros(n),
+            )
+            assignment = _dynamic_assignment(team, schedule, provisional)
+        reader_blades = team.reader_blades(assignment)
+        n_parents = int(len(prev_homes))
+
+        # Cache-aware charging: only bytes that miss both the per-thread
+        # cache and the blade's shared L3 move through memory or the
+        # interconnect (a hit in either level spares the traffic).
+        charged_left = np.minimum(
+            charge_left_reads(
+                assignment, gen.left_parent, gen.left_bytes, n_parents,
+                machine.cache_per_thread,
+            ),
+            charge_left_reads(
+                reader_blades, gen.left_parent, gen.left_bytes, n_parents,
+                machine.cache_per_blade,
+            ),
+        )
+        charged_right = np.minimum(
+            charge_right_reads(
+                assignment, gen.right_parent, gen.right_bytes, n_parents,
+                n_threads, machine.cache_per_thread,
+                written_bytes=gen.bytes_written,
+            ),
+            charge_right_reads(
+                reader_blades, gen.right_parent, gen.right_bytes, n_parents,
+                topo.n_blades, machine.cache_per_blade,
+                written_bytes=gen.bytes_written,
+            ),
+        )
+
+        left_homes = prev_homes.homes_of(gen.left_parent)
+        right_homes = prev_homes.homes_of(gen.right_parent)
+        local_l, remote_l = remote_read_bytes(reader_blades, left_homes, charged_left)
+        local_r, remote_r = remote_read_bytes(
+            reader_blades, right_homes, charged_right
+        )
+        local_bytes = local_l + local_r + gen.bytes_written
+        remote_bytes = remote_l + remote_r
+
+        durations = cost.task_time(
+            gen.cpu_ops + machine.iteration_overhead_ops, local_bytes, remote_bytes
+        )
+        link_traffic = per_blade_link_traffic(
+            reader_blades, left_homes, charged_left, topo.n_blades
+        ) + per_blade_link_traffic(
+            reader_blades, right_homes, charged_right, topo.n_blades
+        )
+
+        region = team.run_region(
+            durations,
+            schedule,
+            link_traffic,
+            total_remote_bytes=float(remote_bytes.sum()),
+        )
+        serial = cost.serial_time(gen.candidate_gen_ops)
+        result.regions.append(
+            RegionBreakdown(
+                label=f"gen{gen.generation}",
+                time=region.time,
+                makespan=region.makespan,
+                link_bound=region.link_bound,
+                fork_join=region.fork_join,
+                serial=serial,
+            )
+        )
+        result.total_seconds += region.time + serial
+
+        prev_homes = first_touch_placement(assignment, topo).select(gen.kept_mask)
+
+    return result
+
+
+def apriori_time_curve(
+    trace: AprioriTrace,
+    thread_counts: list[int],
+    machine: MachineSpec = BLACKLIGHT,
+    schedule: ScheduleSpec = APRIORI_SCHEDULE,
+    base_placement: BasePlacement = "master",
+) -> dict[int, SimulatedTime]:
+    """Simulated times across a thread-count sweep."""
+    return {
+        t: simulate_apriori(trace, t, machine, schedule, base_placement)
+        for t in thread_counts
+    }

@@ -1,0 +1,262 @@
+"""Simulated parallel Eclat (Section IV / Algorithm 2) on the machine model.
+
+Two task decompositions are supported:
+
+* ``task_mode="toplevel"`` (default, the paper's implementation): one
+  OpenMP ``schedule(dynamic, 1)`` region over the frequent 1-item
+  prefixes; each task owns its entire recursive subtree.  All data a task
+  derives is private to its thread — only the depth-1 combines read the
+  shared singleton verticals — which is why Eclat's communication is tiny
+  and it stays scalable where Apriori stalls.  The flip side, which the
+  paper states explicitly ("poses a limit on the possible number of
+  threads"), is that parallelism is bounded by the number of frequent
+  items and by the largest subtree.
+
+* ``task_mode="level"`` (ablation): the literal reading of Algorithm 2,
+  where the recursive call sits outside the pair loops and each depth is
+  one region over all frequent d-itemsets.  More parallel slots, but the
+  inter-level data becomes shared, Apriori-style — the E8 ablation bench
+  uses this to show the communication trade-off.
+
+Costs are priced exactly as in the Apriori replay: cache-aware charging,
+per-thread remote streaming, per-blade link serialization, and the global
+bisection cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.machine.cache_model import charge_left_reads, charge_right_reads
+from repro.machine.memory_model import (
+    per_blade_link_traffic,
+    remote_read_bytes,
+)
+from repro.openmp.schedule import ECLAT_SCHEDULE, ScheduleSpec
+from repro.openmp.team import ThreadTeam
+from repro.parallel.apriori_parallel import BasePlacement
+from repro.errors import SimulationError
+from repro.parallel.tasks import EclatTaskTrace, toplevel_view
+from repro.parallel.timing import RegionBreakdown, SimulatedTime
+
+
+def simulate_eclat(
+    trace: EclatTaskTrace,
+    n_threads: int,
+    machine: MachineSpec = BLACKLIGHT,
+    schedule: ScheduleSpec = ECLAT_SCHEDULE,
+    base_placement: BasePlacement = "master",
+    task_mode: str = "toplevel",
+) -> SimulatedTime:
+    """Simulated wall time of the traced Eclat run at ``n_threads``."""
+    if task_mode == "toplevel":
+        return _simulate_toplevel(
+            trace, n_threads, machine, schedule, base_placement
+        )
+    if task_mode != "level":
+        raise SimulationError(
+            f"task_mode must be 'toplevel' or 'level', got {task_mode!r}"
+        )
+    team = ThreadTeam(n_threads, machine)
+    cost = team.cost_model
+    topo = team.topology
+
+    # Serial load, reported but not timed (the paper times the mining loop).
+    load_seconds = cost.serial_time(trace.build_ops)
+    result = SimulatedTime(
+        algorithm="eclat",
+        representation="",
+        n_threads=n_threads,
+        total_seconds=0.0,
+        load_seconds=load_seconds,
+    )
+
+    member_homes: np.ndarray | None = None  # homes of this level's members
+    for level in trace.levels:
+        if member_homes is None:
+            # Depth-1 data comes from the serial loader.
+            if base_placement == "master":
+                member_homes = np.zeros(level.n_members, dtype=np.int64)
+            else:
+                member_homes = (
+                    np.arange(level.n_members, dtype=np.int64) % topo.n_blades
+                )
+        if level.n_combines == 0:
+            break
+
+        n_tasks = level.n_members
+        left_bytes = level.member_payload_bytes[level.combine_left]
+        right_bytes = level.member_payload_bytes[level.combine_right]
+        cpu_per_task = np.bincount(
+            level.combine_left, weights=level.combine_cpu, minlength=n_tasks
+        ) + machine.iteration_overhead_ops * np.bincount(
+            level.combine_left, minlength=n_tasks
+        )
+        written_per_task = np.bincount(
+            level.combine_left, weights=level.combine_written, minlength=n_tasks
+        )
+
+        # Pass 1: provisional (all-local) durations fix the dynamic
+        # assignment; remote penalties are then charged against it.
+        read_per_task_local = np.bincount(
+            level.combine_left, weights=left_bytes + right_bytes, minlength=n_tasks
+        )
+        provisional = cost.task_time(
+            cpu_per_task, read_per_task_local + written_per_task, np.zeros(n_tasks)
+        )
+        assignment = team.run_region(provisional, schedule).outcome.iteration_thread
+
+        combine_assignment = assignment[level.combine_left]
+        charged_left = charge_left_reads(
+            combine_assignment, level.combine_left, left_bytes,
+            level.n_members, machine.cache_per_thread,
+        )
+        charged_right = charge_right_reads(
+            combine_assignment, level.combine_right, right_bytes,
+            level.n_members, n_threads, machine.cache_per_thread,
+        )
+        reader_blades = team.reader_blades(combine_assignment)
+        left_homes = member_homes[level.combine_left]
+        right_homes = member_homes[level.combine_right]
+        local_l, remote_l = remote_read_bytes(reader_blades, left_homes, charged_left)
+        local_r, remote_r = remote_read_bytes(
+            reader_blades, right_homes, charged_right
+        )
+
+        local_per_task = written_per_task + np.bincount(
+            level.combine_left, weights=local_l + local_r, minlength=n_tasks
+        )
+        remote_per_task = np.bincount(
+            level.combine_left, weights=remote_l + remote_r, minlength=n_tasks
+        )
+        durations = cost.task_time(cpu_per_task, local_per_task, remote_per_task)
+
+        link_traffic = per_blade_link_traffic(
+            reader_blades, left_homes, charged_left, topo.n_blades
+        ) + per_blade_link_traffic(
+            reader_blades, right_homes, charged_right, topo.n_blades
+        )
+        region = team.run_region(
+            durations,
+            schedule,
+            link_traffic,
+            total_remote_bytes=float(remote_l.sum() + remote_r.sum()),
+        )
+        result.regions.append(
+            RegionBreakdown(
+                label=f"depth{level.depth}",
+                time=region.time,
+                makespan=region.makespan,
+                link_bound=region.link_bound,
+                fork_join=region.fork_join,
+            )
+        )
+        result.total_seconds += region.time
+
+        # Children are first-touched by the task (thread) that created them.
+        frequent = level.child_index >= 0
+        n_children = int(frequent.sum())
+        homes_next = np.zeros(n_children, dtype=np.int64)
+        creator_threads = assignment[level.combine_left[frequent]]
+        homes_next[level.child_index[frequent]] = np.asarray(
+            topo.blade_of_thread(creator_threads), np.int64
+        )
+        member_homes = homes_next
+
+    return result
+
+
+def _simulate_toplevel(
+    trace: EclatTaskTrace,
+    n_threads: int,
+    machine: MachineSpec,
+    schedule: ScheduleSpec,
+    base_placement: BasePlacement,
+) -> SimulatedTime:
+    """Depth-first tasks: one per frequent 1-item prefix (paper default)."""
+    view = toplevel_view(trace)
+    team = ThreadTeam(n_threads, machine)
+    cost = team.cost_model
+    n_blades = team.topology.n_blades
+
+    load_seconds = cost.serial_time(view.build_ops)
+    result = SimulatedTime(
+        algorithm="eclat",
+        representation="",
+        n_threads=n_threads,
+        total_seconds=0.0,
+        load_seconds=load_seconds,
+    )
+    if view.n_tasks == 0:
+        return result
+
+    # Cache-aware shared traffic: a task whose distinct singleton working
+    # set stays resident fetches each shared payload once; otherwise every
+    # depth-1 combine re-streams its operands.
+    fits = view.shared_distinct_bytes <= machine.cache_per_thread
+    effective_shared = np.where(
+        fits, view.shared_distinct_bytes, view.shared_read_bytes
+    ).astype(np.float64)
+
+    # Remote fraction of the shared reads.  Under `master` placement every
+    # reader off blade 0 pays remote for all of them (charging the 1/B of
+    # readers on blade 0 too is an accepted < 1/B overestimate); under
+    # `interleaved`, (B-1)/B of the pages are remote for everyone.
+    if n_blades == 1:
+        shared_remote = np.zeros(view.n_tasks)
+    elif base_placement == "master":
+        shared_remote = effective_shared.copy()
+    else:
+        shared_remote = effective_shared * (n_blades - 1) / n_blades
+
+    local_bytes = (
+        view.private_read_bytes
+        + view.bytes_written
+        + (effective_shared - shared_remote)
+    )
+    cpu_ops = view.cpu_ops + machine.iteration_overhead_ops * view.n_combines
+    durations = cost.task_time(cpu_ops, local_bytes, shared_remote)
+
+    region = team.run_region(durations, schedule)
+    assignment = region.outcome.iteration_thread
+    reader_blades = team.reader_blades(assignment)
+    if base_placement == "master":
+        homes = np.zeros(view.n_tasks, dtype=np.int64)
+    else:
+        homes = np.arange(view.n_tasks, dtype=np.int64) % n_blades
+    link_traffic = per_blade_link_traffic(
+        reader_blades, homes, effective_shared.astype(np.int64), n_blades
+    )
+    link_bound = max(
+        cost.link_serialization_time(link_traffic),
+        cost.bisection_time(float(shared_remote.sum())),
+    )
+
+    region_time = max(region.makespan, link_bound) + region.fork_join
+    result.total_seconds = region_time
+    result.regions.append(
+        RegionBreakdown(
+            label="toplevel",
+            time=region_time,
+            makespan=region.makespan,
+            link_bound=link_bound,
+            fork_join=region.fork_join,
+        )
+    )
+    return result
+
+
+def eclat_time_curve(
+    trace: EclatTaskTrace,
+    thread_counts: list[int],
+    machine: MachineSpec = BLACKLIGHT,
+    schedule: ScheduleSpec = ECLAT_SCHEDULE,
+    base_placement: BasePlacement = "master",
+    task_mode: str = "toplevel",
+) -> dict[int, SimulatedTime]:
+    """Simulated times across a thread-count sweep."""
+    return {
+        t: simulate_eclat(trace, t, machine, schedule, base_placement, task_mode)
+        for t in thread_counts
+    }

@@ -1,0 +1,135 @@
+"""Save/load cost traces as ``.npz`` archives.
+
+Mining a census-scale surrogate takes tens of seconds in pure Python;
+replaying its trace takes milliseconds.  Persisting traces decouples the
+two: mine once (CI, a beefy box), then sweep thread counts, machines, and
+schedules anywhere.  The format is a flat numpy archive — stable,
+inspectable, and diff-friendly via ``np.load``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.tasks import (
+    AprioriGenerationTrace,
+    AprioriSingletonTrace,
+    AprioriTrace,
+    EclatLevelTrace,
+    EclatTaskTrace,
+)
+
+_APRIORI_MAGIC = "apriori-trace-v1"
+_ECLAT_MAGIC = "eclat-trace-v1"
+
+
+def save_apriori_trace(trace: AprioriTrace, path: str | Path) -> Path:
+    """Persist an Apriori trace (singletons + every generation)."""
+    if trace.singletons is None:
+        raise ConfigurationError("trace has no singleton record")
+    arrays: dict[str, np.ndarray] = {
+        "magic": np.array(_APRIORI_MAGIC),
+        "n_generations": np.array(len(trace.generations)),
+        "singleton_payload": trace.singletons.payload_bytes,
+        "singleton_kept": trace.singletons.kept_mask,
+        "singleton_build_ops": np.array(trace.singletons.build_ops),
+    }
+    for i, gen in enumerate(trace.generations):
+        prefix = f"g{i}_"
+        arrays[prefix + "generation"] = np.array(gen.generation)
+        arrays[prefix + "cpu_ops"] = gen.cpu_ops
+        arrays[prefix + "left_parent"] = gen.left_parent
+        arrays[prefix + "right_parent"] = gen.right_parent
+        arrays[prefix + "left_bytes"] = gen.left_bytes
+        arrays[prefix + "right_bytes"] = gen.right_bytes
+        arrays[prefix + "bytes_written"] = gen.bytes_written
+        arrays[prefix + "payload_bytes"] = gen.payload_bytes
+        arrays[prefix + "kept_mask"] = gen.kept_mask
+        arrays[prefix + "candidate_gen_ops"] = np.array(gen.candidate_gen_ops)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_apriori_trace(path: str | Path) -> AprioriTrace:
+    """Inverse of :func:`save_apriori_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["magic"]) != _APRIORI_MAGIC:
+            raise ConfigurationError(f"{path} is not an Apriori trace archive")
+        trace = AprioriTrace()
+        trace.singletons = AprioriSingletonTrace(
+            payload_bytes=data["singleton_payload"],
+            kept_mask=data["singleton_kept"],
+            build_ops=int(data["singleton_build_ops"]),
+        )
+        for i in range(int(data["n_generations"])):
+            prefix = f"g{i}_"
+            trace.generations.append(
+                AprioriGenerationTrace(
+                    generation=int(data[prefix + "generation"]),
+                    cpu_ops=data[prefix + "cpu_ops"],
+                    left_parent=data[prefix + "left_parent"],
+                    right_parent=data[prefix + "right_parent"],
+                    left_bytes=data[prefix + "left_bytes"],
+                    right_bytes=data[prefix + "right_bytes"],
+                    bytes_written=data[prefix + "bytes_written"],
+                    payload_bytes=data[prefix + "payload_bytes"],
+                    kept_mask=data[prefix + "kept_mask"],
+                    candidate_gen_ops=int(data[prefix + "candidate_gen_ops"]),
+                )
+            )
+    return trace
+
+
+def save_eclat_trace(trace: EclatTaskTrace, path: str | Path) -> Path:
+    """Persist a (finalized) Eclat level trace."""
+    arrays: dict[str, np.ndarray] = {
+        "magic": np.array(_ECLAT_MAGIC),
+        "n_levels": np.array(len(trace.levels)),
+        "build_ops": np.array(trace.build_ops),
+    }
+    for i, level in enumerate(trace.levels):
+        prefix = f"l{i}_"
+        arrays[prefix + "depth"] = np.array(level.depth)
+        arrays[prefix + "n_members"] = np.array(level.n_members)
+        arrays[prefix + "member_payload"] = level.member_payload_bytes
+        arrays[prefix + "creator_task"] = level.creator_task
+        arrays[prefix + "combine_left"] = level.combine_left
+        arrays[prefix + "combine_right"] = level.combine_right
+        arrays[prefix + "combine_cpu"] = level.combine_cpu
+        arrays[prefix + "combine_written"] = level.combine_written
+        arrays[prefix + "child_index"] = level.child_index
+        arrays[prefix + "child_payload"] = level.child_payload
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_eclat_trace(path: str | Path) -> EclatTaskTrace:
+    """Inverse of :func:`save_eclat_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["magic"]) != _ECLAT_MAGIC:
+            raise ConfigurationError(f"{path} is not an Eclat trace archive")
+        levels = []
+        for i in range(int(data["n_levels"])):
+            prefix = f"l{i}_"
+            levels.append(
+                EclatLevelTrace(
+                    depth=int(data[prefix + "depth"]),
+                    n_members=int(data[prefix + "n_members"]),
+                    member_payload_bytes=data[prefix + "member_payload"],
+                    creator_task=data[prefix + "creator_task"],
+                    combine_left=data[prefix + "combine_left"],
+                    combine_right=data[prefix + "combine_right"],
+                    combine_cpu=data[prefix + "combine_cpu"],
+                    combine_written=data[prefix + "combine_written"],
+                    child_index=data[prefix + "child_index"],
+                    child_payload=data[prefix + "child_payload"],
+                )
+            )
+        return EclatTaskTrace(levels=levels, build_ops=int(data["build_ops"]))

@@ -1,0 +1,137 @@
+"""High-level orchestration: mine once, simulate a thread sweep.
+
+:func:`run_scalability_study` is the single entry point the benchmarks and
+examples use for every scalability experiment: it executes the real miner
+once with cost tracing, then replays the trace at each requested thread
+count on the machine model, returning runtimes, speedups, and the mining
+result itself (so correctness can be asserted in the same breath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.apriori import run_apriori
+from repro.core.eclat import run_eclat
+from repro.core.result import MiningResult
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.machine.topology import standard_thread_counts
+from repro.openmp.schedule import APRIORI_SCHEDULE, ECLAT_SCHEDULE, ScheduleSpec
+from repro.parallel.apriori_parallel import BasePlacement, apriori_time_curve
+from repro.parallel.eclat_parallel import eclat_time_curve
+from repro.parallel.tasks import AprioriTrace, EclatTrace
+from repro.parallel.timing import SimulatedTime
+from repro.representations import get_representation
+
+
+@dataclass
+class ScalabilityStudy:
+    """One (dataset, algorithm, representation, support) scalability curve."""
+
+    dataset: str
+    algorithm: str
+    representation: str
+    min_support: float | int
+    thread_counts: list[int]
+    times: dict[int, SimulatedTime]
+    mining_result: MiningResult
+    machine: str = "blacklight"
+    notes: dict[str, object] = field(default_factory=dict)
+    #: The collected cost trace (AprioriTrace or EclatTaskTrace), kept so
+    #: callers can re-simulate at other thread counts or machine specs
+    #: without re-mining.
+    trace: object = None
+
+    def label(self) -> str:
+        """Row label in the paper's ``dataset@support`` style."""
+        if isinstance(self.min_support, float):
+            return f"{self.dataset}@{self.min_support:g}"
+        return f"{self.dataset}@{self.min_support}abs"
+
+    def runtime(self, n_threads: int) -> float:
+        return self.times[n_threads].total_seconds
+
+    def runtimes(self) -> dict[int, float]:
+        return {t: s.total_seconds for t, s in self.times.items()}
+
+    def speedups(self, baseline_threads: int = 1) -> dict[int, float]:
+        """Speedup relative to the baseline thread count (paper: 1 thread)."""
+        if baseline_threads not in self.times:
+            raise ConfigurationError(
+                f"baseline {baseline_threads} threads not in the sweep "
+                f"{sorted(self.times)}"
+            )
+        base = self.times[baseline_threads].total_seconds
+        return {
+            t: (base / s.total_seconds if s.total_seconds > 0 else float("inf"))
+            for t, s in self.times.items()
+        }
+
+    def peak_speedup(self) -> tuple[int, float]:
+        """(thread count, speedup) of the best point on the curve."""
+        ups = self.speedups()
+        best = max(ups, key=lambda t: ups[t])
+        return best, ups[best]
+
+
+def run_scalability_study(
+    db: TransactionDatabase,
+    algorithm: str,
+    representation: str,
+    min_support: float | int,
+    thread_counts: list[int] | None = None,
+    machine: MachineSpec = BLACKLIGHT,
+    schedule: ScheduleSpec | None = None,
+    base_placement: BasePlacement = "master",
+    eclat_task_mode: str = "toplevel",
+) -> ScalabilityStudy:
+    """Mine once with tracing, then simulate every requested thread count.
+
+    ``eclat_task_mode`` selects the Eclat decomposition ("toplevel" = the
+    paper's depth-first prefix tasks; "level" = the level-synchronous
+    ablation); ignored for Apriori.
+    """
+    if algorithm not in ("apriori", "eclat"):
+        raise ConfigurationError(
+            f"algorithm must be 'apriori' or 'eclat', got {algorithm!r}"
+        )
+    counts = thread_counts if thread_counts is not None else standard_thread_counts()
+    rep = get_representation(representation)
+
+    trace: object
+    if algorithm == "apriori":
+        sink = AprioriTrace()
+        run = run_apriori(db, min_support, rep, sink=sink)
+        sched = schedule if schedule is not None else APRIORI_SCHEDULE
+        trace = sink
+        times = apriori_time_curve(sink, counts, machine, sched, base_placement)
+    else:
+        esink = EclatTrace()
+        run = run_eclat(db, min_support, rep, sink=esink)
+        sched = schedule if schedule is not None else ECLAT_SCHEDULE
+        trace = esink.finalize()
+        times = eclat_time_curve(
+            trace, counts, machine, sched, base_placement, eclat_task_mode
+        )
+
+    for simulated in times.values():
+        simulated.representation = rep.name
+
+    return ScalabilityStudy(
+        dataset=db.name,
+        algorithm=algorithm,
+        representation=rep.name,
+        min_support=min_support,
+        thread_counts=counts,
+        times=times,
+        mining_result=run.result,
+        machine=machine.name,
+        notes={
+            "schedule": str(sched),
+            "base_placement": base_placement,
+            "eclat_task_mode": eclat_task_mode if algorithm == "eclat" else None,
+        },
+        trace=trace,
+    )

@@ -1,0 +1,101 @@
+"""Paper-style table/series assembly over multiple scalability studies.
+
+Tables II-V pair a runtime table (rows = ``dataset@support``, columns =
+thread counts) with a speedup figure (series per dataset).  These helpers
+turn a list of :class:`ScalabilityStudy` into exactly those rows/series so
+every bench prints the same layout the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.parallel.runner import ScalabilityStudy
+
+
+@dataclass(frozen=True)
+class RuntimeTable:
+    """The paper's runtime-table layout (times in seconds)."""
+
+    title: str
+    thread_counts: list[int]
+    rows: list[tuple[str, list[float]]]
+
+    def row_dict(self) -> dict[str, dict[int, float]]:
+        return {
+            label: dict(zip(self.thread_counts, values))
+            for label, values in self.rows
+        }
+
+
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """One dataset's speedup-vs-threads curve (the figures' series)."""
+
+    label: str
+    thread_counts: list[int]
+    speedups: list[float]
+
+    def final(self) -> float:
+        return self.speedups[-1]
+
+    def peak(self) -> float:
+        return max(self.speedups)
+
+
+def runtime_table(studies: list[ScalabilityStudy], title: str) -> RuntimeTable:
+    """Assemble the Table II-V layout from a set of studies."""
+    if not studies:
+        raise ConfigurationError("no studies given")
+    counts = studies[0].thread_counts
+    for s in studies:
+        if s.thread_counts != counts:
+            raise ConfigurationError(
+                "all studies in one table must share a thread sweep"
+            )
+    rows = [
+        (s.label(), [s.runtime(t) for t in counts])
+        for s in studies
+    ]
+    return RuntimeTable(title=title, thread_counts=list(counts), rows=rows)
+
+
+def speedup_series(
+    studies: list[ScalabilityStudy], baseline_threads: int = 1
+) -> list[SpeedupSeries]:
+    """Assemble the Figure 5-8 speedup series from a set of studies."""
+    series = []
+    for s in studies:
+        ups = s.speedups(baseline_threads)
+        counts = [t for t in s.thread_counts if t != baseline_threads]
+        series.append(
+            SpeedupSeries(
+                label=s.label(),
+                thread_counts=counts,
+                speedups=[ups[t] for t in counts],
+            )
+        )
+    return series
+
+
+def scaling_verdict(series: SpeedupSeries, knee_threads: int = 16) -> str:
+    """Classify a curve the way Section V does.
+
+    "scalable" — speedup keeps growing past one blade; "plateau" — grows to
+    the knee then flattens; "degrades" — the best point is at or before the
+    knee and later points are worse.
+    """
+    by_count = dict(zip(series.thread_counts, series.speedups))
+    at_knee = max(
+        (v for t, v in by_count.items() if t <= knee_threads), default=0.0
+    )
+    beyond = [v for t, v in by_count.items() if t > knee_threads]
+    if not beyond:
+        return "scalable"
+    best_beyond = max(beyond)
+    if best_beyond >= 1.5 * at_knee:
+        return "scalable"
+    if best_beyond >= 0.9 * at_knee:
+        return "plateau"
+    return "degrades"

@@ -1,0 +1,368 @@
+"""Cost-trace collectors for the instrumented miners.
+
+The miners in :mod:`repro.core` emit per-task events through their sink
+protocols; these classes accumulate the events into dense numpy arrays that
+the simulators consume.  A trace is collected **once** per (dataset,
+algorithm, representation, support) combination and then replayed for every
+thread count — the measured work is identical across the sweep, exactly as
+it is on the real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.level_table import Level
+from repro.representations.base import OpCost
+
+
+# ---------------------------------------------------------------------------
+# Apriori
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AprioriGenerationTrace:
+    """Measured per-candidate costs of one Apriori generation (k >= 2)."""
+
+    generation: int
+    cpu_ops: np.ndarray
+    left_parent: np.ndarray
+    right_parent: np.ndarray
+    left_bytes: np.ndarray
+    right_bytes: np.ndarray
+    bytes_written: np.ndarray
+    payload_bytes: np.ndarray
+    kept_mask: np.ndarray
+    candidate_gen_ops: int
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.cpu_ops.size)
+
+    @property
+    def total_read_bytes(self) -> int:
+        return int(self.left_bytes.sum() + self.right_bytes.sum())
+
+
+@dataclass
+class AprioriSingletonTrace:
+    """Generation 1: built during the (serial) database load."""
+
+    payload_bytes: np.ndarray
+    kept_mask: np.ndarray
+    build_ops: int
+
+
+class AprioriTrace:
+    """An :class:`repro.core.apriori.AprioriSink` that records everything."""
+
+    def __init__(self) -> None:
+        self.singletons: AprioriSingletonTrace | None = None
+        self.generations: list[AprioriGenerationTrace] = []
+        self._pending: dict[str, list] | None = None
+        self._pending_generation = 0
+        self._prev_kept_bytes: np.ndarray | None = None
+
+    # -- sink protocol -------------------------------------------------------
+
+    def on_singletons(self, level: Level, build_cost: OpCost) -> None:
+        assert level.verticals is not None
+        payload = np.asarray(
+            [v.payload.nbytes for v in level.verticals], dtype=np.int64
+        )
+        self.singletons = AprioriSingletonTrace(
+            payload_bytes=payload,
+            kept_mask=np.zeros(payload.size, dtype=bool),  # filled at gen end
+            build_ops=build_cost.cpu_ops,
+        )
+
+    def on_count_task(
+        self,
+        generation: int,
+        candidate_index: int,
+        left_parent: int,
+        right_parent: int,
+        cost: OpCost,
+        payload_bytes: int,
+    ) -> None:
+        if self._pending is None or self._pending_generation != generation:
+            self._pending = {
+                "cpu_ops": [],
+                "left_parent": [],
+                "right_parent": [],
+                "bytes_written": [],
+                "payload_bytes": [],
+            }
+            self._pending_generation = generation
+        self._pending["cpu_ops"].append(cost.cpu_ops)
+        self._pending["left_parent"].append(left_parent)
+        self._pending["right_parent"].append(right_parent)
+        self._pending["bytes_written"].append(cost.bytes_written)
+        self._pending["payload_bytes"].append(payload_bytes)
+
+    def on_generation_done(self, level: Level, candidate_gen_ops: int) -> None:
+        if level.generation == 1:
+            assert self.singletons is not None
+            self.singletons.kept_mask = level.kept.copy()
+            self._prev_kept_bytes = self.singletons.payload_bytes[level.kept]
+            return
+
+        assert self._pending is not None and self._prev_kept_bytes is not None
+        left_parent = np.asarray(self._pending["left_parent"], np.int64)
+        right_parent = np.asarray(self._pending["right_parent"], np.int64)
+        payload_bytes = np.asarray(self._pending["payload_bytes"], np.int64)
+        trace = AprioriGenerationTrace(
+            generation=level.generation,
+            cpu_ops=np.asarray(self._pending["cpu_ops"], np.int64),
+            left_parent=left_parent,
+            right_parent=right_parent,
+            left_bytes=self._prev_kept_bytes[left_parent],
+            right_bytes=self._prev_kept_bytes[right_parent],
+            bytes_written=np.asarray(self._pending["bytes_written"], np.int64),
+            payload_bytes=payload_bytes,
+            kept_mask=level.kept.copy(),
+            candidate_gen_ops=candidate_gen_ops,
+        )
+        self.generations.append(trace)
+        self._prev_kept_bytes = payload_bytes[level.kept]
+        self._pending = None
+
+    # -- summary ---------------------------------------------------------------
+
+    def total_candidates(self) -> int:
+        return sum(g.n_candidates for g in self.generations)
+
+    def total_payload_bytes(self) -> int:
+        total = int(self.singletons.payload_bytes.sum()) if self.singletons else 0
+        return total + sum(int(g.payload_bytes.sum()) for g in self.generations)
+
+
+# ---------------------------------------------------------------------------
+# Eclat
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EclatLevelTrace:
+    """Measured costs of one Eclat level (all combines of depth ``depth``).
+
+    The parallel loop at this depth has one task per frequent
+    ``depth``-itemset (a *member*); combine ``j`` belongs to task
+    ``combine_left[j]``.  ``creator_task[i]`` says which task of the
+    *previous* level produced member ``i``'s vertical (first touch); -1 for
+    depth 1, whose data comes from the serial loader.
+    """
+
+    depth: int
+    n_members: int
+    member_payload_bytes: np.ndarray
+    creator_task: np.ndarray
+    combine_left: np.ndarray
+    combine_right: np.ndarray
+    combine_cpu: np.ndarray
+    combine_written: np.ndarray
+    child_index: np.ndarray
+    child_payload: np.ndarray
+
+    @property
+    def n_combines(self) -> int:
+        return int(self.combine_left.size)
+
+    @property
+    def total_read_bytes(self) -> int:
+        """Per-read traffic (no cache): each combine reads both parents."""
+        return int(
+            self.member_payload_bytes[self.combine_left].sum()
+            + self.member_payload_bytes[self.combine_right].sum()
+        )
+
+
+@dataclass
+class EclatTaskTrace:
+    """The full per-level cost trace of one Eclat run."""
+
+    levels: list[EclatLevelTrace]
+    build_ops: int
+
+    @property
+    def n_toplevel_tasks(self) -> int:
+        return self.levels[0].n_members if self.levels else 0
+
+    @property
+    def max_depth(self) -> int:
+        return max((lv.depth for lv in self.levels), default=0)
+
+    def total_combines(self) -> int:
+        return sum(lv.n_combines for lv in self.levels)
+
+
+class EclatTrace:
+    """An :class:`repro.core.eclat.EclatSink` recording the level structure."""
+
+    def __init__(self) -> None:
+        self._build_ops = 0
+        self._singleton_payloads: list[int] = []
+        # Per depth: parallel lists of combine records.
+        self._combines: dict[int, dict[str, list[int]]] = {}
+
+    # -- sink protocol -------------------------------------------------------
+
+    def on_singletons(
+        self,
+        n_frequent: int,
+        build_cost: OpCost,
+        payload_bytes: list[int] | None = None,
+    ) -> None:
+        self._build_ops = build_cost.cpu_ops
+        self._singleton_payloads = list(payload_bytes or [])
+
+    def on_combine(
+        self,
+        depth: int,
+        left_index: int,
+        right_index: int,
+        cost: OpCost,
+        child_payload_bytes: int,
+        child_index: int,
+    ) -> None:
+        bucket = self._combines.get(depth)
+        if bucket is None:
+            bucket = {
+                "left": [], "right": [], "cpu": [],
+                "written": [], "child": [], "child_payload": [],
+            }
+            self._combines[depth] = bucket
+        bucket["left"].append(left_index)
+        bucket["right"].append(right_index)
+        bucket["cpu"].append(cost.cpu_ops)
+        bucket["written"].append(cost.bytes_written)
+        bucket["child"].append(child_index)
+        bucket["child_payload"].append(child_payload_bytes)
+
+    # -- finalize ---------------------------------------------------------------
+
+    def finalize(self) -> EclatTaskTrace:
+        levels: list[EclatLevelTrace] = []
+        member_payloads = np.asarray(self._singleton_payloads, np.int64)
+        creator = np.full(member_payloads.size, -1, np.int64)
+
+        for depth in sorted(self._combines):
+            bucket = self._combines[depth]
+            child_index = np.asarray(bucket["child"], np.int64)
+            child_payload = np.asarray(bucket["child_payload"], np.int64)
+            combine_left = np.asarray(bucket["left"], np.int64)
+            level = EclatLevelTrace(
+                depth=depth,
+                n_members=int(member_payloads.size),
+                member_payload_bytes=member_payloads,
+                creator_task=creator,
+                combine_left=combine_left,
+                combine_right=np.asarray(bucket["right"], np.int64),
+                combine_cpu=np.asarray(bucket["cpu"], np.int64),
+                combine_written=np.asarray(bucket["written"], np.int64),
+                child_index=child_index,
+                child_payload=child_payload,
+            )
+            levels.append(level)
+
+            # Next level's members, in global-index order.
+            frequent = child_index >= 0
+            n_children = int(frequent.sum())
+            member_payloads = np.zeros(n_children, np.int64)
+            creator = np.full(n_children, -1, np.int64)
+            member_payloads[child_index[frequent]] = child_payload[frequent]
+            creator[child_index[frequent]] = combine_left[frequent]
+
+        return EclatTaskTrace(levels=levels, build_ops=self._build_ops)
+
+
+@dataclass
+class EclatToplevelView:
+    """Depth-first task view: one task per frequent 1-item prefix.
+
+    This is the paper's stated parallelization (Section IV): the OpenMP
+    loop covers the top-level members only and each iteration owns its
+    whole recursive subtree, so all deeper verticals are private to the
+    executing thread.  Only the depth-1 combines read *shared* data (the
+    singleton verticals from the loader).
+    """
+
+    n_tasks: int
+    cpu_ops: np.ndarray
+    bytes_read: np.ndarray
+    bytes_written: np.ndarray
+    shared_read_bytes: np.ndarray
+    #: Shared bytes when each distinct singleton payload is fetched once
+    #: per task (cache-resident depth-1 working set).
+    shared_distinct_bytes: np.ndarray
+    n_combines: np.ndarray
+    build_ops: int
+
+    @property
+    def private_read_bytes(self) -> np.ndarray:
+        return self.bytes_read - self.shared_read_bytes
+
+
+def toplevel_view(trace: EclatTaskTrace) -> EclatToplevelView:
+    """Aggregate a level trace into depth-first top-level tasks.
+
+    Each combine is attributed to the top-level ancestor of its left
+    member, found by walking the creator chain level by level.
+    """
+    if not trace.levels:
+        return EclatToplevelView(
+            n_tasks=0,
+            cpu_ops=np.empty(0, np.int64),
+            bytes_read=np.empty(0, np.int64),
+            bytes_written=np.empty(0, np.int64),
+            shared_read_bytes=np.empty(0, np.int64),
+            shared_distinct_bytes=np.empty(0, np.int64),
+            n_combines=np.empty(0, np.int64),
+            build_ops=trace.build_ops,
+        )
+    level1 = trace.levels[0]
+    n_tasks = level1.n_members
+    cpu = np.zeros(n_tasks, np.float64)
+    read = np.zeros(n_tasks, np.float64)
+    written = np.zeros(n_tasks, np.float64)
+    shared = np.zeros(n_tasks, np.float64)
+    combines = np.zeros(n_tasks, np.int64)
+
+    ancestor = np.arange(n_tasks, dtype=np.int64)  # depth-1: self
+    for level in trace.levels:
+        owner = ancestor[level.combine_left]
+        left_b = level.member_payload_bytes[level.combine_left]
+        right_b = level.member_payload_bytes[level.combine_right]
+        np.add.at(cpu, owner, level.combine_cpu)
+        np.add.at(read, owner, left_b + right_b)
+        np.add.at(written, owner, level.combine_written)
+        np.add.at(combines, owner, 1)
+        if level.depth == 1:
+            np.add.at(shared, owner, left_b + right_b)
+
+        # Ancestor array for the next level's members.
+        frequent = level.child_index >= 0
+        n_children = int(frequent.sum())
+        next_anc = np.full(n_children, -1, np.int64)
+        next_anc[level.child_index[frequent]] = owner[frequent]
+        ancestor = next_anc
+
+    # Under in-order processing, task i's depth-1 loop touches singletons
+    # i..n-1 once each when they stay cache-resident.
+    singleton_bytes = level1.member_payload_bytes.astype(np.int64)
+    suffix = np.cumsum(singleton_bytes[::-1])[::-1] if n_tasks else singleton_bytes
+    distinct = np.minimum(suffix, shared.astype(np.int64))
+
+    return EclatToplevelView(
+        n_tasks=n_tasks,
+        cpu_ops=cpu.astype(np.int64),
+        bytes_read=read.astype(np.int64),
+        bytes_written=written.astype(np.int64),
+        shared_read_bytes=shared.astype(np.int64),
+        shared_distinct_bytes=distinct,
+        n_combines=combines,
+        build_ops=trace.build_ops,
+    )

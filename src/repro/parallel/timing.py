@@ -1,0 +1,54 @@
+"""Shared result types for the simulated parallel runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegionBreakdown:
+    """One parallel region's simulated time and its bottleneck split."""
+
+    label: str
+    time: float
+    makespan: float
+    link_bound: float
+    fork_join: float
+    serial: float = 0.0
+
+    @property
+    def link_limited(self) -> bool:
+        return self.link_bound > self.makespan
+
+
+@dataclass
+class SimulatedTime:
+    """Simulated wall time of one mining run at one thread count."""
+
+    algorithm: str
+    representation: str
+    n_threads: int
+    total_seconds: float
+    load_seconds: float
+    regions: list[RegionBreakdown] = field(default_factory=list)
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.load_seconds + sum(r.serial for r in self.regions)
+
+    @property
+    def link_limited_regions(self) -> list[str]:
+        """Labels of the regions throttled by the interconnect."""
+        return [r.label for r in self.regions if r.link_limited]
+
+    def summary(self) -> str:
+        flag = (
+            f"; link-limited: {', '.join(self.link_limited_regions)}"
+            if self.link_limited_regions
+            else ""
+        )
+        return (
+            f"{self.algorithm}/{self.representation} @ {self.n_threads} threads: "
+            f"{self.total_seconds * 1e3:.3f} ms "
+            f"(serial {self.serial_seconds * 1e3:.3f} ms{flag})"
+        )

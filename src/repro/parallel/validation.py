@@ -1,0 +1,139 @@
+"""Structural validation of collected cost traces.
+
+A trace drives every scalability number, so a malformed one (index out of
+range, lost work, negative cost) would corrupt results silently.  These
+checkers raise :class:`SimulationError` on the first inconsistency; the
+test suite runs them over every miner/dataset combination, and callers
+that load persisted traces from disk can re-validate before replaying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.parallel.tasks import AprioriTrace, EclatTaskTrace, toplevel_view
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SimulationError(f"trace validation failed: {message}")
+
+
+def validate_apriori_trace(trace: AprioriTrace) -> None:
+    """Check an Apriori trace's internal consistency.
+
+    Invariants: per-generation arrays are parallel; parent indices address
+    the previous generation's survivors; parent byte columns agree with the
+    recorded payload sizes; costs are non-negative.
+    """
+    _require(trace.singletons is not None, "missing singleton record")
+    assert trace.singletons is not None
+    _require(
+        trace.singletons.kept_mask.size == trace.singletons.payload_bytes.size,
+        "singleton kept mask and payload arrays differ in length",
+    )
+    _require(trace.singletons.build_ops >= 0, "negative build cost")
+
+    prev_kept_bytes = trace.singletons.payload_bytes[trace.singletons.kept_mask]
+    expected_generation = 2
+    for gen in trace.generations:
+        n = gen.n_candidates
+        _require(
+            gen.generation == expected_generation,
+            f"generation {gen.generation} out of order",
+        )
+        for name in (
+            "cpu_ops", "left_parent", "right_parent", "left_bytes",
+            "right_bytes", "bytes_written", "payload_bytes", "kept_mask",
+        ):
+            _require(
+                getattr(gen, name).shape == (n,),
+                f"gen{gen.generation}.{name} is not parallel to candidates",
+            )
+        _require(int(gen.cpu_ops.min(initial=0)) >= 0, "negative cpu_ops")
+        n_parents = prev_kept_bytes.size
+        if n:
+            _require(
+                0 <= gen.left_parent.min() and gen.left_parent.max() < n_parents,
+                f"gen{gen.generation} left parents outside [0, {n_parents})",
+            )
+            _require(
+                0 <= gen.right_parent.min() and gen.right_parent.max() < n_parents,
+                f"gen{gen.generation} right parents outside [0, {n_parents})",
+            )
+            _require(
+                (gen.left_bytes == prev_kept_bytes[gen.left_parent]).all(),
+                f"gen{gen.generation} left bytes disagree with parent payloads",
+            )
+            _require(
+                (gen.right_bytes == prev_kept_bytes[gen.right_parent]).all(),
+                f"gen{gen.generation} right bytes disagree with parent payloads",
+            )
+        prev_kept_bytes = gen.payload_bytes[gen.kept_mask]
+        expected_generation += 1
+
+
+def validate_eclat_trace(trace: EclatTaskTrace) -> None:
+    """Check an Eclat level trace's internal consistency.
+
+    Invariants: member/creator/child indexing is dense and in range across
+    consecutive levels; the top-level aggregation conserves the combine
+    counts and cpu work.
+    """
+    _require(trace.build_ops >= 0, "negative build cost")
+    prev_members: int | None = None
+    for level in trace.levels:
+        n = level.n_combines
+        for name in (
+            "combine_left", "combine_right", "combine_cpu",
+            "combine_written", "child_index", "child_payload",
+        ):
+            _require(
+                getattr(level, name).shape == (n,),
+                f"depth{level.depth}.{name} is not parallel to combines",
+            )
+        _require(
+            level.member_payload_bytes.size == level.n_members,
+            f"depth{level.depth} member payload length mismatch",
+        )
+        if n:
+            _require(
+                level.combine_left.max() < level.n_members
+                and level.combine_right.max() < level.n_members,
+                f"depth{level.depth} combine parents out of range",
+            )
+            _require(
+                (level.combine_left != level.combine_right).all(),
+                f"depth{level.depth} self-combine",
+            )
+        frequent = level.child_index >= 0
+        if frequent.any():
+            children = np.sort(level.child_index[frequent])
+            _require(
+                (children == np.arange(children.size)).all(),
+                f"depth{level.depth} child indices not dense",
+            )
+        if prev_members is not None:
+            _require(
+                level.creator_task.size == level.n_members
+                and (level.creator_task >= 0).all()
+                and (level.creator_task < prev_members).all(),
+                f"depth{level.depth} creator tasks out of range",
+            )
+        prev_members = int(frequent.sum())
+
+    view = toplevel_view(trace)
+    _require(
+        int(view.n_combines.sum()) == trace.total_combines(),
+        "top-level view lost combines",
+    )
+    total_cpu = sum(int(lv.combine_cpu.sum()) for lv in trace.levels)
+    _require(
+        int(view.cpu_ops.sum()) == total_cpu,
+        "top-level view lost cpu work",
+    )
+    _require(
+        bool((view.shared_distinct_bytes <= view.shared_read_bytes).all()),
+        "distinct shared bytes exceed per-read shared bytes",
+    )

@@ -1,0 +1,67 @@
+"""Vertical transaction representations: tidset, bitvector, diffset."""
+
+from repro.representations.base import (
+    BYTES_PER_TID,
+    BYTES_PER_WORD,
+    OpCost,
+    Representation,
+    Vertical,
+    ZERO_COST,
+)
+from repro.representations.tidset import TidsetRepresentation, intersect_sorted
+from repro.representations.bitvector import (
+    BitvectorRepresentation,
+    bits_to_tids,
+    popcount,
+    tids_to_bits,
+    words_for,
+)
+from repro.representations.diffset import DiffsetRepresentation, setdiff_sorted
+from repro.representations.hybrid import HybridRepresentation, HybridVertical
+from repro.representations.horizontal import HorizontalCounter, HorizontalCountResult
+from repro.representations import convert, memory
+
+#: Registry used by miners and benches to resolve a representation by name.
+REPRESENTATIONS: dict[str, type[Representation]] = {
+    "tidset": TidsetRepresentation,
+    "bitvector": BitvectorRepresentation,
+    "diffset": DiffsetRepresentation,
+    "hybrid": HybridRepresentation,
+}
+
+
+def get_representation(name: str) -> Representation:
+    """Instantiate a representation by its table name."""
+    try:
+        return REPRESENTATIONS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown representation {name!r}; choose from {sorted(REPRESENTATIONS)}"
+        ) from None
+
+
+__all__ = [
+    "OpCost",
+    "Vertical",
+    "Representation",
+    "ZERO_COST",
+    "BYTES_PER_TID",
+    "BYTES_PER_WORD",
+    "TidsetRepresentation",
+    "BitvectorRepresentation",
+    "DiffsetRepresentation",
+    "HybridRepresentation",
+    "HybridVertical",
+    "HorizontalCounter",
+    "HorizontalCountResult",
+    "intersect_sorted",
+    "setdiff_sorted",
+    "tids_to_bits",
+    "bits_to_tids",
+    "popcount",
+    "words_for",
+    "convert",
+    "memory",
+    "REPRESENTATIONS",
+    "get_representation",
+]

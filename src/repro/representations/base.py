@@ -1,0 +1,134 @@
+"""Common machinery for the three vertical transaction representations.
+
+The paper (Section II-B) couples each mining algorithm with one of three
+vertical formats: the **tidset** (sorted transaction-id list per candidate),
+the **bitvector** (fixed-width bitmask per candidate), and the **diffset**
+(tids the candidate *lost* relative to its prefix, with the dEclat support
+recurrence).  All three share one contract here:
+
+* :meth:`Representation.build_singletons` turns a horizontal database into
+  one :class:`Vertical` per item (generation 1);
+* :meth:`Representation.combine` fuses two same-prefix parents ``PX`` and
+  ``PY`` into the child ``PXY``, returning the child's vertical data, its
+  support, and an :class:`OpCost` record.
+
+The :class:`OpCost` record is what ties the algorithms to the machine
+simulator: it counts the *actual* element operations and bytes moved by each
+combine, measured on the real data, so the simulated NUMA traffic is driven
+by genuine workload numbers rather than analytic guesses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import RepresentationError
+
+#: Bytes per transaction id in tidset/diffset payloads (int32 tids).
+BYTES_PER_TID = 4
+#: Bytes per bitvector machine word (uint64).
+BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True, slots=True)
+class OpCost:
+    """Operation cost of one representation kernel invocation.
+
+    Attributes
+    ----------
+    cpu_ops:
+        Element-level operations executed (comparisons for merges, word ops
+        for AND/popcount).  The machine model divides this by a core's
+        element rate.
+    bytes_read / bytes_written:
+        Payload bytes moved.  The machine model routes reads through local
+        or remote memory depending on where the operand pages live.
+    """
+
+    cpu_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.cpu_ops + other.cpu_ops,
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+ZERO_COST = OpCost()
+
+
+@dataclass(slots=True)
+class Vertical:
+    """Vertical data for one candidate itemset.
+
+    ``payload`` is representation-specific (sorted int32 tids, uint64 words,
+    or sorted int32 diff-tids); ``support`` is always the candidate's absolute
+    support, which diffsets cannot recover from the payload alone and the
+    other formats cache to avoid recounting.
+    """
+
+    payload: np.ndarray
+    support: int
+
+
+class Representation(ABC):
+    """Strategy interface implemented by tidset, bitvector, and diffset."""
+
+    #: Short name used in tables ("tidset" / "bitvector" / "diffset").
+    name: str = "abstract"
+
+    @abstractmethod
+    def build_singletons(
+        self, db: TransactionDatabase, min_support: int = 0
+    ) -> list[Vertical]:
+        """One :class:`Vertical` per item id in ``db`` (generation 1).
+
+        Every item gets an entry with its true support, but payloads are
+        only materialized for items meeting ``min_support`` — building a
+        census-wide diffset for an item that occurs twice would waste
+        hundreds of megabytes for data the miner immediately prunes.
+        """
+
+    @abstractmethod
+    def combine(self, left: Vertical, right: Vertical) -> tuple[Vertical, OpCost]:
+        """Fuse parents ``PX`` (left) and ``PY`` (right) into ``PXY``.
+
+        Both parents must share the same (possibly empty) prefix ``P`` and
+        have been built against the same database; this is the caller's
+        responsibility (the candidate-generation machinery guarantees it).
+        """
+
+    @abstractmethod
+    def payload_bytes(self, vertical: Vertical) -> int:
+        """In-memory payload size of one candidate, in bytes."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def singleton_build_cost(self, db: TransactionDatabase) -> OpCost:
+        """Cost of the initial horizontal-to-vertical pass (one DB scan)."""
+        elems = int(sum(t.size for t in db))
+        return OpCost(cpu_ops=elems, bytes_read=elems * BYTES_PER_TID,
+                      bytes_written=elems * BYTES_PER_TID)
+
+    def generation_bytes(self, verticals: list[Vertical]) -> int:
+        """Total payload bytes of one candidate generation."""
+        return sum(self.payload_bytes(v) for v in verticals)
+
+
+def check_same_universe(a: np.ndarray, b: np.ndarray, what: str) -> None:
+    """Guard against combining verticals from different databases."""
+    if a.dtype != b.dtype:
+        raise RepresentationError(
+            f"cannot combine {what} payloads with dtypes {a.dtype} and {b.dtype}"
+        )

@@ -1,0 +1,93 @@
+"""Vertical bitvector representation (Figure 1c).
+
+Each candidate carries a fixed-width bitmask over the transaction ids: bit
+``t`` is set when transaction ``t`` contains the candidate.  Support counting
+is a word-wise AND followed by a population count.  The width is fixed by the
+database (``ceil(n_transactions / 64)`` words), which is the property the
+paper highlights: dense data compresses well, but *every* candidate pays the
+full width regardless of its support, so sparse generations carry dead
+weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations.base import (
+    BYTES_PER_WORD,
+    OpCost,
+    Representation,
+    Vertical,
+    check_same_universe,
+)
+
+WORD_BITS = 64
+WORD_DTYPE = np.uint64
+
+
+def words_for(n_transactions: int) -> int:
+    """Number of 64-bit words needed to cover ``n_transactions`` bits."""
+    return (n_transactions + WORD_BITS - 1) // WORD_BITS
+
+
+def tids_to_bits(tids: np.ndarray, n_transactions: int) -> np.ndarray:
+    """Pack a sorted tid array into a 64-bit word bitmask."""
+    words = np.zeros(words_for(n_transactions), dtype=WORD_DTYPE)
+    if tids.size:
+        tid64 = tids.astype(np.uint64)
+        np.bitwise_or.at(
+            words, (tid64 // WORD_BITS).astype(np.int64),
+            WORD_DTYPE(1) << (tid64 % WORD_BITS),
+        )
+    return words
+
+
+def bits_to_tids(words: np.ndarray) -> np.ndarray:
+    """Unpack a word bitmask back into a sorted int32 tid array."""
+    if words.size == 0:
+        return np.empty(0, dtype=np.int32)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.nonzero(bits)[0].astype(np.int32)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total set bits across the mask."""
+    if words.size == 0:
+        return 0
+    return int(np.bitwise_count(words).sum())
+
+
+class BitvectorRepresentation(Representation):
+    """Fixed-width bitmasks with AND + popcount support counting."""
+
+    name = "bitvector"
+
+    def build_singletons(
+        self, db: TransactionDatabase, min_support: int = 0
+    ) -> list[Vertical]:
+        n = db.n_transactions
+        empty = np.empty(0, dtype=WORD_DTYPE)
+        singletons = []
+        for tids in db.tidlists():
+            support = int(tids.size)
+            words = tids_to_bits(tids, n) if support >= min_support else empty
+            singletons.append(Vertical(payload=words, support=support))
+        return singletons
+
+    def combine(self, left: Vertical, right: Vertical) -> tuple[Vertical, OpCost]:
+        a, b = left.payload, right.payload
+        check_same_universe(a, b, "bitvector")
+        out = a & b
+        support = popcount(out)
+        n_words = int(a.size)
+        cost = OpCost(
+            # One AND plus one popcount per word.
+            cpu_ops=2 * n_words,
+            bytes_read=2 * n_words * BYTES_PER_WORD,
+            bytes_written=n_words * BYTES_PER_WORD,
+        )
+        return Vertical(payload=out, support=support), cost
+
+    def payload_bytes(self, vertical: Vertical) -> int:
+        return int(vertical.payload.size) * BYTES_PER_WORD

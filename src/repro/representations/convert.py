@@ -1,0 +1,46 @@
+"""Conversions between the vertical formats.
+
+Used by the property-test suite to check the cross-representation
+identities (Section II-B is an equivalence argument: all three formats
+encode the same cover sets) and by callers who mine with one format but want
+tid-level output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.representations.base import Vertical
+from repro.representations.bitvector import bits_to_tids, tids_to_bits
+from repro.representations.diffset import setdiff_sorted
+from repro.representations.tidset import TIDSET_DTYPE
+
+
+def tidset_to_bitvector(v: Vertical, n_transactions: int) -> Vertical:
+    """Pack a tidset candidate into the bitvector format."""
+    return Vertical(
+        payload=tids_to_bits(v.payload, n_transactions), support=v.support
+    )
+
+
+def bitvector_to_tidset(v: Vertical) -> Vertical:
+    """Unpack a bitvector candidate into the tidset format."""
+    return Vertical(payload=bits_to_tids(v.payload), support=v.support)
+
+
+def tidset_to_diffset(v: Vertical, prefix_tids: np.ndarray) -> Vertical:
+    """Diffset of a candidate relative to its prefix's tidset.
+
+    ``d(PX) = t(P) - t(PX)``; for generation 1 pass
+    ``np.arange(n_transactions)`` as the prefix cover.
+    """
+    prefix32 = prefix_tids.astype(TIDSET_DTYPE)
+    payload = setdiff_sorted(prefix32, v.payload.astype(TIDSET_DTYPE))
+    return Vertical(payload=payload, support=v.support)
+
+
+def diffset_to_tidset(v: Vertical, prefix_tids: np.ndarray) -> Vertical:
+    """Invert :func:`tidset_to_diffset` given the same prefix cover."""
+    prefix32 = prefix_tids.astype(TIDSET_DTYPE)
+    payload = setdiff_sorted(prefix32, v.payload.astype(TIDSET_DTYPE))
+    return Vertical(payload=payload, support=v.support)

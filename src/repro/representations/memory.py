@@ -1,0 +1,61 @@
+"""Memory footprint accounting for candidate generations.
+
+Section V-A attributes Apriori's tidset/bitvector non-scalability to payload
+size: "the size of tidset and bitvector is generally one order of magnitude
+larger than the diffset's".  This module measures exactly that, per
+generation, for any representation — feeding both the E9 ablation bench and
+the machine model's placement decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.representations.base import Representation, Vertical
+
+
+@dataclass(frozen=True)
+class GenerationFootprint:
+    """Payload statistics for one candidate generation."""
+
+    representation: str
+    generation: int
+    n_candidates: int
+    total_bytes: int
+    max_candidate_bytes: int
+
+    @property
+    def mean_candidate_bytes(self) -> float:
+        if self.n_candidates == 0:
+            return 0.0
+        return self.total_bytes / self.n_candidates
+
+
+def measure_generation(
+    representation: Representation,
+    verticals: list[Vertical],
+    generation: int,
+) -> GenerationFootprint:
+    """Footprint of one generation's candidate payloads."""
+    sizes = [representation.payload_bytes(v) for v in verticals]
+    return GenerationFootprint(
+        representation=representation.name,
+        generation=generation,
+        n_candidates=len(verticals),
+        total_bytes=int(sum(sizes)),
+        max_candidate_bytes=int(max(sizes, default=0)),
+    )
+
+
+def footprint_ratio(
+    a: GenerationFootprint, b: GenerationFootprint
+) -> float:
+    """How many times larger generation ``a`` is than ``b`` (by total bytes).
+
+    Returns ``inf`` when ``b`` is empty but ``a`` is not, and 1.0 when both
+    are empty — convenient for asserting the paper's order-of-magnitude
+    claim without dividing by zero.
+    """
+    if b.total_bytes == 0:
+        return 1.0 if a.total_bytes == 0 else float("inf")
+    return a.total_bytes / b.total_bytes

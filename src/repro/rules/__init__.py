@@ -1,0 +1,18 @@
+"""Association rule generation and interestingness metrics."""
+
+from repro.rules.generation import AssociationRule, generate_rules, top_rules_for
+from repro.rules.export import rules_from_json, rules_to_csv, rules_to_json
+from repro.rules.metrics import confidence, conviction, leverage, lift
+
+__all__ = [
+    "AssociationRule",
+    "generate_rules",
+    "top_rules_for",
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "rules_to_csv",
+    "rules_to_json",
+    "rules_from_json",
+]

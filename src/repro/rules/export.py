@@ -1,0 +1,98 @@
+"""Rule export: CSV and JSON serialization of association rules.
+
+Downstream consumers (dashboards, recommender pipelines) rarely speak
+Python tuples; these helpers emit the two formats everything speaks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.rules.generation import AssociationRule
+
+CSV_COLUMNS = (
+    "antecedent",
+    "consequent",
+    "support",
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+)
+
+
+def _rule_row(rule: AssociationRule) -> dict:
+    return {
+        "antecedent": " ".join(map(str, rule.antecedent)),
+        "consequent": " ".join(map(str, rule.consequent)),
+        "support": round(rule.support, 6),
+        "confidence": round(rule.confidence, 6),
+        "lift": round(rule.lift, 6),
+        "leverage": round(rule.leverage, 6),
+        # CSV/JSON have no Infinity literal; emit an empty marker.
+        "conviction": (
+            round(rule.conviction, 6)
+            if math.isfinite(rule.conviction)
+            else None
+        ),
+    }
+
+
+def rules_to_csv(
+    rules: Iterable[AssociationRule], target: TextIO | str | Path | None = None
+) -> str:
+    """Write rules as CSV; returns the text (and writes ``target`` if given)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for rule in rules:
+        writer.writerow(_rule_row(rule))
+    text = buffer.getvalue()
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text)
+    elif target is not None:
+        target.write(text)
+    return text
+
+
+def rules_to_json(
+    rules: Iterable[AssociationRule], target: str | Path | None = None
+) -> str:
+    """Write rules as a JSON array; returns the text."""
+    payload = [
+        {
+            **_rule_row(rule),
+            "antecedent": list(rule.antecedent),
+            "consequent": list(rule.consequent),
+        }
+        for rule in rules
+    ]
+    text = json.dumps(payload, indent=2)
+    if target is not None:
+        Path(target).write_text(text)
+    return text
+
+
+def rules_from_json(source: str | Path) -> list[AssociationRule]:
+    """Load rules previously written by :func:`rules_to_json`."""
+    raw = json.loads(Path(source).read_text())
+    rules = []
+    for entry in raw:
+        conviction = entry["conviction"]
+        rules.append(
+            AssociationRule(
+                antecedent=tuple(entry["antecedent"]),
+                consequent=tuple(entry["consequent"]),
+                support=entry["support"],
+                confidence=entry["confidence"],
+                lift=entry["lift"],
+                leverage=entry["leverage"],
+                conviction=math.inf if conviction is None else conviction,
+            )
+        )
+    return rules

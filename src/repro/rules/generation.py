@@ -1,0 +1,114 @@
+"""Association-rule generation from a mined :class:`MiningResult`.
+
+Implements the classic Agrawal-Srikant rule-generation phase: for each
+frequent itemset, every non-empty proper subset is a candidate antecedent;
+the rule is kept when its confidence clears the threshold.  Because all
+subsets of a frequent itemset are themselves frequent (downward closure),
+every support needed is already in the result — no extra database scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterator
+
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult
+from repro.errors import ConfigurationError, MiningError
+from repro.rules import metrics
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One ``antecedent => consequent`` rule with its scores."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ante = ",".join(map(str, self.antecedent))
+        cons = ",".join(map(str, self.consequent))
+        return (
+            f"{{{ante}}} => {{{cons}}} "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def _proper_subsets(items: Itemset) -> Iterator[Itemset]:
+    """Non-empty proper subsets, smallest first."""
+    return chain.from_iterable(
+        combinations(items, k) for k in range(1, len(items))
+    )
+
+
+def generate_rules(
+    result: MiningResult,
+    min_confidence: float = 0.5,
+    min_lift: float | None = None,
+) -> list[AssociationRule]:
+    """All rules meeting the confidence (and optional lift) thresholds.
+
+    Rules are returned sorted by descending confidence then lift, the order
+    a recommendation engine would consume them in.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ConfigurationError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
+    if result.n_transactions <= 0:
+        raise MiningError(
+            "rule generation needs n_transactions > 0 on the mining result"
+        )
+    n = result.n_transactions
+    rules: list[AssociationRule] = []
+    for items, support_abs in result.itemsets.items():
+        if len(items) < 2:
+            continue
+        sup_union = support_abs / n
+        for antecedent in _proper_subsets(items):
+            consequent = tuple(i for i in items if i not in antecedent)
+            try:
+                sup_ante = result.support(antecedent) / n
+                sup_cons = result.support(consequent) / n
+            except KeyError as exc:  # pragma: no cover - closure violation
+                raise MiningError(
+                    f"subset {exc} of frequent itemset {items} missing from "
+                    "result; downward closure violated"
+                ) from exc
+            conf = metrics.confidence(sup_union, sup_ante)
+            if conf < min_confidence:
+                continue
+            rule_lift = metrics.lift(sup_union, sup_ante, sup_cons)
+            if min_lift is not None and rule_lift < min_lift:
+                continue
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=sup_union,
+                    confidence=conf,
+                    lift=rule_lift,
+                    leverage=metrics.leverage(sup_union, sup_ante, sup_cons),
+                    conviction=metrics.conviction(sup_union, sup_ante, sup_cons),
+                )
+            )
+    rules.sort(key=lambda r: (-r.confidence, -r.lift, r.antecedent, r.consequent))
+    return rules
+
+
+def top_rules_for(
+    rules: list[AssociationRule], item: int, limit: int = 5
+) -> list[AssociationRule]:
+    """The strongest rules whose antecedent contains ``item``.
+
+    This is the "customers who bought X also buy ..." query of Section II.
+    """
+    matching = [r for r in rules if item in r.antecedent]
+    return matching[:limit]

@@ -1,0 +1,65 @@
+"""Association-rule interestingness metrics.
+
+Section II motivates FIM with market-basket association rules (the famous
+diapers-and-beer anecdote).  A rule ``antecedent => consequent`` is scored
+from the supports of the antecedent, consequent, and their union; all
+metrics take *relative* supports in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _check(p: float, name: str) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"{name} must be a relative support in [0, 1], got {p}")
+
+
+def confidence(support_union: float, support_antecedent: float) -> float:
+    """P(consequent | antecedent).  Undefined antecedent -> 0."""
+    _check(support_union, "support_union")
+    _check(support_antecedent, "support_antecedent")
+    if support_antecedent == 0.0:
+        return 0.0
+    return support_union / support_antecedent
+
+
+def lift(
+    support_union: float, support_antecedent: float, support_consequent: float
+) -> float:
+    """Observed co-occurrence over the independence expectation.
+
+    lift > 1 means positively correlated; lift == 1 independent.
+    """
+    _check(support_consequent, "support_consequent")
+    conf = confidence(support_union, support_antecedent)
+    if support_consequent == 0.0:
+        return 0.0
+    return conf / support_consequent
+
+
+def leverage(
+    support_union: float, support_antecedent: float, support_consequent: float
+) -> float:
+    """Difference between observed and expected co-occurrence frequency."""
+    _check(support_union, "support_union")
+    _check(support_antecedent, "support_antecedent")
+    _check(support_consequent, "support_consequent")
+    return support_union - support_antecedent * support_consequent
+
+
+def conviction(
+    support_union: float, support_antecedent: float, support_consequent: float
+) -> float:
+    """How much more often the rule would be wrong under independence.
+
+    Ranges in [0, inf); a confidence-1 rule has infinite conviction.
+    """
+    conf = confidence(support_union, support_antecedent)
+    if conf >= 1.0:
+        return math.inf
+    _check(support_consequent, "support_consequent")
+    return (1.0 - support_consequent) / (1.0 - conf)

@@ -1,0 +1,89 @@
+"""Shared fixtures: small deterministic databases and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DenseAttributeGenerator,
+    QuestGenerator,
+    TransactionDatabase,
+    parse_fimi,
+)
+
+
+@pytest.fixture
+def tiny_db() -> TransactionDatabase:
+    """The running example: 5 transactions over items {1, 2, 3}."""
+    return parse_fimi(
+        """1 2 3
+1 2
+2 3
+1 3
+1 2 3""",
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def paper_db() -> TransactionDatabase:
+    """A 6-transaction database shaped like the paper's Figure 1/2 example.
+
+    Items A..F are mapped to 0..5.  Item 0 (A) has support 4 with diffset
+    {3, 5}, mirroring the worked diffset example in Section II-B.
+    """
+    return TransactionDatabase(
+        [
+            [0, 1, 2, 4],  # t0: A B C E
+            [0, 2, 4],     # t1: A C E
+            [0, 2, 3, 4],  # t2: A C D E
+            [1, 2, 4, 5],  # t3: B C E F
+            [0, 1, 4],     # t4: A B E
+            [2, 4, 5],     # t5: C E F
+        ],
+        name="figure2",
+    )
+
+
+@pytest.fixture
+def empty_db() -> TransactionDatabase:
+    return TransactionDatabase([], name="empty")
+
+
+@pytest.fixture
+def single_item_db() -> TransactionDatabase:
+    return TransactionDatabase([[0], [0], [0]], name="single")
+
+
+@pytest.fixture
+def small_dense_db() -> TransactionDatabase:
+    """A 200-row dense attribute table (fast surrogate stand-in)."""
+    gen = DenseAttributeGenerator(
+        domain_sizes=(3, 3, 2, 4, 2),
+        n_classes=2,
+        peak=0.8,
+        n_shared_attributes=2,
+        shared_peak=0.95,
+        seed=7,
+    )
+    return gen.generate(200, name="small-dense")
+
+
+@pytest.fixture
+def small_sparse_db() -> TransactionDatabase:
+    """A 300-row Quest-style sparse basket set."""
+    gen = QuestGenerator(
+        n_items=60, avg_transaction_length=6, avg_pattern_length=3,
+        n_patterns=30, seed=13,
+    )
+    return gen.generate(300)
+
+
+def assert_results_equal(a, b) -> None:
+    """Rich assertion for cross-miner agreement."""
+    if a.itemsets != b.itemsets:
+        diff = a.difference(b)
+        raise AssertionError(
+            f"{a.algorithm}/{a.representation} != {b.algorithm}/{b.representation}: "
+            f"{ {k: v for k, v in diff.items() if v} }"
+        )

@@ -1,0 +1,174 @@
+"""Tests for metrics, table rendering, and experiment records."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRecord,
+    efficiency,
+    format_seconds,
+    from_studies,
+    karp_flatt,
+    karp_flatt_series,
+    render_dataset_stats,
+    render_grid,
+    render_runtime_table,
+    render_speedup_series,
+    speedup,
+)
+from repro.errors import ConfigurationError
+from repro.parallel.speedup import (
+    RuntimeTable,
+    SpeedupSeries,
+    runtime_table,
+    scaling_verdict,
+    speedup_series,
+)
+
+
+class TestMetrics:
+    TIMES = {1: 10.0, 16: 1.0, 32: 0.8}
+
+    def test_speedup(self):
+        ups = speedup(self.TIMES)
+        assert ups[1] == pytest.approx(1.0)
+        assert ups[16] == pytest.approx(10.0)
+        assert ups[32] == pytest.approx(12.5)
+
+    def test_speedup_missing_baseline(self):
+        with pytest.raises(ConfigurationError):
+            speedup({16: 1.0})
+
+    def test_speedup_nonpositive_time(self):
+        with pytest.raises(ConfigurationError):
+            speedup({1: 1.0, 2: 0.0})
+
+    def test_efficiency(self):
+        eff = efficiency(self.TIMES)
+        assert eff[16] == pytest.approx(10.0 / 16)
+
+    def test_karp_flatt_perfect_scaling_is_zero(self):
+        assert karp_flatt(16.0, 16) == pytest.approx(0.0)
+
+    def test_karp_flatt_serial_floor(self):
+        # Half the program serial: S(inf) -> 2; at T=4, S = 1/(0.5+0.125)=1.6
+        assert karp_flatt(1.6, 4) == pytest.approx(0.5)
+
+    def test_karp_flatt_series_skips_baseline(self):
+        series = karp_flatt_series(self.TIMES)
+        assert set(series) == {16, 32}
+
+    def test_karp_flatt_validation(self):
+        with pytest.raises(ConfigurationError):
+            karp_flatt(2.0, 1)
+        with pytest.raises(ConfigurationError):
+            karp_flatt(0.0, 4)
+
+    def test_scaled_down_note(self):
+        from repro.analysis.metrics import scaled_down_note
+
+        assert "0.50x" in scaled_down_note(52.0, 26.0)
+        assert "unavailable" in scaled_down_note(0.0, 26.0)
+
+
+class TestRendering:
+    def test_render_grid_alignment(self):
+        text = render_grid(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(120.0) == "120"
+        assert format_seconds(1.5) == "1.50"
+        assert format_seconds(0.002) == "2.00m"
+        assert format_seconds(5e-5) == "50u"
+
+    def test_render_runtime_table(self):
+        table = RuntimeTable("TABLE II", [1, 16], [("chess@0.8", [2.0, 0.2])])
+        text = render_runtime_table(table)
+        assert "TABLE II" in text and "chess@0.8" in text and "2.00" in text
+
+    def test_render_speedup_series(self):
+        series = [SpeedupSeries("chess@0.8", [16, 32], [10.0, 14.5])]
+        text = render_speedup_series(series, title="Figure 5")
+        assert "14.5" in text and "Figure 5" in text
+
+    def test_render_speedup_empty(self):
+        assert render_speedup_series([], title="x") == "x"
+
+    def test_render_dataset_stats(self):
+        text = render_dataset_stats([("chess", 75, 37.0, 3196, "334K")])
+        assert "chess" in text and "3196" in text
+
+
+class TestSpeedupAssembly:
+    def _study(self, db, rep="tidset"):
+        from repro.parallel import run_scalability_study
+
+        return run_scalability_study(
+            db, "eclat", rep, 2, thread_counts=[1, 16, 64]
+        )
+
+    def test_runtime_table_and_series(self, tiny_db):
+        studies = [self._study(tiny_db)]
+        table = runtime_table(studies, "TABLE X")
+        assert table.thread_counts == [1, 16, 64]
+        assert table.rows[0][0] == "tiny@2abs"
+        series = speedup_series(studies)
+        assert series[0].thread_counts == [16, 64]  # baseline excluded
+
+    def test_runtime_table_requires_matching_sweeps(self, tiny_db):
+        from repro.parallel import run_scalability_study
+
+        a = self._study(tiny_db)
+        b = run_scalability_study(
+            tiny_db, "eclat", "tidset", 2, thread_counts=[1, 16]
+        )
+        with pytest.raises(ConfigurationError):
+            runtime_table([a, b], "bad")
+
+    def test_runtime_table_empty(self):
+        with pytest.raises(ConfigurationError):
+            runtime_table([], "empty")
+
+    def test_scaling_verdict(self):
+        scalable = SpeedupSeries("x", [16, 64, 1024], [14.0, 30.0, 50.0])
+        plateau = SpeedupSeries("x", [16, 64, 1024], [14.0, 14.5, 14.2])
+        degrades = SpeedupSeries("x", [16, 64, 1024], [14.0, 8.0, 5.0])
+        assert scaling_verdict(scalable) == "scalable"
+        assert scaling_verdict(plateau) == "plateau"
+        assert scaling_verdict(degrades) == "degrades"
+
+    def test_series_helpers(self):
+        s = SpeedupSeries("x", [16, 64], [5.0, 9.0])
+        assert s.final() == 9.0
+        assert s.peak() == 9.0
+
+
+class TestExperimentRecords:
+    def test_record_roundtrip(self, tiny_db, tmp_path):
+        from repro.parallel import run_scalability_study
+
+        study = run_scalability_study(
+            tiny_db, "apriori", "tidset", 2, thread_counts=[1, 16]
+        )
+        record = from_studies("E2", "Table II", [study], notes={"k": 1})
+        path = record.save(tmp_path / "e2.json")
+        loaded = ExperimentRecord.load(path)
+        assert loaded.experiment_id == "E2"
+        assert loaded.series[0].label == "tiny@2abs"
+        assert loaded.notes == {"k": 1}
+        assert loaded.peak_speedups()["tiny@2abs"] >= 1.0
+        assert loaded.final_speedups()["tiny@2abs"] > 0
+
+    def test_from_studies_requires_input(self):
+        with pytest.raises(ConfigurationError):
+            from_studies("E0", "none", [])
+
+    def test_mixed_algorithms_labelled(self, tiny_db):
+        from repro.parallel import run_scalability_study
+
+        a = run_scalability_study(tiny_db, "apriori", "tidset", 2, [1])
+        e = run_scalability_study(tiny_db, "eclat", "tidset", 2, [1])
+        record = from_studies("EX", "mix", [a, e])
+        assert record.algorithm == "mixed"

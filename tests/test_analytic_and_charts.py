@@ -1,0 +1,125 @@
+"""Tests for the analytic bounds and terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import sparkline, speedup_chart
+from repro.errors import ConfigurationError
+from repro.machine import (
+    BLACKLIGHT,
+    WorkloadSummary,
+    amdahl_speedup,
+    efficiency_at,
+    saturation_threads,
+    speedup_upper_bound,
+)
+from repro.parallel.speedup import SpeedupSeries
+
+
+class TestAnalyticBounds:
+    def test_amdahl_classic(self):
+        # 10% serial caps speedup at 10.
+        w = WorkloadSummary(parallel_seconds=9.0, serial_seconds=1.0)
+        assert amdahl_speedup(w, 1) == pytest.approx(1.0)
+        assert amdahl_speedup(w, 10**9) == pytest.approx(10.0, rel=1e-3)
+
+    def test_amdahl_fully_parallel(self):
+        w = WorkloadSummary(parallel_seconds=4.0, serial_seconds=0.0)
+        assert amdahl_speedup(w, 8) == pytest.approx(8.0)
+        assert saturation_threads(w) == float("inf")
+
+    def test_saturation_threads(self):
+        w = WorkloadSummary(parallel_seconds=9.0, serial_seconds=1.0)
+        assert saturation_threads(w) == pytest.approx(9.0)
+
+    def test_task_count_cap(self):
+        w = WorkloadSummary(
+            parallel_seconds=10.0, serial_seconds=0.0, n_tasks=5
+        )
+        assert speedup_upper_bound(w, 1000) == pytest.approx(5.0)
+
+    def test_critical_path_cap(self):
+        w = WorkloadSummary(
+            parallel_seconds=10.0, serial_seconds=0.0, max_task_seconds=2.0
+        )
+        assert speedup_upper_bound(w, 1000) == pytest.approx(5.0)
+
+    def test_bisection_cap_only_off_blade(self):
+        bytes_ = 2.0 * BLACKLIGHT.bisection_bandwidth  # 2 s floor
+        w = WorkloadSummary(
+            parallel_seconds=10.0, serial_seconds=0.0, remote_bytes=bytes_
+        )
+        # Within one blade the remote term does not apply.
+        assert speedup_upper_bound(w, 16) == pytest.approx(16.0)
+        assert speedup_upper_bound(w, 1024) == pytest.approx(5.0)
+
+    def test_efficiency(self):
+        w = WorkloadSummary(parallel_seconds=8.0, serial_seconds=0.0)
+        assert efficiency_at(w, 8) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSummary(parallel_seconds=-1.0, serial_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSummary(
+                parallel_seconds=1.0, serial_seconds=0.0, max_task_seconds=2.0
+            )
+        w = WorkloadSummary(parallel_seconds=1.0, serial_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(w, 0)
+
+    def test_simulator_never_beats_bounds(self):
+        """Cross-check: event simulation respects the analytic envelope."""
+        from repro.openmp import ScheduleSpec, simulate_parallel_for
+
+        rng = np.random.default_rng(5)
+        durations = rng.random(40)
+        w = WorkloadSummary(
+            parallel_seconds=float(durations.sum()),
+            serial_seconds=0.0,
+            n_tasks=int(durations.size),
+            max_task_seconds=float(durations.max()),
+        )
+        for threads in (2, 8, 64, 512):
+            out = simulate_parallel_for(
+                durations, threads, ScheduleSpec("dynamic", 1)
+            )
+            simulated = durations.sum() / out.makespan
+            assert simulated <= speedup_upper_bound(w, threads) + 1e-9
+
+
+class TestCharts:
+    def test_sparkline_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_chart_contains_series_and_labels(self):
+        series = [
+            SpeedupSeries("a@1", [16, 64], [4.0, 8.0]),
+            SpeedupSeries("b@1", [16, 64], [2.0, 3.0]),
+        ]
+        chart = speedup_chart(series, title="fig")
+        assert "fig" in chart
+        assert "o=a@1" in chart and "x=b@1" in chart
+        assert "16" in chart and "64" in chart
+
+    def test_chart_peak_on_top_row(self):
+        series = [SpeedupSeries("a@1", [16, 64], [1.0, 10.0])]
+        top_data_line = speedup_chart(series).splitlines()[0]
+        assert "o" in top_data_line  # the peak sits on the top row
+
+    def test_chart_validation(self):
+        a = SpeedupSeries("a", [16], [1.0])
+        b = SpeedupSeries("b", [32], [1.0])
+        with pytest.raises(ConfigurationError):
+            speedup_chart([a, b])
+        with pytest.raises(ConfigurationError):
+            speedup_chart([a], height=2)
+
+    def test_chart_empty(self):
+        assert speedup_chart([], title="t") == "t"

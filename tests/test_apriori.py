@@ -1,0 +1,106 @@
+"""Unit tests for the Apriori miner."""
+
+import pytest
+
+from repro.core import apriori, run_apriori
+from repro.core.apriori import AprioriRun
+from repro.representations.base import OpCost
+
+EXPECTED_TINY = {
+    (1,): 4, (2,): 4, (3,): 4,
+    (1, 2): 3, (1, 3): 3, (2, 3): 3,
+    (1, 2, 3): 2,
+}
+
+
+@pytest.mark.parametrize("rep", ["tidset", "bitvector", "diffset"])
+class TestCorrectness:
+    def test_tiny_db(self, tiny_db, rep):
+        result = apriori(tiny_db, 2, rep)
+        assert result.itemsets == EXPECTED_TINY
+
+    def test_threshold_excludes(self, tiny_db, rep):
+        result = apriori(tiny_db, 3, rep)
+        assert (1, 2, 3) not in result
+        assert (1, 2) in result
+
+    def test_relative_threshold(self, tiny_db, rep):
+        assert apriori(tiny_db, 0.4, rep).itemsets == EXPECTED_TINY
+
+    def test_figure2_example(self, paper_db, rep):
+        result = apriori(paper_db, 3, rep)
+        assert result.support((0, 2, 4)) == 3  # ACE
+        assert (3,) not in result  # D infrequent
+        assert (5,) not in result  # F infrequent
+
+    def test_no_frequent_items(self, tiny_db, rep):
+        # Threshold 5 exceeds every item's support (4) -> empty result.
+        assert len(apriori(tiny_db, 5, rep)) == 0
+
+    def test_empty_db(self, empty_db, rep):
+        assert len(apriori(empty_db, 1, rep)) == 0
+
+    def test_single_item_db(self, single_item_db, rep):
+        result = apriori(single_item_db, 2, rep)
+        assert result.itemsets == {(0,): 3}
+
+    def test_matches_oracle_supports(self, small_dense_db, rep):
+        result = apriori(small_dense_db, 0.5, rep)
+        assert len(result) > 0
+        for items in list(result)[:20]:
+            assert result.support(items) == small_dense_db.support_of(items)
+
+
+class TestRunApriori:
+    def test_run_returns_metadata(self, tiny_db):
+        run = run_apriori(tiny_db, 2, "tidset")
+        assert isinstance(run, AprioriRun)
+        assert run.n_generations == 3
+        assert isinstance(run.total_cost, OpCost)
+        assert run.total_cost.cpu_ops > 0
+
+    def test_level_table_contents(self, tiny_db):
+        run = run_apriori(tiny_db, 2, "tidset")
+        assert run.table[1].n_frequent == 3
+        assert run.table[2].n_frequent == 3
+        assert run.table[3].n_frequent == 1
+        assert run.table[3].itemsets == [(1, 2, 3)]
+
+    def test_verticals_released(self, tiny_db):
+        run = run_apriori(tiny_db, 2, "tidset")
+        for level in run.table.levels():
+            assert level.verticals is None
+
+    def test_max_generations_cap(self, tiny_db):
+        run = run_apriori(tiny_db, 2, "tidset", max_generations=2)
+        assert run.result.max_size() == 2
+
+    def test_prune_toggle_same_result(self, small_dense_db):
+        with_prune = apriori(small_dense_db, 0.4, "tidset", prune=True)
+        without = apriori(small_dense_db, 0.4, "tidset", prune=False)
+        assert with_prune.same_itemsets(without)
+
+    def test_result_labels(self, tiny_db):
+        result = apriori(tiny_db, 2, "diffset")
+        assert result.algorithm == "apriori"
+        assert result.representation == "diffset"
+        assert result.dataset == "tiny"
+
+    def test_sink_receives_all_generations(self, tiny_db):
+        events = []
+
+        class Sink:
+            def on_singletons(self, level, build_cost):
+                events.append(("singletons", level.generation))
+
+            def on_count_task(self, generation, *args):
+                events.append(("count", generation))
+
+            def on_generation_done(self, level, candidate_gen_ops):
+                events.append(("done", level.generation))
+
+        run_apriori(tiny_db, 2, "tidset", sink=Sink())
+        assert ("singletons", 1) in events
+        assert ("done", 3) in events
+        counts = [e for e in events if e[0] == "count"]
+        assert len(counts) == 3 + 1  # three pairs in gen2, one triple in gen3

@@ -1,0 +1,72 @@
+"""Tests for execution backends and the canonical paper configuration."""
+
+import pytest
+
+from repro import paper
+from repro.backends import eclat_multiprocessing, mine_serial
+from repro.backends.multiprocessing_backend import chunked
+from repro.core import eclat
+from repro.errors import ConfigurationError
+
+
+class TestSerialBackend:
+    def test_dispatch(self, tiny_db):
+        a = mine_serial(tiny_db, 2, "apriori", "tidset")
+        e = mine_serial(tiny_db, 2, "eclat", "diffset")
+        assert a.same_itemsets(e)
+
+    def test_unknown_algorithm(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            mine_serial(tiny_db, 2, "magic")
+
+
+class TestMultiprocessingBackend:
+    @pytest.mark.parametrize("rep", ["tidset", "diffset"])
+    def test_matches_serial(self, small_dense_db, rep):
+        serial = eclat(small_dense_db, 0.4, rep)
+        parallel = eclat_multiprocessing(
+            small_dense_db, 0.4, rep, n_workers=2
+        )
+        assert parallel.itemsets == serial.itemsets
+
+    def test_single_worker(self, tiny_db):
+        result = eclat_multiprocessing(tiny_db, 2, "tidset", n_workers=1)
+        assert result.itemsets == eclat(tiny_db, 2, "tidset").itemsets
+
+    def test_empty_result(self, tiny_db):
+        result = eclat_multiprocessing(tiny_db, 5, "tidset", n_workers=2)
+        assert len(result) == 0
+
+    def test_invalid_item_order(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            eclat_multiprocessing(tiny_db, 2, item_order="weird")
+
+    def test_chunked_helper(self):
+        assert chunked(range(5), 2) == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ConfigurationError):
+            chunked(range(3), 0)
+
+
+class TestPaperConfig:
+    def test_thread_counts(self):
+        assert paper.THREAD_COUNTS[0] == 1
+        assert paper.THREAD_COUNTS[-1] == 1024
+        assert 16 in paper.THREAD_COUNTS
+
+    def test_rows_cover_table1(self):
+        rows = paper.paper_rows()
+        assert [r.dataset for r in rows] == [
+            "chess", "mushroom", "pumsb", "pumsb_star",
+        ]
+        for row in rows:
+            assert 0 < row.min_support < 1
+            assert "@" in row.label
+
+    def test_quick_rows_subset(self):
+        quick = {r.dataset for r in paper.quick_rows()}
+        assert quick <= {r.dataset for r in paper.paper_rows()}
+
+    def test_row_loads_dataset(self):
+        row = paper.quick_rows()[0]
+        db = row.load()
+        assert db.name == row.dataset

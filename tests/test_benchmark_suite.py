@@ -1,0 +1,81 @@
+"""Tests for the Table I surrogate datasets (scaled-down where marked)."""
+
+import pytest
+
+from repro.datasets.benchmark_suite import (
+    PAPER_STATS,
+    load_all_benchmark_datasets,
+    load_benchmark_dataset,
+    make_chess,
+    make_mushroom,
+    make_pumsb,
+    make_pumsb_star,
+)
+
+# Small row counts keep these structural checks fast; full-size generation
+# is exercised once by the Table I bench.
+SCALED = 400
+
+
+class TestTableOneShape:
+    def test_chess_matches_table1(self):
+        db = make_chess(n_transactions=SCALED)
+        info = PAPER_STATS["chess"]
+        assert db.n_items == info.n_items
+        assert db.avg_length == pytest.approx(info.avg_length)
+
+    def test_mushroom_matches_table1(self):
+        db = make_mushroom(n_transactions=SCALED)
+        info = PAPER_STATS["mushroom"]
+        assert db.n_items == info.n_items
+        assert db.avg_length == pytest.approx(info.avg_length)
+
+    def test_pumsb_matches_table1(self):
+        db = make_pumsb(n_transactions=SCALED)
+        info = PAPER_STATS["pumsb"]
+        assert db.n_items == info.n_items
+        assert db.avg_length == pytest.approx(info.avg_length)
+
+    def test_full_transaction_counts_recorded(self):
+        assert PAPER_STATS["chess"].surrogate_transactions == 3196
+        assert PAPER_STATS["mushroom"].surrogate_transactions == 8124
+        assert PAPER_STATS["pumsb"].surrogate_transactions == 49046
+
+    def test_pumsb_star_derivation(self):
+        """pumsb_star = pumsb minus every >= 80%-support item."""
+        star = make_pumsb_star(n_transactions=SCALED)
+        supports = star.item_supports() / star.n_transactions
+        assert supports.max() < 0.80
+        assert star.avg_length < make_pumsb(n_transactions=SCALED).avg_length
+
+    def test_pumsb_star_same_transaction_count(self):
+        assert (
+            make_pumsb_star(n_transactions=SCALED).n_transactions
+            == make_pumsb(n_transactions=SCALED).n_transactions
+        )
+
+    def test_pumsb_has_high_support_items(self):
+        db = make_pumsb(n_transactions=SCALED)
+        supports = db.item_supports() / db.n_transactions
+        assert (supports >= 0.80).sum() >= 10
+
+    def test_deterministic(self):
+        a = make_chess(n_transactions=SCALED)
+        b = make_chess(n_transactions=SCALED)
+        assert [t.tolist() for t in a] == [t.tolist() for t in b]
+
+
+class TestLoaders:
+    def test_load_by_name(self):
+        db = load_benchmark_dataset("chess")
+        assert db.name == "chess"
+        assert db.n_transactions == PAPER_STATS["chess"].surrogate_transactions
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark dataset"):
+            load_benchmark_dataset("nope")
+
+    def test_load_all_names(self):
+        # Build tiny versions by hand to avoid the full pumsb cost here.
+        assert set(PAPER_STATS) == {"chess", "mushroom", "pumsb", "pumsb_star"}
+        assert callable(load_all_benchmark_datasets)

@@ -1,0 +1,83 @@
+"""Tests for the brute-force oracle and closed/maximal condensations."""
+
+import pytest
+
+from repro.core import (
+    apriori,
+    brute_force,
+    closed_itemsets,
+    condensation_summary,
+    maximal_itemsets,
+)
+from repro.core.result import from_mapping
+from repro.datasets import TransactionDatabase
+from repro.errors import ConfigurationError
+
+
+class TestBruteForce:
+    def test_tiny_db(self, tiny_db):
+        assert brute_force(tiny_db, 2).itemsets == apriori(tiny_db, 2).itemsets
+
+    def test_max_size_cap(self, tiny_db):
+        result = brute_force(tiny_db, 1, max_size=2)
+        assert result.max_size() == 2
+
+    def test_long_transactions_rejected_without_cap(self):
+        db = TransactionDatabase([list(range(25))])
+        with pytest.raises(ConfigurationError, match="max_size"):
+            brute_force(db, 1)
+        assert len(brute_force(db, 1, max_size=1)) == 25
+
+    def test_empty_db(self, empty_db):
+        assert len(brute_force(empty_db, 1)) == 0
+
+
+class TestClosedMaximal:
+    def _result(self):
+        # Lattice: {1}:4 {2}:4 {1,2}:4 {3}:3 {1,3}:2
+        return from_mapping(
+            {(1,): 4, (2,): 4, (1, 2): 4, (3,): 3, (1, 3): 2},
+            n_transactions=5,
+        )
+
+    def test_closed(self):
+        closed = closed_itemsets(self._result())
+        # {1} and {2} are absorbed by {1,2} (same support); {3} stays
+        # (its superset {1,3} has lower support).
+        assert set(closed) == {(1, 2), (3,), (1, 3)}
+
+    def test_maximal(self):
+        maximal = maximal_itemsets(self._result())
+        assert set(maximal) == {(1, 2), (1, 3)}
+
+    def test_maximal_subset_of_closed(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        closed = closed_itemsets(result)
+        maximal = maximal_itemsets(result)
+        assert set(maximal) <= set(closed)
+        assert set(closed) <= set(result.itemsets)
+
+    def test_closed_supports_preserved(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        for items, support in closed_itemsets(result).items():
+            assert result.support(items) == support
+
+    def test_summary_counts(self, tiny_db):
+        result = apriori(tiny_db, 2)
+        summary = condensation_summary(result)
+        assert summary["frequent"] == 7
+        assert summary["maximal"] <= summary["closed"] <= summary["frequent"]
+        assert summary["maximal"] == 1  # {1,2,3} dominates everything
+
+    def test_closed_covers_all_supports(self, small_dense_db):
+        """Closed itemsets determine the support of every frequent itemset."""
+        result = apriori(small_dense_db, 0.5)
+        closed = closed_itemsets(result)
+        from repro.core.itemset import is_subset
+
+        for items, support in result.itemsets.items():
+            best = max(
+                (s for c, s in closed.items() if is_subset(items, c)),
+                default=None,
+            )
+            assert best == support

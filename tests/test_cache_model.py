@@ -1,0 +1,105 @@
+"""Tests for the cache-reuse traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.cache_model import (
+    charge_left_reads,
+    charge_right_reads,
+    first_occurrence_mask,
+)
+
+
+class TestFirstOccurrence:
+    def test_basic(self):
+        mask = first_occurrence_mask(np.array([3, 1, 3, 2, 1]))
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_empty(self):
+        assert first_occurrence_mask(np.empty(0, np.int64)).size == 0
+
+    def test_all_unique(self):
+        assert first_occurrence_mask(np.array([5, 9, 1])).all()
+
+    def test_rejects_2d(self):
+        with pytest.raises(SimulationError):
+            first_occurrence_mask(np.zeros((2, 2), np.int64))
+
+
+class TestLeftCharging:
+    def test_repeat_reads_free_when_cached(self):
+        # Two threads; thread 0 reads parent 7 three times.
+        assignment = np.array([0, 0, 0, 1])
+        parents = np.array([7, 7, 7, 7])
+        size = np.array([100, 100, 100, 100])
+        charged = charge_left_reads(assignment, parents, size, 10, cache_per_thread=1000)
+        assert charged.tolist() == [100, 0, 0, 100]
+
+    def test_oversized_payload_streams_every_time(self):
+        assignment = np.zeros(3, np.int64)
+        parents = np.array([7, 7, 7])
+        size = np.array([5000, 5000, 5000])
+        charged = charge_left_reads(assignment, parents, size, 10, cache_per_thread=1000)
+        assert charged.tolist() == [5000, 5000, 5000]
+
+    def test_distinct_parents_each_charged(self):
+        assignment = np.zeros(3, np.int64)
+        parents = np.array([1, 2, 3])
+        size = np.array([10, 20, 30])
+        charged = charge_left_reads(assignment, parents, size, 10, cache_per_thread=1000)
+        assert charged.tolist() == [10, 20, 30]
+
+
+class TestRightCharging:
+    def test_small_working_set_charged_once(self):
+        assignment = np.zeros(4, np.int64)
+        parents = np.array([1, 2, 1, 2])
+        size = np.array([100, 100, 100, 100])
+        charged = charge_right_reads(
+            assignment, parents, size, 10, 1, cache_per_thread=1000
+        )
+        assert charged.tolist() == [100, 100, 0, 0]
+
+    def test_oversized_working_set_streams(self):
+        assignment = np.zeros(4, np.int64)
+        parents = np.array([1, 2, 1, 2])
+        size = np.array([600, 600, 600, 600])
+        charged = charge_right_reads(
+            assignment, parents, size, 10, 1, cache_per_thread=1000
+        )
+        # ws = 1200 > 1000: repeats pay (1 - 1000/1200) of their bytes.
+        assert charged[0] == 600 and charged[1] == 600
+        assert charged[2] == pytest.approx(600 * (1 - 1000 / 1200))
+
+    def test_written_bytes_evict(self):
+        assignment = np.zeros(4, np.int64)
+        parents = np.array([1, 2, 1, 2])
+        size = np.array([100, 100, 100, 100])
+        writes = np.array([500, 500, 500, 500])
+        cached = charge_right_reads(
+            assignment, parents, size, 10, 1, cache_per_thread=1000
+        )
+        evicted = charge_right_reads(
+            assignment, parents, size, 10, 1, cache_per_thread=1000,
+            written_bytes=writes,
+        )
+        assert evicted.sum() > cached.sum()
+
+    def test_per_thread_working_sets_independent(self):
+        # Thread 0's set fits; thread 1's does not.
+        assignment = np.array([0, 0, 1, 1])
+        parents = np.array([1, 1, 2, 2])
+        size = np.array([100, 100, 5000, 5000])
+        charged = charge_right_reads(
+            assignment, parents, size, 10, 2, cache_per_thread=1000
+        )
+        assert charged[1] == 0            # thread 0 repeat: hit
+        assert charged[3] > 0             # thread 1 repeat: streamed
+
+    def test_empty(self):
+        charged = charge_right_reads(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.int64), 5, 2, 1000,
+        )
+        assert charged.size == 0

@@ -1,0 +1,72 @@
+"""Unit tests for Apriori candidate generation."""
+
+from repro.core.candidate_gen import (
+    CandidateJoin,
+    candidate_generation_ops,
+    generate_candidates,
+)
+
+
+class TestGenerate2Itemsets:
+    def test_all_pairs_from_singletons(self):
+        cands = generate_candidates([(1,), (2,), (3,)])
+        assert [c.items for c in cands] == [(1, 2), (1, 3), (2, 3)]
+
+    def test_parent_indices(self):
+        cands = generate_candidates([(1,), (2,), (3,)])
+        assert (cands[0].left_parent, cands[0].right_parent) == (0, 1)
+        assert (cands[2].left_parent, cands[2].right_parent) == (1, 2)
+
+    def test_empty_input(self):
+        assert generate_candidates([]) == []
+
+    def test_single_itemset_no_candidates(self):
+        assert generate_candidates([(1,)]) == []
+
+
+class TestGenerateDeeper:
+    def test_prefix_blocks(self):
+        frequent = [(1, 2), (1, 3), (1, 4), (2, 3)]
+        cands = generate_candidates(frequent, prune=False)
+        assert [c.items for c in cands] == [(1, 2, 3), (1, 2, 4), (1, 3, 4)]
+
+    def test_prune_removes_missing_subset(self):
+        # (2, 3) is NOT frequent, so candidate (1, 2, 3) must be pruned:
+        # its subset {2,3} would have to be frequent.
+        frequent = [(1, 2), (1, 3), (1, 4), (3, 4)]
+        pruned = generate_candidates(frequent, prune=True)
+        unpruned = generate_candidates(frequent, prune=False)
+        assert (1, 2, 3) in [c.items for c in unpruned]
+        assert (1, 2, 3) not in [c.items for c in pruned]
+        # (1, 3, 4) survives: subsets {1,3}, {1,4}, {3,4} all frequent.
+        assert (1, 3, 4) in [c.items for c in pruned]
+
+    def test_prune_keeps_complete_lattice(self):
+        frequent = [(1, 2), (1, 3), (2, 3)]
+        cands = generate_candidates(frequent, prune=True)
+        assert [c.items for c in cands] == [(1, 2, 3)]
+
+    def test_candidates_lexicographic(self):
+        frequent = [(1, 2), (1, 5), (2, 3), (2, 4)]
+        cands = generate_candidates(frequent, prune=False)
+        items = [c.items for c in cands]
+        assert items == sorted(items)
+
+    def test_four_itemsets(self):
+        frequent = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+        cands = generate_candidates(frequent, prune=True)
+        assert [c.items for c in cands] == [(1, 2, 3, 4)]
+
+    def test_returns_candidatejoin_instances(self):
+        (c,) = generate_candidates([(1,), (2,)])
+        assert isinstance(c, CandidateJoin)
+
+
+class TestOpsEstimate:
+    def test_positive_and_monotone(self):
+        small = candidate_generation_ops(10, 5, 2)
+        large = candidate_generation_ops(100, 500, 2)
+        assert 0 < small < large
+
+    def test_zero_candidates(self):
+        assert candidate_generation_ops(10, 0, 3) == 30

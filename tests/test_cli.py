@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.fimi import write_fimi
+from repro.datasets.transaction_db import TransactionDatabase
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    db = TransactionDatabase(
+        [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]] * 3, name="clidb"
+    )
+    path = tmp_path / "data.dat"
+    write_fimi(db, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "x.dat"])
+        assert args.algorithm == "eclat"
+        assert args.min_support == 0.5
+
+    def test_support_parsing(self):
+        args = build_parser().parse_args(["mine", "x.dat", "-s", "3"])
+        assert args.min_support == 3 and isinstance(args.min_support, int)
+        args = build_parser().parse_args(["mine", "x.dat", "-s", "0.25"])
+        assert args.min_support == 0.25
+
+
+class TestCommands:
+    def test_mine_from_file(self, fimi_file, capsys):
+        assert main(["mine", fimi_file, "-s", "2", "-t", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "frequent itemsets" in out
+        assert "{2}:" in out or "{1}" in out
+
+    @pytest.mark.parametrize("algo", ["apriori", "fpgrowth", "charm"])
+    def test_mine_all_algorithms(self, fimi_file, algo, capsys):
+        assert main(["mine", fimi_file, "-s", "2", "-a", algo]) == 0
+        assert algo in capsys.readouterr().out
+
+    def test_mine_named_dataset(self, capsys):
+        assert main(["mine", "T10I4", "-s", "0.1", "-t", "2"]) == 0
+        assert "T10I4" in capsys.readouterr().out
+
+    def test_rules(self, fimi_file, capsys):
+        assert main(["rules", fimi_file, "-s", "2", "-c", "0.5"]) == 0
+        assert "rules at confidence" in capsys.readouterr().out
+
+    def test_scalability(self, fimi_file, capsys):
+        assert main(
+            ["scalability", fimi_file, "-s", "2", "--max-threads", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated runtime" in out
+        assert "speedup curve" in out
+
+    def test_unknown_source_errors(self):
+        with pytest.raises(SystemExit, match="neither a file nor a dataset"):
+            main(["mine", "does-not-exist"])

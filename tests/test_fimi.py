@@ -1,0 +1,73 @@
+"""Unit tests for the FIMI format parser/writer."""
+
+import io
+
+import pytest
+
+from repro.datasets.fimi import dumps_fimi, parse_fimi, read_fimi, write_fimi
+from repro.errors import DatasetError
+
+
+class TestParse:
+    def test_basic(self):
+        db = parse_fimi("1 2 3\n4 5\n")
+        assert db.n_transactions == 2
+        assert db[1].tolist() == [4, 5]
+
+    def test_extra_whitespace(self):
+        db = parse_fimi("  1\t2   3  \n")
+        assert db[0].tolist() == [1, 2, 3]
+
+    def test_blank_interior_line_is_empty_transaction(self):
+        db = parse_fimi("1 2\n\n3\n")
+        assert db.n_transactions == 3
+        assert db[1].size == 0
+
+    def test_trailing_blank_lines_dropped(self):
+        db = parse_fimi("1 2\n\n\n")
+        assert db.n_transactions == 1
+
+    def test_non_integer_rejected_with_line_number(self):
+        with pytest.raises(DatasetError, match="line 2"):
+            parse_fimi("1 2\n3 x\n")
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatasetError, match="negative"):
+            parse_fimi("1 -2\n")
+
+    def test_name_defaults(self):
+        assert parse_fimi("1\n").name == "fimi"
+        assert parse_fimi("1\n", name="custom").name == "custom"
+
+    def test_read_from_handle(self):
+        db = read_fimi(io.StringIO("7 8\n9\n"), name="h")
+        assert db.name == "h"
+        assert db.n_transactions == 2
+
+
+class TestWrite:
+    def test_roundtrip(self, tiny_db):
+        text = dumps_fimi(tiny_db)
+        back = parse_fimi(text)
+        assert [t.tolist() for t in back] == [t.tolist() for t in tiny_db]
+
+    def test_roundtrip_via_file(self, tmp_path, small_sparse_db):
+        path = tmp_path / "data.dat"
+        write_fimi(small_sparse_db, path)
+        back = read_fimi(path)
+        assert back.name == "data"
+        assert [t.tolist() for t in back] == [
+            t.tolist() for t in small_sparse_db
+        ]
+
+    def test_write_empty_transaction(self):
+        db = parse_fimi("1\n\n2\n")
+        assert dumps_fimi(db) == "1\n\n2\n"
+
+    def test_load_any_skips_missing(self, tmp_path, tiny_db):
+        from repro.datasets.fimi import load_any
+
+        path = tmp_path / "a.dat"
+        write_fimi(tiny_db, path)
+        loaded = load_any([path, tmp_path / "nope.dat"])
+        assert len(loaded) == 1

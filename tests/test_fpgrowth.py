@@ -1,0 +1,95 @@
+"""Unit tests for the FP-growth baseline."""
+
+import pytest
+
+from repro.core import apriori, fpgrowth
+from repro.core.fpgrowth import FPTree, _build_tree
+
+
+class TestFPTree:
+    def test_insert_and_counts(self):
+        tree = FPTree()
+        tree.insert([1, 2, 3], 1)
+        tree.insert([1, 2], 2)
+        root_child = tree.root.children[1]
+        assert root_child.count == 3
+        assert root_child.children[2].count == 3
+        assert root_child.children[2].children[3].count == 1
+
+    def test_header_chains(self):
+        tree = FPTree()
+        tree.insert([1, 2], 1)
+        tree.insert([3, 2], 1)
+        nodes = list(tree.item_nodes(2))
+        assert len(nodes) == 2
+        assert all(n.item == 2 for n in nodes)
+
+    def test_prefix_path(self):
+        tree = FPTree()
+        tree.insert([1, 2, 3], 1)
+        node = tree.root.children[1].children[2].children[3]
+        assert tree.prefix_path(node) == [1, 2]
+
+    def test_single_path_detection(self):
+        tree = FPTree()
+        tree.insert([1, 2, 3], 2)
+        assert tree.is_single_path() == [(1, 2), (2, 2), (3, 2)]
+        tree.insert([1, 9], 1)
+        assert tree.is_single_path() is None
+
+    def test_build_tree_filters_and_orders(self):
+        tree = _build_tree(
+            [([1, 2, 3], 1), ([2, 3], 1), ([3], 1)],
+            {1: 1, 2: 2, 3: 3},
+            min_sup=2,
+        )
+        # Item 1 filtered; item 3 (count 3) becomes the root-most item.
+        assert 3 in tree.root.children
+        assert 1 not in tree.header
+
+
+class TestMining:
+    def test_tiny_db(self, tiny_db):
+        result = fpgrowth(tiny_db, 2)
+        assert result.itemsets == {
+            (1,): 4, (2,): 4, (3,): 4,
+            (1, 2): 3, (1, 3): 3, (2, 3): 3,
+            (1, 2, 3): 2,
+        }
+
+    def test_figure2_example(self, paper_db):
+        result = fpgrowth(paper_db, 3)
+        assert result.support((0, 2, 4)) == 3
+
+    def test_empty_db(self, empty_db):
+        assert len(fpgrowth(empty_db, 1)) == 0
+
+    def test_single_transaction(self):
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[1, 2, 3]])
+        result = fpgrowth(db, 1)
+        # Every non-empty subset of {1,2,3} with support 1.
+        assert len(result) == 7
+        assert all(s == 1 for s in result.itemsets.values())
+
+    def test_matches_apriori_dense(self, small_dense_db):
+        fp = fpgrowth(small_dense_db, 0.4)
+        ap = apriori(small_dense_db, 0.4, "tidset")
+        assert fp.same_itemsets(ap)
+
+    def test_matches_apriori_sparse(self, small_sparse_db):
+        fp = fpgrowth(small_sparse_db, 0.05)
+        ap = apriori(small_sparse_db, 0.05, "tidset")
+        assert fp.same_itemsets(ap)
+
+    @pytest.mark.parametrize("support", [1, 2, 3, 4, 5])
+    def test_all_thresholds_tiny(self, tiny_db, support):
+        fp = fpgrowth(tiny_db, support)
+        ap = apriori(tiny_db, support, "tidset")
+        assert fp.same_itemsets(ap)
+
+    def test_result_labels(self, tiny_db):
+        result = fpgrowth(tiny_db, 2)
+        assert result.algorithm == "fpgrowth"
+        assert result.representation == "fptree"

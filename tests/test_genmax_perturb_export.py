@@ -1,0 +1,167 @@
+"""Tests for GenMax, perturbation utilities, and rule export."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import apriori, genmax, maximal_itemsets
+from repro.datasets import (
+    TransactionDatabase,
+    add_noise,
+    sample_transactions,
+    split,
+    support_drift,
+)
+from repro.errors import ConfigurationError
+from repro.rules import (
+    AssociationRule,
+    rules_from_json,
+    rules_to_csv,
+    rules_to_json,
+)
+
+
+class TestGenMax:
+    def test_tiny_matches_filter(self, tiny_db):
+        ref = maximal_itemsets(apriori(tiny_db, 2))
+        assert genmax(tiny_db, 2).itemsets == ref
+
+    def test_paper_db_all_thresholds(self, paper_db):
+        for support in (2, 3, 4, 5):
+            ref = maximal_itemsets(apriori(paper_db, support))
+            assert genmax(paper_db, support).itemsets == ref, support
+
+    def test_dense_matches_filter(self, small_dense_db):
+        ref = maximal_itemsets(apriori(small_dense_db, 0.3))
+        assert genmax(small_dense_db, 0.3).itemsets == ref
+
+    def test_sparse_matches_filter(self, small_sparse_db):
+        ref = maximal_itemsets(apriori(small_sparse_db, 0.05))
+        assert genmax(small_sparse_db, 0.05).itemsets == ref
+
+    def test_no_maximal_set_contains_another(self, small_dense_db):
+        sets = list(genmax(small_dense_db, 0.3).itemsets)
+        for a in sets:
+            for b in sets:
+                if a != b:
+                    assert not set(a) <= set(b)
+
+    def test_empty(self, empty_db):
+        assert len(genmax(empty_db, 1)) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+            max_size=10,
+        ),
+        min_sup=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_matches_filtered_lattice(self, transactions, min_sup):
+        db = TransactionDatabase(transactions, n_items=7, name="hypo")
+        ref = maximal_itemsets(apriori(db, min_sup))
+        assert genmax(db, min_sup).itemsets == ref
+
+
+class TestPerturb:
+    def test_sample_size_and_universe(self, small_dense_db):
+        sampled = sample_transactions(small_dense_db, 0.25, seed=1)
+        assert sampled.n_transactions == round(small_dense_db.n_transactions * 0.25)
+        assert sampled.n_items == small_dense_db.n_items
+
+    def test_sample_deterministic(self, small_dense_db):
+        a = sample_transactions(small_dense_db, 0.5, seed=3)
+        b = sample_transactions(small_dense_db, 0.5, seed=3)
+        assert [t.tolist() for t in a] == [t.tolist() for t in b]
+
+    def test_sample_validates(self, small_dense_db):
+        with pytest.raises(ConfigurationError):
+            sample_transactions(small_dense_db, 0.0)
+
+    def test_split_is_partition(self, small_dense_db):
+        a, b = split(small_dense_db, 0.3, seed=2)
+        assert a.n_transactions + b.n_transactions == small_dense_db.n_transactions
+        assert a.n_items == b.n_items == small_dense_db.n_items
+
+    def test_split_validates(self, small_dense_db):
+        with pytest.raises(ConfigurationError):
+            split(small_dense_db, 1.0)
+
+    def test_drop_noise_reduces_lengths(self, small_dense_db):
+        noisy = add_noise(small_dense_db, drop_probability=0.5, seed=4)
+        assert noisy.avg_length < small_dense_db.avg_length
+
+    def test_insert_noise_preserves_universe(self, small_dense_db):
+        noisy = add_noise(small_dense_db, insert_probability=0.5, seed=4)
+        assert noisy.n_items == small_dense_db.n_items
+
+    def test_zero_noise_is_identity(self, tiny_db):
+        noisy = add_noise(tiny_db, 0.0, 0.0)
+        assert [t.tolist() for t in noisy] == [t.tolist() for t in tiny_db]
+
+    def test_support_drift_zero_for_identity(self, tiny_db):
+        assert support_drift(tiny_db, tiny_db) == 0.0
+
+    def test_support_drift_grows_with_noise(self, small_dense_db):
+        mild = add_noise(small_dense_db, drop_probability=0.05, seed=5)
+        harsh = add_noise(small_dense_db, drop_probability=0.5, seed=5)
+        assert support_drift(small_dense_db, harsh) > support_drift(
+            small_dense_db, mild
+        )
+
+    def test_mining_survives_mild_noise(self, small_dense_db):
+        """Robustness: top itemsets persist under 2% drop noise."""
+        base = apriori(small_dense_db, 0.5)
+        noisy_db = add_noise(small_dense_db, drop_probability=0.02, seed=6)
+        noisy = apriori(noisy_db, 0.45)
+        survived = sum(1 for items in base.itemsets if items in noisy)
+        assert survived >= 0.8 * len(base)
+
+
+class TestRuleExport:
+    RULES = [
+        AssociationRule((0,), (1,), 0.4, 0.8, 1.6, 0.15, 2.5),
+        AssociationRule((2, 3), (4,), 0.2, 1.0, 2.0, 0.1, math.inf),
+    ]
+
+    def test_csv_shape(self):
+        text = rules_to_csv(self.RULES)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("antecedent,consequent")
+        assert "2 3" in lines[2]
+
+    def test_csv_infinite_conviction_blank(self):
+        text = rules_to_csv(self.RULES)
+        assert text.strip().splitlines()[2].endswith(",")
+
+    def test_csv_to_file(self, tmp_path):
+        path = tmp_path / "rules.csv"
+        rules_to_csv(self.RULES, path)
+        assert path.read_text().startswith("antecedent")
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        rules_to_json(self.RULES, path)
+        loaded = rules_from_json(path)
+        assert loaded == self.RULES
+
+    def test_end_to_end_with_generator(self, small_dense_db, tmp_path):
+        from repro.core import fpgrowth
+        from repro.rules import generate_rules
+
+        rules = generate_rules(
+            fpgrowth(small_dense_db, 0.4), min_confidence=0.7
+        )
+        assert rules
+        path = tmp_path / "r.json"
+        rules_to_json(rules, path)
+        loaded = rules_from_json(path)
+        assert len(loaded) == len(rules)
+        # Scores are rounded to 6 decimals on export.
+        for got, expected in zip(loaded, rules):
+            assert got.antecedent == expected.antecedent
+            assert got.consequent == expected.consequent
+            assert got.confidence == pytest.approx(expected.confidence, abs=1e-6)
+            assert got.lift == pytest.approx(expected.lift, abs=1e-6)

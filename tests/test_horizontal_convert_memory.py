@@ -1,0 +1,89 @@
+"""Tests for the horizontal counter, format conversions, and footprints."""
+
+import numpy as np
+import pytest
+
+from repro.representations import (
+    DiffsetRepresentation,
+    HorizontalCounter,
+    TidsetRepresentation,
+    convert,
+    memory,
+)
+from repro.representations.base import Vertical
+
+
+class TestHorizontalCounter:
+    def test_counts_match_oracle(self, tiny_db):
+        counter = HorizontalCounter(tiny_db)
+        result = counter.count([[1], [1, 2], [1, 2, 3], [0]])
+        assert result.supports.tolist() == [4, 3, 2, 0]
+
+    def test_support_of(self, tiny_db):
+        assert HorizontalCounter(tiny_db).support_of([2, 3]) == 3
+
+    def test_cost_grows_with_candidates(self, tiny_db):
+        counter = HorizontalCounter(tiny_db)
+        one = counter.count([[1]]).cost.cpu_ops
+        three = counter.count([[1], [2], [3]]).cost.cpu_ops
+        assert three == 3 * one
+
+    def test_contended_increments_counted(self, tiny_db):
+        result = HorizontalCounter(tiny_db).count([[1], [2]])
+        # Every support increment is a potential race: 4 + 4.
+        assert result.contended_increments == 8
+
+    def test_candidate_longer_than_transaction_skipped(self, tiny_db):
+        result = HorizontalCounter(tiny_db).count([[0, 1, 2, 3, 5]])
+        assert result.supports.tolist() == [0]
+
+
+class TestConversions:
+    def test_tidset_bitvector_roundtrip(self, paper_db):
+        tid = TidsetRepresentation().build_singletons(paper_db)
+        for v in tid:
+            packed = convert.tidset_to_bitvector(v, paper_db.n_transactions)
+            back = convert.bitvector_to_tidset(packed)
+            assert back.payload.tolist() == v.payload.tolist()
+            assert back.support == v.support
+
+    def test_tidset_diffset_roundtrip(self, paper_db):
+        n = paper_db.n_transactions
+        all_tids = np.arange(n)
+        tid = TidsetRepresentation().build_singletons(paper_db)
+        dif = DiffsetRepresentation().build_singletons(paper_db)
+        for t, d in zip(tid, dif):
+            converted = convert.tidset_to_diffset(t, all_tids)
+            assert converted.payload.tolist() == d.payload.tolist()
+            back = convert.diffset_to_tidset(converted, all_tids)
+            assert back.payload.tolist() == t.payload.tolist()
+
+
+class TestMemoryFootprint:
+    def test_measure_generation(self, paper_db):
+        rep = TidsetRepresentation()
+        singles = rep.build_singletons(paper_db)
+        fp = memory.measure_generation(rep, singles, generation=1)
+        assert fp.n_candidates == 6
+        assert fp.total_bytes == sum(v.payload.nbytes for v in singles)
+        assert fp.max_candidate_bytes == 6 * 4  # item E in all 6 transactions
+        assert fp.mean_candidate_bytes == pytest.approx(fp.total_bytes / 6)
+
+    def test_footprint_ratio(self, paper_db):
+        tid_rep = TidsetRepresentation()
+        dif_rep = DiffsetRepresentation()
+        tid = memory.measure_generation(
+            tid_rep, tid_rep.build_singletons(paper_db), 1
+        )
+        dif = memory.measure_generation(
+            dif_rep, dif_rep.build_singletons(paper_db), 1
+        )
+        # Dense data: tidsets bigger than diffsets at generation 1.
+        assert memory.footprint_ratio(tid, dif) > 1.0
+
+    def test_footprint_ratio_zero_cases(self):
+        empty = memory.GenerationFootprint("x", 1, 0, 0, 0)
+        full = memory.GenerationFootprint("x", 1, 1, 10, 10)
+        assert memory.footprint_ratio(empty, empty) == 1.0
+        assert memory.footprint_ratio(full, empty) == float("inf")
+        assert empty.mean_candidate_bytes == 0.0

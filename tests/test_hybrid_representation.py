@@ -1,0 +1,106 @@
+"""Tests for the adaptive hybrid tidset/diffset representation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import apriori, brute_force, eclat, run_eclat
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations import HybridRepresentation, get_representation
+from repro.representations.hybrid import DIFFSET_KIND, TIDSET_KIND, HybridVertical
+
+
+class TestEncodingChoice:
+    def test_dense_item_encoded_as_diffset(self, paper_db):
+        rep = HybridRepresentation()
+        singles = rep.build_singletons(paper_db)
+        # E is in all 6 transactions -> complement (empty) is far smaller.
+        assert singles[4].kind == DIFFSET_KIND
+        assert singles[4].payload.size == 0
+
+    def test_sparse_item_encoded_as_tidset(self, paper_db):
+        rep = HybridRepresentation()
+        singles = rep.build_singletons(paper_db)
+        # D appears once -> tidset of size 1 wins.
+        assert singles[3].kind == TIDSET_KIND
+        assert singles[3].payload.size == 1
+
+    def test_payload_never_larger_than_half_db(self, small_dense_db):
+        rep = HybridRepresentation()
+        half = small_dense_db.n_transactions / 2
+        for v in rep.build_singletons(small_dense_db, min_support=1):
+            assert v.payload.size <= half + 1
+
+    def test_min_support_skips_payloads(self, paper_db):
+        rep = HybridRepresentation()
+        singles = rep.build_singletons(paper_db, min_support=3)
+        assert singles[3].payload.size == 0
+        assert singles[3].support == 1
+
+
+class TestCombinations:
+    @pytest.fixture
+    def singles(self, paper_db):
+        return HybridRepresentation().build_singletons(paper_db)
+
+    def test_all_parent_kind_combinations(self, paper_db, singles):
+        rep = HybridRepresentation()
+        kinds = {v.kind for v in singles if v.support >= 2}
+        assert kinds == {TIDSET_KIND, DIFFSET_KIND}
+        # Exhaustively combine every frequent pair and verify supports
+        # against the database oracle (this walks every kind combination).
+        frequent = [
+            (i, v) for i, v in enumerate(singles) if v.support >= 2
+        ]
+        for a, (i, vi) in enumerate(frequent):
+            for j, vj in frequent[a + 1 :]:
+                child, cost = rep.combine(vi, vj)
+                assert child.support == paper_db.support_of([i, j])
+                assert cost.cpu_ops > 0
+                assert isinstance(child, HybridVertical)
+
+    def test_registry(self):
+        assert get_representation("hybrid").name == "hybrid"
+
+
+class TestMiningCorrectness:
+    def test_tiny(self, tiny_db):
+        assert apriori(tiny_db, 2, "hybrid").same_itemsets(
+            apriori(tiny_db, 2, "tidset")
+        )
+
+    def test_eclat_dense(self, small_dense_db):
+        assert eclat(small_dense_db, 0.4, "hybrid").same_itemsets(
+            eclat(small_dense_db, 0.4, "tidset")
+        )
+
+    def test_eclat_sparse(self, small_sparse_db):
+        assert eclat(small_sparse_db, 0.05, "hybrid").same_itemsets(
+            eclat(small_sparse_db, 0.05, "tidset")
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=7), max_size=6),
+            max_size=12,
+        ),
+        min_sup=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_matches_brute_force(self, transactions, min_sup):
+        db = TransactionDatabase(transactions, n_items=8, name="hypo")
+        expected = brute_force(db, min_sup).itemsets
+        assert eclat(db, min_sup, "hybrid").itemsets == expected
+        assert apriori(db, min_sup, "hybrid").itemsets == expected
+
+
+class TestAdaptiveAdvantage:
+    def test_never_reads_more_than_best_pure_format(self, small_dense_db):
+        hybrid = run_eclat(small_dense_db, 0.4, "hybrid").total_cost
+        tid = run_eclat(small_dense_db, 0.4, "tidset").total_cost
+        dif = run_eclat(small_dense_db, 0.4, "diffset").total_cost
+        assert hybrid.bytes_read <= 1.2 * min(tid.bytes_read, dif.bytes_read)
+
+    def test_beats_diffset_on_sparse_data(self, small_sparse_db):
+        hybrid = run_eclat(small_sparse_db, 0.03, "hybrid").total_cost
+        dif = run_eclat(small_sparse_db, 0.03, "diffset").total_cost
+        assert hybrid.bytes_read < dif.bytes_read

@@ -1,0 +1,67 @@
+"""Unit tests for canonical itemset utilities."""
+
+from repro.core.itemset import (
+    canonical,
+    is_canonical,
+    is_subset,
+    join,
+    proper_subsets,
+    share_prefix,
+    subsets_of_size,
+)
+
+
+class TestCanonical:
+    def test_sorts_and_dedups(self):
+        assert canonical([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_empty(self):
+        assert canonical([]) == ()
+
+    def test_is_canonical(self):
+        assert is_canonical((1, 2, 5))
+        assert not is_canonical((2, 1))
+        assert not is_canonical((1, 1))
+        assert is_canonical(())
+        assert is_canonical((4,))
+
+
+class TestPrefixJoin:
+    def test_share_prefix_true(self):
+        assert share_prefix((1, 2, 3), (1, 2, 5))
+
+    def test_share_prefix_false_on_mismatch(self):
+        assert not share_prefix((1, 2, 3), (1, 4, 5))
+
+    def test_share_prefix_false_on_length_mismatch(self):
+        assert not share_prefix((1, 2), (1, 2, 3))
+
+    def test_share_prefix_singletons(self):
+        # Any two 1-itemsets share the empty prefix.
+        assert share_prefix((1,), (9,))
+
+    def test_share_prefix_empty(self):
+        assert not share_prefix((), ())
+
+    def test_join(self):
+        assert join((1, 2, 3), (1, 2, 5)) == (1, 2, 3, 5)
+
+    def test_join_singletons(self):
+        assert join((1,), (4,)) == (1, 4)
+
+
+class TestSubsets:
+    def test_subsets_of_size(self):
+        assert list(subsets_of_size((1, 2, 3), 2)) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_proper_subsets(self):
+        assert list(proper_subsets((1, 2, 3))) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_proper_subsets_of_singleton(self):
+        assert list(proper_subsets((1,))) == [()]
+
+    def test_is_subset(self):
+        assert is_subset((1, 3), (1, 2, 3, 4))
+        assert not is_subset((1, 5), (1, 2, 3, 4))
+        assert is_subset((), (1,))
+        assert not is_subset((1, 2), (2,))

@@ -1,0 +1,70 @@
+"""Unit tests for the level-table candidate storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate_gen import CandidateJoin
+from repro.core.level_table import Level, LevelTable
+from repro.errors import MiningError
+from repro.representations.base import Vertical
+
+
+def _mk_level_table() -> LevelTable:
+    table = LevelTable()
+    level1 = table.new_singleton_level(3)
+    level1.supports = np.array([5, 2, 4])
+    level1.kept = np.array([True, False, True])
+    return table
+
+
+class TestSingletonLevel:
+    def test_one_row_per_item(self):
+        table = _mk_level_table()
+        assert table[1].n_candidates == 3
+        assert table[1].itemsets == [(0,), (1,), (2,)]
+
+    def test_kept_positions(self):
+        table = _mk_level_table()
+        assert table[1].kept_positions().tolist() == [0, 2]
+        assert table[1].frequent_itemsets() == [(0,), (2,)]
+        assert table[1].n_frequent == 2
+
+    def test_singleton_level_must_be_first(self):
+        table = _mk_level_table()
+        with pytest.raises(MiningError):
+            table.new_singleton_level(3)
+
+
+class TestLaterLevels:
+    def test_append_in_order(self):
+        table = _mk_level_table()
+        level2 = table.new_level(2, [CandidateJoin((0, 2), 0, 1)])
+        assert level2.n_candidates == 1
+        assert level2.left_parent.tolist() == [0]
+        with pytest.raises(MiningError):
+            table.new_level(4, [])
+
+    def test_out_of_range_lookup(self):
+        table = _mk_level_table()
+        with pytest.raises(MiningError):
+            table[2]
+        with pytest.raises(MiningError):
+            table[0]
+
+    def test_release_verticals(self):
+        table = _mk_level_table()
+        level = table[1]
+        level.verticals = [Vertical(np.array([0, 1]), 2)] * 3
+        assert len(level.frequent_verticals()) == 2
+        level.release_verticals()
+        with pytest.raises(MiningError):
+            level.frequent_verticals()
+
+    def test_totals(self):
+        table = _mk_level_table()
+        level2 = table.new_level(2, [CandidateJoin((0, 2), 0, 1)])
+        level2.kept = np.array([True])
+        assert table.total_candidates() == 4
+        assert table.total_frequent() == 3
+        assert len(table) == 2
+        assert len(table.levels()) == 2

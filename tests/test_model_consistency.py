@@ -1,0 +1,141 @@
+"""Cross-layer consistency tests: simulator vs analytic bounds vs claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_eclat
+from repro.datasets import get_dataset, make_chess
+from repro.errors import ReproError
+from repro.machine import (
+    BLACKLIGHT,
+    UNIFORM_MEMORY,
+    WorkloadSummary,
+    speedup_upper_bound,
+)
+from repro.parallel import (
+    EclatTrace,
+    run_scalability_study,
+    simulate_eclat,
+    toplevel_view,
+)
+
+
+@pytest.fixture(scope="module")
+def chess_eclat_study():
+    return run_scalability_study(
+        make_chess(), "eclat", "diffset", 0.85, thread_counts=[1, 16, 128, 1024]
+    )
+
+
+class TestAnalyticEnvelope:
+    def test_eclat_speedup_within_task_bound(self, chess_eclat_study):
+        """Simulated Eclat speedup never beats the top-level task envelope."""
+        trace = chess_eclat_study.trace
+        view = toplevel_view(trace)
+        ups = chess_eclat_study.speedups()
+        assert max(ups.values()) <= view.n_tasks
+
+    def test_eclat_speedup_within_critical_path(self, chess_eclat_study):
+        trace = chess_eclat_study.trace
+        view = toplevel_view(trace)
+        total = float(view.cpu_ops.sum())
+        summary = WorkloadSummary(
+            parallel_seconds=total,
+            serial_seconds=0.0,
+            n_tasks=view.n_tasks,
+            max_task_seconds=float(view.cpu_ops.max()),
+        )
+        ups = chess_eclat_study.speedups()
+        for threads, value in ups.items():
+            # The envelope ignores memory effects, so it only upper-bounds.
+            assert value <= speedup_upper_bound(
+                summary, threads, UNIFORM_MEMORY
+            ) + 1e-9
+
+
+class TestUniformMemoryOrdering:
+    def test_numa_never_faster_than_uniform(self):
+        """For every config, the NUMA machine is at least as slow as UMA."""
+        db = get_dataset("T10I4")
+        for rep in ("tidset", "diffset"):
+            numa = run_scalability_study(
+                db, "eclat", rep, 0.05, thread_counts=[64],
+                machine=BLACKLIGHT,
+            )
+            uma = run_scalability_study(
+                db, "eclat", rep, 0.05, thread_counts=[64],
+                machine=UNIFORM_MEMORY,
+            )
+            assert uma.runtime(64) <= numa.runtime(64) * 1.0001
+
+
+class TestEclatLevelModePlacement:
+    def test_level_mode_homes_propagate(self, paper_db):
+        """The level-sync replay walks every level without index errors and
+        produces strictly positive per-level region times."""
+        sink = EclatTrace()
+        run_eclat(paper_db, 2, "tidset", sink=sink)
+        trace = sink.finalize()
+        for threads in (1, 16, 48):
+            simulated = simulate_eclat(trace, threads, task_mode="level")
+            assert len(simulated.regions) >= 2
+            assert all(r.time > 0 for r in simulated.regions)
+
+    def test_level_mode_single_blade_no_link(self, paper_db):
+        sink = EclatTrace()
+        run_eclat(paper_db, 2, "tidset", sink=sink)
+        simulated = simulate_eclat(sink.finalize(), 16, task_mode="level")
+        assert all(r.link_bound == 0.0 for r in simulated.regions)
+
+
+class TestPlacementAblationOrdering:
+    def test_interleaving_relieves_the_master_blade(self):
+        """Spreading the base data cannot hurt Apriori-tidset beyond noise
+        (blade 0 stops being the single home of generation-1 payloads)."""
+        from repro.parallel import simulate_apriori
+
+        db = make_chess()
+        study = run_scalability_study(
+            db, "apriori", "tidset", 0.8, thread_counts=[1]
+        )
+        master = simulate_apriori(
+            study.trace, 1024, base_placement="master"
+        ).total_seconds
+        interleaved = simulate_apriori(
+            study.trace, 1024, base_placement="interleaved"
+        ).total_seconds
+        assert interleaved <= master * 1.05
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError", "DatasetError", "RepresentationError",
+            "MiningError", "SimulationError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_catchable_as_base(self, tiny_db):
+        from repro.core import apriori
+
+        with pytest.raises(ReproError):
+            apriori(tiny_db, 0)
+
+
+class TestAccidentsSurrogate:
+    def test_registered_and_shaped(self):
+        db = get_dataset("accidents")
+        assert db.n_items == 468
+        assert db.avg_length == pytest.approx(34.0)
+
+    def test_item_limited_like_quest(self):
+        db = get_dataset("accidents")
+        study = run_scalability_study(
+            db, "eclat", "tidset", 0.6, thread_counts=[1, 16, 256, 1024]
+        )
+        n_tasks = len(study.mining_result.k_itemsets(1))
+        ups = study.speedups()
+        assert n_tasks < 1024
+        assert max(ups.values()) <= n_tasks

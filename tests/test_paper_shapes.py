@@ -1,0 +1,111 @@
+"""Integration tests: the paper's qualitative findings on scaled data.
+
+These run the full pipeline (surrogate data -> real miner with tracing ->
+machine replay) on reduced-size datasets and assert the *shape* claims of
+Section V, not absolute numbers:
+
+* S1: Apriori with tidset gains little or nothing past one blade;
+* S2: Apriori with diffset keeps scaling well past one blade;
+* S3: Eclat's speedup curves are monotone non-decreasing (no degradation)
+  for all three representations;
+* S4: the diffset payload per generation is far smaller than tidset's;
+* S5: datasets with fewer frequent items than threads stop scaling at the
+  task count (the T40I10D100K remark).
+"""
+
+import pytest
+
+from repro.core import run_apriori
+from repro.datasets import QuestGenerator, make_chess
+from repro.parallel import AprioriTrace, run_scalability_study
+
+THREADS = [1, 16, 32, 64, 128, 256, 512, 1024]
+
+
+@pytest.fixture(scope="module")
+def chess():
+    # Full chess is small enough (3,196 rows) to use directly.
+    return make_chess()
+
+
+@pytest.fixture(scope="module")
+def chess_studies(chess):
+    return {
+        rep: {
+            algo: run_scalability_study(
+                chess, algo, rep, 0.8, thread_counts=THREADS
+            )
+            for algo in ("apriori", "eclat")
+        }
+        for rep in ("tidset", "diffset")
+    }
+
+
+class TestAprioriShapes:
+    def test_s1_tidset_stalls_beyond_one_blade(self, chess_studies):
+        ups = chess_studies["tidset"]["apriori"].speedups()
+        at_blade = ups[16]
+        beyond = max(ups[t] for t in THREADS if t > 16)
+        # Past one blade the best gain is bounded (< 1.5x of the one-blade
+        # speedup), i.e. "not scalable beyond 16" in the paper's sense.
+        assert beyond < 1.5 * at_blade
+
+    def test_s2_diffset_scales_beyond_one_blade(self, chess_studies):
+        ups = chess_studies["diffset"]["apriori"].speedups()
+        beyond = max(ups[t] for t in THREADS if t > 16)
+        assert beyond > 1.6 * ups[16]
+
+    def test_diffset_beats_tidset_at_scale(self, chess_studies):
+        tid = chess_studies["tidset"]["apriori"].speedups()[1024]
+        dif = chess_studies["diffset"]["apriori"].speedups()[1024]
+        assert dif > 1.5 * tid
+
+    def test_diffset_faster_absolute(self, chess_studies):
+        tid = chess_studies["tidset"]["apriori"]
+        dif = chess_studies["diffset"]["apriori"]
+        for t in THREADS:
+            assert dif.runtime(t) < tid.runtime(t)
+
+
+class TestEclatShapes:
+    @pytest.mark.parametrize("rep", ["tidset", "diffset"])
+    def test_s3_monotone_non_decreasing(self, chess_studies, rep):
+        ups = chess_studies[rep]["eclat"].speedups()
+        values = [ups[t] for t in THREADS]
+        for a, b in zip(values, values[1:]):
+            assert b >= 0.85 * a  # never degrades materially
+
+    def test_eclat_results_match_apriori(self, chess_studies):
+        a = chess_studies["tidset"]["apriori"].mining_result
+        e = chess_studies["diffset"]["eclat"].mining_result
+        assert a.same_itemsets(e)
+
+
+class TestPayloadClaim:
+    def test_s4_diffset_order_of_magnitude_smaller(self, chess):
+        tid_trace, dif_trace = AprioriTrace(), AprioriTrace()
+        run_apriori(chess, 0.8, "tidset", sink=tid_trace)
+        run_apriori(chess, 0.8, "diffset", sink=dif_trace)
+        tid_bytes = sum(g.total_read_bytes for g in tid_trace.generations)
+        dif_bytes = sum(g.total_read_bytes for g in dif_trace.generations)
+        assert tid_bytes > 10 * dif_bytes
+
+
+class TestItemLimitedScaling:
+    def test_s5_quest_data_stops_at_task_count(self):
+        gen = QuestGenerator(
+            n_items=80, avg_transaction_length=10, avg_pattern_length=4,
+            n_patterns=25, seed=31,
+        )
+        db = gen.generate(600, name="quest-small")
+        study = run_scalability_study(
+            db, "eclat", "tidset", 0.03, thread_counts=THREADS
+        )
+        n_tasks = len(study.mining_result.k_itemsets(1))
+        assert n_tasks < 1024
+        ups = study.speedups()
+        # Speedup can never exceed the number of top-level tasks, and the
+        # curve is flat once threads outnumber them.
+        assert max(ups.values()) <= n_tasks
+        big = [ups[t] for t in THREADS if t >= 2 * n_tasks]
+        assert max(big) / min(big) < 1.05

@@ -1,0 +1,173 @@
+"""Tests for the simulated parallel Apriori/Eclat replays."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_apriori, run_eclat
+from repro.errors import SimulationError
+from repro.machine import BLACKLIGHT, UNIFORM_MEMORY
+from repro.openmp.schedule import ScheduleSpec
+from repro.parallel import (
+    AprioriTrace,
+    EclatTrace,
+    run_scalability_study,
+    simulate_apriori,
+    simulate_eclat,
+)
+
+
+@pytest.fixture(scope="module")
+def dense_db():
+    from repro.datasets.synthetic import DenseAttributeGenerator
+
+    gen = DenseAttributeGenerator(
+        domain_sizes=(3, 3, 3, 4, 4, 2),
+        n_classes=2,
+        peak=0.8,
+        n_shared_attributes=3,
+        shared_peak=0.95,
+        seed=3,
+    )
+    return gen.generate(500, name="sim-dense")
+
+
+@pytest.fixture(scope="module")
+def apriori_trace(dense_db):
+    trace = AprioriTrace()
+    run_apriori(dense_db, 0.5, "tidset", sink=trace)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def eclat_trace(dense_db):
+    trace = EclatTrace()
+    run_eclat(dense_db, 0.5, "tidset", sink=trace)
+    return trace.finalize()
+
+
+class TestSimulateApriori:
+    def test_single_thread_baseline_positive(self, apriori_trace):
+        t1 = simulate_apriori(apriori_trace, 1)
+        assert t1.total_seconds > 0
+        assert t1.load_seconds > 0
+        assert not t1.link_limited_regions  # one blade, no interconnect
+
+    def test_sixteen_threads_faster(self, apriori_trace):
+        t1 = simulate_apriori(apriori_trace, 1)
+        t16 = simulate_apriori(apriori_trace, 16)
+        assert t16.total_seconds < t1.total_seconds
+
+    def test_region_count_matches_generations(self, apriori_trace):
+        t = simulate_apriori(apriori_trace, 16)
+        assert len(t.regions) == len(apriori_trace.generations)
+        assert all(r.label.startswith("gen") for r in t.regions)
+
+    def test_uniform_memory_no_slower(self, apriori_trace):
+        numa = simulate_apriori(apriori_trace, 256, machine=BLACKLIGHT)
+        uma = simulate_apriori(apriori_trace, 256, machine=UNIFORM_MEMORY)
+        assert uma.total_seconds <= numa.total_seconds
+
+    def test_interleaved_placement_supported(self, apriori_trace):
+        t = simulate_apriori(apriori_trace, 64, base_placement="interleaved")
+        assert t.total_seconds > 0
+
+    def test_bad_placement_rejected(self, apriori_trace):
+        with pytest.raises(SimulationError):
+            simulate_apriori(apriori_trace, 16, base_placement="everywhere")
+
+    def test_untraced_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_apriori(AprioriTrace(), 4)
+
+    def test_dynamic_schedule_path(self, apriori_trace):
+        t = simulate_apriori(
+            apriori_trace, 64, schedule=ScheduleSpec("dynamic", 4)
+        )
+        assert t.total_seconds > 0
+
+    def test_serial_candidate_generation_counted(self, apriori_trace):
+        t = simulate_apriori(apriori_trace, 1024)
+        assert t.serial_seconds > t.load_seconds  # load + per-gen serial
+
+
+class TestSimulateEclat:
+    def test_modes_both_run(self, eclat_trace):
+        top = simulate_eclat(eclat_trace, 64, task_mode="toplevel")
+        level = simulate_eclat(eclat_trace, 64, task_mode="level")
+        assert top.total_seconds > 0
+        assert level.total_seconds > 0
+        assert top.regions[0].label == "toplevel"
+        assert level.regions[0].label == "depth1"
+
+    def test_bad_mode_rejected(self, eclat_trace):
+        with pytest.raises(SimulationError):
+            simulate_eclat(eclat_trace, 4, task_mode="magic")
+
+    def test_toplevel_parallelism_bounded_by_tasks(self, eclat_trace):
+        """More threads than tasks cannot help the toplevel mode."""
+        n_tasks = eclat_trace.n_toplevel_tasks
+        at_tasks = simulate_eclat(eclat_trace, 1024, task_mode="toplevel")
+        more = simulate_eclat(eclat_trace, 1024, task_mode="toplevel")
+        assert at_tasks.total_seconds == pytest.approx(more.total_seconds)
+        assert n_tasks < 1024
+
+    def test_single_blade_no_link_bound(self, eclat_trace):
+        t = simulate_eclat(eclat_trace, 16)
+        assert t.regions[0].link_bound == 0.0
+
+    def test_multi_blade_master_placement_has_remote(self, eclat_trace):
+        t16 = simulate_eclat(eclat_trace, 16)
+        # With > 1 blade the shared reads turn remote: per-thread work grows.
+        t17 = simulate_eclat(eclat_trace, 17)
+        assert t17.regions[0].makespan >= 0  # sanity; both computed
+        assert t16.total_seconds > 0
+
+    def test_sixteen_threads_faster_than_one(self, eclat_trace):
+        t1 = simulate_eclat(eclat_trace, 1)
+        t16 = simulate_eclat(eclat_trace, 16)
+        assert t16.total_seconds < t1.total_seconds
+
+
+class TestRunScalabilityStudy:
+    def test_study_end_to_end(self, dense_db):
+        study = run_scalability_study(
+            dense_db, "eclat", "diffset", 0.5, thread_counts=[1, 16, 64]
+        )
+        assert study.label() == "sim-dense@0.5"
+        assert set(study.runtimes()) == {1, 16, 64}
+        ups = study.speedups()
+        assert ups[1] == pytest.approx(1.0)
+        assert ups[16] > 1.0
+        best_t, best = study.peak_speedup()
+        assert best >= ups[16]
+
+    def test_mining_result_attached_and_correct(self, dense_db):
+        study = run_scalability_study(
+            dense_db, "apriori", "tidset", 0.5, thread_counts=[1, 16]
+        )
+        from repro.core import fpgrowth
+
+        assert study.mining_result.same_itemsets(fpgrowth(dense_db, 0.5))
+
+    def test_unknown_algorithm(self, dense_db):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_scalability_study(dense_db, "fpgrowth", "tidset", 0.5)
+
+    def test_speedup_baseline_must_exist(self, dense_db):
+        study = run_scalability_study(
+            dense_db, "eclat", "tidset", 0.5, thread_counts=[16, 64]
+        )
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            study.speedups()
+        assert study.speedups(baseline_threads=16)[16] == pytest.approx(1.0)
+
+    def test_notes_record_configuration(self, dense_db):
+        study = run_scalability_study(
+            dense_db, "apriori", "diffset", 0.5, thread_counts=[1]
+        )
+        assert "schedule" in study.notes
+        assert study.notes["base_placement"] == "master"

@@ -1,0 +1,121 @@
+"""Tests for the cost-trace collectors (AprioriTrace / EclatTrace)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_apriori, run_eclat
+from repro.parallel import AprioriTrace, EclatTrace, toplevel_view
+
+
+@pytest.fixture
+def apriori_trace(paper_db):
+    trace = AprioriTrace()
+    run = run_apriori(paper_db, 3, "tidset", sink=trace)
+    return trace, run
+
+
+@pytest.fixture
+def eclat_trace(paper_db):
+    trace = EclatTrace()
+    run = run_eclat(paper_db, 3, "tidset", sink=trace)
+    return trace.finalize(), run
+
+
+class TestAprioriTrace:
+    def test_singleton_record(self, apriori_trace):
+        trace, _ = apriori_trace
+        assert trace.singletons is not None
+        assert trace.singletons.payload_bytes.size == 6
+        # Kept: A B C E (supports 4, 3, 5, 6 vs threshold 3).
+        assert trace.singletons.kept_mask.tolist() == [
+            True, True, True, False, True, False,
+        ]
+
+    def test_generation_records(self, apriori_trace):
+        trace, run = apriori_trace
+        assert len(trace.generations) == run.n_generations - 1
+        gen2 = trace.generations[0]
+        assert gen2.generation == 2
+        assert gen2.n_candidates == 6  # AB AC AE BC BE CE
+        assert gen2.kept_mask.sum() == 4  # AC AE BE CE survive
+
+    def test_parent_bytes_match_payloads(self, apriori_trace):
+        trace, _ = apriori_trace
+        gen2 = trace.generations[0]
+        kept_payloads = trace.singletons.payload_bytes[
+            trace.singletons.kept_mask
+        ]
+        assert (gen2.left_bytes == kept_payloads[gen2.left_parent]).all()
+        # Tidset reads sum to left + right bytes.
+        assert gen2.total_read_bytes == int(
+            gen2.left_bytes.sum() + gen2.right_bytes.sum()
+        )
+
+    def test_cross_generation_parent_linkage(self, apriori_trace):
+        trace, _ = apriori_trace
+        gen3 = trace.generations[1]
+        gen2 = trace.generations[0]
+        n_survivors = int(gen2.kept_mask.sum())
+        assert gen3.left_parent.max() < n_survivors
+        assert gen3.right_parent.max() < n_survivors
+
+    def test_totals(self, apriori_trace):
+        trace, _ = apriori_trace
+        assert trace.total_candidates() == 7  # six pairs + ACE
+        assert trace.total_payload_bytes() > 0
+
+
+class TestEclatTrace:
+    def test_level_structure(self, eclat_trace):
+        trace, run = eclat_trace
+        assert trace.n_toplevel_tasks == 4  # A B C E frequent
+        assert trace.max_depth >= 2
+        assert trace.total_combines() == 7  # six depth-1 pairs + ACE
+
+    def test_level1_members_match_singletons(self, eclat_trace):
+        trace, _ = eclat_trace
+        level1 = trace.levels[0]
+        assert level1.n_members == 4
+        assert level1.creator_task.tolist() == [-1, -1, -1, -1]
+
+    def test_child_payloads_propagate(self, eclat_trace):
+        trace, _ = eclat_trace
+        level2 = trace.levels[1]
+        level1 = trace.levels[0]
+        frequent = level1.child_index >= 0
+        expected = np.zeros(int(frequent.sum()), np.int64)
+        expected[level1.child_index[frequent]] = level1.child_payload[frequent]
+        assert (level2.member_payload_bytes == expected).all()
+
+    def test_creator_tasks_valid(self, eclat_trace):
+        trace, _ = eclat_trace
+        for prev, level in zip(trace.levels, trace.levels[1:]):
+            assert (level.creator_task >= 0).all()
+            assert (level.creator_task < prev.n_members).all()
+
+    def test_toplevel_view_conserves_work(self, eclat_trace):
+        trace, run = eclat_trace
+        view = toplevel_view(trace)
+        assert view.n_tasks == 4
+        total_cpu = sum(int(lv.combine_cpu.sum()) for lv in trace.levels)
+        assert int(view.cpu_ops.sum()) == total_cpu
+        assert int(view.n_combines.sum()) == trace.total_combines()
+
+    def test_toplevel_shared_is_depth1_only(self, eclat_trace):
+        trace, _ = eclat_trace
+        view = toplevel_view(trace)
+        level1 = trace.levels[0]
+        depth1_reads = int(
+            level1.member_payload_bytes[level1.combine_left].sum()
+            + level1.member_payload_bytes[level1.combine_right].sum()
+        )
+        assert int(view.shared_read_bytes.sum()) == depth1_reads
+        assert (view.shared_distinct_bytes <= view.shared_read_bytes).all()
+
+    def test_empty_run(self, tiny_db):
+        trace = EclatTrace()
+        run_eclat(tiny_db, 100, "tidset", sink=trace)
+        finalized = trace.finalize()
+        assert finalized.levels == []
+        view = toplevel_view(finalized)
+        assert view.n_tasks == 0

@@ -1,0 +1,137 @@
+"""Tests for trace persistence, the SMT machine model, and SimulatedTime."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_apriori, run_eclat
+from repro.errors import ConfigurationError
+from repro.machine import BLACKLIGHT, smt_machine
+from repro.parallel import (
+    AprioriTrace,
+    EclatTrace,
+    load_apriori_trace,
+    load_eclat_trace,
+    save_apriori_trace,
+    save_eclat_trace,
+    simulate_apriori,
+    simulate_eclat,
+)
+from repro.parallel.timing import RegionBreakdown, SimulatedTime
+
+
+class TestTracePersistence:
+    def test_apriori_roundtrip_replays_identically(self, paper_db, tmp_path):
+        trace = AprioriTrace()
+        run_apriori(paper_db, 2, "tidset", sink=trace)
+        path = save_apriori_trace(trace, tmp_path / "apriori.npz")
+        loaded = load_apriori_trace(path)
+
+        for threads in (1, 16, 64):
+            original = simulate_apriori(trace, threads).total_seconds
+            replayed = simulate_apriori(loaded, threads).total_seconds
+            assert replayed == pytest.approx(original)
+
+    def test_apriori_roundtrip_preserves_arrays(self, paper_db, tmp_path):
+        trace = AprioriTrace()
+        run_apriori(paper_db, 2, "diffset", sink=trace)
+        loaded = load_apriori_trace(
+            save_apriori_trace(trace, tmp_path / "t.npz")
+        )
+        assert loaded.singletons.build_ops == trace.singletons.build_ops
+        assert len(loaded.generations) == len(trace.generations)
+        for a, b in zip(trace.generations, loaded.generations):
+            assert (a.cpu_ops == b.cpu_ops).all()
+            assert (a.kept_mask == b.kept_mask).all()
+            assert a.candidate_gen_ops == b.candidate_gen_ops
+
+    def test_eclat_roundtrip_replays_identically(self, paper_db, tmp_path):
+        sink = EclatTrace()
+        run_eclat(paper_db, 2, "tidset", sink=sink)
+        trace = sink.finalize()
+        loaded = load_eclat_trace(save_eclat_trace(trace, tmp_path / "e.npz"))
+        for threads in (1, 32, 256):
+            for mode in ("toplevel", "level"):
+                original = simulate_eclat(
+                    trace, threads, task_mode=mode
+                ).total_seconds
+                replayed = simulate_eclat(
+                    loaded, threads, task_mode=mode
+                ).total_seconds
+                assert replayed == pytest.approx(original)
+
+    def test_untraced_apriori_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_apriori_trace(AprioriTrace(), tmp_path / "x.npz")
+
+    def test_wrong_magic_rejected(self, paper_db, tmp_path):
+        sink = EclatTrace()
+        run_eclat(paper_db, 2, "tidset", sink=sink)
+        path = save_eclat_trace(sink.finalize(), tmp_path / "e.npz")
+        with pytest.raises(ConfigurationError, match="not an Apriori"):
+            load_apriori_trace(path)
+
+
+class TestSmtMachine:
+    def test_doubles_hardware_threads(self):
+        smt = smt_machine(BLACKLIGHT, ways=2)
+        assert smt.cores_per_blade == 32
+        assert smt.element_rate < BLACKLIGHT.element_rate
+        assert smt.local_bandwidth == BLACKLIGHT.local_bandwidth / 2
+        assert smt.link_bandwidth == BLACKLIGHT.link_bandwidth  # physical
+
+    def test_one_way_is_identity(self):
+        assert smt_machine(BLACKLIGHT, ways=1) is BLACKLIGHT
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smt_machine(BLACKLIGHT, ways=0)
+        with pytest.raises(ConfigurationError):
+            smt_machine(BLACKLIGHT, pipeline_efficiency=0.0)
+
+    def test_smt_does_not_help_bandwidth_bound_mining(self, small_dense_db):
+        """The paper's observation: hyper-threading brings no gain."""
+        trace = AprioriTrace()
+        run_apriori(small_dense_db, 0.4, "tidset", sink=trace)
+        base = simulate_apriori(trace, 16, machine=BLACKLIGHT).total_seconds
+        # Same blade, twice the contexts:
+        smt = simulate_apriori(
+            trace, 32, machine=smt_machine(BLACKLIGHT)
+        ).total_seconds
+        assert smt > 0.8 * base  # at best marginal, never a 2x win
+
+
+class TestSimulatedTime:
+    def _mk(self) -> SimulatedTime:
+        st = SimulatedTime(
+            algorithm="apriori",
+            representation="tidset",
+            n_threads=32,
+            total_seconds=0.01,
+            load_seconds=0.002,
+        )
+        st.regions.append(
+            RegionBreakdown(
+                label="gen2", time=0.004, makespan=0.001,
+                link_bound=0.004, fork_join=1e-6, serial=0.001,
+            )
+        )
+        st.regions.append(
+            RegionBreakdown(
+                label="gen3", time=0.002, makespan=0.002,
+                link_bound=0.0005, fork_join=1e-6,
+            )
+        )
+        return st
+
+    def test_link_limited_regions(self):
+        st = self._mk()
+        assert st.link_limited_regions == ["gen2"]
+        assert st.regions[0].link_limited
+        assert not st.regions[1].link_limited
+
+    def test_serial_seconds(self):
+        assert self._mk().serial_seconds == pytest.approx(0.003)
+
+    def test_summary_mentions_link(self):
+        text = self._mk().summary()
+        assert "link-limited" in text and "gen2" in text

@@ -1,0 +1,63 @@
+"""End-to-end property test: the whole pipeline on random databases.
+
+For arbitrary small inputs, a scalability study must (a) mine the exact
+brute-force answer, (b) produce strictly positive simulated times, (c) give
+speedup 1.0 at the baseline, and (d) never exceed the thread count or the
+top-level task bound.  This is the outermost contract of the library.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import brute_force
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.parallel import run_scalability_study, toplevel_view
+
+dbs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=5),
+    min_size=2,
+    max_size=10,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(transactions=dbs, min_sup=st.integers(min_value=1, max_value=3))
+def test_apriori_pipeline_contract(transactions, min_sup):
+    db = TransactionDatabase(transactions, n_items=7, name="hypo")
+    study = run_scalability_study(
+        db, "apriori", "tidset", min_sup, thread_counts=[1, 16, 64]
+    )
+    assert study.mining_result.itemsets == brute_force(db, min_sup).itemsets
+    if study.runtime(1) == 0.0:
+        # Degenerate: nothing beyond generation 1, so the timed mining
+        # loop is empty at every thread count.
+        assert all(t == 0.0 for t in study.runtimes().values())
+        return
+    ups = study.speedups()
+    assert ups[1] == 1.0
+    for threads, value in ups.items():
+        assert 0 < value <= threads * 1.0001
+    assert all(t > 0 for t in study.runtimes().values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transactions=dbs,
+    min_sup=st.integers(min_value=1, max_value=3),
+    rep=st.sampled_from(["tidset", "bitvector", "diffset", "hybrid"]),
+)
+def test_eclat_pipeline_contract(transactions, min_sup, rep):
+    db = TransactionDatabase(transactions, n_items=7, name="hypo")
+    study = run_scalability_study(
+        db, "eclat", rep, min_sup, thread_counts=[1, 16, 64]
+    )
+    assert study.mining_result.itemsets == brute_force(db, min_sup).itemsets
+    if study.runtime(1) == 0.0:
+        assert all(t == 0.0 for t in study.runtimes().values())
+        return
+    ups = study.speedups()
+    assert ups[1] == 1.0
+    n_tasks = toplevel_view(study.trace).n_tasks
+    if n_tasks:
+        assert max(ups.values()) <= max(n_tasks, 1) * 1.0001
+    for threads, value in ups.items():
+        assert 0 < value <= threads * 1.0001

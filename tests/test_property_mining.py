@@ -1,0 +1,91 @@
+"""Property-based tests: all miners agree with brute force on random data.
+
+These are the strongest correctness guarantees in the suite: for arbitrary
+small transaction databases and thresholds, Apriori (x3 representations),
+Eclat (x3 representations x2 item orders), and FP-growth must produce the
+exact itemset->support map that exhaustive counting produces, and the map
+must satisfy the lattice laws (downward closure, support monotonicity).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import apriori, brute_force, eclat, fpgrowth
+from repro.core.itemset import proper_subsets
+from repro.datasets.transaction_db import TransactionDatabase
+
+# Small universes keep brute force exhaustive and the search fast while
+# still covering empty transactions, duplicates, and dense overlaps.
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=6),
+    min_size=0,
+    max_size=12,
+)
+support_strategy = st.integers(min_value=1, max_value=5)
+
+
+def _db(transactions) -> TransactionDatabase:
+    return TransactionDatabase(transactions, n_items=8, name="hypo")
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, min_sup=support_strategy)
+def test_apriori_matches_brute_force_all_representations(transactions, min_sup):
+    db = _db(transactions)
+    expected = brute_force(db, min_sup).itemsets
+    for rep in ("tidset", "bitvector", "diffset"):
+        assert apriori(db, min_sup, rep).itemsets == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, min_sup=support_strategy)
+def test_eclat_matches_brute_force_all_configurations(transactions, min_sup):
+    db = _db(transactions)
+    expected = brute_force(db, min_sup).itemsets
+    for rep in ("tidset", "bitvector", "diffset"):
+        for order in ("support", "id"):
+            assert eclat(db, min_sup, rep, item_order=order).itemsets == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transactions_strategy, min_sup=support_strategy)
+def test_fpgrowth_matches_brute_force(transactions, min_sup):
+    db = _db(transactions)
+    assert fpgrowth(db, min_sup).itemsets == brute_force(db, min_sup).itemsets
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transactions_strategy, min_sup=support_strategy)
+def test_downward_closure_and_monotonicity(transactions, min_sup):
+    db = _db(transactions)
+    result = eclat(db, min_sup, "tidset")
+    for items, support in result.itemsets.items():
+        assert support >= min_sup
+        for subset in proper_subsets(items):
+            if subset:
+                assert subset in result.itemsets
+                assert result.itemsets[subset] >= support
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transactions_strategy, min_sup=support_strategy)
+def test_supports_match_direct_count(transactions, min_sup):
+    db = _db(transactions)
+    result = apriori(db, min_sup, "diffset")
+    for items, support in result.itemsets.items():
+        assert support == db.support_of(items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    low=st.integers(min_value=1, max_value=3),
+    delta=st.integers(min_value=1, max_value=3),
+)
+def test_threshold_monotonicity(transactions, low, delta):
+    """Raising the threshold can only shrink the result."""
+    db = _db(transactions)
+    loose = eclat(db, low, "tidset").itemsets
+    strict = eclat(db, low + delta, "tidset").itemsets
+    assert set(strict) <= set(loose)
+    for items, support in strict.items():
+        assert loose[items] == support

@@ -1,0 +1,96 @@
+"""Property-based tests for the vertical-set kernels and identities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations import (
+    BitvectorRepresentation,
+    DiffsetRepresentation,
+    TidsetRepresentation,
+)
+from repro.representations.bitvector import bits_to_tids, popcount, tids_to_bits
+from repro.representations.diffset import setdiff_sorted
+from repro.representations.tidset import intersect_sorted
+
+
+def sorted_unique(draw_values):
+    return np.asarray(sorted(set(draw_values)), dtype=np.int32)
+
+
+tid_sets = st.lists(st.integers(min_value=0, max_value=200), max_size=40).map(
+    sorted_unique
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=tid_sets, b=tid_sets)
+def test_intersect_matches_python_sets(a, b):
+    expected = sorted(set(a.tolist()) & set(b.tolist()))
+    assert intersect_sorted(a, b).tolist() == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=tid_sets, b=tid_sets)
+def test_setdiff_matches_python_sets(a, b):
+    expected = sorted(set(a.tolist()) - set(b.tolist()))
+    assert setdiff_sorted(a, b).tolist() == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(tids=tid_sets)
+def test_bitpack_roundtrip(tids):
+    words = tids_to_bits(tids, 201)
+    assert bits_to_tids(words).tolist() == tids.tolist()
+    assert popcount(words) == tids.size
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=tid_sets, b=tid_sets)
+def test_popcount_of_and_equals_intersection_size(a, b):
+    wa = tids_to_bits(a, 201)
+    wb = tids_to_bits(b, 201)
+    assert popcount(wa & wb) == intersect_sorted(a, b).size
+
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(transactions=transactions_strategy)
+def test_declat_recurrence_on_random_databases(transactions):
+    """support(XY) from the diffset recurrence equals the tidset count."""
+    db = TransactionDatabase(transactions, n_items=7, name="hypo")
+    tid = TidsetRepresentation()
+    dif = DiffsetRepresentation()
+    st_ = tid.build_singletons(db)
+    sd = dif.build_singletons(db)
+    for x in range(7):
+        for y in range(x + 1, 7):
+            expected, _ = tid.combine(st_[x], st_[y])
+            got, _ = dif.combine(sd[x], sd[y])
+            assert got.support == expected.support
+
+
+@settings(max_examples=50, deadline=None)
+@given(transactions=transactions_strategy)
+def test_diffset_complement_identity(transactions):
+    """|t(X)| + |d(X)| == n_transactions at generation 1."""
+    db = TransactionDatabase(transactions, n_items=7, name="hypo")
+    tid = TidsetRepresentation().build_singletons(db)
+    dif = DiffsetRepresentation().build_singletons(db)
+    for x in range(7):
+        assert tid[x].payload.size + dif[x].payload.size == db.n_transactions
+
+
+@settings(max_examples=50, deadline=None)
+@given(transactions=transactions_strategy)
+def test_bitvector_fixed_width_invariant(transactions):
+    db = TransactionDatabase(transactions, n_items=7, name="hypo")
+    bit = BitvectorRepresentation().build_singletons(db)
+    widths = {v.payload.size for v in bit}
+    assert len(widths) == 1  # every payload has the same word count

@@ -1,0 +1,80 @@
+"""The top-level package exposes the documented public API."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_miners_importable(self):
+        for name in ("apriori", "eclat", "fpgrowth", "brute_force"):
+            assert callable(getattr(repro, name))
+
+    def test_run_variants(self):
+        assert callable(repro.run_apriori)
+        assert callable(repro.run_eclat)
+
+    def test_dataset_helpers(self):
+        assert callable(repro.get_dataset)
+        assert callable(repro.read_fimi)
+        assert repro.TransactionDatabase is not None
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_readme_quickstart_verbatim(self):
+        """The README's quickstart snippet must keep working."""
+        from repro import apriori, eclat, fpgrowth
+        from repro.datasets import parse_fimi
+
+        db = parse_fimi("1 2 3\n1 2\n2 3\n1 3\n1 2 3", name="demo")
+        result = eclat(db, min_support=2, representation="diffset")
+        assert len(result) == 7
+        assert result.support((1, 2)) == 3
+        assert result.same_itemsets(apriori(db, 2, "tidset"))
+        assert result.same_itemsets(fpgrowth(db, 2))
+
+
+class TestSubpackageSurfaces:
+    def test_representation_registry_complete(self):
+        from repro.representations import REPRESENTATIONS
+
+        assert set(REPRESENTATIONS) == {
+            "tidset", "bitvector", "diffset", "hybrid",
+        }
+
+    def test_paper_config_importable(self):
+        from repro import paper
+
+        assert paper.THREAD_COUNTS[-1] == 1024
+        assert set(paper.PAPER_SUPPORTS) == {
+            "chess", "mushroom", "pumsb", "pumsb_star",
+        }
+
+    def test_machine_presets(self):
+        from repro.machine import BLACKLIGHT, UNIFORM_MEMORY
+
+        assert BLACKLIGHT.name == "blacklight"
+        assert UNIFORM_MEMORY.name == "uniform-memory"
+
+    def test_parallel_surface(self):
+        from repro import parallel
+
+        for name in (
+            "run_scalability_study", "simulate_apriori", "simulate_eclat",
+            "save_apriori_trace", "load_eclat_trace",
+            "validate_apriori_trace", "toplevel_view",
+        ):
+            assert callable(getattr(parallel, name)), name
+
+    def test_cli_parser_builds(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert {a.dest for a in parser._subparsers._actions[-1].choices[
+            "mine"
+        ]._actions if a.dest != "help"} >= {
+            "dataset", "min_support", "algorithm", "representation", "top",
+        }

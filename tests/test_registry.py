@@ -1,0 +1,52 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import registry
+from repro.datasets.transaction_db import TransactionDatabase
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    registry.clear_cache()
+    yield
+    registry.clear_cache()
+
+
+def test_available_datasets_sorted():
+    names = registry.available_datasets()
+    assert names == sorted(names)
+    assert {"chess", "mushroom", "pumsb", "pumsb_star"} <= set(names)
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        registry.get_dataset("nope")
+
+
+def test_caching_returns_same_object():
+    a = registry.get_dataset("chess")
+    b = registry.get_dataset("chess")
+    assert a is b
+
+
+def test_refresh_rebuilds():
+    a = registry.get_dataset("chess")
+    b = registry.get_dataset("chess", refresh=True)
+    assert a is not b
+
+
+def test_register_custom_dataset():
+    registry.register_dataset(
+        "custom", lambda: TransactionDatabase([[1, 2]], name="custom")
+    )
+    db = registry.get_dataset("custom")
+    assert db.name == "custom"
+    # Clean up the module-level registration.
+    registry._BUILDERS.pop("custom")
+
+
+def test_quest_entries_have_limited_items():
+    db = registry.get_dataset("T40I10")
+    assert db.n_items <= 400
+    assert db.n_transactions > 0

@@ -1,0 +1,233 @@
+"""Unit tests for the three vertical representations.
+
+Includes the paper's own worked diffset example (Figure 2) as a fixture:
+six transactions over items A..F, threshold 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.representations import (
+    BitvectorRepresentation,
+    DiffsetRepresentation,
+    TidsetRepresentation,
+    get_representation,
+)
+from repro.representations.base import OpCost, Vertical
+from repro.representations.bitvector import (
+    bits_to_tids,
+    popcount,
+    tids_to_bits,
+    words_for,
+)
+from repro.representations.diffset import setdiff_sorted
+from repro.representations.tidset import intersect_sorted
+
+A, B, C, D, E, F = range(6)
+
+
+class TestSortedSetKernels:
+    def test_intersect_basic(self):
+        a = np.array([1, 3, 5, 7], dtype=np.int32)
+        b = np.array([3, 4, 5, 9], dtype=np.int32)
+        assert intersect_sorted(a, b).tolist() == [3, 5]
+
+    def test_intersect_empty(self):
+        a = np.array([1, 2], dtype=np.int32)
+        empty = np.array([], dtype=np.int32)
+        assert intersect_sorted(a, empty).size == 0
+        assert intersect_sorted(empty, a).size == 0
+
+    def test_intersect_disjoint(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([3, 4], dtype=np.int32)
+        assert intersect_sorted(a, b).size == 0
+
+    def test_intersect_identical(self):
+        a = np.array([2, 4, 6], dtype=np.int32)
+        assert intersect_sorted(a, a.copy()).tolist() == [2, 4, 6]
+
+    def test_intersect_value_beyond_range(self):
+        # Largest element of one array exceeds all of the other (exercises
+        # the searchsorted clamp).
+        a = np.array([1, 99], dtype=np.int32)
+        b = np.array([1, 2, 3], dtype=np.int32)
+        assert intersect_sorted(a, b).tolist() == [1]
+
+    def test_setdiff_basic(self):
+        a = np.array([1, 2, 3, 4], dtype=np.int32)
+        b = np.array([2, 4], dtype=np.int32)
+        assert setdiff_sorted(a, b).tolist() == [1, 3]
+
+    def test_setdiff_empty_cases(self):
+        a = np.array([1, 2], dtype=np.int32)
+        empty = np.array([], dtype=np.int32)
+        assert setdiff_sorted(a, empty).tolist() == [1, 2]
+        assert setdiff_sorted(empty, a).size == 0
+
+    def test_setdiff_superset(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([0, 1, 2, 3], dtype=np.int32)
+        assert setdiff_sorted(a, b).size == 0
+
+    def test_setdiff_value_beyond_range(self):
+        a = np.array([5, 99], dtype=np.int32)
+        b = np.array([1, 5], dtype=np.int32)
+        assert setdiff_sorted(a, b).tolist() == [99]
+
+
+class TestBitKernels:
+    def test_words_for(self):
+        assert words_for(0) == 0
+        assert words_for(1) == 1
+        assert words_for(64) == 1
+        assert words_for(65) == 2
+
+    def test_pack_unpack_roundtrip(self):
+        tids = np.array([0, 5, 63, 64, 100], dtype=np.int64)
+        words = tids_to_bits(tids, 128)
+        assert words.size == 2
+        assert bits_to_tids(words).tolist() == tids.tolist()
+
+    def test_popcount(self):
+        tids = np.array([0, 5, 63, 64, 100], dtype=np.int64)
+        assert popcount(tids_to_bits(tids, 128)) == 5
+        assert popcount(np.empty(0, dtype=np.uint64)) == 0
+
+    def test_empty_tids(self):
+        words = tids_to_bits(np.empty(0, dtype=np.int64), 70)
+        assert popcount(words) == 0
+        assert bits_to_tids(words).size == 0
+
+
+@pytest.mark.parametrize("name", ["tidset", "bitvector", "diffset"])
+class TestRepresentationContract:
+    def test_registry_lookup(self, name):
+        rep = get_representation(name)
+        assert rep.name == name
+
+    def test_singleton_supports(self, paper_db, name):
+        rep = get_representation(name)
+        singletons = rep.build_singletons(paper_db)
+        supports = [v.support for v in singletons]
+        assert supports == [4, 3, 5, 1, 6, 2]  # A..F in Figure 2
+
+    def test_min_support_skips_payloads(self, paper_db, name):
+        rep = get_representation(name)
+        singletons = rep.build_singletons(paper_db, min_support=3)
+        # D (support 1) and F (support 2) get no payload but keep support.
+        assert singletons[D].support == 1
+        assert singletons[D].payload.size == 0
+        assert singletons[F].support == 2
+        assert singletons[A].payload.size > 0
+
+    def test_combine_pair_support(self, paper_db, name):
+        rep = get_representation(name)
+        s = rep.build_singletons(paper_db)
+        combined, cost = rep.combine(s[A], s[C])
+        assert combined.support == 3  # A C in {t0, t1, t2}
+        assert isinstance(cost, OpCost)
+        assert cost.cpu_ops > 0
+
+    def test_combine_triple_support(self, paper_db, name):
+        rep = get_representation(name)
+        s = rep.build_singletons(paper_db)
+        ac, _ = rep.combine(s[A], s[C])
+        ae, _ = rep.combine(s[A], s[E])
+        ace, _ = rep.combine(ac, ae)
+        assert ace.support == 3  # ACE in {t0, t1, t2}
+
+    def test_payload_bytes_positive(self, paper_db, name):
+        rep = get_representation(name)
+        s = rep.build_singletons(paper_db)
+        # A misses two transactions, so every format stores something.
+        assert rep.payload_bytes(s[A]) > 0
+        assert rep.generation_bytes(s) == sum(rep.payload_bytes(v) for v in s)
+
+    def test_singleton_build_cost(self, paper_db, name):
+        rep = get_representation(name)
+        cost = rep.singleton_build_cost(paper_db)
+        assert cost.cpu_ops == sum(t.size for t in paper_db)
+
+
+class TestFigure2DiffsetExample:
+    """The worked example from the paper's Figure 2."""
+
+    def test_level1_diffsets(self, paper_db):
+        rep = DiffsetRepresentation()
+        s = rep.build_singletons(paper_db)
+        assert s[A].payload.tolist() == [3, 5]  # d(A)
+        assert s[C].payload.tolist() == [4]     # d(C)
+        assert s[E].payload.tolist() == []      # d(E): E in every transaction
+
+    def test_d_ac_recurrence(self, paper_db):
+        """d(AC) = d(C) - d(A); support(AC) = support(A) - |d(AC)|."""
+        rep = DiffsetRepresentation()
+        s = rep.build_singletons(paper_db)
+        ac, _ = rep.combine(s[A], s[C])
+        assert ac.payload.tolist() == [4]
+        assert ac.support == 4 - 1
+
+    def test_d_ace_recurrence(self, paper_db):
+        rep = DiffsetRepresentation()
+        s = rep.build_singletons(paper_db)
+        ac, _ = rep.combine(s[A], s[C])
+        ae, _ = rep.combine(s[A], s[E])
+        ace, _ = rep.combine(ac, ae)
+        assert ace.support == ac.support - ace.payload.size
+
+
+class TestCrossRepresentationIdentity:
+    def test_pair_supports_agree_everywhere(self, small_dense_db):
+        tid = TidsetRepresentation()
+        bit = BitvectorRepresentation()
+        dif = DiffsetRepresentation()
+        st = tid.build_singletons(small_dense_db)
+        sb = bit.build_singletons(small_dense_db)
+        sd = dif.build_singletons(small_dense_db)
+        n = small_dense_db.n_items
+        for i in range(0, n, 3):
+            for j in range(i + 1, n, 4):
+                t, _ = tid.combine(st[i], st[j])
+                b, _ = bit.combine(sb[i], sb[j])
+                d, _ = dif.combine(sd[i], sd[j])
+                assert t.support == b.support == d.support
+
+    def test_bitvector_matches_tidset_cover(self, paper_db):
+        tid = TidsetRepresentation()
+        bit = BitvectorRepresentation()
+        st = tid.build_singletons(paper_db)
+        sb = bit.build_singletons(paper_db)
+        t, _ = tid.combine(st[B], st[C])
+        b, _ = bit.combine(sb[B], sb[C])
+        assert bits_to_tids(b.payload).tolist() == t.payload.tolist()
+
+    def test_unknown_representation(self):
+        with pytest.raises(KeyError, match="unknown representation"):
+            get_representation("fancy")
+
+
+class TestOpCost:
+    def test_addition(self):
+        total = OpCost(1, 2, 3) + OpCost(10, 20, 30)
+        assert (total.cpu_ops, total.bytes_read, total.bytes_written) == (
+            11, 22, 33,
+        )
+        assert total.total_bytes == 55
+
+    def test_tidset_cost_counts_both_operands(self):
+        rep = TidsetRepresentation()
+        a = Vertical(np.array([1, 2, 3], dtype=np.int32), 3)
+        b = Vertical(np.array([2, 3], dtype=np.int32), 2)
+        out, cost = rep.combine(a, b)
+        assert cost.cpu_ops == 5
+        assert cost.bytes_read == 5 * 4
+        assert cost.bytes_written == out.payload.size * 4
+
+    def test_bitvector_cost_fixed_width(self, paper_db):
+        rep = BitvectorRepresentation()
+        s = rep.build_singletons(paper_db)
+        _, cost_dense = rep.combine(s[E], s[C])
+        _, cost_sparse = rep.combine(s[D], s[F])
+        # Fixed-width: identical cost regardless of support.
+        assert cost_dense == cost_sparse

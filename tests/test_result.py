@@ -1,0 +1,100 @@
+"""Unit tests for MiningResult and threshold resolution."""
+
+import pytest
+
+from repro.core.result import MiningResult, from_mapping, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def db10() -> TransactionDatabase:
+    return TransactionDatabase([[0]] * 10, name="ten")
+
+
+class TestResolveMinSupport:
+    def test_absolute_passthrough(self, db10):
+        assert resolve_min_support(db10, 3) == 3
+
+    def test_relative_exact(self, db10):
+        assert resolve_min_support(db10, 0.3) == 3
+
+    def test_relative_rounds_up(self, db10):
+        assert resolve_min_support(db10, 0.25) == 3
+
+    def test_relative_float_noise(self, db10):
+        # 0.3 * 10 == 3.0000000000000004 in floating point.
+        assert resolve_min_support(db10, 0.3) == 3
+
+    def test_relative_one(self, db10):
+        assert resolve_min_support(db10, 1.0) == 10
+
+    def test_minimum_one(self):
+        db = TransactionDatabase([[0]], name="one")
+        assert resolve_min_support(db, 0.0001) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, 0.0, True])
+    def test_invalid(self, db10, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_min_support(db10, bad)
+
+
+class TestMiningResult:
+    def _result(self) -> MiningResult:
+        return from_mapping(
+            {(1,): 4, (2,): 4, (1, 2): 3, (1, 2, 3): 2, (3,): 4, (1, 3): 3, (2, 3): 3},
+            n_transactions=5,
+            min_support=2,
+        )
+
+    def test_len_and_contains(self):
+        r = self._result()
+        assert len(r) == 7
+        assert [2, 1] in r  # canonicalized
+        assert (9,) not in r
+
+    def test_support_lookup(self):
+        r = self._result()
+        assert r.support([2, 1]) == 3
+        with pytest.raises(KeyError):
+            r.support([9])
+
+    def test_relative_support(self):
+        r = self._result()
+        assert r.relative_support((1, 2)) == pytest.approx(0.6)
+
+    def test_by_size(self):
+        grouped = self._result().by_size()
+        assert set(grouped) == {1, 2, 3}
+        assert len(grouped[2]) == 3
+
+    def test_k_itemsets(self):
+        assert len(self._result().k_itemsets(1)) == 3
+        assert self._result().k_itemsets(4) == {}
+
+    def test_max_size(self):
+        assert self._result().max_size() == 3
+        empty = from_mapping({})
+        assert empty.max_size() == 0
+
+    def test_summary_mentions_counts(self):
+        text = self._result().summary()
+        assert "|L1|=3" in text and "|L3|=1" in text
+
+    def test_same_itemsets(self):
+        a, b = self._result(), self._result()
+        assert a.same_itemsets(b)
+        b.add((5,), 2)
+        assert not a.same_itemsets(b)
+
+    def test_difference_reports_mismatch(self):
+        a, b = self._result(), self._result()
+        b.itemsets[(1,)] = 99
+        del b.itemsets[(3,)]
+        diff = a.difference(b)
+        assert (3,) in diff["only_self"]
+        assert diff["support_mismatch"][(1,)] == (4, 99)
+
+    def test_relative_support_empty_db(self):
+        r = from_mapping({(1,): 0}, n_transactions=0)
+        assert r.relative_support((1,)) == 0.0

@@ -1,0 +1,127 @@
+"""Tests for association-rule metrics and generation."""
+
+import math
+
+import pytest
+
+from repro.core import apriori
+from repro.core.result import from_mapping
+from repro.errors import ConfigurationError, MiningError
+from repro.rules import (
+    AssociationRule,
+    confidence,
+    conviction,
+    generate_rules,
+    leverage,
+    lift,
+    top_rules_for,
+)
+
+
+class TestMetrics:
+    def test_confidence(self):
+        assert confidence(0.3, 0.6) == pytest.approx(0.5)
+
+    def test_confidence_zero_antecedent(self):
+        assert confidence(0.0, 0.0) == 0.0
+
+    def test_confidence_validates(self):
+        with pytest.raises(ConfigurationError):
+            confidence(1.5, 0.5)
+
+    def test_lift_independent(self):
+        assert lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_lift_positive_correlation(self):
+        assert lift(0.4, 0.5, 0.5) > 1.0
+
+    def test_lift_zero_consequent(self):
+        assert lift(0.0, 0.5, 0.0) == 0.0
+
+    def test_leverage_independent_is_zero(self):
+        assert leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_leverage_sign(self):
+        assert leverage(0.4, 0.5, 0.5) > 0
+        assert leverage(0.1, 0.5, 0.5) < 0
+
+    def test_conviction_perfect_rule(self):
+        assert conviction(0.5, 0.5, 0.6) == math.inf
+
+    def test_conviction_independent(self):
+        assert conviction(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    def _result(self):
+        # diapers (0) and beer (1): the Section II anecdote.
+        return from_mapping(
+            {(0,): 60, (1,): 50, (0, 1): 45, (2,): 80, (0, 2): 48},
+            n_transactions=100,
+        )
+
+    def test_strong_rule_found(self):
+        rules = generate_rules(self._result(), min_confidence=0.7)
+        found = {(r.antecedent, r.consequent) for r in rules}
+        assert ((0,), (1,)) in found  # diapers => beer at 0.75 confidence
+
+    def test_confidence_values(self):
+        rules = generate_rules(self._result(), min_confidence=0.0)
+        by_pair = {(r.antecedent, r.consequent): r for r in rules}
+        rule = by_pair[((0,), (1,))]
+        assert rule.confidence == pytest.approx(0.75)
+        assert rule.support == pytest.approx(0.45)
+        assert rule.lift == pytest.approx(0.75 / 0.5)
+
+    def test_min_confidence_filters(self):
+        rules = generate_rules(self._result(), min_confidence=0.9)
+        assert all(r.confidence >= 0.9 for r in rules)
+        # beer => diapers has confidence 0.9 exactly
+        assert any(r.antecedent == (1,) for r in rules)
+
+    def test_min_lift_filters(self):
+        rules = generate_rules(self._result(), min_confidence=0.0, min_lift=1.2)
+        assert all(r.lift >= 1.2 for r in rules)
+
+    def test_sorted_by_confidence(self):
+        rules = generate_rules(self._result(), min_confidence=0.0)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_singletons_produce_no_rules(self):
+        result = from_mapping({(0,): 10, (1,): 5}, n_transactions=10)
+        assert generate_rules(result) == []
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigurationError):
+            generate_rules(self._result(), min_confidence=1.2)
+
+    def test_missing_transaction_count(self):
+        result = from_mapping({(0, 1): 2, (0,): 3, (1,): 3}, n_transactions=0)
+        with pytest.raises(MiningError):
+            generate_rules(result)
+
+    def test_closure_violation_detected(self):
+        result = from_mapping({(0, 1): 2, (0,): 3}, n_transactions=10)
+        with pytest.raises(MiningError, match="downward closure"):
+            generate_rules(result, min_confidence=0.0)
+
+    def test_end_to_end_with_miner(self, small_dense_db):
+        result = apriori(small_dense_db, 0.4, "tidset")
+        rules = generate_rules(result, min_confidence=0.8)
+        assert rules, "dense data should yield strong rules"
+        for rule in rules[:10]:
+            # Verify confidence against true supports.
+            ante = small_dense_db.support_of(rule.antecedent)
+            union = small_dense_db.support_of(rule.antecedent + rule.consequent)
+            assert rule.confidence == pytest.approx(union / ante)
+
+    def test_top_rules_for(self):
+        rules = generate_rules(self._result(), min_confidence=0.0)
+        top = top_rules_for(rules, item=0, limit=2)
+        assert len(top) <= 2
+        assert all(0 in r.antecedent for r in top)
+
+    def test_rule_is_dataclass_with_str(self):
+        rule = AssociationRule((0,), (1,), 0.4, 0.8, 1.5, 0.1, 2.0)
+        assert "=>" in str(rule)

@@ -1,0 +1,100 @@
+"""Tests for the OpenMP schedule semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.openmp.schedule import (
+    APRIORI_SCHEDULE,
+    ECLAT_SCHEDULE,
+    ScheduleSpec,
+    chunk_boundaries,
+    static_assignment,
+    validate_assignment,
+)
+
+
+class TestScheduleSpec:
+    def test_paper_clauses(self):
+        assert APRIORI_SCHEDULE.kind == "static"
+        assert ECLAT_SCHEDULE == ScheduleSpec("dynamic", 1)
+
+    def test_str(self):
+        assert str(ScheduleSpec("dynamic", 4)) == "schedule(dynamic,4)"
+        assert str(ScheduleSpec("static")) == "schedule(static)"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleSpec("wavefront")
+        with pytest.raises(ConfigurationError):
+            ScheduleSpec("static", 0)
+
+
+class TestStaticAssignment:
+    def test_contiguous_blocks(self):
+        asg = static_assignment(10, 3)
+        assert asg.tolist() == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_even_split(self):
+        asg = static_assignment(8, 4)
+        assert np.bincount(asg).tolist() == [2, 2, 2, 2]
+
+    def test_fewer_iterations_than_threads(self):
+        asg = static_assignment(3, 8)
+        assert asg.tolist() == [0, 1, 2]
+
+    def test_chunked_round_robin(self):
+        asg = static_assignment(7, 2, chunk_size=2)
+        assert asg.tolist() == [0, 0, 1, 1, 0, 0, 1]
+
+    def test_chunk_one_interleaves(self):
+        asg = static_assignment(6, 3, chunk_size=1)
+        assert asg.tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_zero_iterations(self):
+        assert static_assignment(0, 4).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            static_assignment(5, 0)
+        validate_assignment(static_assignment(5, 2), 2)
+        with pytest.raises(ConfigurationError):
+            validate_assignment(np.array([0, 5]), 2)
+
+
+class TestChunkBoundaries:
+    def _coverage(self, bounds, n):
+        seen = []
+        for start, end in bounds:
+            assert start < end
+            seen.extend(range(start, end))
+        assert seen == list(range(n))
+
+    def test_static_block_boundaries(self):
+        bounds = chunk_boundaries(10, 3, ScheduleSpec("static"))
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_dynamic_fixed_chunks(self):
+        bounds = chunk_boundaries(7, 3, ScheduleSpec("dynamic", 3))
+        assert bounds == [(0, 3), (3, 6), (6, 7)]
+        self._coverage(bounds, 7)
+
+    def test_dynamic_default_chunk_one(self):
+        bounds = chunk_boundaries(4, 2, ScheduleSpec("dynamic"))
+        assert len(bounds) == 4
+
+    def test_guided_chunks_shrink(self):
+        bounds = chunk_boundaries(1000, 4, ScheduleSpec("guided"))
+        sizes = [e - s for s, e in bounds]
+        # Non-increasing except possibly the tail, and full coverage.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:-1] and sizes[1:]))
+        self._coverage(bounds, 1000)
+
+    def test_guided_respects_min_chunk(self):
+        bounds = chunk_boundaries(100, 4, ScheduleSpec("guided", 8))
+        sizes = [e - s for s, e in bounds]
+        assert all(s >= 8 for s in sizes[:-1])
+        self._coverage(bounds, 100)
+
+    def test_empty_loop(self):
+        assert chunk_boundaries(0, 4, ScheduleSpec("dynamic", 1)) == []

@@ -1,0 +1,147 @@
+"""Property-style invariants of the end-to-end simulation pipeline.
+
+These encode "physics" the machine replay must respect regardless of
+workload: faster hardware never slows a run, more bandwidth never hurts,
+zero-thread teams are rejected, and the same trace always replays to the
+same number (determinism).
+"""
+
+import pytest
+
+from repro.core import run_apriori, run_eclat
+from repro.machine import BLACKLIGHT
+from repro.parallel import (
+    AprioriTrace,
+    EclatTrace,
+    simulate_apriori,
+    simulate_eclat,
+)
+
+THREADS = [1, 16, 64, 512]
+
+
+@pytest.fixture(scope="module")
+def apriori_trace(small_dense_db_module):
+    trace = AprioriTrace()
+    run_apriori(small_dense_db_module, 0.5, "tidset", sink=trace)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def eclat_trace(small_dense_db_module):
+    sink = EclatTrace()
+    run_eclat(small_dense_db_module, 0.5, "tidset", sink=sink)
+    return sink.finalize()
+
+
+@pytest.fixture(scope="module")
+def small_dense_db_module():
+    from repro.datasets.synthetic import DenseAttributeGenerator
+
+    gen = DenseAttributeGenerator(
+        domain_sizes=(3, 3, 2, 4, 2, 3),
+        n_classes=2,
+        peak=0.8,
+        n_shared_attributes=3,
+        shared_peak=0.95,
+        seed=9,
+    )
+    return gen.generate(400, name="inv-dense")
+
+
+class TestDeterminism:
+    def test_apriori_replay_deterministic(self, apriori_trace):
+        for t in THREADS:
+            a = simulate_apriori(apriori_trace, t).total_seconds
+            b = simulate_apriori(apriori_trace, t).total_seconds
+            assert a == b
+
+    def test_eclat_replay_deterministic(self, eclat_trace):
+        for mode in ("toplevel", "level"):
+            a = simulate_eclat(eclat_trace, 128, task_mode=mode).total_seconds
+            b = simulate_eclat(eclat_trace, 128, task_mode=mode).total_seconds
+            assert a == b
+
+
+@pytest.mark.parametrize(
+    "field,direction",
+    [
+        ("element_rate", "faster"),
+        ("local_bandwidth", "faster"),
+        ("remote_stream_bandwidth", "faster"),
+        ("link_bandwidth", "faster"),
+        ("bisection_bandwidth", "faster"),
+    ],
+)
+class TestHardwareMonotonicity:
+    def test_apriori_never_slower_on_better_hardware(
+        self, apriori_trace, field, direction
+    ):
+        better = BLACKLIGHT.with_overrides(
+            **{field: getattr(BLACKLIGHT, field) * 4}
+        )
+        for t in THREADS:
+            base = simulate_apriori(apriori_trace, t, machine=BLACKLIGHT)
+            fast = simulate_apriori(apriori_trace, t, machine=better)
+            assert fast.total_seconds <= base.total_seconds * 1.0001, (field, t)
+
+    def test_eclat_never_slower_on_better_hardware(
+        self, eclat_trace, field, direction
+    ):
+        better = BLACKLIGHT.with_overrides(
+            **{field: getattr(BLACKLIGHT, field) * 4}
+        )
+        for t in THREADS:
+            base = simulate_eclat(eclat_trace, t, machine=BLACKLIGHT)
+            fast = simulate_eclat(eclat_trace, t, machine=better)
+            assert fast.total_seconds <= base.total_seconds * 1.0001, (field, t)
+
+
+class TestOverheadMonotonicity:
+    def test_bigger_fork_join_never_faster(self, apriori_trace):
+        worse = BLACKLIGHT.with_overrides(fork_join_base=1e-3)
+        for t in (16, 512):
+            base = simulate_apriori(apriori_trace, t).total_seconds
+            slow = simulate_apriori(apriori_trace, t, machine=worse).total_seconds
+            assert slow >= base
+
+    def test_bigger_iteration_overhead_never_faster(self, eclat_trace):
+        worse = BLACKLIGHT.with_overrides(iteration_overhead_ops=20_000)
+        for t in (16, 512):
+            base = simulate_eclat(eclat_trace, t).total_seconds
+            slow = simulate_eclat(eclat_trace, t, machine=worse).total_seconds
+            assert slow >= base
+
+    def test_bigger_cache_never_slower(self, apriori_trace):
+        bigger = BLACKLIGHT.with_overrides(
+            cache_per_thread=64 * 1024 * 1024,
+            cache_per_blade=1024 * 1024 * 1024,
+        )
+        for t in THREADS:
+            base = simulate_apriori(apriori_trace, t).total_seconds
+            cached = simulate_apriori(
+                apriori_trace, t, machine=bigger
+            ).total_seconds
+            assert cached <= base * 1.0001
+
+
+class TestStructure:
+    def test_single_thread_no_remote_terms(self, apriori_trace):
+        t1 = simulate_apriori(apriori_trace, 1)
+        assert not t1.link_limited_regions
+        assert t1.regions[0].fork_join == 0.0
+
+    def test_total_is_sum_of_parts(self, apriori_trace):
+        sim = simulate_apriori(apriori_trace, 64)
+        reconstructed = sum(r.time + r.serial for r in sim.regions)
+        assert sim.total_seconds == pytest.approx(reconstructed)
+
+    def test_eclat_toplevel_single_region(self, eclat_trace):
+        sim = simulate_eclat(eclat_trace, 64, task_mode="toplevel")
+        assert len(sim.regions) == 1
+
+    def test_eclat_level_regions_match_depths(self, eclat_trace):
+        sim = simulate_eclat(eclat_trace, 64, task_mode="level")
+        assert len(sim.regions) == len(
+            [lv for lv in eclat_trace.levels if lv.n_combines]
+        )

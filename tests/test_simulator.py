@@ -1,0 +1,188 @@
+"""Tests for the parallel-for makespan simulator and thread team."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import BLACKLIGHT
+from repro.openmp import (
+    ScheduleSpec,
+    ThreadTeam,
+    check_trace,
+    load_balance_summary,
+    simulate_parallel_for,
+)
+
+
+class TestStaticSimulation:
+    def test_single_thread_is_sum(self):
+        durations = np.array([1.0, 2.0, 3.0])
+        out = simulate_parallel_for(durations, 1, ScheduleSpec("static"))
+        assert out.makespan == pytest.approx(6.0)
+
+    def test_even_work_splits_evenly(self):
+        durations = np.ones(8)
+        out = simulate_parallel_for(durations, 4, ScheduleSpec("static"))
+        assert out.makespan == pytest.approx(2.0)
+        assert out.thread_busy.tolist() == [2.0, 2.0, 2.0, 2.0]
+
+    def test_makespan_at_least_max_task(self):
+        durations = np.array([10.0, 0.1, 0.1, 0.1])
+        out = simulate_parallel_for(durations, 4, ScheduleSpec("static"))
+        assert out.makespan >= 10.0
+
+    def test_clustered_imbalance_contiguous_vs_chunk1(self):
+        # First half expensive: contiguous static piles it on thread 0;
+        # round-robin (static,1) balances it.
+        durations = np.array([4.0] * 8 + [0.5] * 8)
+        contiguous = simulate_parallel_for(durations, 2, ScheduleSpec("static"))
+        round_robin = simulate_parallel_for(durations, 2, ScheduleSpec("static", 1))
+        assert round_robin.makespan < contiguous.makespan
+
+    def test_assignment_and_busy_consistent(self):
+        durations = np.arange(1.0, 11.0)
+        out = simulate_parallel_for(durations, 3, ScheduleSpec("static"))
+        recomputed = np.bincount(
+            out.iteration_thread, weights=durations, minlength=3
+        )
+        assert np.allclose(out.thread_busy, recomputed)
+
+    def test_events_trace_valid(self):
+        durations = np.ones(10)
+        out = simulate_parallel_for(
+            durations, 3, ScheduleSpec("static"), collect_events=True
+        )
+        assert out.events is not None
+        check_trace(out.events, 10)
+
+    def test_empty_loop(self):
+        out = simulate_parallel_for(np.empty(0), 4, ScheduleSpec("static"))
+        assert out.makespan == 0.0
+
+
+class TestDynamicSimulation:
+    def test_perfect_balance_with_chunk1(self):
+        durations = np.ones(64)
+        out = simulate_parallel_for(durations, 4, ScheduleSpec("dynamic", 1))
+        ideal = 16.0
+        assert ideal <= out.makespan <= ideal * 1.1  # + dequeue overhead
+
+    def test_big_task_bounds_makespan(self):
+        durations = np.array([8.0] + [0.1] * 20)
+        out = simulate_parallel_for(durations, 4, ScheduleSpec("dynamic", 1))
+        assert out.makespan >= 8.0
+        assert out.makespan < 9.0  # dynamic steals the small ones
+
+    def test_dequeue_lock_serializes_tiny_tasks(self):
+        machine = BLACKLIGHT.with_overrides(dynamic_dequeue_cost=1e-3)
+        durations = np.full(100, 1e-6)
+        out = simulate_parallel_for(
+            durations, 32, ScheduleSpec("dynamic", 1), machine=machine
+        )
+        # 100 dequeues x 1 ms lock hold => >= 0.1 s regardless of threads.
+        assert out.makespan >= 0.1
+
+    def test_events_trace_valid(self):
+        durations = np.random.default_rng(1).random(30)
+        out = simulate_parallel_for(
+            durations, 4, ScheduleSpec("dynamic", 2), collect_events=True
+        )
+        check_trace(out.events, 30)
+
+    def test_guided_covers_everything(self):
+        durations = np.ones(100)
+        out = simulate_parallel_for(
+            durations, 4, ScheduleSpec("guided"), collect_events=True
+        )
+        check_trace(out.events, 100)
+
+    def test_all_iterations_assigned_once(self):
+        durations = np.ones(37)
+        out = simulate_parallel_for(durations, 5, ScheduleSpec("dynamic", 3))
+        assert out.iteration_thread.size == 37
+        assert out.iteration_thread.min() >= 0
+        assert out.iteration_thread.max() < 5
+
+
+class TestValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_parallel_for(np.array([-1.0]), 2, ScheduleSpec("static"))
+
+    def test_bad_thread_count(self):
+        with pytest.raises(SimulationError):
+            simulate_parallel_for(np.ones(3), 0, ScheduleSpec("static"))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_parallel_for(np.ones((2, 2)), 2, ScheduleSpec("static"))
+
+
+class TestThreadTeam:
+    def test_region_composition(self):
+        team = ThreadTeam(32, BLACKLIGHT)
+        durations = np.ones(64) * 1e-3
+        link = np.array([0.0, 1.0 * BLACKLIGHT.link_bandwidth])
+        region = team.run_region(durations, ScheduleSpec("static"), link)
+        assert region.link_limited
+        assert region.time >= 1.0
+
+    def test_fork_join_added(self):
+        team = ThreadTeam(64, BLACKLIGHT)
+        region = team.run_region(np.ones(4), ScheduleSpec("static"))
+        assert region.fork_join > 0
+        assert region.time == pytest.approx(region.makespan + region.fork_join)
+
+    def test_bisection_floor(self):
+        team = ThreadTeam(32, BLACKLIGHT)
+        region = team.run_region(
+            np.full(8, 1e-6),
+            ScheduleSpec("static"),
+            total_remote_bytes=2.0 * BLACKLIGHT.bisection_bandwidth,
+        )
+        assert region.time >= 2.0
+
+    def test_reader_blades(self):
+        team = ThreadTeam(32, BLACKLIGHT)
+        blades = team.reader_blades(np.array([0, 16, 31]))
+        assert blades.tolist() == [0, 1, 1]
+
+
+class TestTraceChecks:
+    def test_check_trace_catches_gap(self):
+        from repro.openmp.events import ChunkEvent
+
+        events = [ChunkEvent(0, 0, 2, 0.0, 1.0)]
+        with pytest.raises(SimulationError, match="never executed"):
+            check_trace(events, 3)
+
+    def test_check_trace_catches_double(self):
+        from repro.openmp.events import ChunkEvent
+
+        events = [
+            ChunkEvent(0, 0, 2, 0.0, 1.0),
+            ChunkEvent(1, 1, 3, 0.0, 1.0),
+        ]
+        with pytest.raises(SimulationError, match="twice"):
+            check_trace(events, 3)
+
+    def test_check_trace_catches_self_overlap(self):
+        from repro.openmp.events import ChunkEvent
+
+        events = [
+            ChunkEvent(0, 0, 1, 0.0, 2.0),
+            ChunkEvent(0, 1, 2, 1.0, 3.0),
+        ]
+        with pytest.raises(SimulationError, match="overlaps"):
+            check_trace(events, 2)
+
+    def test_load_balance_summary(self):
+        from repro.openmp.events import ChunkEvent
+
+        events = [
+            ChunkEvent(0, 0, 1, 0.0, 3.0),
+            ChunkEvent(1, 1, 2, 0.0, 1.0),
+        ]
+        summary = load_balance_summary(events, 2)
+        assert summary["max_busy"] == 3.0
+        assert summary["imbalance"] == pytest.approx(0.5)

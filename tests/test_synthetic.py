@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DenseAttributeGenerator,
+    QuestGenerator,
+    split_domains,
+)
+from repro.errors import ConfigurationError
+
+
+class TestQuestGenerator:
+    def test_deterministic(self):
+        a = QuestGenerator(seed=5).generate(50)
+        b = QuestGenerator(seed=5).generate(50)
+        assert [t.tolist() for t in a] == [t.tolist() for t in b]
+
+    def test_seed_changes_output(self):
+        a = QuestGenerator(seed=5).generate(50)
+        b = QuestGenerator(seed=6).generate(50)
+        assert [t.tolist() for t in a] != [t.tolist() for t in b]
+
+    def test_transaction_count(self):
+        assert QuestGenerator(seed=1).generate(123).n_transactions == 123
+
+    def test_zero_transactions(self):
+        assert QuestGenerator(seed=1).generate(0).n_transactions == 0
+
+    def test_average_length_near_target(self):
+        gen = QuestGenerator(
+            n_items=500, avg_transaction_length=12, seed=3
+        )
+        db = gen.generate(800)
+        assert 6 <= db.avg_length <= 18
+
+    def test_items_within_universe(self):
+        gen = QuestGenerator(n_items=40, seed=2)
+        db = gen.generate(200)
+        assert db.n_items <= 40
+
+    def test_default_name_encodes_parameters(self):
+        gen = QuestGenerator(
+            avg_transaction_length=10, avg_pattern_length=4, seed=1
+        )
+        assert gen.generate(10).name == "T10I4D10"
+
+    def test_patterns_create_correlation(self):
+        """Frequent pairs should beat the independence expectation."""
+        gen = QuestGenerator(
+            n_items=200, avg_transaction_length=8, n_patterns=20, seed=9
+        )
+        db = gen.generate(600)
+        supports = db.item_supports() / db.n_transactions
+        top_items = np.argsort(supports)[-8:]
+        best_lift = 0.0
+        for i in range(len(top_items)):
+            for j in range(i + 1, len(top_items)):
+                a, b = int(top_items[i]), int(top_items[j])
+                pair = db.support_of([a, b]) / db.n_transactions
+                if supports[a] and supports[b]:
+                    best_lift = max(best_lift, pair / (supports[a] * supports[b]))
+        assert best_lift > 1.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": 0},
+            {"avg_transaction_length": 0},
+            {"avg_pattern_length": -1},
+            {"correlation": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QuestGenerator(**kwargs)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuestGenerator(seed=1).generate(-1)
+
+
+class TestDenseAttributeGenerator:
+    def test_one_item_per_attribute(self):
+        gen = DenseAttributeGenerator(domain_sizes=(3, 4, 2), seed=1)
+        db = gen.generate(100)
+        assert all(t.size == 3 for t in db)
+
+    def test_values_within_attribute_ranges(self):
+        gen = DenseAttributeGenerator(domain_sizes=(3, 4, 2), seed=1)
+        db = gen.generate(100)
+        for t in db:
+            a, b, c = t.tolist()
+            assert 0 <= a < 3
+            assert 3 <= b < 7
+            assert 7 <= c < 9
+
+    def test_deterministic(self):
+        g = dict(domain_sizes=(3, 3, 3), n_classes=2, seed=4)
+        a = DenseAttributeGenerator(**g).generate(60)
+        b = DenseAttributeGenerator(**g).generate(60)
+        assert [t.tolist() for t in a] == [t.tolist() for t in b]
+
+    def test_n_items_is_domain_sum(self):
+        gen = DenseAttributeGenerator(domain_sizes=(3, 4, 2), seed=1)
+        assert gen.n_items == 9
+        assert gen.generate(10).n_items == 9
+
+    def test_shared_attributes_create_dominant_values(self):
+        gen = DenseAttributeGenerator(
+            domain_sizes=(4,) * 6,
+            n_shared_attributes=3,
+            shared_peak=0.95,
+            shared_floor=0.9,
+            seed=11,
+        )
+        db = gen.generate(2000)
+        supports = db.item_supports() / db.n_transactions
+        # Each of the first three attributes has one value near its ladder
+        # probability (>= ~0.85).
+        for attr in range(3):
+            block = supports[attr * 4 : (attr + 1) * 4]
+            assert block.max() > 0.8
+
+    def test_shared_dominants_lose_little_support_when_joined(self):
+        gen = DenseAttributeGenerator(
+            domain_sizes=(4,) * 6,
+            n_shared_attributes=4,
+            shared_peak=0.97,
+            shared_floor=0.93,
+            seed=11,
+        )
+        db = gen.generate(3000)
+        supports = db.item_supports() / db.n_transactions
+        dominants = [
+            int(np.argmax(supports[a * 4 : (a + 1) * 4])) + a * 4 for a in range(4)
+        ]
+        pair = db.support_of(dominants[:2]) / db.n_transactions
+        singleton = supports[dominants[0]]
+        assert pair > 0.8 * singleton
+
+    def test_zero_shared_attributes_allowed(self):
+        gen = DenseAttributeGenerator(domain_sizes=(2, 2), seed=0)
+        assert gen.generate(10).n_transactions == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"domain_sizes": ()},
+            {"domain_sizes": (0, 2)},
+            {"n_classes": 0},
+            {"peak": 1.0},
+            {"n_shared_attributes": 5, "domain_sizes": (2, 2)},
+            {"shared_floor": 0.99, "shared_peak": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(domain_sizes=(2, 2, 2))
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            DenseAttributeGenerator(**base)
+
+
+class TestSplitDomains:
+    def test_sums_to_n_items(self):
+        sizes = split_domains(10, 47, seed=3)
+        assert sum(sizes) == 47
+        assert len(sizes) == 10
+
+    def test_minimum_two_per_attribute(self):
+        assert min(split_domains(5, 10, seed=1)) >= 2
+
+    def test_deterministic(self):
+        assert split_domains(7, 30, seed=2) == split_domains(7, 30, seed=2)
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_domains(6, 11)

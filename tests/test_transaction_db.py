@@ -1,0 +1,143 @@
+"""Unit tests for the horizontal transaction database container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transaction_db import DatasetStats, TransactionDatabase
+from repro.errors import DatasetError
+
+
+class TestConstruction:
+    def test_transactions_are_sorted(self):
+        db = TransactionDatabase([[3, 1, 2]])
+        assert db[0].tolist() == [1, 2, 3]
+
+    def test_transactions_are_deduplicated(self):
+        db = TransactionDatabase([[1, 1, 2, 2, 2]])
+        assert db[0].tolist() == [1, 2]
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(DatasetError):
+            TransactionDatabase([[1, -2]])
+
+    def test_n_items_inferred_from_max(self):
+        db = TransactionDatabase([[0, 7], [3]])
+        assert db.n_items == 8
+
+    def test_explicit_n_items_respected(self):
+        db = TransactionDatabase([[0, 1]], n_items=10)
+        assert db.n_items == 10
+
+    def test_explicit_n_items_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            TransactionDatabase([[0, 5]], n_items=5)
+
+    def test_empty_database(self, empty_db):
+        assert empty_db.n_transactions == 0
+        assert empty_db.n_items == 0
+        assert empty_db.avg_length == 0.0
+
+    def test_empty_transactions_kept(self):
+        db = TransactionDatabase([[1], [], [2]])
+        assert db.n_transactions == 3
+        assert db[1].size == 0
+
+    def test_from_lists_roundtrip(self):
+        db = TransactionDatabase.from_lists([[1, 2], [2, 3]], name="x")
+        assert db.name == "x"
+        assert [t.tolist() for t in db] == [[1, 2], [2, 3]]
+
+    def test_assume_canonical_fast_path(self):
+        rows = [np.array([0, 2, 5], dtype=np.int32)]
+        db = TransactionDatabase(rows, assume_canonical=True)
+        assert db[0].tolist() == [0, 2, 5]
+        assert db.n_items == 6
+
+
+class TestStatistics:
+    def test_avg_length(self, tiny_db):
+        assert tiny_db.avg_length == pytest.approx(12 / 5)
+
+    def test_density(self):
+        db = TransactionDatabase([[0, 1], [0]], n_items=4)
+        assert db.density == pytest.approx((3 / 2) / 4)
+
+    def test_item_supports(self, tiny_db):
+        supports = tiny_db.item_supports()
+        assert supports[1] == 4
+        assert supports[2] == 4
+        assert supports[3] == 4
+        assert supports[0] == 0
+
+    def test_item_supports_cached(self, tiny_db):
+        assert tiny_db.item_supports() is tiny_db.item_supports()
+
+    def test_stats_row_shape(self, tiny_db):
+        stats = tiny_db.stats()
+        assert isinstance(stats, DatasetStats)
+        name, items, length, txs, size = stats.row()
+        assert name == "tiny"
+        assert items == 4
+        assert txs == 5
+
+    def test_size_bytes_matches_fimi_text(self, tiny_db):
+        from repro.datasets.fimi import dumps_fimi
+
+        assert tiny_db.size_bytes() == len(dumps_fimi(tiny_db))
+
+
+class TestVerticalViews:
+    def test_tidlists_cover_all_items(self, tiny_db):
+        tidlists = tiny_db.tidlists()
+        assert len(tidlists) == tiny_db.n_items
+        assert tidlists[1].tolist() == [0, 1, 3, 4]
+        assert tidlists[2].tolist() == [0, 1, 2, 4]
+        assert tidlists[3].tolist() == [0, 2, 3, 4]
+
+    def test_tidlists_sorted(self, small_sparse_db):
+        for tids in small_sparse_db.tidlists():
+            assert (np.diff(tids) > 0).all()
+
+    def test_tidlists_lengths_match_supports(self, small_dense_db):
+        supports = small_dense_db.item_supports()
+        for item, tids in enumerate(small_dense_db.tidlists()):
+            assert tids.size == supports[item]
+
+    def test_tidlists_empty_db(self, empty_db):
+        assert empty_db.tidlists() == []
+
+    def test_support_of_oracle(self, tiny_db):
+        assert tiny_db.support_of([1, 2]) == 3
+        assert tiny_db.support_of([1, 2, 3]) == 2
+        assert tiny_db.support_of([]) == 5
+
+    def test_support_of_unknown_item(self, tiny_db):
+        # item 0 never occurs but is in the universe
+        assert tiny_db.support_of([0]) == 0
+
+
+class TestTransforms:
+    def test_without_items(self, tiny_db):
+        db = tiny_db.without_items([2])
+        assert all(2 not in t.tolist() for t in db)
+        assert db.n_transactions == tiny_db.n_transactions
+        assert db.n_items == tiny_db.n_items  # universe preserved
+
+    def test_frequency_capped_removes_dominant(self, tiny_db):
+        capped = tiny_db.frequency_capped(0.8)
+        # items 1,2,3 each have support 4/5 = 0.8 >= cap -> all removed
+        assert all(t.size == 0 for t in capped)
+
+    def test_frequency_capped_keeps_below_cap(self, tiny_db):
+        capped = tiny_db.frequency_capped(0.81)
+        assert capped.item_supports().sum() == tiny_db.item_supports().sum()
+
+    def test_frequency_capped_validates(self, tiny_db):
+        with pytest.raises(DatasetError):
+            tiny_db.frequency_capped(0.0)
+        with pytest.raises(DatasetError):
+            tiny_db.frequency_capped(1.5)
+
+    def test_head(self, tiny_db):
+        assert tiny_db.head(2).n_transactions == 2
+        assert tiny_db.head(100).n_transactions == 5

@@ -1,0 +1,102 @@
+"""Tests for trace validation — including injected corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_apriori, run_eclat
+from repro.errors import SimulationError
+from repro.parallel import (
+    AprioriTrace,
+    EclatTrace,
+    validate_apriori_trace,
+    validate_eclat_trace,
+)
+
+
+@pytest.fixture
+def apriori_trace(paper_db):
+    trace = AprioriTrace()
+    run_apriori(paper_db, 2, "tidset", sink=trace)
+    return trace
+
+
+@pytest.fixture
+def eclat_trace(paper_db):
+    sink = EclatTrace()
+    run_eclat(paper_db, 2, "tidset", sink=sink)
+    return sink.finalize()
+
+
+class TestHealthyTraces:
+    @pytest.mark.parametrize("rep", ["tidset", "bitvector", "diffset", "hybrid"])
+    def test_apriori_traces_validate(self, small_dense_db, rep):
+        trace = AprioriTrace()
+        run_apriori(small_dense_db, 0.4, rep, sink=trace)
+        validate_apriori_trace(trace)
+
+    @pytest.mark.parametrize("rep", ["tidset", "bitvector", "diffset", "hybrid"])
+    def test_eclat_traces_validate(self, small_dense_db, rep):
+        sink = EclatTrace()
+        run_eclat(small_dense_db, 0.4, rep, sink=sink)
+        validate_eclat_trace(sink.finalize())
+
+    def test_empty_eclat_trace_validates(self, tiny_db):
+        sink = EclatTrace()
+        run_eclat(tiny_db, 100, "tidset", sink=sink)
+        validate_eclat_trace(sink.finalize())
+
+
+class TestInjectedCorruption:
+    def test_missing_singletons(self):
+        with pytest.raises(SimulationError, match="singleton"):
+            validate_apriori_trace(AprioriTrace())
+
+    def test_parent_index_out_of_range(self, apriori_trace):
+        apriori_trace.generations[0].left_parent[0] = 99
+        with pytest.raises(SimulationError, match="left parents"):
+            validate_apriori_trace(apriori_trace)
+
+    def test_parent_bytes_mismatch(self, apriori_trace):
+        apriori_trace.generations[0].right_bytes[0] += 4
+        with pytest.raises(SimulationError, match="right bytes"):
+            validate_apriori_trace(apriori_trace)
+
+    def test_non_parallel_arrays(self, apriori_trace):
+        gen = apriori_trace.generations[0]
+        gen.cpu_ops = gen.cpu_ops[:-1]
+        with pytest.raises(SimulationError, match="not parallel"):
+            validate_apriori_trace(apriori_trace)
+
+    def test_generation_out_of_order(self, apriori_trace):
+        apriori_trace.generations[0].generation = 5
+        with pytest.raises(SimulationError, match="out of order"):
+            validate_apriori_trace(apriori_trace)
+
+    def test_eclat_self_combine(self, eclat_trace):
+        eclat_trace.levels[0].combine_right[0] = int(
+            eclat_trace.levels[0].combine_left[0]
+        )
+        with pytest.raises(SimulationError, match="self-combine"):
+            validate_eclat_trace(eclat_trace)
+
+    def test_eclat_child_indices_not_dense(self, eclat_trace):
+        level = eclat_trace.levels[0]
+        frequent = np.nonzero(level.child_index >= 0)[0]
+        level.child_index[frequent[0]] = 77
+        with pytest.raises(SimulationError, match="not dense"):
+            validate_eclat_trace(eclat_trace)
+
+    def test_eclat_creator_out_of_range(self, eclat_trace):
+        eclat_trace.levels[1].creator_task[0] = 99
+        with pytest.raises(SimulationError, match="creator"):
+            validate_eclat_trace(eclat_trace)
+
+    def test_persisted_trace_validates_after_roundtrip(
+        self, apriori_trace, tmp_path
+    ):
+        from repro.parallel import load_apriori_trace, save_apriori_trace
+
+        loaded = load_apriori_trace(
+            save_apriori_trace(apriori_trace, tmp_path / "t.npz")
+        )
+        validate_apriori_trace(loaded)
