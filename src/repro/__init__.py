@@ -12,8 +12,12 @@ Public API highlights:
   the OpenMP-style schedule simulator.
 * :mod:`repro.parallel` — instrumented parallel Apriori/Eclat and the
   scalability-study harness that regenerates the paper's tables and figures.
+* :mod:`repro.obs` — structured tracing (Chrome trace-event sinks for
+  Perfetto), metrics registries, and the :class:`ObsContext` every
+  pipeline entry point accepts.
 """
 
+from repro import obs
 from repro.core import (
     MiningResult,
     apriori,
@@ -24,6 +28,7 @@ from repro.core import (
     run_eclat,
 )
 from repro.datasets import TransactionDatabase, get_dataset, read_fimi
+from repro.obs import ObsContext
 from repro.representations import get_representation
 
 __version__ = "1.0.0"
@@ -40,5 +45,7 @@ __all__ = [
     "get_dataset",
     "read_fimi",
     "get_representation",
+    "obs",
+    "ObsContext",
     "__version__",
 ]

@@ -70,6 +70,19 @@ def render_speedup_series(
     return render_grid(headers, rows, title=title)
 
 
+def render_metrics_report(registry, title: str = "metrics") -> str:
+    """Render a :class:`repro.obs.MetricsRegistry` as an aligned grid.
+
+    The registry supplies its own rows (``report_rows``) so this stays a
+    pure formatting concern; counters show their value, histograms their
+    count / mean / p50 / p99 summary.
+    """
+    rows = registry.report_rows()
+    if not rows:
+        return f"{title}\n  (no metrics recorded)"
+    return render_grid(registry.REPORT_HEADERS, rows, title=title)
+
+
 def render_dataset_stats(rows: list[tuple], title: str = "TABLE I") -> str:
     """Table I layout: dataset, items, avg length, transactions, size."""
     headers = ["Dataset", "Items", "AvgLen", "Transactions", "Size"]

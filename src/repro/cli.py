@@ -1,11 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``mine``      — frequent itemsets from a FIMI file or a named surrogate;
 * ``rules``     — association rules on top of a mining run;
 * ``scalability`` — the paper pipeline: trace a miner, replay it on the
-  simulated Blacklight across thread counts, print the table and chart.
+  simulated Blacklight across thread counts, print the table and chart;
+* ``profile``   — run a study fully instrumented and print the metrics
+  report (per-level candidate volumes, NumaLink bytes per region, busy
+  time, fork/join overhead).
+
+``mine``, ``scalability``, and ``profile`` accept ``--trace-out FILE`` to
+write a Chrome trace-event JSON loadable in Perfetto, and ``mine`` /
+``scalability`` accept ``--metrics`` to print the metrics report.
 """
 
 from __future__ import annotations
@@ -15,12 +22,18 @@ import sys
 from pathlib import Path
 
 from repro.analysis.charts import speedup_chart
-from repro.analysis.tables import render_runtime_table, render_speedup_series
+from repro.analysis.tables import (
+    render_metrics_report,
+    render_runtime_table,
+    render_speedup_series,
+)
 from repro.core import apriori, eclat, fpgrowth
 from repro.core.charm import charm
 from repro.datasets import available_datasets, get_dataset, read_fimi
 from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
 from repro.machine.topology import standard_thread_counts
+from repro.obs import ChromeTraceSink, NullSink, ObsContext
 from repro.parallel import run_scalability_study, runtime_table, speedup_series
 from repro.rules import generate_rules
 
@@ -60,10 +73,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON (load in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the collected metrics report after the run",
+    )
+
+
+def _build_obs(args: argparse.Namespace) -> ObsContext | None:
+    """An ObsContext when any obs flag is set, else None (zero overhead)."""
+    if args.trace_out:
+        try:
+            sink = ChromeTraceSink(args.trace_out)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        return ObsContext(sink=sink)
+    if args.metrics:
+        return ObsContext(sink=NullSink())
+    return None
+
+
+def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
+    """Close the sink (writing the trace file) and print what was asked."""
+    if obs is None:
+        return
+    obs.close()
+    if args.metrics:
+        print()
+        print(render_metrics_report(obs.metrics))
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out} (load in ui.perfetto.dev)")
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
     miner = _MINERS[args.algorithm]
-    result = miner(db, args.min_support, args.representation)
+    obs = _build_obs(args)
+    if obs is not None and args.algorithm in ("apriori", "eclat"):
+        # The vertical miners take an obs context; fpgrowth/charm do not.
+        result = miner(db, args.min_support, args.representation, obs=obs)
+    else:
+        result = miner(db, args.min_support, args.representation)
     print(result.summary())
     if args.top:
         ranked = sorted(
@@ -71,6 +125,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         )[: args.top]
         for items, support in ranked:
             print(f"  {{{','.join(map(str, items))}}}: {support}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -87,9 +142,10 @@ def cmd_rules(args: argparse.Namespace) -> int:
 def cmd_scalability(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
     counts = standard_thread_counts(args.max_threads)
+    obs = _build_obs(args)
     study = run_scalability_study(
         db, args.algorithm, args.representation, args.min_support,
-        thread_counts=counts,
+        thread_counts=counts, obs=obs,
     )
     print(study.mining_result.summary())
     print()
@@ -103,6 +159,47 @@ def cmd_scalability(args: argparse.Namespace) -> int:
     print(render_speedup_series(series, title="speedup vs one thread"))
     print()
     print(speedup_chart(series, title="speedup curve"))
+    _finish_obs(args, obs)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one fully instrumented study and print the metrics report."""
+    db = _load_database(args.dataset)
+    counts = standard_thread_counts(args.max_threads)
+    if args.threads is not None and args.threads not in counts:
+        raise SystemExit(
+            f"error: --threads {args.threads} is not in the sweep {counts}"
+        )
+    try:
+        sink = ChromeTraceSink(args.trace_out) if args.trace_out else NullSink()
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    obs = ObsContext(sink=sink)
+    study = run_scalability_study(
+        db, args.algorithm, args.representation, args.min_support,
+        thread_counts=counts, obs=obs, obs_threads=args.threads,
+    )
+    obs.close()
+
+    target = args.threads if args.threads is not None else max(counts)
+    print(study.mining_result.summary())
+    print()
+    print(
+        f"replay profiled at {target} threads on {study.machine}; host wall "
+        f"clock: mine {study.notes['wall_mine_seconds'] * 1e3:.1f} ms, "
+        f"replay {study.notes['wall_replay_seconds'] * 1e3:.1f} ms"
+    )
+    print()
+    print(
+        render_metrics_report(
+            obs.metrics,
+            title=f"metrics — {study.label()} "
+            f"{study.algorithm}/{study.representation} @ {target} threads",
+        )
+    )
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out} (load in ui.perfetto.dev)")
     return 0
 
 
@@ -126,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("-t", "--top", type=int, default=10,
                       help="print the N most frequent itemsets")
+    _add_obs_flags(mine)
     mine.set_defaults(func=cmd_mine)
 
     rules = sub.add_parser("rules", help="association rules (FP-growth)")
@@ -146,7 +244,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["tidset", "bitvector", "diffset"], default="diffset",
     )
     scal.add_argument("--max-threads", type=int, default=1024)
+    _add_obs_flags(scal)
     scal.set_defaults(func=cmd_scalability)
+
+    prof = sub.add_parser(
+        "profile",
+        help="instrumented scalability study + metrics report",
+    )
+    _add_common(prof)
+    prof.add_argument(
+        "-a", "--algorithm", choices=["apriori", "eclat"], default="eclat"
+    )
+    prof.add_argument(
+        "-r", "--representation",
+        choices=["tidset", "bitvector", "diffset"], default="diffset",
+    )
+    prof.add_argument("--max-threads", type=int, default=1024)
+    prof.add_argument(
+        "--threads", type=int, default=None,
+        help="thread count to profile the replay at (default: the largest)",
+    )
+    prof.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON (load in ui.perfetto.dev)",
+    )
+    prof.set_defaults(func=cmd_profile)
     return parser
 
 

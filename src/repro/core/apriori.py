@@ -13,8 +13,9 @@ because on the real machine they bound scalability via Amdahl's law.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -24,6 +25,9 @@ from repro.core.result import MiningResult, resolve_min_support
 from repro.datasets.transaction_db import TransactionDatabase
 from repro.representations import Representation, get_representation
 from repro.representations.base import OpCost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
 
 
 class AprioriSink(Protocol):
@@ -74,6 +78,23 @@ class AprioriRun:
     n_generations: int
 
 
+def _record_level_metrics(
+    obs: "ObsContext", level: Level, cost_delta: OpCost, n_combines: int
+) -> None:
+    """Per-level candidate volumes + kernel traffic into the registry."""
+    n_candidates = int(level.supports.size)
+    n_frequent = int(level.kept.sum())
+    prefix = f"apriori.level{level.generation}"
+    metrics = obs.metrics
+    metrics.counter(f"{prefix}.candidates").inc(n_candidates)
+    metrics.counter(f"{prefix}.frequent").inc(n_frequent)
+    metrics.counter(f"{prefix}.pruned").inc(n_candidates - n_frequent)
+    if n_combines:
+        metrics.counter("mine.intersections").inc(n_combines)
+        metrics.counter("mine.intersection_read_bytes").inc(cost_delta.bytes_read)
+        metrics.counter("mine.bytes_written").inc(cost_delta.bytes_written)
+
+
 def run_apriori(
     db: TransactionDatabase,
     min_support: float | int,
@@ -81,6 +102,7 @@ def run_apriori(
     sink: AprioriSink | None = None,
     prune: bool = True,
     max_generations: int | None = None,
+    obs: "ObsContext | None" = None,
 ) -> AprioriRun:
     """Execute Apriori and return the result plus its level table and trace.
 
@@ -98,6 +120,10 @@ def run_apriori(
         Toggle downward-closure pruning (ablation hook).
     max_generations:
         Optional cap on the number of generations (for bounded experiments).
+    obs:
+        Optional :class:`repro.obs.ObsContext`; records per-level candidate
+        counters and one wall-clock span per generation.  ``None`` (the
+        default) runs the exact uninstrumented code path.
     """
     rep = (
         get_representation(representation)
@@ -118,6 +144,7 @@ def run_apriori(
     total_cost = OpCost()
 
     # --- Generation 1: one row per item ------------------------------------
+    wall_start = time.perf_counter() if obs is not None else 0.0
     level = table.new_singleton_level(db.n_items)
     singletons = rep.build_singletons(db, min_support=min_sup)
     build_cost = rep.singleton_build_cost(db)
@@ -127,6 +154,12 @@ def run_apriori(
     level.kept = level.supports >= min_sup
     sink.on_singletons(level, build_cost)
     sink.on_generation_done(level, candidate_gen_ops=0)
+    if obs is not None:
+        _record_level_metrics(obs, level, OpCost(), n_combines=0)
+        obs.sink.wall_event(
+            "apriori.gen1", wall_start, cat="mine",
+            args={"candidates": db.n_items, "frequent": int(level.kept.sum())},
+        )
 
     for row in level.kept_positions():
         result.add(level.itemsets[row], int(level.supports[row]))
@@ -140,6 +173,8 @@ def run_apriori(
         if max_generations is not None and generation >= max_generations:
             break
         generation += 1
+        wall_start = time.perf_counter() if obs is not None else 0.0
+        cost_before = total_cost
         candidates = generate_candidates(frequent_itemsets, prune=prune)
         if not candidates:
             break
@@ -167,6 +202,20 @@ def run_apriori(
 
         level.kept = level.supports >= min_sup
         sink.on_generation_done(level, candidate_gen_ops=gen_ops)
+        if obs is not None:
+            delta = OpCost(
+                total_cost.cpu_ops - cost_before.cpu_ops,
+                total_cost.bytes_read - cost_before.bytes_read,
+                total_cost.bytes_written - cost_before.bytes_written,
+            )
+            _record_level_metrics(obs, level, delta, n_combines=len(candidates))
+            obs.sink.wall_event(
+                f"apriori.gen{generation}", wall_start, cat="mine",
+                args={
+                    "candidates": len(candidates),
+                    "frequent": int(level.kept.sum()),
+                },
+            )
 
         for row in level.kept_positions():
             result.add(level.itemsets[row], int(level.supports[row]))

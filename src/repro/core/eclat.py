@@ -26,8 +26,9 @@ itemsets.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.core.itemset import Itemset
 from repro.core.result import MiningResult, resolve_min_support
@@ -35,6 +36,9 @@ from repro.datasets.transaction_db import TransactionDatabase
 from repro.errors import ConfigurationError
 from repro.representations import Representation, get_representation
 from repro.representations.base import OpCost, Vertical
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
 
 
 class EclatSink(Protocol):
@@ -97,6 +101,7 @@ class _State:
     min_sup: int
     result: MiningResult
     sink: "EclatSink | _NullSink"
+    obs: "ObsContext | None" = None
     #: Next global index to hand out per depth (1-based depths).
     counters: dict[int, int] = field(default_factory=dict)
     total_cost: OpCost = field(default_factory=OpCost)
@@ -120,14 +125,29 @@ class _Member:
 def _mine_class(state: _State, class_members: list[_Member], depth: int) -> None:
     """Mine one equivalence class of ``depth``-itemsets (lines 3-10)."""
     state.max_depth = max(state.max_depth, depth)
+    obs = state.obs
     for i, left in enumerate(class_members):
+        # At depth 1 each left member is one top-level task of the paper's
+        # dynamic schedule: wrap its whole recursive subtree in a span.
+        wall_start = (
+            time.perf_counter() if obs is not None and depth == 1 else 0.0
+        )
+        n_combines = 0
+        n_frequent = 0
+        read_bytes = 0
+        written_bytes = 0
         next_class: list[_Member] = []
         for right in class_members[i + 1 :]:
             candidate = left.items + (right.items[-1],)
             vertical, cost = state.rep.combine(left.vertical, right.vertical)
             state.total_cost += cost
+            if obs is not None:
+                n_combines += 1
+                read_bytes += cost.bytes_read
+                written_bytes += cost.bytes_written
             if vertical.support >= state.min_sup:
                 child_index = state.next_index(depth + 1)
+                n_frequent += 1
                 # `candidate` is in processing order; results are canonical.
                 state.result.add(tuple(sorted(candidate)), vertical.support)
                 next_class.append(_Member(candidate, vertical, child_index))
@@ -143,6 +163,22 @@ def _mine_class(state: _State, class_members: list[_Member], depth: int) -> None
             )
         if next_class:
             _mine_class(state, next_class, depth + 1)
+        if obs is not None:
+            if n_combines:
+                prefix = f"eclat.depth{depth}"
+                metrics = obs.metrics
+                metrics.counter(f"{prefix}.combines").inc(n_combines)
+                metrics.counter(f"{prefix}.frequent").inc(n_frequent)
+                metrics.counter("mine.intersections").inc(n_combines)
+                metrics.counter("mine.intersection_read_bytes").inc(read_bytes)
+                metrics.counter("mine.bytes_written").inc(written_bytes)
+            if depth == 1:
+                # The span closes after the recursion above, so it covers
+                # the task's entire subtree, matching the simulated task.
+                obs.sink.wall_event(
+                    f"eclat.task{left.index}", wall_start, cat="mine",
+                    args={"prefix_item": left.items[0], "combines": n_combines},
+                )
 
 
 def run_eclat(
@@ -151,6 +187,7 @@ def run_eclat(
     representation: Representation | str = "tidset",
     sink: EclatSink | None = None,
     item_order: str = "support",
+    obs: "ObsContext | None" = None,
 ) -> EclatRun:
     """Execute Eclat and return the result plus its cost trace.
 
@@ -159,6 +196,10 @@ def run_eclat(
     item_order:
         ``"support"`` (default) processes rarest items first; ``"id"`` keeps
         raw item-number order.  Identical results, different cost profile.
+    obs:
+        Optional :class:`repro.obs.ObsContext`; records per-depth combine
+        counters and one wall-clock span per top-level subtree.  ``None``
+        (the default) runs the exact uninstrumented code path.
     """
     rep = (
         get_representation(representation)
@@ -197,8 +238,10 @@ def run_eclat(
         payload_bytes=[m.vertical.payload.nbytes for m in members],
     )
 
-    state = _State(rep=rep, min_sup=min_sup, result=result, sink=snk)
+    state = _State(rep=rep, min_sup=min_sup, result=result, sink=snk, obs=obs)
     state.total_cost += build_cost
+    if obs is not None:
+        obs.metrics.counter("eclat.toplevel.tasks").inc(len(members))
 
     if members:
         _mine_class(state, members, 1)

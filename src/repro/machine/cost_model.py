@@ -93,3 +93,55 @@ class CostModel:
     def iteration_overhead_time(self, n_iterations: int = 1) -> float:
         """Per-iteration bookkeeping cost (payload-independent)."""
         return self.spec.iteration_overhead_ops * n_iterations / self.spec.element_rate
+
+
+def record_region_attribution(
+    obs,
+    label: str,
+    *,
+    makespan: float,
+    link_bound: float,
+    fork_join: float,
+    serial: float = 0.0,
+    per_blade_link_bytes: np.ndarray | None = None,
+    remote_bytes: float = 0.0,
+    thread_busy: np.ndarray | None = None,
+) -> None:
+    """Record one simulated region's bottleneck split into an ObsContext.
+
+    This is the pricing model's side of the paper's mechanistic claim:
+    ``link_bound > makespan`` means the region paced on the NumaLink, not
+    on compute — the condition behind Fig. 5's non-scaling curves.  Writes
+
+    * ``region.{label}.makespan_s`` / ``.link_bound_s`` gauges,
+    * ``region.{label}.link_limited`` (1.0 when the interconnect won),
+    * ``numalink.region.{label}.bytes`` (remote bytes the region moved)
+      and per-blade ``numalink.blade{b}.bytes`` accumulators,
+    * ``sim.fork_join_s`` / ``sim.serial_s`` totals,
+    * ``sim.thread_busy_s`` histogram + ``region.{label}.imbalance``.
+
+    ``obs`` is an :class:`repro.obs.ObsContext` or ``None`` (no-op).
+    """
+    if obs is None:
+        return
+    metrics = obs.metrics
+    metrics.gauge(f"region.{label}.makespan_s").set(makespan)
+    metrics.gauge(f"region.{label}.link_bound_s").set(link_bound)
+    metrics.gauge(f"region.{label}.link_limited").set(
+        1.0 if link_bound > makespan else 0.0
+    )
+    metrics.counter("sim.fork_join_s").inc(fork_join)
+    if serial:
+        metrics.counter("sim.serial_s").inc(serial)
+    metrics.counter(f"numalink.region.{label}.bytes").inc(float(remote_bytes))
+    if per_blade_link_bytes is not None:
+        for blade, traffic in enumerate(np.asarray(per_blade_link_bytes)):
+            if traffic:
+                metrics.counter(f"numalink.blade{blade}.bytes").inc(float(traffic))
+    if thread_busy is not None:
+        busy = np.asarray(thread_busy, dtype=np.float64)
+        metrics.histogram("sim.thread_busy_s").observe_many(busy)
+        mean = busy.mean() if busy.size else 0.0
+        metrics.gauge(f"region.{label}.imbalance").set(
+            float(busy.max() / mean - 1.0) if mean else 0.0
+        )

@@ -1,0 +1,60 @@
+"""repro.obs — structured tracing, metrics, and profiling.
+
+The observability layer for the mining + NUMA-simulation pipeline:
+
+* :class:`TraceSink` and friends (:class:`NullSink`, :class:`InMemorySink`,
+  :class:`JsonlSink`, :class:`ChromeTraceSink`) capture span/duration
+  events in Chrome trace-event form — simulated threads become trace tids,
+  simulated thread counts become pids, so a scalability sweep loads as one
+  Perfetto timeline per thread count;
+* :class:`MetricsRegistry` holds named counters / gauges / histograms for
+  the hot paths (per-level candidate volumes, intersection counts and byte
+  volumes, NumaLink bytes per region, fork/join overhead, per-thread busy
+  time);
+* :class:`ObsContext` bundles one sink and one registry and is threaded
+  end-to-end (``run_apriori`` / ``run_eclat`` / the simulators /
+  ``run_scalability_study``), with ``None`` meaning "fully disabled".
+
+Key instrument names emitted by the pipeline::
+
+    apriori.level{k}.candidates / .frequent / .pruned   per-level volumes
+    mine.intersections / mine.intersection_read_bytes   kernel traffic
+    mine.bytes_written                                  payload output
+    eclat.depth{d}.combines / .frequent                 per-depth volumes
+    numalink.region.{label}.bytes                       remote bytes/region
+    numalink.blade{b}.bytes                             per-blade link load
+    region.{label}.makespan_s / .link_bound_s           bottleneck split
+    sim.fork_join_s / sim.serial_s                      overhead totals
+    sim.thread_busy_s                                   busy-time histogram
+    region.{label}.imbalance                            max/mean - 1
+    wall.mine_s / wall.replay_s                         host wall clock
+"""
+
+from repro.obs.context import ObsContext
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Span,
+    TraceEvent,
+    TraceSink,
+    US_PER_SECOND,
+)
+
+__all__ = [
+    "ObsContext",
+    "TraceSink",
+    "TraceEvent",
+    "Span",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "US_PER_SECOND",
+]

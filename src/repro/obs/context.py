@@ -1,0 +1,42 @@
+"""The observability context threaded through the pipeline.
+
+Every instrumented entry point takes ``obs: ObsContext | None = None``.
+``None`` is the fast path — call sites guard all emission behind a single
+``if obs is not None`` so uninstrumented runs execute the exact seed code
+path (byte-identical results, no sink or registry ever constructed).
+
+An :class:`ObsContext` bundles a :class:`~repro.obs.trace.TraceSink` (span
+and event stream) with a :class:`~repro.obs.metrics.MetricsRegistry`
+(named instruments).  Either half can be a no-op: pass ``NullSink`` to
+collect metrics without a trace, or ignore the registry to trace without
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullSink, TraceSink
+
+
+@dataclass
+class ObsContext:
+    """One observation scope: a trace sink plus a metrics registry."""
+
+    sink: TraceSink = field(default_factory=NullSink)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def tracing(self) -> bool:
+        """True when the sink actually records events."""
+        return self.sink.enabled
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "ObsContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

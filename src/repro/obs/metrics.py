@@ -1,0 +1,204 @@
+"""Lightweight metrics: counters, gauges, and percentile histograms.
+
+A :class:`MetricsRegistry` hands out named instruments get-or-create style,
+so instrumented code never needs to pre-declare anything:
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("apriori.level2.candidates").inc(91)
+>>> registry.histogram("sim.thread_busy_s").observe(0.25)
+
+Instrument names follow a dotted ``layer.scope.metric`` convention; the
+hot-path names the pipeline emits are listed in :mod:`repro.obs` docs.
+The registry renders itself as table rows (``report_rows``) so
+:func:`repro.analysis.tables.render_metrics_report` stays a dumb grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Percentiles reported by histogram summaries, in ascending order.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value (float so byte totals fit)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A distribution of observations with a percentile summary."""
+
+    name: str
+    _values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ConfigurationError(f"histogram {self.name!r} observed NaN")
+        self._values.append(value)
+
+    def observe_many(self, values) -> None:
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.observe(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def summary(self) -> dict[str, float]:
+        """count / min / max / mean / p50 / p90 / p99 (monotone by construction)."""
+        if not self._values:
+            return {"count": 0.0}
+        arr = np.asarray(self._values, dtype=np.float64)
+        out = {
+            "count": float(arr.size),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "mean": float(arr.mean()),
+        }
+        quantiles = np.percentile(arr, SUMMARY_PERCENTILES)
+        # np.percentile is monotone in the percentile argument; keep the
+        # invariant explicit anyway so float quirks can never invert it.
+        quantiles = np.maximum.accumulate(quantiles)
+        for pct, val in zip(SUMMARY_PERCENTILES, quantiles):
+            out[f"p{pct:g}"] = float(val)
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, with a renderable report."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def _check_free(self, name: str, kind: str, table: dict) -> None:
+        for other_kind, other in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other is not table and name in other:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name, "counter", self._counters)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name, "gauge", self._gauges)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_free(name, "histogram", self._histograms)
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        )
+
+    def counters(self) -> dict[str, float]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def gauges(self) -> dict[str, float]:
+        return {name: g.value for name, g in self._gauges.items()}
+
+    def histograms(self) -> dict[str, dict[str, float]]:
+        return {name: h.summary() for name, h in self._histograms.items()}
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot of every instrument."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def report_rows(self) -> list[list[str]]:
+        """Sorted ``[name, kind, value, count, mean, p50, p99]`` rows."""
+
+        def fmt(value: float) -> str:
+            if value == int(value) and abs(value) < 1e15:
+                return str(int(value))
+            return f"{value:.6g}"
+
+        rows: list[tuple[str, list[str]]] = []
+        for name, counter in self._counters.items():
+            rows.append((name, [name, "counter", fmt(counter.value), "", "", "", ""]))
+        for name, gauge in self._gauges.items():
+            rows.append((name, [name, "gauge", fmt(gauge.value), "", "", "", ""]))
+        for name, histogram in self._histograms.items():
+            summary = histogram.summary()
+            if summary["count"] == 0:
+                rows.append((name, [name, "histogram", "", "0", "", "", ""]))
+            else:
+                rows.append(
+                    (
+                        name,
+                        [
+                            name,
+                            "histogram",
+                            "",
+                            fmt(summary["count"]),
+                            fmt(summary["mean"]),
+                            fmt(summary["p50"]),
+                            fmt(summary["p99"]),
+                        ],
+                    )
+                )
+        return [row for _, row in sorted(rows)]
+
+    REPORT_HEADERS = ["metric", "kind", "value", "count", "mean", "p50", "p99"]

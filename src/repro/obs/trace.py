@@ -1,0 +1,319 @@
+"""Trace sinks: structured span/event capture for the mining pipeline.
+
+Every instrumented layer emits :class:`TraceEvent` records through a
+:class:`TraceSink`.  Events use the Chrome trace-event vocabulary (the
+format Perfetto and ``chrome://tracing`` load natively):
+
+* ``"X"`` — *complete* (duration) events; the simulator's per-chunk
+  execution records and the miners' wall-clock phase spans both land here;
+* ``"i"`` — instant markers;
+* ``"C"`` — counter samples;
+* ``"M"`` — metadata (process / thread naming).
+
+Timestamps are **microseconds**.  Two clock domains share one trace:
+simulated seconds (scaled by 1e6, one Chrome *process* per simulated
+thread count so timelines never interleave) and host wall-clock spans
+(measured against the sink's ``perf_counter`` epoch, pid 0).
+
+Four sinks cover the use cases:
+
+* :class:`NullSink`   — drops everything; ``enabled`` is False so call
+  sites can skip event construction entirely (the zero-overhead default);
+* :class:`InMemorySink` — accumulates events in a list (tests, ad-hoc
+  inspection);
+* :class:`JsonlSink`  — one JSON object per line, streamed to a file;
+* :class:`ChromeTraceSink` — buffers events and writes a single
+  ``{"traceEvents": [...]}`` JSON document loadable in Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Seconds -> Chrome trace microseconds.
+US_PER_SECOND = 1e6
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One Chrome-trace-event-format record."""
+
+    name: str
+    phase: str  # "X" complete, "i" instant, "C" counter, "M" metadata
+    ts: float  # microseconds
+    dur: float = 0.0  # microseconds; only meaningful for "X"
+    pid: int = 0
+    tid: int = 0
+    cat: str = ""
+    args: Mapping[str, Any] | None = None
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The dict Chrome/Perfetto expect in ``traceEvents``."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.phase == "X":
+            record["dur"] = self.dur
+        if self.cat:
+            record["cat"] = self.cat
+        if self.args is not None:
+            record["args"] = dict(self.args)
+        return record
+
+
+@dataclass
+class Span:
+    """A wall-clock span; emits one "X" event on :meth:`end` / exit."""
+
+    sink: "TraceSink"
+    name: str
+    pid: int = 0
+    tid: int = 0
+    cat: str = ""
+    args: Mapping[str, Any] | None = None
+    _start: float = field(default=0.0, repr=False)
+    _done: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end()
+
+    def end(self, args: Mapping[str, Any] | None = None) -> None:
+        """Close the span (idempotent); ``args`` override the initial ones."""
+        if self._done:
+            return
+        self._done = True
+        self.sink.wall_event(
+            self.name,
+            self._start,
+            pid=self.pid,
+            tid=self.tid,
+            cat=self.cat,
+            args=args if args is not None else self.args,
+        )
+
+
+class TraceSink:
+    """Base sink: event construction helpers over one abstract :meth:`emit`.
+
+    ``enabled`` lets hot paths skip event construction entirely — every
+    helper here checks it, so calling them on a :class:`NullSink` is safe
+    but callers holding many events should prefer testing ``sink.enabled``
+    once outside their loop.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        #: perf_counter value all wall-clock spans are measured against.
+        self.epoch = time.perf_counter()
+
+    # -- abstract ------------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- helpers -------------------------------------------------------------
+
+    def duration(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        *,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """A complete ("X") event at an explicit microsecond timestamp."""
+        if not self.enabled:
+            return
+        self.emit(TraceEvent(name, "X", ts_us, dur_us, pid, tid, cat, args))
+
+    def instant(
+        self,
+        name: str,
+        ts_us: float,
+        *,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(TraceEvent(name, "i", ts_us, 0.0, pid, tid, cat, args))
+
+    def counter_sample(
+        self,
+        name: str,
+        ts_us: float,
+        values: Mapping[str, float],
+        *,
+        pid: int = 0,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(TraceEvent(name, "C", ts_us, 0.0, pid, 0, "", dict(values)))
+
+    def wall_event(
+        self,
+        name: str,
+        start_perf: float,
+        end_perf: float | None = None,
+        *,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """A complete event from ``perf_counter`` values (sink-epoch based)."""
+        if not self.enabled:
+            return
+        end = time.perf_counter() if end_perf is None else end_perf
+        self.duration(
+            name,
+            (start_perf - self.epoch) * US_PER_SECOND,
+            max(end - start_perf, 0.0) * US_PER_SECOND,
+            pid=pid,
+            tid=tid,
+            cat=cat,
+            args=args,
+        )
+
+    def span(
+        self,
+        name: str,
+        *,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        args: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """A wall-clock span context manager bound to this sink."""
+        return Span(self, name, pid=pid, tid=tid, cat=cat, args=args)
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            TraceEvent("process_name", "M", 0.0, 0.0, pid, 0, "", {"name": name})
+        )
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            TraceEvent("thread_name", "M", 0.0, 0.0, pid, tid, "", {"name": name})
+        )
+
+
+class NullSink(TraceSink):
+    """Drops every event; the zero-overhead default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # Skip the epoch perf_counter call: a NullSink never timestamps.
+        self.epoch = 0.0
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class InMemorySink(TraceSink):
+    """Keeps every event in :attr:`events` (tests and interactive use)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def by_phase(self, phase: str) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.phase == phase]
+
+
+class JsonlSink(TraceSink):
+    """Streams one JSON object per event line to ``path``."""
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._handle.closed:
+            raise ConfigurationError(f"JsonlSink {self.path} is already closed")
+        json.dump(event.to_chrome(), self._handle)
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class ChromeTraceSink(TraceSink):
+    """Buffers events; :meth:`close` writes one Chrome trace JSON document.
+
+    Load the output in https://ui.perfetto.dev or ``chrome://tracing``.
+    Simulated thread counts map to Chrome *processes* (pid = thread count)
+    and simulated threads to *tids*, so one file can hold a whole sweep.
+    """
+
+    def __init__(self, path: str | Path, metadata: Mapping[str, Any] | None = None):
+        super().__init__()
+        self.path = Path(path)
+        if not self.path.parent.is_dir():
+            raise ConfigurationError(
+                f"trace output directory does not exist: {self.path.parent}"
+            )
+        self.metadata = dict(metadata or {})
+        self._events: list[dict[str, Any]] = []
+        self._written = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event.to_chrome())
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def document(self) -> dict[str, Any]:
+        """The Chrome trace JSON object (without writing it anywhere)."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": dict(self.metadata),
+        }
+
+    def close(self) -> None:
+        if self._written:
+            return
+        self._written = True
+        with self.path.open("w", encoding="utf-8") as handle:
+            json.dump(self.document(), handle)

@@ -67,14 +67,30 @@ def check_trace(events: list[ChunkEvent], n_iterations: int) -> None:
 
 
 def load_balance_summary(events: list[ChunkEvent], n_threads: int) -> dict[str, float]:
-    """Busy-time statistics across threads (imbalance diagnostics)."""
+    """Busy-time statistics across threads (imbalance diagnostics).
+
+    ``idle_fraction`` is the share of thread-seconds spent idle relative to
+    the trace makespan (latest chunk end time): 0 means every thread was
+    busy the whole region, 1 - 1/T is a fully serial region on T threads.
+    """
     busy = np.zeros(n_threads, dtype=np.float64)
     for ev in events:
         busy[ev.thread] += ev.duration
     if busy.max() == 0.0:
-        return {"max_busy": 0.0, "mean_busy": 0.0, "imbalance": 0.0}
+        return {
+            "max_busy": 0.0,
+            "min_busy": 0.0,
+            "mean_busy": 0.0,
+            "imbalance": 0.0,
+            "idle_fraction": 0.0,
+        }
+    makespan = max(ev.end_time for ev in events)
     return {
         "max_busy": float(busy.max()),
+        "min_busy": float(busy.min()),
         "mean_busy": float(busy.mean()),
-        "imbalance": float(busy.max() / busy.mean() - 1.0) if busy.mean() else 0.0,
+        "imbalance": float(busy.max() / busy.mean() - 1.0),
+        "idle_fraction": (
+            float(1.0 - busy.sum() / (n_threads * makespan)) if makespan else 0.0
+        ),
     }

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.errors import SimulationError
 from repro.machine.blacklight import BLACKLIGHT, MachineSpec
 from repro.openmp.events import ChunkEvent
 from repro.openmp.schedule import ScheduleSpec, chunk_boundaries, static_assignment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceSink
 
 
 @dataclass
@@ -59,8 +63,20 @@ def simulate_parallel_for(
     schedule: ScheduleSpec,
     machine: MachineSpec = BLACKLIGHT,
     collect_events: bool = False,
+    sink: "TraceSink | None" = None,
+    region: str = "region",
+    pid: int = 0,
+    ts_offset: float = 0.0,
 ) -> ParallelForOutcome:
-    """Replay a parallel-for and return its makespan and assignment."""
+    """Replay a parallel-for and return its makespan and assignment.
+
+    When ``sink`` is an enabled :class:`repro.obs.TraceSink`, every
+    :class:`ChunkEvent` is also forwarded to it as one Chrome duration
+    event — simulated thread ids become trace tids, chunk execution
+    windows become "X" events offset by ``ts_offset`` simulated seconds,
+    and ``pid`` groups the region under one trace process (callers use
+    the simulated thread count).
+    """
     durations = np.asarray(durations, dtype=np.float64)
     if durations.ndim != 1:
         raise SimulationError("durations must be a 1-D array")
@@ -69,6 +85,8 @@ def simulate_parallel_for(
     if n_threads < 1:
         raise SimulationError("n_threads must be >= 1")
 
+    tracing = sink is not None and sink.enabled
+    collect = collect_events or tracing
     n = durations.size
     if n == 0:
         return ParallelForOutcome(
@@ -80,10 +98,41 @@ def simulate_parallel_for(
         )
 
     if schedule.kind == "static":
-        return _simulate_static(durations, n_threads, schedule, collect_events)
-    return _simulate_queued(
-        durations, n_threads, schedule, machine, collect_events
-    )
+        outcome = _simulate_static(durations, n_threads, schedule, collect)
+    else:
+        outcome = _simulate_queued(durations, n_threads, schedule, machine, collect)
+    if tracing:
+        assert sink is not None and outcome.events is not None
+        emit_chunk_events(sink, outcome.events, region, pid, ts_offset)
+        if not collect_events:
+            outcome.events = None
+    return outcome
+
+
+def emit_chunk_events(
+    sink: "TraceSink",
+    events: list[ChunkEvent],
+    region: str,
+    pid: int,
+    ts_offset: float = 0.0,
+) -> None:
+    """Forward simulator :class:`ChunkEvent` records into a trace sink.
+
+    Each chunk becomes one "X" event named after its region, carrying the
+    iteration range in ``args`` so traces can be cross-checked against the
+    raw chunk trace (see ``repro.openmp.events.check_trace``).
+    """
+    us = 1e6  # simulated seconds -> trace microseconds
+    for ev in events:
+        sink.duration(
+            region,
+            (ts_offset + ev.start_time) * us,
+            ev.duration * us,
+            pid=pid,
+            tid=ev.thread,
+            cat="chunk",
+            args={"start": ev.start_iteration, "end": ev.end_iteration},
+        )
 
 
 def _simulate_static(

@@ -64,14 +64,26 @@ class ThreadTeam:
         per_blade_link_bytes: np.ndarray | None = None,
         total_remote_bytes: float = 0.0,
         collect_events: bool = False,
+        sink=None,
+        region: str = "region",
+        ts_offset: float = 0.0,
     ) -> RegionResult:
-        """Simulate one parallel-for over the given per-iteration durations."""
+        """Simulate one parallel-for over the given per-iteration durations.
+
+        ``sink``/``region``/``ts_offset`` forward the chunk trace to an
+        observability sink (see :func:`simulate_parallel_for`); the trace
+        pid is the team's thread count.
+        """
         outcome = simulate_parallel_for(
             durations,
             self.n_threads,
             schedule,
             machine=self.machine,
             collect_events=collect_events,
+            sink=sink,
+            region=region,
+            pid=self.n_threads,
+            ts_offset=ts_offset,
         )
         link_bound = (
             self.cost_model.link_serialization_time(per_blade_link_bytes)

@@ -21,13 +21,14 @@ replays the trace at any thread count:
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.machine.blacklight import BLACKLIGHT, MachineSpec
 from repro.machine.cache_model import charge_left_reads, charge_right_reads
+from repro.machine.cost_model import record_region_attribution
 from repro.machine.memory_model import (
     PlacementMap,
     first_touch_placement,
@@ -39,6 +40,9 @@ from repro.openmp.schedule import APRIORI_SCHEDULE, ScheduleSpec, static_assignm
 from repro.openmp.team import ThreadTeam
 from repro.parallel.tasks import AprioriTrace
 from repro.parallel.timing import RegionBreakdown, SimulatedTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
 
 BasePlacement = Literal["master", "interleaved"]
 
@@ -76,8 +80,14 @@ def simulate_apriori(
     machine: MachineSpec = BLACKLIGHT,
     schedule: ScheduleSpec = APRIORI_SCHEDULE,
     base_placement: BasePlacement = "master",
+    obs: "ObsContext | None" = None,
 ) -> SimulatedTime:
-    """Simulated wall time of the traced Apriori run at ``n_threads``."""
+    """Simulated wall time of the traced Apriori run at ``n_threads``.
+
+    With an ``obs`` context, each generation's chunk trace is forwarded to
+    the sink (pid = thread count, tid = simulated thread) and the region's
+    link-bytes / makespan-vs-link-bound attribution lands in the registry.
+    """
     if trace.singletons is None:
         raise SimulationError("trace has no generation-1 record; run the miner first")
 
@@ -97,6 +107,10 @@ def simulate_apriori(
         total_seconds=0.0,
         load_seconds=load_seconds,
     )
+
+    sink = obs.sink if obs is not None else None
+    if sink is not None and sink.enabled:
+        sink.set_process_name(n_threads, f"apriori @ {n_threads} threads")
 
     gen1_homes = _singleton_placement(
         trace.singletons.payload_bytes.size, base_placement, team
@@ -161,16 +175,31 @@ def simulate_apriori(
             reader_blades, right_homes, charged_right, topo.n_blades
         )
 
+        label = f"gen{gen.generation}"
         region = team.run_region(
             durations,
             schedule,
             link_traffic,
             total_remote_bytes=float(remote_bytes.sum()),
+            sink=sink,
+            region=label,
+            ts_offset=result.total_seconds,
         )
         serial = cost.serial_time(gen.candidate_gen_ops)
+        record_region_attribution(
+            obs,
+            label,
+            makespan=region.makespan,
+            link_bound=region.link_bound,
+            fork_join=region.fork_join,
+            serial=serial,
+            per_blade_link_bytes=link_traffic,
+            remote_bytes=float(remote_bytes.sum()),
+            thread_busy=region.outcome.thread_busy,
+        )
         result.regions.append(
             RegionBreakdown(
-                label=f"gen{gen.generation}",
+                label=label,
                 time=region.time,
                 makespan=region.makespan,
                 link_bound=region.link_bound,
@@ -191,9 +220,35 @@ def apriori_time_curve(
     machine: MachineSpec = BLACKLIGHT,
     schedule: ScheduleSpec = APRIORI_SCHEDULE,
     base_placement: BasePlacement = "master",
+    obs: "ObsContext | None" = None,
+    obs_threads: int | None = None,
 ) -> dict[int, SimulatedTime]:
-    """Simulated times across a thread-count sweep."""
+    """Simulated times across a thread-count sweep.
+
+    ``obs`` instruments exactly one point of the sweep — ``obs_threads``
+    when given, else the largest count — so region metrics describe a
+    single thread count instead of averaging the whole curve.
+    """
+    target = _obs_target(obs, obs_threads, thread_counts)
     return {
-        t: simulate_apriori(trace, t, machine, schedule, base_placement)
+        t: simulate_apriori(
+            trace, t, machine, schedule, base_placement,
+            obs=obs if t == target else None,
+        )
         for t in thread_counts
     }
+
+
+def _obs_target(
+    obs: "ObsContext | None", obs_threads: int | None, thread_counts: list[int]
+) -> int | None:
+    """Which sweep point to instrument (None when obs is off)."""
+    if obs is None or not thread_counts:
+        return None
+    if obs_threads is not None:
+        if obs_threads not in thread_counts:
+            raise SimulationError(
+                f"obs_threads={obs_threads} is not in the sweep {thread_counts}"
+            )
+        return obs_threads
+    return max(thread_counts)

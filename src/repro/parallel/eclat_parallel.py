@@ -25,20 +25,26 @@ bisection cap.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.machine.blacklight import BLACKLIGHT, MachineSpec
 from repro.machine.cache_model import charge_left_reads, charge_right_reads
+from repro.machine.cost_model import record_region_attribution
 from repro.machine.memory_model import (
     per_blade_link_traffic,
     remote_read_bytes,
 )
 from repro.openmp.schedule import ECLAT_SCHEDULE, ScheduleSpec
 from repro.openmp.team import ThreadTeam
-from repro.parallel.apriori_parallel import BasePlacement
+from repro.parallel.apriori_parallel import BasePlacement, _obs_target
 from repro.errors import SimulationError
 from repro.parallel.tasks import EclatTaskTrace, toplevel_view
 from repro.parallel.timing import RegionBreakdown, SimulatedTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
 
 
 def simulate_eclat(
@@ -48,11 +54,17 @@ def simulate_eclat(
     schedule: ScheduleSpec = ECLAT_SCHEDULE,
     base_placement: BasePlacement = "master",
     task_mode: str = "toplevel",
+    obs: "ObsContext | None" = None,
 ) -> SimulatedTime:
-    """Simulated wall time of the traced Eclat run at ``n_threads``."""
+    """Simulated wall time of the traced Eclat run at ``n_threads``.
+
+    With an ``obs`` context, every region's chunk trace is forwarded to the
+    sink (pid = thread count, tid = simulated thread) and link-bytes /
+    makespan-vs-link-bound attribution lands in the registry.
+    """
     if task_mode == "toplevel":
         return _simulate_toplevel(
-            trace, n_threads, machine, schedule, base_placement
+            trace, n_threads, machine, schedule, base_placement, obs
         )
     if task_mode != "level":
         raise SimulationError(
@@ -61,6 +73,9 @@ def simulate_eclat(
     team = ThreadTeam(n_threads, machine)
     cost = team.cost_model
     topo = team.topology
+    sink = obs.sink if obs is not None else None
+    if sink is not None and sink.enabled:
+        sink.set_process_name(n_threads, f"eclat/level @ {n_threads} threads")
 
     # Serial load, reported but not timed (the paper times the mining loop).
     load_seconds = cost.serial_time(trace.build_ops)
@@ -137,15 +152,30 @@ def simulate_eclat(
         ) + per_blade_link_traffic(
             reader_blades, right_homes, charged_right, topo.n_blades
         )
+        label = f"depth{level.depth}"
+        total_remote = float(remote_l.sum() + remote_r.sum())
         region = team.run_region(
             durations,
             schedule,
             link_traffic,
-            total_remote_bytes=float(remote_l.sum() + remote_r.sum()),
+            total_remote_bytes=total_remote,
+            sink=sink,
+            region=label,
+            ts_offset=result.total_seconds,
+        )
+        record_region_attribution(
+            obs,
+            label,
+            makespan=region.makespan,
+            link_bound=region.link_bound,
+            fork_join=region.fork_join,
+            per_blade_link_bytes=link_traffic,
+            remote_bytes=total_remote,
+            thread_busy=region.outcome.thread_busy,
         )
         result.regions.append(
             RegionBreakdown(
-                label=f"depth{level.depth}",
+                label=label,
                 time=region.time,
                 makespan=region.makespan,
                 link_bound=region.link_bound,
@@ -173,12 +203,16 @@ def _simulate_toplevel(
     machine: MachineSpec,
     schedule: ScheduleSpec,
     base_placement: BasePlacement,
+    obs: "ObsContext | None" = None,
 ) -> SimulatedTime:
     """Depth-first tasks: one per frequent 1-item prefix (paper default)."""
     view = toplevel_view(trace)
     team = ThreadTeam(n_threads, machine)
     cost = team.cost_model
     n_blades = team.topology.n_blades
+    sink = obs.sink if obs is not None else None
+    if sink is not None and sink.enabled:
+        sink.set_process_name(n_threads, f"eclat @ {n_threads} threads")
 
     load_seconds = cost.serial_time(view.build_ops)
     result = SimulatedTime(
@@ -218,7 +252,7 @@ def _simulate_toplevel(
     cpu_ops = view.cpu_ops + machine.iteration_overhead_ops * view.n_combines
     durations = cost.task_time(cpu_ops, local_bytes, shared_remote)
 
-    region = team.run_region(durations, schedule)
+    region = team.run_region(durations, schedule, sink=sink, region="toplevel")
     assignment = region.outcome.iteration_thread
     reader_blades = team.reader_blades(assignment)
     if base_placement == "master":
@@ -234,6 +268,16 @@ def _simulate_toplevel(
     )
 
     region_time = max(region.makespan, link_bound) + region.fork_join
+    record_region_attribution(
+        obs,
+        "toplevel",
+        makespan=region.makespan,
+        link_bound=link_bound,
+        fork_join=region.fork_join,
+        per_blade_link_bytes=link_traffic,
+        remote_bytes=float(shared_remote.sum()),
+        thread_busy=region.outcome.thread_busy,
+    )
     result.total_seconds = region_time
     result.regions.append(
         RegionBreakdown(
@@ -254,9 +298,19 @@ def eclat_time_curve(
     schedule: ScheduleSpec = ECLAT_SCHEDULE,
     base_placement: BasePlacement = "master",
     task_mode: str = "toplevel",
+    obs: "ObsContext | None" = None,
+    obs_threads: int | None = None,
 ) -> dict[int, SimulatedTime]:
-    """Simulated times across a thread-count sweep."""
+    """Simulated times across a thread-count sweep.
+
+    ``obs`` instruments one point of the sweep (``obs_threads``, default
+    the largest count) — see :func:`apriori_time_curve`.
+    """
+    target = _obs_target(obs, obs_threads, thread_counts)
     return {
-        t: simulate_eclat(trace, t, machine, schedule, base_placement, task_mode)
+        t: simulate_eclat(
+            trace, t, machine, schedule, base_placement, task_mode,
+            obs=obs if t == target else None,
+        )
         for t in thread_counts
     }

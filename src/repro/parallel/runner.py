@@ -9,7 +9,9 @@ result itself (so correctness can be asserted in the same breath).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.apriori import run_apriori
 from repro.core.eclat import run_eclat
@@ -24,6 +26,9 @@ from repro.parallel.eclat_parallel import eclat_time_curve
 from repro.parallel.tasks import AprioriTrace, EclatTrace
 from repro.parallel.timing import SimulatedTime
 from repro.representations import get_representation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
 
 
 @dataclass
@@ -86,12 +91,24 @@ def run_scalability_study(
     schedule: ScheduleSpec | None = None,
     base_placement: BasePlacement = "master",
     eclat_task_mode: str = "toplevel",
+    obs: "ObsContext | None" = None,
+    obs_threads: int | None = None,
 ) -> ScalabilityStudy:
     """Mine once with tracing, then simulate every requested thread count.
 
     ``eclat_task_mode`` selects the Eclat decomposition ("toplevel" = the
     paper's depth-first prefix tasks; "level" = the level-synchronous
     ablation); ignored for Apriori.
+
+    ``obs`` threads an observability context end-to-end: the miner records
+    per-level/per-depth counters and wall-clock spans, and one point of
+    the replay sweep (``obs_threads``, default the largest count) records
+    chunk trace events plus region bottleneck metrics.  ``None`` (the
+    default) runs the exact uninstrumented code path.
+
+    Host wall-clock cost of the two phases is always measured and stored in
+    ``notes["wall_mine_seconds"]`` / ``notes["wall_replay_seconds"]`` so
+    real cost stays visible alongside simulated seconds.
     """
     if algorithm not in ("apriori", "eclat"):
         raise ConfigurationError(
@@ -101,23 +118,43 @@ def run_scalability_study(
     rep = get_representation(representation)
 
     trace: object
+    wall_start = time.perf_counter()
     if algorithm == "apriori":
         sink = AprioriTrace()
-        run = run_apriori(db, min_support, rep, sink=sink)
+        run = run_apriori(db, min_support, rep, sink=sink, obs=obs)
         sched = schedule if schedule is not None else APRIORI_SCHEDULE
         trace = sink
-        times = apriori_time_curve(sink, counts, machine, sched, base_placement)
+        wall_mined = time.perf_counter()
+        times = apriori_time_curve(
+            sink, counts, machine, sched, base_placement,
+            obs=obs, obs_threads=obs_threads,
+        )
     else:
         esink = EclatTrace()
-        run = run_eclat(db, min_support, rep, sink=esink)
+        run = run_eclat(db, min_support, rep, sink=esink, obs=obs)
         sched = schedule if schedule is not None else ECLAT_SCHEDULE
         trace = esink.finalize()
+        wall_mined = time.perf_counter()
         times = eclat_time_curve(
-            trace, counts, machine, sched, base_placement, eclat_task_mode
+            trace, counts, machine, sched, base_placement, eclat_task_mode,
+            obs=obs, obs_threads=obs_threads,
         )
+    wall_replayed = time.perf_counter()
 
     for simulated in times.values():
         simulated.representation = rep.name
+
+    if obs is not None:
+        obs.metrics.gauge("wall.mine_s").set(wall_mined - wall_start)
+        obs.metrics.gauge("wall.replay_s").set(wall_replayed - wall_mined)
+        obs.sink.wall_event(
+            "mine", wall_start, wall_mined, cat="phase",
+            args={"algorithm": algorithm, "representation": rep.name},
+        )
+        obs.sink.wall_event(
+            "replay", wall_mined, wall_replayed, cat="phase",
+            args={"thread_counts": list(counts)},
+        )
 
     return ScalabilityStudy(
         dataset=db.name,
@@ -132,6 +169,8 @@ def run_scalability_study(
             "schedule": str(sched),
             "base_placement": base_placement,
             "eclat_task_mode": eclat_task_mode if algorithm == "eclat" else None,
+            "wall_mine_seconds": wall_mined - wall_start,
+            "wall_replay_seconds": wall_replayed - wall_mined,
         },
         trace=trace,
     )

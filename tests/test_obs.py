@@ -1,0 +1,209 @@
+"""Unit tests for the repro.obs layer: sinks, metrics, context."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    ChromeTraceSink,
+    Counter,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    ObsContext,
+    TraceEvent,
+)
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestTraceEvent:
+    def test_complete_event_has_duration(self):
+        ev = TraceEvent("work", "X", 10.0, 5.0, pid=3, tid=7, cat="chunk")
+        record = ev.to_chrome()
+        assert record["dur"] == 5.0
+        assert record["cat"] == "chunk"
+        assert REQUIRED_EVENT_KEYS <= set(record)
+
+    def test_instant_event_omits_duration(self):
+        record = TraceEvent("mark", "i", 1.0).to_chrome()
+        assert "dur" not in record and "args" not in record
+
+
+class TestNullSink:
+    def test_disabled_and_silent(self):
+        sink = NullSink()
+        assert not sink.enabled
+        sink.duration("x", 0.0, 1.0)
+        sink.instant("y", 0.0)
+        sink.counter_sample("z", 0.0, {"v": 1})
+        sink.set_process_name(1, "p")
+        with sink.span("s"):
+            pass
+        sink.close()  # all no-ops, nothing raised
+
+    def test_adds_no_events_when_wired_through_a_run(self):
+        from repro.core.apriori import run_apriori
+        from repro.datasets import parse_fimi
+
+        db = parse_fimi("1 2\n1 2 3\n2 3\n1 3", name="nulltest")
+        obs = ObsContext()  # NullSink default
+        run_apriori(db, 2, "tidset", obs=obs)
+        # Metrics still collect; the sink swallowed every event.
+        assert "apriori.level1.candidates" in obs.metrics
+        assert not obs.tracing
+
+
+class TestInMemorySink:
+    def test_records_in_order(self):
+        sink = InMemorySink()
+        sink.duration("a", 0.0, 1.0)
+        sink.instant("b", 2.0)
+        assert [ev.name for ev in sink.events] == ["a", "b"]
+        assert [ev.name for ev in sink.by_phase("X")] == ["a"]
+
+    def test_span_measures_wall_time(self):
+        sink = InMemorySink()
+        with sink.span("phase", cat="test"):
+            pass
+        (ev,) = sink.events
+        assert ev.phase == "X" and ev.dur >= 0.0 and ev.cat == "test"
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.duration("a", 1.0, 2.0, pid=5, tid=3)
+            sink.instant("b", 4.0)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "a" and lines[0]["dur"] == 2.0
+        assert lines[1]["ph"] == "i"
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink.duration("late", 0.0, 1.0)
+
+
+class TestChromeTraceSink:
+    def test_round_trip_schema(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path, metadata={"dataset": "demo"})
+        sink.set_process_name(4, "4 threads")
+        sink.set_thread_name(4, 0, "t0")
+        sink.duration("gen2", 0.0, 12.5, pid=4, tid=0, cat="chunk",
+                      args={"start": 0, "end": 3})
+        sink.close()
+
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"] == {"dataset": "demo"}
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert REQUIRED_EVENT_KEYS <= set(event)
+            assert event["ph"] in {"X", "i", "C", "M"}
+        (chunk,) = [e for e in events if e["ph"] == "X"]
+        assert chunk["dur"] == 12.5 and chunk["args"] == {"start": 0, "end": 3}
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json")
+        sink.duration("a", 0.0, 1.0)
+        sink.close()
+        sink.close()
+        assert len(json.loads((tmp_path / "t.json").read_text())["traceEvents"]) == 1
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.gauge("g").set(4)
+        assert registry.gauges() == {"g": 4.0}
+        assert "a" in registry and len(registry) == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_histogram_summary_fields(self):
+        histogram = Histogram("h")
+        histogram.observe_many(np.arange(100))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 0 and summary["max"] == 99
+        assert summary["p50"] == pytest.approx(49.5)
+
+    def test_empty_histogram(self):
+        assert Histogram("h").summary() == {"count": 0.0}
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h").observe(float("nan"))
+
+    def test_report_rows_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.value").set(1.5)
+        registry.histogram("c.dist").observe(3.0)
+        rows = registry.report_rows()
+        assert [row[0] for row in rows] == ["a.value", "b.count", "c.dist"]
+        assert [row[1] for row in rows] == ["gauge", "counter", "histogram"]
+
+    def test_to_dict_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(7)
+        registry.histogram("h").observe(1.0)
+        json.dumps(registry.to_dict())  # must not raise
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_histogram_percentiles_monotone(values):
+    """min <= p50 <= p90 <= p99 <= max for any observation set."""
+    histogram = Histogram("h")
+    histogram.observe_many(values)
+    summary = histogram.summary()
+    assert summary["min"] <= summary["p50"] <= summary["p90"]
+    assert summary["p90"] <= summary["p99"] <= summary["max"]
+    assert summary["count"] == len(values)
+
+
+class TestObsContext:
+    def test_context_manager_closes_sink(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with ObsContext(sink=ChromeTraceSink(path)) as obs:
+            obs.sink.duration("x", 0.0, 1.0)
+            assert obs.tracing
+        assert path.exists()
+
+    def test_default_is_fully_null(self):
+        obs = ObsContext()
+        assert not obs.tracing
+        assert len(obs.metrics) == 0

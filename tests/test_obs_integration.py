@@ -1,0 +1,234 @@
+"""End-to-end tests: obs wired through mining, simulation, and the CLI."""
+
+import json
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.cli import main
+from repro.core.apriori import run_apriori
+from repro.core.eclat import run_eclat
+from repro.datasets import parse_fimi
+from repro.datasets.fimi import write_fimi
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.obs import ChromeTraceSink, InMemorySink, ObsContext
+from repro.openmp.events import ChunkEvent, check_trace
+from repro.parallel import run_scalability_study
+
+FIMI_TEXT = "\n".join(
+    ["1 2 3", "1 2", "2 3", "1 3", "1 2 3", "2 3 4", "1 4", "3 4", "1 2 4"] * 2
+)
+
+
+@pytest.fixture
+def db():
+    return parse_fimi(FIMI_TEXT, name="obsdb")
+
+
+def _level_sizes(result):
+    """Number of frequent itemsets per size, from the mining result."""
+    return TallyCounter(len(items) for items in result.itemsets)
+
+
+class TestMinerCounters:
+    def test_apriori_level_counters_match_result(self, db):
+        obs = ObsContext()
+        run = run_apriori(db, 3, "tidset", obs=obs)
+        sizes = _level_sizes(run.result)
+        counters = obs.metrics.counters()
+        for k, n_frequent in sizes.items():
+            assert counters[f"apriori.level{k}.frequent"] == n_frequent
+            assert (
+                counters[f"apriori.level{k}.candidates"]
+                - counters[f"apriori.level{k}.pruned"]
+                == n_frequent
+            )
+        # No counters for levels past the last generation.
+        assert f"apriori.level{max(sizes) + 1}.candidates" not in counters
+
+    def test_eclat_depth_counters_match_result(self, db):
+        obs = ObsContext()
+        run = run_eclat(db, 3, "diffset", obs=obs)
+        sizes = _level_sizes(run.result)
+        counters = obs.metrics.counters()
+        assert counters["eclat.toplevel.tasks"] == sizes[1]
+        for k in range(2, max(sizes) + 1):
+            # depth-d combines produce the (d+1)-itemsets.
+            assert counters[f"eclat.depth{k - 1}.frequent"] == sizes[k]
+        assert counters["mine.intersections"] == sum(
+            counters[f"eclat.depth{d}.combines"]
+            for d in range(1, max(sizes))
+        )
+
+    def test_miner_spans_emitted(self, db):
+        obs = ObsContext(sink=InMemorySink())
+        run_apriori(db, 3, "tidset", obs=obs)
+        names = [ev.name for ev in obs.sink.events]
+        assert "apriori.gen1" in names and "apriori.gen2" in names
+
+        obs2 = ObsContext(sink=InMemorySink())
+        run_eclat(db, 3, "tidset", obs=obs2)
+        tasks = [ev for ev in obs2.sink.events if ev.name.startswith("eclat.task")]
+        assert len(tasks) == obs2.metrics.counters()["eclat.toplevel.tasks"]
+
+
+class TestNullObsIsInvisible:
+    @pytest.mark.parametrize("algorithm,rep", [
+        ("apriori", "tidset"), ("eclat", "diffset"),
+    ])
+    def test_results_and_times_byte_identical(self, db, algorithm, rep):
+        plain = run_scalability_study(
+            db, algorithm, rep, 3, thread_counts=[1, 4, 16]
+        )
+        nulled = run_scalability_study(
+            db, algorithm, rep, 3, thread_counts=[1, 4, 16], obs=ObsContext()
+        )
+        assert plain.runtimes() == nulled.runtimes()
+        assert plain.mining_result.same_itemsets(nulled.mining_result)
+        assert plain.mining_result.itemsets == nulled.mining_result.itemsets
+
+
+class TestChromeTraceFromStudy:
+    @pytest.mark.parametrize("algorithm,rep,regions_of", [
+        ("apriori", "tidset",
+         lambda study: {
+             f"gen{g.generation}": g.n_candidates
+             for g in study.trace.generations
+         }),
+        ("eclat", "tidset",
+         lambda study: {"toplevel": study.trace.n_toplevel_tasks}),
+    ])
+    def test_chunk_events_cover_the_simulated_chunk_set(
+        self, db, tmp_path, algorithm, rep, regions_of
+    ):
+        path = tmp_path / "trace.json"
+        obs = ObsContext(sink=ChromeTraceSink(path))
+        study = run_scalability_study(
+            db, algorithm, rep, 3, thread_counts=[1, 4, 16],
+            obs=obs, obs_threads=4,
+        )
+        obs.close()
+
+        doc = json.loads(path.read_text())
+        chunks = [
+            ev for ev in doc["traceEvents"] if ev.get("cat") == "chunk"
+        ]
+        assert chunks and all(ev["pid"] == 4 for ev in chunks)
+        assert all(0 <= ev["tid"] < 4 for ev in chunks)
+
+        # Rebuild ChunkEvents from the trace and revalidate coverage and
+        # per-thread non-overlap against the miner's own task trace.
+        by_region: dict[str, list[ChunkEvent]] = {}
+        for ev in chunks:
+            by_region.setdefault(ev["name"], []).append(
+                ChunkEvent(
+                    thread=ev["tid"],
+                    start_iteration=ev["args"]["start"],
+                    end_iteration=ev["args"]["end"],
+                    start_time=ev["ts"],
+                    end_time=ev["ts"] + ev["dur"],
+                )
+            )
+        expected = regions_of(study)
+        assert set(by_region) == {
+            label for label, n in expected.items() if n > 0
+        }
+        for label, events in by_region.items():
+            check_trace(events, expected[label])
+
+    def test_wall_clock_phases_in_notes_and_trace(self, db, tmp_path):
+        path = tmp_path / "trace.json"
+        obs = ObsContext(sink=ChromeTraceSink(path))
+        study = run_scalability_study(
+            db, "eclat", "diffset", 3, thread_counts=[1, 4], obs=obs
+        )
+        obs.close()
+        assert study.notes["wall_mine_seconds"] > 0
+        assert study.notes["wall_replay_seconds"] > 0
+        names = {ev["name"] for ev in json.loads(path.read_text())["traceEvents"]}
+        assert {"mine", "replay"} <= names
+
+    def test_wall_clock_notes_present_without_obs(self, db):
+        study = run_scalability_study(db, "eclat", "tidset", 3,
+                                      thread_counts=[1, 2])
+        assert study.notes["wall_mine_seconds"] >= 0
+        assert study.notes["wall_replay_seconds"] >= 0
+
+
+class TestRegionMetrics:
+    def test_link_and_busy_metrics_recorded(self, db):
+        obs = ObsContext()
+        run_scalability_study(
+            db, "apriori", "tidset", 3, thread_counts=[1, 4, 32],
+            obs=obs, obs_threads=32,
+        )
+        counters = obs.metrics.counters()
+        gauges = obs.metrics.gauges()
+        assert any(name.startswith("numalink.region.") for name in counters)
+        assert "sim.fork_join_s" in counters and counters["sim.fork_join_s"] > 0
+        assert any(name.endswith(".makespan_s") for name in gauges)
+        assert any(name.endswith(".link_bound_s") for name in gauges)
+        busy = obs.metrics.histograms()["sim.thread_busy_s"]
+        assert busy["count"] > 0 and busy["p50"] <= busy["p99"]
+
+    def test_obs_threads_must_be_in_sweep(self, db):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_scalability_study(
+                db, "eclat", "tidset", 3, thread_counts=[1, 4],
+                obs=ObsContext(), obs_threads=7,
+            )
+
+
+class TestCliObs:
+    @pytest.fixture
+    def fimi_file(self, tmp_path):
+        db = TransactionDatabase(
+            [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]] * 4, name="clidb"
+        )
+        path = tmp_path / "data.dat"
+        write_fimi(db, path)
+        return str(path)
+
+    def test_profile_prints_required_metrics(self, fimi_file, capsys):
+        assert main([
+            "profile", fimi_file, "-s", "3", "-a", "apriori", "-r", "tidset",
+            "--max-threads", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "numalink.region.gen2.bytes" in out
+        assert "apriori.level2.candidates" in out
+        assert "replay profiled at 16 threads" in out
+
+    def test_profile_writes_valid_trace(self, fimi_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "profile", fimi_file, "-s", "3", "--max-threads", "16",
+            "--threads", "16", "--trace-out", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert any(ev.get("cat") == "chunk" for ev in doc["traceEvents"])
+
+    def test_profile_rejects_thread_count_outside_sweep(self, fimi_file):
+        with pytest.raises(SystemExit):
+            main([
+                "profile", fimi_file, "-s", "3",
+                "--max-threads", "8", "--threads", "5",
+            ])
+
+    def test_mine_metrics_flag(self, fimi_file, capsys):
+        assert main([
+            "mine", fimi_file, "-s", "3", "-a", "eclat", "--metrics",
+        ]) == 0
+        assert "mine.intersections" in capsys.readouterr().out
+
+    def test_scalability_trace_out(self, fimi_file, tmp_path, capsys):
+        trace = tmp_path / "scal.json"
+        assert main([
+            "scalability", fimi_file, "-s", "3", "--max-threads", "16",
+            "--trace-out", str(trace), "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        assert json.loads(trace.read_text())["traceEvents"]

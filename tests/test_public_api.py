@@ -69,6 +69,17 @@ class TestSubpackageSurfaces:
         ):
             assert callable(getattr(parallel, name)), name
 
+    def test_obs_surface(self):
+        from repro import ObsContext, obs
+
+        context = ObsContext()
+        assert not context.tracing  # NullSink default
+        for name in (
+            "TraceSink", "NullSink", "InMemorySink", "JsonlSink",
+            "ChromeTraceSink", "MetricsRegistry", "ObsContext",
+        ):
+            assert getattr(obs, name, None) is not None, name
+
     def test_cli_parser_builds(self):
         from repro.cli import build_parser
 
@@ -77,4 +88,10 @@ class TestSubpackageSurfaces:
             "mine"
         ]._actions if a.dest != "help"} >= {
             "dataset", "min_support", "algorithm", "representation", "top",
+            "trace_out", "metrics",
+        }
+        profile = parser._subparsers._actions[-1].choices["profile"]
+        assert {a.dest for a in profile._actions if a.dest != "help"} >= {
+            "dataset", "min_support", "algorithm", "representation",
+            "threads", "max_threads", "trace_out",
         }

@@ -186,3 +186,16 @@ class TestTraceChecks:
         summary = load_balance_summary(events, 2)
         assert summary["max_busy"] == 3.0
         assert summary["imbalance"] == pytest.approx(0.5)
+        assert summary["min_busy"] == 1.0
+        # makespan 3.0, busy 4.0 of 6.0 thread-seconds -> 1/3 idle.
+        assert summary["idle_fraction"] == pytest.approx(1.0 / 3.0)
+
+    def test_load_balance_summary_all_idle(self):
+        summary = load_balance_summary([], n_threads=3)
+        assert summary == {
+            "max_busy": 0.0,
+            "min_busy": 0.0,
+            "mean_busy": 0.0,
+            "imbalance": 0.0,
+            "idle_fraction": 0.0,
+        }
