@@ -21,7 +21,8 @@ from conftest import emit
 
 from repro import paper
 from repro.analysis import render_grid
-from repro.core import eclat, run_eclat
+from repro.core import eclat
+from repro.engine import execute
 from repro.datasets import get_dataset
 from repro.machine import BLACKLIGHT, smt_machine
 from repro.parallel import run_scalability_study, simulate_apriori
@@ -37,7 +38,8 @@ def test_ablation_hybrid_and_smt(benchmark):
         traffic = {}
         results = {}
         for rep in ("tidset", "diffset", "hybrid"):
-            run = run_eclat(db, support, rep)
+            run = execute(db, algorithm="eclat", min_support=support,
+                          representation=rep)
             traffic[rep] = run.total_cost.bytes_read
             results[rep] = run.result
         assert results["hybrid"].same_itemsets(results["tidset"])

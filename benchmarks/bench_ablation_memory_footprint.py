@@ -14,7 +14,7 @@ from conftest import emit
 
 from repro import paper
 from repro.analysis import render_grid
-from repro.core import run_apriori
+from repro.engine import execute
 from repro.datasets import get_dataset
 from repro.parallel import AprioriTrace
 from repro.representations import get_representation
@@ -23,7 +23,8 @@ from repro.representations.memory import measure_generation
 
 def _per_generation_bytes(db, support, representation) -> dict[int, int]:
     trace = AprioriTrace()
-    run_apriori(db, support, representation, sink=trace)
+    execute(db, algorithm="apriori", min_support=support,
+            representation=representation, sink=trace)
     out = {1: int(trace.singletons.payload_bytes.sum())}
     for gen in trace.generations:
         out[gen.generation] = int(gen.payload_bytes.sum())

@@ -15,7 +15,8 @@ from conftest import emit
 
 from repro import paper
 from repro.analysis import render_grid
-from repro.core import run_apriori, run_apriori_horizontal
+from repro.core import run_apriori_horizontal
+from repro.engine import execute
 from repro.core.candidate_gen import generate_candidates
 from repro.datasets import get_dataset
 from repro.representations import HorizontalCounter
@@ -26,7 +27,8 @@ def test_vertical_vs_horizontal(benchmark):
     support = paper.PAPER_SUPPORTS["chess"]
 
     horizontal = run_apriori_horizontal(db, support)
-    vertical = run_apriori(db, support, "tidset")
+    vertical = execute(db, algorithm="apriori", min_support=support,
+                       representation="tidset")
     assert horizontal.result.same_itemsets(vertical.result)
 
     ratio = horizontal.total_cost.cpu_ops / vertical.total_cost.cpu_ops

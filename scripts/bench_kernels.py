@@ -1,0 +1,170 @@
+"""Microbenchmark: pure-Python vs NumPy-packed bitvector support counting.
+
+The ``vectorized`` backend's whole value proposition is that one
+``bitwise_and`` + table-lookup popcount over a packed matrix replaces a
+Python-level loop over bytes.  This script measures exactly that claim on
+a real candidate workload: every (i, j) item pair of a benchmark dataset,
+support-counted three ways —
+
+* ``python-loop``   — per-byte Python loop with the same 256-entry
+  popcount table the NumPy kernel uses (the algorithmic baseline),
+* ``numpy-pairwise`` — one :func:`popcount_bytes` call per pair,
+* ``numpy-block``    — the whole workload in one :func:`intersect_pairs`
+  call (what the vectorized Apriori backend actually does).
+
+All three must produce identical supports; the block kernel is expected
+to beat the Python loop by well over the 5x acceptance bar.  Results are
+written to ``BENCH_kernels.json`` at the repo root (override with
+``--output``).
+
+    PYTHONPATH=src python scripts/bench_kernels.py                # full
+    PYTHONPATH=src python scripts/bench_kernels.py --smoke --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import get_dataset, parse_fimi  # noqa: E402
+from repro.representations.bitvector_numpy import (  # noqa: E402
+    POPCOUNT8,
+    intersect_pairs,
+    pack_database,
+    popcount_bytes,
+)
+
+SMOKE_FIMI = "\n".join(
+    " ".join(str(i) for i in range(t % 17, t % 17 + 10)) for t in range(256)
+)
+
+
+def candidate_pairs(n_items: int, limit: int | None) -> tuple[np.ndarray, np.ndarray]:
+    """All (i, j) item pairs with i < j, optionally truncated to ``limit``."""
+    idx_i, idx_j = np.triu_indices(n_items, k=1)
+    if limit is not None and idx_i.size > limit:
+        idx_i, idx_j = idx_i[:limit], idx_j[:limit]
+    return idx_i, idx_j
+
+
+def support_python_loop(rows: list[list[int]], pairs) -> list[int]:
+    """The baseline: byte-at-a-time AND + table popcount, in Python."""
+    pop = POPCOUNT8.tolist()
+    out = []
+    for i, j in pairs:
+        left, right = rows[i], rows[j]
+        out.append(sum(pop[a & b] for a, b in zip(left, right)))
+    return out
+
+
+def support_numpy_pairwise(matrix: np.ndarray, pairs) -> list[int]:
+    return [popcount_bytes(matrix[i] & matrix[j]) for i, j in pairs]
+
+
+def support_numpy_block(matrix, idx_i, idx_j) -> np.ndarray:
+    _children, supports = intersect_pairs(matrix[idx_i], matrix[idx_j])
+    return supports
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="chess",
+                        help="registry dataset to pack (default: chess)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny synthetic workload, suitable for CI")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--max-pairs", type=int, default=None,
+                        help="cap the number of candidate pairs")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_kernels.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless block speedup >= --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    if args.smoke:
+        db = parse_fimi(SMOKE_FIMI, name="smoke")
+        max_pairs = args.max_pairs if args.max_pairs is not None else 256
+    else:
+        db = get_dataset(args.dataset)
+        max_pairs = args.max_pairs
+
+    matrix = pack_database(db)
+    idx_i, idx_j = candidate_pairs(db.n_items, max_pairs)
+    pairs = list(zip(idx_i.tolist(), idx_j.tolist()))
+    rows = [row.tolist() for row in matrix]
+
+    t_python, ref = best_of(
+        lambda: support_python_loop(rows, pairs), args.repeats)
+    t_pairwise, got_pairwise = best_of(
+        lambda: support_numpy_pairwise(matrix, pairs), args.repeats)
+    t_block, got_block = best_of(
+        lambda: support_numpy_block(matrix, idx_i, idx_j), args.repeats)
+
+    if got_pairwise != ref or got_block.tolist() != ref:
+        print("FATAL: kernel disagreement — supports do not match", file=sys.stderr)
+        return 2
+
+    record = {
+        "dataset": db.name,
+        "n_transactions": db.n_transactions,
+        "n_items": db.n_items,
+        "n_pairs": len(pairs),
+        "bytes_per_vector": int(matrix.shape[1]),
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "seconds": {
+            "python_loop": t_python,
+            "numpy_pairwise": t_pairwise,
+            "numpy_block": t_block,
+        },
+        "speedup_over_python": {
+            "numpy_pairwise": t_python / t_pairwise if t_pairwise else None,
+            "numpy_block": t_python / t_block if t_block else None,
+        },
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"dataset={db.name}  pairs={len(pairs)}  "
+          f"bytes/vector={matrix.shape[1]}")
+    for name in ("python_loop", "numpy_pairwise", "numpy_block"):
+        seconds = record["seconds"][name]
+        suffix = ""
+        if name != "python_loop":
+            suffix = f"  ({record['speedup_over_python'][name]:.1f}x)"
+        print(f"  {name:16s} {seconds * 1e3:10.3f} ms{suffix}")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        block_speedup = record["speedup_over_python"]["numpy_block"]
+        if block_speedup < args.min_speedup:
+            print(f"FAIL: block speedup {block_speedup:.1f}x < "
+                  f"{args.min_speedup:.1f}x", file=sys.stderr)
+            return 1
+        print(f"OK: block speedup {block_speedup:.1f}x >= "
+              f"{args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

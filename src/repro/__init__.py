@@ -3,9 +3,16 @@ Memory Machines" (Zhang, Zhang & Bakos, IEEE CLUSTER 2011).
 
 Public API highlights:
 
-* :func:`repro.apriori`, :func:`repro.eclat`, :func:`repro.fpgrowth` — the
-  miners, each usable with the ``tidset``, ``bitvector``, or ``diffset``
-  representation.
+* :func:`repro.mine` — **the** mining entry point: one call covers every
+  algorithm × vertical representation × execution backend combination
+  (``serial``, ``multiprocessing``, ``vectorized``) behind the engine's
+  registry, with typed errors and ``representation="auto"`` selection.
+* :mod:`repro.engine` — the execution engine: backend registry,
+  :func:`repro.engine.execute` for full run objects (level tables, cost
+  traces), and the NumPy packed-bitvector block kernels.
+* :func:`repro.apriori`, :func:`repro.eclat`, :func:`repro.fpgrowth` —
+  engine-routed convenience wrappers, each usable with the ``tidset``,
+  ``bitvector``, ``bitvector_numpy``, or ``diffset`` representation.
 * :mod:`repro.datasets` — FIMI parsing, Quest-style generation, and the
   Table I benchmark surrogates.
 * :mod:`repro.machine` / :mod:`repro.openmp` — the Blacklight NUMA model and
@@ -15,9 +22,13 @@ Public API highlights:
 * :mod:`repro.obs` — structured tracing (Chrome trace-event sinks for
   Perfetto), metrics registries, and the :class:`ObsContext` every
   pipeline entry point accepts.
+
+Deprecated (still working, forwarding to the engine with a
+``DeprecationWarning``): ``run_apriori``, ``run_eclat``,
+``repro.backends.mine_serial``, ``repro.backends.eclat_multiprocessing``.
 """
 
-from repro import obs
+from repro import engine, obs
 from repro.core import (
     MiningResult,
     apriori,
@@ -28,14 +39,17 @@ from repro.core import (
     run_eclat,
 )
 from repro.datasets import TransactionDatabase, get_dataset, read_fimi
+from repro.engine import mine
 from repro.obs import ObsContext
 from repro.representations import get_representation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MiningResult",
     "TransactionDatabase",
+    "mine",
+    "engine",
     "apriori",
     "eclat",
     "fpgrowth",

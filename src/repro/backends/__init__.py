@@ -1,6 +1,30 @@
-"""Execution backends: serial reference and real process parallelism."""
+"""Execution backends.
+
+Backends are registered per algorithm in :mod:`repro.engine.registry` and
+selected through ``repro.mine(..., backend=...)``; the registry helpers are
+re-exported here so ``repro.backends.supported_combinations()`` answers
+"what can run where".  The legacy entry points :func:`mine_serial` and
+:func:`eclat_multiprocessing` are deprecated shims over the engine.
+"""
 
 from repro.backends.serial import mine_serial
-from repro.backends.multiprocessing_backend import eclat_multiprocessing
+from repro.backends.multiprocessing_backend import (
+    eclat_multiprocessing,
+    run_eclat_multiprocessing,
+)
+from repro.engine import (
+    available_algorithms,
+    available_backends,
+    register_backend,
+    supported_combinations,
+)
 
-__all__ = ["mine_serial", "eclat_multiprocessing"]
+__all__ = [
+    "mine_serial",
+    "eclat_multiprocessing",
+    "run_eclat_multiprocessing",
+    "available_backends",
+    "available_algorithms",
+    "register_backend",
+    "supported_combinations",
+]

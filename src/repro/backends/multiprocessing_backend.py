@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import warnings
 from typing import Iterable
 
 from repro.core.eclat import _Member, _mine_class, _State  # noqa: WPS450 - intentional reuse
@@ -82,17 +83,20 @@ class _NullCollector:
         pass
 
 
-def eclat_multiprocessing(
+def run_eclat_multiprocessing(
     db: TransactionDatabase,
     min_support: float | int,
     representation: str = "tidset",
+    *,
     n_workers: int | None = None,
     item_order: str = "support",
 ) -> MiningResult:
     """Frequent itemsets via a process pool over top-level classes.
 
     Produces exactly the same itemset->support map as
-    :func:`repro.core.eclat.eclat` with matching parameters.
+    :func:`repro.core.eclat.eclat` with matching parameters.  This is the
+    runner behind ``repro.mine(..., backend="multiprocessing")``; prefer
+    that entry point.
     """
     if item_order not in ("support", "id"):
         raise ConfigurationError("item_order must be 'support' or 'id'")
@@ -102,10 +106,11 @@ def eclat_multiprocessing(
     rep = get_representation(representation)
     result = MiningResult(
         dataset=db.name,
-        algorithm="eclat-mp",
+        algorithm="eclat",
         representation=rep.name,
         min_support=min_sup,
         n_transactions=db.n_transactions,
+        backend="multiprocessing",
     )
 
     # Singletons in the parent: both the level-1 results and the task count.
@@ -132,6 +137,34 @@ def eclat_multiprocessing(
         ):
             result.itemsets.update(partial)
     return result
+
+
+def eclat_multiprocessing(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: str = "tidset",
+    n_workers: int | None = None,
+    item_order: str = "support",
+) -> MiningResult:
+    """Deprecated alias for ``repro.mine(..., backend="multiprocessing")``."""
+    warnings.warn(
+        "eclat_multiprocessing() is deprecated; use repro.mine(db, "
+        "algorithm='eclat', backend='multiprocessing', min_support=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import mine
+
+    return mine(
+        db,
+        algorithm="eclat",
+        representation=representation,
+        backend="multiprocessing",
+        min_support=min_support,
+        n_workers=n_workers,
+        item_order=item_order,
+    )
 
 
 def chunked(indices: Iterable[int], size: int) -> list[list[int]]:

@@ -1,14 +1,16 @@
-"""Serial execution backend — the reference every other backend matches."""
+"""Serial execution backend — the reference every other backend matches.
+
+The implementation now lives in the engine (``repro.mine(...,
+backend="serial")``); :func:`mine_serial` remains as a deprecated,
+signature-compatible shim.
+"""
 
 from __future__ import annotations
 
-from repro.core.apriori import apriori
-from repro.core.eclat import eclat
+import warnings
+
 from repro.core.result import MiningResult
 from repro.datasets.transaction_db import TransactionDatabase
-from repro.errors import ConfigurationError
-
-_ALGORITHMS = {"apriori": apriori, "eclat": eclat}
 
 
 def mine_serial(
@@ -18,11 +20,20 @@ def mine_serial(
     representation: str = "tidset",
     **kwargs,
 ) -> MiningResult:
-    """Mine on the calling thread with the requested algorithm/format."""
-    try:
-        fn = _ALGORITHMS[algorithm]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
-        ) from None
-    return fn(db, min_support, representation, **kwargs)
+    """Deprecated alias for ``repro.mine(..., backend="serial")``."""
+    warnings.warn(
+        "mine_serial() is deprecated; use repro.mine(db, algorithm=..., "
+        "representation=..., backend='serial', min_support=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import mine
+
+    return mine(
+        db,
+        algorithm=algorithm,
+        representation=representation,
+        backend="serial",
+        min_support=min_support,
+        **kwargs,
+    )

@@ -2,7 +2,9 @@
 
 Four subcommands cover the common workflows:
 
-* ``mine``      — frequent itemsets from a FIMI file or a named surrogate;
+* ``mine``      — frequent itemsets from a FIMI file or a named surrogate,
+  routed through ``repro.mine()`` with ``--backend
+  serial|multiprocessing|vectorized`` and ``--representation auto|...``;
 * ``rules``     — association rules on top of a mining run;
 * ``scalability`` — the paper pipeline: trace a miner, replay it on the
   simulated Blacklight across thread counts, print the table and chart;
@@ -27,22 +29,23 @@ from repro.analysis.tables import (
     render_runtime_table,
     render_speedup_series,
 )
-from repro.core import apriori, eclat, fpgrowth
+from repro.core import fpgrowth
 from repro.core.charm import charm
 from repro.datasets import available_datasets, get_dataset, read_fimi
 from repro.datasets.transaction_db import TransactionDatabase
-from repro.errors import ConfigurationError
+from repro.engine import available_backends, mine
+from repro.errors import ConfigurationError, ReproError
 from repro.machine.topology import standard_thread_counts
 from repro.obs import ChromeTraceSink, NullSink, ObsContext
 from repro.parallel import run_scalability_study, runtime_table, speedup_series
 from repro.rules import generate_rules
 
-_MINERS = {
-    "apriori": apriori,
-    "eclat": eclat,
-    "fpgrowth": lambda db, sup, _rep: fpgrowth(db, sup),
-    "charm": lambda db, sup, _rep: charm(db, sup),
-}
+#: Algorithms the ``mine`` subcommand accepts; all but charm (which is not
+#: registered with the engine) route through ``repro.mine()``.
+_MINE_ALGORITHMS = ("apriori", "eclat", "fpgrowth", "charm")
+_MINE_REPRESENTATIONS = (
+    "auto", "tidset", "bitvector", "bitvector_numpy", "diffset", "hybrid",
+)
 
 
 def _load_database(source: str) -> TransactionDatabase:
@@ -111,13 +114,22 @@ def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
 
 def cmd_mine(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
-    miner = _MINERS[args.algorithm]
     obs = _build_obs(args)
-    if obs is not None and args.algorithm in ("apriori", "eclat"):
-        # The vertical miners take an obs context; fpgrowth/charm do not.
-        result = miner(db, args.min_support, args.representation, obs=obs)
+    if args.algorithm == "charm":
+        # Closed-itemset miner; not an engine algorithm.
+        result = charm(db, args.min_support)
     else:
-        result = miner(db, args.min_support, args.representation)
+        try:
+            result = mine(
+                db,
+                algorithm=args.algorithm,
+                representation=args.representation,
+                backend=args.backend,
+                min_support=args.min_support,
+                obs=obs,
+            )
+        except ReproError as exc:
+            raise SystemExit(f"error: {exc}") from None
     print(result.summary())
     if args.top:
         ranked = sorted(
@@ -211,20 +223,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mine = sub.add_parser("mine", help="mine frequent (or closed) itemsets")
-    _add_common(mine)
-    mine.add_argument(
-        "-a", "--algorithm", choices=sorted(_MINERS), default="eclat"
+    mine_cmd = sub.add_parser("mine", help="mine frequent (or closed) itemsets")
+    _add_common(mine_cmd)
+    mine_cmd.add_argument(
+        "-a", "--algorithm", choices=sorted(_MINE_ALGORITHMS), default="eclat"
     )
-    mine.add_argument(
+    mine_cmd.add_argument(
         "-r", "--representation",
-        choices=["tidset", "bitvector", "diffset", "hybrid"],
-        default="tidset",
+        choices=list(_MINE_REPRESENTATIONS),
+        default="auto",
+        help="vertical format; 'auto' lets the engine pick per backend/data",
     )
-    mine.add_argument("-t", "--top", type=int, default=10,
-                      help="print the N most frequent itemsets")
-    _add_obs_flags(mine)
-    mine.set_defaults(func=cmd_mine)
+    mine_cmd.add_argument(
+        "-b", "--backend", choices=available_backends(), default="serial",
+        help="execution backend (see repro.engine.supported_combinations)",
+    )
+    mine_cmd.add_argument("-t", "--top", type=int, default=10,
+                          help="print the N most frequent itemsets")
+    _add_obs_flags(mine_cmd)
+    mine_cmd.set_defaults(func=cmd_mine)
 
     rules = sub.add_parser("rules", help="association rules (FP-growth)")
     _add_common(rules)
@@ -241,7 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scal.add_argument(
         "-r", "--representation",
-        choices=["tidset", "bitvector", "diffset"], default="diffset",
+        choices=["tidset", "bitvector", "bitvector_numpy", "diffset"],
+        default="diffset",
     )
     scal.add_argument("--max-threads", type=int, default=1024)
     _add_obs_flags(scal)
@@ -257,7 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument(
         "-r", "--representation",
-        choices=["tidset", "bitvector", "diffset"], default="diffset",
+        choices=["tidset", "bitvector", "bitvector_numpy", "diffset"],
+        default="diffset",
     )
     prof.add_argument("--max-threads", type=int, default=1024)
     prof.add_argument(

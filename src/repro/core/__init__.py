@@ -4,8 +4,8 @@ from repro.core.itemset import Itemset, canonical, is_subset, join, share_prefix
 from repro.core.result import MiningResult, from_mapping, resolve_min_support
 from repro.core.candidate_gen import CandidateJoin, generate_candidates
 from repro.core.level_table import Level, LevelTable
-from repro.core.apriori import AprioriRun, apriori, run_apriori
-from repro.core.eclat import EclatRun, eclat, run_eclat
+from repro.core.apriori import AprioriRun, apriori, execute_apriori, run_apriori
+from repro.core.eclat import EclatRun, eclat, execute_eclat, run_eclat
 from repro.core.fpgrowth import fpgrowth
 from repro.core.brute_force import brute_force
 from repro.core.apriori_horizontal import (
@@ -36,9 +36,11 @@ __all__ = [
     "LevelTable",
     "AprioriRun",
     "apriori",
+    "execute_apriori",
     "run_apriori",
     "EclatRun",
     "eclat",
+    "execute_eclat",
     "run_eclat",
     "fpgrowth",
     "brute_force",

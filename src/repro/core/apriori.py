@@ -14,6 +14,7 @@ because on the real machine they bound scalability via Amdahl's law.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
@@ -95,16 +96,22 @@ def _record_level_metrics(
         metrics.counter("mine.bytes_written").inc(cost_delta.bytes_written)
 
 
-def run_apriori(
+def execute_apriori(
     db: TransactionDatabase,
     min_support: float | int,
     representation: Representation | str = "tidset",
+    *,
     sink: AprioriSink | None = None,
     prune: bool = True,
     max_generations: int | None = None,
     obs: "ObsContext | None" = None,
 ) -> AprioriRun:
     """Execute Apriori and return the result plus its level table and trace.
+
+    This is the miner implementation the engine's serial backend runs;
+    prefer :func:`repro.mine` (results only) or :func:`repro.engine.execute`
+    (full run object) as entry points — they add validation and
+    representation resolution.
 
     Parameters
     ----------
@@ -236,11 +243,53 @@ def run_apriori(
     )
 
 
+def run_apriori(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    sink: AprioriSink | None = None,
+    prune: bool = True,
+    max_generations: int | None = None,
+    obs: "ObsContext | None" = None,
+) -> AprioriRun:
+    """Deprecated alias for :func:`repro.engine.execute` (full run object).
+
+    Kept for backwards compatibility; forwards to the engine and returns the
+    identical :class:`AprioriRun`.
+    """
+    warnings.warn(
+        "run_apriori() is deprecated; use repro.engine.execute(db, "
+        "algorithm='apriori', min_support=..., ...) or repro.mine() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import execute
+
+    return execute(
+        db,
+        algorithm="apriori",
+        min_support=min_support,
+        representation=representation,
+        sink=sink,
+        prune=prune,
+        max_generations=max_generations,
+        obs=obs,
+    )
+
+
 def apriori(
     db: TransactionDatabase,
     min_support: float | int,
     representation: Representation | str = "tidset",
     **kwargs,
 ) -> MiningResult:
-    """Frequent itemsets via Apriori (thin wrapper over :func:`run_apriori`)."""
-    return run_apriori(db, min_support, representation, **kwargs).result
+    """Frequent itemsets via Apriori (engine-routed convenience wrapper)."""
+    from repro.engine import execute
+
+    return execute(
+        db,
+        algorithm="apriori",
+        min_support=min_support,
+        representation=representation,
+        **kwargs,
+    ).result

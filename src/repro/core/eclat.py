@@ -27,6 +27,7 @@ itemsets.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol
 
@@ -181,15 +182,21 @@ def _mine_class(state: _State, class_members: list[_Member], depth: int) -> None
                 )
 
 
-def run_eclat(
+def execute_eclat(
     db: TransactionDatabase,
     min_support: float | int,
     representation: Representation | str = "tidset",
+    *,
     sink: EclatSink | None = None,
     item_order: str = "support",
     obs: "ObsContext | None" = None,
 ) -> EclatRun:
     """Execute Eclat and return the result plus its cost trace.
+
+    This is the miner implementation the engine's serial backend runs;
+    prefer :func:`repro.mine` (results only) or :func:`repro.engine.execute`
+    (full run object) as entry points — they add validation and
+    representation resolution.
 
     Parameters
     ----------
@@ -254,11 +261,51 @@ def run_eclat(
     )
 
 
+def run_eclat(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    sink: EclatSink | None = None,
+    item_order: str = "support",
+    obs: "ObsContext | None" = None,
+) -> EclatRun:
+    """Deprecated alias for :func:`repro.engine.execute` (full run object).
+
+    Kept for backwards compatibility; forwards to the engine and returns the
+    identical :class:`EclatRun`.
+    """
+    warnings.warn(
+        "run_eclat() is deprecated; use repro.engine.execute(db, "
+        "algorithm='eclat', min_support=..., ...) or repro.mine() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import execute
+
+    return execute(
+        db,
+        algorithm="eclat",
+        min_support=min_support,
+        representation=representation,
+        sink=sink,
+        item_order=item_order,
+        obs=obs,
+    )
+
+
 def eclat(
     db: TransactionDatabase,
     min_support: float | int,
     representation: Representation | str = "tidset",
     **kwargs,
 ) -> MiningResult:
-    """Frequent itemsets via Eclat (thin wrapper over :func:`run_eclat`)."""
-    return run_eclat(db, min_support, representation, **kwargs).result
+    """Frequent itemsets via Eclat (engine-routed convenience wrapper)."""
+    from repro.engine import execute
+
+    return execute(
+        db,
+        algorithm="eclat",
+        min_support=min_support,
+        representation=representation,
+        **kwargs,
+    ).result

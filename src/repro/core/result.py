@@ -55,6 +55,10 @@ class MiningResult:
     itemsets:
         Mapping from canonical itemset tuple to absolute support.  The empty
         itemset is never included.
+    backend:
+        Which execution backend produced the result ("serial",
+        "multiprocessing", "vectorized", ...).  The engine normalizes this;
+        results built directly by a miner default to "serial".
     """
 
     dataset: str
@@ -63,6 +67,7 @@ class MiningResult:
     min_support: int
     n_transactions: int
     itemsets: dict[Itemset, int] = field(default_factory=dict)
+    backend: str = "serial"
 
     def __len__(self) -> int:
         return len(self.itemsets)

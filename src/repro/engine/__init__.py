@@ -1,0 +1,46 @@
+"""The unified mining execution engine.
+
+``repro.mine()`` (re-exported from here) is the single documented entry
+point for frequent itemset mining: it resolves an algorithm, a vertical
+representation, and an execution backend against the registry in
+:mod:`repro.engine.registry`, validates everything with typed
+:mod:`repro.errors` exceptions, threads the optional
+:class:`~repro.obs.ObsContext` through, and normalizes whatever the backend
+produced into one :class:`~repro.core.result.MiningResult` shape.
+
+Built-in backends:
+
+========================  =====================================================
+``serial``                apriori / eclat / fpgrowth on the calling thread
+``multiprocessing``       eclat over a process pool (top-level prefix tasks)
+``vectorized``            apriori / eclat on whole-generation NumPy
+                          packed-bitvector kernels
+========================  =====================================================
+
+New backends register through :func:`register_backend` instead of adding
+another ad-hoc ``run_*`` function.
+"""
+
+from repro.engine.api import execute, mine
+from repro.engine.registry import (
+    BackendEntry,
+    available_algorithms,
+    available_backends,
+    get_backend_entry,
+    register_backend,
+    supported_combinations,
+)
+from repro.engine.vectorized import apriori_vectorized, eclat_vectorized
+
+__all__ = [
+    "mine",
+    "execute",
+    "BackendEntry",
+    "register_backend",
+    "get_backend_entry",
+    "available_backends",
+    "available_algorithms",
+    "supported_combinations",
+    "apriori_vectorized",
+    "eclat_vectorized",
+]

@@ -1,0 +1,314 @@
+"""The unified mining facade: ``repro.mine()`` and ``repro.engine.execute()``.
+
+One entry point covers every algorithm × representation × backend
+combination the registry knows::
+
+    result = repro.mine(db, algorithm="eclat", representation="bitvector_numpy",
+                        backend="vectorized", min_support=0.4)
+
+The engine owns, in order:
+
+1. **validation** — algorithm/backend resolution against the registry,
+   ``min_support`` resolution to an absolute count, option checking — all
+   failures raised as :mod:`repro.errors` types, never bare ``ValueError`` /
+   ``KeyError``;
+2. **representation selection** — ``representation="auto"`` picks a format
+   from the backend's preference (vectorized → packed bitvectors) or, for
+   the general backends, from database density (dense → diffset, the
+   paper's winner; sparse → tidset); explicit incompatible choices raise
+   :class:`~repro.errors.UnsupportedCombinationError`;
+3. **observability threading** — an optional :class:`repro.obs.ObsContext`
+   is passed through to instrumented runners and always gets one
+   engine-level wall-clock span plus a run counter;
+4. **result normalization** — every backend's output is stamped with the
+   canonical ``algorithm`` / ``backend`` names and the resolved absolute
+   ``min_support``, so downstream code sees one shape regardless of which
+   runner produced it.
+
+All parameters after ``db`` are keyword-only; this is the naming contract
+(``min_support``, ``obs``) the rest of the codebase converged on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.apriori import AprioriRun, execute_apriori
+from repro.core.eclat import EclatRun, execute_eclat
+from repro.core.fpgrowth import fpgrowth as _fpgrowth
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.engine.registry import (
+    BackendEntry,
+    check_representation,
+    get_backend_entry,
+    register_backend,
+)
+from repro.engine.vectorized import apriori_vectorized, eclat_vectorized
+from repro.errors import ConfigurationError
+from repro.representations import REPRESENTATIONS, Representation, get_representation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
+
+#: Density (mean transaction length / item count) above which ``auto``
+#: prefers the diffset encoding, mirroring the paper's dense-data findings.
+AUTO_DENSE_THRESHOLD = 0.25
+
+
+def _database_density(db: TransactionDatabase) -> float:
+    if db.n_transactions == 0 or db.n_items == 0:
+        return 0.0
+    avg_len = sum(t.size for t in db) / db.n_transactions
+    return avg_len / db.n_items
+
+
+def _auto_representation(entry: BackendEntry, db: TransactionDatabase) -> str:
+    """The engine's representation choice when the caller says ``auto``."""
+    if entry.preferred_representation is not None:
+        return entry.preferred_representation
+    if entry.representations is not None:
+        return sorted(entry.representations)[0]
+    dense = _database_density(db) >= AUTO_DENSE_THRESHOLD
+    return "diffset" if dense else "tidset"
+
+
+def _resolve_representation(
+    representation: Representation | str,
+    entry: BackendEntry,
+    db: TransactionDatabase,
+) -> str:
+    if isinstance(representation, Representation):
+        name = representation.name
+    else:
+        name = representation
+    if name == "auto":
+        return _auto_representation(entry, db)
+    if entry.representations is None and name not in REPRESENTATIONS:
+        raise ConfigurationError(
+            f"unknown representation {name!r}; choose from "
+            f"{sorted(REPRESENTATIONS)} or 'auto'"
+        )
+    check_representation(entry, name)
+    return name
+
+
+def _check_options(entry: BackendEntry, options: dict) -> None:
+    unknown = set(options) - set(entry.options)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown option(s) {sorted(unknown)} for backend "
+            f"{entry.backend!r} / algorithm {entry.algorithm!r}; supported "
+            f"options: {sorted(entry.options)}"
+        )
+
+
+def mine(
+    db: TransactionDatabase,
+    *,
+    algorithm: str = "eclat",
+    representation: Representation | str = "auto",
+    backend: str = "serial",
+    min_support: float | int,
+    obs: "ObsContext | None" = None,
+    **options,
+) -> MiningResult:
+    """Mine frequent itemsets — the one documented entry point.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    algorithm:
+        ``"apriori"``, ``"eclat"``, or ``"fpgrowth"`` (serial only).
+    representation:
+        A registered vertical format name (``tidset``, ``bitvector``,
+        ``bitvector_numpy``, ``diffset``, ``hybrid``), a
+        :class:`Representation` instance, or ``"auto"`` to let the engine
+        pick one for the database and backend.
+    backend:
+        ``"serial"``, ``"multiprocessing"``, or ``"vectorized"`` (see
+        :func:`repro.engine.supported_combinations`).
+    min_support:
+        Relative (float in (0, 1]) or absolute (int >= 1) threshold.
+    obs:
+        Optional :class:`repro.obs.ObsContext`; threaded through to
+        instrumented runners, and the engine always records one
+        ``engine.mine`` span and run counter.
+    options:
+        Backend-specific extras (e.g. ``n_workers`` for multiprocessing,
+        ``prune`` / ``max_generations`` for Apriori, ``item_order`` for
+        Eclat).  Unknown options raise
+        :class:`~repro.errors.ConfigurationError`.
+
+    Raises
+    ------
+    repro.errors.UnsupportedCombinationError
+        If the algorithm × representation × backend combination is not
+        registered.
+    repro.errors.ConfigurationError
+        For invalid thresholds, unknown representations, or unknown
+        options.
+    """
+    entry = get_backend_entry(backend, algorithm)
+    rep_name = _resolve_representation(representation, entry, db)
+    min_sup = resolve_min_support(db, min_support)
+    _check_options(entry, options)
+
+    wall_start = time.perf_counter() if obs is not None else 0.0
+    result = entry.runner(db, rep_name, min_sup, obs=obs, **options)
+
+    # Normalize: one result shape no matter which runner produced it.
+    result.dataset = db.name
+    result.algorithm = algorithm
+    result.backend = backend
+    result.min_support = min_sup
+    result.n_transactions = db.n_transactions
+    if not result.representation:
+        result.representation = rep_name
+
+    if obs is not None:
+        obs.metrics.counter(
+            f"engine.{backend}.{algorithm}.{result.representation}"
+        ).inc()
+        obs.sink.wall_event(
+            "engine.mine", wall_start, cat="engine",
+            args={
+                "algorithm": algorithm,
+                "representation": result.representation,
+                "backend": backend,
+                "itemsets": len(result),
+            },
+        )
+    return result
+
+
+def execute(
+    db: TransactionDatabase,
+    *,
+    algorithm: str,
+    min_support: float | int,
+    representation: Representation | str = "tidset",
+    sink=None,
+    obs: "ObsContext | None" = None,
+    prune: bool = True,
+    max_generations: int | None = None,
+    item_order: str = "support",
+) -> AprioriRun | EclatRun:
+    """Run a serial miner and return its *full* run object (trace included).
+
+    :func:`mine` returns normalized results; the simulator pipeline needs
+    the level tables / cost traces too, so it calls this instead.  Only the
+    two traced vertical miners support it.
+    """
+    if algorithm == "apriori":
+        return execute_apriori(
+            db,
+            min_support,
+            representation,
+            sink=sink,
+            prune=prune,
+            max_generations=max_generations,
+            obs=obs,
+        )
+    if algorithm == "eclat":
+        return execute_eclat(
+            db,
+            min_support,
+            representation,
+            sink=sink,
+            item_order=item_order,
+            obs=obs,
+        )
+    raise ConfigurationError(
+        f"execute() supports the traced serial miners 'apriori' and "
+        f"'eclat', got {algorithm!r}; use repro.mine() for everything else"
+    )
+
+
+# --- default backend registrations -----------------------------------------
+
+
+def _serial_apriori(db, rep_name, min_sup, *, obs=None, sink=None, prune=True,
+                    max_generations=None):
+    return execute_apriori(
+        db, min_sup, get_representation(rep_name), sink=sink, prune=prune,
+        max_generations=max_generations, obs=obs,
+    ).result
+
+
+def _serial_eclat(db, rep_name, min_sup, *, obs=None, sink=None,
+                  item_order="support"):
+    return execute_eclat(
+        db, min_sup, get_representation(rep_name), sink=sink,
+        item_order=item_order, obs=obs,
+    ).result
+
+
+def _serial_fpgrowth(db, rep_name, min_sup, *, obs=None):
+    return _fpgrowth(db, min_sup)
+
+
+def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
+                           item_order="support"):
+    # Imported lazily: repro.backends must stay importable without the
+    # engine (its legacy shims import the engine lazily in the other
+    # direction).
+    from repro.backends.multiprocessing_backend import run_eclat_multiprocessing
+
+    return run_eclat_multiprocessing(
+        db, min_sup, rep_name, n_workers=n_workers, item_order=item_order,
+    )
+
+
+def _vectorized_apriori(db, rep_name, min_sup, *, obs=None, prune=True,
+                        max_generations=None):
+    return apriori_vectorized(
+        db, min_sup, prune=prune, max_generations=max_generations, obs=obs,
+    )
+
+
+def _vectorized_eclat(db, rep_name, min_sup, *, obs=None, item_order="support"):
+    return eclat_vectorized(db, min_sup, item_order=item_order, obs=obs)
+
+
+def _register_defaults() -> None:
+    register_backend(
+        "serial", "apriori", _serial_apriori,
+        options=("sink", "prune", "max_generations"),
+        description="level-wise Apriori on the calling thread",
+    )
+    register_backend(
+        "serial", "eclat", _serial_eclat,
+        options=("sink", "item_order"),
+        description="depth-first Eclat on the calling thread",
+    )
+    register_backend(
+        "serial", "fpgrowth", _serial_fpgrowth,
+        representations=("fptree",),
+        preferred_representation="fptree",
+        description="FP-growth (pattern-tree, no vertical format)",
+    )
+    register_backend(
+        "multiprocessing", "eclat", _multiprocessing_eclat,
+        options=("n_workers", "item_order"),
+        description="process-pool Eclat over top-level prefix classes",
+    )
+    register_backend(
+        "vectorized", "apriori", _vectorized_apriori,
+        options=("prune", "max_generations"),
+        representations=("bitvector_numpy", "bitvector"),
+        preferred_representation="bitvector_numpy",
+        description="whole-generation NumPy bitvector kernels",
+    )
+    register_backend(
+        "vectorized", "eclat", _vectorized_eclat,
+        options=("item_order",),
+        representations=("bitvector_numpy", "bitvector"),
+        preferred_representation="bitvector_numpy",
+        description="broadcast-AND NumPy class kernels",
+    )
+
+
+_register_defaults()

@@ -1,0 +1,134 @@
+"""Backend registry: the algorithm × backend execution matrix.
+
+Every execution backend registers one :class:`BackendEntry` per mining
+algorithm it implements.  :func:`repro.mine` resolves ``(backend,
+algorithm)`` here and raises
+:class:`~repro.errors.UnsupportedCombinationError` — whose message lists
+every registered combination — when the pair does not exist.  New backends
+(sharded, async, distributed, ...) plug in through
+:func:`register_backend` instead of growing another ad-hoc entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.result import MiningResult
+from repro.errors import UnsupportedCombinationError
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """One executable (backend, algorithm) combination.
+
+    Attributes
+    ----------
+    backend / algorithm:
+        Registry key.
+    runner:
+        ``runner(db, representation_name, min_sup, *, obs=None, **options)``
+        returning a :class:`MiningResult`.  ``min_sup`` is already resolved
+        to an absolute count and ``representation_name`` to a registered
+        name — the engine owns that validation.
+    options:
+        Keyword options the runner accepts beyond the core parameters;
+        anything else passed to :func:`repro.mine` is a typed error.
+    representations:
+        Representation names this combination can execute, or ``None`` for
+        every registered vertical representation.
+    preferred_representation:
+        What ``representation="auto"`` resolves to on this entry, or
+        ``None`` to let the engine's density heuristic decide.
+    description:
+        One line for error messages and docs.
+    """
+
+    backend: str
+    algorithm: str
+    runner: Callable[..., MiningResult]
+    options: frozenset[str] = frozenset()
+    representations: frozenset[str] | None = None
+    preferred_representation: str | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[tuple[str, str], BackendEntry] = {}
+
+
+def register_backend(
+    backend: str,
+    algorithm: str,
+    runner: Callable[..., MiningResult],
+    *,
+    options: Iterable[str] = (),
+    representations: Iterable[str] | None = None,
+    preferred_representation: str | None = None,
+    description: str = "",
+) -> BackendEntry:
+    """Register (or overwrite) one backend × algorithm combination."""
+    entry = BackendEntry(
+        backend=backend,
+        algorithm=algorithm,
+        runner=runner,
+        options=frozenset(options),
+        representations=(
+            frozenset(representations) if representations is not None else None
+        ),
+        preferred_representation=preferred_representation,
+        description=description,
+    )
+    _REGISTRY[(backend, algorithm)] = entry
+    return entry
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted({backend for backend, _ in _REGISTRY})
+
+
+def available_algorithms(backend: str | None = None) -> list[str]:
+    """Sorted algorithm names, optionally restricted to one backend."""
+    return sorted(
+        {
+            algorithm
+            for bend, algorithm in _REGISTRY
+            if backend is None or bend == backend
+        }
+    )
+
+
+def supported_combinations() -> list[tuple[str, str]]:
+    """Every registered (backend, algorithm) pair, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _matrix_summary() -> str:
+    return ", ".join(f"{b}:{a}" for b, a in supported_combinations())
+
+
+def get_backend_entry(backend: str, algorithm: str) -> BackendEntry:
+    """Resolve one combination or raise a typed, self-documenting error."""
+    entry = _REGISTRY.get((backend, algorithm))
+    if entry is not None:
+        return entry
+    if backend not in available_backends():
+        raise UnsupportedCombinationError(
+            f"unknown backend {backend!r}; available backends: "
+            f"{available_backends()}"
+        )
+    raise UnsupportedCombinationError(
+        f"algorithm {algorithm!r} is not implemented on backend {backend!r} "
+        f"(it supports: {available_algorithms(backend)}); registered "
+        f"combinations: {_matrix_summary()}"
+    )
+
+
+def check_representation(entry: BackendEntry, representation: str) -> None:
+    """Raise when the resolved representation cannot run on this entry."""
+    if entry.representations is not None and representation not in entry.representations:
+        raise UnsupportedCombinationError(
+            f"representation {representation!r} is not supported by "
+            f"backend {entry.backend!r} / algorithm {entry.algorithm!r}; "
+            f"supported representations: {sorted(entry.representations)}"
+        )

@@ -16,6 +16,16 @@ class ConfigurationError(ReproError):
     """An invalid parameter or inconsistent combination of parameters."""
 
 
+class UnsupportedCombinationError(ConfigurationError):
+    """A valid-looking algorithm × representation × backend combination that
+    this build does not implement (e.g. Apriori on the multiprocessing
+    backend, or a tidset on the vectorized backend).
+
+    The message always names the supported alternatives, so the error doubles
+    as documentation of the execution matrix.
+    """
+
+
 class DatasetError(ReproError):
     """A transaction database is malformed or cannot be parsed."""
 

@@ -13,9 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.apriori import run_apriori
-from repro.core.eclat import run_eclat
 from repro.core.result import MiningResult
+from repro.engine import execute
 from repro.datasets.transaction_db import TransactionDatabase
 from repro.errors import ConfigurationError
 from repro.machine.blacklight import BLACKLIGHT, MachineSpec
@@ -121,7 +120,10 @@ def run_scalability_study(
     wall_start = time.perf_counter()
     if algorithm == "apriori":
         sink = AprioriTrace()
-        run = run_apriori(db, min_support, rep, sink=sink, obs=obs)
+        run = execute(
+            db, algorithm="apriori", min_support=min_support,
+            representation=rep, sink=sink, obs=obs,
+        )
         sched = schedule if schedule is not None else APRIORI_SCHEDULE
         trace = sink
         wall_mined = time.perf_counter()
@@ -131,7 +133,10 @@ def run_scalability_study(
         )
     else:
         esink = EclatTrace()
-        run = run_eclat(db, min_support, rep, sink=esink, obs=obs)
+        run = execute(
+            db, algorithm="eclat", min_support=min_support,
+            representation=rep, sink=esink, obs=obs,
+        )
         sched = schedule if schedule is not None else ECLAT_SCHEDULE
         trace = esink.finalize()
         wall_mined = time.perf_counter()

@@ -16,6 +16,16 @@ from repro.representations.bitvector import (
     tids_to_bits,
     words_for,
 )
+from repro.representations.bitvector_numpy import (
+    NumpyBitvectorRepresentation,
+    intersect_block,
+    intersect_pairs,
+    pack_database,
+    pack_tids,
+    popcount_bytes,
+    popcount_rows,
+    unpack_tids,
+)
 from repro.representations.diffset import DiffsetRepresentation, setdiff_sorted
 from repro.representations.hybrid import HybridRepresentation, HybridVertical
 from repro.representations.horizontal import HorizontalCounter, HorizontalCountResult
@@ -25,6 +35,7 @@ from repro.representations import convert, memory
 REPRESENTATIONS: dict[str, type[Representation]] = {
     "tidset": TidsetRepresentation,
     "bitvector": BitvectorRepresentation,
+    "bitvector_numpy": NumpyBitvectorRepresentation,
     "diffset": DiffsetRepresentation,
     "hybrid": HybridRepresentation,
 }
@@ -49,6 +60,7 @@ __all__ = [
     "BYTES_PER_WORD",
     "TidsetRepresentation",
     "BitvectorRepresentation",
+    "NumpyBitvectorRepresentation",
     "DiffsetRepresentation",
     "HybridRepresentation",
     "HybridVertical",
@@ -60,6 +72,13 @@ __all__ = [
     "bits_to_tids",
     "popcount",
     "words_for",
+    "pack_tids",
+    "unpack_tids",
+    "pack_database",
+    "popcount_bytes",
+    "popcount_rows",
+    "intersect_block",
+    "intersect_pairs",
     "convert",
     "memory",
     "REPRESENTATIONS",

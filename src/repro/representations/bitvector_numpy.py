@@ -1,0 +1,141 @@
+"""NumPy-packed vertical bitvector kernels (the vectorized substrate).
+
+The classic :mod:`repro.representations.bitvector` stores one ``uint64``
+word array per candidate and combines candidates one pair at a time.  This
+module is the throughput-oriented sibling: transaction masks are packed
+eight-per-byte with :func:`np.packbits` (``bitorder="little"``), support
+counting is a byte-wise ``bitwise_and`` followed by a popcount through a
+256-entry lookup table, and — crucially — whole *blocks* of candidates can
+be combined in one NumPy call.  That block form is what the ``vectorized``
+execution backend uses: Apriori counts an entire candidate generation with
+one ``L & R`` over two stacked matrices, and Eclat intersects one class
+member against every later sibling in a single broadcast AND.
+
+The per-pair :class:`NumpyBitvectorRepresentation` keeps the standard
+:class:`~repro.representations.base.Representation` contract so the packed
+format also drops into the serial and multiprocessing backends unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.representations.base import (
+    OpCost,
+    Representation,
+    Vertical,
+    check_same_universe,
+)
+
+PACKED_DTYPE = np.uint8
+#: Bits covered by one payload element (one packed byte).
+PACKED_BITS = 8
+
+#: Popcount lookup: POPCOUNT8[b] is the number of set bits in byte b.
+POPCOUNT8 = np.array([bin(b).count("1") for b in range(256)], dtype=np.uint16)
+
+
+def bytes_for(n_transactions: int) -> int:
+    """Number of packed bytes needed to cover ``n_transactions`` bits."""
+    return (n_transactions + PACKED_BITS - 1) // PACKED_BITS
+
+
+def pack_tids(tids: np.ndarray, n_transactions: int) -> np.ndarray:
+    """Pack a sorted tid array into a little-endian uint8 bitmask."""
+    mask = np.zeros(n_transactions, dtype=np.uint8)
+    if tids.size:
+        mask[tids] = 1
+    return np.packbits(mask, bitorder="little")
+
+
+def unpack_tids(packed: np.ndarray, n_transactions: int) -> np.ndarray:
+    """Unpack a byte bitmask back into a sorted int32 tid array."""
+    if packed.size == 0:
+        return np.empty(0, dtype=np.int32)
+    bits = np.unpackbits(packed, count=n_transactions, bitorder="little")
+    return np.nonzero(bits)[0].astype(np.int32)
+
+
+def popcount_bytes(packed: np.ndarray) -> int:
+    """Total set bits of one packed mask (popcount via table lookup)."""
+    if packed.size == 0:
+        return 0
+    return int(POPCOUNT8[packed].sum())
+
+
+def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    """Per-row popcounts of a 2-D packed matrix, as int64."""
+    if matrix.size == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    return POPCOUNT8[matrix].sum(axis=1, dtype=np.int64)
+
+
+def pack_database(db: TransactionDatabase) -> np.ndarray:
+    """One packed row per item: the whole database as an n_items × n_bytes
+    bit matrix (the vectorized backends' generation-1 operand)."""
+    n = db.n_transactions
+    mask = np.zeros((db.n_items, max(n, 0)), dtype=np.uint8)
+    for item, tids in enumerate(db.tidlists()):
+        if tids.size:
+            mask[item, tids] = 1
+    if db.n_items == 0:
+        return np.zeros((0, bytes_for(n)), dtype=PACKED_DTYPE)
+    return np.packbits(mask, axis=1, bitorder="little")
+
+
+def intersect_block(left: np.ndarray, rights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """AND one packed row against a block of packed rows.
+
+    Returns ``(children, supports)`` where ``children[j] = left & rights[j]``
+    and ``supports[j]`` is its popcount.  This is the Eclat class kernel:
+    one call covers every join of a class member with its later siblings.
+    """
+    children = np.bitwise_and(rights, left)
+    return children, popcount_rows(children)
+
+
+def intersect_pairs(lefts: np.ndarray, rights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise AND of two equally-shaped packed matrices.
+
+    This is the Apriori generation kernel: stack every candidate's two
+    parents into ``lefts`` / ``rights`` and count the whole generation's
+    supports with one ``bitwise_and`` plus one table-lookup popcount.
+    """
+    children = np.bitwise_and(lefts, rights)
+    return children, popcount_rows(children)
+
+
+class NumpyBitvectorRepresentation(Representation):
+    """Packed uint8 bitmasks with lookup-table popcount support counting."""
+
+    name = "bitvector_numpy"
+
+    def build_singletons(
+        self, db: TransactionDatabase, min_support: int = 0
+    ) -> list[Vertical]:
+        empty = np.empty(0, dtype=PACKED_DTYPE)
+        n = db.n_transactions
+        singletons = []
+        for tids in db.tidlists():
+            support = int(tids.size)
+            payload = pack_tids(tids, n) if support >= min_support else empty
+            singletons.append(Vertical(payload=payload, support=support))
+        return singletons
+
+    def combine(self, left: Vertical, right: Vertical) -> tuple[Vertical, OpCost]:
+        a, b = left.payload, right.payload
+        check_same_universe(a, b, "bitvector_numpy")
+        out = a & b
+        support = popcount_bytes(out)
+        n_bytes = int(a.size)
+        cost = OpCost(
+            # One AND plus one popcount lookup per byte lane.
+            cpu_ops=2 * n_bytes,
+            bytes_read=2 * n_bytes,
+            bytes_written=n_bytes,
+        )
+        return Vertical(payload=out, support=support), cost
+
+    def payload_bytes(self, vertical: Vertical) -> int:
+        return int(vertical.payload.size)

@@ -1,0 +1,115 @@
+"""Unit tests for the NumPy-packed bitvector kernels."""
+
+import numpy as np
+import pytest
+
+from repro.representations import get_representation
+from repro.representations.bitvector import popcount, tids_to_bits
+from repro.representations.bitvector_numpy import (
+    POPCOUNT8,
+    bytes_for,
+    intersect_block,
+    intersect_pairs,
+    pack_database,
+    pack_tids,
+    popcount_bytes,
+    popcount_rows,
+    unpack_tids,
+)
+
+
+class TestPackingKernels:
+    def test_popcount_table_is_exact(self):
+        assert POPCOUNT8.shape == (256,)
+        for byte in (0, 1, 2, 3, 0x0F, 0x80, 0xAA, 0xFF):
+            assert POPCOUNT8[byte] == bin(byte).count("1")
+
+    def test_bytes_for(self):
+        assert bytes_for(0) == 0
+        assert bytes_for(1) == 1
+        assert bytes_for(8) == 1
+        assert bytes_for(9) == 2
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 100])
+    def test_pack_unpack_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        tids = np.sort(rng.choice(n, size=max(1, n // 3), replace=False))
+        tids = tids.astype(np.int32)
+        packed = pack_tids(tids, n)
+        assert packed.dtype == np.uint8
+        assert packed.size == bytes_for(n)
+        np.testing.assert_array_equal(unpack_tids(packed, n), tids)
+        assert popcount_bytes(packed) == tids.size
+
+    def test_popcount_matches_word_bitvector(self):
+        tids = np.array([0, 3, 17, 63, 64, 100], dtype=np.int32)
+        packed = pack_tids(tids, 128)
+        words = tids_to_bits(tids, 128)
+        assert popcount_bytes(packed) == popcount(words) == 6
+
+    def test_empty_mask(self):
+        empty = np.empty(0, dtype=np.uint8)
+        assert popcount_bytes(empty) == 0
+        assert unpack_tids(empty, 0).size == 0
+
+    def test_pack_database_rows_are_item_tidlists(self, tiny_db):
+        matrix = pack_database(tiny_db)
+        assert matrix.shape[0] == tiny_db.n_items
+        for item, tids in enumerate(tiny_db.tidlists()):
+            np.testing.assert_array_equal(
+                unpack_tids(matrix[item], tiny_db.n_transactions), tids
+            )
+
+    def test_popcount_rows(self):
+        matrix = np.array([[0xFF, 0x01], [0x00, 0x00], [0x0F, 0xF0]], np.uint8)
+        np.testing.assert_array_equal(popcount_rows(matrix), [9, 0, 8])
+
+
+class TestBlockKernels:
+    def test_intersect_block_matches_pairwise(self, small_dense_db):
+        matrix = pack_database(small_dense_db)
+        children, supports = intersect_block(matrix[0], matrix[1:])
+        for j in range(1, matrix.shape[0]):
+            expected = matrix[0] & matrix[j]
+            np.testing.assert_array_equal(children[j - 1], expected)
+            assert supports[j - 1] == popcount_bytes(expected)
+
+    def test_intersect_pairs_matches_pairwise(self, small_dense_db):
+        matrix = pack_database(small_dense_db)
+        lefts = matrix[:-1]
+        rights = matrix[1:]
+        children, supports = intersect_pairs(lefts, rights)
+        assert children.shape == lefts.shape
+        np.testing.assert_array_equal(supports, popcount_rows(lefts & rights))
+
+
+class TestRepresentationContract:
+    def test_registered(self):
+        rep = get_representation("bitvector_numpy")
+        assert rep.name == "bitvector_numpy"
+
+    def test_combine_matches_tidset(self, paper_db):
+        packed = get_representation("bitvector_numpy")
+        tidset = get_representation("tidset")
+        p_single = packed.build_singletons(paper_db)
+        t_single = tidset.build_singletons(paper_db)
+        for i in range(paper_db.n_items):
+            for j in range(i + 1, paper_db.n_items):
+                pv, p_cost = packed.combine(p_single[i], p_single[j])
+                tv, _ = tidset.combine(t_single[i], t_single[j])
+                assert pv.support == tv.support
+                np.testing.assert_array_equal(
+                    unpack_tids(pv.payload, paper_db.n_transactions), tv.payload
+                )
+                assert p_cost.cpu_ops > 0
+
+    def test_min_support_skips_payloads(self, tiny_db):
+        rep = get_representation("bitvector_numpy")
+        singletons = rep.build_singletons(tiny_db, min_support=100)
+        assert all(v.payload.size == 0 for v in singletons)
+        assert any(v.support > 0 for v in singletons)
+
+    def test_payload_bytes(self, tiny_db):
+        rep = get_representation("bitvector_numpy")
+        (first, *_rest) = rep.build_singletons(tiny_db)
+        assert rep.payload_bytes(first) == bytes_for(tiny_db.n_transactions)

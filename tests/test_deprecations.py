@@ -1,0 +1,101 @@
+"""The pre-engine entry points still work — as warning-emitting shims.
+
+Each legacy function must (a) emit ``DeprecationWarning`` and (b) return
+results identical to the engine path it forwards to.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.backends import eclat_multiprocessing, mine_serial
+from repro.core import run_apriori, run_eclat
+
+
+def _engine_reference(db, algorithm, representation, min_support):
+    return repro.mine(
+        db, algorithm=algorithm, representation=representation,
+        backend="serial", min_support=min_support,
+    )
+
+
+class TestRunAprioriShim:
+    def test_warns(self, tiny_db):
+        with pytest.warns(DeprecationWarning, match="run_apriori"):
+            run_apriori(tiny_db, 2, "tidset")
+
+    def test_identical_results(self, tiny_db):
+        with pytest.warns(DeprecationWarning):
+            run = run_apriori(tiny_db, 2, "tidset")
+        expected = _engine_reference(tiny_db, "apriori", "tidset", 2)
+        assert run.result.itemsets == expected.itemsets
+        # The full run object survives the shim (table + trace included).
+        assert run.n_generations >= 1
+        assert run.total_cost.cpu_ops > 0
+
+    def test_options_forwarded(self, tiny_db):
+        with pytest.warns(DeprecationWarning):
+            capped = run_apriori(tiny_db, 2, "tidset", max_generations=1)
+        assert capped.n_generations == 1
+
+
+class TestRunEclatShim:
+    def test_warns(self, tiny_db):
+        with pytest.warns(DeprecationWarning, match="run_eclat"):
+            run_eclat(tiny_db, 2, "diffset")
+
+    def test_identical_results(self, tiny_db):
+        with pytest.warns(DeprecationWarning):
+            run = run_eclat(tiny_db, 2, "diffset")
+        expected = _engine_reference(tiny_db, "eclat", "diffset", 2)
+        assert run.result.itemsets == expected.itemsets
+        assert run.n_toplevel_tasks >= 1
+
+
+class TestMineSerialShim:
+    def test_warns(self, tiny_db):
+        with pytest.warns(DeprecationWarning, match="mine_serial"):
+            mine_serial(tiny_db, 2, "eclat", "tidset")
+
+    @pytest.mark.parametrize("algorithm", ["apriori", "eclat"])
+    def test_identical_results(self, tiny_db, algorithm):
+        with pytest.warns(DeprecationWarning):
+            result = mine_serial(tiny_db, 2, algorithm, "tidset")
+        expected = _engine_reference(tiny_db, algorithm, "tidset", 2)
+        assert result.itemsets == expected.itemsets
+        assert result.backend == "serial"
+
+
+class TestEclatMultiprocessingShim:
+    def test_warns(self, tiny_db):
+        with pytest.warns(DeprecationWarning, match="eclat_multiprocessing"):
+            eclat_multiprocessing(tiny_db, 2, "tidset", n_workers=1)
+
+    def test_identical_results(self, tiny_db):
+        with pytest.warns(DeprecationWarning):
+            result = eclat_multiprocessing(tiny_db, 2, "tidset", n_workers=1)
+        expected = _engine_reference(tiny_db, "eclat", "tidset", 2)
+        assert result.itemsets == expected.itemsets
+        assert result.backend == "multiprocessing"
+
+
+class TestNewPathsDoNotWarn:
+    def test_mine_and_wrappers_are_clean(self, tiny_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.mine(tiny_db, min_support=2)
+            repro.apriori(tiny_db, 2, "tidset")
+            repro.eclat(tiny_db, 2, "diffset")
+            repro.engine.execute(
+                tiny_db, algorithm="eclat", min_support=2,
+            )
+
+    def test_scalability_pipeline_is_clean(self, tiny_db):
+        from repro.parallel import run_scalability_study
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_scalability_study(
+                tiny_db, "eclat", "tidset", 2, thread_counts=[1, 2],
+            )

@@ -1,0 +1,190 @@
+"""Behavior of the ``repro.mine()`` facade and the backend registry."""
+
+import pytest
+
+import repro
+from repro.core.result import MiningResult
+from repro.engine import (
+    available_algorithms,
+    available_backends,
+    execute,
+    get_backend_entry,
+    register_backend,
+)
+from repro.engine.api import AUTO_DENSE_THRESHOLD, _database_density
+from repro.engine.registry import _REGISTRY
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    UnsupportedCombinationError,
+)
+from repro.obs import InMemorySink, ObsContext
+
+
+class TestValidation:
+    def test_unknown_backend(self, tiny_db):
+        with pytest.raises(UnsupportedCombinationError, match="unknown backend"):
+            repro.mine(tiny_db, backend="gpu", min_support=2)
+
+    def test_unknown_algorithm_on_known_backend(self, tiny_db):
+        with pytest.raises(UnsupportedCombinationError, match="not implemented"):
+            repro.mine(tiny_db, algorithm="magic", min_support=2)
+
+    def test_error_message_documents_the_matrix(self, tiny_db):
+        with pytest.raises(UnsupportedCombinationError, match="serial:eclat"):
+            repro.mine(
+                tiny_db, algorithm="apriori", backend="multiprocessing",
+                min_support=2,
+            )
+
+    def test_unknown_representation(self, tiny_db):
+        with pytest.raises(ConfigurationError, match="unknown representation"):
+            repro.mine(tiny_db, representation="quantum", min_support=2)
+
+    def test_unknown_option(self, tiny_db):
+        with pytest.raises(ConfigurationError, match="unknown option"):
+            repro.mine(tiny_db, min_support=2, flux_capacitor=True)
+
+    def test_option_valid_on_other_backend_rejected(self, tiny_db):
+        # n_workers belongs to multiprocessing, not serial.
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            repro.mine(tiny_db, backend="serial", min_support=2, n_workers=2)
+
+    def test_bad_min_support(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            repro.mine(tiny_db, min_support=0)
+        with pytest.raises(ConfigurationError):
+            repro.mine(tiny_db, min_support=1.5)
+
+    def test_all_errors_are_repro_errors(self, tiny_db):
+        for kwargs in (
+            {"backend": "gpu"},
+            {"algorithm": "magic"},
+            {"representation": "quantum"},
+            {"min_support": -1},
+        ):
+            with pytest.raises(ReproError):
+                repro.mine(tiny_db, **{"min_support": 2, **kwargs})
+
+    def test_keyword_only(self, tiny_db):
+        with pytest.raises(TypeError):
+            repro.mine(tiny_db, "eclat", min_support=2)  # noqa: too many positional
+
+
+class TestAutoRepresentation:
+    def test_dense_db_picks_diffset(self, small_dense_db):
+        assert _database_density(small_dense_db) >= AUTO_DENSE_THRESHOLD
+        result = repro.mine(small_dense_db, min_support=0.4)
+        assert result.representation == "diffset"
+
+    def test_sparse_db_picks_tidset(self, small_sparse_db):
+        assert _database_density(small_sparse_db) < AUTO_DENSE_THRESHOLD
+        result = repro.mine(small_sparse_db, min_support=0.05)
+        assert result.representation == "tidset"
+
+    def test_vectorized_backend_prefers_packed(self, tiny_db):
+        result = repro.mine(
+            tiny_db, backend="vectorized", min_support=2,
+        )
+        assert result.representation == "bitvector_numpy"
+
+    def test_representation_instance_accepted(self, tiny_db):
+        from repro.representations import TidsetRepresentation
+
+        result = repro.mine(
+            tiny_db, representation=TidsetRepresentation(), min_support=2,
+        )
+        assert result.representation == "tidset"
+
+
+class TestNormalization:
+    def test_result_is_stamped(self, tiny_db):
+        result = repro.mine(
+            tiny_db, algorithm="eclat", representation="tidset",
+            backend="multiprocessing", min_support=0.4, n_workers=1,
+        )
+        assert isinstance(result, MiningResult)
+        assert result.algorithm == "eclat"
+        assert result.backend == "multiprocessing"
+        assert result.dataset == tiny_db.name
+        assert result.min_support == 2  # 0.4 * 5 resolved to absolute
+        assert result.n_transactions == tiny_db.n_transactions
+
+    def test_fpgrowth_reports_fptree(self, tiny_db):
+        result = repro.mine(tiny_db, algorithm="fpgrowth", min_support=2)
+        assert result.representation == "fptree"
+        assert result.backend == "serial"
+
+    def test_fpgrowth_rejects_vertical_formats(self, tiny_db):
+        with pytest.raises(UnsupportedCombinationError):
+            repro.mine(
+                tiny_db, algorithm="fpgrowth", representation="tidset",
+                min_support=2,
+            )
+
+
+class TestObsThreading:
+    def test_engine_span_and_counters(self, tiny_db):
+        obs = ObsContext(sink=InMemorySink())
+        repro.mine(
+            tiny_db, algorithm="eclat", representation="tidset",
+            min_support=2, obs=obs,
+        )
+        names = [e.name for e in obs.sink.events]
+        assert "engine.mine" in names
+        assert "engine.serial.eclat.tidset" in obs.metrics
+        # The serial miner's own instrumentation ran too.
+        assert "mine.intersections" in obs.metrics
+
+    def test_vectorized_obs(self, tiny_db):
+        obs = ObsContext()
+        repro.mine(
+            tiny_db, backend="vectorized", algorithm="apriori",
+            min_support=2, obs=obs,
+        )
+        assert "mine.intersections" in obs.metrics
+        assert obs.metrics.counters()["mine.intersections"] > 0
+
+
+class TestExecute:
+    def test_returns_full_run_objects(self, tiny_db):
+        apriori_run = execute(tiny_db, algorithm="apriori", min_support=2)
+        assert apriori_run.table is not None
+        eclat_run = execute(tiny_db, algorithm="eclat", min_support=2)
+        assert eclat_run.max_depth >= 1
+        assert apriori_run.result.itemsets == eclat_run.result.itemsets
+
+    def test_rejects_untraced_algorithms(self, tiny_db):
+        with pytest.raises(ConfigurationError, match="fpgrowth"):
+            execute(tiny_db, algorithm="fpgrowth", min_support=2)
+
+
+class TestRegistry:
+    def test_entry_lookup(self):
+        entry = get_backend_entry("vectorized", "eclat")
+        assert entry.preferred_representation == "bitvector_numpy"
+        assert "bitvector" in entry.representations
+
+    def test_available_listings(self):
+        assert available_backends() == ["multiprocessing", "serial", "vectorized"]
+        assert available_algorithms("multiprocessing") == ["eclat"]
+        assert "apriori" in available_algorithms()
+
+    def test_custom_backend_plugs_in(self, tiny_db):
+        def fake_runner(db, rep_name, min_sup, *, obs=None):
+            return MiningResult(
+                dataset=db.name, algorithm="", representation=rep_name,
+                min_support=min_sup, n_transactions=db.n_transactions,
+                itemsets={(0,): 3},
+            )
+
+        register_backend("fake", "eclat", fake_runner, description="test stub")
+        try:
+            result = repro.mine(
+                tiny_db, backend="fake", representation="tidset", min_support=2,
+            )
+            assert result.backend == "fake"
+            assert result.algorithm == "eclat"
+            assert result.itemsets == {(0,): 3}
+        finally:
+            _REGISTRY.pop(("fake", "eclat"), None)

@@ -1,0 +1,101 @@
+"""The engine's full execution matrix agrees with the brute-force oracle.
+
+Every algorithm × representation × backend combination ``repro.mine()``
+claims to support must produce the identical itemset→support map on two
+structurally different small databases; every combination it does not
+support must raise the typed error.
+"""
+
+import pytest
+
+import repro
+from repro.core import brute_force
+from repro.engine import supported_combinations
+from repro.errors import UnsupportedCombinationError
+
+ALGORITHMS = ["apriori", "eclat"]
+REPRESENTATIONS = ["tidset", "bitvector", "diffset", "bitvector_numpy"]
+BACKENDS = ["serial", "multiprocessing"]
+
+#: Combinations the registry intentionally does not implement.
+UNSUPPORTED = {("multiprocessing", "apriori")}
+#: The vectorized backend only runs packed bitvectors.
+VECTORIZED_REPRESENTATIONS = ["bitvector", "bitvector_numpy", "auto"]
+
+
+@pytest.fixture(params=["tiny", "figure2"])
+def case(request, tiny_db, paper_db):
+    if request.param == "tiny":
+        db = tiny_db
+        min_support = 2
+    else:
+        db = paper_db
+        min_support = 3
+    return db, min_support, brute_force(db, min_support)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_matrix_matches_brute_force(case, algorithm, representation, backend):
+    db, min_support, expected = case
+    if (backend, algorithm) in UNSUPPORTED:
+        with pytest.raises(UnsupportedCombinationError):
+            repro.mine(
+                db, algorithm=algorithm, representation=representation,
+                backend=backend, min_support=min_support,
+            )
+        return
+    result = repro.mine(
+        db, algorithm=algorithm, representation=representation,
+        backend=backend, min_support=min_support,
+    )
+    assert result.itemsets == expected.itemsets
+    assert result.algorithm == algorithm
+    assert result.backend == backend
+
+
+@pytest.mark.parametrize("representation", VECTORIZED_REPRESENTATIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_vectorized_backend_matches_brute_force(case, algorithm, representation):
+    db, min_support, expected = case
+    result = repro.mine(
+        db, algorithm=algorithm, representation=representation,
+        backend="vectorized", min_support=min_support,
+    )
+    assert result.itemsets == expected.itemsets
+    # Whatever the caller spelled, the packed format is what actually ran.
+    assert result.representation == "bitvector_numpy"
+    assert result.backend == "vectorized"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_vectorized_rejects_unpackable_representations(tiny_db, algorithm):
+    for representation in ("tidset", "diffset", "hybrid"):
+        with pytest.raises(UnsupportedCombinationError):
+            repro.mine(
+                tiny_db, algorithm=algorithm, representation=representation,
+                backend="vectorized", min_support=2,
+            )
+
+
+def test_matrix_is_what_the_registry_declares():
+    combos = set(supported_combinations())
+    assert ("serial", "apriori") in combos
+    assert ("serial", "eclat") in combos
+    assert ("vectorized", "eclat") in combos
+    for backend, algorithm in UNSUPPORTED:
+        assert (backend, algorithm) not in combos
+
+
+def test_relative_support_consistent_across_backends(small_dense_db):
+    """Float thresholds resolve identically no matter which backend runs."""
+    expected = brute_force(small_dense_db, 0.4)
+    for backend in ("serial", "vectorized"):
+        result = repro.mine(
+            small_dense_db, algorithm="eclat",
+            representation="bitvector_numpy", backend=backend,
+            min_support=0.4,
+        )
+        assert result.itemsets == expected.itemsets
+        assert result.min_support == expected.min_support

@@ -5,7 +5,11 @@ import repro
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_mine_is_exported(self):
+        assert callable(repro.mine)
+        assert repro.mine is repro.engine.mine
 
     def test_miners_importable(self):
         for name in ("apriori", "eclat", "fpgrowth", "brute_force"):
@@ -26,6 +30,23 @@ class TestTopLevelExports:
 
     def test_readme_quickstart_verbatim(self):
         """The README's quickstart snippet must keep working."""
+        import repro
+        from repro.datasets import parse_fimi
+
+        db = parse_fimi("1 2 3\n1 2\n2 3\n1 3\n1 2 3", name="demo")
+
+        result = repro.mine(db, min_support=2)
+        assert len(result) == 7
+        assert result.support((1, 2)) == 3
+
+        fast = repro.mine(
+            db, algorithm="apriori", representation="bitvector_numpy",
+            backend="vectorized", min_support=2,
+        )
+        assert result.same_itemsets(fast)
+
+    def test_readme_legacy_quickstart_still_works(self):
+        """The pre-engine snippet keeps working through the wrappers."""
         from repro import apriori, eclat, fpgrowth
         from repro.datasets import parse_fimi
 
@@ -42,8 +63,23 @@ class TestSubpackageSurfaces:
         from repro.representations import REPRESENTATIONS
 
         assert set(REPRESENTATIONS) == {
-            "tidset", "bitvector", "diffset", "hybrid",
+            "tidset", "bitvector", "bitvector_numpy", "diffset", "hybrid",
         }
+
+    def test_engine_surface(self):
+        from repro import engine
+
+        for name in (
+            "mine", "execute", "register_backend", "get_backend_entry",
+            "available_backends", "available_algorithms",
+            "supported_combinations",
+        ):
+            assert callable(getattr(engine, name)), name
+        assert set(engine.available_backends()) == {
+            "serial", "multiprocessing", "vectorized",
+        }
+        assert ("multiprocessing", "eclat") in engine.supported_combinations()
+        assert ("vectorized", "apriori") in engine.supported_combinations()
 
     def test_paper_config_importable(self):
         from repro import paper
