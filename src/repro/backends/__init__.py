@@ -12,6 +12,10 @@ from repro.backends.multiprocessing_backend import (
     eclat_multiprocessing,
     run_eclat_multiprocessing,
 )
+from repro.backends.shared_memory_backend import (
+    run_apriori_shared_memory,
+    run_eclat_shared_memory,
+)
 from repro.engine import (
     available_algorithms,
     available_backends,
@@ -23,6 +27,8 @@ __all__ = [
     "mine_serial",
     "eclat_multiprocessing",
     "run_eclat_multiprocessing",
+    "run_apriori_shared_memory",
+    "run_eclat_shared_memory",
     "available_backends",
     "available_algorithms",
     "register_backend",

@@ -1,0 +1,715 @@
+"""Zero-copy shared-memory parallel backend over the NumPy bitvector kernels.
+
+The multiprocessing backend pickles tidset payloads to every worker — the
+exact copy-across-the-interconnect anti-pattern the paper diagnoses.  This
+backend instead implements the paper's ownership model on real hardware:
+the packed generation-1 bit matrix (``pack_database``) is placed **once**
+in a :class:`multiprocessing.shared_memory.SharedMemory` block, and every
+worker process attaches a read-only NumPy *view* of it — zero copies, no
+per-worker rebuild, no serialized base data.  Only tiny task descriptors
+and the mined (itemset → support) fragments cross process boundaries.
+
+Work is scheduled through the paper's OpenMP clause semantics
+(:mod:`repro.openmp.schedule`):
+
+* **Eclat** runs one task per top-level equivalence class under
+  ``schedule(dynamic, 1)`` (Section IV) — workers pull classes from a
+  shared queue as they free up, the smallest-chunk dynamic schedule that
+  minimizes load imbalance;
+* **Apriori** counts each candidate generation in contiguous ranges under
+  ``schedule(static)`` (Section III) — ranges are pre-assigned to workers
+  through per-worker queues, one barrier per generation.
+
+Robustness: the parent dispatches at most one task at a time to each
+worker's private queue, so the assignment ledger lives parent-side and a
+task can never be lost to a crash — a worker that dies (or exceeds the
+per-task timeout) is respawned and its in-flight task retried up to a
+bounded number of attempts; the shared-memory segment is unlinked on every
+exit path, success or failure.
+
+Results are bit-identical to the serial miners; the equivalence-matrix
+tests assert as much.  Entry point: ``repro.mine(..., backend="shared_memory")``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from queue import Empty
+
+import numpy as np
+
+from repro.core.candidate_gen import generate_candidates
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult, resolve_min_support
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.openmp.schedule import (
+    APRIORI_SCHEDULE,
+    ECLAT_SCHEDULE,
+    ScheduleSpec,
+    chunk_boundaries,
+)
+from repro.representations.bitvector_numpy import (
+    pack_database,
+    popcount_rows,
+)
+
+#: Marks a task slot whose result has not arrived yet (``{}`` is a valid
+#: result, so ``None`` cannot be the sentinel).
+_UNSET = object()
+
+#: Seconds the orchestration loop blocks on the result queue per iteration;
+#: also the liveness/timeout polling granularity.
+_POLL_SECONDS = 0.05
+
+#: Seconds to wait for a worker to exit cleanly at shutdown before killing it.
+_JOIN_SECONDS = 2.0
+
+
+def parse_schedule(value: "ScheduleSpec | str | None", default: ScheduleSpec) -> ScheduleSpec:
+    """Resolve a ``schedule`` option: spec, ``"kind[,chunk]"`` string, or None."""
+    if value is None:
+        return default
+    if isinstance(value, ScheduleSpec):
+        return value
+    if not isinstance(value, str):
+        raise ConfigurationError(
+            f"schedule must be a ScheduleSpec or 'kind[,chunk]' string, "
+            f"got {value!r}"
+        )
+    kind, _, chunk_text = value.partition(",")
+    kind = kind.strip()
+    chunk: int | None = None
+    if chunk_text.strip():
+        try:
+            chunk = int(chunk_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid schedule chunk size {chunk_text!r} in {value!r}"
+            ) from None
+    return ScheduleSpec(kind, chunk)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------
+# Shared-memory segment helpers
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShmSpec:
+    """Everything a worker needs to attach a zero-copy view of the matrix."""
+
+    name: str
+    shape: tuple[int, int]
+    dtype: str
+
+
+def _attach(spec: _ShmSpec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach the segment and build a read-only NumPy view over it.
+
+    Every ``multiprocessing`` child — fork, spawn, or forkserver — inherits
+    the *parent's* resource-tracker fd, and the tracker stores names as a
+    set, so the re-register this attach performs is a harmless no-op and
+    needs no undoing.  (Unregistering here would strip the parent's own
+    entry and break its unlink-time bookkeeping.)  The pool's parent
+    process remains the sole owner of the segment's lifetime.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    matrix = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    matrix.flags.writeable = False
+    return shm, matrix
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+
+def _run_eclat_chunk(matrix: np.ndarray, init: dict, indices: list[int], obs):
+    """Mine the subtrees of the given top-level class members."""
+    from repro.engine.vectorized import mine_toplevel_class
+
+    itemsets: list[Itemset] = init["itemsets"]
+    result = MiningResult(
+        dataset="shm-worker", algorithm="eclat",
+        representation="bitvector_numpy", min_support=init["min_sup"],
+        n_transactions=0,
+    )
+    for index in indices:
+        mine_toplevel_class(
+            result, itemsets, matrix, index, init["min_sup"], obs
+        )
+    return result.itemsets
+
+
+def _run_apriori_chunk(matrix: np.ndarray, init: dict, candidates: list[Itemset], obs):
+    """Support-count one candidate range by k-way AND over singleton rows.
+
+    Workers never hold generation-(k-1) verticals — every candidate's
+    support comes straight from the shared base matrix, so the only data a
+    task needs beyond the zero-copy view is its candidate item tuples.
+    """
+    idx = np.asarray(candidates, dtype=np.int64)  # (m, k)
+    rows = matrix[idx]
+    children = np.bitwise_and.reduce(rows, axis=1)
+    supports = popcount_rows(children)
+    if obs is not None:
+        m, k = idx.shape
+        n_bytes = matrix.shape[1]
+        metrics = obs.metrics
+        metrics.counter("apriori.shared_memory.batches").inc()
+        metrics.counter("mine.intersections").inc(m * (k - 1))
+        metrics.counter("mine.intersection_read_bytes").inc(m * k * n_bytes)
+        metrics.counter("mine.bytes_written").inc(m * n_bytes)
+    return supports.tolist()
+
+
+def _worker_main(
+    worker_id: int,
+    spec: _ShmSpec,
+    init: dict,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker loop: attach the shared matrix once, then drain tasks.
+
+    The parent dispatches at most one ``(task_id, payload)`` at a time to
+    this worker's private queue and tracks the assignment on its side, so
+    the worker only ever reports outcomes: ``("done", worker, task,
+    output, counters)`` or ``("error", worker, task, traceback)``.  A
+    ``None`` sentinel ends the loop.
+    """
+    shm = None
+    matrix = None
+    try:
+        shm, matrix = _attach(spec)
+        fault = init.get("fault") or {}
+        collect_obs = init.get("collect_obs", False)
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            task_id, payload = task
+            if fault.get("kill_task") == task_id:
+                os._exit(13)  # fault injection: die mid-task, unannounced
+            if fault.get("hang_task") == task_id:
+                time.sleep(fault.get("hang_seconds", 3600.0))
+            obs = None
+            if collect_obs:
+                from repro.obs import ObsContext
+
+                obs = ObsContext()
+            try:
+                kind, body = payload
+                if kind == "eclat":
+                    out = _run_eclat_chunk(matrix, init, body, obs)
+                else:
+                    out = _run_apriori_chunk(matrix, init, body, obs)
+            except Exception:
+                result_queue.put(
+                    ("error", worker_id, task_id, traceback.format_exc())
+                )
+                continue
+            counters = obs.metrics.counters() if obs is not None else None
+            result_queue.put(("done", worker_id, task_id, out, counters))
+    except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
+        pass  # parent tore the queues down; exit quietly
+    finally:
+        if shm is not None:
+            matrix = None  # release the exported buffer before closing
+            shm.close()
+
+
+# --------------------------------------------------------------------------
+# Parent-side pool
+# --------------------------------------------------------------------------
+
+
+class SharedMemoryPool:
+    """A worker pool over one shared, read-only packed bit matrix.
+
+    The pool owns the :class:`SharedMemory` segment lifecycle (create →
+    copy once → unlink in :meth:`shutdown`, which ``__exit__`` guarantees),
+    the worker processes, and the task/result plumbing.  ``run()`` may be
+    called repeatedly — Apriori reuses one pool across generations so
+    workers attach exactly once.
+
+    Every worker has a private task queue and the parent dispatches **at
+    most one task at a time** to each — the assignment ledger therefore
+    lives entirely parent-side, which is what makes fault handling exact: a
+    dead or timed-out worker's one in-flight task is known without any
+    cooperation from the (possibly gone) worker.  ``spec.kind == "static"``
+    pre-assigns tasks to owners (OpenMP static ownership) and a worker only
+    ever receives its own; dynamic and guided feed workers from one shared
+    pending deque in completion order.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        init: dict,
+        n_workers: int,
+        spec: ScheduleSpec,
+        *,
+        task_timeout: float | None = None,
+        max_task_retries: int = 2,
+        obs=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive or None")
+        start_methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context(
+            "fork" if "fork" in start_methods else start_methods[0]
+        )
+        self.n_workers = n_workers
+        self._init = init
+        self._spec = spec
+        self._static = spec.kind == "static"
+        self._task_timeout = task_timeout
+        self._max_task_retries = max_task_retries
+        self._obs = obs
+        self._shm: shared_memory.SharedMemory | None = None
+        self._closed = False
+        self._respawns = 0
+        # A worker crashing before it ever claims a task (e.g. it cannot
+        # even import/attach) would otherwise respawn forever; this bounds
+        # total respawns across the pool's lifetime.
+        self._max_respawns = n_workers * (max_task_retries + 1)
+
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, matrix.nbytes)
+        )
+        shared_view = np.ndarray(
+            matrix.shape, dtype=matrix.dtype, buffer=self._shm.buf
+        )
+        shared_view[...] = matrix
+        self._spec_shm = _ShmSpec(
+            name=self._shm.name,
+            shape=tuple(matrix.shape),  # type: ignore[arg-type]
+            dtype=matrix.dtype.str,
+        )
+        del shared_view  # the segment must hold the only exported buffer
+
+        self._result_queue = self._ctx.Queue()
+        self._queues = [self._ctx.Queue() for _ in range(n_workers)]
+        self._workers: list = [None] * n_workers
+        for worker_id in range(n_workers):
+            self._spawn(worker_id)
+        if obs is not None:
+            obs.metrics.gauge("shared_memory.n_workers").set(n_workers)
+            obs.metrics.gauge("shared_memory.base_bytes").set(matrix.nbytes)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, worker_id: int, *, respawn: bool = False) -> None:
+        init = self._init
+        if respawn:
+            self._respawns += 1
+            if self._respawns > self._max_respawns:
+                raise ParallelExecutionError(
+                    f"respawned workers {self._respawns} times (cap "
+                    f"{self._max_respawns}); workers are dying faster than "
+                    "they complete tasks"
+                )
+            # Respawned workers never re-run fault injection: the retried
+            # task must succeed on a healthy process.
+            init = {k: v for k, v in init.items() if k != "fault"}
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id, self._spec_shm, init,
+                self._queues[worker_id], self._result_queue,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = process
+        if respawn and self._obs is not None:
+            self._obs.metrics.counter("shared_memory.workers.respawned").inc()
+
+    def __enter__(self) -> "SharedMemoryPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop workers and unlink the segment.  Idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for queue in self._queues:
+                self._put_nowait(queue, None)
+            deadline = time.monotonic() + _JOIN_SECONDS
+            for process in self._workers:
+                if process is None:
+                    continue
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=_JOIN_SECONDS)
+        finally:
+            for queue in self._queues:
+                try:
+                    queue.close()
+                    queue.cancel_join_thread()
+                except Exception:  # pragma: no cover
+                    pass
+            try:
+                self._result_queue.close()
+                self._result_queue.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+            if self._shm is not None:
+                try:
+                    self._shm.close()
+                except Exception:  # pragma: no cover
+                    pass
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                self._shm = None
+
+    @staticmethod
+    def _put_nowait(queue, item) -> None:
+        try:
+            queue.put_nowait(item)
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+
+    # -- task execution ----------------------------------------------------
+
+    def static_owners(self, n_chunks: int) -> list[int]:
+        """OpenMP static ownership of chunk *k* for this pool's team size.
+
+        Without a clause chunk size the boundaries are one contiguous block
+        per thread in thread order; with one, chunks are dealt round-robin.
+        """
+        if self._spec.chunk_size is None:
+            return [min(k, self.n_workers - 1) for k in range(n_chunks)]
+        return [k % self.n_workers for k in range(n_chunks)]
+
+    def run(self, payloads: list, owners: list[int] | None = None) -> list:
+        """Execute every payload; return outputs in payload order.
+
+        A dead worker's in-flight task (known exactly, since dispatch is
+        parent-side and one-at-a-time) is put back at the head of its
+        pending deque and the worker respawned; a task that exceeds
+        ``task_timeout`` gets its worker killed and is retried the same
+        way.  More than ``max_task_retries`` retries of one task raises
+        :class:`ParallelExecutionError` (after cleanup via the context
+        manager).  Stale duplicate ``done`` messages (a kill racing a
+        result already in the pipe) are deduplicated by task id.
+        """
+        if self._closed:
+            raise ParallelExecutionError("pool is already shut down")
+        n_tasks = len(payloads)
+        if n_tasks == 0:
+            return []
+        if self._static and owners is None:
+            owners = self.static_owners(n_tasks)
+
+        self._payloads = payloads
+        self._owners = owners
+        if self._static:
+            assert owners is not None
+            self._pending = [deque() for _ in range(self.n_workers)]
+            for task_id, owner in enumerate(owners):
+                self._pending[owner].append(task_id)
+        else:
+            self._pending = deque(range(n_tasks))
+        # worker -> (task, dispatched-at); the single source of truth for
+        # what is in flight.
+        self._assigned: dict[int, tuple[int, float]] = {}
+        outputs: list = [_UNSET] * n_tasks
+        retries: dict[int, int] = {}
+        done = 0
+
+        for worker_id in range(self.n_workers):
+            self._dispatch(worker_id)
+        while done < n_tasks:
+            try:
+                message = self._result_queue.get(timeout=_POLL_SECONDS)
+            except Empty:
+                message = None
+            if message is not None:
+                kind = message[0]
+                if kind == "done":
+                    _, worker_id, task_id, out, counters = message
+                    held = self._assigned.get(worker_id)
+                    if held is not None and held[0] == task_id:
+                        del self._assigned[worker_id]
+                    if outputs[task_id] is _UNSET:
+                        outputs[task_id] = out
+                        done += 1
+                        self._merge_counters(worker_id, counters)
+                    self._dispatch(worker_id)
+                else:  # "error": a worker raised — deterministic, don't retry
+                    _, worker_id, task_id, tb = message
+                    raise ParallelExecutionError(
+                        f"worker {worker_id} failed on task {task_id}:\n{tb}"
+                    )
+            self._police(retries, outputs)
+        return outputs
+
+    def _dispatch(self, worker_id: int) -> None:
+        """Hand the worker its next pending task, if idle and any remain."""
+        if worker_id in self._assigned:
+            return
+        pending = (
+            self._pending[worker_id] if self._static else self._pending
+        )
+        if not pending:
+            return
+        task_id = pending.popleft()
+        self._assigned[worker_id] = (task_id, time.monotonic())
+        self._queues[worker_id].put((task_id, self._payloads[task_id]))
+
+    def _requeue(self, worker_id: int, retries: dict[int, int], reason: str) -> None:
+        """Return a failed worker's in-flight task to the head of its deque."""
+        task_id, _ = self._assigned.pop(worker_id)
+        retries[task_id] = retries.get(task_id, 0) + 1
+        if retries[task_id] > self._max_task_retries:
+            raise ParallelExecutionError(
+                f"task {task_id} failed {retries[task_id]} times "
+                f"(last cause: {reason}); giving up"
+            )
+        if self._obs is not None:
+            self._obs.metrics.counter("shared_memory.tasks.retried").inc()
+        if self._static:
+            assert self._owners is not None
+            self._pending[self._owners[task_id]].appendleft(task_id)
+        else:
+            self._pending.appendleft(task_id)
+
+    def _police(self, retries: dict[int, int], outputs: list) -> None:
+        """Respawn dead workers, kill and retry timed-out tasks, and make
+        sure no idle worker starves while its deque has work."""
+        now = time.monotonic()
+        for worker_id, process in enumerate(self._workers):
+            if process is None or process.is_alive():
+                continue
+            process.join()
+            if worker_id in self._assigned:
+                self._requeue(
+                    worker_id, retries,
+                    f"worker {worker_id} died (exitcode {process.exitcode})",
+                )
+            self._spawn(worker_id, respawn=True)
+        if self._task_timeout is not None:
+            expired = [
+                worker_id
+                for worker_id, (task_id, since) in self._assigned.items()
+                if now - since > self._task_timeout
+                and outputs[task_id] is _UNSET
+            ]
+            for worker_id in expired:
+                process = self._workers[worker_id]
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=_JOIN_SECONDS)
+                self._requeue(
+                    worker_id, retries,
+                    f"task exceeded {self._task_timeout}s timeout on "
+                    f"worker {worker_id}",
+                )
+                self._spawn(worker_id, respawn=True)
+        for worker_id in range(self.n_workers):
+            self._dispatch(worker_id)
+
+    def _merge_counters(self, worker_id: int, counters: dict | None) -> None:
+        if self._obs is None:
+            return
+        metrics = self._obs.metrics
+        metrics.counter(f"shared_memory.worker{worker_id}.tasks").inc()
+        if counters:
+            metrics.merge_counters(counters)
+            metrics.counter(
+                f"shared_memory.worker{worker_id}.read_bytes"
+            ).inc(counters.get("mine.intersection_read_bytes", 0))
+
+
+# --------------------------------------------------------------------------
+# Runners
+# --------------------------------------------------------------------------
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _resolve_workers(n_workers: int | None, n_tasks: int) -> int:
+    """Validate an explicit worker count and clamp it to available work."""
+    if n_workers is None:
+        n_workers = _default_workers()
+    elif n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    return min(n_workers, max(1, n_tasks))
+
+
+def run_eclat_shared_memory(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: str = "bitvector_numpy",
+    *,
+    n_workers: int | None = None,
+    schedule: "ScheduleSpec | str | None" = None,
+    task_timeout: float | None = None,
+    item_order: str = "support",
+    max_task_retries: int = 2,
+    obs=None,
+    _fault: dict | None = None,
+) -> MiningResult:
+    """Parallel Eclat over a zero-copy shared singleton matrix.
+
+    One task per top-level equivalence class, dispatched under the paper's
+    ``schedule(dynamic, 1)`` by default.  Bit-identical to the serial
+    miners.  Prefer ``repro.mine(..., backend="shared_memory")``.
+    """
+    from repro.engine.vectorized import _frequent_singletons
+
+    if item_order not in ("support", "id"):
+        raise ConfigurationError(
+            f"item_order must be 'support' or 'id', got {item_order!r}"
+        )
+    spec = parse_schedule(schedule, ECLAT_SCHEDULE)
+    min_sup = resolve_min_support(db, min_support)
+    wall_start = time.perf_counter() if obs is not None else 0.0
+
+    result = MiningResult(
+        dataset=db.name, algorithm="eclat",
+        representation="bitvector_numpy", min_support=min_sup,
+        n_transactions=db.n_transactions, backend="shared_memory",
+    )
+    matrix, supports, items = _frequent_singletons(db, min_sup)
+    order = np.arange(len(items))
+    if item_order == "support" and len(items):
+        order = np.lexsort((np.asarray(items), supports))
+    itemsets: list[Itemset] = [(items[int(i)],) for i in order]
+    matrix = matrix[order] if matrix.size else matrix
+    for itemset, support in zip(itemsets, supports[order]):
+        result.add(itemset, int(support))
+    if obs is not None:
+        obs.metrics.counter("eclat.toplevel.tasks").inc(max(0, len(itemsets) - 1))
+
+    n_classes = len(itemsets) - 1  # the last member has no later siblings
+    workers = _resolve_workers(n_workers, n_classes)
+    if n_classes >= 1:
+        bounds = chunk_boundaries(n_classes, workers, spec)
+        payloads = [("eclat", list(range(start, end))) for start, end in bounds]
+        init = {
+            "min_sup": min_sup,
+            "itemsets": itemsets,
+            "collect_obs": obs is not None,
+            "fault": _fault,
+        }
+        with SharedMemoryPool(
+            matrix, init, workers, spec,
+            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            obs=obs,
+        ) as pool:
+            for out in pool.run(payloads):
+                result.itemsets.update(out)
+    if obs is not None:
+        obs.sink.wall_event(
+            "shared_memory.mine", wall_start, cat="mine",
+            args={"algorithm": "eclat", "tasks": max(0, n_classes),
+                  "schedule": str(spec)},
+        )
+    return result
+
+
+def run_apriori_shared_memory(
+    db: TransactionDatabase,
+    min_support: float | int,
+    representation: str = "bitvector_numpy",
+    *,
+    n_workers: int | None = None,
+    schedule: "ScheduleSpec | str | None" = None,
+    task_timeout: float | None = None,
+    prune: bool = True,
+    max_generations: int | None = None,
+    max_task_retries: int = 2,
+    obs=None,
+    _fault: dict | None = None,
+) -> MiningResult:
+    """Parallel Apriori counting candidate ranges against the shared matrix.
+
+    Each generation's candidates are chunked under ``schedule(static)``
+    (per the paper's Section III; pass ``schedule="static,1"`` for the
+    literal clause) and workers support-count their ranges by k-way AND
+    over the zero-copy singleton rows — no generation-(k-1) verticals ever
+    leave the parent.  Prefer ``repro.mine(..., backend="shared_memory")``.
+    """
+    spec = parse_schedule(schedule, ScheduleSpec(APRIORI_SCHEDULE.kind, None))
+    min_sup = resolve_min_support(db, min_support)
+    wall_start = time.perf_counter() if obs is not None else 0.0
+
+    result = MiningResult(
+        dataset=db.name, algorithm="apriori",
+        representation="bitvector_numpy", min_support=min_sup,
+        n_transactions=db.n_transactions, backend="shared_memory",
+    )
+    matrix = pack_database(db)
+    supports = popcount_rows(matrix)
+    frequent: list[Itemset] = [
+        (int(item),) for item in np.nonzero(supports >= min_sup)[0]
+    ]
+    for itemset in frequent:
+        result.add(itemset, int(supports[itemset[0]]))
+
+    pool: SharedMemoryPool | None = None
+    generation = 1
+    try:
+        while frequent:
+            if max_generations is not None and generation >= max_generations:
+                break
+            generation += 1
+            candidates = generate_candidates(frequent, prune=prune)
+            if not candidates:
+                break
+            cand_items = [c.items for c in candidates]
+            if pool is None:
+                workers = _resolve_workers(n_workers, len(cand_items))
+                init = {
+                    "min_sup": min_sup,
+                    "collect_obs": obs is not None,
+                    "fault": _fault,
+                }
+                pool = SharedMemoryPool(
+                    matrix, init, workers, spec,
+                    task_timeout=task_timeout,
+                    max_task_retries=max_task_retries, obs=obs,
+                )
+            bounds = chunk_boundaries(len(cand_items), pool.n_workers, spec)
+            payloads = [
+                ("apriori", cand_items[start:end]) for start, end in bounds
+            ]
+            outputs = pool.run(payloads)
+            counted = [s for chunk in outputs for s in chunk]
+            next_frequent: list[Itemset] = []
+            for itemset, support in zip(cand_items, counted):
+                if support >= min_sup:
+                    result.add(itemset, int(support))
+                    next_frequent.append(itemset)
+            frequent = next_frequent
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    if obs is not None:
+        obs.sink.wall_event(
+            "shared_memory.mine", wall_start, cat="mine",
+            args={"algorithm": "apriori", "generations": generation,
+                  "schedule": str(spec)},
+        )
+    return result

@@ -4,7 +4,8 @@ Four subcommands cover the common workflows:
 
 * ``mine``      — frequent itemsets from a FIMI file or a named surrogate,
   routed through ``repro.mine()`` with ``--backend
-  serial|multiprocessing|vectorized`` and ``--representation auto|...``;
+  serial|multiprocessing|vectorized|shared_memory`` and
+  ``--representation auto|...``;
 * ``rules``     — association rules on top of a mining run;
 * ``scalability`` — the paper pipeline: trace a miner, replay it on the
   simulated Blacklight across thread counts, print the table and chart;

@@ -128,7 +128,8 @@ def mine(
         :class:`Representation` instance, or ``"auto"`` to let the engine
         pick one for the database and backend.
     backend:
-        ``"serial"``, ``"multiprocessing"``, or ``"vectorized"`` (see
+        ``"serial"``, ``"multiprocessing"``, ``"vectorized"``, or
+        ``"shared_memory"`` (see
         :func:`repro.engine.supported_combinations`).
     min_support:
         Relative (float in (0, 1]) or absolute (int >= 1) threshold.
@@ -262,6 +263,32 @@ def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
     )
 
 
+def _shared_memory_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
+                         schedule=None, task_timeout=None,
+                         item_order="support", max_task_retries=2):
+    # Imported lazily (same discipline as the multiprocessing backend).
+    from repro.backends.shared_memory_backend import run_eclat_shared_memory
+
+    return run_eclat_shared_memory(
+        db, min_sup, rep_name, n_workers=n_workers, schedule=schedule,
+        task_timeout=task_timeout, item_order=item_order,
+        max_task_retries=max_task_retries, obs=obs,
+    )
+
+
+def _shared_memory_apriori(db, rep_name, min_sup, *, obs=None, n_workers=None,
+                           schedule=None, task_timeout=None, prune=True,
+                           max_generations=None, max_task_retries=2):
+    from repro.backends.shared_memory_backend import run_apriori_shared_memory
+
+    return run_apriori_shared_memory(
+        db, min_sup, rep_name, n_workers=n_workers, schedule=schedule,
+        task_timeout=task_timeout, prune=prune,
+        max_generations=max_generations, max_task_retries=max_task_retries,
+        obs=obs,
+    )
+
+
 def _vectorized_apriori(db, rep_name, min_sup, *, obs=None, prune=True,
                         max_generations=None):
     return apriori_vectorized(
@@ -294,6 +321,24 @@ def _register_defaults() -> None:
         "multiprocessing", "eclat", _multiprocessing_eclat,
         options=("n_workers", "item_order"),
         description="process-pool Eclat over top-level prefix classes",
+    )
+    register_backend(
+        "shared_memory", "eclat", _shared_memory_eclat,
+        options=("n_workers", "schedule", "task_timeout", "item_order",
+                 "max_task_retries"),
+        representations=("bitvector_numpy", "bitvector"),
+        preferred_representation="bitvector_numpy",
+        description="zero-copy shared-memory process pool over top-level "
+                    "classes (schedule(dynamic,1))",
+    )
+    register_backend(
+        "shared_memory", "apriori", _shared_memory_apriori,
+        options=("n_workers", "schedule", "task_timeout", "prune",
+                 "max_generations", "max_task_retries"),
+        representations=("bitvector_numpy", "bitvector"),
+        preferred_representation="bitvector_numpy",
+        description="zero-copy shared-memory candidate-range counting "
+                    "(schedule(static))",
     )
     register_backend(
         "vectorized", "apriori", _vectorized_apriori,

@@ -52,13 +52,26 @@ def _frequent_singletons(
     return matrix[keep], supports[keep], [int(i) for i in keep]
 
 
-def _record_batch(obs: "ObsContext | None", label: str, n: int, n_bytes: int) -> None:
+def _record_batch(
+    obs: "ObsContext | None", label: str, n: int, n_bytes: int,
+    *, broadcast: bool = False,
+) -> None:
+    """Charge one kernel batch of ``n`` intersections to the obs counters.
+
+    ``broadcast=True`` is the Eclat class kernel (one left row AND-ed
+    against ``n`` sibling rows): the left operand is read **once**, not once
+    per sibling, so the batch reads ``(n + 1) * n_bytes``.  Pairwise batches
+    (Apriori) read two distinct rows per intersection.  The serial miners
+    charge ``2 * n_bytes`` per combine because they genuinely re-read the
+    left operand every call; tests pin the exact relationship.
+    """
     if obs is None or n == 0:
         return
     metrics = obs.metrics
     metrics.counter(f"{label}.batches").inc()
     metrics.counter("mine.intersections").inc(n)
-    metrics.counter("mine.intersection_read_bytes").inc(2 * n * n_bytes)
+    read_bytes = (n + 1) * n_bytes if broadcast else 2 * n * n_bytes
+    metrics.counter("mine.intersection_read_bytes").inc(read_bytes)
     metrics.counter("mine.bytes_written").inc(n * n_bytes)
 
 
@@ -108,6 +121,35 @@ def apriori_vectorized(
     return result
 
 
+def _join_member(
+    itemsets: list[Itemset],
+    matrix: np.ndarray,
+    i: int,
+    min_sup: int,
+    obs: "ObsContext | None",
+) -> tuple[list[Itemset], np.ndarray | None, np.ndarray | None]:
+    """Join class member ``i`` against its later siblings (one broadcast AND).
+
+    Returns ``(child_itemsets, child_matrix, child_supports)`` for the
+    frequent children, or ``([], None, None)`` when none survive.  This is
+    the kernel both the in-process walk below and the shared-memory backend
+    workers execute per class member.
+    """
+    n = len(itemsets)
+    children, supports = intersect_block(matrix[i], matrix[i + 1 :])
+    kept = supports >= min_sup
+    _record_batch(
+        obs, "eclat.vectorized", n - 1 - i, matrix.shape[1], broadcast=True,
+    )
+    if not kept.any():
+        return [], None, None
+    child_itemsets = [
+        itemsets[i] + (itemsets[i + 1 + int(j)][-1],)
+        for j in np.nonzero(kept)[0]
+    ]
+    return child_itemsets, children[kept], supports[kept]
+
+
 def _mine_class_vectorized(
     result: MiningResult,
     itemsets: list[Itemset],
@@ -115,21 +157,52 @@ def _mine_class_vectorized(
     min_sup: int,
     obs: "ObsContext | None",
 ) -> None:
-    """Depth-first equivalence-class walk with one broadcast AND per member."""
-    n = len(itemsets)
-    for i in range(n - 1):
-        children, supports = intersect_block(matrix[i], matrix[i + 1 :])
-        kept = supports >= min_sup
-        _record_batch(obs, "eclat.vectorized", n - 1 - i, matrix.shape[1])
-        if not kept.any():
-            continue
-        child_itemsets = [
-            itemsets[i] + (itemsets[i + 1 + int(j)][-1],)
-            for j in np.nonzero(kept)[0]
-        ]
-        child_matrix = children[kept]
-        for itemset, support in zip(child_itemsets, supports[kept]):
-            result.add(tuple(sorted(itemset)), int(support))
+    """Depth-first equivalence-class walk with one broadcast AND per member.
+
+    The walk keeps its own explicit stack of pending classes instead of
+    recursing: dense/low-support databases produce frequent-itemset chains
+    as long as the widest class, and one Python frame per chain link can
+    blow the interpreter recursion limit where a heap stack cannot.
+    """
+    stack: list[tuple[list[Itemset], np.ndarray]] = [(itemsets, matrix)]
+    while stack:
+        cls_itemsets, cls_matrix = stack.pop()
+        for i in range(len(cls_itemsets) - 1):
+            child_itemsets, child_matrix, child_supports = _join_member(
+                cls_itemsets, cls_matrix, i, min_sup, obs
+            )
+            if not child_itemsets:
+                continue
+            for itemset, support in zip(child_itemsets, child_supports):
+                result.add(tuple(sorted(itemset)), int(support))
+            if len(child_itemsets) > 1:
+                stack.append((child_itemsets, child_matrix))
+
+
+def mine_toplevel_class(
+    result: MiningResult,
+    itemsets: list[Itemset],
+    matrix: np.ndarray,
+    index: int,
+    min_sup: int,
+    obs: "ObsContext | None" = None,
+) -> None:
+    """Mine the whole subtree rooted at top-level class member ``index``.
+
+    ``itemsets``/``matrix`` are the ordered frequent singletons (generation
+    1); everything frequent whose first processing-order item is member
+    ``index`` lands in ``result``.  This is the shared-memory backend's task
+    unit — each worker runs it against a zero-copy view of the singleton
+    matrix.
+    """
+    child_itemsets, child_matrix, child_supports = _join_member(
+        itemsets, matrix, index, min_sup, obs
+    )
+    if not child_itemsets:
+        return
+    for itemset, support in zip(child_itemsets, child_supports):
+        result.add(tuple(sorted(itemset)), int(support))
+    if len(child_itemsets) > 1:
         _mine_class_vectorized(result, child_itemsets, child_matrix, min_sup, obs)
 
 

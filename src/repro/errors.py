@@ -43,5 +43,15 @@ class MiningError(ReproError):
     """A mining algorithm detected an internal inconsistency."""
 
 
+class ParallelExecutionError(ReproError):
+    """A real-parallel backend could not complete its task graph.
+
+    Raised when a worker process fails repeatedly on the same task (beyond
+    the retry budget), reports an unexpected exception, or the pool is torn
+    down in an inconsistent state.  The shared-memory cleanup is guaranteed
+    to have run by the time this propagates.
+    """
+
+
 class SimulationError(ReproError):
     """The machine or scheduler simulator was driven into an invalid state."""

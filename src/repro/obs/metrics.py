@@ -136,6 +136,17 @@ class MetricsRegistry:
             inst = self._histograms[name] = Histogram(name)
         return inst
 
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        """Add a ``{name: value}`` snapshot into this registry's counters.
+
+        Parallel backends run each worker with its own registry and ship
+        ``registry.counters()`` dicts back with task results; merging here
+        keeps the parent's view identical to what a single-process run
+        would have recorded.
+        """
+        for name, value in counters.items():
+            self.counter(name).inc(value)
+
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:

@@ -71,17 +71,34 @@ def popcount_rows(matrix: np.ndarray) -> np.ndarray:
     return POPCOUNT8[matrix].sum(axis=1, dtype=np.int64)
 
 
+#: Rows packed per block by :func:`pack_database`; bounds the transient
+#: unpacked mask to ``PACK_BLOCK_ROWS × n_transactions`` bytes.
+PACK_BLOCK_ROWS = 64
+
+
 def pack_database(db: TransactionDatabase) -> np.ndarray:
     """One packed row per item: the whole database as an n_items × n_bytes
-    bit matrix (the vectorized backends' generation-1 operand)."""
+    bit matrix (the vectorized backends' generation-1 operand).
+
+    Packing proceeds in row blocks of :data:`PACK_BLOCK_ROWS` items, so
+    peak transient memory is O(block × n_transactions) rather than the full
+    dense ``n_items × n_transactions`` mask (~350 MB for the pumsb
+    surrogate); only the packed output is ever held for all items at once.
+    """
     n = db.n_transactions
-    mask = np.zeros((db.n_items, max(n, 0)), dtype=np.uint8)
-    for item, tids in enumerate(db.tidlists()):
-        if tids.size:
-            mask[item, tids] = 1
-    if db.n_items == 0:
-        return np.zeros((0, bytes_for(n)), dtype=PACKED_DTYPE)
-    return np.packbits(mask, axis=1, bitorder="little")
+    out = np.zeros((db.n_items, bytes_for(n)), dtype=PACKED_DTYPE)
+    if db.n_items == 0 or n == 0:
+        return out
+    tidlists = db.tidlists()
+    for start in range(0, db.n_items, PACK_BLOCK_ROWS):
+        stop = min(start + PACK_BLOCK_ROWS, db.n_items)
+        mask = np.zeros((stop - start, n), dtype=np.uint8)
+        for row, item in enumerate(range(start, stop)):
+            tids = tidlists[item]
+            if tids.size:
+                mask[row, tids] = 1
+        out[start:stop] = np.packbits(mask, axis=1, bitorder="little")
+    return out
 
 
 def intersect_block(left: np.ndarray, rights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -166,8 +166,11 @@ class TestRegistry:
         assert "bitvector" in entry.representations
 
     def test_available_listings(self):
-        assert available_backends() == ["multiprocessing", "serial", "vectorized"]
+        assert available_backends() == [
+            "multiprocessing", "serial", "shared_memory", "vectorized",
+        ]
         assert available_algorithms("multiprocessing") == ["eclat"]
+        assert available_algorithms("shared_memory") == ["apriori", "eclat"]
         assert "apriori" in available_algorithms()
 
     def test_custom_backend_plugs_in(self, tiny_db):

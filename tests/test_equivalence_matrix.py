@@ -69,6 +69,31 @@ def test_vectorized_backend_matches_brute_force(case, algorithm, representation)
     assert result.backend == "vectorized"
 
 
+@pytest.mark.parametrize("representation", VECTORIZED_REPRESENTATIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_shared_memory_backend_matches_brute_force(case, algorithm, representation):
+    db, min_support, expected = case
+    result = repro.mine(
+        db, algorithm=algorithm, representation=representation,
+        backend="shared_memory", min_support=min_support, n_workers=2,
+    )
+    assert result.itemsets == expected.itemsets
+    assert result.representation == "bitvector_numpy"
+    assert result.backend == "shared_memory"
+
+
+@pytest.mark.parametrize("schedule", ["static", "static,1", "dynamic,2", "guided"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_shared_memory_schedules_match_brute_force(case, algorithm, schedule):
+    """Every OpenMP clause spelling partitions differently, mines identically."""
+    db, min_support, expected = case
+    result = repro.mine(
+        db, algorithm=algorithm, backend="shared_memory",
+        min_support=min_support, n_workers=3, schedule=schedule,
+    )
+    assert result.itemsets == expected.itemsets
+
+
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_vectorized_rejects_unpackable_representations(tiny_db, algorithm):
     for representation in ("tidset", "diffset", "hybrid"):
@@ -84,6 +109,8 @@ def test_matrix_is_what_the_registry_declares():
     assert ("serial", "apriori") in combos
     assert ("serial", "eclat") in combos
     assert ("vectorized", "eclat") in combos
+    assert ("shared_memory", "eclat") in combos
+    assert ("shared_memory", "apriori") in combos
     for backend, algorithm in UNSUPPORTED:
         assert (backend, algorithm) not in combos
 

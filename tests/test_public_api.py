@@ -76,10 +76,12 @@ class TestSubpackageSurfaces:
         ):
             assert callable(getattr(engine, name)), name
         assert set(engine.available_backends()) == {
-            "serial", "multiprocessing", "vectorized",
+            "serial", "multiprocessing", "vectorized", "shared_memory",
         }
         assert ("multiprocessing", "eclat") in engine.supported_combinations()
         assert ("vectorized", "apriori") in engine.supported_combinations()
+        assert ("shared_memory", "eclat") in engine.supported_combinations()
+        assert ("shared_memory", "apriori") in engine.supported_combinations()
 
     def test_paper_config_importable(self):
         from repro import paper

@@ -1,0 +1,262 @@
+"""The zero-copy shared-memory backend: scheduling, fault tolerance, cleanup.
+
+Correctness against the brute-force oracle is pinned (together with the
+rest of the execution matrix) in ``test_equivalence_matrix.py``; this file
+covers what is unique to real multi-process execution — edge-case class
+counts, the OpenMP schedule plumbing, worker death and task-timeout
+recovery, error propagation, observability merging, and the guarantee that
+the ``SharedMemory`` segment never outlives the pool.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.shared_memory_backend import (
+    SharedMemoryPool,
+    parse_schedule,
+    run_apriori_shared_memory,
+    run_eclat_shared_memory,
+)
+from repro.core import brute_force
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.obs import ObsContext
+from repro.openmp.schedule import ECLAT_SCHEDULE, ScheduleSpec
+from repro.representations.bitvector_numpy import pack_database
+
+
+def _shm_segments() -> set[str]:
+    """Names of live POSIX shared-memory segments (Linux: files in /dev/shm)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available on this platform")
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture
+def no_shm_leak():
+    """Assert the test leaves no new shared-memory segment behind."""
+    before = _shm_segments()
+    yield
+    assert _shm_segments() - before == set()
+
+
+class TestParseSchedule:
+    def test_none_gives_default(self):
+        assert parse_schedule(None, ECLAT_SCHEDULE) == ECLAT_SCHEDULE
+
+    def test_spec_passthrough(self):
+        spec = ScheduleSpec("guided", 4)
+        assert parse_schedule(spec, ECLAT_SCHEDULE) is spec
+
+    @pytest.mark.parametrize(
+        "text, kind, chunk",
+        [
+            ("static", "static", None),
+            ("static,1", "static", 1),
+            ("dynamic,8", "dynamic", 8),
+            ("guided", "guided", None),
+            (" dynamic , 2 ", "dynamic", 2),
+        ],
+    )
+    def test_string_forms(self, text, kind, chunk):
+        spec = parse_schedule(text, ECLAT_SCHEDULE)
+        assert spec.kind == kind
+        assert spec.chunk_size == chunk
+
+    def test_bad_chunk_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_schedule("dynamic,lots", ECLAT_SCHEDULE)
+
+    def test_non_string_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_schedule(3, ECLAT_SCHEDULE)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("algorithm", ["eclat", "apriori"])
+    def test_empty_database(self, empty_db, algorithm, no_shm_leak):
+        result = repro.mine(
+            empty_db, algorithm=algorithm, backend="shared_memory",
+            min_support=1, n_workers=2,
+        )
+        assert result.itemsets == {}
+
+    @pytest.mark.parametrize("algorithm", ["eclat", "apriori"])
+    def test_zero_frequent_items(self, tiny_db, algorithm, no_shm_leak):
+        """A threshold above every support yields nothing, and no workers
+        should ever be spawned for the eclat path (no classes to mine)."""
+        result = repro.mine(
+            tiny_db, algorithm=algorithm, backend="shared_memory",
+            min_support=tiny_db.n_transactions + 1, n_workers=2,
+        )
+        assert result.itemsets == {}
+
+    def test_single_frequent_item_has_no_classes(self, single_item_db, no_shm_leak):
+        result = repro.mine(
+            single_item_db, algorithm="eclat", backend="shared_memory",
+            min_support=2, n_workers=4,
+        )
+        assert result.itemsets == {(0,): 3}
+
+    @pytest.mark.parametrize("algorithm", ["eclat", "apriori"])
+    def test_more_workers_than_tasks(self, tiny_db, algorithm, no_shm_leak):
+        expected = brute_force(tiny_db, 2)
+        result = repro.mine(
+            tiny_db, algorithm=algorithm, backend="shared_memory",
+            min_support=2, n_workers=16,
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_bad_worker_count(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_shared_memory(tiny_db, 2, n_workers=0)
+
+    def test_bad_timeout(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_shared_memory(tiny_db, 2, n_workers=1, task_timeout=-1.0)
+
+    def test_bad_item_order(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_shared_memory(tiny_db, 2, item_order="alphabetical")
+
+
+class TestFaultTolerance:
+    def test_killed_worker_task_is_retried(self, paper_db, no_shm_leak):
+        """A worker that dies mid-task (without ever reporting) is respawned
+        and its task re-executed; the result is still exact."""
+        expected = brute_force(paper_db, 2)
+        obs = ObsContext()
+        result = run_eclat_shared_memory(
+            paper_db, 2, n_workers=2, obs=obs, _fault={"kill_task": 0},
+        )
+        assert result.itemsets == expected.itemsets
+        counters = obs.metrics.counters()
+        assert counters["shared_memory.tasks.retried"] >= 1
+        assert counters["shared_memory.workers.respawned"] >= 1
+
+    def test_killed_worker_under_static_schedule(self, paper_db, no_shm_leak):
+        expected = brute_force(paper_db, 2)
+        result = run_apriori_shared_memory(
+            paper_db, 2, n_workers=2, _fault={"kill_task": 0},
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_hung_worker_times_out_and_retries(self, paper_db, no_shm_leak):
+        expected = brute_force(paper_db, 2)
+        obs = ObsContext()
+        result = run_eclat_shared_memory(
+            paper_db, 2, n_workers=2, obs=obs, task_timeout=0.5,
+            _fault={"hang_task": 0, "hang_seconds": 60.0},
+        )
+        assert result.itemsets == expected.itemsets
+        assert obs.metrics.counters()["shared_memory.tasks.retried"] >= 1
+
+    def test_retry_budget_exhausted_raises_and_cleans_up(self, paper_db, no_shm_leak):
+        with pytest.raises(ParallelExecutionError):
+            run_eclat_shared_memory(
+                paper_db, 2, n_workers=2, max_task_retries=0,
+                _fault={"kill_task": 0},
+            )
+
+    def test_worker_exception_propagates(self, tiny_db, no_shm_leak):
+        """A deterministic in-task exception is not retried — it surfaces as
+        ParallelExecutionError carrying the worker traceback."""
+        matrix = pack_database(tiny_db)
+        init = {"min_sup": 1, "collect_obs": False, "fault": None}
+        with SharedMemoryPool(
+            matrix, init, 1, ScheduleSpec("dynamic", 1)
+        ) as pool:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                pool.run([("apriori", [(0, 999)])])  # item 999 out of range
+        assert "task 0" in str(excinfo.value)
+
+    def test_run_after_shutdown_raises(self, tiny_db, no_shm_leak):
+        matrix = pack_database(tiny_db)
+        init = {"min_sup": 1, "collect_obs": False, "fault": None}
+        pool = SharedMemoryPool(matrix, init, 1, ScheduleSpec("dynamic", 1))
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+        with pytest.raises(ParallelExecutionError):
+            pool.run([("apriori", [(0,)])])
+
+
+class TestPool:
+    def test_static_ownership(self, tiny_db, no_shm_leak):
+        matrix = pack_database(tiny_db)
+        init = {"min_sup": 1, "collect_obs": False, "fault": None}
+        with SharedMemoryPool(
+            matrix, init, 3, ScheduleSpec("static", 1)
+        ) as pool:
+            # chunked static deals tasks round-robin ...
+            assert pool.static_owners(5) == [0, 1, 2, 0, 1]
+        with SharedMemoryPool(
+            matrix, init, 3, ScheduleSpec("static", None)
+        ) as pool:
+            # ... unchunked static gives one contiguous block per worker.
+            assert pool.static_owners(3) == [0, 1, 2]
+
+    def test_pool_reuse_across_generations(self, tiny_db, no_shm_leak):
+        """Apriori reuses one pool (workers attach once) across generations;
+        exercised through a run that needs >= 3 generations."""
+        expected = brute_force(tiny_db, 2)
+        obs = ObsContext()
+        result = run_apriori_shared_memory(tiny_db, 2, n_workers=2, obs=obs)
+        assert result.itemsets == expected.itemsets
+        # Workers were spawned once, not once per generation.
+        assert obs.metrics.counters().get(
+            "shared_memory.workers.respawned", 0
+        ) == 0
+
+
+class TestObservability:
+    def test_worker_task_counts_and_merged_kernels(self, paper_db):
+        obs = ObsContext()
+        result = run_eclat_shared_memory(paper_db, 2, n_workers=2, obs=obs)
+        counters = obs.metrics.counters()
+        n_tasks = counters["eclat.toplevel.tasks"]
+        assert n_tasks >= 1
+        per_worker = sum(
+            value for name, value in counters.items()
+            if name.startswith("shared_memory.worker")
+            and name.endswith(".tasks")
+        )
+        assert per_worker == n_tasks
+        # Worker-side kernel counters merged into the parent registry must be
+        # exactly what the in-process vectorized backend records for the
+        # class-mining stage (same kernels, same order).
+        vec_obs = ObsContext()
+        vec_result = repro.mine(
+            paper_db, algorithm="eclat", backend="vectorized",
+            min_support=2, obs=vec_obs,
+        )
+        assert result.itemsets == vec_result.itemsets
+        vec = vec_obs.metrics.counters()
+        for name in (
+            "mine.intersections",
+            "mine.intersection_read_bytes",
+            "mine.bytes_written",
+        ):
+            assert counters[name] == vec[name], name
+
+    def test_pool_gauges(self, paper_db):
+        obs = ObsContext()
+        run_eclat_shared_memory(paper_db, 2, n_workers=2, obs=obs)
+        gauges = obs.metrics.gauges()
+        assert gauges["shared_memory.n_workers"] == 2
+        matrix_rows = int(
+            np.count_nonzero(
+                np.asarray(
+                    [len(t) for t in paper_db.tidlists()], dtype=np.int64
+                )
+                >= 2
+            )
+        )
+        assert gauges["shared_memory.base_bytes"] == matrix_rows * 1  # 6 tx -> 1 byte
+
+    def test_no_obs_is_fine(self, paper_db):
+        expected = brute_force(paper_db, 3)
+        result = run_eclat_shared_memory(paper_db, 3, n_workers=2)
+        assert result.itemsets == expected.itemsets
