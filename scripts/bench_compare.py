@@ -1,0 +1,78 @@
+"""Benchmark regression gate: diff two bench/ledger records, fail on slowdown.
+
+A thin, CI-friendly wrapper over :mod:`repro.obs.compare` — the same
+comparator behind ``python -m repro obs compare``.  Point it at two
+``BENCH_kernels.json`` / ``BENCH_shared_memory.json`` snapshots (or two
+ledger-record JSON dumps) and it exits nonzero when any shared metric
+regressed past the threshold:
+
+    PYTHONPATH=src python scripts/bench_compare.py \
+        BENCH_kernels.json /tmp/BENCH_kernels.new.json --threshold 0.25
+
+Exit codes: 0 = pass (or records incomparable — different workload — which
+is a skip, not a failure), 1 = regression, 2 = incomparable under
+``--strict``.
+
+Cross-machine note: absolute seconds measured on different hardware are
+not comparable; ``--ratios-only`` restricts the gate to the
+machine-independent speedup ratios (each record's speedup is normalized by
+its own same-machine baseline), which is what CI uses against the
+committed baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.compare import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    compare_records,
+    load_record,
+    render_comparison,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline JSON record")
+    parser.add_argument("current", help="current JSON record")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative slowdown that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--ratios-only", action="store_true",
+        help="gate only on machine-independent speedup ratios",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 instead of 0 when the records are not comparable",
+    )
+    parser.add_argument(
+        "--metric", action="append", metavar="NAME",
+        help="restrict to exact metric name(s); repeatable",
+    )
+    args = parser.parse_args()
+
+    try:
+        base = load_record(args.baseline)
+        current = load_record(args.current)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_records(
+        base, current,
+        ratios_only=args.ratios_only,
+        metrics=args.metric or None,
+    )
+    print(render_comparison(comparison, args.threshold))
+    return comparison.exit_code(args.threshold, strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

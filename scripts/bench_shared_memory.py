@@ -69,7 +69,18 @@ def main() -> int:
                         help="exit 1 unless speedup at 4 workers >= "
                              "--min-speedup (skipped when cpu_count < 4)")
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace of the widest "
+                             "shared-memory run (one lane per worker)")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="also append every timed run to this ledger")
     args = parser.parse_args()
+
+    ledger = None
+    if args.ledger_dir:
+        from repro.obs.ledger import Ledger  # noqa: E402
+
+        ledger = Ledger(args.ledger_dir)
 
     if args.smoke:
         db = parse_fimi(SMOKE_FIMI, name="smoke")
@@ -82,7 +93,7 @@ def main() -> int:
 
     t_serial, baseline = best_of(
         lambda: mine(db, algorithm="eclat", backend="vectorized",
-                     min_support=min_support),
+                     min_support=min_support, ledger=ledger),
         args.repeats,
     )
 
@@ -90,7 +101,8 @@ def main() -> int:
     for n in workers:
         seconds, result = best_of(
             lambda n=n: mine(db, algorithm="eclat", backend="shared_memory",
-                             min_support=min_support, n_workers=n),
+                             min_support=min_support, n_workers=n,
+                             ledger=ledger),
             args.repeats,
         )
         if result.itemsets != baseline.itemsets:
@@ -98,6 +110,20 @@ def main() -> int:
                   "vectorized baseline", file=sys.stderr)
             return 2
         sweep[n] = seconds
+
+    if args.trace_out:
+        # One extra (untimed) run at the widest worker count, traced: the
+        # artifact CI uploads so any run's worker lanes can be eyeballed
+        # in Perfetto.
+        from repro.obs import ChromeTraceSink, ObsContext  # noqa: E402
+
+        obs = ObsContext(sink=ChromeTraceSink(args.trace_out))
+        try:
+            mine(db, algorithm="eclat", backend="shared_memory",
+                 min_support=min_support, n_workers=max(workers), obs=obs)
+        finally:
+            obs.close()
+        print(f"trace written to {args.trace_out} (load in ui.perfetto.dev)")
 
     record = {
         "dataset": db.name,

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import warnings
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.core.eclat import _Member, _mine_class, _State  # noqa: WPS450 - intentional reuse
 from repro.core.result import MiningResult, resolve_min_support
@@ -33,30 +34,53 @@ _WORKER: dict = {}
 
 def _init_worker(
     transactions: list, n_items: int, min_sup: int, representation: str,
-    item_order: str,
+    item_order: str, collect_obs: bool = False,
 ) -> None:
-    db = TransactionDatabase(transactions, n_items=n_items, name="worker")
-    rep = get_representation(representation)
-    singletons = rep.build_singletons(db, min_support=min_sup)
-    frequent = [
-        (item, v) for item, v in enumerate(singletons) if v.support >= min_sup
-    ]
-    if item_order == "support":
-        frequent.sort(key=lambda entry: (entry[1].support, entry[0]))
-    _WORKER["rep"] = rep
-    _WORKER["min_sup"] = min_sup
-    _WORKER["members"] = [
-        _Member((item,), vertical, index)
-        for index, (item, vertical) in enumerate(frequent)
-    ]
+    from repro.obs.procmerge import WorkerTelemetry
+
+    telemetry = WorkerTelemetry(collect_obs)
+    _WORKER["telemetry"] = telemetry
+    obs = telemetry.obs
+
+    def build() -> None:
+        db = TransactionDatabase(transactions, n_items=n_items, name="worker")
+        rep = get_representation(representation)
+        singletons = rep.build_singletons(db, min_support=min_sup)
+        frequent = [
+            (item, v)
+            for item, v in enumerate(singletons) if v.support >= min_sup
+        ]
+        if item_order == "support":
+            frequent.sort(key=lambda entry: (entry[1].support, entry[0]))
+        _WORKER["rep"] = rep
+        _WORKER["min_sup"] = min_sup
+        _WORKER["members"] = [
+            _Member((item,), vertical, index)
+            for index, (item, vertical) in enumerate(frequent)
+        ]
+
+    if obs is not None:
+        # Each worker rebuilds its private verticals (see module docstring);
+        # the attach span ships with the first task's snapshot.
+        with obs.sink.span("worker.attach", cat="setup"):
+            build()
+    else:
+        build()
 
 
-def _mine_toplevel_task(task_index: int) -> dict:
-    """Mine one top-level class: prefix = frequent item #task_index."""
+def _mine_toplevel_task(task_index: int) -> tuple[dict, dict | None]:
+    """Mine one top-level class: prefix = frequent item #task_index.
+
+    Returns ``(itemsets, telemetry_snapshot_or_None)``; the parent merges
+    the snapshot into its own ObsContext (see :mod:`repro.obs.procmerge`).
+    """
+    telemetry = _WORKER["telemetry"]
+    obs = telemetry.obs
     rep = _WORKER["rep"]
     min_sup = _WORKER["min_sup"]
     members = _WORKER["members"]
 
+    busy_start = time.perf_counter() if obs is not None else 0.0
     result = MiningResult(
         dataset="worker", algorithm="eclat", representation=rep.name,
         min_support=min_sup, n_transactions=0,
@@ -72,7 +96,15 @@ def _mine_toplevel_task(task_index: int) -> dict:
             next_class.append(_Member(candidate, vertical, -1))
     if next_class:
         _mine_class(state, next_class, 2)
-    return result.itemsets
+    if obs is not None:
+        obs.sink.wall_event(
+            "task.eclat", busy_start, cat="mine",
+            args={"task_id": task_index, "n_items": len(result.itemsets)},
+        )
+        obs.metrics.counter("worker.busy_s").inc(
+            time.perf_counter() - busy_start
+        )
+    return result.itemsets, telemetry.drain()
 
 
 class _NullCollector:
@@ -83,6 +115,25 @@ class _NullCollector:
         pass
 
 
+def _merge_task_snapshot(obs, snap, lanes: dict, seen_pids: set) -> None:
+    """Fold one worker snapshot into the parent on a per-pid lane.
+
+    ``imap_unordered`` gives no stable worker slot, so lanes are numbered
+    by first-seen pid order: the first pid to report becomes ``worker 0``.
+    """
+    from repro.obs.procmerge import merge_snapshot
+
+    pid = snap.get("pid") if isinstance(snap, Mapping) else None
+    prefix = lane_name = None
+    if isinstance(pid, int):
+        index = lanes.setdefault(pid, len(lanes))
+        prefix = f"multiprocessing.worker{index}"
+        lane_name = f"worker {index} (pid {pid})"
+    merge_snapshot(
+        obs, snap, prefix=prefix, lane_name=lane_name, seen_pids=seen_pids,
+    )
+
+
 def run_eclat_multiprocessing(
     db: TransactionDatabase,
     min_support: float | int,
@@ -90,18 +141,22 @@ def run_eclat_multiprocessing(
     *,
     n_workers: int | None = None,
     item_order: str = "support",
+    obs=None,
 ) -> MiningResult:
     """Frequent itemsets via a process pool over top-level classes.
 
     Produces exactly the same itemset->support map as
     :func:`repro.core.eclat.eclat` with matching parameters.  This is the
     runner behind ``repro.mine(..., backend="multiprocessing")``; prefer
-    that entry point.
+    that entry point.  With ``obs`` active, each worker ships a telemetry
+    snapshot alongside its itemsets and the merged trace shows one lane
+    per worker process.
     """
     if item_order not in ("support", "id"):
         raise ConfigurationError("item_order must be 'support' or 'id'")
     min_sup = resolve_min_support(db, min_support)
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 0)
+    wall_start = time.perf_counter() if obs is not None else 0.0
 
     rep = get_representation(representation)
     result = MiningResult(
@@ -121,21 +176,36 @@ def run_eclat_multiprocessing(
     for item in frequent_items:
         result.add((item,), singletons[item].support)
     n_tasks = len(frequent_items)
+    if obs is not None:
+        obs.metrics.counter("eclat.toplevel.tasks").inc(n_tasks)
     if n_tasks == 0:
         return result
 
+    lanes: dict[int, int] = {}
+    seen_pids: set[int] = set()
     transactions = [t.tolist() for t in db]
     ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with ctx.Pool(
-        processes=min(n_workers, n_tasks),
-        initializer=_init_worker,
-        initargs=(transactions, db.n_items, min_sup, representation, item_order),
-    ) as pool:
-        # chunksize=1 mirrors the paper's schedule(dynamic, 1).
-        for partial in pool.imap_unordered(
-            _mine_toplevel_task, range(n_tasks), chunksize=1
-        ):
-            result.itemsets.update(partial)
+    try:
+        with ctx.Pool(
+            processes=min(n_workers, n_tasks),
+            initializer=_init_worker,
+            initargs=(transactions, db.n_items, min_sup, representation,
+                      item_order, obs is not None),
+        ) as pool:
+            # chunksize=1 mirrors the paper's schedule(dynamic, 1).
+            for partial, snap in pool.imap_unordered(
+                _mine_toplevel_task, range(n_tasks), chunksize=1
+            ):
+                result.itemsets.update(partial)
+                if obs is not None and snap is not None:
+                    _merge_task_snapshot(obs, snap, lanes, seen_pids)
+    finally:
+        if obs is not None:
+            obs.sink.wall_event(
+                "multiprocessing.mine", wall_start, cat="mine",
+                args={"algorithm": "eclat", "tasks": n_tasks,
+                      "workers": min(n_workers, n_tasks)},
+            )
     return result
 
 

@@ -182,16 +182,32 @@ def _worker_main(
     The parent dispatches at most one ``(task_id, payload)`` at a time to
     this worker's private queue and tracks the assignment on its side, so
     the worker only ever reports outcomes: ``("done", worker, task,
-    output, counters)`` or ``("error", worker, task, traceback)``.  A
-    ``None`` sentinel ends the loop.
+    output, snapshot)`` or ``("error", worker, task, traceback,
+    snapshot)``.  A ``None`` sentinel ends the loop.
+
+    When the parent carries an ObsContext (``init["collect_obs"]``), the
+    worker records its own telemetry — an attach span, a queue-wait span
+    and a compute span per task, plus kernel counters and ``worker.busy_s``
+    / ``worker.wait_s`` totals — into a :class:`WorkerTelemetry` drained
+    into the snapshot shipped with every outcome.  A worker killed mid-task
+    ships nothing for that task; the parent merges only what arrived, so
+    partial telemetry never corrupts the trace.
     """
+    from repro.obs.procmerge import WorkerTelemetry
+
     shm = None
     matrix = None
+    telemetry = WorkerTelemetry(bool(init.get("collect_obs", False)))
+    obs = telemetry.obs
     try:
-        shm, matrix = _attach(spec)
+        if obs is not None:
+            with obs.sink.span("worker.attach", cat="setup"):
+                shm, matrix = _attach(spec)
+        else:
+            shm, matrix = _attach(spec)
         fault = init.get("fault") or {}
-        collect_obs = init.get("collect_obs", False)
         while True:
+            wait_start = time.perf_counter()
             task = task_queue.get()
             if task is None:
                 break
@@ -200,11 +216,15 @@ def _worker_main(
                 os._exit(13)  # fault injection: die mid-task, unannounced
             if fault.get("hang_task") == task_id:
                 time.sleep(fault.get("hang_seconds", 3600.0))
-            obs = None
-            if collect_obs:
-                from repro.obs import ObsContext
-
-                obs = ObsContext()
+            busy_start = time.perf_counter()
+            if obs is not None:
+                obs.sink.wall_event(
+                    "task.wait", wait_start, busy_start, cat="wait",
+                    args={"task_id": task_id},
+                )
+                obs.metrics.counter("worker.wait_s").inc(
+                    busy_start - wait_start
+                )
             try:
                 kind, body = payload
                 if kind == "eclat":
@@ -212,12 +232,26 @@ def _worker_main(
                 else:
                     out = _run_apriori_chunk(matrix, init, body, obs)
             except Exception:
+                if obs is not None:
+                    obs.sink.wall_event(
+                        f"task.{payload[0]}", busy_start, cat="task",
+                        args={"task_id": task_id, "error": True},
+                    )
                 result_queue.put(
-                    ("error", worker_id, task_id, traceback.format_exc())
+                    ("error", worker_id, task_id, traceback.format_exc(),
+                     telemetry.drain())
                 )
                 continue
-            counters = obs.metrics.counters() if obs is not None else None
-            result_queue.put(("done", worker_id, task_id, out, counters))
+            busy_end = time.perf_counter()
+            if obs is not None:
+                obs.sink.wall_event(
+                    f"task.{kind}", busy_start, busy_end, cat="task",
+                    args={"task_id": task_id, "n_items": len(body)},
+                )
+                obs.metrics.counter("worker.busy_s").inc(busy_end - busy_start)
+            result_queue.put(
+                ("done", worker_id, task_id, out, telemetry.drain())
+            )
     except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
         pass  # parent tore the queues down; exit quietly
     finally:
@@ -301,11 +335,21 @@ class SharedMemoryPool:
         self._result_queue = self._ctx.Queue()
         self._queues = [self._ctx.Queue() for _ in range(n_workers)]
         self._workers: list = [None] * n_workers
+        #: Worker OS pids already given a named Chrome lane (procmerge).
+        self._seen_pids: set[int] = set()
+        #: Wall seconds spent inside run() — the load-balance makespan.
+        self._run_seconds = 0.0
         for worker_id in range(n_workers):
             self._spawn(worker_id)
         if obs is not None:
             obs.metrics.gauge("shared_memory.n_workers").set(n_workers)
             obs.metrics.gauge("shared_memory.base_bytes").set(matrix.nbytes)
+            if obs.sink.enabled:
+                obs.sink.set_process_name(0, "parent (dispatch + host spans)")
+                for worker_id in range(n_workers):
+                    obs.sink.set_thread_name(
+                        0, worker_id + 1, f"dispatch -> worker {worker_id}"
+                    )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -428,38 +472,50 @@ class SharedMemoryPool:
                 self._pending[owner].append(task_id)
         else:
             self._pending = deque(range(n_tasks))
-        # worker -> (task, dispatched-at); the single source of truth for
-        # what is in flight.
-        self._assigned: dict[int, tuple[int, float]] = {}
+        # worker -> (task, dispatched-at monotonic, dispatched-at perf);
+        # the single source of truth for what is in flight.
+        self._assigned: dict[int, tuple[int, float, float]] = {}
         outputs: list = [_UNSET] * n_tasks
         retries: dict[int, int] = {}
         done = 0
 
-        for worker_id in range(self.n_workers):
-            self._dispatch(worker_id)
-        while done < n_tasks:
-            try:
-                message = self._result_queue.get(timeout=_POLL_SECONDS)
-            except Empty:
-                message = None
-            if message is not None:
-                kind = message[0]
-                if kind == "done":
-                    _, worker_id, task_id, out, counters = message
-                    held = self._assigned.get(worker_id)
-                    if held is not None and held[0] == task_id:
-                        del self._assigned[worker_id]
-                    if outputs[task_id] is _UNSET:
-                        outputs[task_id] = out
-                        done += 1
-                        self._merge_counters(worker_id, counters)
-                    self._dispatch(worker_id)
-                else:  # "error": a worker raised — deterministic, don't retry
-                    _, worker_id, task_id, tb = message
-                    raise ParallelExecutionError(
-                        f"worker {worker_id} failed on task {task_id}:\n{tb}"
-                    )
-            self._police(retries, outputs)
+        run_start = time.perf_counter()
+        try:
+            for worker_id in range(self.n_workers):
+                self._dispatch(worker_id)
+            while done < n_tasks:
+                try:
+                    message = self._result_queue.get(timeout=_POLL_SECONDS)
+                except Empty:
+                    message = None
+                if message is not None:
+                    kind = message[0]
+                    if kind == "done":
+                        _, worker_id, task_id, out, snapshot = message
+                        held = self._assigned.get(worker_id)
+                        dispatched_perf = None
+                        if held is not None and held[0] == task_id:
+                            dispatched_perf = held[2]
+                            del self._assigned[worker_id]
+                        if outputs[task_id] is _UNSET:
+                            outputs[task_id] = out
+                            done += 1
+                            self._merge_result(
+                                worker_id, task_id, snapshot, dispatched_perf
+                            )
+                        self._dispatch(worker_id)
+                    else:  # "error": a worker raised — deterministic, no retry
+                        _, worker_id, task_id, tb, snapshot = message
+                        # Keep whatever telemetry the failing worker managed
+                        # to record; the trace must survive the abort.
+                        self._merge_result(worker_id, task_id, snapshot, None)
+                        raise ParallelExecutionError(
+                            f"worker {worker_id} failed on task {task_id}:"
+                            f"\n{tb}"
+                        )
+                self._police(retries, outputs)
+        finally:
+            self._run_seconds += time.perf_counter() - run_start
         return outputs
 
     def _dispatch(self, worker_id: int) -> None:
@@ -472,12 +528,14 @@ class SharedMemoryPool:
         if not pending:
             return
         task_id = pending.popleft()
-        self._assigned[worker_id] = (task_id, time.monotonic())
+        self._assigned[worker_id] = (
+            task_id, time.monotonic(), time.perf_counter()
+        )
         self._queues[worker_id].put((task_id, self._payloads[task_id]))
 
     def _requeue(self, worker_id: int, retries: dict[int, int], reason: str) -> None:
         """Return a failed worker's in-flight task to the head of its deque."""
-        task_id, _ = self._assigned.pop(worker_id)
+        task_id, _, _ = self._assigned.pop(worker_id)
         retries[task_id] = retries.get(task_id, 0) + 1
         if retries[task_id] > self._max_task_retries:
             raise ParallelExecutionError(
@@ -509,7 +567,7 @@ class SharedMemoryPool:
         if self._task_timeout is not None:
             expired = [
                 worker_id
-                for worker_id, (task_id, since) in self._assigned.items()
+                for worker_id, (task_id, since, _) in self._assigned.items()
                 if now - since > self._task_timeout
                 and outputs[task_id] is _UNSET
             ]
@@ -527,16 +585,83 @@ class SharedMemoryPool:
         for worker_id in range(self.n_workers):
             self._dispatch(worker_id)
 
-    def _merge_counters(self, worker_id: int, counters: dict | None) -> None:
+    def _merge_result(
+        self,
+        worker_id: int,
+        task_id: int,
+        snapshot: dict | None,
+        dispatched_perf: float | None,
+    ) -> None:
+        """Fold one task's worker telemetry into the parent context.
+
+        The parent also records its own side of the task — a dispatch→done
+        span on the parent lane (pid 0, one tid per worker slot), so the
+        merged trace shows dispatch latency and worker compute side by side.
+        """
         if self._obs is None:
             return
+        from repro.obs.procmerge import merge_snapshot
+
         metrics = self._obs.metrics
         metrics.counter(f"shared_memory.worker{worker_id}.tasks").inc()
-        if counters:
-            metrics.merge_counters(counters)
+        if dispatched_perf is not None:
+            self._obs.sink.wall_event(
+                f"task{task_id}", dispatched_perf,
+                pid=0, tid=worker_id + 1, cat="dispatch",
+                args={"task_id": task_id, "worker": worker_id},
+            )
+        if snapshot is not None:
+            read_bytes_before = metrics.counters().get(
+                "mine.intersection_read_bytes", 0.0
+            )
+            merge_snapshot(
+                self._obs, snapshot,
+                prefix=f"shared_memory.worker{worker_id}",
+                lane_name=f"worker {worker_id} (pid {snapshot.get('pid', '?')})"
+                if isinstance(snapshot, dict) else None,
+                seen_pids=self._seen_pids,
+            )
+            read_bytes_after = metrics.counters().get(
+                "mine.intersection_read_bytes", 0.0
+            )
             metrics.counter(
                 f"shared_memory.worker{worker_id}.read_bytes"
-            ).inc(counters.get("mine.intersection_read_bytes", 0))
+            ).inc(read_bytes_after - read_bytes_before)
+
+    def finalize_load_balance(self) -> dict[str, float] | None:
+        """The merged-counter analogue of ``openmp.load_balance_summary``.
+
+        Per-worker busy seconds come from the workers' own ``worker.busy_s``
+        counters (rebound to ``shared_memory.worker{w}.busy_s`` at merge
+        time); the makespan is the parent's accumulated wall time inside
+        :meth:`run`.  Sets ``shared_memory.load_balance.*`` gauges and
+        returns the summary, or ``None`` without an ObsContext.
+        """
+        if self._obs is None:
+            return None
+        counters = self._obs.metrics.counters()
+        busy = [
+            counters.get(f"shared_memory.worker{w}.busy_s", 0.0)
+            for w in range(self.n_workers)
+        ]
+        makespan = self._run_seconds
+        max_busy = max(busy) if busy else 0.0
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        summary = {
+            "max_busy": max_busy,
+            "min_busy": min(busy) if busy else 0.0,
+            "mean_busy": mean_busy,
+            "imbalance": (max_busy / mean_busy - 1.0) if mean_busy else 0.0,
+            "idle_fraction": (
+                1.0 - sum(busy) / (self.n_workers * makespan)
+                if makespan > 0 else 0.0
+            ),
+        }
+        for key, value in summary.items():
+            self._obs.metrics.gauge(f"shared_memory.load_balance.{key}").set(
+                value
+            )
+        return summary
 
 
 # --------------------------------------------------------------------------
@@ -604,28 +729,35 @@ def run_eclat_shared_memory(
 
     n_classes = len(itemsets) - 1  # the last member has no later siblings
     workers = _resolve_workers(n_workers, n_classes)
-    if n_classes >= 1:
-        bounds = chunk_boundaries(n_classes, workers, spec)
-        payloads = [("eclat", list(range(start, end))) for start, end in bounds]
-        init = {
-            "min_sup": min_sup,
-            "itemsets": itemsets,
-            "collect_obs": obs is not None,
-            "fault": _fault,
-        }
-        with SharedMemoryPool(
-            matrix, init, workers, spec,
-            task_timeout=task_timeout, max_task_retries=max_task_retries,
-            obs=obs,
-        ) as pool:
-            for out in pool.run(payloads):
-                result.itemsets.update(out)
-    if obs is not None:
-        obs.sink.wall_event(
-            "shared_memory.mine", wall_start, cat="mine",
-            args={"algorithm": "eclat", "tasks": max(0, n_classes),
-                  "schedule": str(spec)},
-        )
+    try:
+        if n_classes >= 1:
+            bounds = chunk_boundaries(n_classes, workers, spec)
+            payloads = [
+                ("eclat", list(range(start, end))) for start, end in bounds
+            ]
+            init = {
+                "min_sup": min_sup,
+                "itemsets": itemsets,
+                "collect_obs": obs is not None,
+                "fault": _fault,
+            }
+            with SharedMemoryPool(
+                matrix, init, workers, spec,
+                task_timeout=task_timeout, max_task_retries=max_task_retries,
+                obs=obs,
+            ) as pool:
+                for out in pool.run(payloads):
+                    result.itemsets.update(out)
+                pool.finalize_load_balance()
+    finally:
+        # Emitted on the fault path too: an aborted run's trace must still
+        # show the mine span around whatever worker telemetry arrived.
+        if obs is not None:
+            obs.sink.wall_event(
+                "shared_memory.mine", wall_start, cat="mine",
+                args={"algorithm": "eclat", "tasks": max(0, n_classes),
+                      "schedule": str(spec)},
+            )
     return result
 
 
@@ -705,11 +837,14 @@ def run_apriori_shared_memory(
             frequent = next_frequent
     finally:
         if pool is not None:
+            pool.finalize_load_balance()
             pool.shutdown()
-    if obs is not None:
-        obs.sink.wall_event(
-            "shared_memory.mine", wall_start, cat="mine",
-            args={"algorithm": "apriori", "generations": generation,
-                  "schedule": str(spec)},
-        )
+        # Emitted on the fault path too: an aborted run's trace must still
+        # show the mine span around whatever worker telemetry arrived.
+        if obs is not None:
+            obs.sink.wall_event(
+                "shared_memory.mine", wall_start, cat="mine",
+                args={"algorithm": "apriori", "generations": generation,
+                      "schedule": str(spec)},
+            )
     return result

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``mine``      — frequent itemsets from a FIMI file or a named surrogate,
   routed through ``repro.mine()`` with ``--backend
@@ -11,17 +11,25 @@ Four subcommands cover the common workflows:
   simulated Blacklight across thread counts, print the table and chart;
 * ``profile``   — run a study fully instrumented and print the metrics
   report (per-level candidate volumes, NumaLink bytes per region, busy
-  time, fork/join overhead).
+  time, fork/join overhead);
+* ``obs``       — the run-ledger toolbox: ``obs tail`` streams recent run
+  records, ``obs report`` dumps one, and ``obs compare`` diffs two runs or
+  ``BENCH_*.json`` files and exits nonzero past a regression threshold
+  (the CI gate).
 
 ``mine``, ``scalability``, and ``profile`` accept ``--trace-out FILE`` to
 write a Chrome trace-event JSON loadable in Perfetto, and ``mine`` /
-``scalability`` accept ``--metrics`` to print the metrics report.
+``scalability`` accept ``--metrics`` to print the metrics report.  Those
+three commands also append each run to the ledger under ``.repro/runs/``
+(``--ledger-dir`` relocates it, ``--no-ledger`` opts out).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis.charts import speedup_chart
@@ -88,6 +96,57 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run to the run ledger",
+    )
+    parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: .repro/runs)",
+    )
+
+
+@contextmanager
+def _ledger_scope(args: argparse.Namespace):
+    """Yield the ledger for this invocation (None under ``--no-ledger``).
+
+    Resolution order: ``--no-ledger`` (record nothing, beating any ambient
+    ``REPRO_LEDGER``), then ``--ledger-dir``, then an explicitly-set
+    ``REPRO_LEDGER`` (including its ``0``/``off`` kill switch — what test
+    suites rely on), then the CLI default of recording to ``.repro/runs``.
+    """
+    import os
+
+    from repro.obs.ledger import (
+        LEDGER_ENV,
+        Ledger,
+        default_ledger,
+        reset_default_ledger,
+        set_default_ledger,
+    )
+
+    if getattr(args, "no_ledger", False):
+        set_default_ledger(None)
+        try:
+            yield None
+        finally:
+            reset_default_ledger()
+    elif args.ledger_dir:
+        yield Ledger(args.ledger_dir)
+    elif os.environ.get(LEDGER_ENV) is not None:
+        yield default_ledger()
+    else:
+        yield Ledger()
+
+
+def _open_ledger(args: argparse.Namespace):
+    """The read-side ledger for the ``obs`` subcommands."""
+    from repro.obs.ledger import Ledger
+
+    return Ledger(args.ledger_dir) if args.ledger_dir else Ledger()
+
+
 def _build_obs(args: argparse.Namespace) -> ObsContext | None:
     """An ObsContext when any obs flag is set, else None (zero overhead)."""
     if args.trace_out:
@@ -116,29 +175,36 @@ def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
 def cmd_mine(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
     obs = _build_obs(args)
-    if args.algorithm == "charm":
-        # Closed-itemset miner; not an engine algorithm.
-        result = charm(db, args.min_support)
-    else:
-        try:
-            result = mine(
-                db,
-                algorithm=args.algorithm,
-                representation=args.representation,
-                backend=args.backend,
-                min_support=args.min_support,
-                obs=obs,
-            )
-        except ReproError as exc:
-            raise SystemExit(f"error: {exc}") from None
-    print(result.summary())
-    if args.top:
-        ranked = sorted(
-            result.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
-        )[: args.top]
-        for items, support in ranked:
-            print(f"  {{{','.join(map(str, items))}}}: {support}")
-    _finish_obs(args, obs)
+    # finally: even when a parallel run aborts, the trace file must land on
+    # disk (valid JSON) with whatever worker telemetry was merged.
+    try:
+        with _ledger_scope(args) as ledger:
+            if args.algorithm == "charm":
+                # Closed-itemset miner; not an engine algorithm (no ledger
+                # hook either).
+                result = charm(db, args.min_support)
+            else:
+                try:
+                    result = mine(
+                        db,
+                        algorithm=args.algorithm,
+                        representation=args.representation,
+                        backend=args.backend,
+                        min_support=args.min_support,
+                        obs=obs,
+                        ledger=ledger,
+                    )
+                except ReproError as exc:
+                    raise SystemExit(f"error: {exc}") from None
+        print(result.summary())
+        if args.top:
+            ranked = sorted(
+                result.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: args.top]
+            for items, support in ranked:
+                print(f"  {{{','.join(map(str, items))}}}: {support}")
+    finally:
+        _finish_obs(args, obs)
     return 0
 
 
@@ -156,23 +222,26 @@ def cmd_scalability(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
     counts = standard_thread_counts(args.max_threads)
     obs = _build_obs(args)
-    study = run_scalability_study(
-        db, args.algorithm, args.representation, args.min_support,
-        thread_counts=counts, obs=obs,
-    )
-    print(study.mining_result.summary())
-    print()
-    print(
-        render_runtime_table(
-            runtime_table([study], "simulated runtime (seconds)")
+    try:
+        with _ledger_scope(args) as ledger:
+            study = run_scalability_study(
+                db, args.algorithm, args.representation, args.min_support,
+                thread_counts=counts, obs=obs, ledger=ledger,
+            )
+        print(study.mining_result.summary())
+        print()
+        print(
+            render_runtime_table(
+                runtime_table([study], "simulated runtime (seconds)")
+            )
         )
-    )
-    series = speedup_series([study])
-    print()
-    print(render_speedup_series(series, title="speedup vs one thread"))
-    print()
-    print(speedup_chart(series, title="speedup curve"))
-    _finish_obs(args, obs)
+        series = speedup_series([study])
+        print()
+        print(render_speedup_series(series, title="speedup vs one thread"))
+        print()
+        print(speedup_chart(series, title="speedup curve"))
+    finally:
+        _finish_obs(args, obs)
     return 0
 
 
@@ -189,11 +258,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}") from None
     obs = ObsContext(sink=sink)
-    study = run_scalability_study(
-        db, args.algorithm, args.representation, args.min_support,
-        thread_counts=counts, obs=obs, obs_threads=args.threads,
-    )
-    obs.close()
+    try:
+        with _ledger_scope(args) as ledger:
+            study = run_scalability_study(
+                db, args.algorithm, args.representation, args.min_support,
+                thread_counts=counts, obs=obs, obs_threads=args.threads,
+                ledger=ledger,
+            )
+    finally:
+        obs.close()
 
     target = args.threads if args.threads is not None else max(counts)
     print(study.mining_result.summary())
@@ -214,6 +287,56 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.trace_out:
         print(f"\ntrace written to {args.trace_out} (load in ui.perfetto.dev)")
     return 0
+
+
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Print the most recent ledger records, one summary line each."""
+    from repro.obs.ledger import iter_summary_lines
+
+    ledger = _open_ledger(args)
+    records = ledger.last(args.n)
+    if not records:
+        print(f"no runs recorded under {ledger.path}")
+        return 0
+    for line in iter_summary_lines(records):
+        print(line)
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Dump one ledger record (by run-id prefix or -1/-2/... index) as JSON."""
+    ledger = _open_ledger(args)
+    record = ledger.find(args.run)
+    if record is None:
+        raise SystemExit(
+            f"error: no run matching {args.run!r} in {ledger.path} "
+            f"(try 'repro obs tail')"
+        )
+    print(json.dumps(record.to_json_dict(), indent=2, default=str))
+    return 0
+
+
+def cmd_obs_compare(args: argparse.Namespace) -> int:
+    """Diff two runs / bench files; exit 1 past the regression threshold."""
+    from repro.obs.compare import (
+        compare_records,
+        load_record,
+        render_comparison,
+    )
+
+    ledger = _open_ledger(args)
+    try:
+        base = load_record(args.baseline, ledger)
+        current = load_record(args.current, ledger)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    comparison = compare_records(
+        base, current,
+        ratios_only=args.ratios_only,
+        metrics=args.metric or None,
+    )
+    print(render_comparison(comparison, args.threshold))
+    return comparison.exit_code(args.threshold, strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("-t", "--top", type=int, default=10,
                           help="print the N most frequent itemsets")
     _add_obs_flags(mine_cmd)
+    _add_ledger_flags(mine_cmd)
     mine_cmd.set_defaults(func=cmd_mine)
 
     rules = sub.add_parser("rules", help="association rules (FP-growth)")
@@ -264,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scal.add_argument("--max-threads", type=int, default=1024)
     _add_obs_flags(scal)
+    _add_ledger_flags(scal)
     scal.set_defaults(func=cmd_scalability)
 
     prof = sub.add_parser(
@@ -288,7 +413,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="write a Chrome trace-event JSON (load in ui.perfetto.dev)",
     )
+    _add_ledger_flags(prof)
     prof.set_defaults(func=cmd_profile)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="run-ledger tools: tail / report / compare"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    tail = obs_sub.add_parser("tail", help="print the most recent run records")
+    tail.add_argument("-n", type=int, default=10,
+                      help="how many records (default 10)")
+    tail.add_argument("--ledger-dir", metavar="DIR", default=None,
+                      help="run-ledger directory (default: .repro/runs)")
+    tail.set_defaults(func=cmd_obs_tail)
+
+    report = obs_sub.add_parser("report", help="dump one run record as JSON")
+    report.add_argument(
+        "run", help="run-id prefix, or a negative index (-1 = latest)"
+    )
+    report.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="run-ledger directory (default: .repro/runs)")
+    report.set_defaults(func=cmd_obs_report)
+
+    comp = obs_sub.add_parser(
+        "compare",
+        help="diff two runs / BENCH files; exit 1 on regression "
+             "(2 = incomparable under --strict)",
+    )
+    comp.add_argument(
+        "baseline", help="JSON file, run-id prefix, or negative index"
+    )
+    comp.add_argument(
+        "current", help="JSON file, run-id prefix, or negative index"
+    )
+    comp.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown that counts as a regression (default 0.25)",
+    )
+    comp.add_argument(
+        "--ratios-only", action="store_true",
+        help="compare only machine-independent ratio metrics (speedups); "
+             "use when baseline and current ran on different machines",
+    )
+    comp.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 instead of 0 when the records are not comparable",
+    )
+    comp.add_argument(
+        "--metric", action="append", metavar="NAME",
+        help="restrict to exact metric name(s); repeatable",
+    )
+    comp.add_argument("--ledger-dir", metavar="DIR", default=None,
+                      help="run-ledger directory (default: .repro/runs)")
+    comp.set_defaults(func=cmd_obs_compare)
     return parser
 
 

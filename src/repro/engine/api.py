@@ -104,6 +104,31 @@ def _check_options(entry: BackendEntry, options: dict) -> None:
         )
 
 
+def _ledger_config(
+    algorithm: str, rep_name: str, backend: str, min_sup: int, options: dict
+) -> dict:
+    """The canonical run configuration hashed into the ledger.
+
+    Only values with stable textual forms are kept — an option holding an
+    arbitrary object (a collector sink, say) would stringify with a memory
+    address and destroy config-hash stability across sessions.
+    """
+    config = {
+        "algorithm": algorithm,
+        "representation": rep_name,
+        "backend": backend,
+        "min_support": min_sup,
+    }
+    for key, value in options.items():
+        if value is None or isinstance(value, (str, int, float, bool)):
+            config[key] = value
+        else:
+            text = str(value)
+            if " at 0x" not in text:
+                config[key] = text
+    return config
+
+
 def mine(
     db: TransactionDatabase,
     *,
@@ -112,6 +137,7 @@ def mine(
     backend: str = "serial",
     min_support: float | int,
     obs: "ObsContext | None" = None,
+    ledger=None,
     **options,
 ) -> MiningResult:
     """Mine frequent itemsets — the one documented entry point.
@@ -137,6 +163,11 @@ def mine(
         Optional :class:`repro.obs.ObsContext`; threaded through to
         instrumented runners, and the engine always records one
         ``engine.mine`` span and run counter.
+    ledger:
+        Optional :class:`repro.obs.Ledger` to append a run record to.
+        When omitted, the process default applies (``REPRO_LEDGER`` env
+        var or :func:`repro.obs.set_default_ledger`; no ledger → no
+        record, no filesystem writes).
     options:
         Backend-specific extras (e.g. ``n_workers`` for multiprocessing,
         ``prune`` / ``max_generations`` for Apriori, ``item_order`` for
@@ -152,12 +183,17 @@ def mine(
         For invalid thresholds, unknown representations, or unknown
         options.
     """
+    from repro.obs.ledger import default_ledger, record_run
+
     entry = get_backend_entry(backend, algorithm)
     rep_name = _resolve_representation(representation, entry, db)
     min_sup = resolve_min_support(db, min_support)
     _check_options(entry, options)
 
-    wall_start = time.perf_counter() if obs is not None else 0.0
+    ledger_active = ledger is not None or default_ledger() is not None
+    track = obs is not None or ledger_active
+    wall_start = time.perf_counter() if track else 0.0
+    cpu_start = time.process_time() if ledger_active else 0.0
     result = entry.runner(db, rep_name, min_sup, obs=obs, **options)
 
     # Normalize: one result shape no matter which runner produced it.
@@ -182,6 +218,19 @@ def mine(
                 "itemsets": len(result),
             },
         )
+    if ledger_active:
+        record_run(
+            "mine",
+            db=db,
+            config=_ledger_config(
+                algorithm, result.representation, backend, min_sup, options
+            ),
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+            n_itemsets=len(result),
+            obs=obs,
+            ledger=ledger,
+        )
     return result
 
 
@@ -193,6 +242,7 @@ def execute(
     representation: Representation | str = "tidset",
     sink=None,
     obs: "ObsContext | None" = None,
+    ledger=None,
     prune: bool = True,
     max_generations: int | None = None,
     item_order: str = "support",
@@ -201,10 +251,21 @@ def execute(
 
     :func:`mine` returns normalized results; the simulator pipeline needs
     the level tables / cost traces too, so it calls this instead.  Only the
-    two traced vertical miners support it.
+    two traced vertical miners support it.  ``ledger`` follows the same
+    default resolution as :func:`mine` (``kind="execute"`` records).
     """
+    from repro.obs.ledger import default_ledger, record_run
+
+    if algorithm not in ("apriori", "eclat"):
+        raise ConfigurationError(
+            f"execute() supports the traced serial miners 'apriori' and "
+            f"'eclat', got {algorithm!r}; use repro.mine() for everything else"
+        )
+    ledger_active = ledger is not None or default_ledger() is not None
+    wall_start = time.perf_counter() if ledger_active else 0.0
+    cpu_start = time.process_time() if ledger_active else 0.0
     if algorithm == "apriori":
-        return execute_apriori(
+        run = execute_apriori(
             db,
             min_support,
             representation,
@@ -213,8 +274,9 @@ def execute(
             max_generations=max_generations,
             obs=obs,
         )
-    if algorithm == "eclat":
-        return execute_eclat(
+        options = {"prune": prune, "max_generations": max_generations}
+    else:
+        run = execute_eclat(
             db,
             min_support,
             representation,
@@ -222,10 +284,22 @@ def execute(
             item_order=item_order,
             obs=obs,
         )
-    raise ConfigurationError(
-        f"execute() supports the traced serial miners 'apriori' and "
-        f"'eclat', got {algorithm!r}; use repro.mine() for everything else"
-    )
+        options = {"item_order": item_order}
+    if ledger_active:
+        record_run(
+            "execute",
+            db=db,
+            config=_ledger_config(
+                algorithm, run.result.representation, "serial",
+                run.result.min_support, options,
+            ),
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+            n_itemsets=len(run.result),
+            obs=obs,
+            ledger=ledger,
+        )
+    return run
 
 
 # --- default backend registrations -----------------------------------------
@@ -260,6 +334,7 @@ def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
 
     return run_eclat_multiprocessing(
         db, min_sup, rep_name, n_workers=n_workers, item_order=item_order,
+        obs=obs,
     )
 
 

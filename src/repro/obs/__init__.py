@@ -13,7 +13,18 @@ The observability layer for the mining + NUMA-simulation pipeline:
   time);
 * :class:`ObsContext` bundles one sink and one registry and is threaded
   end-to-end (``run_apriori`` / ``run_eclat`` / the simulators /
-  ``run_scalability_study``), with ``None`` meaning "fully disabled".
+  ``run_scalability_study``), with ``None`` meaning "fully disabled";
+* :mod:`repro.obs.procmerge` carries telemetry across process boundaries:
+  parallel-backend workers record into a :class:`WorkerTelemetry`, drain it
+  into serializable snapshots shipped with each task result, and
+  :func:`merge_snapshot` folds them into the parent — one Chrome trace with
+  a lane per worker process, counters merged as if single-process;
+* :mod:`repro.obs.ledger` is the durable run history: every CLI run (and
+  any library call with a ledger installed) appends a :class:`RunRecord` —
+  config hash, dataset fingerprint, wall/CPU/RSS cost, metrics snapshot,
+  git SHA — to an append-only JSONL under ``.repro/runs/``;
+* :mod:`repro.obs.compare` diffs two runs or two ``BENCH_*.json`` files and
+  powers the ``repro obs compare`` regression gate.
 
 Key instrument names emitted by the pipeline::
 
@@ -28,10 +39,21 @@ Key instrument names emitted by the pipeline::
     sim.thread_busy_s                                   busy-time histogram
     region.{label}.imbalance                            max/mean - 1
     wall.mine_s / wall.replay_s                         host wall clock
+    shared_memory.worker{w}.busy_s / .wait_s / .tasks   per-worker lanes
+    shared_memory.load_balance.*                        merged busy/idle
+    obs.snapshots.merged / .dropped                     cross-process health
 """
 
 from repro.obs.context import ObsContext
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.ledger import Ledger, RunRecord, record_run, set_default_ledger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    sample_rusage,
+)
+from repro.obs.procmerge import WorkerTelemetry, merge_snapshot, snapshot
 from repro.obs.trace import (
     ChromeTraceSink,
     InMemorySink,
@@ -57,4 +79,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "US_PER_SECOND",
+    "sample_rusage",
+    "WorkerTelemetry",
+    "snapshot",
+    "merge_snapshot",
+    "Ledger",
+    "RunRecord",
+    "record_run",
+    "set_default_ledger",
 ]

@@ -1,0 +1,233 @@
+"""Run and benchmark comparison — the core of the regression gate.
+
+One comparator handles every record shape the repo produces:
+
+* **ledger records** (:mod:`repro.obs.ledger`) — compared on
+  ``wall_seconds`` / ``cpu_seconds`` / ``max_rss_bytes``;
+* **``BENCH_kernels.json``** — per-kernel ``seconds.*`` plus the
+  ``speedup_over_python.*`` ratios;
+* **``BENCH_shared_memory.json``** — ``serial_vectorized_seconds``, the
+  per-worker-count ``shared_memory_seconds.*``, and ``speedup_vs_serial.*``.
+
+Each metric has a *direction*: for ``lower``-is-better metrics (seconds,
+bytes) a regression is ``current > baseline * (1 + threshold)``; for
+``higher``-is-better ratios (speedups) it is ``current < baseline *
+(1 - threshold)``.  Ratios divide out absolute machine speed (each record's
+own baseline kernel, measured in the same run), so they are the metrics to
+gate on when baseline and current ran on different machines — pass
+``ratios_only=True`` (the CI default) for exactly that.
+
+Records describing different workloads (different dataset, smoke flag,
+pair count, support threshold, or ledger config hash) are **incomparable**:
+the result says so instead of reporting a fake regression, and the CLI
+maps that to exit 0 by default or exit 2 under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Record fields that identify the workload; a mismatch on any shared one
+#: makes two records incomparable.
+WORKLOAD_KEYS = (
+    "dataset", "smoke", "n_pairs", "min_support", "n_transactions",
+    "n_items", "config_hash",
+)
+
+#: Relative slowdown past which a metric counts as regressed (the ISSUE's
+#: ">25%" bar).
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two records."""
+
+    name: str
+    direction: str  # "lower" or "higher" is better
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    def regressed(self, threshold: float) -> bool:
+        if self.direction == "lower":
+            return self.ratio > 1.0 + threshold
+        return self.ratio < 1.0 - threshold
+
+    def describe(self, threshold: float) -> str:
+        arrow = "worse" if self.regressed(threshold) else "ok"
+        return (
+            f"{self.name:<40s} {self.baseline:>12.6g} -> {self.current:>12.6g}"
+            f"  ({self.ratio:6.2f}x, {self.direction} is better)  [{arrow}]"
+        )
+
+
+@dataclass
+class Comparison:
+    """The outcome of comparing two records."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    comparable: bool = True
+    reason: str = ""
+
+    def regressions(self, threshold: float = DEFAULT_THRESHOLD) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(threshold)]
+
+    def exit_code(
+        self, threshold: float = DEFAULT_THRESHOLD, *, strict: bool = False
+    ) -> int:
+        """0 = pass (or skipped), 1 = regression, 2 = incomparable+strict."""
+        if not self.comparable:
+            return 2 if strict else 0
+        if not self.deltas:
+            return 2 if strict else 0
+        return 1 if self.regressions(threshold) else 0
+
+
+def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
+    """Extract ``name -> (value, direction)`` from any known record shape."""
+    out: dict[str, tuple[float, str]] = {}
+
+    def put(name: str, value: Any, direction: str) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = (float(value), direction)
+
+    # Ledger RunRecord shape.
+    if "schema" in record and "wall_seconds" in record:
+        put("wall_seconds", record.get("wall_seconds"), "lower")
+        put("cpu_seconds", record.get("cpu_seconds"), "lower")
+        put("max_rss_bytes", record.get("max_rss_bytes"), "lower")
+        return out
+    # BENCH_kernels.json shape.
+    for group, direction in (
+        ("seconds", "lower"), ("speedup_over_python", "higher"),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction)
+    # BENCH_shared_memory.json shape.
+    put("serial_vectorized_seconds",
+        record.get("serial_vectorized_seconds"), "lower")
+    for group, direction in (
+        ("shared_memory_seconds", "lower"), ("speedup_vs_serial", "higher"),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction)
+    return out
+
+
+def _workload_mismatch(
+    base: Mapping[str, Any], current: Mapping[str, Any]
+) -> str | None:
+    """A human-readable mismatch description, or None when comparable."""
+    base_ds, cur_ds = base.get("dataset"), current.get("dataset")
+    if isinstance(base_ds, Mapping) and isinstance(cur_ds, Mapping):
+        # Ledger records carry the dataset fingerprint as a sub-object.
+        for key in ("name", "sha256", "n_transactions", "n_items"):
+            if (
+                key in base_ds and key in cur_ds
+                and base_ds[key] != cur_ds[key]
+            ):
+                return (
+                    f"dataset.{key} differs: "
+                    f"{base_ds[key]!r} vs {cur_ds[key]!r}"
+                )
+    for key in WORKLOAD_KEYS:
+        if key == "dataset" and isinstance(base_ds, Mapping):
+            continue  # fingerprint sub-object already checked field-wise
+        if key in base and key in current and base[key] != current[key]:
+            return f"{key} differs: {base[key]!r} vs {current[key]!r}"
+    return None
+
+
+def compare_records(
+    base: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    ratios_only: bool = False,
+    metrics: list[str] | None = None,
+) -> Comparison:
+    """Compare two records; see the module docstring for semantics.
+
+    ``metrics`` restricts the comparison to exact metric names;
+    ``ratios_only`` keeps only higher-is-better ratio metrics (the
+    cross-machine mode).  Thresholding happens at query time
+    (:meth:`Comparison.regressions`) so one comparison can be inspected at
+    several thresholds.
+    """
+    mismatch = _workload_mismatch(base, current)
+    if mismatch is not None:
+        return Comparison(comparable=False, reason=mismatch)
+    base_metrics = _flatten_seconds(base)
+    current_metrics = _flatten_seconds(current)
+    shared = sorted(set(base_metrics) & set(current_metrics))
+    deltas = []
+    for name in shared:
+        value_base, direction = base_metrics[name]
+        value_current, _ = current_metrics[name]
+        if ratios_only and direction != "higher":
+            continue
+        if metrics is not None and name not in metrics:
+            continue
+        deltas.append(MetricDelta(name, direction, value_base, value_current))
+    if not deltas:
+        return Comparison(
+            comparable=False,
+            reason="no shared comparable metrics between the two records",
+        )
+    return Comparison(deltas=deltas)
+
+
+def load_record(source: str | Path, ledger=None) -> dict[str, Any]:
+    """Load a record from a JSON file path or a ledger run-id / index token.
+
+    Raises ``FileNotFoundError`` / ``ValueError`` with a usable message —
+    the CLI surfaces these verbatim.
+    """
+    path = Path(source)
+    if path.exists():
+        with path.open("r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        if not isinstance(record, dict):
+            raise ValueError(f"{source}: expected a JSON object")
+        return record
+    if ledger is not None:
+        found = ledger.find(str(source))
+        if found is not None:
+            return found.to_json_dict()
+    raise FileNotFoundError(
+        f"{source!r} is neither a JSON file nor a known ledger run id/index"
+    )
+
+
+def render_comparison(
+    comparison: Comparison, threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """Multi-line human-readable report for the CLI."""
+    if not comparison.comparable:
+        return f"SKIP: records are not comparable ({comparison.reason})"
+    lines = [d.describe(threshold) for d in comparison.deltas]
+    regressions = comparison.regressions(threshold)
+    if regressions:
+        lines.append(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{threshold:.0%}: " + ", ".join(d.name for d in regressions)
+        )
+    else:
+        lines.append(
+            f"OK: no metric regressed beyond {threshold:.0%} "
+            f"({len(comparison.deltas)} compared)"
+        )
+    return "\n".join(lines)

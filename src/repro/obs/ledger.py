@@ -1,0 +1,375 @@
+"""The run ledger: a durable JSONL record of every mining/simulation run.
+
+``BENCH_*.json`` files are write-only snapshots — each run overwrites the
+last, so nothing ever notices a trajectory.  The ledger is the complement:
+an **append-only** ``.jsonl`` file (one JSON object per line, by default
+under ``.repro/runs/``) where every run adds one :class:`RunRecord`:
+
+* a **config hash** — sha256 over the canonicalized run configuration
+  (backend, algorithm, representation, schedule, min_support, options), so
+  "the same experiment" is a stable 12-hex key across sessions;
+* a **dataset fingerprint** — name, shape, and a content digest, so a
+  regression can be told apart from a changed input;
+* **cost** — wall seconds, CPU seconds, peak RSS
+  (:func:`repro.obs.metrics.sample_rusage`);
+* the **metrics snapshot** when the run carried an ObsContext, the itemset
+  count, and the git SHA when the working tree is a repository.
+
+Query it with :meth:`Ledger.query` / :meth:`Ledger.last`, stream it with
+``python -m repro obs tail``, and diff two records with ``repro obs
+compare`` (the regression gate).
+
+**When does a run get recorded?**  Explicitly, always: pass ``ledger=`` to
+``repro.mine`` / ``engine.execute`` / ``run_scalability_study``, or install
+one with :func:`set_default_ledger`.  Implicitly, the CLI records every run
+(opt out with ``--no-ledger``) and library calls follow the
+``REPRO_LEDGER`` environment variable: unset or ``0``/``off`` means no
+writes (imports must never surprise a host application with filesystem
+side effects), ``1``/``on`` means the default directory, any other value
+is used as the directory.  Appending never raises — a read-only filesystem
+degrades to a warning, not a failed mining run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+import uuid
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.obs.metrics import sample_rusage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.transaction_db import TransactionDatabase
+    from repro.obs.context import ObsContext
+
+#: Bumped whenever RunRecord gains/renames fields; readers keep loading
+#: records from other versions (unknown fields ignored, missing defaulted)
+#: so an old ledger stays queryable forever.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Where the default ledger lives, relative to the working directory.
+DEFAULT_LEDGER_DIR = Path(".repro") / "runs"
+
+#: Environment switch for the *default* ledger (explicit ``ledger=`` or
+#: ``set_default_ledger`` always wins): "0"/"off"/"" → disabled, "1"/"on"
+#: → DEFAULT_LEDGER_DIR, anything else → that directory.
+LEDGER_ENV = "REPRO_LEDGER"
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """A stable 12-hex digest of a run configuration.
+
+    Canonical JSON (sorted keys, no whitespace) makes the hash independent
+    of dict insertion order and of which layer assembled the config.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def fingerprint_database(db: "TransactionDatabase") -> dict[str, Any]:
+    """Name, shape, and content digest of a transaction database."""
+    digest = hashlib.sha256()
+    digest.update(f"{db.n_transactions}:{db.n_items}".encode())
+    for transaction in db:
+        digest.update(transaction.tobytes())
+    return {
+        "name": db.name,
+        "n_transactions": db.n_transactions,
+        "n_items": db.n_items,
+        "sha256": digest.hexdigest()[:12],
+    }
+
+
+_GIT_SHA_CACHE: dict[str, str | None] = {}
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """The current git HEAD SHA, or None outside a repo / without git."""
+    key = str(Path(cwd).resolve()) if cwd is not None else str(Path.cwd())
+    if key not in _GIT_SHA_CACHE:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=cwd, capture_output=True, text=True, timeout=5.0,
+            )
+            _GIT_SHA_CACHE[key] = (
+                out.stdout.strip() if out.returncode == 0 else None
+            )
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA_CACHE[key] = None
+    return _GIT_SHA_CACHE[key]
+
+
+@dataclass
+class RunRecord:
+    """One ledger line: everything needed to recognize and diff a run."""
+
+    kind: str  # "mine" | "execute" | "simulate"
+    config: dict[str, Any]
+    dataset: dict[str, Any]
+    wall_seconds: float
+    cpu_seconds: float
+    max_rss_bytes: float
+    n_itemsets: int | None = None
+    metrics: dict[str, Any] | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    schema: int = LEDGER_SCHEMA_VERSION
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    created_unix: float = field(default_factory=time.time)
+    config_hash: str = ""
+    git_sha: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.config_hash:
+            self.config_hash = config_hash(self.config)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "created_unix": self.created_unix,
+            "config": dict(self.config),
+            "config_hash": self.config_hash,
+            "dataset": dict(self.dataset),
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "max_rss_bytes": self.max_rss_bytes,
+            "n_itemsets": self.n_itemsets,
+            "metrics": self.metrics,
+            "git_sha": self.git_sha,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, record: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record, tolerating other schema versions.
+
+        Unknown fields are ignored and missing ones defaulted, so records
+        written by newer code still load (their extras are simply invisible
+        to this version).  The original ``schema`` stamp is preserved.
+        """
+        return cls(
+            kind=str(record.get("kind", "unknown")),
+            config=dict(record.get("config") or {}),
+            dataset=dict(record.get("dataset") or {}),
+            wall_seconds=float(record.get("wall_seconds", 0.0)),
+            cpu_seconds=float(record.get("cpu_seconds", 0.0)),
+            max_rss_bytes=float(record.get("max_rss_bytes", 0.0)),
+            n_itemsets=(
+                int(record["n_itemsets"])
+                if record.get("n_itemsets") is not None else None
+            ),
+            metrics=record.get("metrics"),
+            extra=dict(record.get("extra") or {}),
+            schema=int(record.get("schema", LEDGER_SCHEMA_VERSION)),
+            run_id=str(record.get("run_id", "")),
+            created_unix=float(record.get("created_unix", 0.0)),
+            config_hash=str(record.get("config_hash", "")),
+            git_sha=record.get("git_sha"),
+        )
+
+    def summary_line(self) -> str:
+        """One-line human form (``repro obs tail``)."""
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(self.created_unix)
+        )
+        dataset = self.dataset.get("name", "?")
+        backend = self.config.get("backend", self.config.get("machine", "-"))
+        algorithm = self.config.get("algorithm", "-")
+        itemsets = "-" if self.n_itemsets is None else str(self.n_itemsets)
+        return (
+            f"{stamp}  {self.run_id}  {self.config_hash}  "
+            f"{self.kind:<8s} {dataset:<12s} {algorithm}/{backend}  "
+            f"wall={self.wall_seconds:.3f}s  itemsets={itemsets}"
+        )
+
+
+class Ledger:
+    """Append-only JSONL run history under one directory."""
+
+    FILENAME = "ledger.jsonl"
+
+    def __init__(self, root: str | Path = DEFAULT_LEDGER_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Write one record as a single line; creates the directory."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_json_dict(), default=str)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return record
+
+    def records(self) -> list[RunRecord]:
+        """Every readable record, in append (= chronological) order.
+
+        Corrupt lines (a crash mid-append, manual edits) are skipped, not
+        fatal — the ledger is telemetry, and the rest of it stays usable.
+        """
+        if not self.path.exists():
+            return []
+        out: list[RunRecord] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                    if not isinstance(parsed, Mapping):
+                        continue  # a JSON value, but not a record object
+                    out.append(RunRecord.from_json_dict(parsed))
+                except (json.JSONDecodeError, TypeError, ValueError, KeyError):
+                    continue
+        return out
+
+    def query(
+        self,
+        *,
+        config_hash: str | None = None,
+        kind: str | None = None,
+        dataset: str | None = None,
+        backend: str | None = None,
+        algorithm: str | None = None,
+    ) -> list[RunRecord]:
+        """Records matching every given filter, in append order."""
+        out = []
+        for record in self.records():
+            if config_hash is not None and record.config_hash != config_hash:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if dataset is not None and record.dataset.get("name") != dataset:
+                continue
+            if backend is not None and record.config.get("backend") != backend:
+                continue
+            if (
+                algorithm is not None
+                and record.config.get("algorithm") != algorithm
+            ):
+                continue
+            out.append(record)
+        return out
+
+    def last(self, n: int = 1) -> list[RunRecord]:
+        """The most recent ``n`` records (oldest of them first)."""
+        records = self.records()
+        return records[-n:] if n > 0 else []
+
+    def find(self, token: str) -> RunRecord | None:
+        """Resolve a record by run-id prefix or negative index string.
+
+        ``"-1"`` is the latest record, ``"-2"`` the one before, etc.;
+        anything else matches a ``run_id`` prefix (first match wins).
+        """
+        records = self.records()
+        try:
+            index = int(token)
+        except ValueError:
+            index = None
+        if index is not None and index < 0:
+            return records[index] if -index <= len(records) else None
+        for record in records:
+            if record.run_id.startswith(token):
+                return record
+        return None
+
+
+# --------------------------------------------------------------------------
+# Default-ledger resolution and the one-call recording hook
+# --------------------------------------------------------------------------
+
+_UNSET = object()
+_default_ledger: Any = _UNSET
+
+
+def set_default_ledger(ledger: Ledger | None) -> None:
+    """Install (or, with ``None``, remove) the process-wide default ledger.
+
+    Overrides the :data:`LEDGER_ENV` environment resolution until reset via
+    :func:`reset_default_ledger`.
+    """
+    global _default_ledger
+    _default_ledger = ledger
+
+
+def reset_default_ledger() -> None:
+    """Return to environment-variable resolution (test hygiene hook)."""
+    global _default_ledger
+    _default_ledger = _UNSET
+
+
+def default_ledger() -> Ledger | None:
+    """The ledger library calls record to when none is passed explicitly."""
+    if _default_ledger is not _UNSET:
+        return _default_ledger
+    value = os.environ.get(LEDGER_ENV, "").strip()
+    if value.lower() in ("", "0", "off", "false", "no"):
+        return None
+    if value.lower() in ("1", "on", "true", "yes"):
+        return Ledger()
+    return Ledger(value)
+
+
+def record_run(
+    kind: str,
+    *,
+    db: "TransactionDatabase",
+    config: Mapping[str, Any],
+    wall_seconds: float,
+    cpu_seconds: float,
+    n_itemsets: int | None = None,
+    obs: "ObsContext | None" = None,
+    ledger: Ledger | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> RunRecord | None:
+    """Append one run to ``ledger`` (or the default one); never raises.
+
+    Returns the written record, or ``None`` when no ledger is active or the
+    write failed (an ``OSError`` degrades to a single warning — the mining
+    result is never sacrificed to telemetry).
+    """
+    target = ledger if ledger is not None else default_ledger()
+    if target is None:
+        return None
+    record = RunRecord(
+        kind=kind,
+        config=dict(config),
+        dataset=fingerprint_database(db),
+        wall_seconds=wall_seconds,
+        cpu_seconds=cpu_seconds,
+        max_rss_bytes=sample_rusage()["max_rss_bytes"],
+        n_itemsets=n_itemsets,
+        metrics=obs.metrics.to_dict() if obs is not None else None,
+        extra=dict(extra or {}),
+        git_sha=git_sha(),
+    )
+    try:
+        return target.append(record)
+    except OSError as exc:  # pragma: no cover - filesystem-dependent
+        warnings.warn(
+            f"run ledger append to {target.path} failed: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+def iter_summary_lines(records: Iterable[RunRecord]) -> Iterable[str]:
+    """Summary lines for ``repro obs tail`` (separated for testability)."""
+    for record in records:
+        yield record.summary_line()

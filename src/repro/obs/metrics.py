@@ -16,6 +16,7 @@ The registry renders itself as table rows (``report_rows``) so
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +73,10 @@ class Histogram:
     @property
     def count(self) -> int:
         return len(self._values)
+
+    def values(self) -> list[float]:
+        """The raw observations, in observation order (serialization hook)."""
+        return list(self._values)
 
     def summary(self) -> dict[str, float]:
         """count / min / max / mean / p50 / p90 / p99 (monotone by construction)."""
@@ -147,6 +152,24 @@ class MetricsRegistry:
         for name, value in counters.items():
             self.counter(name).inc(value)
 
+    def merge_gauges(self, gauges: dict[str, float]) -> None:
+        """Set each gauge to the snapshot value (last write wins, as always)."""
+        for name, value in gauges.items():
+            self.gauge(name).set(value)
+
+    def merge_histogram_values(self, values: dict[str, list[float]]) -> None:
+        """Fold raw observation lists into this registry's histograms.
+
+        The counterpart of :meth:`histogram_values`: because raw values (not
+        pre-computed summaries) cross the process boundary, the merged
+        histogram's percentiles are exactly what one process observing
+        everything would have reported.
+        """
+        for name, observations in values.items():
+            histogram = self.histogram(name)
+            for value in observations:
+                histogram.observe(float(value))
+
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -167,6 +190,10 @@ class MetricsRegistry:
 
     def histograms(self) -> dict[str, dict[str, float]]:
         return {name: h.summary() for name, h in self._histograms.items()}
+
+    def histogram_values(self) -> dict[str, list[float]]:
+        """Raw observations per histogram (for cross-process shipping)."""
+        return {name: h.values() for name, h in self._histograms.items()}
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serializable snapshot of every instrument."""
@@ -213,3 +240,46 @@ class MetricsRegistry:
         return [row for _, row in sorted(rows)]
 
     REPORT_HEADERS = ["metric", "kind", "value", "count", "mean", "p50", "p99"]
+
+
+# --------------------------------------------------------------------------
+# Resource sampling
+# --------------------------------------------------------------------------
+
+
+def sample_rusage(*, children: bool = False) -> dict[str, float]:
+    """A point-in-time resource snapshot of this process (or its children).
+
+    Returns ``max_rss_bytes`` (peak resident set size, normalized to bytes —
+    Linux reports KiB, macOS bytes), ``user_seconds`` / ``system_seconds``
+    CPU time, page-fault counts, and context-switch counts.  Used by the run
+    ledger for every record and surfaced in ``ScalabilityStudy.notes``.
+
+    On platforms without the ``resource`` module (Windows), every field is
+    0.0 rather than raising — telemetry must never break mining.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return {
+            "max_rss_bytes": 0.0,
+            "user_seconds": 0.0,
+            "system_seconds": 0.0,
+            "minor_page_faults": 0.0,
+            "major_page_faults": 0.0,
+            "voluntary_ctx_switches": 0.0,
+            "involuntary_ctx_switches": 0.0,
+        }
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    usage = resource.getrusage(who)
+    # ru_maxrss units differ by platform: bytes on macOS, KiB elsewhere.
+    rss_scale = 1 if sys.platform == "darwin" else 1024
+    return {
+        "max_rss_bytes": float(usage.ru_maxrss * rss_scale),
+        "user_seconds": float(usage.ru_utime),
+        "system_seconds": float(usage.ru_stime),
+        "minor_page_faults": float(usage.ru_minflt),
+        "major_page_faults": float(usage.ru_majflt),
+        "voluntary_ctx_switches": float(usage.ru_nvcsw),
+        "involuntary_ctx_switches": float(usage.ru_nivcsw),
+    }

@@ -1,0 +1,217 @@
+"""Cross-process telemetry: worker-side snapshots, parent-side merging.
+
+The parallel backends run their work in worker *processes*; a span recorded
+there can't write to the parent's trace sink directly.  This module closes
+that gap with a serialize-and-merge protocol:
+
+* workers record spans and metrics into a :class:`WorkerTelemetry` — a
+  normal :class:`~repro.obs.context.ObsContext` over an
+  :class:`~repro.obs.trace.InMemorySink` — and :meth:`~WorkerTelemetry.drain`
+  it into a plain-dict **snapshot** shipped back with each task result;
+* the parent calls :func:`merge_snapshot`, which re-emits every event into
+  its own sink on a per-worker lane (Chrome ``pid`` = the worker's OS pid)
+  after remapping timestamps between the two ``perf_counter`` epochs, and
+  folds counters / gauges / histogram observations into its registry.
+
+Both ends share one clock family (``perf_counter`` is ``CLOCK_MONOTONIC``
+on Linux, system-wide), so the remap ``parent_us = worker_us +
+(worker_epoch - parent_epoch) * 1e6`` lines worker compute up against
+parent dispatch on a single Perfetto timeline.
+
+Fault tolerance is the design center: a snapshot from a crashed or
+misbehaving worker may be missing, truncated, or garbage.  ``merge_snapshot``
+validates everything and **drops** what it cannot interpret (counting drops
+in ``obs.snapshots.dropped`` / ``obs.events.dropped``) instead of raising —
+partial telemetry must never corrupt a trace or abort a run that the
+fault-recovery machinery is about to save.
+
+Worker-local instrument names beginning with ``worker.`` are relative: the
+parent rebinds them under its per-worker prefix (``worker.busy_s`` merged
+with prefix ``shared_memory.worker3`` lands as
+``shared_memory.worker3.busy_s``), which is how per-worker load-balance
+counters survive the trip without workers knowing their own slot.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from repro.obs.context import ObsContext
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import InMemorySink, TraceEvent, US_PER_SECOND
+
+#: Version stamp on every snapshot; the merger ignores snapshots whose
+#: schema it does not understand rather than guess at their layout.
+SNAPSHOT_SCHEMA = 1
+
+#: Worker-relative instrument prefix rebound by the parent (see module doc).
+WORKER_PREFIX = "worker."
+
+
+class WorkerTelemetry:
+    """Worker-side span/metric recorder, drained per task into snapshots.
+
+    ``enabled=False`` is the zero-overhead path: :attr:`obs` is ``None`` (so
+    instrumented code keeps its usual ``if obs is not None`` guard) and
+    :meth:`drain` returns ``None``.
+    """
+
+    def __init__(self, enabled: bool, *, pid: int | None = None) -> None:
+        self.enabled = enabled
+        self.pid = os.getpid() if pid is None else pid
+        self.obs: ObsContext | None = (
+            ObsContext(sink=InMemorySink()) if enabled else None
+        )
+
+    def drain(self) -> dict[str, Any] | None:
+        """Snapshot everything recorded since the last drain, then reset.
+
+        Events and metrics accumulate between drains, so calling this after
+        every task ships exactly that task's telemetry (plus anything
+        recorded before the first task, e.g. the attach span) — the parent
+        can merge each snapshot as it arrives and the union over all tasks
+        is the worker's complete record.
+        """
+        if self.obs is None:
+            return None
+        snap = snapshot(self.obs, pid=self.pid)
+        sink = self.obs.sink
+        assert isinstance(sink, InMemorySink)
+        sink.events.clear()
+        self.obs.metrics = MetricsRegistry()
+        return snap
+
+
+def snapshot(obs: ObsContext, *, pid: int | None = None) -> dict[str, Any]:
+    """Serialize an ObsContext into a plain-dict snapshot (no reset).
+
+    Only :class:`InMemorySink` events can be exported; any other sink
+    contributes an empty event list (its events already live elsewhere).
+    Histograms export raw observations, not summaries, so the merged
+    percentiles equal a single-process run's.
+    """
+    sink = obs.sink
+    events: list[dict[str, Any]] = []
+    if isinstance(sink, InMemorySink):
+        events = [event.to_dict() for event in sink.events]
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "pid": os.getpid() if pid is None else pid,
+        "epoch": obs.sink.epoch,
+        "events": events,
+        "counters": obs.metrics.counters(),
+        "gauges": obs.metrics.gauges(),
+        "histogram_values": obs.metrics.histogram_values(),
+    }
+
+
+def _rebind(name: str, prefix: str | None) -> str:
+    """Rebind a worker-relative instrument name under the parent's prefix."""
+    if prefix is not None and name.startswith(WORKER_PREFIX):
+        return f"{prefix}.{name[len(WORKER_PREFIX):]}"
+    return name
+
+
+def _merge_events(
+    obs: ObsContext, snap: Mapping[str, Any], pid: int
+) -> tuple[int, int]:
+    """Re-emit snapshot events on the worker's lane; returns (kept, dropped)."""
+    sink = obs.sink
+    if not sink.enabled:
+        return 0, 0
+    raw_events = snap.get("events")
+    if not isinstance(raw_events, list):
+        return 0, len(raw_events) if hasattr(raw_events, "__len__") else 0
+    try:
+        offset_us = (float(snap["epoch"]) - sink.epoch) * US_PER_SECOND
+    except (KeyError, TypeError, ValueError):
+        return 0, len(raw_events)
+    kept = dropped = 0
+    for record in raw_events:
+        try:
+            event = TraceEvent.from_dict(record)
+            sink.emit(
+                TraceEvent(
+                    name=event.name,
+                    phase=event.phase,
+                    # Metadata events are timeless; everything else moves
+                    # from the worker's epoch to the parent's.
+                    ts=event.ts if event.phase == "M" else event.ts + offset_us,
+                    dur=event.dur,
+                    pid=pid,
+                    tid=event.tid,
+                    cat=event.cat,
+                    args=event.args,
+                )
+            )
+            kept += 1
+        except (TypeError, ValueError, KeyError):
+            dropped += 1
+    return kept, dropped
+
+
+def merge_snapshot(
+    obs: ObsContext,
+    snap: Mapping[str, Any] | None,
+    *,
+    prefix: str | None = None,
+    lane_name: str | None = None,
+    seen_pids: set[int] | None = None,
+) -> bool:
+    """Fold one worker snapshot into the parent context.  Never raises.
+
+    Returns ``True`` when the snapshot was merged, ``False`` when it was
+    missing or unintelligible (in which case ``obs.snapshots.dropped`` is
+    incremented and nothing else changes).  ``prefix`` rebinds
+    ``worker.``-relative instrument names; ``lane_name`` (with a caller-held
+    ``seen_pids`` set) names the worker's Chrome process lane exactly once.
+    """
+    if snap is None:
+        return False
+    if not isinstance(snap, Mapping) or snap.get("schema") != SNAPSHOT_SCHEMA:
+        obs.metrics.counter("obs.snapshots.dropped").inc()
+        return False
+    try:
+        pid = int(snap["pid"])
+    except (KeyError, TypeError, ValueError):
+        obs.metrics.counter("obs.snapshots.dropped").inc()
+        return False
+
+    if lane_name is not None and obs.sink.enabled:
+        if seen_pids is None or pid not in seen_pids:
+            obs.sink.set_process_name(pid, lane_name)
+            if seen_pids is not None:
+                seen_pids.add(pid)
+
+    _kept, dropped = _merge_events(obs, snap, pid)
+    if dropped:
+        obs.metrics.counter("obs.events.dropped").inc(dropped)
+
+    counters = snap.get("counters")
+    if isinstance(counters, Mapping):
+        for name, value in counters.items():
+            try:
+                amount = float(value)  # before touching the registry
+                obs.metrics.counter(_rebind(str(name), prefix)).inc(amount)
+            except Exception:
+                obs.metrics.counter("obs.events.dropped").inc()
+    gauges = snap.get("gauges")
+    if isinstance(gauges, Mapping):
+        for name, value in gauges.items():
+            try:
+                level = float(value)
+                obs.metrics.gauge(_rebind(str(name), prefix)).set(level)
+            except Exception:
+                obs.metrics.counter("obs.events.dropped").inc()
+    histogram_values = snap.get("histogram_values")
+    if isinstance(histogram_values, Mapping):
+        for name, values in histogram_values.items():
+            try:
+                obs.metrics.merge_histogram_values(
+                    {_rebind(str(name), prefix): list(values)}
+                )
+            except Exception:
+                obs.metrics.counter("obs.events.dropped").inc()
+    obs.metrics.counter("obs.snapshots.merged").inc()
+    return True

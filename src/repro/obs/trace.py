@@ -29,6 +29,7 @@ Four sinks cover the use cases:
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -69,6 +70,45 @@ class TraceEvent:
         if self.args is not None:
             record["args"] = dict(self.args)
         return record
+
+    def to_dict(self) -> dict[str, Any]:
+        """A lossless plain-dict form (cross-process snapshot shipping)."""
+        return {
+            "name": self.name,
+            "phase": self.phase,
+            "ts": self.ts,
+            "dur": self.dur,
+            "pid": self.pid,
+            "tid": self.tid,
+            "cat": self.cat,
+            "args": dict(self.args) if self.args is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Raises ``TypeError`` / ``ValueError`` on malformed input — callers
+        merging untrusted worker snapshots catch these and drop the event
+        rather than corrupt the trace.
+        """
+        name = record["name"]
+        phase = record["phase"]
+        if not isinstance(name, str) or not isinstance(phase, str):
+            raise TypeError("trace event name/phase must be strings")
+        args = record.get("args")
+        if args is not None and not isinstance(args, Mapping):
+            raise TypeError("trace event args must be a mapping or None")
+        return cls(
+            name=name,
+            phase=phase,
+            ts=float(record["ts"]),
+            dur=float(record.get("dur", 0.0)),
+            pid=int(record.get("pid", 0)),
+            tid=int(record.get("tid", 0)),
+            cat=str(record.get("cat", "")),
+            args=dict(args) if args is not None else None,
+        )
 
 
 @dataclass
@@ -312,8 +352,21 @@ class ChromeTraceSink(TraceSink):
         }
 
     def close(self) -> None:
+        """Write the trace document atomically (write-temp-then-rename).
+
+        Readers therefore never see a truncated JSON document: either the
+        previous file content survives or the complete new document replaces
+        it in one ``os.replace``.  Events that were buffered before an abort
+        (a worker killed mid-run, a :class:`ParallelExecutionError` unwinding
+        the stack) are all included — an open span simply has no event yet,
+        which is valid Chrome trace JSON, not corruption.
+        """
         if self._written:
             return
         self._written = True
-        with self.path.open("w", encoding="utf-8") as handle:
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
             json.dump(self.document(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)

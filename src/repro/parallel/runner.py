@@ -92,6 +92,7 @@ def run_scalability_study(
     eclat_task_mode: str = "toplevel",
     obs: "ObsContext | None" = None,
     obs_threads: int | None = None,
+    ledger=None,
 ) -> ScalabilityStudy:
     """Mine once with tracing, then simulate every requested thread count.
 
@@ -106,9 +107,15 @@ def run_scalability_study(
     default) runs the exact uninstrumented code path.
 
     Host wall-clock cost of the two phases is always measured and stored in
-    ``notes["wall_mine_seconds"]`` / ``notes["wall_replay_seconds"]`` so
-    real cost stays visible alongside simulated seconds.
+    ``notes["wall_mine_seconds"]`` / ``notes["wall_replay_seconds"]``, and
+    an end-of-study :func:`repro.obs.sample_rusage` snapshot in
+    ``notes["rusage"]``, so real cost stays visible alongside simulated
+    seconds.  ``ledger`` appends a ``kind="simulate"`` run record (same
+    default resolution as :func:`repro.mine`).
     """
+    from repro.obs.ledger import default_ledger, record_run
+    from repro.obs.metrics import sample_rusage
+
     if algorithm not in ("apriori", "eclat"):
         raise ConfigurationError(
             f"algorithm must be 'apriori' or 'eclat', got {algorithm!r}"
@@ -117,6 +124,7 @@ def run_scalability_study(
     rep = get_representation(representation)
 
     trace: object
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     if algorithm == "apriori":
         sink = AprioriTrace()
@@ -161,7 +169,7 @@ def run_scalability_study(
             args={"thread_counts": list(counts)},
         )
 
-    return ScalabilityStudy(
+    study = ScalabilityStudy(
         dataset=db.name,
         algorithm=algorithm,
         representation=rep.name,
@@ -176,6 +184,31 @@ def run_scalability_study(
             "eclat_task_mode": eclat_task_mode if algorithm == "eclat" else None,
             "wall_mine_seconds": wall_mined - wall_start,
             "wall_replay_seconds": wall_replayed - wall_mined,
+            "rusage": sample_rusage(),
         },
         trace=trace,
     )
+    if ledger is not None or default_ledger() is not None:
+        record_run(
+            "simulate",
+            db=db,
+            config={
+                "algorithm": algorithm,
+                "representation": rep.name,
+                "machine": machine.name,
+                "min_support": run.result.min_support,
+                "schedule": str(sched),
+                "base_placement": base_placement,
+                "eclat_task_mode": (
+                    eclat_task_mode if algorithm == "eclat" else None
+                ),
+                "thread_counts": list(counts),
+            },
+            wall_seconds=wall_replayed - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+            n_itemsets=len(run.result),
+            obs=obs,
+            ledger=ledger,
+            extra={"runtimes": {str(t): s for t, s in study.runtimes().items()}},
+        )
+    return study

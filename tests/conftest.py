@@ -12,6 +12,21 @@ from repro.datasets import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_run_ledger(monkeypatch):
+    """Keep tests from appending to a real ledger under the repo root.
+
+    ``REPRO_LEDGER=0`` disables the environment default; tests that want a
+    ledger pass one explicitly (or call ``set_default_ledger``, which beats
+    the environment and is reset here afterwards).
+    """
+    from repro.obs.ledger import reset_default_ledger
+
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    yield
+    reset_default_ledger()
+
+
 @pytest.fixture
 def tiny_db() -> TransactionDatabase:
     """The running example: 5 transactions over items {1, 2, 3}."""

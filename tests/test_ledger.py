@@ -1,0 +1,216 @@
+"""The run ledger: round-trip, querying, schema tolerance, defaults."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import parse_fimi
+from repro.obs import ObsContext
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    config_hash,
+    default_ledger,
+    fingerprint_database,
+    record_run,
+    reset_default_ledger,
+    set_default_ledger,
+)
+
+
+@pytest.fixture
+def db():
+    return parse_fimi("1 2 3\n1 2\n2 3\n1 3\n1 2 3", name="tiny")
+
+
+def _record(i: int = 0, **overrides) -> RunRecord:
+    fields = dict(
+        kind="mine",
+        config={"algorithm": "eclat", "backend": "serial", "min_support": 2},
+        dataset={"name": "tiny", "n_transactions": 5, "n_items": 3,
+                 "sha256": "abc123def456"},
+        wall_seconds=0.5 + i,
+        cpu_seconds=0.4 + i,
+        max_rss_bytes=1e6,
+        n_itemsets=7,
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestConfigHash:
+    def test_insertion_order_irrelevant(self):
+        a = {"backend": "serial", "algorithm": "eclat", "min_support": 2}
+        b = {"min_support": 2, "algorithm": "eclat", "backend": "serial"}
+        assert config_hash(a) == config_hash(b)
+        assert len(config_hash(a)) == 12
+
+    def test_different_configs_differ(self):
+        assert config_hash({"min_support": 2}) != config_hash({"min_support": 3})
+
+
+class TestFingerprint:
+    def test_content_sensitive(self, db):
+        fp = fingerprint_database(db)
+        assert fp["name"] == "tiny"
+        assert fp["n_transactions"] == 5
+        other = parse_fimi("1 2 3\n1 2\n2 3\n1 3\n1 2", name="tiny")
+        assert fingerprint_database(other)["sha256"] != fp["sha256"]
+
+
+class TestRoundTrip:
+    def test_append_and_read_back(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        written = [ledger.append(_record(i)) for i in range(3)]
+        read = ledger.records()
+        assert [r.run_id for r in read] == [r.run_id for r in written]
+        assert read[0].wall_seconds == pytest.approx(0.5)
+        assert read[2].to_json_dict() == written[2].to_json_dict()
+
+    def test_stable_chronological_ordering(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for i in range(5):
+            ledger.append(_record(i))
+        walls = [r.wall_seconds for r in ledger.records()]
+        assert walls == sorted(walls)
+        assert [r.wall_seconds for r in ledger.last(2)] == walls[-2:]
+
+    def test_query_by_config_hash(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        a = ledger.append(_record(0))
+        ledger.append(
+            _record(1, config={"algorithm": "apriori", "backend": "serial"})
+        )
+        ledger.append(_record(2))
+        hits = ledger.query(config_hash=a.config_hash)
+        assert len(hits) == 2
+        assert all(h.config_hash == a.config_hash for h in hits)
+        assert ledger.query(algorithm="apriori")[0].wall_seconds == pytest.approx(1.5)
+        assert ledger.query(dataset="nope") == []
+
+    def test_find_by_prefix_and_index(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        first = ledger.append(_record(0))
+        last = ledger.append(_record(1))
+        assert ledger.find(first.run_id[:6]).run_id == first.run_id
+        assert ledger.find("-1").run_id == last.run_id
+        assert ledger.find("-2").run_id == first.run_id
+        assert ledger.find("-99") is None
+        assert ledger.find("zzzzzz") is None
+
+
+class TestSchemaVersioning:
+    def test_records_are_stamped(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(_record())
+        line = json.loads(ledger.path.read_text().splitlines()[0])
+        assert line["schema"] == LEDGER_SCHEMA_VERSION
+
+    def test_future_schema_still_loads(self, tmp_path):
+        """Records from a newer version load (unknown fields ignored) and
+        keep their original schema stamp."""
+        ledger = Ledger(tmp_path)
+        future = _record().to_json_dict()
+        future["schema"] = LEDGER_SCHEMA_VERSION + 5
+        future["field_from_the_future"] = {"x": 1}
+        ledger.root.mkdir(parents=True, exist_ok=True)
+        ledger.path.write_text(json.dumps(future) + "\n")
+        [record] = ledger.records()
+        assert record.schema == LEDGER_SCHEMA_VERSION + 5
+        assert record.kind == "mine"
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(_record(0))
+        with ledger.path.open("a") as handle:
+            handle.write("{truncated by a cra")  # crash mid-append
+            handle.write("\n[1, 2, 3]\n\n")      # wrong JSON shape + blank
+        ledger.append(_record(1))
+        records = ledger.records()
+        assert len(records) == 2
+        assert [r.wall_seconds for r in records] == [
+            pytest.approx(0.5), pytest.approx(1.5),
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Ledger(tmp_path / "never").records() == []
+
+
+class TestDefaultResolution:
+    """REPRO_LEDGER is set to 0 by conftest; exercise the other branches."""
+
+    def test_env_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert default_ledger() is None
+
+    def test_env_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "runs"))
+        ledger = default_ledger()
+        assert ledger is not None
+        assert ledger.root == tmp_path / "runs"
+
+    def test_set_default_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        installed = Ledger(tmp_path)
+        set_default_ledger(installed)
+        try:
+            assert default_ledger() is installed
+        finally:
+            reset_default_ledger()
+        assert default_ledger() is None
+
+
+class TestRecordRun:
+    def test_explicit_ledger_records(self, db, tmp_path):
+        ledger = Ledger(tmp_path)
+        obs = ObsContext()
+        obs.metrics.counter("mine.intersections").inc(3)
+        record = record_run(
+            "mine", db=db,
+            config={"algorithm": "eclat", "backend": "serial"},
+            wall_seconds=0.1, cpu_seconds=0.1, n_itemsets=9,
+            obs=obs, ledger=ledger,
+        )
+        assert record is not None
+        [read] = ledger.records()
+        assert read.dataset["name"] == "tiny"
+        assert read.metrics["counters"]["mine.intersections"] == 3
+        assert read.max_rss_bytes > 0
+
+    def test_no_ledger_no_write(self, db):
+        assert record_run(
+            "mine", db=db, config={}, wall_seconds=0.1, cpu_seconds=0.1,
+        ) is None
+
+    def test_mine_records_via_engine(self, db, tmp_path):
+        import repro
+
+        ledger = Ledger(tmp_path)
+        result = repro.mine(db, min_support=2, ledger=ledger)
+        [record] = ledger.records()
+        assert record.kind == "mine"
+        assert record.n_itemsets == len(result)
+        assert record.config["algorithm"] == "eclat"
+        assert record.wall_seconds > 0
+        # Identical config -> identical hash; changed support -> new hash.
+        repro.mine(db, min_support=2, ledger=ledger)
+        repro.mine(db, min_support=3, ledger=ledger)
+        hashes = [r.config_hash for r in ledger.records()]
+        assert hashes[0] == hashes[1] != hashes[2]
+
+    def test_simulate_records_and_rusage_notes(self, db, tmp_path):
+        from repro.parallel import run_scalability_study
+
+        ledger = Ledger(tmp_path)
+        study = run_scalability_study(
+            db, "eclat", "tidset", 2, thread_counts=[1, 2], ledger=ledger,
+        )
+        assert study.notes["rusage"]["max_rss_bytes"] > 0
+        kinds = [r.kind for r in ledger.records()]
+        assert "simulate" in kinds
+        simulate = ledger.query(kind="simulate")[0]
+        assert simulate.config["thread_counts"] == [1, 2]
+        assert set(simulate.extra["runtimes"]) == {"1", "2"}

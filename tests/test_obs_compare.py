@@ -1,0 +1,184 @@
+"""The regression gate: comparison semantics and the obs CLI family."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.compare import (
+    MetricDelta,
+    compare_records,
+    load_record,
+    render_comparison,
+)
+from repro.obs.ledger import Ledger, RunRecord
+
+
+def _bench_kernels(block_speedup: float) -> dict:
+    return {
+        "dataset": "chess", "n_transactions": 3196, "n_items": 75,
+        "n_pairs": 2775, "smoke": False,
+        "seconds": {"python_loop": 0.075, "numpy_block": 0.075 / block_speedup},
+        "speedup_over_python": {"numpy_block": block_speedup},
+    }
+
+
+def _ledger_record(wall: float, **dataset_overrides) -> dict:
+    dataset = {"name": "tiny", "n_transactions": 5, "n_items": 3,
+               "sha256": "abc123def456"}
+    dataset.update(dataset_overrides)
+    return RunRecord(
+        kind="mine",
+        config={"algorithm": "eclat", "backend": "serial", "min_support": 2},
+        dataset=dataset,
+        wall_seconds=wall, cpu_seconds=wall * 0.9, max_rss_bytes=1e6,
+    ).to_json_dict()
+
+
+class TestMetricDelta:
+    def test_lower_is_better_direction(self):
+        worse = MetricDelta("wall", "lower", baseline=1.0, current=1.3)
+        assert worse.regressed(0.25)
+        assert not worse.regressed(0.35)
+        better = MetricDelta("wall", "lower", baseline=1.0, current=0.5)
+        assert not better.regressed(0.25)
+
+    def test_higher_is_better_direction(self):
+        worse = MetricDelta("speedup", "higher", baseline=10.0, current=7.0)
+        assert worse.regressed(0.25)
+        ok = MetricDelta("speedup", "higher", baseline=10.0, current=8.0)
+        assert not ok.regressed(0.25)
+
+    def test_zero_baseline(self):
+        assert MetricDelta("x", "lower", 0.0, 1.0).ratio == float("inf")
+        assert MetricDelta("x", "lower", 0.0, 0.0).ratio == 1.0
+
+
+class TestCompareRecords:
+    def test_ledger_records_compare_on_cost(self):
+        comparison = compare_records(_ledger_record(1.0), _ledger_record(1.1))
+        names = {d.name for d in comparison.deltas}
+        assert names == {"wall_seconds", "cpu_seconds", "max_rss_bytes"}
+        assert comparison.regressions(0.25) == []
+        assert comparison.exit_code(0.25) == 0
+
+    def test_synthetic_30pct_slowdown_fails_gate(self):
+        comparison = compare_records(_ledger_record(1.0), _ledger_record(1.3))
+        regressed = comparison.regressions(0.25)
+        assert {d.name for d in regressed} == {"wall_seconds", "cpu_seconds"}
+        assert comparison.exit_code(0.25) == 1
+
+    def test_bench_kernels_shape_and_ratios_only(self):
+        comparison = compare_records(
+            _bench_kernels(12.0), _bench_kernels(6.0), ratios_only=True,
+        )
+        [delta] = comparison.deltas
+        assert delta.name == "speedup_over_python.numpy_block"
+        assert delta.direction == "higher"
+        assert comparison.exit_code(0.25) == 1
+
+    def test_different_dataset_is_incomparable(self):
+        comparison = compare_records(
+            _ledger_record(1.0), _ledger_record(2.0, sha256="fff000fff000"),
+        )
+        assert not comparison.comparable
+        assert "sha256" in comparison.reason
+        assert comparison.exit_code(0.25) == 0          # skip by default
+        assert comparison.exit_code(0.25, strict=True) == 2
+
+    def test_metric_restriction(self):
+        comparison = compare_records(
+            _ledger_record(1.0), _ledger_record(2.0),
+            metrics=["wall_seconds"],
+        )
+        assert [d.name for d in comparison.deltas] == ["wall_seconds"]
+
+    def test_render_mentions_failures(self):
+        comparison = compare_records(_ledger_record(1.0), _ledger_record(1.5))
+        text = render_comparison(comparison, 0.25)
+        assert "FAIL" in text and "wall_seconds" in text
+
+
+class TestLoadRecord:
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps(_ledger_record(1.0)))
+        assert load_record(path)["wall_seconds"] == 1.0
+
+    def test_from_ledger_token(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        written = ledger.append(RunRecord.from_json_dict(_ledger_record(1.0)))
+        assert load_record("-1", ledger)["run_id"] == written.run_id
+        assert load_record(written.run_id[:6], ledger)["run_id"] == written.run_id
+
+    def test_unknown_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_record("no-such-thing", Ledger(tmp_path))
+
+
+class TestObsCli:
+    """The acceptance criterion: ``repro obs compare`` exits nonzero on a
+    synthetic >25% slowdown pair, zero when within threshold."""
+
+    @pytest.fixture
+    def pair(self, tmp_path):
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        base.write_text(json.dumps(_ledger_record(1.0)))
+        slow.write_text(json.dumps(_ledger_record(1.4)))  # 40% slower
+        return base, slow
+
+    def test_compare_exits_nonzero_past_threshold(self, pair, capsys):
+        base, slow = pair
+        assert main(["obs", "compare", str(base), str(slow)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_passes_within_threshold(self, pair, capsys):
+        base, slow = pair
+        assert main(
+            ["obs", "compare", str(base), str(slow), "--threshold", "0.5"]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_missing_record_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "compare", "nope.json", "also-nope.json",
+                  "--ledger-dir", str(tmp_path)])
+
+    def test_tail_and_report(self, tmp_path, capsys):
+        ledger = Ledger(tmp_path)
+        record = ledger.append(RunRecord.from_json_dict(_ledger_record(1.0)))
+        assert main(["obs", "tail", "--ledger-dir", str(tmp_path)]) == 0
+        assert record.run_id in capsys.readouterr().out
+        assert main(
+            ["obs", "report", "-1", "--ledger-dir", str(tmp_path)]
+        ) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["run_id"] == record.run_id
+
+    def test_tail_empty_ledger(self, tmp_path, capsys):
+        assert main(["obs", "tail", "--ledger-dir", str(tmp_path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_mine_ledger_dir_flag_records(self, tmp_path, capsys):
+        fimi = tmp_path / "data.fimi"
+        fimi.write_text("1 2 3\n1 2\n2 3\n1 3\n1 2 3\n")
+        ledger_dir = tmp_path / "runs"
+        assert main([
+            "mine", str(fimi), "-s", "2", "-b", "serial",
+            "--ledger-dir", str(ledger_dir),
+        ]) == 0
+        [record] = Ledger(ledger_dir).records()
+        assert record.kind == "mine"
+        assert record.config["backend"] == "serial"
+
+    def test_mine_no_ledger_flag_writes_nothing(self, tmp_path, capsys,
+                                                monkeypatch):
+        fimi = tmp_path / "data.fimi"
+        fimi.write_text("1 2 3\n1 2\n2 3\n1 3\n1 2 3\n")
+        # Even an ambient REPRO_LEDGER directory must be ignored.
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ambient"))
+        assert main(["mine", str(fimi), "-s", "2", "--no-ledger"]) == 0
+        assert not (tmp_path / "ambient").exists()

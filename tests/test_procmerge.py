@@ -1,0 +1,199 @@
+"""Cross-process telemetry protocol: snapshots, merging, fault tolerance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import InMemorySink, ObsContext
+from repro.obs.metrics import sample_rusage
+from repro.obs.procmerge import (
+    SNAPSHOT_SCHEMA,
+    WorkerTelemetry,
+    merge_snapshot,
+    snapshot,
+)
+from repro.obs.trace import TraceEvent, US_PER_SECOND
+
+
+def _worker_snapshot(pid: int = 4242) -> dict:
+    """A realistic snapshot: one span, one relative counter, one histogram."""
+    telemetry = WorkerTelemetry(True, pid=pid)
+    obs = telemetry.obs
+    with obs.sink.span("task.eclat", cat="mine", args={"task_id": 3}):
+        pass
+    obs.metrics.counter("worker.busy_s").inc(0.25)
+    obs.metrics.counter("mine.intersections").inc(7)
+    obs.metrics.gauge("worker.depth").set(2)
+    obs.metrics.histogram("worker.task_s").observe(0.25)
+    return telemetry.drain()
+
+
+class TestWorkerTelemetry:
+    def test_disabled_is_zero_overhead(self):
+        telemetry = WorkerTelemetry(False)
+        assert telemetry.obs is None
+        assert telemetry.drain() is None
+
+    def test_drain_resets(self):
+        telemetry = WorkerTelemetry(True, pid=1)
+        telemetry.obs.metrics.counter("worker.busy_s").inc(1.0)
+        first = telemetry.drain()
+        second = telemetry.drain()
+        assert first["counters"] == {"worker.busy_s": 1.0}
+        assert second["counters"] == {}
+        assert second["events"] == []
+
+    def test_snapshot_shape(self):
+        snap = _worker_snapshot(pid=77)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["pid"] == 77
+        assert isinstance(snap["epoch"], float)
+        assert len(snap["events"]) == 1
+        assert snap["histogram_values"] == {"worker.task_s": [0.25]}
+
+
+class TestMergeSnapshot:
+    def test_merges_events_onto_worker_lane(self):
+        parent = ObsContext(sink=InMemorySink())
+        assert merge_snapshot(parent, _worker_snapshot(pid=99))
+        durations = parent.sink.by_phase("X")
+        assert len(durations) == 1
+        assert durations[0].pid == 99
+        assert durations[0].name == "task.eclat"
+
+    def test_epoch_remap_aligns_clocks(self):
+        """A worker event 10ms after ITS epoch lands 10ms + (epoch delta)
+        after the PARENT's epoch."""
+        parent = ObsContext(sink=InMemorySink())
+        snap = {
+            "schema": SNAPSHOT_SCHEMA,
+            "pid": 5,
+            "epoch": parent.sink.epoch + 1.0,  # worker clock started 1s later
+            "events": [
+                TraceEvent("t", "X", ts=10_000.0, dur=5.0).to_dict()
+            ],
+            "counters": {},
+            "gauges": {},
+            "histogram_values": {},
+        }
+        assert merge_snapshot(parent, snap)
+        event = parent.sink.by_phase("X")[0]
+        assert event.ts == pytest.approx(10_000.0 + US_PER_SECOND, rel=1e-9)
+
+    def test_prefix_rebinds_worker_relative_names_only(self):
+        parent = ObsContext(sink=InMemorySink())
+        merge_snapshot(parent, _worker_snapshot(), prefix="shared_memory.worker3")
+        counters = parent.metrics.counters()
+        assert counters["shared_memory.worker3.busy_s"] == 0.25
+        assert counters["mine.intersections"] == 7  # absolute name untouched
+        assert parent.metrics.gauges()["shared_memory.worker3.depth"] == 2
+        assert parent.metrics.histogram_values()[
+            "shared_memory.worker3.task_s"
+        ] == [0.25]
+
+    def test_lane_named_once_per_pid(self):
+        parent = ObsContext(sink=InMemorySink())
+        seen = set()
+        for _ in range(3):
+            merge_snapshot(
+                parent, _worker_snapshot(pid=11),
+                lane_name="worker 0 (pid 11)", seen_pids=seen,
+            )
+        metadata = [
+            e for e in parent.sink.events
+            if e.phase == "M" and e.name == "process_name"
+        ]
+        assert len(metadata) == 1
+        assert metadata[0].pid == 11
+
+    def test_counters_accumulate_across_snapshots(self):
+        parent = ObsContext(sink=InMemorySink())
+        merge_snapshot(parent, _worker_snapshot(), prefix="w")
+        merge_snapshot(parent, _worker_snapshot(), prefix="w")
+        assert parent.metrics.counters()["w.busy_s"] == 0.5
+        assert parent.metrics.counters()["obs.snapshots.merged"] == 2
+
+
+class TestFaultTolerance:
+    """Partial telemetry from a dying worker must never corrupt the parent."""
+
+    @pytest.mark.parametrize(
+        "snap",
+        [
+            None,
+            "garbage",
+            {},
+            {"schema": 999, "pid": 1},          # unknown schema version
+            {"schema": SNAPSHOT_SCHEMA},        # missing pid
+            {"schema": SNAPSHOT_SCHEMA, "pid": "not-an-int"},
+        ],
+    )
+    def test_unintelligible_snapshot_is_dropped_not_raised(self, snap):
+        parent = ObsContext(sink=InMemorySink())
+        assert merge_snapshot(parent, snap) is False
+        assert parent.sink.events == []
+        if snap is not None:
+            assert parent.metrics.counters()["obs.snapshots.dropped"] == 1
+
+    def test_truncated_events_dropped_rest_merged(self):
+        snap = _worker_snapshot(pid=8)
+        snap["events"].append({"name": "broken"})  # no phase/ts
+        snap["events"].append(42)
+        parent = ObsContext(sink=InMemorySink())
+        assert merge_snapshot(parent, snap, prefix="w")
+        assert len(parent.sink.by_phase("X")) == 1  # the good event survived
+        counters = parent.metrics.counters()
+        assert counters["obs.events.dropped"] == 2
+        assert counters["w.busy_s"] == 0.25  # metrics still merged
+
+    def test_bad_epoch_drops_events_keeps_metrics(self):
+        snap = _worker_snapshot(pid=8)
+        snap["epoch"] = "not-a-float"
+        parent = ObsContext(sink=InMemorySink())
+        assert merge_snapshot(parent, snap, prefix="w")
+        assert parent.sink.by_phase("X") == []
+        assert parent.metrics.counters()["w.busy_s"] == 0.25
+
+    def test_malformed_counter_values_dropped_individually(self):
+        snap = _worker_snapshot(pid=8)
+        snap["counters"]["worker.bad"] = "NaN-ish garbage"
+        parent = ObsContext(sink=InMemorySink())
+        assert merge_snapshot(parent, snap, prefix="w")
+        counters = parent.metrics.counters()
+        assert counters["w.busy_s"] == 0.25
+        assert "w.bad" not in counters
+
+
+class TestTraceEventDictRoundTrip:
+    def test_round_trip(self):
+        event = TraceEvent(
+            "name", "X", ts=1.5, dur=2.5, pid=3, tid=4, cat="c",
+            args={"k": 1},
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    @pytest.mark.parametrize(
+        "record", [{}, {"name": "x"}, {"name": "x", "phase": "X", "ts": "?"}]
+    )
+    def test_malformed_raises(self, record):
+        with pytest.raises((TypeError, ValueError, KeyError)):
+            TraceEvent.from_dict(record)
+
+
+class TestSampleRusage:
+    def test_fields_present_and_sane(self):
+        sample = sample_rusage()
+        for key in (
+            "max_rss_bytes", "user_seconds", "system_seconds",
+            "minor_page_faults", "major_page_faults",
+            "voluntary_ctx_switches", "involuntary_ctx_switches",
+        ):
+            assert key in sample
+            assert sample[key] >= 0
+        # This process has certainly used some memory and CPU by now.
+        assert sample["max_rss_bytes"] > 1024 * 1024
+        assert sample["user_seconds"] > 0
+
+    def test_children_variant(self):
+        # No children may have run yet; only shape is guaranteed.
+        assert set(sample_rusage(children=True)) == set(sample_rusage())

@@ -1,0 +1,183 @@
+"""Cross-process tracing end to end: worker lanes, load balance, durability.
+
+The acceptance bar for the telemetry tentpole: a shared-memory mine with a
+Chrome trace sink produces ONE valid JSON trace with one process lane per
+worker OS pid, worker task spans remapped onto the parent timeline, and —
+when a worker is killed mid-run — a still-valid trace holding whatever
+partial telemetry arrived before the abort.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.backends.shared_memory_backend import run_eclat_shared_memory
+from repro.core import brute_force
+from repro.errors import ParallelExecutionError
+from repro.obs import ChromeTraceSink, InMemorySink, ObsContext
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+WORKERS = 2
+
+
+def _load_trace(path) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)  # must be one valid JSON document
+    assert isinstance(document["traceEvents"], list)
+    return document["traceEvents"]
+
+
+def _chrome_mine(db, tmp_path, backend: str, **options):
+    path = tmp_path / "trace.json"
+    obs = ObsContext(sink=ChromeTraceSink(path))
+    try:
+        result = repro.mine(
+            db, algorithm="eclat", backend=backend, min_support=2,
+            n_workers=WORKERS, obs=obs, **options,
+        )
+    finally:
+        obs.close()
+    return result, obs, _load_trace(path)
+
+
+class TestSharedMemoryWorkerLanes:
+    @pytest.fixture
+    def traced(self, paper_db, tmp_path):
+        return _chrome_mine(paper_db, tmp_path, "shared_memory")
+
+    def test_one_lane_per_worker_process(self, traced):
+        """Duration events land on pid 0 (parent) plus one pid per worker."""
+        _result, _obs, events = traced
+        lanes = {e["pid"] for e in events if e["ph"] == "X"}
+        worker_lanes = lanes - {0}
+        assert len(worker_lanes) == WORKERS
+        named = {
+            e["pid"]: e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert named[0].startswith("parent")
+        for pid in worker_lanes:
+            assert f"pid {pid}" in named[pid]
+
+    def test_worker_spans_cover_attach_and_tasks(self, traced):
+        _result, _obs, events = traced
+        worker_events = [e for e in events if e["ph"] == "X" and e["pid"] != 0]
+        names = {e["name"] for e in worker_events}
+        assert "worker.attach" in names
+        assert "task.eclat" in names
+        # Dispatch spans mirror each task on the parent lane.
+        dispatch = [
+            e for e in events
+            if e["pid"] == 0 and e.get("cat") == "dispatch"
+        ]
+        task_spans = [e for e in worker_events if e["name"] == "task.eclat"]
+        assert len(dispatch) == len(task_spans)
+
+    def test_worker_timestamps_on_parent_timeline(self, traced):
+        """Remapped worker spans nest inside the parent's mine span."""
+        _result, _obs, events = traced
+        [mine_span] = [e for e in events if e["name"] == "shared_memory.mine"]
+        for e in events:
+            if e["ph"] == "X" and e["pid"] != 0 and e["name"] == "task.eclat":
+                assert e["ts"] >= mine_span["ts"]
+                assert e["ts"] + e["dur"] <= mine_span["ts"] + mine_span["dur"] + 1
+
+    def test_result_unchanged_by_tracing(self, traced, paper_db):
+        result, _obs, _events = traced
+        assert result.itemsets == brute_force(paper_db, 2).itemsets
+
+
+class TestMultiprocessingWorkerLanes:
+    def test_one_lane_per_worker_process(self, paper_db, tmp_path):
+        _result, obs, events = _chrome_mine(
+            paper_db, tmp_path, "multiprocessing",
+        )
+        worker_lanes = {e["pid"] for e in events if e["ph"] == "X"} - {0}
+        assert 1 <= len(worker_lanes) <= WORKERS
+        names = {e["name"] for e in events if e["ph"] == "X" and e["pid"] != 0}
+        assert "task.eclat" in names
+        counters = obs.metrics.counters()
+        busy = [
+            v for k, v in counters.items()
+            if k.startswith("multiprocessing.worker") and k.endswith(".busy_s")
+        ]
+        assert busy and all(v > 0 for v in busy)
+        assert counters["obs.snapshots.merged"] == counters["eclat.toplevel.tasks"]
+
+
+class TestLoadBalanceSummary:
+    def test_gauges_from_merged_worker_counters(self, paper_db):
+        obs = ObsContext(sink=InMemorySink())
+        run_eclat_shared_memory(paper_db, 2, n_workers=2, obs=obs)
+        gauges = obs.metrics.gauges()
+        counters = obs.metrics.counters()
+        busy = [
+            counters[f"shared_memory.worker{w}.busy_s"] for w in range(2)
+        ]
+        assert gauges["shared_memory.load_balance.max_busy"] == max(busy)
+        assert gauges["shared_memory.load_balance.min_busy"] == min(busy)
+        assert gauges["shared_memory.load_balance.mean_busy"] == pytest.approx(
+            sum(busy) / 2
+        )
+        assert gauges["shared_memory.load_balance.imbalance"] >= 0
+        assert 0 <= gauges["shared_memory.load_balance.idle_fraction"] <= 1
+        # Workers also report time spent waiting on the task queue.
+        assert any(
+            k.endswith(".wait_s") and k.startswith("shared_memory.worker")
+            for k in counters
+        )
+
+    def test_no_obs_records_nothing(self, paper_db):
+        result = run_eclat_shared_memory(paper_db, 2, n_workers=2)
+        assert result.itemsets  # and no crash without an ObsContext
+
+
+class TestTraceDurabilityOnAbort:
+    def test_killed_worker_leaves_valid_trace(self, paper_db, tmp_path):
+        """Retry budget 0 + a killed worker aborts the run; the trace file
+        must still be one valid JSON document containing the mine span."""
+        path = tmp_path / "abort_trace.json"
+        obs = ObsContext(sink=ChromeTraceSink(path))
+        with pytest.raises(ParallelExecutionError):
+            run_eclat_shared_memory(
+                paper_db, 2, n_workers=2, max_task_retries=0,
+                obs=obs, _fault={"kill_task": 0},
+            )
+        obs.close()
+        events = _load_trace(path)
+        assert any(e["name"] == "shared_memory.mine" for e in events)
+
+    def test_partial_worker_telemetry_survives_abort(self, paper_db, tmp_path):
+        """Tasks completed before the fault keep their worker-lane spans."""
+        path = tmp_path / "partial_trace.json"
+        obs = ObsContext(sink=ChromeTraceSink(path))
+        with pytest.raises(ParallelExecutionError):
+            run_eclat_shared_memory(
+                # Kill on a later task so earlier ones complete and merge.
+                paper_db, 2, n_workers=2, max_task_retries=0,
+                obs=obs, _fault={"kill_task": 2},
+            )
+        obs.close()
+        events = _load_trace(path)
+        worker_tasks = [
+            e for e in events
+            if e["ph"] == "X" and e["pid"] != 0 and e["name"] == "task.eclat"
+        ]
+        assert worker_tasks  # partial telemetry, not a corrupted/empty trace
+
+    def test_unclosed_sink_never_leaves_truncated_file(self, tmp_path):
+        """close() writes atomically: before it, no file; after, valid JSON.
+        A crash mid-write can leave a stale .tmp but never a half-written
+        trace at the target path."""
+        path = tmp_path / "atomic.json"
+        sink = ChromeTraceSink(path)
+        with sink.span("work"):
+            pass
+        assert not path.exists()
+        sink.close()
+        json.loads(path.read_text())
+        assert not path.with_name(path.name + ".tmp").exists()
