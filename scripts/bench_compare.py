@@ -71,7 +71,15 @@ def main() -> int:
         metrics=args.metric or None,
     )
     print(render_comparison(comparison, args.threshold))
-    return comparison.exit_code(args.threshold, strict=args.strict)
+    code = comparison.exit_code(args.threshold, strict=args.strict)
+    if code == 1:
+        # Repeat just the offending deltas on stderr so a failing CI job's
+        # error tail shows exactly which metrics sank the gate, without
+        # scrolling back through the full comparison.
+        print("regressed metrics:", file=sys.stderr)
+        for delta in comparison.regressions(args.threshold):
+            print(f"  {delta.describe(args.threshold)}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -74,6 +75,19 @@ def support_numpy_block(matrix, idx_i, idx_j) -> np.ndarray:
     return supports
 
 
+def _env_min_ratio(default: float) -> float:
+    """--min-speedup default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
 def best_of(fn, repeats: int) -> tuple[float, object]:
     """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
     best = float("inf")
@@ -99,7 +113,10 @@ def main() -> int:
                         help="where to write the JSON record")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless block speedup >= --min-speedup")
-    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--min-speedup", type=float,
+                        default=_env_min_ratio(5.0),
+                        help="acceptance bar (default 5.0, or "
+                             "REPRO_BENCH_MIN_RATIO if set)")
     args = parser.parse_args()
 
     if args.smoke:

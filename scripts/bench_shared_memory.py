@@ -38,6 +38,19 @@ SMOKE_FIMI = "\n".join(
 )
 
 
+def _env_min_ratio(default: float) -> float:
+    """--min-speedup default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
 def best_of(fn, repeats: int) -> tuple[float, object]:
     """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
     best = float("inf")
@@ -68,7 +81,10 @@ def main() -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless speedup at 4 workers >= "
                              "--min-speedup (skipped when cpu_count < 4)")
-    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-speedup", type=float,
+                        default=_env_min_ratio(2.0),
+                        help="acceptance bar (default 2.0, or "
+                             "REPRO_BENCH_MIN_RATIO if set)")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write a Chrome trace of the widest "
                              "shared-memory run (one lane per worker)")

@@ -1,0 +1,241 @@
+"""Benchmark: work-stealing Eclat vs top-level-class dispatch (finding 4).
+
+The paper's fourth finding is a scaling ceiling: a dataset whose frequent-
+item count is below the thread count cannot scale when only the outermost
+loop (one task per top-level equivalence class) is parallelised — the
+extra threads have nothing to pull.  ``schedule="worksteal"`` removes the
+ceiling by spawning subtree classes as stealable tasks.  This script
+quantifies that claim two ways and writes ``BENCH_worksteal.json`` at the
+repo root:
+
+* **measured** — wall clock for ``repro.mine(..., backend=
+  "shared_memory")`` on a synthetic low-item-count / deep-subtree
+  workload (items < workers), default dispatch vs ``worksteal``.
+* **simulated** — the deterministic nested-task simulator
+  (:mod:`repro.parallel.worksteal_sim`) on two task trees: a finding-4
+  shape where stealing must win, and a payload-dominated shape where the
+  steal tax must make it lose.  This crossover is machine-independent.
+
+Honest-reporting note: the record includes ``cpu_count``; on a container
+with fewer than 4 CPUs the measured comparison can only show scheduling
+overhead, so ``--check`` gates only the simulated crossover there and
+says so.  The measured ratio bar (default 1.3x) is also configurable via
+the ``REPRO_BENCH_MIN_RATIO`` environment variable, which CI sets.
+
+    PYTHONPATH=src python scripts/bench_worksteal.py              # full
+    PYTHONPATH=src python scripts/bench_worksteal.py --smoke --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datasets import parse_fimi  # noqa: E402
+from repro.engine import mine  # noqa: E402
+from repro.machine import BLACKLIGHT  # noqa: E402
+from repro.parallel import eclat_task_tree, worksteal_advantage  # noqa: E402
+
+
+def _env_min_ratio(default: float) -> float:
+    """--min-ratio default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
+def finding4_fimi(n_items: int, n_transactions: int, density: float,
+                  seed: int = 7) -> str:
+    """A dense low-item-count database: nearly every subtree is deep.
+
+    With ``density`` close to 1 almost the whole ``2**n_items`` lattice is
+    frequent at a moderate threshold, so each of the few top-level classes
+    is an expensive deep subtree — exactly the shape that starves
+    outermost-loop-only parallelism when ``n_items < n_workers``.
+    """
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(n_transactions):
+        tx = [i for i in range(n_items) if rng.random() < density]
+        if not tx:
+            tx = [rng.randrange(n_items)]
+        lines.append(" ".join(str(i) for i in tx))
+    return "\n".join(lines)
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def simulate_crossover(n_threads: int) -> dict:
+    """Deterministic win/lose predictions from the nested-task simulator.
+
+    * ``win``  — 4 roots, deep/branchy subtrees, tiny payloads: fewer
+      top-level classes than threads, so static dispatch idles most of
+      the machine and stealing must pay.
+    * ``lose`` — the same tree with near-zero compute per task and multi-
+      megabyte payloads: every steal ships more NumaLink bytes than the
+      work it unlocks, so stealing must lose.
+    """
+    win_roots = eclat_task_tree(n_classes=4, depth=6, branching=2,
+                                task_seconds=1e-4, payload_bytes=512)
+    lose_roots = eclat_task_tree(n_classes=4, depth=6, branching=2,
+                                 task_seconds=1e-7,
+                                 payload_bytes=4 * 1024 * 1024)
+    win = worksteal_advantage(win_roots, n_threads, machine=BLACKLIGHT)
+    lose = worksteal_advantage(lose_roots, n_threads, machine=BLACKLIGHT)
+    return {"n_threads": n_threads, "win": win, "lose": lose}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=10,
+                        help="frequent-item count; keep below --workers "
+                             "(default: 10)")
+    parser.add_argument("--transactions", type=int, default=1500,
+                        help="synthetic database size (default: 1500)")
+    parser.add_argument("--density", type=float, default=0.88,
+                        help="per-item transaction membership probability")
+    parser.add_argument("--min-support", type=float, default=0.3,
+                        help="support threshold (default: 0.3 relative)")
+    parser.add_argument("--workers", type=int, default=16,
+                        help="worker count; the point is workers > items "
+                             "(default: 16)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload + 2 workers, for CI")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_worksteal.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the simulator predicts the "
+                             "crossover and (with >= 4 cpus) the measured "
+                             "worksteal/static ratio >= --min-ratio")
+    parser.add_argument("--min-ratio", type=float,
+                        default=_env_min_ratio(1.3),
+                        help="measured worksteal-over-static bar (default "
+                             "1.3, or REPRO_BENCH_MIN_RATIO if set)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        items, transactions, workers = 6, 200, 2
+        min_support = 0.4
+    else:
+        items, transactions, workers = (
+            args.items, args.transactions, args.workers)
+        min_support = args.min_support
+
+    db = parse_fimi(
+        finding4_fimi(items, transactions, args.density),
+        name=f"finding4-{items}x{transactions}",
+    )
+
+    t_static, baseline = best_of(
+        lambda: mine(db, algorithm="eclat", backend="shared_memory",
+                     min_support=min_support, n_workers=workers),
+        args.repeats,
+    )
+    t_ws, ws_result = best_of(
+        lambda: mine(db, algorithm="eclat", backend="shared_memory",
+                     min_support=min_support, n_workers=workers,
+                     schedule="worksteal"),
+        args.repeats,
+    )
+    if ws_result.itemsets != baseline.itemsets:
+        print("FATAL: worksteal disagrees with the default-dispatch run",
+              file=sys.stderr)
+        return 2
+
+    sim = simulate_crossover(n_threads=max(workers, 8))
+
+    record = {
+        "dataset": db.name,
+        "n_transactions": db.n_transactions,
+        "n_items": db.n_items,
+        "min_support": min_support,
+        "n_itemsets": len(baseline.itemsets),
+        "n_workers": workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "static_dispatch_seconds": t_static,
+        "worksteal_seconds": t_ws,
+        "measured_speedup": {
+            "worksteal_vs_static": (t_static / t_ws) if t_ws else None,
+        },
+        "sim_speedup": {
+            "few_roots_deep_tree": sim["win"]["speedup"],
+            "payload_dominated": sim["lose"]["speedup"],
+        },
+        "simulated": sim,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    ratio = t_static / t_ws if t_ws else float("inf")
+    print(f"dataset={db.name}  itemsets={len(baseline.itemsets)}  "
+          f"workers={workers}  cpu_count={record['cpu_count']}")
+    print(f"  default dispatch      {t_static * 1e3:10.3f} ms")
+    print(f"  worksteal             {t_ws * 1e3:10.3f} ms  ({ratio:.2f}x)")
+    print(f"  sim few-roots/deep    {sim['win']['speedup']:.2f}x "
+          f"(steals={sim['win']['steal_events']})")
+    print(f"  sim payload-dominated {sim['lose']['speedup']:.5f}x "
+          f"(stealing should lose)")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failed = False
+        if sim["win"]["speedup"] < args.min_ratio:
+            print(f"FAIL: simulator predicts only "
+                  f"{sim['win']['speedup']:.2f}x on the finding-4 tree "
+                  f"(< {args.min_ratio:.1f}x)", file=sys.stderr)
+            failed = True
+        if sim["lose"]["speedup"] >= 1.0:
+            print(f"FAIL: simulator says stealing wins "
+                  f"({sim['lose']['speedup']:.2f}x) even when payload "
+                  f"shipping dominates", file=sys.stderr)
+            failed = True
+        cpus = record["cpu_count"] or 1
+        if args.smoke:
+            print("SKIP measured check: smoke workload runs for "
+                  "milliseconds — the ratio is timing noise; only the "
+                  "deterministic simulator gates here")
+        elif cpus < 4:
+            print(f"SKIP measured check: cpu_count={cpus} < 4 — every "
+                  "worker shares a core, so the ratio only measures "
+                  "overhead; recorded honest numbers instead")
+        elif ratio < args.min_ratio:
+            print(f"FAIL: measured worksteal speedup {ratio:.2f}x < "
+                  f"{args.min_ratio:.1f}x", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: measured worksteal speedup {ratio:.2f}x >= "
+                  f"{args.min_ratio:.1f}x")
+        if failed:
+            return 1
+        print("OK: simulator predicts the worksteal crossover")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

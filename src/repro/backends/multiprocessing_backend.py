@@ -11,6 +11,16 @@ Each worker process builds the singleton verticals once (its private copy
 of the "shared" base data — mirroring the paper's remark that every thread
 generates its own transaction representation) and then mines whole
 top-level classes; results are merged in the parent.
+
+``schedule="worksteal"`` swaps the ``Pool.imap_unordered`` dispatch for
+the deque scheduler (:mod:`repro.parallel.worksteal`) with nested task
+spawning: a worker finishing a class task returns the stealable subtasks
+it carved off (classes still above the spawn thresholds, named as
+positions into the worker-local ordered singleton list), so fewer frequent
+items than workers no longer caps parallelism.  A thief re-derives the
+class verticals from its own singletons by walking ``combine`` down the
+prefix chain — the representation-agnostic analogue of the shared-memory
+backend's bit-row rebuild.
 """
 
 from __future__ import annotations
@@ -18,14 +28,21 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import traceback
 import warnings
+from queue import Empty
 from typing import Iterable, Mapping
 
 from repro.core.eclat import _Member, _mine_class, _State  # noqa: WPS450 - intentional reuse
 from repro.core.result import MiningResult, resolve_min_support
 from repro.datasets.transaction_db import TransactionDatabase
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.parallel.worksteal import WorkStealScheduler, resolve_spawn_policy
 from repro.representations import get_representation
+
+#: Result-queue poll granularity of the worksteal dispatch loop (seconds);
+#: also how often worker liveness is checked.
+_WS_POLL_SECONDS = 0.05
 
 # Worker-process globals, set once by the pool initializer so task payloads
 # stay tiny (a single int per task).
@@ -115,6 +132,258 @@ class _NullCollector:
         pass
 
 
+# --------------------------------------------------------------------------
+# Work-stealing path
+# --------------------------------------------------------------------------
+
+
+def _ws_rebuild(prefix: tuple, member_ids: tuple) -> dict:
+    """Re-derive class-member verticals under ``prefix`` from singletons.
+
+    Walks ``rep.combine`` down the prefix chain: after step ``k`` every
+    tracked position ``j > prefix[k]`` holds the vertical of the class
+    ``prefix[:k + 1]`` member ``j``.  Each step combines two members of
+    the *same* class, which is the only contract representations like
+    diffsets require — so the rebuild is correct for every registered
+    representation, not just tidsets.  This work is the runtime cost of a
+    migrated task (what the cost model prices as the steal payload).
+    """
+    rep = _WORKER["rep"]
+    singles = _WORKER["members"]
+    verts = {
+        i: singles[i].vertical for i in sorted(set(prefix) | set(member_ids))
+    }
+    for p in prefix:
+        left = verts[p]
+        for j in sorted(verts):
+            if j > p:
+                verts[j], _cost = rep.combine(left, verts[j])
+    return {i: verts[i] for i in member_ids}
+
+
+def _run_ws_task(body: tuple) -> tuple[dict, list]:
+    """Execute one stealable class task; return (itemsets, spawned tasks).
+
+    ``body`` is ``(prefix, member_ids)`` — positions into this worker's
+    ordered frequent-singleton list.  The task joins ``member_ids[0]``
+    against the rest under ``prefix``; the surviving child class spawns
+    (one task per member position) while ``len(new_prefix) <= spawn_depth``
+    and the class keeps ``>= spawn_min_members`` members, and is otherwise
+    finished inline with the serial :func:`_mine_class` walk.
+    """
+    prefix, member_ids = body
+    rep = _WORKER["rep"]
+    min_sup = _WORKER["min_sup"]
+    singles = _WORKER["members"]
+    obs = _WORKER["telemetry"].obs
+    busy_start = time.perf_counter() if obs is not None else 0.0
+
+    result = MiningResult(
+        dataset="worker", algorithm="eclat", representation=rep.name,
+        min_support=min_sup, n_transactions=0,
+    )
+    spawned: list[tuple] = []
+    if len(member_ids) >= 2:
+        verts = _ws_rebuild(tuple(prefix), tuple(member_ids))
+        head = member_ids[0]
+        head_items = (
+            tuple(singles[p].items[-1] for p in prefix)
+            + (singles[head].items[-1],)
+        )
+        left = verts[head]
+        kept: list[int] = []
+        next_members: list[_Member] = []
+        for m in member_ids[1:]:
+            vertical, _cost = rep.combine(left, verts[m])
+            if vertical.support >= min_sup:
+                items = head_items + (singles[m].items[-1],)
+                result.add(tuple(sorted(items)), vertical.support)
+                kept.append(m)
+                next_members.append(_Member(items, vertical, -1))
+        new_prefix = tuple(prefix) + (head,)
+        if len(next_members) >= 2:
+            if (
+                len(new_prefix) <= _WORKER["spawn_depth"]
+                and len(kept) >= _WORKER["spawn_min_members"]
+            ):
+                spawned = [
+                    (new_prefix, tuple(kept[j:]))
+                    for j in range(len(kept) - 1)
+                ]
+            else:
+                state = _State(
+                    rep=rep, min_sup=min_sup, result=result,
+                    sink=_NullCollector(),
+                )
+                _mine_class(state, next_members, len(head_items) + 1)
+    if obs is not None:
+        obs.sink.wall_event(
+            "task.eclat_ws", busy_start, cat="mine",
+            args={
+                "prefix_len": len(prefix), "n_members": len(member_ids),
+                "n_spawned": len(spawned),
+            },
+        )
+        obs.metrics.counter("worker.busy_s").inc(
+            time.perf_counter() - busy_start
+        )
+    return result.itemsets, spawned
+
+
+def _ws_worker_main(
+    worker_id: int,
+    init_args: tuple,
+    spawn_depth: int,
+    spawn_min_members: int,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worksteal worker loop: build singletons once, then drain tasks.
+
+    Mirrors the shared-memory pool's protocol — at most one
+    ``(task_id, body)`` in flight per worker, ``None`` to stop, outcomes
+    ``("done", worker, task, itemsets, spawned, snapshot)`` or
+    ``("error", worker, task, traceback)``.
+    """
+    try:
+        _init_worker(*init_args)
+        _WORKER["spawn_depth"] = spawn_depth
+        _WORKER["spawn_min_members"] = spawn_min_members
+        telemetry = _WORKER["telemetry"]
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            task_id, body = task
+            try:
+                itemsets, spawned = _run_ws_task(body)
+            except Exception:
+                result_queue.put(
+                    ("error", worker_id, task_id, traceback.format_exc())
+                )
+                continue
+            result_queue.put(
+                ("done", worker_id, task_id, itemsets, spawned,
+                 telemetry.drain())
+            )
+    except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
+        pass  # parent tore the queues down; exit quietly
+
+
+def _run_eclat_worksteal(
+    result: MiningResult,
+    init_args: tuple,
+    n_singletons: int,
+    n_workers: int,
+    policy: tuple[int, int],
+    obs,
+) -> None:
+    """Parent-side worksteal dispatch over mp.Process workers.
+
+    The scheduler's deques live here (single orchestrator, exact
+    termination: all deques empty and nothing in flight == done count
+    reaching the grown task list).  Workers that die mid-task abort the
+    run — this backend keeps the multiprocessing path's no-retry policy;
+    the shared-memory backend is the fault-tolerant one.
+    """
+    ctx = (
+        mp.get_context("fork")
+        if "fork" in mp.get_all_start_methods() else mp.get_context()
+    )
+    payloads: list[tuple] = [
+        ((), tuple(range(i, n_singletons))) for i in range(n_singletons - 1)
+    ]
+    if not payloads:
+        return
+    scheduler = WorkStealScheduler(n_workers)
+    scheduler.seed(range(len(payloads)))
+    result_queue = ctx.Queue()
+    queues = [ctx.Queue() for _ in range(n_workers)]
+    workers = []
+    for worker_id in range(n_workers):
+        process = ctx.Process(
+            target=_ws_worker_main,
+            args=(worker_id, init_args, policy[0], policy[1],
+                  queues[worker_id], result_queue),
+            daemon=True,
+        )
+        process.start()
+        workers.append(process)
+
+    assigned: dict[int, int] = {}
+    lanes: dict[int, int] = {}
+    seen_pids: set[int] = set()
+    done = 0
+
+    def dispatch(worker_id: int) -> None:
+        if worker_id in assigned:
+            return
+        task_id = scheduler.acquire(worker_id)
+        if task_id is None:
+            return
+        assigned[worker_id] = task_id
+        queues[worker_id].put((task_id, payloads[task_id]))
+
+    try:
+        for worker_id in range(n_workers):
+            dispatch(worker_id)
+        while done < len(payloads):
+            try:
+                message = result_queue.get(timeout=_WS_POLL_SECONDS)
+            except Empty:
+                for worker_id, process in enumerate(workers):
+                    if not process.is_alive():
+                        task_id = assigned.get(worker_id)
+                        raise ParallelExecutionError(
+                            f"worksteal worker {worker_id} died (exitcode "
+                            f"{process.exitcode}) holding task {task_id}"
+                        )
+                continue
+            if message[0] == "error":
+                _, worker_id, task_id, tb = message
+                raise ParallelExecutionError(
+                    f"worker {worker_id} failed on task {task_id}:\n{tb}"
+                )
+            _, worker_id, task_id, itemsets, spawned, snap = message
+            assigned.pop(worker_id, None)
+            if spawned:
+                first_id = len(payloads)
+                payloads.extend(spawned)
+                scheduler.spawn(
+                    worker_id,
+                    list(range(first_id, len(payloads))),
+                    depth=len(spawned[0][0]),
+                )
+            result.itemsets.update(itemsets)
+            if obs is not None and snap is not None:
+                _merge_task_snapshot(obs, snap, lanes, seen_pids)
+            done += 1
+            for idle_id in range(n_workers):
+                dispatch(idle_id)
+    finally:
+        for queue in queues:
+            try:
+                queue.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in workers:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        for queue in [*queues, result_queue]:
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        if obs is not None:
+            scheduler.record_counters(obs, prefix="multiprocessing.worksteal")
+            obs.metrics.gauge(
+                "multiprocessing.load_balance.steal_fraction"
+            ).set(scheduler.stats.steal_fraction())
+
+
 def _merge_task_snapshot(obs, snap, lanes: dict, seen_pids: set) -> None:
     """Fold one worker snapshot into the parent on a per-pid lane.
 
@@ -141,6 +410,9 @@ def run_eclat_multiprocessing(
     *,
     n_workers: int | None = None,
     item_order: str = "support",
+    schedule: str | None = None,
+    spawn_depth: int | None = None,
+    spawn_min_members: int | None = None,
     obs=None,
 ) -> MiningResult:
     """Frequent itemsets via a process pool over top-level classes.
@@ -151,9 +423,29 @@ def run_eclat_multiprocessing(
     that entry point.  With ``obs`` active, each worker ships a telemetry
     snapshot alongside its itemsets and the merged trace shows one lane
     per worker process.
+
+    ``schedule="worksteal"`` enables nested task spawning balanced by the
+    deque scheduler (``spawn_depth`` / ``spawn_min_members`` tune what
+    spawns); the default is the paper's dynamic one-class-at-a-time
+    dispatch via ``imap_unordered``.
     """
     if item_order not in ("support", "id"):
         raise ConfigurationError("item_order must be 'support' or 'id'")
+    from repro.backends.shared_memory_backend import parse_schedule
+    from repro.openmp.schedule import ECLAT_SCHEDULE
+
+    spec = parse_schedule(schedule, ECLAT_SCHEDULE)
+    if spec.kind not in ("dynamic", "worksteal"):
+        raise ConfigurationError(
+            "multiprocessing backend supports schedule 'dynamic' (default) "
+            f"or 'worksteal', got {spec.kind!r}"
+        )
+    worksteal = spec.kind == "worksteal"
+    if not worksteal and (spawn_depth is not None or spawn_min_members is not None):
+        raise ConfigurationError(
+            "spawn_depth/spawn_min_members require schedule='worksteal'"
+        )
+    policy = resolve_spawn_policy(spawn_depth, spawn_min_members)
     min_sup = resolve_min_support(db, min_support)
     n_workers = n_workers or max(1, (os.cpu_count() or 2) - 0)
     wall_start = time.perf_counter() if obs is not None else 0.0
@@ -184,27 +476,39 @@ def run_eclat_multiprocessing(
     lanes: dict[int, int] = {}
     seen_pids: set[int] = set()
     transactions = [t.tolist() for t in db]
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    init_args = (transactions, db.n_items, min_sup, representation,
+                 item_order, obs is not None)
+    # Worksteal never clamps the team to the top-level task count — nested
+    # spawns are exactly how surplus workers get fed (finding 4).
+    workers = n_workers if worksteal else min(n_workers, n_tasks)
     try:
-        with ctx.Pool(
-            processes=min(n_workers, n_tasks),
-            initializer=_init_worker,
-            initargs=(transactions, db.n_items, min_sup, representation,
-                      item_order, obs is not None),
-        ) as pool:
-            # chunksize=1 mirrors the paper's schedule(dynamic, 1).
-            for partial, snap in pool.imap_unordered(
-                _mine_toplevel_task, range(n_tasks), chunksize=1
-            ):
-                result.itemsets.update(partial)
-                if obs is not None and snap is not None:
-                    _merge_task_snapshot(obs, snap, lanes, seen_pids)
+        if worksteal:
+            _run_eclat_worksteal(
+                result, init_args, n_tasks, workers, policy, obs
+            )
+        else:
+            ctx = (
+                mp.get_context("fork")
+                if "fork" in mp.get_all_start_methods() else mp.get_context()
+            )
+            with ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=init_args,
+            ) as pool:
+                # chunksize=1 mirrors the paper's schedule(dynamic, 1).
+                for partial, snap in pool.imap_unordered(
+                    _mine_toplevel_task, range(n_tasks), chunksize=1
+                ):
+                    result.itemsets.update(partial)
+                    if obs is not None and snap is not None:
+                        _merge_task_snapshot(obs, snap, lanes, seen_pids)
     finally:
         if obs is not None:
             obs.sink.wall_event(
                 "multiprocessing.mine", wall_start, cat="mine",
                 args={"algorithm": "eclat", "tasks": n_tasks,
-                      "workers": min(n_workers, n_tasks)},
+                      "workers": workers, "schedule": str(spec)},
             )
     return result
 

@@ -18,7 +18,17 @@ Work is scheduled through the paper's OpenMP clause semantics
   minimizes load imbalance;
 * **Apriori** counts each candidate generation in contiguous ranges under
   ``schedule(static)`` (Section III) — ranges are pre-assigned to workers
-  through per-worker queues, one barrier per generation.
+  through per-worker queues, one barrier per generation;
+* **worksteal** (``schedule="worksteal"``) replaces the shared queue with
+  the :class:`repro.parallel.worksteal.WorkStealScheduler`: per-worker
+  deques, LIFO pop, FIFO steal-half.  Eclat tasks become *nested* — a
+  worker finishing a class task returns the stealable subtasks it spawned
+  (equivalence classes still above the ``spawn_depth`` /
+  ``spawn_min_members`` thresholds, named as positions into the shared
+  read-only matrix), so a dataset with fewer frequent items than workers
+  can still saturate the pool (the paper's finding-4 ceiling); Apriori
+  gets finer stealable candidate-range chunks.  The deques live
+  parent-side, preserving the exact fault-attribution ledger below.
 
 Robustness: the parent dispatches at most one task at a time to each
 worker's private queue, so the assignment ledger lives parent-side and a
@@ -55,6 +65,7 @@ from repro.openmp.schedule import (
     ScheduleSpec,
     chunk_boundaries,
 )
+from repro.parallel.worksteal import WorkStealScheduler, resolve_spawn_policy
 from repro.representations.bitvector_numpy import (
     pack_database,
     popcount_rows,
@@ -148,6 +159,29 @@ def _run_eclat_chunk(matrix: np.ndarray, init: dict, indices: list[int], obs):
     return result.itemsets
 
 
+def _run_eclat_ws_task(matrix: np.ndarray, init: dict, body, obs):
+    """Execute one stealable Eclat task; return (fragments, spawned tasks).
+
+    ``body`` is ``(prefix, members)`` — positions into the shared ordered
+    singleton matrix (see :func:`repro.engine.vectorized.run_worksteal_task`).
+    The spawned descriptors travel back with the result so the parent-side
+    scheduler can make them stealable; the worker never blocks on them.
+    """
+    from repro.engine.vectorized import run_worksteal_task
+
+    prefix, members = body
+    result = MiningResult(
+        dataset="shm-worker", algorithm="eclat",
+        representation="bitvector_numpy", min_support=init["min_sup"],
+        n_transactions=0,
+    )
+    spawned = run_worksteal_task(
+        result, init["itemsets"], matrix, tuple(prefix), tuple(members),
+        init["min_sup"], init["spawn_depth"], init["spawn_min_members"], obs,
+    )
+    return result.itemsets, spawned
+
+
 def _run_apriori_chunk(matrix: np.ndarray, init: dict, candidates: list[Itemset], obs):
     """Support-count one candidate range by k-way AND over singleton rows.
 
@@ -229,6 +263,8 @@ def _worker_main(
                 kind, body = payload
                 if kind == "eclat":
                     out = _run_eclat_chunk(matrix, init, body, obs)
+                elif kind == "eclat_ws":
+                    out = _run_eclat_ws_task(matrix, init, body, obs)
                 else:
                     out = _run_apriori_chunk(matrix, init, body, obs)
             except Exception:
@@ -307,6 +343,10 @@ class SharedMemoryPool:
         self._init = init
         self._spec = spec
         self._static = spec.kind == "static"
+        self._ws_mode = spec.kind == "worksteal"
+        #: Live only during a worksteal-mode run(); rebuilt per run so the
+        #: steal stats describe exactly one mining pass.
+        self._ws: WorkStealScheduler | None = None
         self._task_timeout = task_timeout
         self._max_task_retries = max_task_retries
         self._obs = obs
@@ -465,7 +505,10 @@ class SharedMemoryPool:
 
         self._payloads = payloads
         self._owners = owners
-        if self._static:
+        if self._ws_mode:
+            self._ws = WorkStealScheduler(self.n_workers)
+            self._ws.seed(range(n_tasks))
+        elif self._static:
             assert owners is not None
             self._pending = [deque() for _ in range(self.n_workers)]
             for task_id, owner in enumerate(owners):
@@ -483,7 +526,9 @@ class SharedMemoryPool:
         try:
             for worker_id in range(self.n_workers):
                 self._dispatch(worker_id)
-            while done < n_tasks:
+            # In worksteal mode completed tasks may spawn new ones, so the
+            # task count is re-read every pass (len(self._payloads) grows).
+            while done < len(self._payloads):
                 try:
                     message = self._result_queue.get(timeout=_POLL_SECONDS)
                 except Empty:
@@ -498,6 +543,18 @@ class SharedMemoryPool:
                             dispatched_perf = held[2]
                             del self._assigned[worker_id]
                         if outputs[task_id] is _UNSET:
+                            if (
+                                self._ws_mode
+                                and self._payloads[task_id][0] == "eclat_ws"
+                            ):
+                                out, spawned = out
+                                # Registered only on the FIRST completion of
+                                # this task id: a stale duplicate "done" (a
+                                # kill racing a result already in the pipe)
+                                # must not re-spawn the subtree.
+                                self._register_spawned(
+                                    worker_id, spawned, outputs
+                                )
                             outputs[task_id] = out
                             done += 1
                             self._merge_result(
@@ -518,16 +575,48 @@ class SharedMemoryPool:
             self._run_seconds += time.perf_counter() - run_start
         return outputs
 
+    def _register_spawned(
+        self, worker_id: int, spawned: list, outputs: list
+    ) -> None:
+        """Adopt tasks a worker spawned: new ids on *its* scheduler deque.
+
+        The spawner's deque (not a shared queue) is the work-stealing
+        invariant — the spawning worker keeps depth-first locality on its
+        own subtree and idle workers steal from the other end.  Newly
+        spawned work may unblock workers that found every deque empty a
+        moment ago, so all idle workers are re-offered a task.
+        """
+        if not spawned:
+            return
+        assert self._ws is not None
+        first_id = len(self._payloads)
+        for body in spawned:
+            self._payloads.append(("eclat_ws", body))
+            outputs.append(_UNSET)
+        self._ws.spawn(
+            worker_id,
+            list(range(first_id, len(self._payloads))),
+            depth=len(spawned[0][0]),
+        )
+        for idle_id in range(self.n_workers):
+            self._dispatch(idle_id)
+
     def _dispatch(self, worker_id: int) -> None:
         """Hand the worker its next pending task, if idle and any remain."""
         if worker_id in self._assigned:
             return
-        pending = (
-            self._pending[worker_id] if self._static else self._pending
-        )
-        if not pending:
-            return
-        task_id = pending.popleft()
+        if self._ws_mode:
+            assert self._ws is not None
+            task_id = self._ws.acquire(worker_id)
+            if task_id is None:
+                return
+        else:
+            pending = (
+                self._pending[worker_id] if self._static else self._pending
+            )
+            if not pending:
+                return
+            task_id = pending.popleft()
         self._assigned[worker_id] = (
             task_id, time.monotonic(), time.perf_counter()
         )
@@ -544,7 +633,10 @@ class SharedMemoryPool:
             )
         if self._obs is not None:
             self._obs.metrics.counter("shared_memory.tasks.retried").inc()
-        if self._static:
+        if self._ws_mode:
+            assert self._ws is not None
+            self._ws.requeue(worker_id, task_id)
+        elif self._static:
             assert self._owners is not None
             self._pending[self._owners[task_id]].appendleft(task_id)
         else:
@@ -657,6 +749,9 @@ class SharedMemoryPool:
                 if makespan > 0 else 0.0
             ),
         }
+        if self._ws is not None:
+            self._ws.record_counters(self._obs, prefix="shared_memory.worksteal")
+            summary["steal_fraction"] = self._ws.stats.steal_fraction()
         for key, value in summary.items():
             self._obs.metrics.gauge(f"shared_memory.load_balance.{key}").set(
                 value
@@ -692,14 +787,21 @@ def run_eclat_shared_memory(
     task_timeout: float | None = None,
     item_order: str = "support",
     max_task_retries: int = 2,
+    spawn_depth: int | None = None,
+    spawn_min_members: int | None = None,
     obs=None,
     _fault: dict | None = None,
 ) -> MiningResult:
     """Parallel Eclat over a zero-copy shared singleton matrix.
 
     One task per top-level equivalence class, dispatched under the paper's
-    ``schedule(dynamic, 1)`` by default.  Bit-identical to the serial
-    miners.  Prefer ``repro.mine(..., backend="shared_memory")``.
+    ``schedule(dynamic, 1)`` by default.  ``schedule="worksteal"`` switches
+    to the deque scheduler with *nested* task spawning: classes whose
+    prefix is at most ``spawn_depth`` long and which keep at least
+    ``spawn_min_members`` members become stealable tasks of their own, so
+    even a dataset with fewer frequent items than workers saturates the
+    pool.  Bit-identical to the serial miners either way.  Prefer
+    ``repro.mine(..., backend="shared_memory")``.
     """
     from repro.engine.vectorized import _frequent_singletons
 
@@ -708,6 +810,12 @@ def run_eclat_shared_memory(
             f"item_order must be 'support' or 'id', got {item_order!r}"
         )
     spec = parse_schedule(schedule, ECLAT_SCHEDULE)
+    worksteal = spec.kind == "worksteal"
+    if not worksteal and (spawn_depth is not None or spawn_min_members is not None):
+        raise ConfigurationError(
+            "spawn_depth/spawn_min_members require schedule='worksteal'"
+        )
+    policy = resolve_spawn_policy(spawn_depth, spawn_min_members)
     min_sup = resolve_min_support(db, min_support)
     wall_start = time.perf_counter() if obs is not None else 0.0
 
@@ -728,18 +836,34 @@ def run_eclat_shared_memory(
         obs.metrics.counter("eclat.toplevel.tasks").inc(max(0, len(itemsets) - 1))
 
     n_classes = len(itemsets) - 1  # the last member has no later siblings
-    workers = _resolve_workers(n_workers, n_classes)
+    if worksteal:
+        # The whole point is items < workers: never clamp the team to the
+        # top-level task count — nested spawns feed the surplus workers.
+        workers = _default_workers() if n_workers is None else n_workers
+        if workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {workers}")
+    else:
+        workers = _resolve_workers(n_workers, n_classes)
     try:
         if n_classes >= 1:
-            bounds = chunk_boundaries(n_classes, workers, spec)
-            payloads = [
-                ("eclat", list(range(start, end))) for start, end in bounds
-            ]
+            if worksteal:
+                n = len(itemsets)
+                payloads = [
+                    ("eclat_ws", ((), tuple(range(i, n))))
+                    for i in range(n_classes)
+                ]
+            else:
+                bounds = chunk_boundaries(n_classes, workers, spec)
+                payloads = [
+                    ("eclat", list(range(start, end))) for start, end in bounds
+                ]
             init = {
                 "min_sup": min_sup,
                 "itemsets": itemsets,
                 "collect_obs": obs is not None,
                 "fault": _fault,
+                "spawn_depth": policy[0],
+                "spawn_min_members": policy[1],
             }
             with SharedMemoryPool(
                 matrix, init, workers, spec,
@@ -781,7 +905,10 @@ def run_apriori_shared_memory(
     (per the paper's Section III; pass ``schedule="static,1"`` for the
     literal clause) and workers support-count their ranges by k-way AND
     over the zero-copy singleton rows — no generation-(k-1) verticals ever
-    leave the parent.  Prefer ``repro.mine(..., backend="shared_memory")``.
+    leave the parent.  ``schedule="worksteal"`` carves each generation
+    into finer stealable range chunks (~8 per worker) balanced by the
+    deque scheduler — useful when candidate costs are skewed.  Prefer
+    ``repro.mine(..., backend="shared_memory")``.
     """
     spec = parse_schedule(schedule, ScheduleSpec(APRIORI_SCHEDULE.kind, None))
     min_sup = resolve_min_support(db, min_support)
@@ -812,7 +939,16 @@ def run_apriori_shared_memory(
                 break
             cand_items = [c.items for c in candidates]
             if pool is None:
-                workers = _resolve_workers(n_workers, len(cand_items))
+                if spec.kind == "worksteal":
+                    workers = (
+                        _default_workers() if n_workers is None else n_workers
+                    )
+                    if workers < 1:
+                        raise ConfigurationError(
+                            f"n_workers must be >= 1, got {workers}"
+                        )
+                else:
+                    workers = _resolve_workers(n_workers, len(cand_items))
                 init = {
                     "min_sup": min_sup,
                     "collect_obs": obs is not None,

@@ -184,6 +184,18 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 # hook either).
                 result = charm(db, args.min_support)
             else:
+                # Only forward flags the user actually set: the registry
+                # rejects options a (backend, algorithm) pair doesn't take,
+                # so unconditional defaults would break serial runs.
+                options: dict = {}
+                if args.workers is not None:
+                    options["n_workers"] = args.workers
+                if args.schedule is not None:
+                    options["schedule"] = args.schedule
+                if args.spawn_depth is not None:
+                    options["spawn_depth"] = args.spawn_depth
+                if args.spawn_min is not None:
+                    options["spawn_min_members"] = args.spawn_min
                 try:
                     result = mine(
                         db,
@@ -193,6 +205,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                         min_support=args.min_support,
                         obs=obs,
                         ledger=ledger,
+                        **options,
                     )
                 except ReproError as exc:
                     raise SystemExit(f"error: {exc}") from None
@@ -364,6 +377,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine_cmd.add_argument("-t", "--top", type=int, default=10,
                           help="print the N most frequent itemsets")
+    mine_cmd.add_argument(
+        "-w", "--workers", type=int, default=None, metavar="N",
+        help="worker count for parallel backends (default: cpu count)",
+    )
+    mine_cmd.add_argument(
+        "--schedule", default=None, metavar="KIND[,CHUNK]",
+        help="loop schedule for parallel backends: static, dynamic, guided "
+             "or worksteal (e.g. 'dynamic,1', 'worksteal')",
+    )
+    mine_cmd.add_argument(
+        "--spawn-depth", type=int, default=None, metavar="D",
+        help="worksteal only: deepest prefix length still spawned as "
+             "stealable tasks (default 2; 0 = top-level dispatch only)",
+    )
+    mine_cmd.add_argument(
+        "--spawn-min", type=int, default=None, metavar="M",
+        help="worksteal only: smallest class size worth spawning "
+             "(default 3)",
+    )
     _add_obs_flags(mine_cmd)
     _add_ledger_flags(mine_cmd)
     mine_cmd.set_defaults(func=cmd_mine)

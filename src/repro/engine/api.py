@@ -326,7 +326,8 @@ def _serial_fpgrowth(db, rep_name, min_sup, *, obs=None):
 
 
 def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
-                           item_order="support"):
+                           item_order="support", schedule=None,
+                           spawn_depth=None, spawn_min_members=None):
     # Imported lazily: repro.backends must stay importable without the
     # engine (its legacy shims import the engine lazily in the other
     # direction).
@@ -334,20 +335,23 @@ def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
 
     return run_eclat_multiprocessing(
         db, min_sup, rep_name, n_workers=n_workers, item_order=item_order,
-        obs=obs,
+        schedule=schedule, spawn_depth=spawn_depth,
+        spawn_min_members=spawn_min_members, obs=obs,
     )
 
 
 def _shared_memory_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
                          schedule=None, task_timeout=None,
-                         item_order="support", max_task_retries=2):
+                         item_order="support", max_task_retries=2,
+                         spawn_depth=None, spawn_min_members=None):
     # Imported lazily (same discipline as the multiprocessing backend).
     from repro.backends.shared_memory_backend import run_eclat_shared_memory
 
     return run_eclat_shared_memory(
         db, min_sup, rep_name, n_workers=n_workers, schedule=schedule,
         task_timeout=task_timeout, item_order=item_order,
-        max_task_retries=max_task_retries, obs=obs,
+        max_task_retries=max_task_retries, spawn_depth=spawn_depth,
+        spawn_min_members=spawn_min_members, obs=obs,
     )
 
 
@@ -394,17 +398,20 @@ def _register_defaults() -> None:
     )
     register_backend(
         "multiprocessing", "eclat", _multiprocessing_eclat,
-        options=("n_workers", "item_order"),
-        description="process-pool Eclat over top-level prefix classes",
+        options=("n_workers", "item_order", "schedule", "spawn_depth",
+                 "spawn_min_members"),
+        description="process-pool Eclat over top-level prefix classes "
+                    "(schedule='worksteal' adds nested task stealing)",
     )
     register_backend(
         "shared_memory", "eclat", _shared_memory_eclat,
         options=("n_workers", "schedule", "task_timeout", "item_order",
-                 "max_task_retries"),
+                 "max_task_retries", "spawn_depth", "spawn_min_members"),
         representations=("bitvector_numpy", "bitvector"),
         preferred_representation="bitvector_numpy",
         description="zero-copy shared-memory process pool over top-level "
-                    "classes (schedule(dynamic,1))",
+                    "classes (schedule(dynamic,1); schedule='worksteal' "
+                    "adds nested task stealing)",
     )
     register_backend(
         "shared_memory", "apriori", _shared_memory_apriori,

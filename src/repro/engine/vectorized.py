@@ -206,6 +206,104 @@ def mine_toplevel_class(
         _mine_class_vectorized(result, child_itemsets, child_matrix, min_sup, obs)
 
 
+def rebuild_class_rows(
+    matrix: np.ndarray,
+    prefix: tuple[int, ...],
+    members: tuple[int, ...],
+    obs: "ObsContext | None" = None,
+) -> np.ndarray:
+    """Class-matrix rows for ``members`` under ``prefix``, from generation 1.
+
+    A work-stealing task names its equivalence class by *positions into the
+    ordered frequent-singleton matrix* — the only array every worker shares
+    read-only — instead of shipping computed bit rows.  The executing
+    worker reconstructs the rows here: AND the prefix rows into one vector,
+    broadcast it over the member rows.  Correct because a class vector is
+    the intersection of its items' singleton vectors.
+
+    The rebuild is the runtime form of the steal payload the cost model
+    prices, so it is charged to ``worksteal.rebuild.*`` counters — **not**
+    ``mine.*`` — keeping the mining counters identical to the plain
+    vectorized backend (the equivalence tests pin this).
+    """
+    rows = matrix[np.asarray(members, dtype=np.intp)]
+    if not prefix:
+        return rows
+    prefix_vec = matrix[prefix[0]]
+    for p in prefix[1:]:
+        prefix_vec = prefix_vec & matrix[p]
+    rows = rows & prefix_vec
+    if obs is not None:
+        n = (len(prefix) - 1) + len(members)
+        metrics = obs.metrics
+        metrics.counter("worksteal.rebuild.batches").inc()
+        metrics.counter("worksteal.rebuild.intersections").inc(n)
+        metrics.counter("worksteal.rebuild.read_bytes").inc(
+            (n + len(prefix)) * matrix.shape[1]
+        )
+    return rows
+
+
+def run_worksteal_task(
+    result: MiningResult,
+    itemsets: list[Itemset],
+    matrix: np.ndarray,
+    prefix: tuple[int, ...],
+    members: tuple[int, ...],
+    min_sup: int,
+    spawn_depth: int,
+    spawn_min_members: int,
+    obs: "ObsContext | None" = None,
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Execute one stealable Eclat task; return the tasks it spawns.
+
+    The task ``(prefix, members)`` joins ``members[0]`` (under ``prefix``)
+    against ``members[1:]`` — exactly one :func:`_join_member` step of the
+    class walk, so a class of ``m`` members is processed as ``m - 1``
+    independent tasks.  Frequent children are added to ``result``; the
+    surviving child class either **spawns** (one task per member position,
+    ``(prefix + (members[0],), kept[j:])``) when it is still shallow and
+    wide enough — ``len(new_prefix) <= spawn_depth`` and
+    ``len(kept) >= spawn_min_members`` — or is mined **inline** with
+    :func:`_mine_class_vectorized`.
+
+    The spawn check is monotone: a child class is strictly deeper and no
+    wider than its parent, so once a class fails the check every descendant
+    fails too — the inline walk never needs to re-test, and spawned tasks
+    cover exactly the subtrees the scheduler can still balance.
+    """
+    if len(members) < 2:
+        return []
+    rows = rebuild_class_rows(matrix, prefix, members, obs)
+    children, supports = intersect_block(rows[0], rows[1:])
+    kept = supports >= min_sup
+    _record_batch(
+        obs, "eclat.vectorized", len(members) - 1, matrix.shape[1],
+        broadcast=True,
+    )
+    if not kept.any():
+        return []
+    new_prefix = prefix + (members[0],)
+    prefix_items = tuple(itemsets[p][0] for p in new_prefix)
+    kept_members = tuple(members[1 + int(j)] for j in np.nonzero(kept)[0])
+    for member, support in zip(kept_members, supports[kept]):
+        result.add(
+            tuple(sorted(prefix_items + (itemsets[member][0],))), int(support)
+        )
+    if len(kept_members) < 2:
+        return []
+    if len(new_prefix) <= spawn_depth and len(kept_members) >= spawn_min_members:
+        return [
+            (new_prefix, kept_members[j:])
+            for j in range(len(kept_members) - 1)
+        ]
+    child_itemsets: list[Itemset] = [
+        prefix_items + (itemsets[member][0],) for member in kept_members
+    ]
+    _mine_class_vectorized(result, child_itemsets, children[kept], min_sup, obs)
+    return []
+
+
 def eclat_vectorized(
     db: TransactionDatabase,
     min_sup: int,

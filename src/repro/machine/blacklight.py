@@ -94,6 +94,15 @@ class MachineSpec:
     #: runtime is not simply proportional to its (much smaller) traffic.
     iteration_overhead_ops: int = 2000
 
+    #: Fixed cost of one successful steal event (s): the thief's CAS on the
+    #: victim deque's bottom pointer plus the cache-line ping-pong between
+    #: the two cores' private caches.  Charged once per steal event; the
+    #: stolen payload itself is priced separately as remote traffic
+    #: (:meth:`repro.machine.cost_model.CostModel.steal_time`).  A locked
+    #: cross-blade CAS on Nehalem-EX/NumaLink costs on the order of a
+    #: remote round trip.
+    steal_attempt_cost: float = 2.0e-6
+
     def __post_init__(self) -> None:
         numeric = {
             "element_rate": self.element_rate,
@@ -115,6 +124,7 @@ class MachineSpec:
             "fork_join_base": self.fork_join_base,
             "fork_join_per_log2_thread": self.fork_join_per_log2_thread,
             "dynamic_dequeue_cost": self.dynamic_dequeue_cost,
+            "steal_attempt_cost": self.steal_attempt_cost,
         }.items():
             if value < 0:
                 raise ConfigurationError(f"{field_name} must be >= 0")

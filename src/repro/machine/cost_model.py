@@ -65,6 +65,16 @@ class CostModel:
             dtype=np.float64,
         )
 
+    def steal_time(self, payload_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Seconds one steal event costs the thief.
+
+        The fixed deque-CAS/cache-line term plus the stolen task's payload
+        priced as remote NumaLink reads — the stolen class's rows live in
+        memory first-touched by the victim's blade, so the thief streams
+        them across the interconnect exactly like a remote candidate fetch.
+        """
+        return self.spec.steal_attempt_cost + self.remote_time(payload_bytes)
+
     def serial_time(self, ops: float) -> float:
         """Seconds of a serial (single-thread, local-data) phase."""
         return float(ops) / self.spec.serial_op_rate

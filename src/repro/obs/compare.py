@@ -125,6 +125,17 @@ def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
         if isinstance(values, Mapping):
             for key, value in values.items():
                 put(f"{group}.{key}", value, direction)
+    # BENCH_worksteal.json shape.
+    put("static_dispatch_seconds",
+        record.get("static_dispatch_seconds"), "lower")
+    put("worksteal_seconds", record.get("worksteal_seconds"), "lower")
+    for group, direction in (
+        ("measured_speedup", "higher"), ("sim_speedup", "higher"),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction)
     return out
 
 

@@ -3,6 +3,7 @@
 from repro.openmp.schedule import (
     APRIORI_SCHEDULE,
     ECLAT_SCHEDULE,
+    WORKSTEAL_SCHEDULE,
     ScheduleSpec,
     chunk_boundaries,
     static_assignment,
@@ -15,6 +16,7 @@ __all__ = [
     "ScheduleSpec",
     "APRIORI_SCHEDULE",
     "ECLAT_SCHEDULE",
+    "WORKSTEAL_SCHEDULE",
     "static_assignment",
     "chunk_boundaries",
     "ParallelForOutcome",

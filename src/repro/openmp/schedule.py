@@ -1,4 +1,4 @@
-"""OpenMP 3.0 loop-schedule semantics: static, dynamic, guided.
+"""OpenMP 3.0 loop-schedule semantics: static, dynamic, guided, worksteal.
 
 The paper's implementations hang everything on the OpenMP scheduler:
 parallel Apriori uses ``schedule(static)`` (Section III — "the static
@@ -7,6 +7,12 @@ parallel Eclat uses ``schedule(dynamic, 1)`` (Section IV — "we choose the
 chunksize to as small as possible ... so that the load imbalance can be
 minimized").  This module reproduces how each schedule carves an iteration
 space into chunks and, for static, which thread owns each chunk.
+
+``worksteal`` is our extension beyond OpenMP 3.0 (after Kambadur et al.,
+*Extending Task Parallelism for Frequent Pattern Mining*): iterations
+become stealable tasks on per-thread deques instead of chunks pulled from
+one contended queue.  It shares the :class:`ScheduleSpec` syntax so the
+backends and the simulator can select it exactly like the standard kinds.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-ScheduleKind = Literal["static", "dynamic", "guided"]
+ScheduleKind = Literal["static", "dynamic", "guided", "worksteal"]
 
 
 @dataclass(frozen=True)
@@ -29,7 +35,7 @@ class ScheduleSpec:
     chunk_size: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("static", "dynamic", "guided"):
+        if self.kind not in ("static", "dynamic", "guided", "worksteal"):
             raise ConfigurationError(f"unknown schedule kind {self.kind!r}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
@@ -42,6 +48,9 @@ class ScheduleSpec:
 #: The clauses the paper actually uses.
 APRIORI_SCHEDULE = ScheduleSpec("static", 1)
 ECLAT_SCHEDULE = ScheduleSpec("dynamic", 1)
+
+#: Our extension: deque-based work stealing with single-task granularity.
+WORKSTEAL_SCHEDULE = ScheduleSpec("worksteal", 1)
 
 
 def static_assignment(
@@ -78,10 +87,24 @@ def chunk_boundaries(
     * guided: chunk ~ ``remaining / (2 * n_threads)``, exponentially
       shrinking, never below the clause chunk (default 1) except the last
       (the OpenMP rule; the divisor is implementation-defined and 2T is the
-      common libgomp choice).
+      common libgomp choice);
+    * worksteal: fixed-size tasks like dynamic — with no clause chunk the
+      size defaults to ``ceil(n / (8 * n_threads))`` so every thread sees
+      ~8 stealable tasks (enough granularity for steal-half to balance,
+      coarse enough to amortize the per-steal cost).  For worksteal the
+      returned order is *seeding* order (dealt round-robin to deques), not
+      execution order — execution order emerges from pops and steals.
     """
     if n_iterations == 0:
         return []
+    if spec.kind == "worksteal":
+        chunk = (
+            spec.chunk_size if spec.chunk_size is not None
+            else max(1, -(-n_iterations // (8 * n_threads)))
+        )
+        return [
+            (s, min(s + chunk, n_iterations)) for s in range(0, n_iterations, chunk)
+        ]
     if spec.kind == "static" and spec.chunk_size is None:
         assignment = static_assignment(n_iterations, n_threads)
         bounds: list[tuple[int, int]] = []

@@ -10,7 +10,14 @@ from measured operation counts), this module replays the loop under a
 * **dynamic / guided** — chunks are dispatched in order to the earliest
   available thread through a contended queue: each dequeue holds a global
   lock for ``dynamic_dequeue_cost`` seconds, which is what makes chunk-1
-  dynamic scheduling expensive for tiny tasks on many threads.
+  dynamic scheduling expensive for tiny tasks on many threads;
+* **worksteal** — chunks are dealt round-robin onto per-thread deques; a
+  thread pops its own deque (LIFO, free — no shared lock) and steals half
+  the fullest deque when empty, paying ``steal_attempt_cost`` per steal
+  event.  Unlike dynamic, contention is charged only when stealing
+  actually happens, so balanced loops run at static cost while skewed
+  loops rebalance.  (Flat loops have no spawning; the nested task-tree
+  variant is :mod:`repro.parallel.worksteal_sim`.)
 
 The simulation is event-free list scheduling — exact for static, and the
 standard greedy model for dynamic — so results are deterministic and fast
@@ -99,6 +106,8 @@ def simulate_parallel_for(
 
     if schedule.kind == "static":
         outcome = _simulate_static(durations, n_threads, schedule, collect)
+    elif schedule.kind == "worksteal":
+        outcome = _simulate_worksteal(durations, n_threads, schedule, machine, collect)
     else:
         outcome = _simulate_queued(durations, n_threads, schedule, machine, collect)
     if tracing:
@@ -163,6 +172,75 @@ def _simulate_static(
         iteration_thread=assignment,
         thread_busy=thread_busy,
         n_chunks=n_chunks,
+        events=events,
+    )
+
+
+def _simulate_worksteal(
+    durations: np.ndarray,
+    n_threads: int,
+    schedule: ScheduleSpec,
+    machine: MachineSpec,
+    collect_events: bool,
+) -> ParallelForOutcome:
+    """Flat-loop work stealing: round-robin deques, LIFO pop, steal-half.
+
+    Event-driven: when a thread's deque empties it steals ceil(half) of
+    the currently fullest deque (FIFO end), paying ``steal_attempt_cost``
+    once per steal event; with nothing left to steal it retires (flat
+    loops never spawn, so an empty system stays empty).  The greedy
+    earliest-finishing-thread order makes the replay deterministic.
+    """
+    bounds = chunk_boundaries(durations.size, n_threads, schedule)
+    # Per-thread deques of chunk indices: index -1 is the LIFO top.
+    deques: list[list[int]] = [[] for _ in range(n_threads)]
+    for position, _ in enumerate(bounds):
+        deques[position % n_threads].append(position)
+
+    heap: list[tuple[float, int]] = [(0.0, t) for t in range(n_threads)]
+    heapq.heapify(heap)
+    assignment = np.empty(durations.size, dtype=np.int64)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    events: list[ChunkEvent] | None = [] if collect_events else None
+    makespan = 0.0
+
+    while heap:
+        available, thread = heapq.heappop(heap)
+        own = deques[thread]
+        overhead = 0.0
+        if own:
+            chunk_id = own.pop()
+        else:
+            victim = max(
+                (t for t in range(n_threads) if deques[t]),
+                key=lambda t: len(deques[t]),
+                default=None,
+            )
+            if victim is None:
+                makespan = max(makespan, available)
+                continue  # nothing anywhere: this thread retires
+            pending = deques[victim]
+            count = (len(pending) + 1) // 2
+            batch = [pending.pop(0) for _ in range(count)]
+            chunk_id = batch[0]
+            own.extend(reversed(batch[1:]))
+            overhead = machine.steal_attempt_cost
+        start, end = bounds[chunk_id]
+        work = float(durations[start:end].sum())
+        begin = available + overhead
+        finish = begin + work
+        assignment[start:end] = thread
+        thread_busy[thread] += work + overhead
+        makespan = max(makespan, finish)
+        heapq.heappush(heap, (finish, thread))
+        if events is not None:
+            events.append(ChunkEvent(thread, start, end, begin, finish))
+
+    return ParallelForOutcome(
+        makespan=float(makespan),
+        iteration_thread=assignment,
+        thread_busy=thread_busy,
+        n_chunks=len(bounds),
         events=events,
     )
 

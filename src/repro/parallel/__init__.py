@@ -28,6 +28,21 @@ from repro.parallel.speedup import (
     scaling_verdict,
     speedup_series,
 )
+from repro.parallel.worksteal import (
+    DEFAULT_SPAWN_DEPTH,
+    DEFAULT_SPAWN_MIN_MEMBERS,
+    WorkStealScheduler,
+    WorkStealStats,
+    resolve_spawn_policy,
+)
+from repro.parallel.worksteal_sim import (
+    SimTask,
+    TreeScheduleOutcome,
+    eclat_task_tree,
+    simulate_static_tree,
+    simulate_worksteal_tree,
+    worksteal_advantage,
+)
 
 __all__ = [
     "AprioriTrace",
@@ -57,4 +72,15 @@ __all__ = [
     "runtime_table",
     "speedup_series",
     "scaling_verdict",
+    "WorkStealScheduler",
+    "WorkStealStats",
+    "resolve_spawn_policy",
+    "DEFAULT_SPAWN_DEPTH",
+    "DEFAULT_SPAWN_MIN_MEMBERS",
+    "SimTask",
+    "TreeScheduleOutcome",
+    "simulate_static_tree",
+    "simulate_worksteal_tree",
+    "eclat_task_tree",
+    "worksteal_advantage",
 ]

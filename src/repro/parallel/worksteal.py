@@ -1,0 +1,258 @@
+"""Deque-based work-stealing task scheduler (Kambadur et al. style).
+
+The paper's finding 4 is a structural ceiling: parallel Apriori and Eclat
+only parallelize the *outermost* candidate/class loop, so a dataset whose
+frequent-item count is below the thread count (T40I10D100K, accidents)
+cannot saturate the machine no matter how fast each task runs.  *Extending
+Task Parallelism for Frequent Pattern Mining* removes that ceiling by
+spawning nested subtree tasks and balancing them with work stealing; this
+module is that scheduler, factored out so both process-pool backends
+(:mod:`repro.backends.shared_memory_backend`,
+:mod:`repro.backends.multiprocessing_backend`) can drive it in place of
+one-task-per-top-level-class dispatch.
+
+Mechanics (the classic Cilk/ABP discipline, adapted to a parent-mediated
+process pool):
+
+* **per-worker local deques** — every worker owns one deque of pending
+  task ids; tasks a worker spawns land on its own deque;
+* **LIFO pop** — a worker takes its next task from the *top* (most
+  recently spawned: depth-first order, best cache locality on its
+  subtree);
+* **FIFO steal** — an idle worker steals from the *bottom* of a victim's
+  deque (the oldest entries, which root the largest remaining subtrees,
+  so one steal buys the most work);
+* **steal-half** — a steal transfers half the victim's deque (rounded
+  up), not one task, amortizing the steal cost over many tasks;
+* **termination detection** — the deques live parent-side (the parent
+  dispatches at most one task at a time per worker, exactly like the
+  shared-memory pool's fault-attribution ledger), so termination is a
+  simple count: all deques empty *and* no task in flight.  No distributed
+  Dijkstra-style token protocol is needed because the single orchestrator
+  already observes every spawn and every completion.
+
+The scheduler is deliberately mechanism-only: it moves integer task ids
+and counts what it did (:class:`WorkStealStats`).  Task payloads, worker
+processes, fault recovery, and result merging stay in the backends; the
+simulated counterpart that *prices* these decisions on the machine model
+lives in :mod:`repro.parallel.worksteal_sim`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Default maximum prefix length (tree depth) at which equivalence classes
+#: are still spawned as stealable tasks rather than mined inline.
+DEFAULT_SPAWN_DEPTH = 2
+
+#: Default minimum class size (member count) worth spawning: a 2-member
+#: class is a single join — cheaper to run inline than to schedule.
+DEFAULT_SPAWN_MIN_MEMBERS = 3
+
+
+@dataclass
+class WorkStealStats:
+    """Everything the scheduler did, for telemetry and tests."""
+
+    seeded: int = 0
+    spawned: int = 0
+    executed: int = 0
+    steal_events: int = 0
+    stolen_tasks: int = 0
+    requeued: int = 0
+    max_depth: int = 0
+    #: Tasks acquired by each worker (own pops + steals + direct steals).
+    acquired_by_worker: dict[int, int] = field(default_factory=dict)
+    #: Tasks each worker obtained via stealing (as the thief).
+    stolen_by_worker: dict[int, int] = field(default_factory=dict)
+
+    def steal_fraction(self) -> float:
+        """Fraction of executed acquisitions that crossed worker deques."""
+        if self.executed == 0:
+            return 0.0
+        return self.stolen_tasks / self.executed
+
+
+class WorkStealScheduler:
+    """Per-worker deques with LIFO pop, FIFO steal-half, and exact stats.
+
+    Task ids are opaque non-negative integers owned by the caller; the
+    scheduler never inspects payloads.  All methods are called from the
+    single orchestrating (parent) thread — there is no internal locking,
+    which is what keeps the semantics deterministic enough to unit-test
+    steal-by-steal.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.n_workers = n_workers
+        #: index 0 == bottom (FIFO steal side), index -1 == top (LIFO pop
+        #: side).  Spawns append to the top; steals pop from the bottom.
+        self._deques: list[deque[int]] = [deque() for _ in range(n_workers)]
+        self.stats = WorkStealStats()
+
+    # -- feeding work --------------------------------------------------------
+
+    def seed(self, task_ids: "list[int] | range") -> None:
+        """Deal the initial (top-level) tasks round-robin across deques.
+
+        Round-robin seeding means that even before the first steal every
+        worker starts on its own share of the outermost loop — the
+        behaviour ``schedule(static, 1)`` would give — and stealing only
+        has to fix the *imbalance*, not bootstrap all distribution.
+        """
+        for position, task_id in enumerate(task_ids):
+            self._deques[position % self.n_workers].append(task_id)
+            self.stats.seeded += 1
+
+    def spawn(self, worker_id: int, task_ids: list[int], depth: int = 0) -> None:
+        """Push tasks a worker just spawned onto *its own* deque (top).
+
+        ``depth`` is the spawning task's tree depth + 1; it only feeds the
+        ``max_depth`` statistic (the backends surface it as a gauge).
+        """
+        self._check_worker(worker_id)
+        self._deques[worker_id].extend(task_ids)
+        self.stats.spawned += len(task_ids)
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
+
+    def requeue(self, worker_id: int, task_id: int) -> None:
+        """Return a failed worker's in-flight task to the top of its deque.
+
+        The top, not the bottom: a retried task should run next (it has
+        already waited through one full attempt), and its subtree is the
+        deepest pending work by construction.
+        """
+        self._check_worker(worker_id)
+        self._deques[worker_id].append(task_id)
+        self.stats.requeued += 1
+
+    # -- taking work ---------------------------------------------------------
+
+    def acquire(self, worker_id: int) -> int | None:
+        """Next task for ``worker_id``: LIFO pop, else steal-half FIFO.
+
+        Returns ``None`` only when every deque is empty — together with
+        the caller's in-flight count, that is the termination condition.
+        """
+        self._check_worker(worker_id)
+        own = self._deques[worker_id]
+        if own:
+            task_id = own.pop()
+            self._bump(worker_id)
+            return task_id
+        victim = self._pick_victim(worker_id)
+        if victim is None:
+            return None
+        batch = self._steal_half(victim)
+        self.stats.steal_events += 1
+        self.stats.stolen_tasks += len(batch)
+        self.stats.stolen_by_worker[worker_id] = (
+            self.stats.stolen_by_worker.get(worker_id, 0) + len(batch)
+        )
+        # The thief executes the oldest stolen task first (it roots the
+        # largest subtree); the rest go on its deque so the next pops
+        # continue through the batch in age order before any new spawns.
+        first, rest = batch[0], batch[1:]
+        own.extend(reversed(rest))
+        self._bump(worker_id)
+        return first
+
+    def _pick_victim(self, thief: int) -> int | None:
+        """The worker with the most pending tasks (ties: lowest id)."""
+        best: int | None = None
+        best_size = 0
+        for worker_id, pending in enumerate(self._deques):
+            if worker_id == thief:
+                continue
+            if len(pending) > best_size:
+                best, best_size = worker_id, len(pending)
+        return best
+
+    def _steal_half(self, victim: int) -> list[int]:
+        """Take ceil(len/2) tasks from the bottom (FIFO end) of a deque."""
+        pending = self._deques[victim]
+        count = (len(pending) + 1) // 2
+        return [pending.popleft() for _ in range(count)]
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Tasks sitting in deques (excludes anything in flight)."""
+        return sum(len(pending) for pending in self._deques)
+
+    def empty(self) -> bool:
+        """True when no deque holds work (termination needs in-flight == 0)."""
+        return self.pending_count() == 0
+
+    def deque_sizes(self) -> list[int]:
+        """Current per-worker deque lengths (telemetry/tests)."""
+        return [len(pending) for pending in self._deques]
+
+    def record_counters(self, obs, prefix: str = "worksteal") -> None:
+        """Write the stats into an ObsContext's registry (None is a no-op).
+
+        Counters ``{prefix}.{seeded,spawned,executed,steal_events,
+        stolen_tasks,requeued}``, gauges ``{prefix}.max_depth`` /
+        ``{prefix}.steal_fraction``, and per-worker
+        ``{prefix}.worker{w}.steals``.
+        """
+        if obs is None:
+            return
+        stats = self.stats
+        metrics = obs.metrics
+        for name in (
+            "seeded", "spawned", "executed", "steal_events",
+            "stolen_tasks", "requeued",
+        ):
+            value = getattr(stats, name)
+            if value:
+                metrics.counter(f"{prefix}.{name}").inc(value)
+        metrics.gauge(f"{prefix}.max_depth").set(float(stats.max_depth))
+        metrics.gauge(f"{prefix}.steal_fraction").set(stats.steal_fraction())
+        for worker_id, count in sorted(stats.stolen_by_worker.items()):
+            metrics.counter(f"{prefix}.worker{worker_id}.steals").inc(count)
+
+    def _bump(self, worker_id: int) -> None:
+        self.stats.executed += 1
+        self.stats.acquired_by_worker[worker_id] = (
+            self.stats.acquired_by_worker.get(worker_id, 0) + 1
+        )
+
+    def _check_worker(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.n_workers:
+            raise ConfigurationError(
+                f"worker_id {worker_id} outside [0, {self.n_workers})"
+            )
+
+
+def resolve_spawn_policy(
+    spawn_depth: int | None, spawn_min_members: int | None
+) -> tuple[int, int]:
+    """Validate and default the nested-spawn thresholds.
+
+    ``spawn_depth`` is the largest prefix length still spawned as tasks
+    (0 disables nesting entirely — pure top-level dispatch, the paper's
+    original decomposition); ``spawn_min_members`` is the smallest class
+    worth scheduling instead of mining inline.
+    """
+    depth = DEFAULT_SPAWN_DEPTH if spawn_depth is None else spawn_depth
+    min_members = (
+        DEFAULT_SPAWN_MIN_MEMBERS if spawn_min_members is None
+        else spawn_min_members
+    )
+    if depth < 0:
+        raise ConfigurationError(f"spawn_depth must be >= 0, got {depth}")
+    if min_members < 2:
+        raise ConfigurationError(
+            f"spawn_min_members must be >= 2, got {min_members}"
+        )
+    return depth, min_members

@@ -1,0 +1,297 @@
+"""Simulated work stealing on the machine model: when does stealing pay?
+
+The runtime scheduler (:mod:`repro.parallel.worksteal`) moves real tasks;
+this module answers the *design* question the paper's finding 4 raises —
+given a task tree (top-level equivalence classes with nested subtree
+tasks), is work stealing faster than the paper's one-task-per-top-level-
+class dispatch on a given machine?
+
+Two simulators over the same :class:`SimTask` tree:
+
+* :func:`simulate_static_tree` — the paper's decomposition: only the root
+  tasks are schedulable (greedy ``schedule(dynamic, 1)`` dispatch to the
+  earliest-free thread); every subtree runs inline on whichever thread
+  owns its root.  Parallelism is capped at ``len(roots)``.
+* :func:`simulate_worksteal_tree` — every task is schedulable.  Spawned
+  children go on the executing thread's deque (LIFO pop / FIFO steal-half,
+  identical policy to the runtime scheduler), and a task that migrates to
+  a thread other than its spawner pays the steal tax: the victim-side
+  dequeue CAS (``MachineSpec.steal_attempt_cost``, charged once per steal
+  event on the thief) plus the task's ``payload_bytes`` priced as remote
+  NumaLink reads (:meth:`repro.machine.CostModel.remote_time`) — a stolen
+  equivalence class's bit rows live on the spawner's blade and must cross
+  the interconnect before the thief can join them.
+
+Both return makespans from the same deterministic event-driven list
+scheduler, so the crossover is directly comparable:
+
+* **stealing wins** when top-level classes < threads (static leaves
+  ``T - |roots|`` threads idle forever; stealing backfills them), and
+* **stealing loses** when the steal payload dominates task compute
+  (every migration ships more bytes than the work it buys).
+
+``eclat_task_tree`` builds the canonical low-item-count / deep-subtree
+workload shape from the paper's finding-4 datasets for benches and tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machine.blacklight import BLACKLIGHT, MachineSpec
+from repro.machine.cost_model import CostModel
+
+
+@dataclass
+class SimTask:
+    """One schedulable task: inline compute plus spawnable children.
+
+    ``cpu_seconds`` covers only this task's own work (its top join, in
+    Eclat terms); children carry theirs.  ``payload_bytes`` is what a
+    thief must pull across the interconnect before it can start — for an
+    Eclat class task, the prefix rows plus member rows it re-intersects
+    from the shared bit matrix.
+    """
+
+    cpu_seconds: float
+    payload_bytes: int = 0
+    children: "list[SimTask]" = field(default_factory=list)
+
+    def subtree_seconds(self) -> float:
+        """Inline (no-steal) runtime of this task and everything below."""
+        total = self.cpu_seconds
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            total += node.cpu_seconds
+            stack.extend(node.children)
+        return total
+
+    def subtree_tasks(self) -> int:
+        count = 1
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+
+@dataclass
+class TreeScheduleOutcome:
+    """Result of replaying one task tree on a simulated thread team."""
+
+    makespan: float
+    thread_busy: np.ndarray
+    n_tasks: int
+    n_steal_events: int = 0
+    n_stolen_tasks: int = 0
+    stolen_bytes: int = 0
+    steal_seconds: float = 0.0
+
+    @property
+    def total_busy(self) -> float:
+        return float(self.thread_busy.sum())
+
+    @property
+    def imbalance(self) -> float:
+        mean = self.thread_busy.mean() if self.thread_busy.size else 0.0
+        if mean == 0.0:
+            return 0.0
+        return float(self.thread_busy.max() / mean - 1.0)
+
+
+def _check(roots: list[SimTask], n_threads: int) -> None:
+    if n_threads < 1:
+        raise SimulationError("n_threads must be >= 1")
+    for root in roots:
+        if root.cpu_seconds < 0:
+            raise SimulationError("task cpu_seconds must be non-negative")
+
+
+def simulate_static_tree(
+    roots: list[SimTask], n_threads: int
+) -> TreeScheduleOutcome:
+    """The paper's top-level dispatch: subtrees are unsplittable.
+
+    Root tasks are handed in order to the earliest-available thread (the
+    greedy model of ``schedule(dynamic, 1)`` over top-level classes); each
+    runs its whole subtree inline.  With fewer roots than threads the
+    surplus threads never receive work — the finding-4 ceiling.
+    """
+    _check(roots, n_threads)
+    heap: list[tuple[float, int]] = [(0.0, t) for t in range(n_threads)]
+    heapq.heapify(heap)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    n_tasks = 0
+    for root in roots:
+        available, thread = heapq.heappop(heap)
+        work = root.subtree_seconds()
+        n_tasks += root.subtree_tasks()
+        thread_busy[thread] += work
+        heapq.heappush(heap, (available + work, thread))
+    makespan = max(t for t, _ in heap) if roots else 0.0
+    return TreeScheduleOutcome(
+        makespan=float(makespan),
+        thread_busy=thread_busy,
+        n_tasks=n_tasks,
+    )
+
+
+def simulate_worksteal_tree(
+    roots: list[SimTask],
+    n_threads: int,
+    machine: MachineSpec = BLACKLIGHT,
+) -> TreeScheduleOutcome:
+    """Event-driven replay of the work-stealing runtime on the machine model.
+
+    Deterministic discrete-event simulation: per-thread deques (LIFO pop,
+    FIFO steal-half), root tasks seeded round-robin, children pushed to
+    the executor's deque on completion.  A thread with an empty deque
+    steals from the currently longest deque, paying
+    ``steal_attempt_cost``; each stolen task additionally pays
+    ``CostModel.remote_time(payload_bytes)`` when executed (its class rows
+    stream across the NumaLink).  Idle threads wake when the next running
+    task completes (spawns may refill the deques); the simulation ends
+    when nothing is running and every deque is empty.
+    """
+    _check(roots, n_threads)
+    cost = CostModel(machine)
+    # Deques hold (task, spawner_thread); index -1 is the LIFO top.
+    deques: list[list[tuple[SimTask, int]]] = [[] for _ in range(n_threads)]
+    for position, root in enumerate(roots):
+        deques[position % n_threads].append((root, position % n_threads))
+
+    clock = np.zeros(n_threads, dtype=np.float64)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    #: Threads currently executing, as a heap of (finish_time, thread, task).
+    running: list[tuple[float, int, SimTask]] = []
+    idle: set[int] = set(range(n_threads))
+    n_tasks = n_steal_events = n_stolen = 0
+    stolen_bytes = 0
+    steal_seconds = 0.0
+    makespan = 0.0
+
+    def try_start(thread: int, now: float) -> bool:
+        """Give ``thread`` its next task at time ``now``; False if none."""
+        nonlocal n_tasks, n_steal_events, n_stolen, stolen_bytes, steal_seconds
+        own = deques[thread]
+        stolen = False
+        if own:
+            task, spawner = own.pop()
+        else:
+            victim = max(
+                (t for t in range(n_threads) if t != thread and deques[t]),
+                key=lambda t: len(deques[t]),
+                default=None,
+            )
+            if victim is None:
+                return False
+            pending = deques[victim]
+            count = (len(pending) + 1) // 2
+            batch = [pending.pop(0) for _ in range(count)]
+            task, spawner = batch[0]
+            own.extend(reversed(batch[1:]))
+            n_steal_events += 1
+            n_stolen += count
+            stolen = True
+        start = max(now, clock[thread])
+        duration = task.cpu_seconds
+        if stolen or spawner != thread:
+            tax = float(cost.steal_time(task.payload_bytes))
+            duration += tax
+            steal_seconds += tax
+            stolen_bytes += task.payload_bytes
+        finish = start + duration
+        clock[thread] = finish
+        thread_busy[thread] += duration
+        heapq.heappush(running, (finish, thread, task))
+        idle.discard(thread)
+        n_tasks += 1
+        return True
+
+    now = 0.0
+    for thread in range(n_threads):
+        try_start(thread, now)
+    while running:
+        now, thread, task = heapq.heappop(running)
+        makespan = max(makespan, now)
+        # Children enter the completing thread's deque top (LIFO).
+        deques[thread].extend((child, thread) for child in task.children)
+        if not try_start(thread, now):
+            idle.add(thread)
+        if task.children:
+            # New work appeared: wake every idle thread at this instant.
+            for waiting in sorted(idle):
+                try_start(waiting, now)
+    return TreeScheduleOutcome(
+        makespan=makespan,
+        thread_busy=thread_busy,
+        n_tasks=n_tasks,
+        n_steal_events=n_steal_events,
+        n_stolen_tasks=n_stolen,
+        stolen_bytes=stolen_bytes,
+        steal_seconds=steal_seconds,
+    )
+
+
+def eclat_task_tree(
+    n_classes: int,
+    depth: int,
+    branching: int,
+    task_seconds: float,
+    payload_bytes: int = 0,
+) -> list[SimTask]:
+    """A uniform low-item-count / deep-subtree workload (finding-4 shape).
+
+    ``n_classes`` top-level equivalence classes, each a ``branching``-ary
+    tree ``depth`` levels deep of equal-cost tasks — the regime where the
+    item count caps static parallelism but the subtrees hold plenty of
+    stealable work.  ``payload_bytes`` is charged per stolen task.
+    """
+    if n_classes < 0 or depth < 0 or branching < 1:
+        raise SimulationError(
+            "need n_classes >= 0, depth >= 0, branching >= 1"
+        )
+
+    def build(level: int) -> SimTask:
+        children = (
+            [build(level + 1) for _ in range(branching)] if level < depth
+            else []
+        )
+        return SimTask(
+            cpu_seconds=task_seconds,
+            payload_bytes=payload_bytes,
+            children=children,
+        )
+
+    return [build(0) for _ in range(n_classes)]
+
+
+def worksteal_advantage(
+    roots: list[SimTask],
+    n_threads: int,
+    machine: MachineSpec = BLACKLIGHT,
+) -> dict[str, float]:
+    """Both makespans plus their ratio — the bench/record-friendly view.
+
+    ``speedup > 1`` means stealing wins on this machine for this tree.
+    """
+    static = simulate_static_tree(roots, n_threads)
+    stealing = simulate_worksteal_tree(roots, n_threads, machine)
+    return {
+        "static_seconds": static.makespan,
+        "worksteal_seconds": stealing.makespan,
+        "speedup": (
+            static.makespan / stealing.makespan
+            if stealing.makespan > 0 else float("inf")
+        ),
+        "steal_events": float(stealing.n_steal_events),
+        "stolen_tasks": float(stealing.n_stolen_tasks),
+        "stolen_bytes": float(stealing.stolen_bytes),
+        "steal_seconds": stealing.steal_seconds,
+    }

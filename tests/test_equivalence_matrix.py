@@ -82,7 +82,9 @@ def test_shared_memory_backend_matches_brute_force(case, algorithm, representati
     assert result.backend == "shared_memory"
 
 
-@pytest.mark.parametrize("schedule", ["static", "static,1", "dynamic,2", "guided"])
+@pytest.mark.parametrize(
+    "schedule", ["static", "static,1", "dynamic,2", "guided", "worksteal"]
+)
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_shared_memory_schedules_match_brute_force(case, algorithm, schedule):
     """Every OpenMP clause spelling partitions differently, mines identically."""
@@ -92,6 +94,22 @@ def test_shared_memory_schedules_match_brute_force(case, algorithm, schedule):
         min_support=min_support, n_workers=3, schedule=schedule,
     )
     assert result.itemsets == expected.itemsets
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_multiprocessing_worksteal_matches_brute_force(case, representation):
+    """Nested task stealing is representation-agnostic: the rebuild chain
+    only ever combines members of the same equivalence class, which is the
+    one contract every vertical format (diffsets included) guarantees."""
+    db, min_support, expected = case
+    result = repro.mine(
+        db, algorithm="eclat", representation=representation,
+        backend="multiprocessing", min_support=min_support,
+        n_workers=2, schedule="worksteal", spawn_depth=1,
+        spawn_min_members=2,
+    )
+    assert result.itemsets == expected.itemsets
+    assert result.backend == "multiprocessing"
 
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)

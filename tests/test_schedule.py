@@ -98,3 +98,31 @@ class TestChunkBoundaries:
 
     def test_empty_loop(self):
         assert chunk_boundaries(0, 4, ScheduleSpec("dynamic", 1)) == []
+
+    def test_worksteal_default_targets_eight_chunks_per_thread(self):
+        bounds = chunk_boundaries(64, 2, ScheduleSpec("worksteal"))
+        # ceil(64 / (8 * 2)) = 4 iterations per stealable chunk.
+        assert all(e - s == 4 for s, e in bounds)
+        assert len(bounds) == 16
+        self._coverage(bounds, 64)
+
+    def test_worksteal_explicit_chunk(self):
+        bounds = chunk_boundaries(7, 3, ScheduleSpec("worksteal", 3))
+        assert bounds == [(0, 3), (3, 6), (6, 7)]
+        self._coverage(bounds, 7)
+
+    def test_worksteal_small_loop_never_emits_empty_chunks(self):
+        bounds = chunk_boundaries(3, 8, ScheduleSpec("worksteal"))
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestWorkstealSpec:
+    def test_valid_kind(self):
+        from repro.openmp import WORKSTEAL_SCHEDULE
+
+        assert WORKSTEAL_SCHEDULE.kind == "worksteal"
+        assert str(ScheduleSpec("worksteal")) == "schedule(worksteal)"
+
+    def test_chunk_validation_applies(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleSpec("worksteal", 0)

@@ -104,6 +104,48 @@ class TestDynamicSimulation:
         assert out.iteration_thread.max() < 5
 
 
+class TestWorkstealSimulation:
+    def test_balanced_seed_pays_no_steal_tax(self):
+        """Unlike dynamic's per-dequeue lock, worksteal only pays when a
+        steal actually happens — a balanced loop runs at static cost."""
+        durations = np.ones(64)
+        ws = simulate_parallel_for(durations, 4, ScheduleSpec("worksteal"))
+        assert ws.makespan == pytest.approx(16.0)
+
+    def test_imbalanced_seed_triggers_steals_and_balances(self):
+        # Round-robin seeding with chunk 1 gives thread 0 every i%4==0
+        # chunk — all the heavy ones (160 s); stealing must spread them.
+        durations = np.where(np.arange(64) % 4 == 0, 10.0, 0.01)
+        ws = simulate_parallel_for(
+            durations, 4, ScheduleSpec("worksteal", 1))
+        ideal = durations.sum() / 4
+        assert ws.makespan < 80.0        # far below thread 0's seeded 160 s
+        assert ws.makespan >= ideal      # but never below the ideal split
+
+    def test_all_iterations_assigned_once(self):
+        durations = np.random.default_rng(5).random(41)
+        out = simulate_parallel_for(
+            durations, 3, ScheduleSpec("worksteal", 2), collect_events=True
+        )
+        check_trace(out.events, 41)
+        assert out.iteration_thread.min() >= 0
+        assert out.iteration_thread.max() < 3
+
+    def test_empty_loop(self):
+        out = simulate_parallel_for(
+            np.array([]), 4, ScheduleSpec("worksteal"))
+        assert out.makespan == 0.0
+
+    def test_steal_cost_raises_makespan(self):
+        machine = BLACKLIGHT.with_overrides(steal_attempt_cost=5.0)
+        durations = np.where(np.arange(64) % 4 == 0, 10.0, 0.01)
+        cheap = simulate_parallel_for(
+            durations, 4, ScheduleSpec("worksteal", 1))
+        pricey = simulate_parallel_for(
+            durations, 4, ScheduleSpec("worksteal", 1), machine=machine)
+        assert pricey.makespan > cheap.makespan
+
+
 class TestValidation:
     def test_negative_duration_rejected(self):
         with pytest.raises(SimulationError):

@@ -1,0 +1,295 @@
+"""The work-stealing scheduler: unit semantics, backends, fault injection.
+
+The deque mechanics (LIFO pop, FIFO steal-half, victim choice, termination)
+are pinned step-by-step against the ABP discipline the module documents;
+the backend tests cover what only real processes exercise — nested spawns
+travelling back with results, killed workers mid-steal, empty-deque
+termination with more workers than tasks, and a steal storm on a dataset
+with a single top-level class.  Exactness is always judged against the
+brute-force oracle, and the ``mine.*`` effort counters must match the
+serial vectorized run bit-for-bit (rebuild work is charged separately).
+"""
+
+import pytest
+
+import repro
+from repro.backends.multiprocessing_backend import run_eclat_multiprocessing
+from repro.backends.shared_memory_backend import (
+    run_apriori_shared_memory,
+    run_eclat_shared_memory,
+)
+from repro.core import brute_force
+from repro.datasets import TransactionDatabase
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.obs import ObsContext
+from repro.parallel import (
+    DEFAULT_SPAWN_DEPTH,
+    DEFAULT_SPAWN_MIN_MEMBERS,
+    WorkStealScheduler,
+    resolve_spawn_policy,
+)
+
+
+class TestSchedulerMechanics:
+    def test_seed_deals_round_robin(self):
+        ws = WorkStealScheduler(3)
+        ws.seed(range(7))
+        assert ws.deque_sizes() == [3, 2, 2]
+        assert ws.stats.seeded == 7
+
+    def test_own_pop_is_lifo(self):
+        ws = WorkStealScheduler(2)
+        ws.seed([0, 1])          # worker 0 gets [0], worker 1 gets [1]
+        ws.spawn(0, [10, 11])
+        # Top of worker 0's deque is the most recent spawn.
+        assert ws.acquire(0) == 11
+        assert ws.acquire(0) == 10
+        assert ws.acquire(0) == 0
+
+    def test_steal_takes_half_from_the_bottom(self):
+        ws = WorkStealScheduler(2)
+        ws.seed([])
+        ws.spawn(0, [0, 1, 2, 3, 4])  # worker 0's deque, bottom -> top
+        got = ws.acquire(1)           # thief: steal ceil(5/2)=3 oldest
+        assert got == 0               # oldest first — largest subtree
+        assert ws.stats.steal_events == 1
+        assert ws.stats.stolen_tasks == 3
+        assert ws.deque_sizes() == [2, 2]
+        # The rest of the batch drains in age order before anything else.
+        assert ws.acquire(1) == 1
+        assert ws.acquire(1) == 2
+        # Victim kept its top (newest) half.
+        assert ws.acquire(0) == 4
+
+    def test_victim_is_largest_deque_ties_lowest_id(self):
+        ws = WorkStealScheduler(4)
+        ws.spawn(1, [1, 2])
+        ws.spawn(2, [3, 4])
+        ws.spawn(0, [5])
+        # Workers 1 and 2 tie at 2 pending; lowest id wins.  ceil(2/2)=1
+        # task moves and goes straight in-flight on the thief.
+        got = ws.acquire(3)
+        assert got == 1
+        assert ws.stats.stolen_by_worker == {3: 1}
+        assert ws.deque_sizes() == [1, 1, 2, 0]
+
+    def test_acquire_returns_none_only_when_everything_is_empty(self):
+        ws = WorkStealScheduler(2)
+        ws.seed([0])
+        assert ws.acquire(1) == 0     # stolen — nothing of its own
+        assert ws.acquire(0) is None
+        assert ws.acquire(1) is None
+        assert ws.empty()
+
+    def test_requeue_goes_to_the_top(self):
+        ws = WorkStealScheduler(1)
+        ws.seed([0, 1])
+        ws.requeue(0, 7)
+        assert ws.acquire(0) == 7
+        assert ws.stats.requeued == 1
+
+    def test_steal_fraction_and_max_depth(self):
+        ws = WorkStealScheduler(2)
+        ws.seed([0, 1])
+        ws.spawn(0, [2], depth=3)
+        assert ws.acquire(0) == 2
+        assert ws.acquire(0) == 0
+        assert ws.acquire(0) == 1     # crosses to worker 1's deque
+        assert ws.stats.max_depth == 3
+        assert ws.stats.steal_fraction() == pytest.approx(1 / 3)
+
+    def test_record_counters_writes_the_documented_names(self):
+        ws = WorkStealScheduler(2)
+        ws.seed([0, 1, 2])
+        while ws.acquire(1) is not None:
+            pass
+        obs = ObsContext()
+        ws.record_counters(obs, prefix="t")
+        counters = obs.metrics.counters()
+        gauges = obs.metrics.gauges()
+        assert counters["t.seeded"] == 3
+        assert counters["t.executed"] == 3
+        assert counters["t.worker1.steals"] >= 1
+        assert "t.steal_fraction" in gauges
+        ws.record_counters(None)      # explicit no-op
+
+    def test_invalid_worker_and_pool_sizes_raise(self):
+        with pytest.raises(ConfigurationError):
+            WorkStealScheduler(0)
+        ws = WorkStealScheduler(2)
+        with pytest.raises(ConfigurationError):
+            ws.acquire(2)
+        with pytest.raises(ConfigurationError):
+            ws.spawn(-1, [0])
+
+
+class TestSpawnPolicy:
+    def test_defaults(self):
+        assert resolve_spawn_policy(None, None) == (
+            DEFAULT_SPAWN_DEPTH, DEFAULT_SPAWN_MIN_MEMBERS)
+
+    def test_explicit_values_pass_through(self):
+        assert resolve_spawn_policy(0, 2) == (0, 2)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            resolve_spawn_policy(-1, None)
+        with pytest.raises(ConfigurationError):
+            resolve_spawn_policy(None, 1)
+
+
+@pytest.fixture
+def two_item_db() -> TransactionDatabase:
+    """Two frequent items — exactly one top-level equivalence class."""
+    return TransactionDatabase(
+        [(0, 1), (0, 1), (0,), (1,)], name="two-item")
+
+
+class TestSharedMemoryWorksteal:
+    def test_matches_oracle_and_counts_steals(self, paper_db):
+        expected = brute_force(paper_db, 2)
+        obs = ObsContext()
+        result = run_eclat_shared_memory(
+            paper_db, 2, n_workers=4, schedule="worksteal",
+            spawn_depth=3, spawn_min_members=2, obs=obs,
+        )
+        assert result.itemsets == expected.itemsets
+        counters = obs.metrics.counters()
+        assert counters["shared_memory.worksteal.seeded"] >= 1
+        assert counters["shared_memory.worksteal.executed"] >= counters[
+            "shared_memory.worksteal.seeded"]
+        gauges = obs.metrics.gauges()
+        assert "shared_memory.worksteal.steal_fraction" in gauges
+        assert "shared_memory.load_balance.steal_fraction" in gauges
+
+    def test_mine_counters_match_the_vectorized_backend(self, paper_db):
+        """Nested spawning reorganizes the walk, not the work: the join
+        effort counters must equal the serial vectorized run exactly."""
+        serial_obs = ObsContext()
+        ws_obs = ObsContext()
+        serial = repro.mine(
+            paper_db, algorithm="eclat", backend="vectorized",
+            min_support=2, obs=serial_obs,
+        )
+        ws = repro.mine(
+            paper_db, algorithm="eclat", backend="shared_memory",
+            min_support=2, n_workers=3, schedule="worksteal", obs=ws_obs,
+        )
+        assert ws.itemsets == serial.itemsets
+        serial_counters = serial_obs.metrics.counters()
+        ws_counters = ws_obs.metrics.counters()
+        for name in ("mine.intersections", "mine.intersection_read_bytes"):
+            assert ws_counters[name] == serial_counters[name], name
+        # Re-materializing stolen classes is real extra work — charged to
+        # its own namespace, never laundered into mine.*.
+        assert any(k.startswith("worksteal.rebuild.") for k in ws_counters)
+
+    def test_more_workers_than_tasks_terminates(self, tiny_db):
+        """Empty-deque termination: most deques never hold a task."""
+        expected = brute_force(tiny_db, 2)
+        result = run_eclat_shared_memory(
+            tiny_db, 2, n_workers=8, schedule="worksteal",
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_steal_storm_on_two_item_dataset(self, two_item_db):
+        """One top-level class, four hungry workers: every acquisition
+        beyond the first is a steal attempt against mostly-empty deques."""
+        expected = brute_force(two_item_db, 1)
+        obs = ObsContext()
+        result = run_eclat_shared_memory(
+            two_item_db, 1, n_workers=4, schedule="worksteal",
+            spawn_depth=4, spawn_min_members=2, obs=obs,
+        )
+        assert result.itemsets == expected.itemsets
+        assert obs.metrics.counters()["shared_memory.worksteal.seeded"] == 1
+
+    def test_killed_worker_mid_steal_is_retried(self, paper_db):
+        """A worker dying on a (possibly stolen) task is respawned and the
+        task re-queued onto the scheduler — exactness survives."""
+        expected = brute_force(paper_db, 2)
+        obs = ObsContext()
+        result = run_eclat_shared_memory(
+            paper_db, 2, n_workers=3, schedule="worksteal", obs=obs,
+            _fault={"kill_task": 1},
+        )
+        assert result.itemsets == expected.itemsets
+        counters = obs.metrics.counters()
+        assert counters["shared_memory.tasks.retried"] >= 1
+        assert counters["shared_memory.worksteal.requeued"] >= 1
+
+    def test_apriori_worksteal_matches_oracle(self, paper_db):
+        expected = brute_force(paper_db, 2)
+        result = run_apriori_shared_memory(
+            paper_db, 2, n_workers=4, schedule="worksteal",
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_spawn_options_require_worksteal(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_shared_memory(tiny_db, 2, n_workers=2, spawn_depth=1)
+
+    def test_workers_are_not_clamped_to_class_count(self, tiny_db):
+        """items < workers is the whole point — the pool must keep the
+        surplus workers alive to receive stolen subtree tasks."""
+        obs = ObsContext()
+        run_eclat_shared_memory(
+            tiny_db, 2, n_workers=6, schedule="worksteal", obs=obs,
+        )
+        assert obs.metrics.gauges()["shared_memory.n_workers"] == 6
+
+
+class TestMultiprocessingWorksteal:
+    def test_matches_oracle_with_spawns(self, paper_db):
+        expected = brute_force(paper_db, 2)
+        obs = ObsContext()
+        result = run_eclat_multiprocessing(
+            paper_db, 2, representation="tidset", n_workers=3,
+            schedule="worksteal", spawn_depth=2, spawn_min_members=2,
+            obs=obs,
+        )
+        assert result.itemsets == expected.itemsets
+        counters = obs.metrics.counters()
+        assert counters["multiprocessing.worksteal.executed"] >= 1
+        assert "multiprocessing.load_balance.steal_fraction" in (
+            obs.metrics.gauges())
+
+    def test_rejects_unknown_schedules(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_multiprocessing(
+                tiny_db, 2, representation="tidset", n_workers=2,
+                schedule="guided",
+            )
+
+    def test_spawn_options_require_worksteal(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            run_eclat_multiprocessing(
+                tiny_db, 2, representation="tidset", n_workers=2,
+                spawn_depth=1,
+            )
+
+    def test_steal_storm_on_two_item_dataset(self, two_item_db):
+        expected = brute_force(two_item_db, 1)
+        result = run_eclat_multiprocessing(
+            two_item_db, 1, representation="tidset", n_workers=4,
+            schedule="worksteal", spawn_depth=4, spawn_min_members=2,
+        )
+        assert result.itemsets == expected.itemsets
+
+
+class TestEngineSurface:
+    def test_mine_accepts_worksteal_options(self, paper_db):
+        expected = brute_force(paper_db, 2)
+        result = repro.mine(
+            paper_db, algorithm="eclat", backend="shared_memory",
+            min_support=2, n_workers=3, schedule="worksteal",
+            spawn_depth=1, spawn_min_members=2,
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_serial_backend_rejects_worksteal_options(self, tiny_db):
+        with pytest.raises(ConfigurationError):
+            repro.mine(
+                tiny_db, algorithm="eclat", backend="serial",
+                min_support=2, schedule="worksteal",
+            )

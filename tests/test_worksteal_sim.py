@@ -1,0 +1,129 @@
+"""The nested-task simulator predicts the finding-4 crossover.
+
+Static top-level dispatch vs simulated work stealing on the same task
+tree: stealing must win when top-level classes < threads (the paper's
+scaling ceiling) and must lose when the per-steal payload dominates the
+compute it unlocks.  Plus the conservation invariants that keep the
+event-driven scheduler honest.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import BLACKLIGHT
+from repro.parallel import (
+    SimTask,
+    eclat_task_tree,
+    simulate_static_tree,
+    simulate_worksteal_tree,
+    worksteal_advantage,
+)
+
+
+def total_tasks(roots):
+    return sum(r.subtree_tasks() for r in roots)
+
+
+def total_seconds(roots):
+    return sum(r.subtree_seconds() for r in roots)
+
+
+class TestTreeBuilder:
+    def test_shape_and_totals(self):
+        roots = eclat_task_tree(
+            n_classes=3, depth=2, branching=2, task_seconds=1.0)
+        # Each class: 1 + 2 + 4 = 7 tasks.
+        assert total_tasks(roots) == 21
+        assert total_seconds(roots) == pytest.approx(21.0)
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(SimulationError):
+            eclat_task_tree(n_classes=-1, depth=1, branching=1,
+                            task_seconds=1.0)
+        with pytest.raises(SimulationError):
+            eclat_task_tree(n_classes=1, depth=1, branching=0,
+                            task_seconds=1.0)
+
+
+class TestStaticDispatch:
+    def test_parallelism_capped_at_root_count(self):
+        """The finding-4 ceiling in one assertion: 2 roots on 8 threads
+        run exactly as fast as on 2 threads."""
+        roots = eclat_task_tree(
+            n_classes=2, depth=4, branching=2, task_seconds=1.0)
+        wide = simulate_static_tree(roots, 8)
+        narrow = simulate_static_tree(roots, 2)
+        assert wide.makespan == pytest.approx(narrow.makespan)
+        # Six threads never receive any work.
+        assert (wide.thread_busy == 0).sum() == 6
+
+    def test_work_is_conserved(self):
+        roots = eclat_task_tree(
+            n_classes=5, depth=3, branching=2, task_seconds=0.5)
+        out = simulate_static_tree(roots, 3)
+        assert out.total_busy == pytest.approx(total_seconds(roots))
+        assert out.n_tasks == total_tasks(roots)
+        assert out.n_steal_events == 0
+
+    def test_empty_tree(self):
+        out = simulate_static_tree([], 4)
+        assert out.makespan == 0.0
+        assert out.n_tasks == 0
+
+    def test_bad_thread_count_raises(self):
+        with pytest.raises(SimulationError):
+            simulate_static_tree([], 0)
+
+
+class TestWorkstealSim:
+    def test_executes_every_task_exactly_once(self):
+        roots = eclat_task_tree(
+            n_classes=3, depth=4, branching=2, task_seconds=1e-3)
+        out = simulate_worksteal_tree(roots, 6)
+        assert out.n_tasks == total_tasks(roots)
+        # Busy time = all compute plus exactly the steal tax it charged.
+        assert out.total_busy == pytest.approx(
+            total_seconds(roots) + out.steal_seconds)
+
+    def test_single_thread_never_steals(self):
+        roots = eclat_task_tree(
+            n_classes=3, depth=3, branching=2, task_seconds=1e-3)
+        out = simulate_worksteal_tree(roots, 1)
+        assert out.n_steal_events == 0
+        assert out.makespan == pytest.approx(total_seconds(roots))
+
+    def test_stealing_wins_when_classes_fewer_than_threads(self):
+        """The crossover's winning side: 4 deep classes, 16 threads."""
+        roots = eclat_task_tree(
+            n_classes=4, depth=6, branching=2, task_seconds=1e-4,
+            payload_bytes=512)
+        report = worksteal_advantage(roots, 16, machine=BLACKLIGHT)
+        assert report["speedup"] > 1.3
+        assert report["steal_events"] > 0
+
+    def test_stealing_loses_when_payload_dominates(self):
+        """The losing side: near-zero compute, megabytes per migration —
+        the simulator must price the NumaLink traffic and say no."""
+        roots = eclat_task_tree(
+            n_classes=4, depth=6, branching=2, task_seconds=1e-7,
+            payload_bytes=4 * 1024 * 1024)
+        report = worksteal_advantage(roots, 16, machine=BLACKLIGHT)
+        assert report["speedup"] < 1.0
+        assert report["stolen_bytes"] > 0
+
+    def test_wide_shallow_tree_beats_nothing(self):
+        """With roots >= threads static dispatch already balances; the
+        steal tax means stealing cannot meaningfully win."""
+        roots = eclat_task_tree(
+            n_classes=32, depth=0, branching=1, task_seconds=1e-3)
+        report = worksteal_advantage(roots, 8, machine=BLACKLIGHT)
+        assert report["speedup"] == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_cpu_seconds_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_worksteal_tree([SimTask(cpu_seconds=-1.0)], 2)
+
+    def test_imbalance_property(self):
+        roots = [SimTask(cpu_seconds=3.0), SimTask(cpu_seconds=1.0)]
+        out = simulate_static_tree(roots, 2)
+        assert out.imbalance == pytest.approx(0.5)
