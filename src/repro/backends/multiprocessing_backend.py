@@ -51,12 +51,17 @@ _WORKER: dict = {}
 
 def _init_worker(
     transactions: list, n_items: int, min_sup: int, representation: str,
-    item_order: str, collect_obs: bool = False,
+    item_order: str, collect_obs: bool = False, live: bool = False,
 ) -> None:
     from repro.obs.procmerge import WorkerTelemetry
 
     telemetry = WorkerTelemetry(collect_obs)
     _WORKER["telemetry"] = telemetry
+    _WORKER["tasks_done"] = 0
+    _WORKER["busy_s"] = 0.0
+    # Heartbeats cost a getrusage call plus a pickled dict per outcome
+    # message; only pay that when the parent actually holds a tracker.
+    _WORKER["live"] = live
     obs = telemetry.obs
 
     def build() -> None:
@@ -85,19 +90,24 @@ def _init_worker(
         build()
 
 
-def _mine_toplevel_task(task_index: int) -> tuple[dict, dict | None]:
+def _mine_toplevel_task(task_index: int) -> tuple[dict, dict | None, dict | None]:
     """Mine one top-level class: prefix = frequent item #task_index.
 
-    Returns ``(itemsets, telemetry_snapshot_or_None)``; the parent merges
-    the snapshot into its own ObsContext (see :mod:`repro.obs.procmerge`).
+    Returns ``(itemsets, telemetry_snapshot_or_None, heartbeat_or_None)``;
+    the parent merges the snapshot into its own ObsContext (see
+    :mod:`repro.obs.procmerge`) and feeds the heartbeat (pid, tasks done,
+    RSS, busy seconds) to the live progress tracker.  The heartbeat is
+    ``None`` when the parent has no tracker.
     """
+    from repro.obs.live import worker_heartbeat
+
     telemetry = _WORKER["telemetry"]
     obs = telemetry.obs
     rep = _WORKER["rep"]
     min_sup = _WORKER["min_sup"]
     members = _WORKER["members"]
 
-    busy_start = time.perf_counter() if obs is not None else 0.0
+    busy_start = time.perf_counter()
     result = MiningResult(
         dataset="worker", algorithm="eclat", representation=rep.name,
         min_support=min_sup, n_transactions=0,
@@ -113,6 +123,8 @@ def _mine_toplevel_task(task_index: int) -> tuple[dict, dict | None]:
             next_class.append(_Member(candidate, vertical, -1))
     if next_class:
         _mine_class(state, next_class, 2)
+    _WORKER["tasks_done"] += 1
+    _WORKER["busy_s"] += time.perf_counter() - busy_start
     if obs is not None:
         obs.sink.wall_event(
             "task.eclat", busy_start, cat="mine",
@@ -121,7 +133,12 @@ def _mine_toplevel_task(task_index: int) -> tuple[dict, dict | None]:
         obs.metrics.counter("worker.busy_s").inc(
             time.perf_counter() - busy_start
         )
-    return result.itemsets, telemetry.drain()
+    return (
+        result.itemsets,
+        telemetry.drain(),
+        worker_heartbeat(_WORKER["tasks_done"], _WORKER["busy_s"])
+        if _WORKER["live"] else None,
+    )
 
 
 class _NullCollector:
@@ -242,19 +259,27 @@ def _ws_worker_main(
 
     Mirrors the shared-memory pool's protocol — at most one
     ``(task_id, body)`` in flight per worker, ``None`` to stop, outcomes
-    ``("done", worker, task, itemsets, spawned, snapshot)`` or
+    ``("done", worker, task, itemsets, spawned, snapshot, heartbeat)`` or
     ``("error", worker, task, traceback)``.
     """
+    from repro.obs.live import worker_heartbeat
+
     try:
         _init_worker(*init_args)
         _WORKER["spawn_depth"] = spawn_depth
         _WORKER["spawn_min_members"] = spawn_min_members
         telemetry = _WORKER["telemetry"]
+        tasks_done = 0
+        busy_total = 0.0
+        wait_total = 0.0
         while True:
+            wait_start = time.perf_counter()
             task = task_queue.get()
             if task is None:
                 break
             task_id, body = task
+            busy_start = time.perf_counter()
+            wait_total += busy_start - wait_start
             try:
                 itemsets, spawned = _run_ws_task(body)
             except Exception:
@@ -262,9 +287,13 @@ def _ws_worker_main(
                     ("error", worker_id, task_id, traceback.format_exc())
                 )
                 continue
+            busy_total += time.perf_counter() - busy_start
+            tasks_done += 1
             result_queue.put(
                 ("done", worker_id, task_id, itemsets, spawned,
-                 telemetry.drain())
+                 telemetry.drain(),
+                 worker_heartbeat(tasks_done, busy_total, wait_total)
+                 if _WORKER["live"] else None)
             )
     except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
         pass  # parent tore the queues down; exit quietly
@@ -277,6 +306,7 @@ def _run_eclat_worksteal(
     n_workers: int,
     policy: tuple[int, int],
     obs,
+    live=None,
 ) -> None:
     """Parent-side worksteal dispatch over mp.Process workers.
 
@@ -295,6 +325,8 @@ def _run_eclat_worksteal(
     ]
     if not payloads:
         return
+    if live is not None:
+        live.add_total(len(payloads))
     scheduler = WorkStealScheduler(n_workers)
     scheduler.seed(range(len(payloads)))
     result_queue = ctx.Queue()
@@ -331,6 +363,8 @@ def _run_eclat_worksteal(
             try:
                 message = result_queue.get(timeout=_WS_POLL_SECONDS)
             except Empty:
+                if live is not None:
+                    live.write()  # keep elapsed/ETA fresh between results
                 for worker_id, process in enumerate(workers):
                     if not process.is_alive():
                         task_id = assigned.get(worker_id)
@@ -344,7 +378,7 @@ def _run_eclat_worksteal(
                 raise ParallelExecutionError(
                     f"worker {worker_id} failed on task {task_id}:\n{tb}"
                 )
-            _, worker_id, task_id, itemsets, spawned, snap = message
+            _, worker_id, task_id, itemsets, spawned, snap, beat = message
             assigned.pop(worker_id, None)
             if spawned:
                 first_id = len(payloads)
@@ -354,12 +388,20 @@ def _run_eclat_worksteal(
                     list(range(first_id, len(payloads))),
                     depth=len(spawned[0][0]),
                 )
+                if live is not None:
+                    live.add_total(len(spawned))
             result.itemsets.update(itemsets)
             if obs is not None and snap is not None:
                 _merge_task_snapshot(obs, snap, lanes, seen_pids)
             done += 1
             for idle_id in range(n_workers):
                 dispatch(idle_id)
+            if live is not None:
+                live.heartbeat(worker_id, beat)
+                live.task_done()
+                live.scheduler_update(
+                    **scheduler.live_snapshot(len(assigned))
+                )
     finally:
         for queue in queues:
             try:
@@ -414,6 +456,7 @@ def run_eclat_multiprocessing(
     spawn_depth: int | None = None,
     spawn_min_members: int | None = None,
     obs=None,
+    live=None,
 ) -> MiningResult:
     """Frequent itemsets via a process pool over top-level classes.
 
@@ -477,16 +520,18 @@ def run_eclat_multiprocessing(
     seen_pids: set[int] = set()
     transactions = [t.tolist() for t in db]
     init_args = (transactions, db.n_items, min_sup, representation,
-                 item_order, obs is not None)
+                 item_order, obs is not None, live is not None)
     # Worksteal never clamps the team to the top-level task count — nested
     # spawns are exactly how surplus workers get fed (finding 4).
     workers = n_workers if worksteal else min(n_workers, n_tasks)
     try:
         if worksteal:
             _run_eclat_worksteal(
-                result, init_args, n_tasks, workers, policy, obs
+                result, init_args, n_tasks, workers, policy, obs, live=live
             )
         else:
+            if live is not None:
+                live.add_total(n_tasks)
             ctx = (
                 mp.get_context("fork")
                 if "fork" in mp.get_all_start_methods() else mp.get_context()
@@ -497,12 +542,26 @@ def run_eclat_multiprocessing(
                 initargs=init_args,
             ) as pool:
                 # chunksize=1 mirrors the paper's schedule(dynamic, 1).
-                for partial, snap in pool.imap_unordered(
+                for partial, snap, beat in pool.imap_unordered(
                     _mine_toplevel_task, range(n_tasks), chunksize=1
                 ):
                     result.itemsets.update(partial)
                     if obs is not None and snap is not None:
                         _merge_task_snapshot(obs, snap, lanes, seen_pids)
+                    if live is not None:
+                        # imap gives no stable worker slot; lanes are
+                        # numbered by first-seen pid order, same as the
+                        # telemetry merge above.
+                        pid = (
+                            beat.get("pid")
+                            if isinstance(beat, Mapping) else None
+                        )
+                        lane = (
+                            lanes.setdefault(pid, len(lanes))
+                            if isinstance(pid, int) else 0
+                        )
+                        live.heartbeat(lane, beat)
+                        live.task_done()
     finally:
         if obs is not None:
             obs.sink.wall_event(

@@ -216,8 +216,14 @@ def _worker_main(
     The parent dispatches at most one ``(task_id, payload)`` at a time to
     this worker's private queue and tracks the assignment on its side, so
     the worker only ever reports outcomes: ``("done", worker, task,
-    output, snapshot)`` or ``("error", worker, task, traceback,
-    snapshot)``.  A ``None`` sentinel ends the loop.
+    output, snapshot, heartbeat)`` or ``("error", worker, task, traceback,
+    snapshot, heartbeat)``.  A ``None`` sentinel ends the loop.  The
+    heartbeat (:func:`repro.obs.live.worker_heartbeat`: pid, tasks done,
+    peak RSS, busy/wait seconds) rides every outcome so the parent-side
+    stall watchdog always knows when this worker last made progress; when
+    ``init["stall_dump_path"]`` is set the worker also registers a
+    ``faulthandler`` traceback dump on ``SIGUSR1`` so the watchdog can ask
+    a stalled worker where it is stuck.
 
     When the parent carries an ObsContext (``init["collect_obs"]``), the
     worker records its own telemetry — an attach span, a queue-wait span
@@ -227,12 +233,22 @@ def _worker_main(
     ships nothing for that task; the parent merges only what arrived, so
     partial telemetry never corrupts the trace.
     """
+    from repro.obs.live import install_stack_dump_handler, worker_heartbeat
     from repro.obs.procmerge import WorkerTelemetry
 
     shm = None
     matrix = None
     telemetry = WorkerTelemetry(bool(init.get("collect_obs", False)))
     obs = telemetry.obs
+    # Heartbeats cost a getrusage per outcome; ship them only when the
+    # parent actually holds a tracker (same zero-overhead-when-off
+    # discipline as ``obs is None``).
+    live_enabled = bool(init.get("live", False))
+    if init.get("stall_dump_path"):
+        install_stack_dump_handler(init["stall_dump_path"])
+    tasks_done = 0
+    busy_total = 0.0
+    wait_total = 0.0
     try:
         if obs is not None:
             with obs.sink.span("worker.attach", cat="setup"):
@@ -251,6 +267,7 @@ def _worker_main(
             if fault.get("hang_task") == task_id:
                 time.sleep(fault.get("hang_seconds", 3600.0))
             busy_start = time.perf_counter()
+            wait_total += busy_start - wait_start
             if obs is not None:
                 obs.sink.wall_event(
                     "task.wait", wait_start, busy_start, cat="wait",
@@ -273,12 +290,17 @@ def _worker_main(
                         f"task.{payload[0]}", busy_start, cat="task",
                         args={"task_id": task_id, "error": True},
                     )
+                busy_total += time.perf_counter() - busy_start
                 result_queue.put(
                     ("error", worker_id, task_id, traceback.format_exc(),
-                     telemetry.drain())
+                     telemetry.drain(),
+                     worker_heartbeat(tasks_done, busy_total, wait_total)
+                     if live_enabled else None)
                 )
                 continue
             busy_end = time.perf_counter()
+            busy_total += busy_end - busy_start
+            tasks_done += 1
             if obs is not None:
                 obs.sink.wall_event(
                     f"task.{kind}", busy_start, busy_end, cat="task",
@@ -286,7 +308,9 @@ def _worker_main(
                 )
                 obs.metrics.counter("worker.busy_s").inc(busy_end - busy_start)
             result_queue.put(
-                ("done", worker_id, task_id, out, telemetry.drain())
+                ("done", worker_id, task_id, out, telemetry.drain(),
+                 worker_heartbeat(tasks_done, busy_total, wait_total)
+                 if live_enabled else None)
             )
     except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
         pass  # parent tore the queues down; exit quietly
@@ -330,6 +354,7 @@ class SharedMemoryPool:
         task_timeout: float | None = None,
         max_task_retries: int = 2,
         obs=None,
+        live=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -350,6 +375,14 @@ class SharedMemoryPool:
         self._task_timeout = task_timeout
         self._max_task_retries = max_task_retries
         self._obs = obs
+        #: Optional :class:`repro.obs.live.ProgressTracker` — the live
+        #: status plane (progress fractions, heartbeats, stall watchdog).
+        self._live = live
+        #: Last heartbeat per worker (monotonic): set at spawn, refreshed
+        #: by every outcome message.  Feeds the stall watchdog.
+        self._last_beat: dict[int, float] = {}
+        #: Workers already flagged as stalled (one dump per stall episode).
+        self._stall_flagged: set[int] = set()
         self._shm: shared_memory.SharedMemory | None = None
         self._closed = False
         self._respawns = 0
@@ -416,6 +449,9 @@ class SharedMemoryPool:
         )
         process.start()
         self._workers[worker_id] = process
+        # A fresh process starts its heartbeat clock (and stall slate) clean.
+        self._last_beat[worker_id] = time.monotonic()
+        self._stall_flagged.discard(worker_id)
         if respawn and self._obs is not None:
             self._obs.metrics.counter("shared_memory.workers.respawned").inc()
 
@@ -533,10 +569,15 @@ class SharedMemoryPool:
                     message = self._result_queue.get(timeout=_POLL_SECONDS)
                 except Empty:
                     message = None
+                    if self._live is not None:
+                        # No result this poll; still refresh elapsed/ETA so
+                        # `obs watch` sees a live document, not a stale one.
+                        self._live.write()
                 if message is not None:
                     kind = message[0]
                     if kind == "done":
-                        _, worker_id, task_id, out, snapshot = message
+                        _, worker_id, task_id, out, snapshot, beat = message
+                        self._note_beat(worker_id, beat)
                         held = self._assigned.get(worker_id)
                         dispatched_perf = None
                         if held is not None and held[0] == task_id:
@@ -560,9 +601,14 @@ class SharedMemoryPool:
                             self._merge_result(
                                 worker_id, task_id, snapshot, dispatched_perf
                             )
+                            if self._live is not None:
+                                # The heartbeat already carried the worker's
+                                # own task count; only global progress moves.
+                                self._live.task_done()
                         self._dispatch(worker_id)
                     else:  # "error": a worker raised — deterministic, no retry
-                        _, worker_id, task_id, tb, snapshot = message
+                        _, worker_id, task_id, tb, snapshot, beat = message
+                        self._note_beat(worker_id, beat)
                         # Keep whatever telemetry the failing worker managed
                         # to record; the trace must survive the abort.
                         self._merge_result(worker_id, task_id, snapshot, None)
@@ -598,6 +644,8 @@ class SharedMemoryPool:
             list(range(first_id, len(self._payloads))),
             depth=len(spawned[0][0]),
         )
+        if self._live is not None:
+            self._live.add_total(len(spawned))
         for idle_id in range(self.n_workers):
             self._dispatch(idle_id)
 
@@ -642,6 +690,80 @@ class SharedMemoryPool:
         else:
             self._pending.appendleft(task_id)
 
+    def _note_beat(self, worker_id: int, beat: dict | None) -> None:
+        """A worker reported an outcome: refresh its heartbeat clock.
+
+        Progress clears any standing stall flag — the watchdog may flag the
+        worker again if it goes quiet later (one traceback dump per stall
+        episode, not one per poll).
+        """
+        self._last_beat[worker_id] = time.monotonic()
+        self._stall_flagged.discard(worker_id)
+        if self._live is not None:
+            self._live.heartbeat(worker_id, beat)
+
+    def _update_live_scheduler(self) -> None:
+        """Publish queue depth (and steal stats in worksteal mode)."""
+        if self._live is None:
+            return
+        if self._ws is not None:
+            self._live.scheduler_update(
+                **self._ws.live_snapshot(len(self._assigned))
+            )
+        else:
+            pending = getattr(self, "_pending", None)
+            if pending is None:
+                outstanding = len(self._assigned)
+            elif self._static:
+                outstanding = (
+                    sum(len(q) for q in pending) + len(self._assigned)
+                )
+            else:
+                outstanding = len(pending) + len(self._assigned)
+            self._live.scheduler_update(outstanding=outstanding)
+
+    def _watch_for_stalls(self, now: float) -> None:
+        """Flag in-flight workers whose heartbeat went quiet too long.
+
+        A stall is observability, not recovery: the worker gets a SIGUSR1
+        ``faulthandler`` dump request (best-effort, platform-guarded), the
+        trace and metrics record a ``stall`` event, and the live status
+        file marks the worker — but the kill/retry decision stays with the
+        existing ``task_timeout`` fault path.
+        """
+        if self._live is None or self._live.stall_timeout is None:
+            return
+        from repro.obs.live import request_stack_dump
+
+        for worker_id, (task_id, since, _) in list(self._assigned.items()):
+            if worker_id in self._stall_flagged:
+                continue
+            # An idle gap before dispatch is not a stall; the clock starts
+            # at whichever is later — last heartbeat or task dispatch.
+            reference = max(self._last_beat.get(worker_id, since), since)
+            if now - reference <= self._live.stall_timeout:
+                continue
+            self._stall_flagged.add(worker_id)
+            process = self._workers[worker_id]
+            pid = process.pid if process is not None else None
+            dumped = request_stack_dump(pid)
+            if self._obs is not None:
+                from repro.obs.trace import US_PER_SECOND
+
+                self._obs.metrics.counter("shared_memory.stalls").inc()
+                sink = self._obs.sink
+                sink.instant(
+                    "stall",
+                    (time.perf_counter() - sink.epoch) * US_PER_SECOND,
+                    cat="fault",
+                    args={
+                        "worker": worker_id, "task_id": task_id, "pid": pid,
+                        "quiet_seconds": now - reference,
+                        "traceback_dumped": dumped,
+                    },
+                )
+            self._live.record_stall(worker_id)
+
     def _police(self, retries: dict[int, int], outputs: list) -> None:
         """Respawn dead workers, kill and retry timed-out tasks, and make
         sure no idle worker starves while its deque has work."""
@@ -656,6 +778,7 @@ class SharedMemoryPool:
                     f"worker {worker_id} died (exitcode {process.exitcode})",
                 )
             self._spawn(worker_id, respawn=True)
+        self._watch_for_stalls(now)
         if self._task_timeout is not None:
             expired = [
                 worker_id
@@ -676,6 +799,7 @@ class SharedMemoryPool:
                 self._spawn(worker_id, respawn=True)
         for worker_id in range(self.n_workers):
             self._dispatch(worker_id)
+        self._update_live_scheduler()
 
     def _merge_result(
         self,
@@ -790,6 +914,7 @@ def run_eclat_shared_memory(
     spawn_depth: int | None = None,
     spawn_min_members: int | None = None,
     obs=None,
+    live=None,
     _fault: dict | None = None,
 ) -> MiningResult:
     """Parallel Eclat over a zero-copy shared singleton matrix.
@@ -857,18 +982,28 @@ def run_eclat_shared_memory(
                 payloads = [
                     ("eclat", list(range(start, end))) for start, end in bounds
                 ]
+            if live is not None:
+                # One unit of progress per top-level task; worksteal spawns
+                # grow the total as they are registered.
+                live.add_total(len(payloads))
             init = {
                 "min_sup": min_sup,
                 "itemsets": itemsets,
                 "collect_obs": obs is not None,
+                "live": live is not None,
                 "fault": _fault,
                 "spawn_depth": policy[0],
                 "spawn_min_members": policy[1],
+                "stall_dump_path": (
+                    str(live.stack_dump_path())
+                    if live is not None and live.stack_dump_path() is not None
+                    else None
+                ),
             }
             with SharedMemoryPool(
                 matrix, init, workers, spec,
                 task_timeout=task_timeout, max_task_retries=max_task_retries,
-                obs=obs,
+                obs=obs, live=live,
             ) as pool:
                 for out in pool.run(payloads):
                     result.itemsets.update(out)
@@ -897,6 +1032,7 @@ def run_apriori_shared_memory(
     max_generations: int | None = None,
     max_task_retries: int = 2,
     obs=None,
+    live=None,
     _fault: dict | None = None,
 ) -> MiningResult:
     """Parallel Apriori counting candidate ranges against the shared matrix.
@@ -952,17 +1088,28 @@ def run_apriori_shared_memory(
                 init = {
                     "min_sup": min_sup,
                     "collect_obs": obs is not None,
+                    "live": live is not None,
                     "fault": _fault,
+                    "stall_dump_path": (
+                        str(live.stack_dump_path())
+                        if live is not None
+                        and live.stack_dump_path() is not None
+                        else None
+                    ),
                 }
                 pool = SharedMemoryPool(
                     matrix, init, workers, spec,
                     task_timeout=task_timeout,
-                    max_task_retries=max_task_retries, obs=obs,
+                    max_task_retries=max_task_retries, obs=obs, live=live,
                 )
             bounds = chunk_boundaries(len(cand_items), pool.n_workers, spec)
             payloads = [
                 ("apriori", cand_items[start:end]) for start, end in bounds
             ]
+            if live is not None:
+                # Candidate generations appear one at a time; each extends
+                # the total by its range count as it becomes known.
+                live.add_total(len(payloads))
             outputs = pool.run(payloads)
             counted = [s for chunk in outputs for s in chunk]
             next_frequent: list[Itemset] = []

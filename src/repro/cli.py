@@ -12,16 +12,22 @@ Five subcommands cover the common workflows:
 * ``profile``   — run a study fully instrumented and print the metrics
   report (per-level candidate volumes, NumaLink bytes per region, busy
   time, fork/join overhead);
-* ``obs``       — the run-ledger toolbox: ``obs tail`` streams recent run
-  records, ``obs report`` dumps one, and ``obs compare`` diffs two runs or
-  ``BENCH_*.json`` files and exits nonzero past a regression threshold
-  (the CI gate).
+* ``obs``       — the observability toolbox: ``obs tail`` streams recent
+  run records (``--follow`` keeps polling for new ones), ``obs report``
+  dumps one, ``obs compare`` diffs two runs or ``BENCH_*.json`` files and
+  exits nonzero past a regression threshold (the CI gate), ``obs watch``
+  renders the live status of an in-flight run (progress bar, per-worker
+  heartbeats, stalls, ETA), and ``obs gc`` caps the ledger and live-status
+  directories.
 
 ``mine``, ``scalability``, and ``profile`` accept ``--trace-out FILE`` to
 write a Chrome trace-event JSON loadable in Perfetto, and ``mine`` /
 ``scalability`` accept ``--metrics`` to print the metrics report.  Those
 three commands also append each run to the ledger under ``.repro/runs/``
-(``--ledger-dir`` relocates it, ``--no-ledger`` opts out).
+(``--ledger-dir`` relocates it, ``--no-ledger`` opts out).  ``mine`` also
+publishes live status to ``.repro/live/`` by default (``--progress`` adds
+a single refreshing stderr progress line, ``--live-dir`` relocates the
+directory, ``--no-live`` opts out).
 """
 
 from __future__ import annotations
@@ -104,6 +110,71 @@ def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ledger-dir", metavar="DIR", default=None,
         help="run-ledger directory (default: .repro/runs)",
+    )
+
+
+def _add_live_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a single refreshing progress/ETA line on stderr",
+    )
+    parser.add_argument(
+        "--no-live", action="store_true",
+        help="do not publish a live status file for this run",
+    )
+    parser.add_argument(
+        "--live-dir", metavar="DIR", default=None,
+        help="live status-file directory (default: .repro/live)",
+    )
+
+
+def _live_status_dir(args: argparse.Namespace) -> Path:
+    """The live directory the ``obs`` read-side commands should look in.
+
+    ``--live-dir`` wins, then a ``REPRO_LIVE`` directory override; a
+    ``REPRO_LIVE=0`` kill switch only disables *writing*, so reading falls
+    back to the stock location rather than erroring out.
+    """
+    from repro.obs.live import DEFAULT_LIVE_DIR, default_live_dir
+
+    if args.live_dir:
+        return Path(args.live_dir)
+    return default_live_dir() or DEFAULT_LIVE_DIR
+
+
+def _resolve_cli_live(args: argparse.Namespace, db: TransactionDatabase):
+    """The ``live=`` argument ``cmd_mine`` passes to ``repro.mine()``.
+
+    Plain runs defer to the engine (``None`` → ``REPRO_LIVE`` resolution);
+    ``--progress`` needs the renderer callback, so it builds the tracker
+    here and the engine uses it as-is (still attaching the ledger-history
+    ETA prior).
+    """
+    if args.no_live:
+        return False
+    if not args.progress:
+        return args.live_dir if args.live_dir else None
+
+    from repro.obs.live import ProgressTracker, default_live_dir, progress_line
+
+    # Under a REPRO_LIVE=0 kill switch --progress still renders, from a
+    # purely in-memory tracker (directory=None → no status file).
+    directory = Path(args.live_dir) if args.live_dir else default_live_dir()
+    previous_width = [0]
+
+    def render(document: dict) -> None:
+        line = progress_line(document)
+        padding = " " * max(previous_width[0] - len(line), 0)
+        previous_width[0] = len(line)
+        print("\r" + line + padding, end="", file=sys.stderr, flush=True)
+
+    return ProgressTracker(
+        kind="mine",
+        backend=args.backend,
+        algorithm=args.algorithm,
+        dataset=db.name,
+        directory=directory,
+        on_update=render,
     )
 
 
@@ -196,6 +267,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                     options["spawn_depth"] = args.spawn_depth
                 if args.spawn_min is not None:
                     options["spawn_min_members"] = args.spawn_min
+                live = _resolve_cli_live(args, db)
                 try:
                     result = mine(
                         db,
@@ -205,10 +277,15 @@ def cmd_mine(args: argparse.Namespace) -> int:
                         min_support=args.min_support,
                         obs=obs,
                         ledger=ledger,
+                        live=live,
                         **options,
                     )
                 except ReproError as exc:
                     raise SystemExit(f"error: {exc}") from None
+                finally:
+                    if args.progress:
+                        # The renderer leaves the cursor mid-line.
+                        print(file=sys.stderr)
         print(result.summary())
         if args.top:
             ranked = sorted(
@@ -303,16 +380,86 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_tail(args: argparse.Namespace) -> int:
-    """Print the most recent ledger records, one summary line each."""
+    """Print the most recent ledger records, one summary line each.
+
+    ``--follow`` then keeps polling the ledger and prints each new record
+    as it is appended (Ctrl-C to stop) — the JSONL analogue of
+    ``tail -f``.
+    """
     from repro.obs.ledger import iter_summary_lines
 
     ledger = _open_ledger(args)
     records = ledger.last(args.n)
-    if not records:
+    if not records and not args.follow:
         print(f"no runs recorded under {ledger.path}")
         return 0
     for line in iter_summary_lines(records):
         print(line)
+    if args.follow:
+        try:
+            for record in ledger.follow(poll_seconds=args.poll):
+                print(record.summary_line(), flush=True)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Refreshing plain-text view of one live run's status file."""
+    import time
+
+    from repro.obs.live import (
+        TERMINAL_STATES,
+        find_status,
+        read_status,
+        render_status,
+    )
+
+    directory = _live_status_dir(args)
+    path = find_status(args.run, directory)
+    if path is None:
+        raise SystemExit(
+            f"error: no live run matching {args.run!r} under {directory} "
+            f"(try 'repro obs watch -1' for the most recent)"
+        )
+    # On a terminal each refresh repaints from the top-left; elsewhere
+    # (pipes, CI logs) refreshes are separated by a blank line instead.
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+    first = True
+    try:
+        while True:
+            document = read_status(path)
+            if document is None:
+                raise SystemExit(f"error: could not read {path}")
+            if clear:
+                print(clear, end="")
+            elif not first:
+                print()
+            first = False
+            print(render_status(document), flush=True)
+            if args.once or document.get("state") in TERMINAL_STATES:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_obs_gc(args: argparse.Namespace) -> int:
+    """Cap the run ledger and the live status directory."""
+    from repro.obs.live import prune_status_files
+
+    ledger = _open_ledger(args)
+    dropped = ledger.rotate(args.keep)
+    print(
+        f"ledger {ledger.path}: dropped {dropped} record(s), "
+        f"keeping the newest {args.keep}"
+    )
+    directory = _live_status_dir(args)
+    removed = prune_status_files(directory, keep=args.live_keep)
+    print(
+        f"live {directory}: removed {removed} file(s), "
+        f"keeping the newest {args.live_keep} run(s)"
+    )
     return 0
 
 
@@ -398,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(mine_cmd)
     _add_ledger_flags(mine_cmd)
+    _add_live_flags(mine_cmd)
     mine_cmd.set_defaults(func=cmd_mine)
 
     rules = sub.add_parser("rules", help="association rules (FP-growth)")
@@ -449,16 +597,50 @@ def build_parser() -> argparse.ArgumentParser:
     prof.set_defaults(func=cmd_profile)
 
     obs_cmd = sub.add_parser(
-        "obs", help="run-ledger tools: tail / report / compare"
+        "obs",
+        help="observability tools: tail / report / compare / watch / gc",
     )
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
 
     tail = obs_sub.add_parser("tail", help="print the most recent run records")
     tail.add_argument("-n", type=int, default=10,
                       help="how many records (default 10)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep polling and print new records as they land")
+    tail.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                      help="polling interval for --follow (default 0.5)")
     tail.add_argument("--ledger-dir", metavar="DIR", default=None,
                       help="run-ledger directory (default: .repro/runs)")
     tail.set_defaults(func=cmd_obs_tail)
+
+    watch = obs_sub.add_parser(
+        "watch", help="live progress/heartbeat/ETA view of one run"
+    )
+    watch.add_argument(
+        "run",
+        help="live run-id prefix, or a negative index (-1 = most recent)",
+    )
+    watch.add_argument("--interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="refresh interval (default 0.5)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    watch.add_argument("--live-dir", metavar="DIR", default=None,
+                       help="live status-file directory (default: .repro/live)")
+    watch.set_defaults(func=cmd_obs_watch)
+
+    gc = obs_sub.add_parser(
+        "gc", help="cap the run ledger and the live status directory"
+    )
+    gc.add_argument("--keep", type=int, default=500, metavar="N",
+                    help="ledger records to keep (default 500)")
+    gc.add_argument("--live-keep", type=int, default=50, metavar="N",
+                    help="live status files to keep (default 50)")
+    gc.add_argument("--ledger-dir", metavar="DIR", default=None,
+                    help="run-ledger directory (default: .repro/runs)")
+    gc.add_argument("--live-dir", metavar="DIR", default=None,
+                    help="live status-file directory (default: .repro/live)")
+    gc.set_defaults(func=cmd_obs_gc)
 
     report = obs_sub.add_parser("report", help="dump one run record as JSON")
     report.add_argument(

@@ -31,7 +31,10 @@ All parameters after ``db`` are keyword-only; this is the naming contract
 
 from __future__ import annotations
 
+import inspect
 import time
+from functools import lru_cache
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.apriori import AprioriRun, execute_apriori
@@ -129,6 +132,83 @@ def _ledger_config(
     return config
 
 
+@lru_cache(maxsize=None)
+def _accepts_live(runner) -> bool:
+    """Whether a registered runner can take the ``live=`` tracker kwarg.
+
+    Third parties register runners with arbitrary signatures
+    (:func:`repro.engine.registry.register_backend`); the engine only
+    forwards the tracker to runners that declare ``live`` (or ``**kwargs``)
+    so old runners keep working unchanged — they just report coarse 0 → 1
+    progress via the engine's own :meth:`ProgressTracker.finish`.
+    """
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    if "live" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def _resolve_live(
+    live, db, algorithm, backend, rep_name, min_sup, options, ledger_obj
+):
+    """Build (or pass through) the run's ProgressTracker; None = disabled.
+
+    ``live`` accepts: ``None`` (resolve from ``REPRO_LIVE``, which defaults
+    the layer **on**), ``False`` (force off), a directory path, or a
+    ready-made :class:`repro.obs.live.ProgressTracker` (the CLI passes one
+    so it can attach a renderer callback).  The ETA's prior is the median
+    ledger wall time of earlier runs with the same (config hash, dataset
+    fingerprint) when a ledger is available; a caller with a cost-model
+    prediction sets ``EtaEstimator.predicted_seconds`` on its own tracker.
+    """
+    from repro.obs import live as live_mod
+
+    if live is False:
+        return None
+    tracker = live if isinstance(live, live_mod.ProgressTracker) else None
+    directory: Path | None = None
+    if tracker is None:
+        if live is None:
+            directory = live_mod.default_live_dir()
+            if directory is None:
+                return None
+        else:
+            directory = Path(live)
+    history = None
+    need_prior = tracker is None or tracker.eta.prior() is None
+    if ledger_obj is not None and need_prior:
+        from repro.obs.ledger import config_hash, fingerprint_database
+
+        try:
+            history = live_mod.history_seconds(
+                ledger_obj,
+                config_hash(_ledger_config(
+                    algorithm, rep_name, backend, min_sup, options
+                )),
+                fingerprint_database(db).get("sha256", ""),
+            )
+        except Exception:
+            history = None  # an unreadable history costs the prior, not the run
+    if tracker is not None:
+        if history is not None:
+            tracker.eta.history_seconds = history
+        return tracker
+    return live_mod.ProgressTracker(
+        kind="mine",
+        backend=backend,
+        algorithm=algorithm,
+        dataset=db.name,
+        directory=directory,
+        eta=live_mod.EtaEstimator(history_seconds=history),
+    )
+
+
 def mine(
     db: TransactionDatabase,
     *,
@@ -138,6 +218,7 @@ def mine(
     min_support: float | int,
     obs: "ObsContext | None" = None,
     ledger=None,
+    live=None,
     **options,
 ) -> MiningResult:
     """Mine frequent itemsets — the one documented entry point.
@@ -168,6 +249,14 @@ def mine(
         When omitted, the process default applies (``REPRO_LEDGER`` env
         var or :func:`repro.obs.set_default_ledger`; no ledger → no
         record, no filesystem writes).
+    live:
+        Live-introspection control.  ``None`` (default) resolves
+        ``REPRO_LIVE`` — the live layer is **on by default** and writes an
+        atomically-replaced status file under ``.repro/live/<run_id>.json``
+        (progress, worker heartbeats, stalls, ETA; see
+        :mod:`repro.obs.live`).  ``False`` disables it for this call, a
+        path relocates the status directory, and a ready-made
+        :class:`repro.obs.live.ProgressTracker` is used as-is.
     options:
         Backend-specific extras (e.g. ``n_workers`` for multiprocessing,
         ``prune`` / ``max_generations`` for Apriori, ``item_order`` for
@@ -190,11 +279,25 @@ def mine(
     min_sup = resolve_min_support(db, min_support)
     _check_options(entry, options)
 
-    ledger_active = ledger is not None or default_ledger() is not None
+    ledger_obj = ledger if ledger is not None else default_ledger()
+    ledger_active = ledger_obj is not None
+    tracker = _resolve_live(
+        live, db, algorithm, backend, rep_name, min_sup, options, ledger_obj
+    )
     track = obs is not None or ledger_active
     wall_start = time.perf_counter() if track else 0.0
     cpu_start = time.process_time() if ledger_active else 0.0
-    result = entry.runner(db, rep_name, min_sup, obs=obs, **options)
+    runner_kwargs = dict(options)
+    if tracker is not None and _accepts_live(entry.runner):
+        runner_kwargs["live"] = tracker
+    try:
+        result = entry.runner(db, rep_name, min_sup, obs=obs, **runner_kwargs)
+    except BaseException:
+        if tracker is not None:
+            tracker.finish("failed")
+        raise
+    if tracker is not None:
+        tracker.finish("done")
 
     # Normalize: one result shape no matter which runner produced it.
     result.dataset = db.name
@@ -230,6 +333,11 @@ def mine(
             n_itemsets=len(result),
             obs=obs,
             ledger=ledger,
+            extra=(
+                {"live": {"run_id": tracker.run_id,
+                          "stalls": tracker.stalls}}
+                if tracker is not None else None
+            ),
         )
     return result
 
@@ -325,9 +433,10 @@ def _serial_fpgrowth(db, rep_name, min_sup, *, obs=None):
     return _fpgrowth(db, min_sup)
 
 
-def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
-                           item_order="support", schedule=None,
-                           spawn_depth=None, spawn_min_members=None):
+def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, live=None,
+                           n_workers=None, item_order="support",
+                           schedule=None, spawn_depth=None,
+                           spawn_min_members=None):
     # Imported lazily: repro.backends must stay importable without the
     # engine (its legacy shims import the engine lazily in the other
     # direction).
@@ -336,12 +445,12 @@ def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
     return run_eclat_multiprocessing(
         db, min_sup, rep_name, n_workers=n_workers, item_order=item_order,
         schedule=schedule, spawn_depth=spawn_depth,
-        spawn_min_members=spawn_min_members, obs=obs,
+        spawn_min_members=spawn_min_members, obs=obs, live=live,
     )
 
 
-def _shared_memory_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
-                         schedule=None, task_timeout=None,
+def _shared_memory_eclat(db, rep_name, min_sup, *, obs=None, live=None,
+                         n_workers=None, schedule=None, task_timeout=None,
                          item_order="support", max_task_retries=2,
                          spawn_depth=None, spawn_min_members=None):
     # Imported lazily (same discipline as the multiprocessing backend).
@@ -351,20 +460,21 @@ def _shared_memory_eclat(db, rep_name, min_sup, *, obs=None, n_workers=None,
         db, min_sup, rep_name, n_workers=n_workers, schedule=schedule,
         task_timeout=task_timeout, item_order=item_order,
         max_task_retries=max_task_retries, spawn_depth=spawn_depth,
-        spawn_min_members=spawn_min_members, obs=obs,
+        spawn_min_members=spawn_min_members, obs=obs, live=live,
     )
 
 
-def _shared_memory_apriori(db, rep_name, min_sup, *, obs=None, n_workers=None,
-                           schedule=None, task_timeout=None, prune=True,
-                           max_generations=None, max_task_retries=2):
+def _shared_memory_apriori(db, rep_name, min_sup, *, obs=None, live=None,
+                           n_workers=None, schedule=None, task_timeout=None,
+                           prune=True, max_generations=None,
+                           max_task_retries=2):
     from repro.backends.shared_memory_backend import run_apriori_shared_memory
 
     return run_apriori_shared_memory(
         db, min_sup, rep_name, n_workers=n_workers, schedule=schedule,
         task_timeout=task_timeout, prune=prune,
         max_generations=max_generations, max_task_retries=max_task_retries,
-        obs=obs,
+        obs=obs, live=live,
     )
 
 

@@ -24,7 +24,14 @@ The observability layer for the mining + NUMA-simulation pipeline:
   config hash, dataset fingerprint, wall/CPU/RSS cost, metrics snapshot,
   git SHA — to an append-only JSONL under ``.repro/runs/``;
 * :mod:`repro.obs.compare` diffs two runs or two ``BENCH_*.json`` files and
-  powers the ``repro obs compare`` regression gate.
+  powers the ``repro obs compare`` regression gate;
+* :mod:`repro.obs.live` is the **live** signal plane — while a run is still
+  executing, a :class:`ProgressTracker` publishes progress fractions,
+  worker heartbeats, stall flags, and a blended ETA into an
+  atomically-replaced status file under ``.repro/live/<run_id>.json``
+  (``repro mine --progress`` / ``repro obs watch`` read it; the
+  parent-side watchdog requests ``faulthandler`` traceback dumps from
+  stalled workers over SIGUSR1).
 
 Key instrument names emitted by the pipeline::
 
@@ -41,11 +48,20 @@ Key instrument names emitted by the pipeline::
     wall.mine_s / wall.replay_s                         host wall clock
     shared_memory.worker{w}.busy_s / .wait_s / .tasks   per-worker lanes
     shared_memory.load_balance.*                        merged busy/idle
+    shared_memory.stalls                                watchdog flags
     obs.snapshots.merged / .dropped                     cross-process health
 """
 
 from repro.obs.context import ObsContext
 from repro.obs.ledger import Ledger, RunRecord, record_run, set_default_ledger
+from repro.obs.live import (
+    EtaEstimator,
+    ProgressTracker,
+    progress_line,
+    read_status,
+    render_status,
+    validate_status,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -87,4 +103,10 @@ __all__ = [
     "RunRecord",
     "record_run",
     "set_default_ledger",
+    "ProgressTracker",
+    "EtaEstimator",
+    "validate_status",
+    "read_status",
+    "progress_line",
+    "render_status",
 ]

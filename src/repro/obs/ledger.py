@@ -41,7 +41,7 @@ import uuid
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.obs.metrics import sample_rusage
 
@@ -194,6 +194,30 @@ class RunRecord:
         )
 
 
+def _parse_record_line(line: str) -> RunRecord | None:
+    """One JSONL line → a record, or None for corrupt/blank lines.
+
+    Corrupt lines (a crash mid-append, manual edits) are skipped, not
+    fatal — the ledger is telemetry, and the rest of it stays usable.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        parsed = json.loads(line)
+        if not isinstance(parsed, Mapping):
+            return None  # a JSON value, but not a record object
+        return RunRecord.from_json_dict(parsed)
+    except (json.JSONDecodeError, TypeError, ValueError, KeyError):
+        return None
+
+
+#: Bytes per backwards step of :meth:`Ledger.tail`; large enough that a
+#: typical ``tail -n 10`` completes in one read, small enough that the
+#: cost stays O(tail) on a ledger of any length.
+_TAIL_BLOCK_BYTES = 64 * 1024
+
+
 class Ledger:
     """Append-only JSONL run history under one directory."""
 
@@ -214,28 +238,120 @@ class Ledger:
             handle.write(line + "\n")
         return record
 
-    def records(self) -> list[RunRecord]:
-        """Every readable record, in append (= chronological) order.
-
-        Corrupt lines (a crash mid-append, manual edits) are skipped, not
-        fatal — the ledger is telemetry, and the rest of it stays usable.
-        """
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Yield readable records lazily, in append (= chronological) order."""
         if not self.path.exists():
-            return []
-        out: list[RunRecord] = []
+            return
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    parsed = json.loads(line)
-                    if not isinstance(parsed, Mapping):
-                        continue  # a JSON value, but not a record object
-                    out.append(RunRecord.from_json_dict(parsed))
-                except (json.JSONDecodeError, TypeError, ValueError, KeyError):
-                    continue
-        return out
+                record = _parse_record_line(line)
+                if record is not None:
+                    yield record
+
+    def records(self) -> list[RunRecord]:
+        """Every readable record, in append (= chronological) order."""
+        return list(self.iter_records())
+
+    def tail(self, n: int = 1) -> list[RunRecord]:
+        """The most recent ``n`` readable records (oldest of them first).
+
+        Reads the file **backwards** in fixed-size blocks from the end, so
+        ``obs tail -n 10`` costs O(tail) no matter how many runs the ledger
+        has accumulated — the whole point of an append-only history is that
+        it grows, and the common query must not grow with it.
+        """
+        if n <= 0 or not self.path.exists():
+            return []
+        newest_first: list[RunRecord] = []
+        with self.path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            position = handle.tell()
+            carry = b""
+            while position > 0 and len(newest_first) < n:
+                step = min(_TAIL_BLOCK_BYTES, position)
+                position -= step
+                handle.seek(position)
+                chunk = handle.read(step) + carry
+                lines = chunk.split(b"\n")
+                # Unless this block starts at byte 0, its first element may
+                # be the tail of a line straddling the boundary — defer it.
+                carry = lines.pop(0) if position > 0 else b""
+                for raw in reversed(lines):
+                    record = _parse_record_line(
+                        raw.decode("utf-8", "replace")
+                    )
+                    if record is not None:
+                        newest_first.append(record)
+                        if len(newest_first) == n:
+                            break
+        newest_first.reverse()
+        return newest_first
+
+    def follow(
+        self,
+        poll_seconds: float = 0.5,
+        *,
+        stop: "Callable[[], bool] | None" = None,
+    ) -> Iterator[RunRecord]:
+        """Yield records as they are appended (``repro obs tail --follow``).
+
+        Starts at the current end of the file (use :meth:`tail` first to
+        print history), polls for growth, and only consumes **complete**
+        lines — a record caught mid-append is re-read whole on the next
+        poll.  A truncated/rotated file restarts from the top.  ``stop`` is
+        checked once per poll so tests (and the CLI's signal handling) can
+        end the otherwise-infinite stream.
+        """
+        offset = self.path.stat().st_size if self.path.exists() else 0
+        while True:
+            if self.path.exists():
+                size = self.path.stat().st_size
+                if size < offset:
+                    offset = 0  # rotation/truncation: start over
+                if size > offset:
+                    with self.path.open("rb") as handle:
+                        handle.seek(offset)
+                        while True:
+                            raw = handle.readline()
+                            if not raw or not raw.endswith(b"\n"):
+                                break  # partial append; retry next poll
+                            offset += len(raw)
+                            record = _parse_record_line(
+                                raw.decode("utf-8", "replace")
+                            )
+                            if record is not None:
+                                yield record
+            if stop is not None and stop():
+                return
+            time.sleep(poll_seconds)
+
+    def rotate(self, keep_records: int = 500) -> int:
+        """Drop all but the newest ``keep_records`` records.
+
+        The size cap behind ``repro obs gc`` — an append-only ledger grows
+        without bound otherwise.  The survivors are rewritten through a
+        tmp file + ``os.replace`` so a concurrent reader never observes a
+        half-rotated ledger.  Returns how many records were dropped
+        (corrupt lines are dropped too, silently, as in every read path).
+        """
+        if keep_records < 0:
+            raise ValueError(
+                f"keep_records must be >= 0, got {keep_records}"
+            )
+        records = self.records()
+        if not self.path.exists() or len(records) <= keep_records:
+            return 0
+        survivors = records[len(records) - keep_records:]
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for record in survivors:
+                handle.write(
+                    json.dumps(record.to_json_dict(), default=str) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        return len(records) - len(survivors)
 
     def query(
         self,
@@ -266,24 +382,25 @@ class Ledger:
         return out
 
     def last(self, n: int = 1) -> list[RunRecord]:
-        """The most recent ``n`` records (oldest of them first)."""
-        records = self.records()
-        return records[-n:] if n > 0 else []
+        """The most recent ``n`` records (oldest of them first); O(tail)."""
+        return self.tail(n)
 
     def find(self, token: str) -> RunRecord | None:
         """Resolve a record by run-id prefix or negative index string.
 
-        ``"-1"`` is the latest record, ``"-2"`` the one before, etc.;
-        anything else matches a ``run_id`` prefix (first match wins).
+        ``"-1"`` is the latest record, ``"-2"`` the one before, etc. —
+        resolved via :meth:`tail`, so pointing at a recent run costs
+        O(tail).  Anything else matches a ``run_id`` prefix (first match
+        wins), scanning forward lazily.
         """
-        records = self.records()
         try:
             index = int(token)
         except ValueError:
             index = None
         if index is not None and index < 0:
-            return records[index] if -index <= len(records) else None
-        for record in records:
+            records = self.tail(-index)
+            return records[0] if len(records) == -index else None
+        for record in self.iter_records():
             if record.run_id.startswith(token):
                 return record
         return None

@@ -1,0 +1,756 @@
+"""Live run introspection: progress, heartbeats, stall detection, and ETA.
+
+Traces and ledger records only exist *after* a run returns; until then a
+long mining run is a black box — exactly the wrong shape for the paper's
+findings, which are all about where runtime goes (load imbalance, the
+few-frequent-items ceiling).  This module is the signal plane that makes a
+run observable while it is still running:
+
+* the parent process holds one :class:`ProgressTracker` per run and writes
+  a schema-versioned JSON **status file** under ``.repro/live/<run_id>.json``
+  after every meaningful change (throttled, atomically replaced via
+  tmp + ``os.replace`` — the same discipline as ``ChromeTraceSink.close()``,
+  so a reader never sees a torn document);
+* workers piggyback **heartbeats** (pid, tasks done, peak RSS via
+  :func:`repro.obs.metrics.sample_rusage`, busy/wait seconds) onto every
+  task outcome; the parent folds them into the status file next to the
+  scheduler's own counters (outstanding / stolen / spawned tasks);
+* a parent-side **watchdog** flags any worker whose heartbeat is older
+  than ``stall_timeout`` seconds, asks the worker for a ``faulthandler``
+  traceback dump over ``SIGUSR1`` (guarded — platforms without the signal
+  simply skip the dump), records a ``stall`` event into the trace and the
+  metrics (which reach the ledger), and leaves the kill/respawn decision
+  to the existing per-task timeout fault path;
+* the **ETA** blends observed throughput with a prior (ledger history for
+  the same (config hash, dataset fingerprint), else a cost-model
+  prediction)::
+
+      eta = f * eta_throughput + (1 - f) * max(prior_total - elapsed, 0)
+
+  where ``f = completed / total`` and ``eta_throughput = elapsed *
+  (total - completed) / completed`` — the prior dominates early (when one
+  completed task says nothing) and measurement dominates late.
+
+**Progress fractions are monotone and end at 1.0.**  Work-stealing spawns
+grow the task total mid-run, which would let ``completed / total`` move
+backwards; the tracker clamps the published fraction to its running
+maximum, and :meth:`ProgressTracker.finish` pins the terminal state to
+exactly 1.0.  The property tests treat this as a contract.
+
+**Enablement.**  The live layer is on by default (``repro.mine`` writes a
+status file for every run) because a signal plane that has to be switched
+on is never there when a run hangs.  ``REPRO_LIVE=0`` (or ``off``) is the
+kill switch, any other value relocates the directory; writes never raise —
+a read-only filesystem silently degrades to in-memory tracking.
+
+Status file schema (``LIVE_SCHEMA_VERSION = 1``)::
+
+    {
+      "schema": 1, "run_id": "...", "kind": "mine",
+      "backend": "...", "algorithm": "...", "dataset": "...",
+      "state": "running" | "done" | "failed",
+      "started_unix": ..., "updated_unix": ..., "elapsed_seconds": ...,
+      "progress": {"completed": n, "total": n, "fraction": 0.0..1.0},
+      "eta": {"eta_seconds": ... | null, "source":
+              "throughput" | "history" | "model" | "blend" | null},
+      "workers": [{"worker_id": n, "pid": n, "tasks_done": n,
+                   "rss_bytes": ..., "busy_seconds": ..., "wait_seconds": ...,
+                   "last_heartbeat_unix": ..., "stalled": bool}, ...],
+      "scheduler": {"outstanding": n, "stolen": n, "spawned": n} | null,
+      "stalls": n
+    }
+
+Readers keep loading other schema versions' files (unknown fields ignored)
+— bump the version whenever a field is renamed or changes meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs.metrics import sample_rusage
+
+#: Bumped whenever the status-file layout changes incompatibly.
+LIVE_SCHEMA_VERSION = 1
+
+#: Where per-run status files live, relative to the working directory.
+DEFAULT_LIVE_DIR = Path(".repro") / "live"
+
+#: Environment switch: ``0``/``off`` disables the live layer, ``1``/``on``
+#: (or unset — the live layer is on by default) uses DEFAULT_LIVE_DIR,
+#: anything else is used as the directory.
+LIVE_ENV = "REPRO_LIVE"
+
+#: Seconds without a worker heartbeat before the watchdog flags a stall.
+DEFAULT_STALL_TIMEOUT = 10.0
+
+#: Minimum seconds between status-file writes (forced writes ignore this).
+DEFAULT_WRITE_INTERVAL = 0.25
+
+#: Terminal states a status file can carry.
+TERMINAL_STATES = ("done", "failed")
+
+
+def default_live_dir() -> Path | None:
+    """The status-file directory resolved from :data:`LIVE_ENV`.
+
+    ``None`` means the live layer is disabled.  Unlike the run ledger
+    (default off for library calls), live introspection defaults **on** —
+    unset and ``1``/``on`` both map to :data:`DEFAULT_LIVE_DIR`.
+    """
+    value = os.environ.get(LIVE_ENV, "").strip()
+    if value.lower() in ("0", "off", "false", "no"):
+        return None
+    if value.lower() in ("", "1", "on", "true", "yes"):
+        return DEFAULT_LIVE_DIR
+    return Path(value)
+
+
+def atomic_write_json(path: Path, payload: Mapping[str, Any]) -> bool:
+    """Write ``payload`` as JSON via tmp + ``os.replace``; never raises.
+
+    Returns ``False`` when the write failed (missing permissions, read-only
+    filesystem) so callers can stop trying — telemetry must never break a
+    mining run.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_name(path.name + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=str)
+        os.replace(tmp_path, path)
+        return True
+    except OSError:
+        return False
+
+
+# --------------------------------------------------------------------------
+# ETA estimation
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class EtaEstimator:
+    """Blend observed throughput with a prior total-runtime estimate.
+
+    ``history_seconds`` is the ledger-derived wall time of previous runs
+    with the same (config hash, dataset fingerprint); ``predicted_seconds``
+    is a cost-model prediction.  Measured history beats prediction when
+    both exist.  See the module docstring for the blend formula.
+    """
+
+    history_seconds: float | None = None
+    predicted_seconds: float | None = None
+
+    def prior(self) -> tuple[float, str] | None:
+        if self.history_seconds is not None and self.history_seconds > 0:
+            return float(self.history_seconds), "history"
+        if self.predicted_seconds is not None and self.predicted_seconds > 0:
+            return float(self.predicted_seconds), "model"
+        return None
+
+    def estimate(
+        self, elapsed: float, completed: int, total: int
+    ) -> tuple[float | None, str | None]:
+        """``(eta_seconds, source)`` — ``(None, None)`` when unknowable."""
+        prior = self.prior()
+        throughput: float | None = None
+        if completed > 0 and total > completed:
+            throughput = elapsed * (total - completed) / completed
+        elif completed > 0 and total > 0:
+            throughput = 0.0  # everything accounted for
+        if throughput is None:
+            if prior is None:
+                return None, None
+            prior_seconds, source = prior
+            return max(prior_seconds - elapsed, 0.0), source
+        if prior is None:
+            return throughput, "throughput"
+        prior_seconds, _ = prior
+        fraction = completed / total if total else 1.0
+        blended = (
+            fraction * throughput
+            + (1.0 - fraction) * max(prior_seconds - elapsed, 0.0)
+        )
+        return blended, "blend"
+
+
+def history_seconds(
+    ledger, config_hash: str, dataset_sha: str, *, scan: int = 128
+) -> float | None:
+    """Median wall seconds of recent ledger runs matching config + dataset.
+
+    Scans only the ledger tail (``scan`` records) so the lookup stays
+    O(tail) no matter how long the history is.  Returns ``None`` when no
+    comparable run exists or the ledger is unreadable.
+    """
+    try:
+        records = ledger.tail(scan)
+    except Exception:
+        return None
+    walls = sorted(
+        record.wall_seconds
+        for record in records
+        if record.config_hash == config_hash
+        and record.dataset.get("sha256") == dataset_sha
+        and record.wall_seconds > 0
+    )
+    if not walls:
+        return None
+    return walls[len(walls) // 2]
+
+
+# --------------------------------------------------------------------------
+# The parent-side tracker
+# --------------------------------------------------------------------------
+
+
+class ProgressTracker:
+    """One run's live status: progress, heartbeats, stalls, ETA.
+
+    The single-writer model mirrors the backends' dispatch design: only the
+    orchestrating (parent) process mutates a tracker, so no locking is
+    needed and every status file is internally consistent.  All update
+    methods are cheap (dict writes); the only I/O is the throttled
+    :meth:`write`.
+
+    ``path=None`` keeps the tracker purely in-memory — ``repro mine
+    --progress`` still renders from it when the status directory is
+    disabled or unwritable.
+    """
+
+    def __init__(
+        self,
+        *,
+        run_id: str | None = None,
+        kind: str = "mine",
+        backend: str = "",
+        algorithm: str = "",
+        dataset: str = "",
+        path: str | Path | None = None,
+        directory: str | Path | None = None,
+        eta: EtaEstimator | None = None,
+        stall_timeout: float | None = DEFAULT_STALL_TIMEOUT,
+        min_write_interval: float = DEFAULT_WRITE_INTERVAL,
+        on_update: Callable[[dict], None] | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.kind = kind
+        self.backend = backend
+        self.algorithm = algorithm
+        self.dataset = dataset
+        if path is None and directory is not None:
+            path = Path(directory) / f"{self.run_id}.json"
+        self.path = Path(path) if path is not None else None
+        self.eta = eta or EtaEstimator()
+        self.stall_timeout = stall_timeout
+        self.min_write_interval = min_write_interval
+        self.on_update = on_update
+
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        self._total = 0
+        self._completed = 0
+        self._fraction = 0.0
+        self._state = "running"
+        self._workers: dict[int, dict[str, Any]] = {}
+        self._scheduler: dict[str, int] | None = None
+        self._stalls = 0
+        self._last_write = float("-inf")
+        self._write_failed = False
+
+    # -- progress accounting -------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def fraction(self) -> float:
+        """The published fraction: monotone, clamped to [0, 1]."""
+        return self._fraction
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def stalls(self) -> int:
+        return self._stalls
+
+    def _recompute(self) -> None:
+        if self._total > 0:
+            raw = min(self._completed / self._total, 1.0)
+            # Spawned tasks grow the total mid-run; never publish a smaller
+            # fraction than a reader has already seen.
+            if raw > self._fraction:
+                self._fraction = raw
+
+    def add_total(self, n: int) -> None:
+        """Grow the task total (new generation, worksteal spawns)."""
+        if n <= 0:
+            return
+        self._total += n
+        self._recompute()
+        self.write()
+
+    def task_done(self, n: int = 1, *, worker_id: int | None = None) -> None:
+        if n <= 0:
+            return
+        self._completed += n
+        if worker_id is not None:
+            entry = self._worker(worker_id)
+            entry["tasks_done"] = entry.get("tasks_done", 0) + n
+        self._recompute()
+        self.write()
+
+    # -- heartbeats and stalls ----------------------------------------------
+
+    def _worker(self, worker_id: int) -> dict[str, Any]:
+        entry = self._workers.get(worker_id)
+        if entry is None:
+            entry = self._workers[worker_id] = {
+                "worker_id": worker_id,
+                "pid": None,
+                "tasks_done": 0,
+                "rss_bytes": 0.0,
+                "busy_seconds": 0.0,
+                "wait_seconds": 0.0,
+                "last_heartbeat_unix": 0.0,
+                "stalled": False,
+            }
+        return entry
+
+    def heartbeat(
+        self, worker_id: int, beat: Mapping[str, Any] | None = None
+    ) -> None:
+        """Record one worker heartbeat (see :func:`worker_heartbeat`).
+
+        A beat clears the worker's stall flag — progress after a stall means
+        the worker recovered (or was respawned), and the watchdog may flag
+        it again later.  Malformed beats are dropped field-by-field; a bad
+        value can cost a reading, never the run.
+        """
+        entry = self._worker(worker_id)
+        entry["last_heartbeat_unix"] = time.time()
+        entry["stalled"] = False
+        if beat is None:
+            self.write()
+            return
+        for key in ("pid", "tasks_done"):
+            try:
+                if beat.get(key) is not None:
+                    entry[key] = int(beat[key])
+            except (TypeError, ValueError):
+                pass
+        for key in ("rss_bytes", "busy_seconds", "wait_seconds"):
+            try:
+                if beat.get(key) is not None:
+                    entry[key] = float(beat[key])
+            except (TypeError, ValueError):
+                pass
+        self.write()
+
+    def record_stall(self, worker_id: int) -> None:
+        """Flag a worker as stalled; forces a status write (it's an event)."""
+        entry = self._worker(worker_id)
+        entry["stalled"] = True
+        self._stalls += 1
+        self.write(force=True)
+
+    def scheduler_update(
+        self, *, outstanding: int, stolen: int = 0, spawned: int = 0
+    ) -> None:
+        """Publish the scheduler's view (worksteal deques + in-flight)."""
+        self._scheduler = {
+            "outstanding": int(outstanding),
+            "stolen": int(stolen),
+            "spawned": int(spawned),
+        }
+        self.write()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self, state: str = "done") -> None:
+        """Enter a terminal state; ``done`` pins the fraction to exactly 1.0."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"state must be one of {TERMINAL_STATES}")
+        self._state = state
+        if state == "done":
+            if self._total == 0:
+                # Backends without inner progress (serial, vectorized) jump
+                # 0 -> 1 at completion; publish a consistent 1/1.
+                self._total = self._completed = max(1, self._completed)
+            else:
+                self._completed = max(self._completed, self._total)
+            self._fraction = 1.0
+        self.write(force=True)
+
+    # -- rendering -----------------------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def status(self) -> dict[str, Any]:
+        """The schema-versioned status document (what lands in the file)."""
+        elapsed = self.elapsed_seconds()
+        if self._state in TERMINAL_STATES:
+            eta_seconds: float | None = 0.0 if self._state == "done" else None
+            source: str | None = None
+        else:
+            eta_seconds, source = self.eta.estimate(
+                elapsed, self._completed, self._total
+            )
+        return {
+            "schema": LIVE_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "state": self._state,
+            "started_unix": self._started_unix,
+            "updated_unix": time.time(),
+            "elapsed_seconds": elapsed,
+            "progress": {
+                "completed": self._completed,
+                "total": self._total,
+                "fraction": self._fraction,
+            },
+            "eta": {"eta_seconds": eta_seconds, "source": source},
+            "workers": [
+                dict(self._workers[wid]) for wid in sorted(self._workers)
+            ],
+            "scheduler": (
+                dict(self._scheduler) if self._scheduler is not None else None
+            ),
+            "stalls": self._stalls,
+        }
+
+    def write(self, force: bool = False) -> None:
+        """Publish the current status (throttled; never raises)."""
+        now = time.monotonic()
+        if not force and now - self._last_write < self.min_write_interval:
+            return
+        self._last_write = now
+        document = self.status()
+        if self.path is not None and not self._write_failed:
+            if not atomic_write_json(self.path, document):
+                self._write_failed = True  # stop retrying a dead filesystem
+        if self.on_update is not None:
+            try:
+                self.on_update(document)
+            except Exception:
+                self.on_update = None  # a broken renderer never kills a run
+
+    def stack_dump_path(self) -> Path | None:
+        """Where workers dump tracebacks on a stall (next to the status)."""
+        if self.path is None:
+            return None
+        return self.path.with_name(self.path.stem + ".stacks.txt")
+
+
+# --------------------------------------------------------------------------
+# Worker-side helpers
+# --------------------------------------------------------------------------
+
+
+def worker_heartbeat(
+    tasks_done: int, busy_seconds: float = 0.0, wait_seconds: float = 0.0
+) -> dict[str, Any]:
+    """The heartbeat dict a worker piggybacks onto each task outcome.
+
+    Deliberately tiny and cheap (one ``getrusage`` call) — it rides every
+    result message, so its cost must stay in the noise.
+    """
+    return {
+        "pid": os.getpid(),
+        "tasks_done": int(tasks_done),
+        "rss_bytes": sample_rusage()["max_rss_bytes"],
+        "busy_seconds": float(busy_seconds),
+        "wait_seconds": float(wait_seconds),
+    }
+
+
+#: Keeps dump-file handles alive for the lifetime of the worker process
+#: (``faulthandler.register`` writes through the raw fd at signal time).
+_DUMP_HANDLES: list[Any] = []
+
+
+def install_stack_dump_handler(path: str | Path) -> bool:
+    """Register a ``faulthandler`` traceback dump on ``SIGUSR1``.
+
+    Returns ``False`` (and installs nothing) on platforms without
+    ``SIGUSR1`` / ``faulthandler.register`` (e.g. Windows) or when the dump
+    file cannot be opened — stall detection then proceeds without dumps.
+    """
+    try:
+        import faulthandler
+        import signal
+    except ImportError:  # pragma: no cover - faulthandler is stdlib
+        return False
+    if not hasattr(signal, "SIGUSR1") or not hasattr(faulthandler, "register"):
+        return False  # pragma: no cover - platform-dependent
+    try:
+        handle = open(path, "a", encoding="utf-8")
+    except OSError:
+        return False
+    _DUMP_HANDLES.append(handle)
+    faulthandler.register(signal.SIGUSR1, file=handle, all_threads=True)
+    return True
+
+
+def request_stack_dump(pid: int | None) -> bool:
+    """Ask a worker (by pid) to dump its stacks; best-effort, never raises."""
+    if pid is None:
+        return False
+    try:
+        import signal
+    except ImportError:  # pragma: no cover
+        return False
+    if not hasattr(signal, "SIGUSR1"):
+        return False  # pragma: no cover - platform-dependent
+    try:
+        os.kill(pid, signal.SIGUSR1)
+        return True
+    except (OSError, ProcessLookupError):
+        return False
+
+
+# --------------------------------------------------------------------------
+# Reading status files (CLI `obs watch`, CI schema gate)
+# --------------------------------------------------------------------------
+
+
+def validate_status(document: Any) -> None:
+    """Raise ``ValueError`` when a status document violates the schema.
+
+    The CI smoke job runs every ``.repro/live/*.json`` a run produced
+    through this — the schema is a published contract, not an internal
+    detail.
+    """
+    problems: list[str] = []
+    if not isinstance(document, Mapping):
+        raise ValueError("status document must be a JSON object")
+    if document.get("schema") != LIVE_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {LIVE_SCHEMA_VERSION}, got "
+            f"{document.get('schema')!r}"
+        )
+    for key in ("run_id", "kind", "backend", "algorithm", "dataset", "state"):
+        if not isinstance(document.get(key), str):
+            problems.append(f"{key} must be a string")
+    if document.get("state") not in ("running", *TERMINAL_STATES):
+        problems.append(f"state {document.get('state')!r} is not valid")
+    for key in ("started_unix", "updated_unix", "elapsed_seconds"):
+        if not isinstance(document.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    progress = document.get("progress")
+    if not isinstance(progress, Mapping):
+        problems.append("progress must be an object")
+    else:
+        for key in ("completed", "total"):
+            value = progress.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"progress.{key} must be a non-negative int")
+        fraction = progress.get("fraction")
+        if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+            problems.append("progress.fraction must be within [0, 1]")
+        elif document.get("state") == "done" and fraction != 1.0:
+            problems.append("a 'done' run must report fraction == 1.0")
+    eta = document.get("eta")
+    if not isinstance(eta, Mapping):
+        problems.append("eta must be an object")
+    else:
+        eta_seconds = eta.get("eta_seconds")
+        if eta_seconds is not None and (
+            not isinstance(eta_seconds, (int, float)) or eta_seconds < 0
+        ):
+            problems.append("eta.eta_seconds must be null or >= 0")
+    workers = document.get("workers")
+    if not isinstance(workers, list):
+        problems.append("workers must be a list")
+    else:
+        for index, worker in enumerate(workers):
+            if not isinstance(worker, Mapping):
+                problems.append(f"workers[{index}] must be an object")
+                continue
+            if not isinstance(worker.get("worker_id"), int):
+                problems.append(f"workers[{index}].worker_id must be an int")
+            if not isinstance(worker.get("stalled"), bool):
+                problems.append(f"workers[{index}].stalled must be a bool")
+    if not isinstance(document.get("stalls"), int):
+        problems.append("stalls must be an int")
+    if problems:
+        raise ValueError("; ".join(problems))
+
+
+def read_status(path: str | Path) -> dict[str, Any] | None:
+    """Load one status file; ``None`` when missing or unparseable."""
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def list_status_files(directory: str | Path = DEFAULT_LIVE_DIR) -> list[Path]:
+    """Status files in the directory, oldest first by modification time."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    files = [
+        path for path in root.glob("*.json") if not path.name.endswith(".tmp")
+    ]
+    return sorted(files, key=lambda path: (path.stat().st_mtime, path.name))
+
+
+def find_status(
+    token: str, directory: str | Path = DEFAULT_LIVE_DIR
+) -> Path | None:
+    """Resolve a status file by run-id prefix or negative index.
+
+    ``"-1"`` is the most recently updated run, ``"-2"`` the one before;
+    anything else matches a run-id (filename) prefix.
+    """
+    files = list_status_files(directory)
+    try:
+        index = int(token)
+    except ValueError:
+        index = None
+    if index is not None and index < 0:
+        return files[index] if -index <= len(files) else None
+    for path in files:
+        if path.stem.startswith(token):
+            return path
+    return None
+
+
+def prune_status_files(
+    directory: str | Path = DEFAULT_LIVE_DIR, *, keep: int = 50
+) -> int:
+    """Delete all but the newest ``keep`` status files (plus their dumps).
+
+    Returns how many files were removed.  Part of ``repro obs gc`` — live
+    status files are per-run, so without rotation the directory grows
+    unboundedly just like the ledger.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    files = list_status_files(directory)
+    removed = 0
+    for path in files[: max(0, len(files) - keep)]:
+        for victim in (path, path.with_name(path.stem + ".stacks.txt")):
+            try:
+                victim.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# --------------------------------------------------------------------------
+# Plain-text rendering (CLI `mine --progress`, `obs watch`)
+# --------------------------------------------------------------------------
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _fmt_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}"
+        value /= 1024
+    return f"{value:.0f}GiB"  # pragma: no cover - unreachable
+
+
+def progress_line(document: Mapping[str, Any]) -> str:
+    """One-line form for ``repro mine --progress`` (stderr-friendly)."""
+    progress = document.get("progress") or {}
+    eta = document.get("eta") or {}
+    completed = progress.get("completed", 0)
+    total = progress.get("total", 0)
+    fraction = progress.get("fraction", 0.0)
+    parts = [
+        f"{document.get('algorithm', '?')}/{document.get('backend', '?')}",
+        f"{completed}/{total}" if total else f"{completed} tasks",
+        f"{fraction * 100:5.1f}%",
+        f"elapsed {_fmt_seconds(document.get('elapsed_seconds'))}",
+    ]
+    if eta.get("eta_seconds") is not None:
+        parts.append(
+            f"eta ~{_fmt_seconds(eta['eta_seconds'])}"
+            + (f" ({eta['source']})" if eta.get("source") else "")
+        )
+    if document.get("stalls"):
+        parts.append(f"stalls={document['stalls']}")
+    if document.get("state") in TERMINAL_STATES:
+        parts.append(document["state"])
+    return "  ".join(parts)
+
+
+def render_status(document: Mapping[str, Any], *, width: int = 30) -> str:
+    """Multi-line plain-text view for ``repro obs watch``."""
+    progress = document.get("progress") or {}
+    fraction = float(progress.get("fraction", 0.0) or 0.0)
+    filled = int(round(min(max(fraction, 0.0), 1.0) * width))
+    bar = "#" * filled + "." * (width - filled)
+    lines = [
+        f"run {document.get('run_id', '?')}  "
+        f"{document.get('algorithm', '?')}/{document.get('backend', '?')} "
+        f"on {document.get('dataset', '?')}  [{document.get('state', '?')}]",
+        f"progress  [{bar}]  {progress.get('completed', 0)}"
+        f"/{progress.get('total', 0)}  ({fraction * 100:.1f}%)   "
+        f"elapsed {_fmt_seconds(document.get('elapsed_seconds'))}   "
+        + (
+            "eta ~"
+            + _fmt_seconds((document.get("eta") or {}).get("eta_seconds"))
+            + (
+                f" ({(document.get('eta') or {}).get('source')})"
+                if (document.get("eta") or {}).get("source")
+                else ""
+            )
+            if (document.get("eta") or {}).get("eta_seconds") is not None
+            else "eta ?"
+        ),
+    ]
+    workers: Iterable[Mapping[str, Any]] = document.get("workers") or []
+    for worker in workers:
+        flag = "  ** STALLED **" if worker.get("stalled") else ""
+        lines.append(
+            f"worker {worker.get('worker_id', '?')}  "
+            f"pid {worker.get('pid', '?')}  "
+            f"tasks {worker.get('tasks_done', 0)}  "
+            f"rss {_fmt_bytes(worker.get('rss_bytes', 0.0) or 0.0)}  "
+            f"busy {_fmt_seconds(worker.get('busy_seconds', 0.0) or 0.0)}"
+            f"{flag}"
+        )
+    scheduler = document.get("scheduler")
+    if scheduler:
+        lines.append(
+            f"scheduler  outstanding={scheduler.get('outstanding', 0)}  "
+            f"stolen={scheduler.get('stolen', 0)}  "
+            f"spawned={scheduler.get('spawned', 0)}"
+        )
+    lines.append(f"stalls {document.get('stalls', 0)}")
+    return "\n".join(lines)

@@ -197,6 +197,19 @@ class WorkStealScheduler:
         """Current per-worker deque lengths (telemetry/tests)."""
         return [len(pending) for pending in self._deques]
 
+    def live_snapshot(self, in_flight: int = 0) -> dict[str, int]:
+        """The scheduler's view for the live status plane.
+
+        ``in_flight`` is the caller's count of dispatched-but-unreported
+        tasks (the scheduler never sees those); ``outstanding`` therefore
+        matches the termination condition: 0 means the run is about to end.
+        """
+        return {
+            "outstanding": self.pending_count() + int(in_flight),
+            "stolen": self.stats.stolen_tasks,
+            "spawned": self.stats.spawned,
+        }
+
     def record_counters(self, obs, prefix: str = "worksteal") -> None:
         """Write the stats into an ObsContext's registry (None is a no-op).
 

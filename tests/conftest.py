@@ -27,6 +27,17 @@ def _no_ambient_run_ledger(monkeypatch):
     reset_default_ledger()
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_live_status(monkeypatch):
+    """Keep tests from writing ``.repro/live`` status files under the repo.
+
+    The live layer is on by default (unlike the ledger), so every
+    ``repro.mine`` call in the suite would otherwise litter the working
+    directory; tests that want a tracker pass ``live=`` explicitly.
+    """
+    monkeypatch.setenv("REPRO_LIVE", "0")
+
+
 @pytest.fixture
 def tiny_db() -> TransactionDatabase:
     """The running example: 5 transactions over items {1, 2, 3}."""

@@ -102,6 +102,118 @@ class TestRoundTrip:
         assert ledger.find("zzzzzz") is None
 
 
+class TestTailFollowRotate:
+    """The O(tail) read path and the size caps behind ``repro obs gc``."""
+
+    def test_tail_is_the_records_suffix(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for i in range(7):
+            ledger.append(_record(i))
+        everything = ledger.records()
+        for n in (1, 3, 7, 50):
+            tail = ledger.tail(n)
+            assert [r.run_id for r in tail] == [
+                r.run_id for r in everything[-n:]
+            ]
+        assert ledger.tail(0) == []
+        assert ledger.last(2) == ledger.tail(2)  # same semantics
+
+    def test_tail_crosses_block_boundaries(self, tmp_path, monkeypatch):
+        """Records straddling the backwards-read block boundary must still
+        parse — the carry logic, exercised with a tiny block size."""
+        import repro.obs.ledger as ledger_mod
+
+        monkeypatch.setattr(ledger_mod, "_TAIL_BLOCK_BYTES", 64)
+        ledger = Ledger(tmp_path)
+        for i in range(20):
+            ledger.append(_record(i))
+        walls = [r.wall_seconds for r in ledger.tail(5)]
+        assert walls == [pytest.approx(0.5 + i) for i in range(15, 20)]
+
+    def test_tail_skips_corrupt_lines(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(_record(0))
+        with ledger.path.open("a") as handle:
+            handle.write("{torn by a crash\n[]\n\n")
+        ledger.append(_record(1))
+        assert [r.wall_seconds for r in ledger.tail(2)] == [
+            pytest.approx(0.5), pytest.approx(1.5),
+        ]
+
+    def test_tail_missing_file(self, tmp_path):
+        assert Ledger(tmp_path / "never").tail(3) == []
+
+    def test_follow_yields_only_new_records(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(_record(0))  # precedes follow() -> never yielded
+        seen: list[RunRecord] = []
+        polls = [0]
+
+        def stop() -> bool:
+            polls[0] += 1
+            if polls[0] == 1:
+                ledger.append(_record(1))
+                ledger.append(_record(2))
+            return polls[0] > 3 or len(seen) >= 2
+
+        for record in ledger.follow(poll_seconds=0.01, stop=stop):
+            seen.append(record)
+        assert [r.wall_seconds for r in seen] == [
+            pytest.approx(1.5), pytest.approx(2.5),
+        ]
+
+    def test_follow_ignores_partial_appends(self, tmp_path):
+        """A record caught mid-append (no trailing newline yet) is not
+        consumed until the line is complete."""
+        ledger = Ledger(tmp_path)
+        ledger.root.mkdir(parents=True, exist_ok=True)
+        ledger.path.write_text("")
+        seen: list[RunRecord] = []
+        polls = [0]
+        full_line = json.dumps(_record(1).to_json_dict(), default=str) + "\n"
+
+        def stop() -> bool:
+            polls[0] += 1
+            if polls[0] == 1:
+                with ledger.path.open("a") as handle:
+                    handle.write(full_line[:20])  # torn write
+            elif polls[0] == 2:
+                assert seen == []  # the torn half must not have been parsed
+                with ledger.path.open("a") as handle:
+                    handle.write(full_line[20:])
+            return polls[0] > 4 or len(seen) >= 1
+
+        for record in ledger.follow(poll_seconds=0.01, stop=stop):
+            seen.append(record)
+        assert len(seen) == 1
+        assert seen[0].wall_seconds == pytest.approx(1.5)
+
+    def test_rotate_caps_and_keeps_newest(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for i in range(6):
+            ledger.append(_record(i))
+        assert ledger.rotate(keep_records=2) == 4
+        assert [r.wall_seconds for r in ledger.records()] == [
+            pytest.approx(4.5), pytest.approx(5.5),
+        ]
+        assert ledger.rotate(keep_records=2) == 0  # already under the cap
+        assert not ledger.path.with_name(
+            ledger.path.name + ".tmp"
+        ).exists()
+
+    def test_rotate_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            Ledger(tmp_path).rotate(keep_records=-1)
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for i in range(3):
+            ledger.append(_record(i))
+        iterator = ledger.iter_records()
+        first = next(iterator)
+        assert first.wall_seconds == pytest.approx(0.5)
+
+
 class TestSchemaVersioning:
     def test_records_are_stamped(self, tmp_path):
         ledger = Ledger(tmp_path)

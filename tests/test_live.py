@@ -1,0 +1,486 @@
+"""repro.obs.live — progress, heartbeats, stall detection, and ETA.
+
+Covers the tracker contract (monotone fractions ending at exactly 1.0 — a
+hypothesis property), the ETA blend, the status-file schema + atomic-write
+discipline, the stall watchdog end-to-end against the shared-memory
+backend's fault-injection harness, and the CLI surface (``mine
+--progress``, ``obs watch``, ``obs gc``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.datasets.fimi import write_fimi
+from repro.obs import ObsContext
+from repro.obs.ledger import Ledger, RunRecord
+from repro.obs.live import (
+    DEFAULT_LIVE_DIR,
+    LIVE_SCHEMA_VERSION,
+    EtaEstimator,
+    ProgressTracker,
+    atomic_write_json,
+    default_live_dir,
+    find_status,
+    history_seconds,
+    list_status_files,
+    progress_line,
+    prune_status_files,
+    read_status,
+    render_status,
+    validate_status,
+    worker_heartbeat,
+)
+from repro.obs.trace import InMemorySink
+
+
+def _shm_segments() -> set[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available on this platform")
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture
+def no_shm_leak():
+    before = _shm_segments()
+    yield
+    assert _shm_segments() - before == set()
+
+
+def _tracker(**overrides) -> ProgressTracker:
+    """An in-memory tracker with throttling off (tests drive every write)."""
+    fields = dict(backend="test", algorithm="eclat", dataset="tiny",
+                  min_write_interval=0.0)
+    fields.update(overrides)
+    return ProgressTracker(**fields)
+
+
+class TestEtaEstimator:
+    def test_nothing_known(self):
+        assert EtaEstimator().estimate(1.0, 0, 0) == (None, None)
+
+    def test_throughput_only(self):
+        eta, source = EtaEstimator().estimate(10.0, 5, 10)
+        assert eta == pytest.approx(10.0)
+        assert source == "throughput"
+
+    def test_all_done_is_zero(self):
+        eta, _ = EtaEstimator().estimate(10.0, 10, 10)
+        assert eta == 0.0
+
+    def test_prior_before_first_completion(self):
+        eta, source = EtaEstimator(history_seconds=100.0).estimate(30.0, 0, 10)
+        assert eta == pytest.approx(70.0)
+        assert source == "history"
+
+    def test_model_prior_when_no_history(self):
+        eta, source = EtaEstimator(predicted_seconds=50.0).estimate(10.0, 0, 4)
+        assert eta == pytest.approx(40.0)
+        assert source == "model"
+
+    def test_history_beats_model(self):
+        estimator = EtaEstimator(history_seconds=100.0, predicted_seconds=5.0)
+        assert estimator.prior() == (100.0, "history")
+
+    def test_blend_weights_by_fraction(self):
+        # throughput = 10 * 8 / 2 = 40; prior remainder = 100 - 10 = 90;
+        # f = 0.2 -> 0.2 * 40 + 0.8 * 90 = 80.
+        eta, source = EtaEstimator(history_seconds=100.0).estimate(10.0, 2, 10)
+        assert eta == pytest.approx(80.0)
+        assert source == "blend"
+
+    def test_exhausted_prior_never_negative(self):
+        eta, _ = EtaEstimator(history_seconds=5.0).estimate(60.0, 1, 10)
+        assert eta >= 0.0
+
+
+class TestHistorySeconds:
+    def _append(self, ledger, wall, config=None, sha="datasha"):
+        ledger.append(RunRecord(
+            kind="mine",
+            config=config or {"algorithm": "eclat", "min_support": 2},
+            dataset={"name": "tiny", "n_transactions": 5, "n_items": 3,
+                     "sha256": sha},
+            wall_seconds=wall, cpu_seconds=wall, max_rss_bytes=0,
+            n_itemsets=1,
+        ))
+
+    def test_median_of_matching_runs(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for wall in (1.0, 9.0, 2.0):
+            self._append(ledger, wall)
+        self._append(ledger, 100.0, config={"algorithm": "apriori"})
+        self._append(ledger, 100.0, sha="othersha")
+        match = ledger.records()[0].config_hash
+        assert history_seconds(ledger, match, "datasha") == pytest.approx(2.0)
+
+    def test_no_match_is_none(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        self._append(ledger, 1.0)
+        assert history_seconds(ledger, "nope", "datasha") is None
+        assert history_seconds(Ledger(tmp_path / "never"), "x", "y") is None
+
+
+class TestProgressTracker:
+    def test_fraction_monotone_under_mid_run_spawns(self):
+        tracker = _tracker()
+        tracker.add_total(4)
+        tracker.task_done(3)
+        assert tracker.fraction == pytest.approx(0.75)
+        # Worksteal spawns grow the total; the published fraction must not
+        # move backwards.
+        tracker.add_total(4)
+        assert tracker.fraction == pytest.approx(0.75)
+        tracker.task_done(5)
+        assert tracker.fraction == 1.0
+
+    def test_finish_done_pins_one_even_without_totals(self):
+        tracker = _tracker()
+        tracker.finish("done")
+        document = tracker.status()
+        assert document["state"] == "done"
+        assert document["progress"]["fraction"] == 1.0
+        assert document["progress"]["total"] >= 1
+        validate_status(document)
+
+    def test_finish_failed_keeps_partial_fraction(self):
+        tracker = _tracker()
+        tracker.add_total(4)
+        tracker.task_done(1)
+        tracker.finish("failed")
+        document = tracker.status()
+        assert document["state"] == "failed"
+        assert document["progress"]["fraction"] == pytest.approx(0.25)
+        validate_status(document)
+
+    def test_finish_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            _tracker().finish("paused")
+
+    def test_status_file_written_atomically(self, tmp_path):
+        tracker = _tracker(directory=tmp_path)
+        tracker.add_total(2)
+        tracker.task_done(1)
+        document = read_status(tracker.path)
+        validate_status(document)
+        assert document["run_id"] == tracker.run_id
+        assert document["schema"] == LIVE_SCHEMA_VERSION
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_heartbeat_merges_and_drops_malformed_fields(self):
+        tracker = _tracker()
+        beat = worker_heartbeat(tasks_done=3, busy_seconds=1.5)
+        beat["rss_bytes"] = "garbage"  # a bad value costs a reading, not the run
+        tracker.heartbeat(0, beat)
+        [worker] = tracker.status()["workers"]
+        assert worker["pid"] == os.getpid()
+        assert worker["tasks_done"] == 3
+        assert worker["busy_seconds"] == pytest.approx(1.5)
+        assert worker["rss_bytes"] == 0.0
+
+    def test_stall_flag_set_and_cleared_by_heartbeat(self):
+        tracker = _tracker()
+        tracker.heartbeat(1)
+        tracker.record_stall(1)
+        assert tracker.stalls == 1
+        assert tracker.status()["workers"][0]["stalled"] is True
+        tracker.heartbeat(1)  # recovery clears the flag, keeps the count
+        assert tracker.status()["workers"][0]["stalled"] is False
+        assert tracker.status()["stalls"] == 1
+
+    def test_write_throttling_and_force(self, tmp_path):
+        tracker = _tracker(directory=tmp_path, min_write_interval=3600.0)
+        tracker.add_total(10)  # first write lands
+        tracker.task_done(4)   # throttled away
+        assert read_status(tracker.path)["progress"]["completed"] == 0
+        tracker.write(force=True)
+        assert read_status(tracker.path)["progress"]["completed"] == 4
+
+    def test_broken_renderer_never_kills_the_run(self):
+        def bad_renderer(document):
+            raise RuntimeError("terminal went away")
+
+        tracker = _tracker(on_update=bad_renderer)
+        tracker.add_total(1)  # first callback blows up -> renderer dropped
+        tracker.task_done(1)
+        assert tracker.on_update is None
+        assert tracker.fraction == 1.0
+
+    def test_unwritable_directory_degrades_to_in_memory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should go")
+        tracker = _tracker(directory=blocker / "sub")
+        tracker.add_total(2)
+        tracker.task_done(2)
+        tracker.finish("done")  # no raise; tracking still works
+        assert tracker.fraction == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["add_total", "task_done"]),
+                  st.integers(min_value=1, max_value=5)),
+        max_size=30,
+    ))
+    def test_property_fractions_monotone_and_end_at_one(self, ops):
+        """The module contract: published fractions never move backwards and
+        every completed run ends at exactly 1.0."""
+        tracker = _tracker()
+        seen = [tracker.fraction]
+        for op, n in ops:
+            getattr(tracker, op)(n)
+            seen.append(tracker.fraction)
+        tracker.finish("done")
+        seen.append(tracker.fraction)
+        assert all(later >= earlier for earlier, later in zip(seen, seen[1:]))
+        assert all(0.0 <= value <= 1.0 for value in seen)
+        assert seen[-1] == 1.0
+        validate_status(tracker.status())
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "status.json"
+        assert atomic_write_json(path, {"x": 1}) is True
+        assert json.loads(path.read_text()) == {"x": 1}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failure_returns_false(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert atomic_write_json(blocker / "sub" / "x.json", {}) is False
+
+
+class TestValidateStatus:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_status([1, 2, 3])
+
+    def test_rejects_wrong_schema(self):
+        document = _tracker().status()
+        document["schema"] = LIVE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            validate_status(document)
+
+    def test_rejects_out_of_range_fraction(self):
+        document = _tracker().status()
+        document["progress"]["fraction"] = 1.5
+        with pytest.raises(ValueError, match="fraction"):
+            validate_status(document)
+
+    def test_rejects_done_below_one(self):
+        tracker = _tracker()
+        tracker.finish("done")
+        document = tracker.status()
+        document["progress"]["fraction"] = 0.5
+        with pytest.raises(ValueError, match="done"):
+            validate_status(document)
+
+    def test_rejects_bad_workers(self):
+        document = _tracker().status()
+        document["workers"] = [{"worker_id": "zero", "stalled": "nope"}]
+        with pytest.raises(ValueError, match="worker"):
+            validate_status(document)
+
+
+class TestStatusFiles:
+    def _write(self, directory, run_id, mtime):
+        tracker = _tracker(run_id=run_id, directory=directory)
+        tracker.write(force=True)
+        os.utime(tracker.path, (mtime, mtime))
+        return tracker.path
+
+    def test_find_by_prefix_and_index(self, tmp_path):
+        old = self._write(tmp_path, "aaa111", 100)
+        new = self._write(tmp_path, "bbb222", 200)
+        assert list_status_files(tmp_path) == [old, new]
+        assert find_status("-1", tmp_path) == new
+        assert find_status("-2", tmp_path) == old
+        assert find_status("-3", tmp_path) is None
+        assert find_status("aaa", tmp_path) == old
+        assert find_status("zzz", tmp_path) is None
+
+    def test_prune_keeps_newest_and_removes_dumps(self, tmp_path):
+        victim = self._write(tmp_path, "aaa111", 100)
+        victim.with_name("aaa111.stacks.txt").write_text("dump")
+        survivor = self._write(tmp_path, "bbb222", 200)
+        assert prune_status_files(tmp_path, keep=1) == 2
+        assert list_status_files(tmp_path) == [survivor]
+        assert not victim.with_name("aaa111.stacks.txt").exists()
+        with pytest.raises(ValueError):
+            prune_status_files(tmp_path, keep=-1)
+
+    def test_read_status_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{torn write")
+        assert read_status(path) is None
+        assert read_status(tmp_path / "missing.json") is None
+
+    def test_default_dir_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LIVE", "0")
+        assert default_live_dir() is None
+        monkeypatch.setenv("REPRO_LIVE", "off")
+        assert default_live_dir() is None
+        monkeypatch.delenv("REPRO_LIVE")
+        assert default_live_dir() == DEFAULT_LIVE_DIR  # on by default
+        monkeypatch.setenv("REPRO_LIVE", "on")
+        assert default_live_dir() == DEFAULT_LIVE_DIR
+        monkeypatch.setenv("REPRO_LIVE", "/elsewhere/live")
+        assert str(default_live_dir()) == "/elsewhere/live"
+
+
+class TestRendering:
+    def test_progress_line_is_one_line(self):
+        tracker = _tracker()
+        tracker.add_total(4)
+        tracker.task_done(1)
+        line = progress_line(tracker.status())
+        assert "\n" not in line
+        assert "1/4" in line and "25.0%" in line
+
+    def test_render_status_flags_stalls(self):
+        tracker = _tracker()
+        tracker.add_total(2)
+        tracker.heartbeat(0, worker_heartbeat(tasks_done=1))
+        tracker.record_stall(0)
+        text = render_status(tracker.status())
+        assert "** STALLED **" in text
+        assert "stalls 1" in text
+        assert "[" in text and "]" in text  # the bar
+
+
+class TestBackendIntegration:
+    def test_shared_memory_run_publishes_status(self, paper_db, tmp_path,
+                                                no_shm_leak):
+        import repro
+
+        repro.mine(paper_db, backend="shared_memory", min_support=2,
+                   n_workers=2, live=tmp_path)
+        [path] = list_status_files(tmp_path)
+        document = read_status(path)
+        validate_status(document)
+        assert document["state"] == "done"
+        assert document["progress"]["fraction"] == 1.0
+        assert document["workers"]  # heartbeats arrived
+        assert all(w["pid"] for w in document["workers"])
+
+    def test_worksteal_run_reports_scheduler_counters(self, paper_db,
+                                                      tmp_path):
+        import repro
+
+        repro.mine(paper_db, backend="multiprocessing", min_support=2,
+                   n_workers=2, schedule="worksteal", live=tmp_path)
+        [path] = list_status_files(tmp_path)
+        document = read_status(path)
+        validate_status(document)
+        assert document["state"] == "done"
+        assert document["scheduler"] is not None
+        assert document["scheduler"]["outstanding"] == 0
+
+    def test_hung_worker_stalls_dumps_and_respawns(self, paper_db, tmp_path,
+                                                   no_shm_leak):
+        """The acceptance path: a hung worker produces a stall event, a
+        traceback dump, and a clean respawn (the timeout fault path still
+        owns recovery)."""
+        from repro.backends.shared_memory_backend import (
+            run_eclat_shared_memory,
+        )
+
+        obs = ObsContext(sink=InMemorySink())
+        tracker = _tracker(directory=tmp_path, stall_timeout=0.2)
+        result = run_eclat_shared_memory(
+            paper_db, 2, n_workers=2, obs=obs, task_timeout=1.0,
+            live=tracker, _fault={"hang_task": 0, "hang_seconds": 60.0},
+        )
+        assert len(result.itemsets) > 0
+        counters = obs.metrics.counters()
+        assert counters["shared_memory.stalls"] >= 1
+        assert counters["shared_memory.tasks.retried"] >= 1
+        assert counters["shared_memory.workers.respawned"] >= 1
+        stall_events = [ev for ev in obs.sink.events if ev.name == "stall"]
+        assert stall_events and stall_events[0].args["quiet_seconds"] > 0.2
+        assert tracker.stalls >= 1
+        document = read_status(tracker.path)
+        assert document["stalls"] >= 1
+        dump = tracker.stack_dump_path()
+        if stall_events[0].args["traceback_dumped"]:
+            assert 'File "' in dump.read_text()
+
+
+class TestCli:
+    @pytest.fixture
+    def fimi_file(self, tmp_path, paper_db):
+        path = tmp_path / "data.dat"
+        write_fimi(paper_db, path)
+        return str(path)
+
+    def test_mine_progress_renders_stderr_line(self, fimi_file, capsys):
+        # REPRO_LIVE=0 (conftest) -> the tracker stays in-memory but the
+        # renderer still gets every update.
+        assert main(["mine", fimi_file, "-s", "2", "--progress",
+                     "--no-ledger"]) == 0
+        err = capsys.readouterr().err
+        assert "%" in err and "eclat" in err
+        assert "done" in err
+
+    def test_mine_live_dir_writes_valid_status(self, fimi_file, tmp_path,
+                                               capsys):
+        live_dir = tmp_path / "live"
+        assert main(["mine", fimi_file, "-s", "2", "-b", "shared_memory",
+                     "-w", "2", "--live-dir", str(live_dir),
+                     "--no-ledger"]) == 0
+        [path] = list_status_files(live_dir)
+        validate_status(read_status(path))
+
+    def test_mine_no_live_writes_nothing(self, fimi_file, tmp_path,
+                                         monkeypatch, capsys):
+        live_dir = tmp_path / "live"
+        monkeypatch.setenv("REPRO_LIVE", str(live_dir))
+        assert main(["mine", fimi_file, "-s", "2", "--no-live",
+                     "--no-ledger"]) == 0
+        assert list_status_files(live_dir) == []
+
+    def test_obs_watch_once(self, fimi_file, tmp_path, capsys):
+        live_dir = tmp_path / "live"
+        main(["mine", fimi_file, "-s", "2", "--live-dir", str(live_dir),
+              "--no-ledger"])
+        assert main(["obs", "watch", "-1", "--once",
+                     "--live-dir", str(live_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "progress" in out and "[done]" in out
+
+    def test_obs_watch_exits_on_terminal_state(self, fimi_file, tmp_path,
+                                               capsys):
+        live_dir = tmp_path / "live"
+        main(["mine", fimi_file, "-s", "2", "--live-dir", str(live_dir),
+              "--no-ledger"])
+        # No --once: the loop still returns because the run is finished.
+        assert main(["obs", "watch", "-1", "--live-dir", str(live_dir)]) == 0
+
+    def test_obs_watch_unknown_run_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "watch", "zzz", "--live-dir", str(tmp_path)])
+
+    def test_obs_gc_caps_both_stores(self, fimi_file, tmp_path, capsys):
+        live_dir, runs_dir = tmp_path / "live", tmp_path / "runs"
+        for _ in range(3):
+            main(["mine", fimi_file, "-s", "2", "--live-dir", str(live_dir),
+                  "--ledger-dir", str(runs_dir)])
+        capsys.readouterr()
+        assert main(["obs", "gc", "--keep", "1", "--live-keep", "1",
+                     "--ledger-dir", str(runs_dir),
+                     "--live-dir", str(live_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 2 record(s)" in out
+        assert len(Ledger(runs_dir).records()) == 1
+        assert len(list_status_files(live_dir)) == 1
+
+    def test_obs_tail_follow_flag_parses(self):
+        args = build_parser().parse_args(["obs", "tail", "--follow"])
+        assert args.follow is True and args.poll == 0.5
