@@ -1,0 +1,171 @@
+"""Benchmark: index queries vs re-mining the database from scratch.
+
+The closed-itemset index exists so that the expensive part — mining —
+happens once, at a low support floor; after that every query is answered
+from the memory-mapped lattice in time proportional to the *answer*, not
+the database.  This script quantifies that trade and writes
+``BENCH_index.json`` at the repo root:
+
+* **build_seconds** — one ``ItemsetIndex.build`` at the floor (the cost
+  you pay once, plus a save/open round trip so queries time the mmap
+  path, not the in-memory one);
+* **mine_seconds.s<support>** — a fresh ``repro.mine()`` per queried
+  support (what serving would cost without the index);
+* **query_seconds.s<support>** — ``index.frequent_at`` at the same
+  supports, served from the artifact;
+* **speedup_vs_remine.s<support>** — the ratio, the machine-independent
+  metric the CI gate compares (``repro obs compare --ratios-only``).
+
+The queried supports sit well above the floor — the serving pattern the
+index is for (build low once, answer high often).  ``--check`` fails the
+run unless every speedup clears ``--min-ratio`` (default 10x, or the
+``REPRO_BENCH_MIN_RATIO`` environment variable, which CI sets).
+
+    PYTHONPATH=src python scripts/bench_index.py              # full
+    PYTHONPATH=src python scripts/bench_index.py --smoke --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datasets import get_dataset  # noqa: E402
+from repro.engine import mine  # noqa: E402
+from repro.index import ItemsetIndex  # noqa: E402
+
+
+def _env_min_ratio(default: float) -> float:
+    """--min-ratio default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="T10I4",
+                        help="surrogate dataset name (default: T10I4)")
+    parser.add_argument("--floor", type=float, default=0.01,
+                        help="index support floor (default: 0.01 relative)")
+    parser.add_argument("--supports", type=float, nargs="+",
+                        default=[0.02, 0.05, 0.1],
+                        help="query supports, all above the floor")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI workload: fewer repeats, queries only at "
+                             "the high supports where timing noise is small")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_index.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every query beats a fresh mine "
+                             "by --min-ratio")
+    parser.add_argument("--min-ratio", type=float,
+                        default=_env_min_ratio(10.0),
+                        help="query-vs-remine speedup bar (default 10, or "
+                             "REPRO_BENCH_MIN_RATIO if set)")
+    args = parser.parse_args()
+
+    # The index's win is O(answer) vs O(database): build low once, serve
+    # high often.  Sparse T10I4 at high query supports is that shape;
+    # dense datasets (answer ~ as large as the mining work) would not be.
+    if args.smoke:
+        dataset, floor, supports = "T10I4", 0.01, [0.05, 0.1]
+    else:
+        dataset, floor, supports = args.dataset, args.floor, args.supports
+    if any(s < floor for s in supports):
+        parser.error("every query support must be >= the floor")
+
+    db = get_dataset(dataset)
+    print(f"dataset={db.name}  transactions={db.n_transactions}  "
+          f"items={db.n_items}  floor={floor}")
+
+    artifact = ROOT / f".bench_index_{db.name}.idx"
+    started = time.perf_counter()
+    ItemsetIndex.build(db, floor).save(artifact)
+    build_seconds = time.perf_counter() - started
+    try:
+        with ItemsetIndex.open(artifact) as index:
+            print(f"  build + save          {build_seconds:10.3f} s  "
+                  f"({index.n_closed} closed itemsets)")
+
+            mine_seconds: dict[str, float] = {}
+            query_seconds: dict[str, float] = {}
+            speedup: dict[str, float] = {}
+            for support in supports:
+                key = f"s{support:g}"
+                t_mine, fresh = best_of(
+                    lambda: mine(db, min_support=support), args.repeats
+                )
+                t_query, served = best_of(
+                    lambda: index.frequent_at(support), args.repeats
+                )
+                if served.itemsets != fresh.itemsets:
+                    print(f"FATAL: index disagrees with a fresh mine at "
+                          f"support {support}", file=sys.stderr)
+                    return 2
+                mine_seconds[key] = t_mine
+                query_seconds[key] = t_query
+                speedup[key] = t_mine / t_query if t_query else float("inf")
+                print(f"  support {support:<6g} remine {t_mine * 1e3:10.3f} ms"
+                      f"  query {t_query * 1e3:10.3f} ms"
+                      f"  ({speedup[key]:8.1f}x, {len(fresh)} itemsets)")
+    finally:
+        artifact.unlink(missing_ok=True)
+
+    record = {
+        "dataset": db.name,
+        "n_transactions": db.n_transactions,
+        "n_items": db.n_items,
+        "floor": floor,
+        "supports": supports,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "build_seconds": build_seconds,
+        "mine_seconds": mine_seconds,
+        "query_seconds": query_seconds,
+        "speedup_vs_remine": speedup,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        slow = {k: v for k, v in speedup.items() if v < args.min_ratio}
+        if slow:
+            print(f"FAIL: query speedup below {args.min_ratio:.1f}x at "
+                  + ", ".join(f"{k}={v:.1f}x" for k, v in sorted(slow.items())),
+                  file=sys.stderr)
+            return 1
+        print(f"OK: every query beats re-mining by >= {args.min_ratio:.1f}x "
+              f"(worst {min(speedup.values()):.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,19 @@ Public API highlights:
 * :mod:`repro.engine` — the execution engine: backend registry,
   :func:`repro.engine.execute` for full run objects (level tables, cost
   traces), and the NumPy packed-bitvector block kernels.
-* :func:`repro.apriori`, :func:`repro.eclat`, :func:`repro.fpgrowth` —
-  engine-routed convenience wrappers, each usable with the ``tidset``,
-  ``bitvector``, ``bitvector_numpy``, or ``diffset`` representation.
+* :func:`repro.apriori`, :func:`repro.eclat`, :func:`repro.fpgrowth`,
+  :func:`repro.charm` — engine-routed convenience wrappers; the frequent
+  miners take any of the ``tidset``, ``bitvector``, ``bitvector_numpy``,
+  or ``diffset`` representations, charm mines *closed* itemsets.
+* :class:`repro.ItemsetIndex` — mine once at a low support floor, persist
+  a memory-mapped closed-itemset lattice, then answer ``top_k`` /
+  ``support_of`` / ``frequent_at`` / ``rules`` at any support above the
+  floor without touching the raw database (``repro index build|query|info``
+  on the command line).
+* :class:`repro.Queryable` — the protocol those queries go through;
+  :class:`repro.MiningResult` and :class:`repro.ItemsetIndex` both
+  implement it, so analysis and rule-export code runs unchanged on a
+  fresh in-memory result or a persisted index.
 * :mod:`repro.datasets` — FIMI parsing, Quest-style generation, and the
   Table I benchmark surrogates.
 * :mod:`repro.machine` / :mod:`repro.openmp` — the Blacklight NUMA model and
@@ -25,14 +35,17 @@ Public API highlights:
 
 Deprecated (still working, forwarding to the engine with a
 ``DeprecationWarning``): ``run_apriori``, ``run_eclat``,
-``repro.backends.mine_serial``, ``repro.backends.eclat_multiprocessing``.
+``repro.backends.mine_serial``, ``repro.backends.eclat_multiprocessing``,
+``repro.core.charm.closed_itemsets_via_charm``.
 """
 
 from repro import engine, obs
 from repro.core import (
     MiningResult,
+    Queryable,
     apriori,
     brute_force,
+    charm,
     eclat,
     fpgrowth,
     run_apriori,
@@ -40,19 +53,23 @@ from repro.core import (
 )
 from repro.datasets import TransactionDatabase, get_dataset, read_fimi
 from repro.engine import mine
+from repro.index import ItemsetIndex
 from repro.obs import ObsContext
 from repro.representations import get_representation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MiningResult",
+    "Queryable",
+    "ItemsetIndex",
     "TransactionDatabase",
     "mine",
     "engine",
     "apriori",
     "eclat",
     "fpgrowth",
+    "charm",
     "brute_force",
     "run_apriori",
     "run_eclat",

@@ -12,6 +12,7 @@ from repro.analysis.tables import (
     render_grid,
     render_runtime_table,
     render_speedup_series,
+    render_top_itemsets,
 )
 from repro.analysis.charts import sparkline, speedup_chart
 from repro.analysis.experiments import (
@@ -30,6 +31,7 @@ __all__ = [
     "render_runtime_table",
     "render_speedup_series",
     "render_dataset_stats",
+    "render_top_itemsets",
     "sparkline",
     "speedup_chart",
     "ExperimentRecord",

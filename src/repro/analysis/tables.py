@@ -89,3 +89,20 @@ def render_dataset_stats(rows: list[tuple], title: str = "TABLE I") -> str:
     return render_grid(
         headers, [[str(c) for c in row] for row in rows], title=title
     )
+
+
+def render_top_itemsets(
+    source, k: int, *, min_support: float | int | None = None
+) -> str:
+    """The CLI's ranked itemset listing, off any ``Queryable`` source.
+
+    ``source`` is anything implementing
+    :class:`repro.core.queryable.Queryable` — a fresh
+    :class:`~repro.core.result.MiningResult` or a persisted
+    :class:`repro.index.ItemsetIndex`; the listing is identical either
+    way (descending support, lexicographic ties).
+    """
+    return "\n".join(
+        f"  {{{','.join(map(str, items))}}}: {support}"
+        for items, support in source.top_k(k, min_support=min_support)
+    )

@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``mine``      — frequent itemsets from a FIMI file or a named surrogate,
   routed through ``repro.mine()`` with ``--backend
   serial|multiprocessing|vectorized|shared_memory`` and
   ``--representation auto|...``;
 * ``rules``     — association rules on top of a mining run;
+* ``index``     — the precomputed closed-itemset index: ``index build``
+  mines once at a low support floor and persists a memory-mapped
+  artifact, ``index query`` answers top-k / support-of / frequent-at /
+  rules questions from that artifact without re-reading the database,
+  and ``index info`` dumps the artifact header;
 * ``scalability`` — the paper pipeline: trace a miner, replay it on the
   simulated Blacklight across thread counts, print the table and chart;
 * ``profile``   — run a study fully instrumented and print the metrics
@@ -43,21 +48,16 @@ from repro.analysis.tables import (
     render_metrics_report,
     render_runtime_table,
     render_speedup_series,
+    render_top_itemsets,
 )
-from repro.core import fpgrowth
-from repro.core.charm import charm
 from repro.datasets import available_datasets, get_dataset, read_fimi
 from repro.datasets.transaction_db import TransactionDatabase
-from repro.engine import available_backends, mine
-from repro.errors import ConfigurationError, ReproError
+from repro.engine import available_algorithms, available_backends, mine
+from repro.errors import ConfigurationError, IndexArtifactError, ReproError
 from repro.machine.topology import standard_thread_counts
 from repro.obs import ChromeTraceSink, NullSink, ObsContext
 from repro.parallel import run_scalability_study, runtime_table, speedup_series
-from repro.rules import generate_rules
 
-#: Algorithms the ``mine`` subcommand accepts; all but charm (which is not
-#: registered with the engine) route through ``repro.mine()``.
-_MINE_ALGORITHMS = ("apriori", "eclat", "fpgrowth", "charm")
 _MINE_REPRESENTATIONS = (
     "auto", "tidset", "bitvector", "bitvector_numpy", "diffset", "hybrid",
 )
@@ -250,49 +250,42 @@ def cmd_mine(args: argparse.Namespace) -> int:
     # disk (valid JSON) with whatever worker telemetry was merged.
     try:
         with _ledger_scope(args) as ledger:
-            if args.algorithm == "charm":
-                # Closed-itemset miner; not an engine algorithm (no ledger
-                # hook either).
-                result = charm(db, args.min_support)
-            else:
-                # Only forward flags the user actually set: the registry
-                # rejects options a (backend, algorithm) pair doesn't take,
-                # so unconditional defaults would break serial runs.
-                options: dict = {}
-                if args.workers is not None:
-                    options["n_workers"] = args.workers
-                if args.schedule is not None:
-                    options["schedule"] = args.schedule
-                if args.spawn_depth is not None:
-                    options["spawn_depth"] = args.spawn_depth
-                if args.spawn_min is not None:
-                    options["spawn_min_members"] = args.spawn_min
-                live = _resolve_cli_live(args, db)
-                try:
-                    result = mine(
-                        db,
-                        algorithm=args.algorithm,
-                        representation=args.representation,
-                        backend=args.backend,
-                        min_support=args.min_support,
-                        obs=obs,
-                        ledger=ledger,
-                        live=live,
-                        **options,
-                    )
-                except ReproError as exc:
-                    raise SystemExit(f"error: {exc}") from None
-                finally:
-                    if args.progress:
-                        # The renderer leaves the cursor mid-line.
-                        print(file=sys.stderr)
+            # Only forward flags the user actually set: the registry
+            # rejects options a (backend, algorithm) pair doesn't take,
+            # so unconditional defaults would break serial runs.
+            options: dict = {}
+            if args.workers is not None:
+                options["n_workers"] = args.workers
+            if args.schedule is not None:
+                options["schedule"] = args.schedule
+            if args.spawn_depth is not None:
+                options["spawn_depth"] = args.spawn_depth
+            if args.spawn_min is not None:
+                options["spawn_min_members"] = args.spawn_min
+            live = _resolve_cli_live(args, db)
+            try:
+                result = mine(
+                    db,
+                    algorithm=args.algorithm,
+                    representation=args.representation,
+                    backend=args.backend,
+                    min_support=args.min_support,
+                    obs=obs,
+                    ledger=ledger,
+                    live=live,
+                    **options,
+                )
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            finally:
+                if args.progress:
+                    # The renderer leaves the cursor mid-line.
+                    print(file=sys.stderr)
         print(result.summary())
         if args.top:
-            ranked = sorted(
-                result.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
-            )[: args.top]
-            for items, support in ranked:
-                print(f"  {{{','.join(map(str, items))}}}: {support}")
+            listing = render_top_itemsets(result, args.top)
+            if listing:
+                print(listing)
     finally:
         _finish_obs(args, obs)
     return 0
@@ -300,11 +293,135 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
 def cmd_rules(args: argparse.Namespace) -> int:
     db = _load_database(args.dataset)
-    result = fpgrowth(db, args.min_support)
-    rules = generate_rules(result, min_confidence=args.min_confidence)
+    try:
+        result = mine(
+            db, algorithm="fpgrowth", min_support=args.min_support,
+            ledger=None, live=False,
+        )
+        # One code path for rules regardless of the source: the Queryable
+        # protocol (a persisted index answers the same call via
+        # ``repro index query --rules``).
+        rules = result.rules(min_confidence=args.min_confidence)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from None
     print(f"{len(rules)} rules at confidence >= {args.min_confidence}")
     for rule in rules[: args.top]:
         print(f"  {rule}")
+    return 0
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.index import ItemsetIndex
+
+    db = _load_database(args.dataset)
+    obs = _build_obs(args)
+    try:
+        with _ledger_scope(args) as ledger:
+            try:
+                index = ItemsetIndex.build(
+                    db, args.min_support, obs=obs, ledger=ledger
+                )
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}") from None
+        path = index.save(args.output)
+        print(
+            f"index written to {path}: {index.n_closed} closed itemsets "
+            f"at floor {index.floor} "
+            f"({db.name}, {index.n_transactions} transactions)"
+        )
+    finally:
+        _finish_obs(args, obs)
+    return 0
+
+
+def cmd_index_query(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.index import ItemsetIndex
+    from repro.obs.ledger import record_run
+
+    try:
+        index = ItemsetIndex.open(args.index)
+    except (IndexArtifactError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    with index:
+        with _ledger_scope(args) as ledger:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            try:
+                if args.itemset:
+                    items = tuple(int(t) for t in args.itemset.split())
+                    support = index.support_of(items)
+                    query: dict = {"query": "support_of", "items": items}
+                    n_itemsets = None if support is None else 1
+                    if support is None:
+                        print(
+                            f"{{{','.join(map(str, items))}}}: "
+                            f"below floor {index.floor} (not indexed)"
+                        )
+                    else:
+                        print(f"{{{','.join(map(str, items))}}}: {support}")
+                elif args.rules:
+                    rules = index.rules(
+                        min_support=args.min_support,
+                        min_confidence=args.min_confidence,
+                    )
+                    query = {
+                        "query": "rules",
+                        "min_support": args.min_support,
+                        "min_confidence": args.min_confidence,
+                    }
+                    n_itemsets = len(rules)
+                    print(
+                        f"{len(rules)} rules at confidence >= "
+                        f"{args.min_confidence}"
+                    )
+                    for rule in rules[: args.top]:
+                        print(f"  {rule}")
+                else:
+                    result = index.frequent_at(
+                        args.min_support
+                        if args.min_support is not None
+                        else index.floor
+                    )
+                    query = {
+                        "query": "frequent_at",
+                        "min_support": args.min_support,
+                    }
+                    n_itemsets = len(result)
+                    print(result.summary())
+                    if args.top:
+                        listing = render_top_itemsets(result, args.top)
+                        if listing:
+                            print(listing)
+            except ReproError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            record_run(
+                "index-query",
+                dataset=index.dataset_fingerprint,
+                config={
+                    "algorithm": "index",
+                    "backend": "index",
+                    "index_config_hash": index.config_hash,
+                    "floor": index.floor,
+                    **query,
+                },
+                wall_seconds=time.perf_counter() - wall0,
+                cpu_seconds=time.process_time() - cpu0,
+                n_itemsets=n_itemsets,
+                ledger=ledger,
+            )
+    return 0
+
+
+def cmd_index_info(args: argparse.Namespace) -> int:
+    from repro.index import ItemsetIndex
+
+    try:
+        with ItemsetIndex.open(args.index) as index:
+            print(json.dumps(index.info(), indent=2, sort_keys=True))
+    except (IndexArtifactError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
     return 0
 
 
@@ -510,7 +627,8 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd = sub.add_parser("mine", help="mine frequent (or closed) itemsets")
     _add_common(mine_cmd)
     mine_cmd.add_argument(
-        "-a", "--algorithm", choices=sorted(_MINE_ALGORITHMS), default="eclat"
+        "-a", "--algorithm", choices=sorted(available_algorithms()),
+        default="eclat",
     )
     mine_cmd.add_argument(
         "-r", "--representation",
@@ -553,6 +671,59 @@ def build_parser() -> argparse.ArgumentParser:
     rules.add_argument("-c", "--min-confidence", type=float, default=0.6)
     rules.add_argument("-t", "--top", type=int, default=10)
     rules.set_defaults(func=cmd_rules)
+
+    index_cmd = sub.add_parser(
+        "index",
+        help="build / query / inspect the closed-itemset index artifact",
+    )
+    index_sub = index_cmd.add_subparsers(dest="index_command", required=True)
+
+    ibuild = index_sub.add_parser(
+        "build", help="mine once at a low floor and persist the index"
+    )
+    ibuild.add_argument("dataset", help="FIMI file path or dataset name")
+    ibuild.add_argument("output", help="index artifact path to write")
+    ibuild.add_argument(
+        "-s", "--min-support", type=_parse_support, default=0.01,
+        help="support floor: the lowest support the index can later "
+             "answer at (absolute count >= 1 or fraction < 1; default 0.01)",
+    )
+    _add_obs_flags(ibuild)
+    _add_ledger_flags(ibuild)
+    ibuild.set_defaults(func=cmd_index_build)
+
+    iquery = index_sub.add_parser(
+        "query", help="answer support queries from a persisted index"
+    )
+    iquery.add_argument("index", help="index artifact path")
+    iquery.add_argument(
+        "-s", "--min-support", type=_parse_support, default=None,
+        help="support threshold for the query (default: the index floor)",
+    )
+    iquery.add_argument(
+        "-t", "--top", type=int, default=10,
+        help="print the N most frequent itemsets",
+    )
+    iquery.add_argument(
+        "--itemset", metavar="ITEMS", default=None,
+        help="space-separated items: print this itemset's exact support",
+    )
+    iquery.add_argument(
+        "--rules", action="store_true",
+        help="emit association rules instead of an itemset listing",
+    )
+    iquery.add_argument(
+        "-c", "--min-confidence", type=float, default=0.6,
+        help="confidence threshold for --rules (default 0.6)",
+    )
+    _add_ledger_flags(iquery)
+    iquery.set_defaults(func=cmd_index_query)
+
+    iinfo = index_sub.add_parser(
+        "info", help="dump the index artifact header as JSON"
+    )
+    iinfo.add_argument("index", help="index artifact path")
+    iinfo.set_defaults(func=cmd_index_info)
 
     scal = sub.add_parser(
         "scalability", help="simulated Blacklight thread sweep"

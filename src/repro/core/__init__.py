@@ -1,7 +1,13 @@
 """Core frequent itemset mining algorithms."""
 
 from repro.core.itemset import Itemset, canonical, is_subset, join, share_prefix
-from repro.core.result import MiningResult, from_mapping, resolve_min_support
+from repro.core.queryable import Queryable
+from repro.core.result import (
+    MiningResult,
+    from_mapping,
+    resolve_min_support,
+    resolve_support_count,
+)
 from repro.core.candidate_gen import CandidateJoin, generate_candidates
 from repro.core.level_table import Level, LevelTable
 from repro.core.apriori import AprioriRun, apriori, execute_apriori, run_apriori
@@ -28,8 +34,10 @@ __all__ = [
     "join",
     "share_prefix",
     "MiningResult",
+    "Queryable",
     "from_mapping",
     "resolve_min_support",
+    "resolve_support_count",
     "CandidateJoin",
     "generate_candidates",
     "Level",

@@ -138,5 +138,21 @@ def charm(
 def closed_itemsets_via_charm(
     db: TransactionDatabase, min_support: float | int
 ) -> dict[Itemset, int]:
-    """Convenience wrapper returning a plain dict."""
-    return dict(charm(db, min_support).itemsets)
+    """Deprecated alias for ``repro.mine(..., algorithm="charm")``.
+
+    Charm is a first-class engine algorithm now; this wrapper predates the
+    registration and survives only as a shim.
+    """
+    import warnings
+
+    warnings.warn(
+        "closed_itemsets_via_charm() is deprecated; use repro.mine(db, "
+        "algorithm='charm', min_support=...).itemsets instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import mine
+
+    return dict(
+        mine(db, algorithm="charm", min_support=min_support).itemsets
+    )

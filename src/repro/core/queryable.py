@@ -1,0 +1,76 @@
+"""The ``Queryable`` protocol: one query surface over mined answers.
+
+The repo grew two ways to hold "the answers": a fresh
+:class:`~repro.core.result.MiningResult` straight out of ``repro.mine()``
+and the persisted closed-itemset artifact behind
+:class:`repro.index.ItemsetIndex`.  Callers should not care which one they
+are holding — "what is frequent at 30%?", "how often does {2, 5} occur?",
+"which rules clear 0.8 confidence?" are the same questions either way.
+
+``Queryable`` pins that contract.  Both implementations answer **exactly**
+(same itemsets, same absolute supports) for any threshold at or above
+their :attr:`query_floor`; below the floor the answer would be a silent
+lie, so both raise :class:`~repro.errors.ConfigurationError` instead.
+
+Implementations:
+
+* :class:`repro.core.result.MiningResult` — floor is the ``min_support``
+  it was mined at; queries filter the in-memory map.
+* :class:`repro.index.ItemsetIndex` — floor is the build-time support
+  floor; queries run restore rules over the closed-itemset lattice
+  without touching the original database.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.itemset import Itemset
+    from repro.core.result import MiningResult
+    from repro.rules.generation import AssociationRule
+
+
+@runtime_checkable
+class Queryable(Protocol):
+    """Anything that answers itemset queries at supports >= its floor.
+
+    ``min_support`` arguments follow the library-wide convention: a float
+    in ``(0, 1]`` is relative to :attr:`n_transactions`, an int >= 1 is an
+    absolute count.  ``None`` means "at the floor".
+    """
+
+    #: Transaction count of the underlying database (for relative supports).
+    n_transactions: int
+
+    @property
+    def query_floor(self) -> int:
+        """Lowest absolute support this source can answer exactly."""
+        ...  # pragma: no cover - protocol
+
+    def frequent_at(self, min_support: float | int) -> "MiningResult":
+        """All frequent itemsets (with exact supports) at ``min_support``."""
+        ...  # pragma: no cover - protocol
+
+    def support_of(self, items: Iterable[int]) -> int | None:
+        """Exact absolute support of ``items``, or ``None`` when it is not
+        frequent at the floor (i.e. its support is below
+        :attr:`query_floor` — the source cannot distinguish finer)."""
+        ...  # pragma: no cover - protocol
+
+    def top_k(
+        self, k: int, *, min_support: float | int | None = None
+    ) -> "list[tuple[Itemset, int]]":
+        """The ``k`` most frequent itemsets at ``min_support`` (floor when
+        omitted), ordered by descending support then lexicographically."""
+        ...  # pragma: no cover - protocol
+
+    def rules(
+        self,
+        *,
+        min_support: float | int | None = None,
+        min_confidence: float = 0.5,
+        min_lift: float | None = None,
+    ) -> "list[AssociationRule]":
+        """Association rules over the itemsets frequent at ``min_support``."""
+        ...  # pragma: no cover - protocol

@@ -12,9 +12,9 @@ from repro.datasets.transaction_db import TransactionDatabase
 from repro.errors import ConfigurationError
 
 
-def resolve_min_support(db: TransactionDatabase, min_support: float | int) -> int:
+def resolve_support_count(n_transactions: int, min_support: float | int) -> int:
     """Turn a relative (float in (0, 1]) or absolute (int >= 1) threshold
-    into an absolute count.
+    into an absolute count over ``n_transactions``.
 
     The paper quotes thresholds relative to the transaction count
     (``chess@0.2`` means 20% of transactions); benchmarks pass floats.
@@ -30,12 +30,17 @@ def resolve_min_support(db: TransactionDatabase, min_support: float | int) -> in
             )
         # Epsilon guards against float noise like 0.3 * 10 == 3.0000000000000004
         # flipping the ceiling up a whole transaction.
-        return max(1, math.ceil(min_support * db.n_transactions - 1e-9))
+        return max(1, math.ceil(min_support * n_transactions - 1e-9))
     if min_support < 1:
         raise ConfigurationError(
             f"absolute min_support must be >= 1, got {min_support}"
         )
     return int(min_support)
+
+
+def resolve_min_support(db: TransactionDatabase, min_support: float | int) -> int:
+    """:func:`resolve_support_count` against a database's transaction count."""
+    return resolve_support_count(db.n_transactions, min_support)
 
 
 @dataclass
@@ -91,6 +96,76 @@ class MiningResult:
     def add(self, items: Itemset, support: int) -> None:
         """Record one frequent itemset (assumes canonical input)."""
         self.itemsets[items] = support
+
+    # -- the Queryable protocol ----------------------------------------------
+    #
+    # MiningResult and repro.index.ItemsetIndex answer the same four
+    # questions through repro.core.queryable.Queryable, so callers write
+    # one code path whether the answers came from a fresh mine or from a
+    # persisted artifact.
+
+    @property
+    def query_floor(self) -> int:
+        """Lowest support this result can answer exactly: its own threshold."""
+        return self.min_support
+
+    def frequent_at(self, min_support: float | int) -> "MiningResult":
+        """The itemsets frequent at ``min_support``, as a new result view.
+
+        ``min_support`` must be at or above :attr:`query_floor`; anything
+        lower would need itemsets this result never recorded.
+        """
+        count = resolve_support_count(self.n_transactions, min_support)
+        if count < self.min_support:
+            raise ConfigurationError(
+                f"cannot answer at support {count}: this result was mined "
+                f"at min_support={self.min_support} (its query floor)"
+            )
+        view = MiningResult(
+            dataset=self.dataset,
+            algorithm=self.algorithm,
+            representation=self.representation,
+            min_support=count,
+            n_transactions=self.n_transactions,
+            backend=self.backend,
+        )
+        for items, support in self.itemsets.items():
+            if support >= count:
+                view.itemsets[items] = support
+        return view
+
+    def support_of(self, items: Iterable[int]) -> int | None:
+        """Exact support of ``items``, or ``None`` when not frequent here."""
+        return self.itemsets.get(canonical(items))
+
+    def top_k(
+        self, k: int, *, min_support: float | int | None = None
+    ) -> list[tuple[Itemset, int]]:
+        """The ``k`` most frequent itemsets, descending support then lex."""
+        if k < 0:
+            raise ConfigurationError(f"top_k needs k >= 0, got {k}")
+        source = (
+            self.itemsets
+            if min_support is None
+            else self.frequent_at(min_support).itemsets
+        )
+        return sorted(source.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def rules(
+        self,
+        *,
+        min_support: float | int | None = None,
+        min_confidence: float = 0.5,
+        min_lift: float | None = None,
+    ):
+        """Association rules over the itemsets frequent at ``min_support``."""
+        # Imported here: repro.rules imports this module at load time.
+        from repro.rules.generation import generate_rules
+
+        source = self if min_support is None else self.frequent_at(min_support)
+        return generate_rules(
+            source, min_confidence=min_confidence, min_lift=min_lift
+        )
 
     # -- views ---------------------------------------------------------------
 

@@ -209,6 +209,71 @@ def _resolve_live(
     )
 
 
+def _mine_from_index(
+    db: TransactionDatabase,
+    index,
+    min_support: float | int,
+    *,
+    obs: "ObsContext | None",
+    ledger,
+) -> MiningResult:
+    """Serve ``mine()`` from a prebuilt itemset index instead of mining.
+
+    The index's baked-in dataset fingerprint must match ``db`` and the
+    resolved support must clear the index's build floor; both are checked,
+    so a stale or foreign artifact is a typed error, not a wrong answer.
+    Served queries are recorded ledger runs (``kind="index-query"``).
+    """
+    from repro.index import ItemsetIndex
+    from repro.obs.ledger import default_ledger, record_run
+
+    opened_here = False
+    if not isinstance(index, ItemsetIndex):
+        index = ItemsetIndex.open(index)
+        opened_here = True
+    try:
+        index.check_database(db)
+        min_sup = resolve_min_support(db, min_support)
+        ledger_active = ledger is not None or default_ledger() is not None
+        track = obs is not None or ledger_active
+        wall_start = time.perf_counter() if track else 0.0
+        cpu_start = time.process_time() if ledger_active else 0.0
+        result = index.frequent_at(min_sup)
+        result.dataset = db.name
+        if obs is not None:
+            obs.metrics.counter("engine.index.frequent_at").inc()
+            obs.sink.wall_event(
+                "engine.mine", wall_start, cat="engine",
+                args={
+                    "algorithm": "index",
+                    "backend": "index",
+                    "itemsets": len(result),
+                },
+            )
+        if ledger_active:
+            record_run(
+                "index-query",
+                db=db,
+                config={
+                    "algorithm": "index",
+                    "backend": "index",
+                    "query": "frequent_at",
+                    "min_support": min_sup,
+                    "index_config_hash": index.config_hash,
+                    "floor": index.floor,
+                },
+                wall_seconds=time.perf_counter() - wall_start,
+                cpu_seconds=time.process_time() - cpu_start,
+                n_itemsets=len(result),
+                obs=obs,
+                ledger=ledger,
+            )
+        return result
+    finally:
+        if opened_here:
+            index.close()
+
+
 def mine(
     db: TransactionDatabase,
     *,
@@ -219,6 +284,7 @@ def mine(
     obs: "ObsContext | None" = None,
     ledger=None,
     live=None,
+    index=None,
     **options,
 ) -> MiningResult:
     """Mine frequent itemsets — the one documented entry point.
@@ -228,7 +294,8 @@ def mine(
     db:
         The transaction database.
     algorithm:
-        ``"apriori"``, ``"eclat"``, or ``"fpgrowth"`` (serial only).
+        ``"apriori"``, ``"eclat"``, ``"fpgrowth"``, or ``"charm"``
+        (closed itemsets only; both serial).
     representation:
         A registered vertical format name (``tidset``, ``bitvector``,
         ``bitvector_numpy``, ``diffset``, ``hybrid``), a
@@ -257,6 +324,17 @@ def mine(
         :mod:`repro.obs.live`).  ``False`` disables it for this call, a
         path relocates the status directory, and a ready-made
         :class:`repro.obs.live.ProgressTracker` is used as-is.
+    index:
+        A prebuilt :class:`repro.index.ItemsetIndex` (or a path to a saved
+        artifact) to **serve** the answer from instead of mining: the
+        result is bit-identical to a fresh mine at ``min_support`` but
+        costs a lattice restore, not a database pass.  The index's dataset
+        fingerprint must match ``db`` and ``min_support`` must be at or
+        above the index's build floor
+        (:class:`~repro.errors.IndexArtifactError` /
+        :class:`~repro.errors.ConfigurationError` otherwise).  When set,
+        ``algorithm`` / ``representation`` / ``backend`` / ``live`` and
+        backend options are ignored — nothing executes.
     options:
         Backend-specific extras (e.g. ``n_workers`` for multiprocessing,
         ``prune`` / ``max_generations`` for Apriori, ``item_order`` for
@@ -273,6 +351,11 @@ def mine(
         options.
     """
     from repro.obs.ledger import default_ledger, record_run
+
+    if index is not None:
+        return _mine_from_index(
+            db, index, min_support, obs=obs, ledger=ledger
+        )
 
     entry = get_backend_entry(backend, algorithm)
     rep_name = _resolve_representation(representation, entry, db)
@@ -433,6 +516,13 @@ def _serial_fpgrowth(db, rep_name, min_sup, *, obs=None):
     return _fpgrowth(db, min_sup)
 
 
+def _serial_charm(db, rep_name, min_sup, *, obs=None):
+    # Imported lazily so repro.core.charm's own shim can import the engine.
+    from repro.core.charm import charm as _charm
+
+    return _charm(db, min_sup)
+
+
 def _multiprocessing_eclat(db, rep_name, min_sup, *, obs=None, live=None,
                            n_workers=None, item_order="support",
                            schedule=None, spawn_depth=None,
@@ -505,6 +595,13 @@ def _register_defaults() -> None:
         representations=("fptree",),
         preferred_representation="fptree",
         description="FP-growth (pattern-tree, no vertical format)",
+    )
+    register_backend(
+        "serial", "charm", _serial_charm,
+        representations=("tidset",),
+        preferred_representation="tidset",
+        description="CHARM closed-itemset miner (subsumption-pruned "
+                    "tidset search; result holds closed sets only)",
     )
     register_backend(
         "multiprocessing", "eclat", _multiprocessing_eclat,

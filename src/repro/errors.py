@@ -43,6 +43,16 @@ class MiningError(ReproError):
     """A mining algorithm detected an internal inconsistency."""
 
 
+class IndexArtifactError(ReproError):
+    """A persisted itemset-index artifact cannot be trusted.
+
+    Raised when opening a file that is not an index artifact (bad magic),
+    is truncated or internally inconsistent, declares an unknown schema
+    version, or when an index is used against a database whose fingerprint
+    does not match the one baked into the artifact header.
+    """
+
+
 class ParallelExecutionError(ReproError):
     """A real-parallel backend could not complete its task graph.
 

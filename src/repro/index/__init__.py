@@ -1,0 +1,389 @@
+"""``repro.index`` — mine once, serve arbitrary-support queries forever.
+
+The paper mines one (dataset, support) pair per big-machine run; a user
+serving workload *queries* — "what is frequent at 30%?", "support of
+{2, 5}?", "top ten itemsets?" — and re-mining per question wastes the
+machine.  :class:`ItemsetIndex` separates the expensive mine from the
+cheap lookup:
+
+* **build** once at a low support *floor*: CHARM
+  (:mod:`repro.core.charm`) mines the closed-itemset lattice — a lossless
+  compression of every frequent itemset at or above the floor;
+* **persist** it as a memory-mapped, schema-versioned artifact
+  (:mod:`repro.index.artifact`) whose header bakes in the dataset
+  fingerprint and the ledger config hash, so provenance is checked, not
+  assumed;
+* **query** at any support >= floor without touching the raw database:
+  the restore rules in :mod:`repro.index.lattice` recover exact itemsets
+  and exact supports, bit-identical to a fresh ``repro.mine()`` at that
+  support (hypothesis-tested).
+
+The index implements the same :class:`~repro.core.queryable.Queryable`
+protocol as :class:`~repro.core.result.MiningResult`, so serving code is
+one code path::
+
+    index = ItemsetIndex.build(db, floor=0.01)
+    index.save("retail.fidx")
+    ...
+    index = ItemsetIndex.open("retail.fidx")     # mmap, O(1) RAM
+    index.frequent_at(0.05)                      # exact, no re-mine
+    index.support_of((2, 5))                     # posting-list intersection
+    index.rules(min_support=0.05, min_confidence=0.8)
+
+``repro.mine(db, index=...)`` and the ``repro index build|query|info``
+CLI ride on top; builds and queries are recorded ledger runs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.itemset import Itemset
+from repro.core.result import MiningResult, resolve_support_count
+from repro.errors import ConfigurationError, IndexArtifactError
+from repro.index import artifact as artifact_mod
+from repro.index import lattice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.transaction_db import TransactionDatabase
+    from repro.obs import ObsContext
+    from repro.rules.generation import AssociationRule
+
+__all__ = ["ItemsetIndex", "INDEX_SCHEMA_VERSION"]
+
+INDEX_SCHEMA_VERSION = artifact_mod.SCHEMA_VERSION
+
+#: Array names in the artifact payload (also the in-memory attribute map).
+_ARRAY_NAMES = ("items", "offsets", "supports", "post_ids", "post_offsets")
+
+
+class ItemsetIndex:
+    """A servable closed-itemset lattice for one (database, floor) pair.
+
+    Construct through :meth:`build` (mines the database) or :meth:`open`
+    (memory-maps a saved artifact); the query surface is the
+    :class:`~repro.core.queryable.Queryable` protocol plus :meth:`info`.
+    """
+
+    def __init__(
+        self,
+        header: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+        *,
+        mapping=None,
+        path: Path | None = None,
+    ) -> None:
+        missing = [name for name in _ARRAY_NAMES if name not in arrays]
+        if missing:
+            raise IndexArtifactError(
+                f"index artifact is missing array(s) {missing}"
+            )
+        self._header = dict(header)
+        self._arrays = {name: arrays[name] for name in _ARRAY_NAMES}
+        self._mapping = mapping
+        self.path = path
+        self._closed = False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        db: "TransactionDatabase",
+        floor: float | int,
+        *,
+        obs: "ObsContext | None" = None,
+        ledger=None,
+    ) -> "ItemsetIndex":
+        """Mine ``db`` once at ``floor`` into an in-memory index.
+
+        ``floor`` is the lowest support the index will ever answer for —
+        relative float or absolute count, resolved exactly like
+        ``repro.mine``'s ``min_support``.  The build is a recorded ledger
+        run (``kind="index-build"``) under the usual resolution rules.
+        """
+        from repro.core.charm import charm
+        from repro.obs.ledger import config_hash, fingerprint_database, record_run
+
+        min_count = resolve_support_count(db.n_transactions, floor)
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        closed = charm(db, min_count)
+        ordered = lattice.sort_closed(closed.itemsets)
+        items, offsets, supports = lattice.pack_closed(ordered)
+        post_ids, post_offsets = lattice.build_postings(
+            items, offsets, db.n_items
+        )
+        wall = time.perf_counter() - wall_start
+        config = {
+            "kind": "itemset-index",
+            "algorithm": "charm",
+            "floor": min_count,
+            "schema": INDEX_SCHEMA_VERSION,
+        }
+        header = {
+            "kind": "itemset-index",
+            "created_unix": time.time(),
+            "floor": min_count,
+            "n_closed": len(ordered),
+            "n_transactions": db.n_transactions,
+            "n_items": db.n_items,
+            "dataset": fingerprint_database(db),
+            "config": config,
+            "config_hash": config_hash(config),
+            "build_wall_seconds": wall,
+        }
+        index = cls(
+            header,
+            {
+                "items": items,
+                "offsets": offsets,
+                "supports": supports,
+                "post_ids": post_ids,
+                "post_offsets": post_offsets,
+            },
+        )
+        if obs is not None:
+            obs.metrics.counter("index.builds").inc()
+            obs.metrics.gauge("index.n_closed").set(len(ordered))
+            obs.sink.wall_event(
+                "index.build", wall_start, cat="index",
+                args={"floor": min_count, "n_closed": len(ordered)},
+            )
+        record_run(
+            "index-build",
+            db=db,
+            config=config,
+            wall_seconds=wall,
+            cpu_seconds=time.process_time() - cpu_start,
+            n_itemsets=len(ordered),
+            obs=obs,
+            ledger=ledger,
+        )
+        return index
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the index as a memory-mappable artifact at ``path``."""
+        self._check_open()
+        return artifact_mod.write_artifact(path, self._header, self._arrays)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ItemsetIndex":
+        """Memory-map a saved artifact; queries touch only needed pages.
+
+        Raises :class:`~repro.errors.IndexArtifactError` for anything that
+        is not a structurally sound index artifact.
+        """
+        header, arrays, mapping = artifact_mod.read_artifact(path)
+        try:
+            return cls(header, arrays, mapping=mapping, path=Path(path))
+        except BaseException:
+            arrays.clear()
+            mapping.close()
+            raise
+
+    def close(self) -> None:
+        """Release the memory mapping (no-op for in-memory indexes).
+
+        Array views handed out earlier keep their pages alive until the
+        last one is garbage-collected; the index itself stops answering.
+        """
+        self._closed = True
+        self._arrays = {}
+        if self._mapping is not None:
+            try:
+                self._mapping.close()
+            except BufferError:  # a caller still holds a view; gc will finish
+                pass
+            self._mapping = None
+
+    def __enter__(self) -> "ItemsetIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IndexArtifactError("this ItemsetIndex has been closed")
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def floor(self) -> int:
+        """Absolute support the index was built at (its query floor)."""
+        return int(self._header["floor"])
+
+    @property
+    def query_floor(self) -> int:
+        return self.floor
+
+    @property
+    def n_closed(self) -> int:
+        return int(self._header["n_closed"])
+
+    @property
+    def n_transactions(self) -> int:
+        return int(self._header["n_transactions"])
+
+    @property
+    def n_items(self) -> int:
+        return int(self._header["n_items"])
+
+    @property
+    def dataset_fingerprint(self) -> dict[str, Any]:
+        """The fingerprint of the database the index was built from."""
+        return dict(self._header["dataset"])
+
+    @property
+    def config_hash(self) -> str:
+        """Ledger-style hash of the build configuration."""
+        return str(self._header["config_hash"])
+
+    @property
+    def schema(self) -> int:
+        return int(self._header.get("schema", INDEX_SCHEMA_VERSION))
+
+    def info(self) -> dict[str, Any]:
+        """Header + storage summary (what ``repro index info`` prints)."""
+        self._check_open()
+        info = {
+            key: self._header[key]
+            for key in (
+                "kind", "schema", "created_unix", "floor", "n_closed",
+                "n_transactions", "n_items", "dataset", "config",
+                "config_hash", "build_wall_seconds",
+            )
+            if key in self._header
+        }
+        info.setdefault("schema", self.schema)
+        info["nbytes"] = {
+            name: int(array.nbytes) for name, array in self._arrays.items()
+        }
+        if self.path is not None:
+            info["path"] = str(self.path)
+        return info
+
+    def check_database(self, db: "TransactionDatabase") -> None:
+        """Raise unless ``db`` is the database this index was built from."""
+        from repro.obs.ledger import fingerprint_database
+
+        expected = self._header.get("dataset", {})
+        actual = fingerprint_database(db)
+        for key in ("sha256", "n_transactions", "n_items"):
+            if key in expected and expected[key] != actual[key]:
+                raise IndexArtifactError(
+                    f"index/database fingerprint mismatch on {key!r}: index "
+                    f"was built from {expected!r}, queried with {actual!r}"
+                )
+
+    # -- the Queryable protocol -----------------------------------------------
+
+    def _resolve_count(self, min_support: float | int | None) -> int:
+        if min_support is None:
+            return self.floor
+        count = resolve_support_count(self.n_transactions, min_support)
+        if count < self.floor:
+            raise ConfigurationError(
+                f"cannot answer at support {count}: this index was built "
+                f"with floor {self.floor}; rebuild with a lower floor"
+            )
+        return count
+
+    def frequent_at(self, min_support: float | int) -> MiningResult:
+        """All frequent itemsets at ``min_support``, exact supports included.
+
+        Bit-identical to ``repro.mine(db, min_support=...)`` on the source
+        database — without touching it.
+        """
+        self._check_open()
+        count = self._resolve_count(min_support)
+        result = MiningResult(
+            dataset=str(self._header.get("dataset", {}).get("name", "index")),
+            algorithm="index",
+            representation="closed-lattice",
+            min_support=count,
+            n_transactions=self.n_transactions,
+            backend="index",
+        )
+        result.itemsets = lattice.restore_frequent(
+            self._arrays["items"], self._arrays["offsets"],
+            self._arrays["supports"], count,
+        )
+        return result
+
+    def support_of(self, items: Iterable[int]) -> int | None:
+        """Exact support via posting-list intersection (no enumeration)."""
+        self._check_open()
+        query = sorted({int(i) for i in items})
+        if not query:
+            return None
+        return lattice.closure_support(
+            query, self._arrays["post_ids"], self._arrays["post_offsets"],
+            self._arrays["supports"],
+        )
+
+    def top_k(
+        self, k: int, *, min_support: float | int | None = None
+    ) -> list[tuple[Itemset, int]]:
+        """The ``k`` most frequent itemsets at/above ``min_support``."""
+        self._check_open()
+        if k < 0:
+            raise ConfigurationError(f"top_k needs k >= 0, got {k}")
+        count = self._resolve_count(min_support)
+        restored = lattice.restore_frequent(
+            self._arrays["items"], self._arrays["offsets"],
+            self._arrays["supports"], count,
+        )
+        return sorted(restored.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def rules(
+        self,
+        *,
+        min_support: float | int | None = None,
+        min_confidence: float = 0.5,
+        min_lift: float | None = None,
+    ) -> "list[AssociationRule]":
+        """Association rules over index-resolved supports.
+
+        Materializes the frequent set at ``min_support`` (floor when
+        omitted) and reuses the standard generation + metrics pipeline in
+        :mod:`repro.rules`.
+        """
+        from repro.rules.generation import generate_rules
+
+        result = self.frequent_at(
+            self.floor if min_support is None else min_support
+        )
+        return generate_rules(
+            result, min_confidence=min_confidence, min_lift=min_lift
+        )
+
+    # -- misc -----------------------------------------------------------------
+
+    def closed_itemsets(self) -> dict[Itemset, int]:
+        """The stored closed sets themselves (descending support order)."""
+        self._check_open()
+        items = self._arrays["items"]
+        offsets = self._arrays["offsets"]
+        supports = self._arrays["supports"]
+        return {
+            tuple(int(x) for x in items[offsets[i]:offsets[i + 1]]):
+                int(supports[i])
+            for i in range(self.n_closed)
+        }
+
+    def __len__(self) -> int:
+        return self.n_closed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self._header.get("dataset", {}).get("name", "?")
+        return (
+            f"ItemsetIndex({name!r}, floor={self.floor}, "
+            f"n_closed={self.n_closed}, "
+            f"{'mmap' if self._mapping is not None else 'memory'})"
+        )

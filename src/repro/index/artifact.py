@@ -1,0 +1,178 @@
+"""On-disk format of the itemset-index artifact (memory-mapped, versioned).
+
+One self-describing file holds everything a query needs::
+
+    bytes 0..7    magic  b"RPROFIDX"
+    bytes 8..15   little-endian uint64: header length H in bytes
+    bytes 16..16+H  header, canonical JSON (utf-8)
+    ...padding to the next 64-byte boundary = payload base...
+    payload       raw array bytes, each array 64-byte aligned
+
+The header carries the schema version, the build configuration and its
+ledger-style config hash, the **dataset fingerprint** (name, shape,
+content sha — the provenance check that stops an index from answering for
+the wrong database), the support floor, and an ``arrays`` table mapping
+each array name to ``{dtype, shape, offset}`` with offsets relative to
+the payload base.  Offsets being payload-relative keeps the header free
+of a chicken-and-egg dependency on its own serialized length.
+
+Readers memory-map the file once (``mmap.ACCESS_READ``) and expose
+zero-copy ``np.frombuffer`` views, so opening a gigabyte artifact costs
+page-table entries, not RAM, and the first query touches only the pages
+it needs.  Every structural problem — wrong magic, unknown schema,
+truncation, a declared array sticking out past end-of-file — raises
+:class:`~repro.errors.IndexArtifactError` at open time, never a garbage
+answer at query time.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import IndexArtifactError
+
+MAGIC = b"RPROFIDX"
+#: Bumped on any layout/header change; readers reject versions they do not
+#: understand instead of misinterpreting bytes.
+SCHEMA_VERSION = 1
+_ALIGN = 64
+_PREFIX = struct.Struct("<8sQ")  # magic + header length
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_artifact(
+    path: str | Path,
+    header: Mapping[str, Any],
+    arrays: Mapping[str, np.ndarray],
+) -> Path:
+    """Serialize ``arrays`` under ``header`` to ``path`` (atomic replace).
+
+    The caller's header is extended with ``schema`` and the ``arrays``
+    table; array insertion order becomes payload order.
+    """
+    table: dict[str, dict[str, Any]] = {}
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        table[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        offset = _align(offset + array.nbytes)
+    full_header = dict(header)
+    full_header["schema"] = SCHEMA_VERSION
+    full_header["arrays"] = table
+    header_bytes = json.dumps(
+        full_header, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+    payload_base = _align(_PREFIX.size + len(header_bytes))
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(_PREFIX.pack(MAGIC, len(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(b"\0" * (payload_base - _PREFIX.size - len(header_bytes)))
+        position = 0
+        for name, array in arrays.items():
+            pad = table[name]["offset"] - position
+            if pad:
+                fh.write(b"\0" * pad)
+            data = np.ascontiguousarray(array).tobytes()
+            fh.write(data)
+            position = table[name]["offset"] + len(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)  # a crashed build never leaves a half-artifact
+    return path
+
+
+def read_artifact(
+    path: str | Path,
+) -> tuple[dict[str, Any], dict[str, np.ndarray], mmap.mmap]:
+    """Open an artifact: ``(header, arrays, mapping)``.
+
+    The arrays are read-only zero-copy views into ``mapping``; the caller
+    owns closing the mapping (after dropping the views).
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise IndexArtifactError(f"cannot open index artifact: {exc}") from exc
+    if size < _PREFIX.size:
+        raise IndexArtifactError(
+            f"{path} is too small ({size} bytes) to be an index artifact"
+        )
+    with open(path, "rb") as fh:
+        mapping = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        magic, header_len = _PREFIX.unpack_from(mapping, 0)
+        if magic != MAGIC:
+            raise IndexArtifactError(
+                f"{path} is not an itemset-index artifact "
+                f"(magic {magic!r}, expected {MAGIC!r})"
+            )
+        if _PREFIX.size + header_len > size:
+            raise IndexArtifactError(
+                f"{path} is truncated: header claims {header_len} bytes, "
+                f"file holds {size - _PREFIX.size} past the prefix"
+            )
+        try:
+            header = json.loads(
+                mapping[_PREFIX.size:_PREFIX.size + header_len].decode("utf-8")
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IndexArtifactError(
+                f"{path} has a corrupt header: {exc}"
+            ) from exc
+        schema = header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise IndexArtifactError(
+                f"{path} uses schema version {schema!r}; this build reads "
+                f"only version {SCHEMA_VERSION}"
+            )
+        table = header.get("arrays")
+        if not isinstance(table, dict):
+            raise IndexArtifactError(f"{path} header lacks an arrays table")
+        payload_base = _align(_PREFIX.size + header_len)
+        for name, spec in table.items():
+            try:
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(int(d) for d in spec["shape"])
+                offset = int(spec["offset"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise IndexArtifactError(
+                    f"{path}: malformed array spec for {name!r}: {spec!r}"
+                ) from exc
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            nbytes = count * dtype.itemsize
+            if payload_base + offset + nbytes > size:
+                raise IndexArtifactError(
+                    f"{path} is truncated: array {name!r} needs bytes "
+                    f"[{payload_base + offset}, "
+                    f"{payload_base + offset + nbytes}) but the file ends "
+                    f"at {size}"
+                )
+            arrays[name] = np.frombuffer(
+                mapping, dtype=dtype, count=count,
+                offset=payload_base + offset,
+            ).reshape(shape)
+        return header, arrays, mapping
+    except BaseException:
+        # Views exported from the mapping must die before it can close.
+        arrays.clear()
+        mapping.close()
+        raise

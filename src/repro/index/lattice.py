@@ -1,0 +1,169 @@
+"""Packed closed-itemset lattice and the restore rules over it.
+
+A closed frequent itemset has no superset with equal support; the closed
+subset of the frequent lattice is therefore a **lossless** compression of
+it (Pasquier et al.; CHARM mines it directly).  Two facts make the
+compressed form servable:
+
+1. every frequent itemset ``X`` has a unique *closure* — the smallest
+   closed superset — and ``support(X) == support(closure(X))``;
+2. support is antitone under ⊆, so among all closed supersets of ``X``
+   the closure is the one with **maximum** support:
+   ``support(X) = max{ support(C) : X ⊆ C, C closed }``.
+
+This module stores the closed sets found at a build-time support *floor*
+as four packed NumPy arrays — concatenated item ids + offsets (the
+itemsets), supports, and a per-item inverted index of closed-set ids (the
+closure links) — ordered by **descending support** (ties broken
+lexicographically).  That ordering is the whole trick:
+
+* ``frequent_at(s)``: the closed sets with support >= s are a prefix of
+  the arrays (one binary search); enumerating each prefix member's
+  subsets **in order** and keeping the *first* support seen per subset
+  assigns every frequent itemset exactly ``max`` over its closed
+  supersets — its true support (restore rule 2 above).
+* ``support_of(X)``: intersect the posting lists of X's items; the
+  smallest surviving closed-set id is the highest-support closed
+  superset, i.e. the closure.  No subset enumeration at all.
+
+Both answers are bit-identical to re-mining the original database at the
+queried support — the property the test suite pins with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.itemset import Itemset
+
+ITEM_DTYPE = np.int32
+OFFSET_DTYPE = np.int64
+SUPPORT_DTYPE = np.int64
+POSTING_DTYPE = np.int32
+
+
+def sort_closed(itemsets: dict[Itemset, int]) -> list[tuple[Itemset, int]]:
+    """Closed sets in the canonical serving order: support desc, then lex."""
+    return sorted(itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def pack_closed(
+    ordered: list[tuple[Itemset, int]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack ordered closed sets into (items, offsets, supports) arrays.
+
+    ``items`` is the flat concatenation of every closed set's (ascending)
+    item ids; closed set ``i`` is ``items[offsets[i]:offsets[i + 1]]`` and
+    has absolute support ``supports[i]``.
+    """
+    offsets = np.zeros(len(ordered) + 1, dtype=OFFSET_DTYPE)
+    supports = np.zeros(len(ordered), dtype=SUPPORT_DTYPE)
+    chunks: list[Itemset] = []
+    total = 0
+    for i, (items, support) in enumerate(ordered):
+        total += len(items)
+        offsets[i + 1] = total
+        supports[i] = support
+        chunks.append(items)
+    flat = [item for chunk in chunks for item in chunk]
+    return np.asarray(flat, dtype=ITEM_DTYPE), offsets, supports
+
+
+def build_postings(
+    items: np.ndarray, offsets: np.ndarray, n_items: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-item inverted index: which closed sets contain each item.
+
+    Returns ``(post_ids, post_offsets)`` where item ``i``'s posting list is
+    ``post_ids[post_offsets[i]:post_offsets[i + 1]]`` — closed-set ids in
+    ascending order, which (by the serving order) is descending support.
+    """
+    n_closed = offsets.size - 1
+    counts = np.zeros(n_items, dtype=OFFSET_DTYPE)
+    if items.size:
+        present, freq = np.unique(items, return_counts=True)
+        counts[present] = freq
+    post_offsets = np.zeros(n_items + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=post_offsets[1:])
+    post_ids = np.zeros(int(post_offsets[-1]), dtype=POSTING_DTYPE)
+    cursor = post_offsets[:-1].copy()
+    for cid in range(n_closed):
+        for item in items[offsets[cid]:offsets[cid + 1]]:
+            post_ids[cursor[item]] = cid
+            cursor[item] += 1
+    return post_ids, post_offsets
+
+
+def cutoff(supports: np.ndarray, min_count: int) -> int:
+    """How many leading closed sets have support >= ``min_count``.
+
+    ``supports`` is descending, so the qualifying sets are a prefix.
+    """
+    return int(np.searchsorted(-supports, -min_count, side="right"))
+
+
+def _nonempty_subsets(items: Itemset) -> Iterator[Itemset]:
+    """All non-empty subsets of an ascending tuple, canonical order kept."""
+    n = len(items)
+    for mask in range(1, 1 << n):
+        yield tuple(items[i] for i in range(n) if mask >> i & 1)
+
+
+def restore_frequent(
+    items: np.ndarray,
+    offsets: np.ndarray,
+    supports: np.ndarray,
+    min_count: int,
+) -> dict[Itemset, int]:
+    """All frequent itemsets at ``min_count`` with their exact supports.
+
+    Every frequent-at-``min_count`` itemset is a subset of some closed set
+    in the descending-support prefix (its closure is one), and the first
+    closed superset encountered in that order has the maximum — hence
+    exact — support.  The enumeration is output-sensitive the same way a
+    re-mine is: materializing the full frequent set is the answer's size.
+    """
+    out: dict[Itemset, int] = {}
+    for cid in range(cutoff(supports, min_count)):
+        closed = tuple(
+            int(x) for x in items[offsets[cid]:offsets[cid + 1]]
+        )
+        support = int(supports[cid])
+        for subset in _nonempty_subsets(closed):
+            if subset not in out:
+                out[subset] = support
+    return out
+
+
+def closure_support(
+    query: Iterable[int],
+    post_ids: np.ndarray,
+    post_offsets: np.ndarray,
+    supports: np.ndarray,
+) -> int | None:
+    """Support of the query's closure, or ``None`` when no closed superset
+    exists (the query is infrequent at the build floor).
+
+    Intersects the per-item posting lists; the smallest common closed-set
+    id is the closure (descending-support order), whose support is the
+    query's exact support.
+    """
+    n_items = post_offsets.size - 1
+    common: np.ndarray | None = None
+    for item in query:
+        if not 0 <= item < n_items:
+            return None
+        postings = post_ids[post_offsets[item]:post_offsets[item + 1]]
+        if postings.size == 0:
+            return None
+        if common is None:
+            common = postings
+        else:
+            common = np.intersect1d(common, postings, assume_unique=True)
+        if common.size == 0:
+            return None
+    if common is None or common.size == 0:
+        return None  # empty query or no shared closed superset
+    return int(supports[int(common.min())])

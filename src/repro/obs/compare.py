@@ -7,7 +7,12 @@ One comparator handles every record shape the repo produces:
 * **``BENCH_kernels.json``** — per-kernel ``seconds.*`` plus the
   ``speedup_over_python.*`` ratios;
 * **``BENCH_shared_memory.json``** — ``serial_vectorized_seconds``, the
-  per-worker-count ``shared_memory_seconds.*``, and ``speedup_vs_serial.*``.
+  per-worker-count ``shared_memory_seconds.*``, and ``speedup_vs_serial.*``;
+* **``BENCH_worksteal.json``** — dispatch-mode ``*_seconds`` plus the
+  ``measured_speedup.*`` / ``sim_speedup.*`` ratios;
+* **``BENCH_index.json``** — ``build_seconds``, per-support
+  ``mine_seconds.*`` / ``query_seconds.*``, and the
+  ``speedup_vs_remine.*`` ratios.
 
 Each metric has a *direction*: for ``lower``-is-better metrics (seconds,
 bytes) a regression is ``current > baseline * (1 + threshold)``; for
@@ -34,7 +39,7 @@ from typing import Any, Mapping
 #: makes two records incomparable.
 WORKLOAD_KEYS = (
     "dataset", "smoke", "n_pairs", "min_support", "n_transactions",
-    "n_items", "config_hash",
+    "n_items", "config_hash", "floor",
 )
 
 #: Relative slowdown past which a metric counts as regressed (the ISSUE's
@@ -131,6 +136,16 @@ def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
     put("worksteal_seconds", record.get("worksteal_seconds"), "lower")
     for group, direction in (
         ("measured_speedup", "higher"), ("sim_speedup", "higher"),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction)
+    # BENCH_index.json shape.
+    put("build_seconds", record.get("build_seconds"), "lower")
+    for group, direction in (
+        ("mine_seconds", "lower"), ("query_seconds", "lower"),
+        ("speedup_vs_remine", "higher"),
     ):
         values = record.get(group)
         if isinstance(values, Mapping):

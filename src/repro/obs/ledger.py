@@ -445,7 +445,8 @@ def default_ledger() -> Ledger | None:
 def record_run(
     kind: str,
     *,
-    db: "TransactionDatabase",
+    db: "TransactionDatabase | None" = None,
+    dataset: Mapping[str, Any] | None = None,
     config: Mapping[str, Any],
     wall_seconds: float,
     cpu_seconds: float,
@@ -456,17 +457,23 @@ def record_run(
 ) -> RunRecord | None:
     """Append one run to ``ledger`` (or the default one); never raises.
 
+    The run's dataset comes either from ``db`` (fingerprinted here) or, for
+    runs that never touch the raw database — index queries serve from the
+    artifact alone — from a ready-made ``dataset`` fingerprint mapping.
+
     Returns the written record, or ``None`` when no ledger is active or the
     write failed (an ``OSError`` degrades to a single warning — the mining
     result is never sacrificed to telemetry).
     """
+    if (db is None) == (dataset is None):
+        raise TypeError("record_run needs exactly one of db= or dataset=")
     target = ledger if ledger is not None else default_ledger()
     if target is None:
         return None
     record = RunRecord(
         kind=kind,
         config=dict(config),
-        dataset=fingerprint_database(db),
+        dataset=fingerprint_database(db) if db is not None else dict(dataset),
         wall_seconds=wall_seconds,
         cpu_seconds=cpu_seconds,
         max_rss_bytes=sample_rusage()["max_rss_bytes"],

@@ -1,7 +1,12 @@
 """Association rule generation and interestingness metrics."""
 
 from repro.rules.generation import AssociationRule, generate_rules, top_rules_for
-from repro.rules.export import rules_from_json, rules_to_csv, rules_to_json
+from repro.rules.export import (
+    export_rules,
+    rules_from_json,
+    rules_to_csv,
+    rules_to_json,
+)
 from repro.rules.metrics import confidence, conviction, leverage, lift
 
 __all__ = [
@@ -15,4 +20,5 @@ __all__ = [
     "rules_to_csv",
     "rules_to_json",
     "rules_from_json",
+    "export_rules",
 ]

@@ -78,6 +78,45 @@ def rules_to_json(
     return text
 
 
+def export_rules(
+    source,
+    target: TextIO | str | Path | None = None,
+    *,
+    fmt: str = "json",
+    min_support: float | int | None = None,
+    min_confidence: float = 0.5,
+    min_lift: float | None = None,
+) -> str:
+    """Generate rules from any ``Queryable`` source and serialize them.
+
+    ``source`` is anything implementing
+    :class:`repro.core.queryable.Queryable` — a fresh
+    :class:`~repro.core.result.MiningResult` or a persisted
+    :class:`repro.index.ItemsetIndex` — so exporting straight from the
+    mined artifact needs no intermediate result object.  ``fmt`` is
+    ``"json"`` or ``"csv"``; the serialized text is returned (and written
+    to ``target`` when given).
+    """
+    from repro.errors import ConfigurationError
+
+    rules = source.rules(
+        min_support=min_support,
+        min_confidence=min_confidence,
+        min_lift=min_lift,
+    )
+    if fmt == "json":
+        if target is not None and not isinstance(target, (str, Path)):
+            raise ConfigurationError(
+                "fmt='json' writes to paths only; pass a str or Path target"
+            )
+        return rules_to_json(rules, target)
+    if fmt == "csv":
+        return rules_to_csv(rules, target)
+    raise ConfigurationError(
+        f"unknown export format {fmt!r}; choose 'json' or 'csv'"
+    )
+
+
 def rules_from_json(source: str | Path) -> list[AssociationRule]:
     """Load rules previously written by :func:`rules_to_json`."""
     raw = json.loads(Path(source).read_text())

@@ -65,3 +65,71 @@ class TestCommands:
     def test_unknown_source_errors(self):
         with pytest.raises(SystemExit, match="neither a file nor a dataset"):
             main(["mine", "does-not-exist"])
+
+
+class TestIndexCommands:
+    @pytest.fixture
+    def index_file(self, fimi_file, tmp_path, capsys):
+        path = tmp_path / "clidb.idx"
+        assert main(["index", "build", fimi_file, str(path), "-s", "1"]) == 0
+        capsys.readouterr()  # swallow the build banner
+        return str(path)
+
+    def test_build_reports_artifact(self, fimi_file, tmp_path, capsys):
+        path = tmp_path / "out.idx"
+        assert main(["index", "build", fimi_file, str(path), "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "index written to" in out
+        assert "closed itemsets" in out
+        assert path.exists()
+
+    def test_query_listing_matches_mine(self, fimi_file, index_file, capsys):
+        assert main(["index", "query", index_file, "-s", "6", "-t", "3"]) == 0
+        indexed = capsys.readouterr().out.splitlines()
+        assert main(["mine", fimi_file, "-s", "6", "-t", "3"]) == 0
+        mined = capsys.readouterr().out.splitlines()
+        # Same ranked listing; only the summary line differs.
+        assert indexed[1:] == mined[1:]
+
+    def test_query_single_itemset(self, index_file, capsys):
+        assert main(["index", "query", index_file, "--itemset", "1 2"]) == 0
+        assert capsys.readouterr().out.strip() == "{1,2}: 9"
+
+    def test_query_rules(self, index_file, capsys):
+        assert main(
+            ["index", "query", index_file, "--rules", "-s", "6", "-c", "0.5"]
+        ) == 0
+        assert "rules at confidence" in capsys.readouterr().out
+
+    def test_info_dumps_header(self, index_file, capsys):
+        import json
+
+        assert main(["index", "info", index_file]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kind"] == "itemset-index"
+        assert info["floor"] == 1
+        # read_fimi names the database after the file stem.
+        assert info["dataset"]["name"] == "data"
+
+    def test_query_below_floor_errors(self, fimi_file, tmp_path, capsys):
+        path = tmp_path / "high.idx"
+        assert main(["index", "build", fimi_file, str(path), "-s", "6"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="lower floor"):
+            main(["index", "query", str(path), "-s", "2"])
+
+    def test_open_missing_artifact_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["index", "query", str(tmp_path / "missing.idx")])
+
+    def test_query_records_ledger_run(self, index_file, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        ledger_dir = tmp_path / "runs"
+        assert main(
+            ["index", "query", index_file, "-s", "6",
+             "--ledger-dir", str(ledger_dir)]
+        ) == 0
+        records = Ledger(ledger_dir).last(5)
+        assert [r.kind for r in records] == ["index-query"]
+        assert records[0].config["query"] == "frequent_at"

@@ -80,16 +80,44 @@ class TestEclatMultiprocessingShim:
         assert result.backend == "multiprocessing"
 
 
+class TestClosedItemsetsViaCharmShim:
+    def test_warns(self, tiny_db):
+        from repro.core.charm import closed_itemsets_via_charm
+
+        with pytest.warns(DeprecationWarning, match="closed_itemsets_via_charm"):
+            closed_itemsets_via_charm(tiny_db, 2)
+
+    def test_identical_results(self, tiny_db):
+        from repro.core.charm import closed_itemsets_via_charm
+
+        with pytest.warns(DeprecationWarning):
+            legacy = closed_itemsets_via_charm(tiny_db, 2)
+        engine = repro.mine(tiny_db, algorithm="charm", min_support=2)
+        assert legacy == dict(engine.itemsets)
+
+
 class TestNewPathsDoNotWarn:
     def test_mine_and_wrappers_are_clean(self, tiny_db):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             repro.mine(tiny_db, min_support=2)
+            repro.mine(tiny_db, algorithm="charm", min_support=2)
             repro.apriori(tiny_db, 2, "tidset")
             repro.eclat(tiny_db, 2, "diffset")
             repro.engine.execute(
                 tiny_db, algorithm="eclat", min_support=2,
             )
+
+    def test_index_paths_are_clean(self, tiny_db, tmp_path):
+        from repro.index import ItemsetIndex
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            path = ItemsetIndex.build(tiny_db, 1).save(tmp_path / "t.idx")
+            with ItemsetIndex.open(path) as index:
+                index.frequent_at(2)
+                index.top_k(3)
+            repro.mine(tiny_db, min_support=2, index=path)
 
     def test_scalability_pipeline_is_clean(self, tiny_db):
         from repro.parallel import run_scalability_study

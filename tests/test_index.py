@@ -1,0 +1,252 @@
+"""The closed-itemset index: exactness, persistence, and rejection.
+
+The index's whole contract is "answers at any support >= floor are
+*identical* to re-mining the database".  The hypothesis tests here state
+that literally: for arbitrary small databases, every ``frequent_at`` /
+``support_of`` / ``top_k`` answer must match a fresh ``repro.mine()``
+bit-for-bit — including after a save/mmap-open round trip.  The artifact
+layer must also refuse corrupted, truncated, or mismatched files rather
+than serve wrong answers.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core import MiningResult, Queryable
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError, IndexArtifactError
+from repro.index import INDEX_SCHEMA_VERSION, ItemsetIndex
+from repro.index.artifact import MAGIC
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=6),
+    min_size=0,
+    max_size=12,
+)
+
+
+def _db(transactions) -> TransactionDatabase:
+    return TransactionDatabase(transactions, n_items=8, name="hypo")
+
+
+class TestIndexMatchesFreshMine:
+    @settings(max_examples=50, deadline=None)
+    @given(transactions=transactions_strategy,
+           floor=st.integers(min_value=1, max_value=3),
+           bump=st.integers(min_value=0, max_value=6))
+    def test_frequent_at_is_exact(self, transactions, floor, bump):
+        db = _db(transactions)
+        index = ItemsetIndex.build(db, floor)
+        support = floor + bump
+        expected = repro.mine(db, min_support=support).itemsets
+        assert index.frequent_at(support).itemsets == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(transactions=transactions_strategy,
+           floor=st.integers(min_value=1, max_value=3),
+           query=st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=1, max_size=4, unique=True))
+    def test_support_of_is_exact(self, transactions, floor, query):
+        db = _db(transactions)
+        index = ItemsetIndex.build(db, floor)
+        true_support = db.support_of(tuple(query))
+        answer = index.support_of(query)
+        if true_support >= floor:
+            assert answer == true_support
+        else:
+            # Below the floor the itemset was never indexed.
+            assert answer is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(transactions=transactions_strategy,
+           floor=st.integers(min_value=1, max_value=3),
+           k=st.integers(min_value=0, max_value=10))
+    def test_top_k_matches_result_ranking(self, transactions, floor, k):
+        db = _db(transactions)
+        index = ItemsetIndex.build(db, floor)
+        fresh = repro.mine(db, min_support=floor)
+        assert index.top_k(k) == fresh.top_k(k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(transactions=transactions_strategy,
+           floor=st.integers(min_value=1, max_value=3))
+    def test_round_trip_preserves_every_answer(
+        self, transactions, floor, tmp_path_factory
+    ):
+        db = _db(transactions)
+        built = ItemsetIndex.build(db, floor)
+        path = tmp_path_factory.mktemp("idx") / "hypo.idx"
+        built.save(path)
+        with ItemsetIndex.open(path) as reopened:
+            for support in range(floor, db.n_transactions + 2):
+                assert (
+                    reopened.frequent_at(support).itemsets
+                    == built.frequent_at(support).itemsets
+                )
+
+    def test_rules_match_mining_result_rules(self, tiny_db):
+        index = ItemsetIndex.build(tiny_db, 1)
+        fresh = repro.mine(tiny_db, min_support=2)
+        assert index.rules(min_support=2, min_confidence=0.6) == fresh.rules(
+            min_confidence=0.6
+        )
+
+
+class TestQueryableProtocol:
+    def test_both_implementations_satisfy_protocol(self, tiny_db):
+        assert isinstance(repro.mine(tiny_db, min_support=2), Queryable)
+        assert isinstance(ItemsetIndex.build(tiny_db, 2), Queryable)
+
+    def test_result_query_floor_is_min_support(self, tiny_db):
+        result = repro.mine(tiny_db, min_support=2)
+        assert result.query_floor == 2
+        below = result.frequent_at(2)  # at the floor: allowed
+        assert below.itemsets == result.itemsets
+        with pytest.raises(ConfigurationError, match="query floor"):
+            result.frequent_at(1)
+
+    def test_result_frequent_at_filters_upward(self, tiny_db):
+        result = repro.mine(tiny_db, min_support=2)
+        narrowed = result.frequent_at(3)
+        assert narrowed.itemsets == repro.mine(tiny_db, min_support=3).itemsets
+        assert isinstance(narrowed, MiningResult)
+
+    def test_index_below_floor_query_is_rejected(self, tiny_db):
+        index = ItemsetIndex.build(tiny_db, 3)
+        with pytest.raises(ConfigurationError, match="lower floor"):
+            index.frequent_at(2)
+
+    def test_fractional_supports_resolve_identically(self, tiny_db):
+        index = ItemsetIndex.build(tiny_db, 1)
+        assert (
+            index.frequent_at(0.4).itemsets
+            == repro.mine(tiny_db, min_support=0.4).itemsets
+        )
+
+    def test_top_k_rejects_negative(self, tiny_db):
+        result = repro.mine(tiny_db, min_support=2)
+        with pytest.raises(ConfigurationError):
+            result.top_k(-1)
+
+    def test_render_and_export_accept_both(self, tiny_db, tmp_path):
+        from repro.analysis import render_top_itemsets
+        from repro.rules import export_rules
+
+        result = repro.mine(tiny_db, min_support=2)
+        index = ItemsetIndex.build(tiny_db, 2)
+        assert render_top_itemsets(result, 3) == render_top_itemsets(index, 3)
+        out = tmp_path / "rules.json"
+        assert export_rules(result, out, fmt="json") == export_rules(
+            index, fmt="json"
+        )
+
+
+class TestArtifactPersistence:
+    def test_info_survives_round_trip(self, tiny_db, tmp_path):
+        built = ItemsetIndex.build(tiny_db, 2)
+        path = built.save(tmp_path / "tiny.idx")
+        with ItemsetIndex.open(path) as reopened:
+            assert reopened.schema == INDEX_SCHEMA_VERSION
+            assert reopened.floor == built.floor
+            assert reopened.n_closed == built.n_closed
+            assert reopened.n_transactions == tiny_db.n_transactions
+            assert reopened.config_hash == built.config_hash
+            assert reopened.dataset_fingerprint == built.dataset_fingerprint
+            info = reopened.info()
+            assert info["path"] == str(path)
+            assert info["n_closed"] == len(reopened)
+
+    def test_engine_mine_serves_from_index_path(self, tiny_db, tmp_path):
+        path = ItemsetIndex.build(tiny_db, 1).save(tmp_path / "t.idx")
+        served = repro.mine(tiny_db, min_support=2, index=path)
+        assert served.itemsets == repro.mine(tiny_db, min_support=2).itemsets
+        assert served.backend == "index"
+
+    def test_check_database_rejects_other_dataset(self, tiny_db, paper_db):
+        index = ItemsetIndex.build(tiny_db, 2)
+        with pytest.raises(IndexArtifactError, match="fingerprint"):
+            index.check_database(paper_db)
+        with pytest.raises(IndexArtifactError):
+            repro.mine(paper_db, min_support=2, index=index)
+
+    def test_closed_query_after_close_is_an_error(self, tiny_db, tmp_path):
+        path = ItemsetIndex.build(tiny_db, 2).save(tmp_path / "t.idx")
+        index = ItemsetIndex.open(path)
+        index.close()
+        with pytest.raises(IndexArtifactError, match="closed"):
+            index.frequent_at(2)
+
+    def test_empty_database_round_trips(self, empty_db, tmp_path):
+        path = ItemsetIndex.build(empty_db, 1).save(tmp_path / "e.idx")
+        with ItemsetIndex.open(path) as index:
+            assert len(index) == 0
+            assert index.frequent_at(1).itemsets == {}
+            assert index.support_of((0,)) is None
+
+
+class TestArtifactRejection:
+    @pytest.fixture
+    def artifact(self, tiny_db, tmp_path):
+        return ItemsetIndex.build(tiny_db, 2).save(tmp_path / "tiny.idx")
+
+    def test_bad_magic(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        raw[:4] = b"NOPE"
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(IndexArtifactError, match="magic"):
+            ItemsetIndex.open(artifact)
+
+    def test_truncated_payload(self, artifact):
+        raw = artifact.read_bytes()
+        artifact.write_bytes(raw[: len(raw) - 16])
+        with pytest.raises(IndexArtifactError):
+            ItemsetIndex.open(artifact)
+
+    def test_truncated_to_nothing(self, artifact):
+        artifact.write_bytes(b"RP")
+        with pytest.raises(IndexArtifactError):
+            ItemsetIndex.open(artifact)
+
+    def test_garbage_header(self, artifact):
+        header_len = 64
+        garbage = MAGIC + struct.pack("<Q", header_len) + b"\xff" * header_len
+        artifact.write_bytes(garbage)
+        with pytest.raises(IndexArtifactError, match="header"):
+            ItemsetIndex.open(artifact)
+
+    def test_wrong_schema_version(self, tiny_db, tmp_path):
+        from repro.index import artifact as artifact_mod
+
+        index = ItemsetIndex.build(tiny_db, 2)
+        path = tmp_path / "future.idx"
+        original = artifact_mod.SCHEMA_VERSION
+        artifact_mod.SCHEMA_VERSION = original + 1
+        try:
+            index.save(path)
+        finally:
+            artifact_mod.SCHEMA_VERSION = original
+        with pytest.raises(IndexArtifactError, match="schema"):
+            ItemsetIndex.open(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IndexArtifactError):
+            ItemsetIndex.open(tmp_path / "never-written.idx")
+
+
+class TestIndexLedger:
+    def test_build_and_query_are_recorded(self, tiny_db, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(tmp_path / "runs")
+        index = ItemsetIndex.build(tiny_db, 1, ledger=ledger)
+        path = index.save(tmp_path / "t.idx")
+        repro.mine(tiny_db, min_support=2, index=path, ledger=ledger)
+        kinds = [record.kind for record in ledger.last(10)]
+        assert kinds.count("index-build") == 1
+        assert kinds.count("index-query") == 1
+        query = ledger.last(1)[0]
+        assert query.config["index_config_hash"] == index.config_hash
+        assert query.dataset["name"] == tiny_db.name

@@ -5,15 +5,22 @@ import repro
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_mine_is_exported(self):
         assert callable(repro.mine)
         assert repro.mine is repro.engine.mine
 
     def test_miners_importable(self):
-        for name in ("apriori", "eclat", "fpgrowth", "brute_force"):
+        for name in ("apriori", "eclat", "fpgrowth", "charm", "brute_force"):
             assert callable(getattr(repro, name))
+
+    def test_query_surface_exported(self):
+        from repro.core.queryable import Queryable
+        from repro.index import ItemsetIndex
+
+        assert repro.Queryable is Queryable
+        assert repro.ItemsetIndex is ItemsetIndex
 
     def test_run_variants(self):
         assert callable(repro.run_apriori)
@@ -82,6 +89,8 @@ class TestSubpackageSurfaces:
         assert ("vectorized", "apriori") in engine.supported_combinations()
         assert ("shared_memory", "eclat") in engine.supported_combinations()
         assert ("shared_memory", "apriori") in engine.supported_combinations()
+        assert ("serial", "charm") in engine.supported_combinations()
+        assert "charm" in engine.available_algorithms()
 
     def test_paper_config_importable(self):
         from repro import paper
