@@ -1,0 +1,259 @@
+"""Benchmark: SON out-of-core mining vs in-memory, across partition counts.
+
+Out-of-core mining (``repro.mine(db_path=...)``) trades extra file passes
+and per-partition setup for a bounded memory footprint.  This script
+quantifies that trade and writes ``BENCH_outofcore.json`` at the repo
+root:
+
+* **inmemory_seconds** — one ``repro.mine(read_fimi(path))`` over the
+  whole file (the baseline the SON result must be bit-identical to);
+* **outofcore_seconds.p<P>** — ``mine(db_path=..., n_partitions=P)`` per
+  swept partition count;
+* **predicted_seconds.p<P>** — the cost model's prediction for the same
+  sweep (:func:`repro.outofcore.predict_partition_seconds`, which adds
+  the ``MachineSpec.io_bytes_per_sec`` I/O term to the mining terms);
+* **efficiency_vs_inmemory.p<P>** — ``inmemory / outofcore``, the
+  machine-independent ratio the CI gate compares
+  (``repro obs compare --ratios-only``);
+* **peak_rss_bytes** — the process high-water mark right after the
+  memory-budgeted run (measured *before* any in-memory mine, since RSS
+  never goes down).
+
+``--check`` fails the run unless (a) every swept partition count
+reproduces the in-memory itemsets exactly, and (b) the budgeted run's
+peak RSS stays under ``baseline_rss + slack * max_memory_bytes +
+overhead`` on a dataset whose horizontal form exceeds the budget — the
+ISSUE's bounded-memory acceptance bar.
+
+    PYTHONPATH=src python scripts/bench_outofcore.py               # full
+    PYTHONPATH=src python scripts/bench_outofcore.py --smoke --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datasets import read_fimi, scan_fimi, write_fimi  # noqa: E402
+from repro.datasets.synthetic import QuestGenerator  # noqa: E402
+from repro.engine import mine  # noqa: E402
+from repro.obs import sample_rusage  # noqa: E402
+from repro.outofcore import (  # noqa: E402
+    estimate_chunk_bytes,
+    plan_partitions,
+    predicted_sweet_spot,
+    sweep_partition_counts,
+)
+
+#: RSS ceiling terms for ``--check``: the budget bounds the *chunk*, so the
+#: process may additionally hold the packed chunk matrix, the candidate
+#: table, and numpy temporaries (slack), on top of whatever the interpreter
+#: and imports already mapped (overhead, dominated by numpy itself).
+RSS_SLACK_FACTOR = 4.0
+RSS_FIXED_OVERHEAD_BYTES = 64 * 1024 * 1024
+
+
+def _env_min_ratio(default: float) -> float:
+    """--min-ratio default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=20_000,
+                        help="Quest dataset size (default: 20000)")
+    parser.add_argument("--min-support", type=float, default=0.02,
+                        help="relative support threshold (default: 0.02)")
+    parser.add_argument("--partitions", type=int, nargs="+",
+                        default=[1, 2, 4, 8],
+                        help="partition counts to sweep")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI workload: small dataset, short sweep")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_outofcore.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless results match in-memory mining "
+                             "exactly and the budgeted run respects its "
+                             "RSS ceiling")
+    parser.add_argument("--min-ratio", type=float,
+                        default=_env_min_ratio(0.05),
+                        help="efficiency_vs_inmemory floor for --check "
+                             "(default 0.05, or REPRO_BENCH_MIN_RATIO)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        n_transactions, min_support, partitions, repeats = (
+            2_000, 0.02, [1, 2, 4], 1
+        )
+    else:
+        n_transactions, min_support, partitions, repeats = (
+            args.transactions, args.min_support, sorted(set(args.partitions)),
+            args.repeats,
+        )
+
+    gen = QuestGenerator(
+        n_items=500, avg_transaction_length=10, avg_pattern_length=4, seed=101
+    )
+    db = gen.generate(n_transactions, name="T10I4")
+    path = ROOT / f".bench_outofcore_{db.name}.dat"
+    write_fimi(db, path)
+    try:
+        return _run(args, path, db.name, min_support, partitions, repeats)
+    finally:
+        path.unlink(missing_ok=True)
+
+
+def _run(args, path, dataset, min_support, partitions, repeats) -> int:
+    stats = scan_fimi(path)
+    print(f"dataset={dataset}  transactions={stats.n_transactions}  "
+          f"items={stats.n_items}  file={stats.file_bytes} bytes  "
+          f"s={min_support}")
+
+    # ---- budgeted run first: RSS is a process high-water mark, so the
+    # bounded-memory claim is only measurable before anything loads the
+    # horizontal form.
+    baseline_rss = sample_rusage()["max_rss_bytes"]
+    horizontal_bytes = estimate_chunk_bytes(stats, stats.n_transactions)
+    max_memory_bytes = max(horizontal_bytes // 8, 1)
+    budget_plan = plan_partitions(stats, max_memory_bytes=max_memory_bytes)
+    budgeted = mine(
+        db_path=path, min_support=min_support,
+        max_memory_bytes=max_memory_bytes, live=False,
+    )
+    peak_rss = sample_rusage()["max_rss_bytes"]
+    rss_ceiling = (
+        baseline_rss
+        + RSS_SLACK_FACTOR * max_memory_bytes
+        + RSS_FIXED_OVERHEAD_BYTES
+    )
+    print(f"  budget {max_memory_bytes} B (horizontal ~{horizontal_bytes} B)"
+          f" -> {budget_plan.n_partitions} partitions,"
+          f" peak RSS {peak_rss} B (ceiling {rss_ceiling:.0f} B)")
+
+    # ---- partition-count sweep (still before the in-memory baseline).
+    outofcore_seconds: dict[str, float] = {}
+    sweep_results: dict[int, object] = {}
+    for n_partitions in partitions:
+        key = f"p{n_partitions}"
+        seconds, result = best_of(
+            lambda n=n_partitions: mine(
+                db_path=path, min_support=min_support, n_partitions=n,
+                live=False,
+            ),
+            repeats,
+        )
+        outofcore_seconds[key] = seconds
+        sweep_results[n_partitions] = result
+        print(f"  P={n_partitions:<3d} out-of-core {seconds * 1e3:10.3f} ms"
+              f"  ({len(result)} itemsets)")
+
+    predicted = {
+        f"p{int(row['n_partitions'])}": row["total_seconds"]
+        for row in sweep_partition_counts(stats, partitions)
+    }
+    predicted_spot = predicted_sweet_spot(stats, partitions)
+
+    inmemory_seconds, expected = best_of(
+        lambda: mine(read_fimi(path), min_support=min_support, live=False),
+        repeats,
+    )
+    print(f"  in-memory baseline    {inmemory_seconds * 1e3:10.3f} ms"
+          f"  ({len(expected)} itemsets)")
+
+    efficiency = {
+        key: (inmemory_seconds / seconds if seconds else float("inf"))
+        for key, seconds in outofcore_seconds.items()
+    }
+    measured_spot = min(partitions, key=lambda p: outofcore_seconds[f"p{p}"])
+    print(f"  sweet spot: predicted P={predicted_spot}, "
+          f"measured P={measured_spot}")
+
+    record = {
+        "dataset": dataset,
+        "n_transactions": stats.n_transactions,
+        "n_items": stats.n_items,
+        "file_bytes": stats.file_bytes,
+        "min_support": min_support,
+        "partitions": partitions,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "max_memory_bytes": max_memory_bytes,
+        "budget_n_partitions": budget_plan.n_partitions,
+        "baseline_rss_bytes": baseline_rss,
+        "peak_rss_bytes": peak_rss,
+        "rss_ceiling_bytes": rss_ceiling,
+        "inmemory_seconds": inmemory_seconds,
+        "outofcore_seconds": outofcore_seconds,
+        "predicted_seconds": predicted,
+        "efficiency_vs_inmemory": efficiency,
+        "predicted_sweet_spot": predicted_spot,
+        "measured_sweet_spot": measured_spot,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if budgeted.itemsets != expected.itemsets:
+            failures.append("budgeted run disagrees with in-memory mining")
+        for n_partitions, result in sweep_results.items():
+            if result.itemsets != expected.itemsets:
+                failures.append(
+                    f"P={n_partitions} disagrees with in-memory mining"
+                )
+        if horizontal_bytes <= max_memory_bytes:
+            failures.append(
+                "budget does not force partitioning (horizontal form fits)"
+            )
+        if budget_plan.n_partitions < 2:
+            failures.append("budgeted plan did not split the file")
+        if peak_rss > rss_ceiling:
+            failures.append(
+                f"peak RSS {peak_rss} B exceeds ceiling {rss_ceiling:.0f} B"
+            )
+        slow = {k: v for k, v in efficiency.items() if v < args.min_ratio}
+        if slow:
+            failures.append(
+                f"efficiency below {args.min_ratio:g}: "
+                + ", ".join(f"{k}={v:.3f}" for k, v in sorted(slow.items()))
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: exact at every P, peak RSS within ceiling, "
+              f"worst efficiency {min(efficiency.values()):.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

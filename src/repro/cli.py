@@ -5,7 +5,9 @@ Six subcommands cover the common workflows:
 * ``mine``      — frequent itemsets from a FIMI file or a named surrogate,
   routed through ``repro.mine()`` with ``--backend
   serial|multiprocessing|vectorized|shared_memory`` and
-  ``--representation auto|...``;
+  ``--representation auto|...``; ``--out-of-core`` switches to SON
+  two-phase partitioned mining that streams the file in bounded-memory
+  partitions (``--max-memory-bytes`` / ``--partitions`` shape the plan);
 * ``rules``     — association rules on top of a mining run;
 * ``index``     — the precomputed closed-itemset index: ``index build``
   mines once at a low support floor and persists a memory-mapped
@@ -142,40 +144,76 @@ def _live_status_dir(args: argparse.Namespace) -> Path:
     return default_live_dir() or DEFAULT_LIVE_DIR
 
 
-def _resolve_cli_live(args: argparse.Namespace, db: TransactionDatabase):
+class _ProgressLine:
+    """The ``--progress`` stderr renderer: one refreshing ``\\r`` line.
+
+    Tracks the rendered width so each repaint pads over the previous
+    frame, and so the line can be **erased** when the run dies mid-frame —
+    a traceback must never render glued to stale progress text.
+    """
+
+    def __init__(self) -> None:
+        self.width = 0
+
+    def render(self, document: dict) -> None:
+        from repro.obs.live import progress_line
+
+        line = progress_line(document)
+        padding = " " * max(self.width - len(line), 0)
+        self.width = len(line)
+        print("\r" + line + padding, end="", file=sys.stderr, flush=True)
+
+    def clear(self) -> None:
+        """Erase the status line and return the cursor to column 0."""
+        if self.width:
+            print("\r" + " " * self.width + "\r",
+                  end="", file=sys.stderr, flush=True)
+            self.width = 0
+
+    def finish(self, *, error: bool) -> None:
+        """Leave stderr clean: erase the line on error, else newline it."""
+        if error:
+            self.clear()
+        elif self.width:
+            print(file=sys.stderr)
+            self.width = 0
+
+
+def _resolve_cli_live(
+    args: argparse.Namespace,
+    dataset_name: str,
+    *,
+    kind: str = "mine",
+) -> tuple[object, _ProgressLine | None]:
     """The ``live=`` argument ``cmd_mine`` passes to ``repro.mine()``.
 
     Plain runs defer to the engine (``None`` → ``REPRO_LIVE`` resolution);
     ``--progress`` needs the renderer callback, so it builds the tracker
     here and the engine uses it as-is (still attaching the ledger-history
-    ETA prior).
+    ETA prior).  Returns ``(live, progress)`` where ``progress`` is the
+    stderr renderer (or ``None``) whose :meth:`_ProgressLine.finish` the
+    caller must invoke in a ``finally``.
     """
     if args.no_live:
-        return False
+        return False, None
     if not args.progress:
-        return args.live_dir if args.live_dir else None
+        return (args.live_dir if args.live_dir else None), None
 
-    from repro.obs.live import ProgressTracker, default_live_dir, progress_line
+    from repro.obs.live import ProgressTracker, default_live_dir
 
     # Under a REPRO_LIVE=0 kill switch --progress still renders, from a
     # purely in-memory tracker (directory=None → no status file).
     directory = Path(args.live_dir) if args.live_dir else default_live_dir()
-    previous_width = [0]
-
-    def render(document: dict) -> None:
-        line = progress_line(document)
-        padding = " " * max(previous_width[0] - len(line), 0)
-        previous_width[0] = len(line)
-        print("\r" + line + padding, end="", file=sys.stderr, flush=True)
-
-    return ProgressTracker(
-        kind="mine",
+    progress = _ProgressLine()
+    tracker = ProgressTracker(
+        kind=kind,
         backend=args.backend,
         algorithm=args.algorithm,
-        dataset=db.name,
+        dataset=dataset_name,
         directory=directory,
-        on_update=render,
+        on_update=progress.render,
     )
+    return tracker, progress
 
 
 @contextmanager
@@ -244,7 +282,26 @@ def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    db = _load_database(args.dataset)
+    if not args.out_of_core and (
+        args.max_memory_bytes is not None or args.partitions is not None
+    ):
+        raise SystemExit(
+            "error: --max-memory-bytes / --partitions configure out-of-core "
+            "mining; add --out-of-core"
+        )
+    if args.out_of_core:
+        # Out-of-core streams the file itself; it must be a real path, not
+        # a registry surrogate (those are in-memory by definition).
+        if not Path(args.dataset).exists():
+            raise SystemExit(
+                f"error: --out-of-core needs a FIMI file path; "
+                f"{args.dataset!r} is not a file"
+            )
+        db = None
+        dataset_name = Path(args.dataset).stem
+    else:
+        db = _load_database(args.dataset)
+        dataset_name = db.name
     obs = _build_obs(args)
     # finally: even when a parallel run aborts, the trace file must land on
     # disk (valid JSON) with whatever worker telemetry was merged.
@@ -262,25 +319,45 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 options["spawn_depth"] = args.spawn_depth
             if args.spawn_min is not None:
                 options["spawn_min_members"] = args.spawn_min
-            live = _resolve_cli_live(args, db)
+            live, progress = _resolve_cli_live(
+                args, dataset_name,
+                kind="mine-out-of-core" if args.out_of_core else "mine",
+            )
             try:
-                result = mine(
-                    db,
-                    algorithm=args.algorithm,
-                    representation=args.representation,
-                    backend=args.backend,
-                    min_support=args.min_support,
-                    obs=obs,
-                    ledger=ledger,
-                    live=live,
-                    **options,
-                )
+                if args.out_of_core:
+                    result = mine(
+                        db_path=args.dataset,
+                        algorithm=args.algorithm,
+                        representation=args.representation,
+                        backend=args.backend,
+                        min_support=args.min_support,
+                        max_memory_bytes=args.max_memory_bytes,
+                        n_partitions=args.partitions,
+                        obs=obs,
+                        ledger=ledger,
+                        live=live,
+                        **options,
+                    )
+                else:
+                    result = mine(
+                        db,
+                        algorithm=args.algorithm,
+                        representation=args.representation,
+                        backend=args.backend,
+                        min_support=args.min_support,
+                        obs=obs,
+                        ledger=ledger,
+                        live=live,
+                        **options,
+                    )
             except ReproError as exc:
                 raise SystemExit(f"error: {exc}") from None
             finally:
-                if args.progress:
-                    # The renderer leaves the cursor mid-line.
-                    print(file=sys.stderr)
+                if progress is not None:
+                    # Erase a half-drawn status line when the run raised or
+                    # was interrupted (so the traceback starts at column
+                    # 0); newline-terminate the final frame otherwise.
+                    progress.finish(error=sys.exc_info()[0] is not None)
         print(result.summary())
         if args.top:
             listing = render_top_itemsets(result, args.top)
@@ -660,6 +737,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--spawn-min", type=int, default=None, metavar="M",
         help="worksteal only: smallest class size worth spawning "
              "(default 3)",
+    )
+    mine_cmd.add_argument(
+        "--out-of-core", action="store_true",
+        help="SON two-phase partitioned mining: stream the FIMI file in "
+             "bounded-memory partitions instead of loading it (results "
+             "are bit-identical to the in-memory run)",
+    )
+    mine_cmd.add_argument(
+        "--max-memory-bytes", type=int, default=None, metavar="BYTES",
+        help="out-of-core only: per-partition memory budget; the planner "
+             "picks the smallest partition count whose chunks fit",
+    )
+    mine_cmd.add_argument(
+        "--partitions", type=int, default=None, metavar="P",
+        help="out-of-core only: explicit partition count (overrides the "
+             "budget-derived plan)",
     )
     _add_obs_flags(mine_cmd)
     _add_ledger_flags(mine_cmd)

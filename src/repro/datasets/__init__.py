@@ -2,6 +2,12 @@
 
 from repro.datasets.transaction_db import DatasetStats, TransactionDatabase
 from repro.datasets.fimi import dumps_fimi, parse_fimi, read_fimi, write_fimi
+from repro.datasets.streaming import (
+    StreamStats,
+    partition_chunk_size,
+    scan_fimi,
+    stream_fimi_chunks,
+)
 from repro.datasets.synthetic import (
     DenseAttributeGenerator,
     QuestGenerator,
@@ -36,6 +42,10 @@ __all__ = [
     "read_fimi",
     "write_fimi",
     "dumps_fimi",
+    "StreamStats",
+    "scan_fimi",
+    "stream_fimi_chunks",
+    "partition_chunk_size",
     "QuestGenerator",
     "DenseAttributeGenerator",
     "split_domains",

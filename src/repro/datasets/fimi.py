@@ -6,16 +6,103 @@ text: one transaction per line, items as whitespace-separated non-negative
 integers.  This module parses and emits that format so the real files can be
 dropped into the benchmark harness when available; the surrogates in
 :mod:`repro.datasets.benchmark_suite` are used otherwise.
+
+Real-world mirrors are not always clean ASCII: files arrive with a UTF-8
+byte-order mark, or with stray high bytes from a re-encoding accident.  The
+readers therefore decode **UTF-8, BOM-tolerant**, and every decode failure
+is reported as a :class:`~repro.errors.DatasetError` carrying the line
+number — never a bare ``UnicodeDecodeError``.  Paths are read in binary and
+decoded line-by-line so the reported line number is exact.
+
+:mod:`repro.datasets.streaming` builds on the same line-level primitives to
+read files of any size in bounded memory; :func:`read_fimi` here is the
+small-file convenience that materializes the whole database at once.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import IO, Iterable, Iterator, TextIO
 
 from repro.errors import DatasetError
 from repro.datasets.transaction_db import TransactionDatabase
+
+#: The UTF-8 byte-order mark some FIMI mirrors prepend; tolerated (and
+#: stripped) on the first line only, like ``encoding="utf-8-sig"``.
+UTF8_BOM = b"\xef\xbb\xbf"
+
+
+def decode_line(raw: bytes, lineno: int) -> str:
+    """Decode one raw line as UTF-8, wrapping failures in DatasetError."""
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DatasetError(
+            f"line {lineno}: not valid UTF-8 "
+            f"({exc.reason} at byte {exc.start})"
+        ) from exc
+
+
+def parse_items(line: str, lineno: int) -> list[int]:
+    """Parse one stripped FIMI line into its item list (typed errors)."""
+    try:
+        items = [int(tok) for tok in line.split()]
+    except ValueError as exc:
+        raise DatasetError(f"line {lineno}: non-integer token ({exc})") from exc
+    if any(i < 0 for i in items):
+        raise DatasetError(f"line {lineno}: negative item id")
+    return items
+
+
+def iter_fimi_lines(source: IO) -> Iterator[tuple[int, str]]:
+    """Yield ``(lineno, stripped_line)`` from a text or binary handle.
+
+    Binary handles (how paths are opened here and in the streaming reader)
+    are decoded line-by-line, so a bad byte is attributed to its exact
+    line; a leading UTF-8 BOM is stripped.  Text handles were decoded by
+    the caller's ``open()`` — a decode failure surfacing mid-iteration is
+    still wrapped, attributed to the line being read when it fired.
+    """
+    iterator = iter(source)
+    lineno = 0
+    while True:
+        lineno += 1
+        try:
+            line = next(iterator)
+        except StopIteration:
+            return
+        except UnicodeDecodeError as exc:
+            raise DatasetError(
+                f"line {lineno}: not valid UTF-8 "
+                f"({exc.reason} at byte {exc.start})"
+            ) from exc
+        if isinstance(line, bytes):
+            if lineno == 1 and line.startswith(UTF8_BOM):
+                line = line[len(UTF8_BOM):]
+            line = decode_line(line, lineno)
+        elif lineno == 1 and line.startswith("﻿"):
+            line = line.lstrip("﻿")
+        yield lineno, line.strip()
+
+
+def iter_fimi_transactions(source: IO) -> Iterator[tuple[int, list[int]]]:
+    """Yield ``(lineno, items)`` per transaction, in file order.
+
+    Interior blank lines are yielded as empty transactions (they count
+    toward the transaction total, matching the FIMI tools); **trailing**
+    blank lines are an artifact of text files and are never yielded.
+    Memory use is O(longest run of blank lines), not O(file).
+    """
+    pending_blanks: list[int] = []
+    for lineno, line in iter_fimi_lines(source):
+        if not line:
+            pending_blanks.append(lineno)
+            continue
+        for blank_lineno in pending_blanks:
+            yield blank_lineno, []
+        pending_blanks.clear()
+        yield lineno, parse_items(line, lineno)
 
 
 def parse_fimi(text: str, name: str = "fimi") -> TransactionDatabase:
@@ -30,34 +117,24 @@ def parse_fimi(text: str, name: str = "fimi") -> TransactionDatabase:
 
 
 def read_fimi(source: TextIO | str | Path, name: str | None = None) -> TransactionDatabase:
-    """Read a FIMI ``.dat`` file (path or open text handle)."""
+    """Read a FIMI ``.dat`` file (path or open text handle).
+
+    Paths are read in binary and decoded UTF-8 (BOM-tolerant) line by
+    line; malformed bytes raise :class:`DatasetError` naming the exact
+    line, never a bare ``UnicodeDecodeError``.
+    """
     if isinstance(source, (str, Path)):
         path = Path(source)
-        with path.open("r", encoding="ascii") as handle:
+        with path.open("rb") as handle:
             return read_fimi(handle, name=name or path.stem)
-    transactions: list[list[int]] = []
-    for lineno, line in enumerate(source, start=1):
-        line = line.strip()
-        if not line:
-            transactions.append([])
-            continue
-        try:
-            items = [int(tok) for tok in line.split()]
-        except ValueError as exc:
-            raise DatasetError(f"line {lineno}: non-integer token ({exc})") from exc
-        if any(i < 0 for i in items):
-            raise DatasetError(f"line {lineno}: negative item id")
-        transactions.append(items)
-    # Trailing blank lines are an artifact of text files, not transactions.
-    while transactions and not transactions[-1]:
-        transactions.pop()
+    transactions = [items for _, items in iter_fimi_transactions(source)]
     return TransactionDatabase(transactions, name=name or "fimi")
 
 
 def write_fimi(db: TransactionDatabase, target: TextIO | str | Path) -> None:
     """Write a database in FIMI format (round-trips with :func:`read_fimi`)."""
     if isinstance(target, (str, Path)):
-        with Path(target).open("w", encoding="ascii") as handle:
+        with Path(target).open("w", encoding="utf-8") as handle:
             write_fimi(db, handle)
         return
     for transaction in db:

@@ -1,0 +1,163 @@
+"""Bounded-memory streaming reader for FIMI transaction files.
+
+:func:`repro.datasets.fimi.read_fimi` materializes the entire horizontal
+database — one ``list`` of numpy arrays — which is exactly what out-of-core
+mining cannot afford.  This module provides the streaming contract the SON
+two-phase driver (:mod:`repro.outofcore`) is built on:
+
+* :func:`scan_fimi` — one sequential pass that validates the whole file and
+  returns :class:`StreamStats` (transaction count, universe size, token
+  count, byte size, sha256) while holding only a single line in memory.
+  The stats pin the *global* universe ``n_items`` so every later chunk is
+  built against the same item-id space, and the sha256 lets the run ledger
+  fingerprint a dataset it never fully loads.
+* :func:`stream_fimi_chunks` — sequential :class:`TransactionDatabase`
+  chunks of a caller-chosen transaction count.  Peak memory is one chunk,
+  never the file.  Concatenating the chunks in order reproduces
+  ``read_fimi(path)`` transaction-for-transaction (the property tests pin
+  this), so any chunk-wise algorithm that is union/sum-decomposable gets
+  bit-identical results to the in-memory path.
+
+Both functions share :func:`repro.datasets.fimi.iter_fimi_transactions`,
+so parse semantics (UTF-8 BOM tolerance, interior blank lines as empty
+transactions, trailing blank lines dropped, ``DatasetError`` with line
+numbers) are identical to the in-memory reader by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import DatasetError
+from repro.datasets.fimi import iter_fimi_transactions
+from repro.datasets.transaction_db import TransactionDatabase
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """What one validating scan learns about a FIMI file.
+
+    ``total_items`` counts raw tokens (before per-transaction dedup), so
+    ``4 * total_items`` bounds the horizontal in-memory item payload.
+    ``sha256`` hashes the raw file bytes — the fingerprint for ledger
+    records of runs that never hold the full database.
+    """
+
+    path: str
+    n_transactions: int
+    n_items: int
+    total_items: int
+    file_bytes: int
+    sha256: str
+
+    @property
+    def avg_length(self) -> float:
+        if self.n_transactions == 0:
+            return 0.0
+        return self.total_items / self.n_transactions
+
+    def fingerprint(self) -> dict:
+        """Ledger-ready dataset fingerprint (mirrors fingerprint_database)."""
+        return {
+            "name": Path(self.path).stem,
+            "n_transactions": self.n_transactions,
+            "n_items": self.n_items,
+            "avg_length": round(self.avg_length, 6),
+            "sha256": self.sha256,
+            "file_bytes": self.file_bytes,
+        }
+
+
+def scan_fimi(path: str | Path) -> StreamStats:
+    """Validate a FIMI file in one bounded-memory pass and return its stats.
+
+    Raises :class:`DatasetError` (with the line number) on the first
+    malformed line, exactly like :func:`read_fimi` would — a file that
+    scans clean is guaranteed to stream clean.
+    """
+    path = Path(path)
+    hasher = hashlib.sha256()
+    file_bytes = 0
+    n_transactions = 0
+    max_item = -1
+    total_items = 0
+    with path.open("rb") as handle:
+
+        def hashed_lines() -> Iterator[bytes]:
+            nonlocal file_bytes
+            for raw in handle:
+                hasher.update(raw)
+                file_bytes += len(raw)
+                yield raw
+
+        for _, items in iter_fimi_transactions(hashed_lines()):
+            n_transactions += 1
+            total_items += len(items)
+            if items:
+                largest = max(items)
+                if largest > max_item:
+                    max_item = largest
+    return StreamStats(
+        path=str(path),
+        n_transactions=n_transactions,
+        n_items=max_item + 1,
+        total_items=total_items,
+        file_bytes=file_bytes,
+        sha256=hasher.hexdigest(),
+    )
+
+
+def stream_fimi_chunks(
+    path: str | Path,
+    chunk_transactions: int,
+    *,
+    n_items: int | None = None,
+    name: str | None = None,
+) -> Iterator[TransactionDatabase]:
+    """Yield a FIMI file as sequential ``TransactionDatabase`` chunks.
+
+    Every chunk holds at most ``chunk_transactions`` transactions; only the
+    final chunk may be smaller, and an empty file yields nothing.  Pass the
+    global universe size from :func:`scan_fimi` as ``n_items`` so item ids
+    index identically across chunks (required by the packed-bitvector
+    counting kernels) — without it each chunk would infer its own, smaller
+    universe from the items it happens to contain.
+    """
+    if chunk_transactions <= 0:
+        raise DatasetError(
+            f"chunk_transactions must be positive, got {chunk_transactions}"
+        )
+    path = Path(path)
+    base = name or path.stem
+    with path.open("rb") as handle:
+        buffered: list[list[int]] = []
+        index = 0
+        for _, items in iter_fimi_transactions(handle):
+            buffered.append(items)
+            if len(buffered) >= chunk_transactions:
+                yield TransactionDatabase(
+                    buffered, n_items=n_items, name=f"{base}[chunk{index}]"
+                )
+                index += 1
+                buffered = []
+        if buffered:
+            yield TransactionDatabase(
+                buffered, n_items=n_items, name=f"{base}[chunk{index}]"
+            )
+
+
+def partition_chunk_size(n_transactions: int, n_partitions: int) -> int:
+    """Chunk size that splits ``n_transactions`` into ``n_partitions`` pieces.
+
+    Ceil division: the first ``n_partitions - 1`` chunks are equal and the
+    last takes the remainder, so :func:`stream_fimi_chunks` yields exactly
+    ``min(n_partitions, n_transactions)`` non-empty chunks.
+    """
+    if n_partitions <= 0:
+        raise DatasetError(f"n_partitions must be positive, got {n_partitions}")
+    if n_transactions <= 0:
+        return 1
+    return -(-n_transactions // n_partitions)

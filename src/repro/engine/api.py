@@ -275,7 +275,7 @@ def _mine_from_index(
 
 
 def mine(
-    db: TransactionDatabase,
+    db: TransactionDatabase | None = None,
     *,
     algorithm: str = "eclat",
     representation: Representation | str = "auto",
@@ -285,6 +285,9 @@ def mine(
     ledger=None,
     live=None,
     index=None,
+    db_path: str | Path | None = None,
+    max_memory_bytes: int | None = None,
+    n_partitions: int | None = None,
     **options,
 ) -> MiningResult:
     """Mine frequent itemsets — the one documented entry point.
@@ -292,7 +295,8 @@ def mine(
     Parameters
     ----------
     db:
-        The transaction database.
+        The transaction database.  Omit it (and pass ``db_path``) to mine
+        out-of-core from a file instead.
     algorithm:
         ``"apriori"``, ``"eclat"``, ``"fpgrowth"``, or ``"charm"``
         (closed itemsets only; both serial).
@@ -335,6 +339,19 @@ def mine(
         :class:`~repro.errors.ConfigurationError` otherwise).  When set,
         ``algorithm`` / ``representation`` / ``backend`` / ``live`` and
         backend options are ignored — nothing executes.
+    db_path:
+        Path to a FIMI ``.dat`` file to mine **out-of-core** via SON
+        two-phase partitioned mining (:mod:`repro.outofcore`): the file is
+        streamed in bounded-memory partitions, never fully loaded, and the
+        result is bit-identical to mining ``read_fimi(db_path)`` in
+        memory.  Mutually exclusive with ``db`` and ``index``.
+    max_memory_bytes:
+        Out-of-core only: per-partition memory budget; the planner picks
+        the smallest partition count whose chunks fit
+        (:func:`repro.outofcore.plan_partitions`).
+    n_partitions:
+        Out-of-core only: explicit partition count (overrides the
+        budget-derived plan).
     options:
         Backend-specific extras (e.g. ``n_workers`` for multiprocessing,
         ``prune`` / ``max_generations`` for Apriori, ``item_order`` for
@@ -351,6 +368,42 @@ def mine(
         options.
     """
     from repro.obs.ledger import default_ledger, record_run
+
+    if db_path is not None:
+        if db is not None or index is not None:
+            raise ConfigurationError(
+                "db_path= is mutually exclusive with db and index; "
+                "out-of-core mining streams the file itself"
+            )
+        from repro.outofcore import mine_out_of_core
+
+        return mine_out_of_core(
+            db_path,
+            min_support=min_support,
+            algorithm=algorithm,
+            representation=(
+                representation.name
+                if isinstance(representation, Representation)
+                else representation
+            ),
+            backend=backend,
+            n_partitions=n_partitions,
+            max_memory_bytes=max_memory_bytes,
+            obs=obs,
+            ledger=ledger,
+            live=live,
+            **options,
+        )
+    if db is None:
+        raise ConfigurationError(
+            "mine() needs a database: pass db (in-memory) or db_path "
+            "(out-of-core)"
+        )
+    if max_memory_bytes is not None or n_partitions is not None:
+        raise ConfigurationError(
+            "max_memory_bytes / n_partitions apply to out-of-core mining "
+            "only; pass db_path= instead of db"
+        )
 
     if index is not None:
         return _mine_from_index(

@@ -354,6 +354,9 @@ class ItemsetIndex:
         omitted) and reuses the standard generation + metrics pipeline in
         :mod:`repro.rules`.
         """
+        # Checked here too (not only inside frequent_at) so every Queryable
+        # method fails the same way on a closed index.
+        self._check_open()
         from repro.rules.generation import generate_rules
 
         result = self.frequent_at(

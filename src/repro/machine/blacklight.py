@@ -103,6 +103,15 @@ class MachineSpec:
     #: remote round trip.
     steal_attempt_cost: float = 2.0e-6
 
+    #: Sustained sequential file-read bandwidth (B/s) — the rate an
+    #: out-of-core pass streams a ``.dat`` file off storage.  Blacklight's
+    #: Lustre scratch sustained ~500 MB/s for a single-client sequential
+    #: read, which also matches a modern single SATA-SSD stream, so the
+    #: preset transfers.  Priced by
+    #: :meth:`repro.machine.cost_model.CostModel.io_time` and swept over
+    #: partition counts by :mod:`repro.outofcore.planner`.
+    io_bytes_per_sec: float = 5.0e8
+
     def __post_init__(self) -> None:
         numeric = {
             "element_rate": self.element_rate,
@@ -111,6 +120,7 @@ class MachineSpec:
             "remote_stream_bandwidth": self.remote_stream_bandwidth,
             "serial_op_rate": self.serial_op_rate,
             "bisection_bandwidth": self.bisection_bandwidth,
+            "io_bytes_per_sec": self.io_bytes_per_sec,
         }
         for field_name, value in numeric.items():
             if value <= 0:

@@ -104,6 +104,19 @@ class CostModel:
         """Per-iteration bookkeeping cost (payload-independent)."""
         return self.spec.iteration_overhead_ops * n_iterations / self.spec.element_rate
 
+    def io_time(self, file_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Seconds to stream bytes sequentially off storage.
+
+        The out-of-core SON driver reads the dataset file twice (partition
+        mining, then global candidate counting); each pass is priced at the
+        machine's sustained sequential read rate.  Partition count does not
+        change this term — every partitioning reads the same bytes — which
+        is why the partition sweep's I/O floor is flat.
+        """
+        return (
+            np.asarray(file_bytes, dtype=np.float64) / self.spec.io_bytes_per_sec
+        )
+
 
 def record_region_attribution(
     obs,

@@ -12,7 +12,10 @@ One comparator handles every record shape the repo produces:
   ``measured_speedup.*`` / ``sim_speedup.*`` ratios;
 * **``BENCH_index.json``** — ``build_seconds``, per-support
   ``mine_seconds.*`` / ``query_seconds.*``, and the
-  ``speedup_vs_remine.*`` ratios.
+  ``speedup_vs_remine.*`` ratios;
+* **``BENCH_outofcore.json``** — ``inmemory_seconds``, per-partition-count
+  ``outofcore_seconds.*`` / ``predicted_seconds.*``, ``peak_rss_bytes``,
+  and the ``efficiency_vs_inmemory.*`` ratios.
 
 Each metric has a *direction*: for ``lower``-is-better metrics (seconds,
 bytes) a regression is ``current > baseline * (1 + threshold)``; for
@@ -146,6 +149,17 @@ def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
     for group, direction in (
         ("mine_seconds", "lower"), ("query_seconds", "lower"),
         ("speedup_vs_remine", "higher"),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction)
+    # BENCH_outofcore.json shape.
+    put("inmemory_seconds", record.get("inmemory_seconds"), "lower")
+    put("peak_rss_bytes", record.get("peak_rss_bytes"), "lower")
+    for group, direction in (
+        ("outofcore_seconds", "lower"), ("predicted_seconds", "lower"),
+        ("efficiency_vs_inmemory", "higher"),
     ):
         values = record.get(group)
         if isinstance(values, Mapping):

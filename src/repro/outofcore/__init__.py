@@ -1,0 +1,42 @@
+"""Out-of-core mining: SON two-phase partitioned mining over streamed data.
+
+The in-memory stack (``repro.mine``) assumes the vertical database fits in
+RAM; this package removes that assumption.  :func:`mine_out_of_core`
+streams a FIMI file in bounded-memory partitions, mines each with any
+registered (backend, algorithm) at a scaled threshold, and re-streams the
+file to count the candidate union exactly — results are bit-identical to
+the in-memory path.  :mod:`repro.outofcore.planner` turns a memory budget
+into a partition count and prices partition-count sweeps on the machine
+cost model (the ``io_bytes_per_sec`` term).
+
+The usual entry point is the facade: ``repro.mine(db_path=...,
+max_memory_bytes=...)`` or the CLI's ``repro mine FILE --out-of-core``.
+"""
+
+from repro.outofcore.planner import (
+    PartitionPlan,
+    estimate_chunk_bytes,
+    plan_partitions,
+    predict_partition_seconds,
+    predicted_sweet_spot,
+    sweep_partition_counts,
+)
+from repro.outofcore.son import (
+    count_candidate_supports,
+    local_min_support,
+    mine_out_of_core,
+    union_candidates,
+)
+
+__all__ = [
+    "PartitionPlan",
+    "estimate_chunk_bytes",
+    "plan_partitions",
+    "predict_partition_seconds",
+    "predicted_sweet_spot",
+    "sweep_partition_counts",
+    "count_candidate_supports",
+    "local_min_support",
+    "mine_out_of_core",
+    "union_candidates",
+]

@@ -1,0 +1,285 @@
+"""Partition planning and cost prediction for out-of-core SON mining.
+
+Two questions are answered here, both from a :class:`StreamStats` scan and
+without loading the database:
+
+1. **How many partitions does a memory budget force?**
+   :func:`plan_partitions` estimates the peak in-memory footprint of one
+   partition (horizontal chunk + packed bit matrix + vertical tidlists —
+   the three co-resident structures a phase-1 mine touches) and picks the
+   smallest partition count whose chunks fit ``max_memory_bytes``.  Fewer
+   partitions is always better when memory allows (see below), so the
+   smallest feasible count *is* the plan.
+
+2. **What will a given partition count cost?**
+   :func:`predict_partition_seconds` prices the SON two-phase dataflow on a
+   :class:`~repro.machine.cost_model.CostModel`: two sequential file passes
+   (the new ``io_time`` term — flat in the partition count, every
+   partitioning reads the same bytes), parsing, the mining work itself, a
+   per-partition setup term (each chunk packs its own bit matrix and pays
+   fixed bookkeeping), and a phase-2 counting term that **grows** with the
+   partition count because smaller partitions mean lower local thresholds
+   and therefore more false-positive candidates to count globally.
+   :func:`sweep_partition_counts` evaluates a whole sweep; together with
+   :func:`plan_partitions` it predicts the sweet spot that
+   ``scripts/bench_outofcore.py`` then measures: *total time rises
+   monotonically past the smallest feasible partition count*, so the
+   predicted optimum is ``plan_partitions(...).n_partitions``.
+
+The constants here are first-order: they rank partition counts and expose
+the I/O floor, they do not promise wall-clock accuracy on any particular
+disk.  Each is documented with its provenance so ablations can move them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datasets.streaming import StreamStats, partition_chunk_size
+from repro.errors import ConfigurationError
+from repro.machine.cost_model import CostModel
+from repro.representations.bitvector_numpy import bytes_for
+
+#: Python/numpy fixed overhead per transaction held in a chunk: one small
+#: ``ndarray`` (~112 bytes of header) plus its list slot.
+PER_TRANSACTION_OVERHEAD_BYTES = 120
+
+#: Bytes per item occurrence across the co-resident structures of one
+#: partition: 4 (int32 horizontal) + 8 (int64 tidlist the vertical
+#: builders materialize).
+PER_TOKEN_BYTES = 12
+
+#: Serial ops charged per parsed token (int conversion + append); the
+#: parse term uses the machine's ``serial_op_rate``.
+PARSE_OPS_PER_TOKEN = 8
+
+#: Element ops charged per token for the phase-1 mine itself.  Eclat-style
+#: miners touch each occurrence a handful of times across the prefix tree;
+#: this calibrates the mining term's order of magnitude only.
+MINING_OPS_PER_TOKEN = 32
+
+#: Relative growth in the global candidate set per additional partition.
+#: Lower local thresholds admit more locally-frequent-only itemsets; ~2%
+#: extra candidates per partition matches what the Quest surrogates show
+#: in ``BENCH_outofcore.json`` and keeps the counting term visibly
+#: increasing in the sweep.
+CANDIDATE_BLOWUP_PER_PARTITION = 0.02
+
+#: Default chunk size when neither a budget nor a partition count is
+#: given: a multiple of the 64-bit packing block that keeps a chunk's
+#: packed matrix small on every surrogate.
+DEFAULT_CHUNK_TRANSACTIONS = 65536
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The resolved partitioning of one out-of-core run."""
+
+    n_partitions: int
+    chunk_transactions: int
+    estimated_chunk_bytes: int
+    n_transactions: int
+    max_memory_bytes: int | None = None
+
+
+def estimate_chunk_bytes(stats: StreamStats, chunk_transactions: int) -> int:
+    """Estimated peak bytes while one chunk of the file is being mined.
+
+    Sums the horizontal chunk (item payload + per-transaction overhead),
+    the packed ``n_items x bytes_for(chunk)`` bit matrix, and the vertical
+    tidlists — all three coexist at the peak of a phase-1 mine.  The
+    estimate is deliberately conservative (structures priced as fully
+    co-resident); the bench's measured-RSS check keeps it honest.
+    """
+    chunk = max(0, min(chunk_transactions, stats.n_transactions))
+    tokens = stats.avg_length * chunk
+    horizontal = tokens * PER_TOKEN_BYTES + chunk * PER_TRANSACTION_OVERHEAD_BYTES
+    packed = stats.n_items * bytes_for(chunk)
+    return int(math.ceil(horizontal + packed))
+
+
+def plan_partitions(
+    stats: StreamStats,
+    *,
+    max_memory_bytes: int | None = None,
+    n_partitions: int | None = None,
+) -> PartitionPlan:
+    """Resolve how many partitions an out-of-core run should use.
+
+    An explicit ``n_partitions`` wins.  Otherwise a ``max_memory_bytes``
+    budget picks the smallest partition count whose estimated chunk
+    footprint fits (binary search — the footprint is monotone in chunk
+    size), raising :class:`ConfigurationError` when even one-transaction
+    chunks overflow the budget.  With neither constraint, chunks default
+    to :data:`DEFAULT_CHUNK_TRANSACTIONS` transactions.
+    """
+    n = stats.n_transactions
+    if n_partitions is not None:
+        if n_partitions < 1:
+            raise ConfigurationError(
+                f"n_partitions must be >= 1, got {n_partitions}"
+            )
+        chunk = partition_chunk_size(n, n_partitions)
+        return PartitionPlan(
+            n_partitions=min(n_partitions, max(n, 1)),
+            chunk_transactions=chunk,
+            estimated_chunk_bytes=estimate_chunk_bytes(stats, chunk),
+            n_transactions=n,
+            max_memory_bytes=max_memory_bytes,
+        )
+    if max_memory_bytes is None:
+        chunk = min(DEFAULT_CHUNK_TRANSACTIONS, max(n, 1))
+        return PartitionPlan(
+            n_partitions=-(-n // chunk) if n else 1,
+            chunk_transactions=chunk,
+            estimated_chunk_bytes=estimate_chunk_bytes(stats, chunk),
+            n_transactions=n,
+        )
+    if max_memory_bytes < 1:
+        raise ConfigurationError(
+            f"max_memory_bytes must be >= 1, got {max_memory_bytes}"
+        )
+    if n == 0:
+        return PartitionPlan(
+            n_partitions=1, chunk_transactions=1, estimated_chunk_bytes=0,
+            n_transactions=0, max_memory_bytes=max_memory_bytes,
+        )
+    if estimate_chunk_bytes(stats, 1) > max_memory_bytes:
+        raise ConfigurationError(
+            f"max_memory_bytes={max_memory_bytes} is below the estimated "
+            f"footprint of a single-transaction chunk "
+            f"({estimate_chunk_bytes(stats, 1)} bytes) for {stats.path}"
+        )
+    lo, hi = 1, n  # smallest feasible partition count in [lo, hi]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if estimate_chunk_bytes(
+            stats, partition_chunk_size(n, mid)
+        ) <= max_memory_bytes:
+            hi = mid
+        else:
+            lo = mid + 1
+    chunk = partition_chunk_size(n, lo)
+    return PartitionPlan(
+        n_partitions=lo,
+        chunk_transactions=chunk,
+        estimated_chunk_bytes=estimate_chunk_bytes(stats, chunk),
+        n_transactions=n,
+        max_memory_bytes=max_memory_bytes,
+    )
+
+
+def predict_partition_seconds(
+    stats: StreamStats,
+    n_partitions: int,
+    *,
+    model: CostModel | None = None,
+    expected_candidates: int | None = None,
+) -> dict[str, float]:
+    """Predicted SON two-phase seconds at one partition count, by phase.
+
+    Returns a breakdown dict (``io_seconds``, ``parse_seconds``,
+    ``mine_seconds``, ``setup_seconds``, ``count_seconds``,
+    ``total_seconds``).  Only ``setup_seconds`` and ``count_seconds``
+    depend on the partition count, so the predicted curve is an I/O +
+    mining floor plus a monotone partition penalty — which is exactly the
+    claim the measured sweep in ``scripts/bench_outofcore.py`` tests.
+    """
+    if n_partitions < 1:
+        raise ConfigurationError(
+            f"n_partitions must be >= 1, got {n_partitions}"
+        )
+    model = model or CostModel()
+    n = stats.n_transactions
+    chunk = partition_chunk_size(n, n_partitions)
+    parts = -(-n // chunk) if n else 1
+    candidates = float(expected_candidates
+                       if expected_candidates is not None else stats.n_items)
+
+    io_seconds = 2.0 * float(model.io_time(stats.file_bytes))
+    parse_seconds = 2.0 * model.serial_time(
+        stats.total_items * PARSE_OPS_PER_TOKEN
+    )
+    mine_seconds = float(model.compute_time(
+        stats.total_items * MINING_OPS_PER_TOKEN
+    ))
+    # Each partition packs its own bit matrix (local traffic) and pays the
+    # per-region bookkeeping once.
+    pack_bytes_per_part = stats.n_items * bytes_for(chunk)
+    setup_seconds = parts * (
+        float(model.local_time(pack_bytes_per_part))
+        + model.iteration_overhead_time(stats.n_items)
+    )
+    # Phase 2 ANDs + popcounts every candidate against every packed chunk:
+    # ~n/8 bytes per candidate across the whole file, inflated by the
+    # false-positive blowup that lower local thresholds admit.
+    blowup = 1.0 + CANDIDATE_BLOWUP_PER_PARTITION * (parts - 1)
+    count_bytes = candidates * blowup * bytes_for(max(n, 1))
+    count_seconds = float(model.compute_time(count_bytes)) + float(
+        model.local_time(count_bytes)
+    )
+    total = io_seconds + parse_seconds + mine_seconds + setup_seconds + count_seconds
+    return {
+        "n_partitions": float(parts),
+        "chunk_transactions": float(chunk),
+        "io_seconds": io_seconds,
+        "parse_seconds": parse_seconds,
+        "mine_seconds": mine_seconds,
+        "setup_seconds": setup_seconds,
+        "count_seconds": count_seconds,
+        "total_seconds": total,
+    }
+
+
+def sweep_partition_counts(
+    stats: StreamStats,
+    partition_counts: Sequence[int],
+    *,
+    model: CostModel | None = None,
+    expected_candidates: int | None = None,
+) -> list[dict[str, float]]:
+    """Predicted breakdowns across a partition-count sweep (the simulator
+    side of the E15 experiment)."""
+    return [
+        predict_partition_seconds(
+            stats, p, model=model, expected_candidates=expected_candidates
+        )
+        for p in partition_counts
+    ]
+
+
+def predicted_sweet_spot(
+    stats: StreamStats,
+    partition_counts: Sequence[int],
+    *,
+    max_memory_bytes: int | None = None,
+    model: CostModel | None = None,
+    expected_candidates: int | None = None,
+) -> int:
+    """The partition count the model predicts fastest, honoring the budget.
+
+    Infeasible counts (estimated chunk footprint above the budget) are
+    excluded; among feasible ones the smallest predicted total wins.
+    Raises :class:`ConfigurationError` when nothing in the sweep fits.
+    """
+    feasible = []
+    for p in partition_counts:
+        chunk = partition_chunk_size(stats.n_transactions, p)
+        if (
+            max_memory_bytes is not None
+            and estimate_chunk_bytes(stats, chunk) > max_memory_bytes
+        ):
+            continue
+        feasible.append(p)
+    if not feasible:
+        raise ConfigurationError(
+            f"no partition count in {list(partition_counts)} fits "
+            f"max_memory_bytes={max_memory_bytes}"
+        )
+    sweep = sweep_partition_counts(
+        stats, feasible, model=model, expected_candidates=expected_candidates
+    )
+    best = min(sweep, key=lambda row: row["total_seconds"])
+    return int(best["n_partitions"])

@@ -1,0 +1,332 @@
+"""SON two-phase partitioned mining over the streaming reader.
+
+The classic Savasere–Omiecinski–Navathe argument, run on top of the
+existing engine:
+
+* **Phase 1 (partition mining).**  Stream the FIMI file as bounded-memory
+  :class:`TransactionDatabase` chunks.  Partition *i* with ``n_i`` of the
+  ``N`` transactions is mined by any registered (backend, algorithm) pair
+  at the scaled local threshold ``ceil(s * n_i / N)``.  If an itemset
+  misses that threshold in *every* partition its global count is at most
+  ``sum_i (ceil(s * n_i / N) - 1) < sum_i s * n_i / N = s``, so the union
+  of the local results is a **superset** of every globally frequent
+  itemset — no false negatives, only false positives.
+* **Phase 2 (global counting).**  Re-stream the file and count exactly the
+  candidate supports, vectorized: each chunk is packed once into the
+  ``n_items x bytes`` bit matrix and every candidate's support over the
+  chunk is one gather + ``bitwise_and.reduce`` + table-lookup popcount
+  (:mod:`repro.representations.bitvector_numpy`).  Summing the int64
+  per-chunk counts gives exact global supports, and filtering at ``s``
+  yields results **bit-identical** to in-memory :func:`repro.mine` — the
+  property test in ``tests/test_outofcore.py`` pins this across random
+  databases, thresholds, and partition counts.
+
+Peak memory is one chunk plus the candidate table; the file is read twice
+and never held.  Observability matches the in-memory path: one ledger
+record (``kind="mine-out-of-core"``, dataset fingerprinted by the scan's
+sha256), and the live-progress plane sees partition/chunk completions as
+the monotone fraction (scan + phase-1 partitions + phase-2 chunks).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.result import MiningResult, resolve_support_count
+from repro.datasets.streaming import (
+    StreamStats,
+    scan_fimi,
+    stream_fimi_chunks,
+)
+from repro.engine.registry import get_backend_entry
+from repro.errors import ConfigurationError
+from repro.outofcore.planner import PartitionPlan, plan_partitions
+from repro.representations.bitvector_numpy import pack_database, popcount_rows
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsContext
+
+#: Candidates counted per vectorized batch in phase 2; bounds the gathered
+#: ``batch x k x n_bytes`` operand to a few MB regardless of how many
+#: candidates phase 1 produced.
+CANDIDATE_BATCH = 2048
+
+#: Algorithms whose results are all frequent itemsets — the precondition
+#: for the SON superset argument.  A closed-only miner (charm) would drop
+#: globally frequent itemsets that are closed in no partition.
+_SON_ALGORITHMS_EXCLUDED = frozenset({"charm"})
+
+
+def local_min_support(
+    global_min_support: int, partition_transactions: int, total_transactions: int
+) -> int:
+    """The scaled phase-1 threshold ``max(1, ceil(s * n_i / N))``.
+
+    Integer ceiling keeps the SON superset guarantee exact: an itemset
+    locally infrequent everywhere has global support strictly below ``s``.
+    """
+    if total_transactions <= 0:
+        return 1
+    scaled = -(-global_min_support * partition_transactions // total_transactions)
+    return max(1, int(scaled))
+
+
+def count_candidate_supports(
+    db_path: str | Path,
+    candidates: Sequence[tuple[int, ...]],
+    *,
+    n_items: int,
+    chunk_transactions: int,
+    candidate_batch: int = CANDIDATE_BATCH,
+    on_chunk=None,
+) -> np.ndarray:
+    """Exact global supports of ``candidates`` via one streaming pass.
+
+    Candidates are grouped by size ``k``; per chunk each group gathers its
+    item rows from the packed chunk matrix (``[batch, k, n_bytes]``),
+    reduces with ``bitwise_and`` across the ``k`` axis, and popcounts —
+    int64 accumulation across chunks cannot overflow.  ``on_chunk`` (when
+    given) is called once per processed chunk, feeding the progress plane.
+    """
+    supports = np.zeros(len(candidates), dtype=np.int64)
+    if not candidates:
+        if on_chunk is not None:
+            for _ in stream_fimi_chunks(
+                db_path, chunk_transactions, n_items=n_items
+            ):
+                on_chunk()
+        return supports
+    by_size: dict[int, list[int]] = {}
+    for position, candidate in enumerate(candidates):
+        if len(candidate) == 0:
+            raise ConfigurationError("cannot count the empty itemset")
+        by_size.setdefault(len(candidate), []).append(position)
+    groups = [
+        (
+            np.asarray(positions, dtype=np.int64),
+            np.asarray([candidates[i] for i in positions], dtype=np.int64),
+        )
+        for positions in by_size.values()
+    ]
+    batch = max(1, int(candidate_batch))
+    for chunk in stream_fimi_chunks(db_path, chunk_transactions, n_items=n_items):
+        matrix = pack_database(chunk)
+        for positions, item_rows in groups:
+            for start in range(0, positions.size, batch):
+                rows = matrix[item_rows[start:start + batch]]
+                joined = np.bitwise_and.reduce(rows, axis=1)
+                supports[positions[start:start + batch]] += popcount_rows(joined)
+        if on_chunk is not None:
+            on_chunk()
+    return supports
+
+
+def _resolve_tracker(live, *, backend, algorithm, dataset):
+    """Out-of-core twin of the engine's ``_resolve_live`` (no db object)."""
+    from repro.obs import live as live_mod
+
+    if live is False:
+        return None
+    if isinstance(live, live_mod.ProgressTracker):
+        return live
+    if live is None:
+        directory = live_mod.default_live_dir()
+        if directory is None:
+            return None
+    else:
+        directory = Path(live)
+    return live_mod.ProgressTracker(
+        kind="mine-out-of-core",
+        backend=backend,
+        algorithm=algorithm,
+        dataset=dataset,
+        directory=directory,
+    )
+
+
+def _phase1_candidates(
+    db_path: str | Path,
+    stats: StreamStats,
+    plan: PartitionPlan,
+    *,
+    entry,
+    representation,
+    min_sup: int,
+    obs,
+    tracker,
+    options: dict,
+) -> tuple[set[tuple[int, ...]], str | None]:
+    """Mine every partition at its scaled threshold; union the itemsets.
+
+    Returns the candidate set and the vertical format the partitions were
+    mined with (``None`` when the file had no transactions to mine).
+    """
+    from repro.engine.api import _resolve_representation
+
+    candidates: set[tuple[int, ...]] = set()
+    rep_name: str | None = None
+    for chunk in stream_fimi_chunks(
+        db_path, plan.chunk_transactions, n_items=stats.n_items
+    ):
+        if rep_name is None:
+            # Resolved once (on the first chunk) so every partition mines
+            # with the same format and the run config is deterministic.
+            rep_name = _resolve_representation(representation, entry, chunk)
+        local_min = local_min_support(
+            min_sup, chunk.n_transactions, stats.n_transactions
+        )
+        local = entry.runner(chunk, rep_name, local_min, obs=obs, **options)
+        candidates.update(local.itemsets)
+        if tracker is not None:
+            tracker.task_done()
+    return candidates, rep_name
+
+
+def mine_out_of_core(
+    db_path: str | Path,
+    *,
+    min_support: float | int,
+    algorithm: str = "eclat",
+    representation: str = "auto",
+    backend: str = "serial",
+    n_partitions: int | None = None,
+    max_memory_bytes: int | None = None,
+    candidate_batch: int = CANDIDATE_BATCH,
+    obs: "ObsContext | None" = None,
+    ledger=None,
+    live=None,
+    **options,
+) -> MiningResult:
+    """Mine a FIMI file that need not fit in memory (SON two-phase).
+
+    The facade :func:`repro.mine` routes here when called with
+    ``db_path=``; see the module docstring for the dataflow and
+    :mod:`repro.outofcore.planner` for how ``max_memory_bytes`` /
+    ``n_partitions`` become a partition plan.  Results are bit-identical
+    (itemsets and supports) to ``mine(read_fimi(db_path), ...)``.
+    """
+    from repro.engine.api import _check_options, _ledger_config
+    from repro.obs.ledger import default_ledger, record_run
+
+    if algorithm in _SON_ALGORITHMS_EXCLUDED:
+        raise ConfigurationError(
+            f"out-of-core SON mining needs a miner that returns all "
+            f"frequent itemsets; {algorithm!r} returns closed sets only"
+        )
+    entry = get_backend_entry(backend, algorithm)
+    _check_options(entry, options)
+
+    path = Path(db_path)
+    ledger_obj = ledger if ledger is not None else default_ledger()
+    ledger_active = ledger_obj is not None
+    tracker = _resolve_tracker(
+        live, backend=backend, algorithm=algorithm, dataset=path.stem
+    )
+    track = obs is not None or ledger_active
+    wall_start = time.perf_counter() if track else 0.0
+    cpu_start = time.process_time() if ledger_active else 0.0
+
+    try:
+        stats = scan_fimi(path)
+        min_sup = resolve_support_count(stats.n_transactions, min_support)
+        plan = plan_partitions(
+            stats, max_memory_bytes=max_memory_bytes, n_partitions=n_partitions
+        )
+        n_chunks = plan.n_partitions if stats.n_transactions else 0
+        if tracker is not None:
+            # One unit per phase-1 partition and per phase-2 chunk:
+            # partition i/N completions drive the monotone fraction.
+            tracker.add_total(2 * n_chunks)
+        candidates_set, rep_name = _phase1_candidates(
+            path, stats, plan,
+            entry=entry, representation=representation, min_sup=min_sup,
+            obs=obs, tracker=tracker, options=options,
+        )
+        candidates = sorted(candidates_set)
+        on_chunk = tracker.task_done if tracker is not None else None
+        supports = count_candidate_supports(
+            path, candidates,
+            n_items=stats.n_items,
+            chunk_transactions=plan.chunk_transactions,
+            candidate_batch=candidate_batch,
+            on_chunk=on_chunk,
+        )
+    except BaseException:
+        if tracker is not None:
+            tracker.finish("failed")
+        raise
+    itemsets = {
+        candidate: int(support)
+        for candidate, support in zip(candidates, supports)
+        if support >= min_sup
+    }
+    result = MiningResult(
+        dataset=path.stem,
+        algorithm=algorithm,
+        representation=rep_name or str(representation),
+        min_support=min_sup,
+        n_transactions=stats.n_transactions,
+        itemsets=itemsets,
+        backend=backend,
+    )
+    if tracker is not None:
+        tracker.finish("done")
+
+    if obs is not None:
+        obs.metrics.counter(f"engine.outofcore.{backend}.{algorithm}").inc()
+        obs.metrics.gauge("outofcore.n_partitions").set(plan.n_partitions)
+        obs.metrics.gauge("outofcore.n_candidates").set(len(candidates))
+        obs.sink.wall_event(
+            "engine.mine_out_of_core", wall_start, cat="engine",
+            args={
+                "algorithm": algorithm,
+                "backend": backend,
+                "n_partitions": plan.n_partitions,
+                "candidates": len(candidates),
+                "itemsets": len(result),
+            },
+        )
+    if ledger_active:
+        config = _ledger_config(
+            algorithm, result.representation, backend, min_sup, options
+        )
+        config.update(
+            out_of_core=True,
+            n_partitions=plan.n_partitions,
+            chunk_transactions=plan.chunk_transactions,
+            max_memory_bytes=max_memory_bytes,
+        )
+        record_run(
+            "mine-out-of-core",
+            dataset=stats.fingerprint(),
+            config=config,
+            wall_seconds=time.perf_counter() - wall_start,
+            cpu_seconds=time.process_time() - cpu_start,
+            n_itemsets=len(result),
+            obs=obs,
+            ledger=ledger,
+            extra={
+                "n_candidates": len(candidates),
+                "false_positive_candidates": len(candidates) - len(result),
+                "estimated_chunk_bytes": plan.estimated_chunk_bytes,
+                **(
+                    {"live": {"run_id": tracker.run_id,
+                              "stalls": tracker.stalls}}
+                    if tracker is not None else {}
+                ),
+            },
+        )
+    return result
+
+
+def union_candidates(results: Iterable[MiningResult]) -> list[tuple[int, ...]]:
+    """Sorted union of the itemsets of several partition results (exposed
+    for tests and for callers running phase 1 out-of-band)."""
+    merged: set[tuple[int, ...]] = set()
+    for result in results:
+        merged.update(result.itemsets)
+    return sorted(merged)

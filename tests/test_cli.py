@@ -133,3 +133,115 @@ class TestIndexCommands:
         records = Ledger(ledger_dir).last(5)
         assert [r.kind for r in records] == ["index-query"]
         assert records[0].config["query"] == "frequent_at"
+
+
+class TestOutOfCore:
+    def test_mine_out_of_core_matches_in_memory(self, fimi_file, capsys):
+        assert main(["mine", fimi_file, "-s", "2", "-t", "5"]) == 0
+        expected = capsys.readouterr().out
+        assert main(
+            ["mine", fimi_file, "-s", "2", "-t", "5", "--out-of-core",
+             "--partitions", "3"]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_memory_budget_flag(self, fimi_file, capsys):
+        assert main(
+            ["mine", fimi_file, "-s", "2", "--out-of-core",
+             "--max-memory-bytes", "4096"]
+        ) == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_named_dataset_rejected(self):
+        with pytest.raises(SystemExit, match="out-of-core needs a FIMI file"):
+            main(["mine", "T10I4", "-s", "0.1", "--out-of-core"])
+
+    def test_flag_parsing(self):
+        args = build_parser().parse_args(
+            ["mine", "x.dat", "--out-of-core", "--max-memory-bytes", "1048576",
+             "--partitions", "4"]
+        )
+        assert args.out_of_core is True
+        assert args.max_memory_bytes == 1048576
+        assert args.partitions == 4
+        defaults = build_parser().parse_args(["mine", "x.dat"])
+        assert defaults.out_of_core is False
+        assert defaults.max_memory_bytes is None
+        assert defaults.partitions is None
+
+    def test_knobs_without_out_of_core_rejected(self, fimi_file):
+        with pytest.raises(SystemExit, match="add --out-of-core"):
+            main(["mine", fimi_file, "-s", "2", "--max-memory-bytes", "4096"])
+        with pytest.raises(SystemExit, match="add --out-of-core"):
+            main(["mine", fimi_file, "-s", "2", "--partitions", "2"])
+
+
+class TestProgressLine:
+    """Satellite bugfix: ``--progress`` must never leave a half-drawn
+    ``\\r`` status line on stderr."""
+
+    def _render_frames(self, line):
+        line.render({"progress": {"fraction": 0.5, "completed": 1,
+                                  "total": 2},
+                     "state": "running", "eta_seconds": 1.0,
+                     "elapsed_seconds": 1.0})
+
+    def test_error_path_erases_the_line(self, capsys):
+        from repro.cli import _ProgressLine
+
+        line = _ProgressLine()
+        self._render_frames(line)
+        line.finish(error=True)
+        err = capsys.readouterr().err
+        # The last frame is an all-spaces erase returning to column 0 — a
+        # traceback printed next starts on a clean line.
+        assert err.endswith("\r")
+        erase = err.rsplit("\r", 2)[-2]
+        assert erase and set(erase) == {" "}
+        assert line.width == 0
+
+    def test_success_path_newline_terminates(self, capsys):
+        from repro.cli import _ProgressLine
+
+        line = _ProgressLine()
+        self._render_frames(line)
+        line.finish(error=False)
+        assert capsys.readouterr().err.endswith("\n")
+        assert line.width == 0
+
+    def test_finish_without_frames_is_silent(self, capsys):
+        from repro.cli import _ProgressLine
+
+        line = _ProgressLine()
+        line.finish(error=True)
+        line.finish(error=False)
+        assert capsys.readouterr().err == ""
+
+    def test_repaint_pads_over_longer_previous_frame(self, capsys):
+        from repro.cli import _ProgressLine
+
+        line = _ProgressLine()
+        line.render({"progress": {"fraction": 0.5, "completed": 50,
+                                  "total": 100},
+                     "state": "running", "eta_seconds": 100.0,
+                     "elapsed_seconds": 100.0})
+        first_width = line.width
+        line.render({"progress": {"fraction": 1.0, "completed": 2,
+                                  "total": 2},
+                     "state": "done", "eta_seconds": 0.0,
+                     "elapsed_seconds": 1.0})
+        frames = capsys.readouterr().err.split("\r")
+        assert len(frames[-1]) >= first_width  # stale tail painted over
+
+    def test_cli_error_leaves_stderr_clean(self, tmp_path, capsys,
+                                           monkeypatch):
+        # Integration: a run that dies mid-mine with --progress must not
+        # leave the cursor mid-line (the error text ends the stream).
+        monkeypatch.setenv("REPRO_LIVE", "0")
+        bad = tmp_path / "bad.dat"
+        bad.write_text("1 2\nboom\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="non-integer"):
+            main(["mine", str(bad), "-s", "1", "--out-of-core",
+                  "--progress"])
+        err = capsys.readouterr().err
+        assert not err or err.endswith("\r") or err.endswith("\n")

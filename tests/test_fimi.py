@@ -71,3 +71,49 @@ class TestWrite:
         write_fimi(tiny_db, path)
         loaded = load_any([path, tmp_path / "nope.dat"])
         assert len(loaded) == 1
+
+
+class TestEncoding:
+    """Satellite bugfix: the reader is UTF-8 (BOM-tolerant), not ASCII."""
+
+    def test_utf8_bom_is_stripped(self, tmp_path):
+        path = tmp_path / "bom.dat"
+        path.write_bytes(b"\xef\xbb\xbf1 2\n3\n")
+        db = read_fimi(path)
+        assert [t.tolist() for t in db] == [[1, 2], [3]]
+
+    def test_bom_only_stripped_on_first_line(self, tmp_path):
+        # A BOM mid-file is real (bogus) content, not byte-order metadata.
+        path = tmp_path / "midbom.dat"
+        path.write_bytes(b"1 2\n\xef\xbb\xbf3\n")
+        with pytest.raises(DatasetError, match="line 2: non-integer"):
+            read_fimi(path)
+
+    def test_invalid_utf8_reports_line_number(self, tmp_path):
+        path = tmp_path / "latin1.dat"
+        path.write_bytes(b"1 2\n3 \xe9\n5\n")
+        with pytest.raises(DatasetError, match="line 2: not valid UTF-8"):
+            read_fimi(path)
+
+    def test_non_numeric_unicode_token_rejected_with_line_number(self, tmp_path):
+        # Decodes fine as UTF-8, fails as an item id — with the line number.
+        path = tmp_path / "uni.dat"
+        path.write_bytes("1\n½\n".encode("utf-8"))
+        with pytest.raises(DatasetError, match="line 2: non-integer"):
+            read_fimi(path)
+
+    def test_text_handle_with_bom_character(self):
+        db = read_fimi(io.StringIO("﻿1 2\n3\n"))
+        assert db.n_transactions == 2
+
+    def test_invalid_utf8_in_text_handle_mid_iteration(self, tmp_path):
+        path = tmp_path / "handle.dat"
+        path.write_bytes(b"1\n2\n\xff\n")
+        with open(path, "r", encoding="utf-8") as handle:
+            with pytest.raises(DatasetError, match="not valid UTF-8"):
+                read_fimi(handle)
+
+    def test_write_fimi_emits_utf8(self, tmp_path, tiny_db):
+        path = tmp_path / "w.dat"
+        write_fimi(tiny_db, path)
+        path.read_bytes().decode("utf-8")  # must not raise

@@ -250,3 +250,47 @@ class TestIndexLedger:
         query = ledger.last(1)[0]
         assert query.config["index_config_hash"] == index.config_hash
         assert query.dataset["name"] == tiny_db.name
+
+
+class TestLifecycle:
+    """Satellite: closed-index behavior across every Queryable method."""
+
+    @pytest.fixture
+    def opened(self, tiny_db, tmp_path):
+        path = ItemsetIndex.build(tiny_db, 1).save(tmp_path / "life.idx")
+        return ItemsetIndex.open(path)
+
+    def test_every_queryable_method_raises_after_close(self, opened):
+        opened.close()
+        for call in (
+            lambda: opened.frequent_at(2),
+            lambda: opened.support_of((1,)),
+            lambda: opened.top_k(3),
+            lambda: opened.rules(min_confidence=0.5),
+            lambda: opened.closed_itemsets(),
+        ):
+            with pytest.raises(IndexArtifactError, match="closed"):
+                call()
+
+    def test_double_close_is_idempotent(self, opened):
+        opened.close()
+        opened.close()  # must not raise
+        with pytest.raises(IndexArtifactError, match="closed"):
+            opened.frequent_at(1)
+
+    def test_context_manager_reentry_is_idempotent(self, opened):
+        with opened as index:
+            assert index is opened
+            index.frequent_at(1)
+        # Re-entering after __exit__ closed it: __exit__'s second close is
+        # a no-op, and queries inside fail the same way as outside.
+        with opened:
+            with pytest.raises(IndexArtifactError, match="closed"):
+                opened.top_k(1)
+
+    def test_close_before_any_query(self, tiny_db, tmp_path):
+        path = ItemsetIndex.build(tiny_db, 1).save(tmp_path / "c.idx")
+        index = ItemsetIndex.open(path)
+        index.close()
+        with pytest.raises(IndexArtifactError, match="closed"):
+            index.support_of((1,))

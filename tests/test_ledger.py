@@ -326,3 +326,78 @@ class TestRecordRun:
         simulate = ledger.query(kind="simulate")[0]
         assert simulate.config["thread_counts"] == [1, 2]
         assert set(simulate.extra["runtimes"]) == {"1", "2"}
+
+
+class TestTailBlockBoundaryEdges:
+    """Satellite bugfix audit: the backward 64 KiB block reader's carry
+    logic around newlines at block boundaries and torn final lines."""
+
+    def test_every_boundary_alignment(self, tmp_path, monkeypatch):
+        # Sweeping the block size over a whole record-length range walks a
+        # read boundary through every byte position — including exactly on
+        # a newline — so any carry bug shows up as a lost/mangled record.
+        import repro.obs.ledger as ledger_mod
+
+        ledger = Ledger(tmp_path)
+        for i in range(12):
+            ledger.append(_record(i))
+        expected = [r.run_id for r in ledger.records()]
+        record_bytes = len(
+            ledger.path.read_bytes().splitlines(keepends=True)[0]
+        )
+        for block in range(8, 8 + record_bytes + 1):
+            monkeypatch.setattr(ledger_mod, "_TAIL_BLOCK_BYTES", block)
+            for n in (1, 5, 12, 50):
+                got = [r.run_id for r in ledger.tail(n)]
+                assert got == expected[-n:], f"block={block} n={n}"
+
+    def test_newline_exactly_on_block_boundary(self, tmp_path, monkeypatch):
+        # Place a backward-read boundary exactly ON a record's trailing
+        # newline, and exactly one byte AFTER it — the two alignments where
+        # a wrong carry would split or drop the straddling record.
+        import repro.obs.ledger as ledger_mod
+
+        ledger = Ledger(tmp_path)
+        for i in range(6):
+            ledger.append(_record(i))
+        raw = ledger.path.read_bytes()
+        size = len(raw)
+        nl_index = raw.index(b"\n")  # first record's trailing newline
+        expected = [pytest.approx(0.5 + i) for i in range(6)]
+        for block in (size - nl_index, size - nl_index - 1):
+            monkeypatch.setattr(ledger_mod, "_TAIL_BLOCK_BYTES", block)
+            assert [r.wall_seconds for r in ledger.tail(6)] == expected
+
+    def test_torn_final_line_is_skipped(self, tmp_path, monkeypatch):
+        # A crash mid-append leaves a JSON prefix with no trailing newline;
+        # tail must skip it and still return the complete records.
+        import repro.obs.ledger as ledger_mod
+
+        monkeypatch.setattr(ledger_mod, "_TAIL_BLOCK_BYTES", 64)
+        ledger = Ledger(tmp_path)
+        for i in range(5):
+            ledger.append(_record(i))
+        with ledger.path.open("ab") as handle:
+            handle.write(b'{"schema": 1, "kind": "mine", "wall_se')
+        tail = ledger.tail(10)
+        assert [r.wall_seconds for r in tail] == [
+            pytest.approx(0.5 + i) for i in range(5)
+        ]
+
+    def test_complete_final_line_without_newline_is_kept(
+        self, tmp_path, monkeypatch
+    ):
+        # The other half of the crash window: the JSON made it out but the
+        # newline didn't.  The record is complete, so tail includes it.
+        import repro.obs.ledger as ledger_mod
+
+        monkeypatch.setattr(ledger_mod, "_TAIL_BLOCK_BYTES", 64)
+        ledger = Ledger(tmp_path)
+        for i in range(3):
+            ledger.append(_record(i))
+        last = _record(99)
+        with ledger.path.open("ab") as handle:
+            handle.write(json.dumps(last.to_json_dict()).encode("utf-8"))
+        tail = ledger.tail(10)
+        assert len(tail) == 4
+        assert tail[-1].wall_seconds == pytest.approx(99.5)

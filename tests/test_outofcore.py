@@ -1,0 +1,360 @@
+"""Tests for SON two-phase out-of-core mining.
+
+The acceptance property: for arbitrary databases, thresholds, and
+partition counts, ``mine(db_path=...)`` is **bit-identical** (itemsets and
+supports) to in-memory ``mine(read_fimi(path), ...)``.  Around it sit unit
+tests for the scaled-threshold math, the vectorized candidate counter, the
+partition planner, the cost-model sweep, and the engine/ledger/live
+wiring.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import read_fimi, scan_fimi, write_fimi
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.engine import mine
+from repro.errors import ConfigurationError
+from repro.machine.blacklight import BLACKLIGHT
+from repro.machine.cost_model import CostModel
+from repro.outofcore import (
+    count_candidate_supports,
+    estimate_chunk_bytes,
+    local_min_support,
+    mine_out_of_core,
+    plan_partitions,
+    predict_partition_seconds,
+    predicted_sweet_spot,
+    sweep_partition_counts,
+)
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=6),
+    min_size=0,
+    max_size=16,
+)
+
+
+def _write(tmp_path, transactions):
+    db = TransactionDatabase(transactions, n_items=8, name="hypo")
+    path = tmp_path / "hypo.dat"
+    write_fimi(db, path)
+    return path
+
+
+class TestLocalMinSupport:
+    def test_scaling_is_integer_ceil(self):
+        # ceil(10 * 30 / 100) = 3
+        assert local_min_support(10, 30, 100) == 3
+        # ceil(10 * 31 / 100) = ceil(3.1) = 4
+        assert local_min_support(10, 31, 100) == 4
+        assert local_min_support(10, 100, 100) == 10
+
+    def test_floor_of_one(self):
+        assert local_min_support(1, 1, 1000) == 1
+        assert local_min_support(5, 0, 100) == 1
+
+    def test_empty_database(self):
+        assert local_min_support(3, 0, 0) == 1
+
+    def test_superset_guarantee_arithmetic(self):
+        # If an itemset misses the local threshold in every partition its
+        # global count is at most sum(local_min - 1) < s: check the bound
+        # holds for an adversarial uneven split.
+        s, sizes = 7, [1, 2, 3, 94]
+        total = sum(sizes)
+        worst = sum(local_min_support(s, n_i, total) - 1 for n_i in sizes)
+        assert worst < s
+
+
+class TestSONProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        transactions=transactions_strategy,
+        min_sup=st.one_of(
+            st.integers(min_value=1, max_value=5),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        n_partitions=st.integers(min_value=1, max_value=6),
+    )
+    def test_bit_identical_to_in_memory_mine(
+        self, tmp_path_factory, transactions, min_sup, n_partitions
+    ):
+        tmp_path = tmp_path_factory.mktemp("son")
+        path = _write(tmp_path, transactions)
+        expected = mine(read_fimi(path), min_support=min_sup, live=False)
+        actual = mine(
+            db_path=path, min_support=min_sup, n_partitions=n_partitions,
+            live=False,
+        )
+        assert actual.itemsets == expected.itemsets
+        assert actual.min_support == expected.min_support
+        assert actual.n_transactions == expected.n_transactions
+
+    @pytest.mark.parametrize(
+        "algorithm,backend",
+        [("eclat", "serial"), ("apriori", "serial"),
+         ("eclat", "vectorized"), ("apriori", "vectorized"),
+         ("fpgrowth", "serial")],
+    )
+    def test_every_backend_agrees(self, tmp_path, paper_db, algorithm, backend):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        expected = mine(read_fimi(path), min_support=2, live=False)
+        result = mine(
+            db_path=path, min_support=2, algorithm=algorithm,
+            backend=backend, n_partitions=3, live=False,
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_memory_budget_path(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        stats = scan_fimi(path)
+        budget = estimate_chunk_bytes(stats, 2)  # forces multiple partitions
+        expected = mine(read_fimi(path), min_support=2, live=False)
+        result = mine(
+            db_path=path, min_support=2, max_memory_bytes=budget, live=False,
+        )
+        assert result.itemsets == expected.itemsets
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("", encoding="utf-8")
+        result = mine(db_path=path, min_support=0.5, live=False)
+        assert result.itemsets == {}
+        assert result.n_transactions == 0
+
+    def test_charm_is_rejected(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        with pytest.raises(ConfigurationError, match="closed sets only"):
+            mine_out_of_core(path, min_support=2, algorithm="charm")
+
+    def test_result_metadata(self, tmp_path, paper_db):
+        path = tmp_path / "meta.dat"
+        write_fimi(paper_db, path)
+        result = mine(
+            db_path=path, min_support=2, n_partitions=2, live=False,
+        )
+        assert result.dataset == "meta"
+        assert result.backend == "serial"
+        assert result.algorithm == "eclat"
+        assert result.representation in ("tidset", "diffset")
+
+
+class TestCandidateCounting:
+    def test_counts_match_scan_oracle(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        candidates = [(1,), (2,), (1, 2), (1, 2, 3), (0, 5)]
+        supports = count_candidate_supports(
+            path, candidates, n_items=paper_db.n_items, chunk_transactions=2,
+        )
+        assert supports.tolist() == [
+            paper_db.support_of(c) for c in candidates
+        ]
+
+    def test_batching_does_not_change_counts(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        candidates = [(i,) for i in range(paper_db.n_items)]
+        baseline = count_candidate_supports(
+            path, candidates, n_items=paper_db.n_items, chunk_transactions=3,
+        )
+        batched = count_candidate_supports(
+            path, candidates, n_items=paper_db.n_items, chunk_transactions=3,
+            candidate_batch=1,
+        )
+        np.testing.assert_array_equal(baseline, batched)
+
+    def test_no_candidates(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        chunks_seen = []
+        supports = count_candidate_supports(
+            path, [], n_items=paper_db.n_items, chunk_transactions=2,
+            on_chunk=lambda: chunks_seen.append(1),
+        )
+        assert supports.size == 0
+        assert len(chunks_seen) == len(paper_db) // 2 + (len(paper_db) % 2 > 0)
+
+    def test_empty_itemset_rejected(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        with pytest.raises(ConfigurationError, match="empty itemset"):
+            count_candidate_supports(
+                path, [()], n_items=paper_db.n_items, chunk_transactions=2,
+            )
+
+
+class TestPlanner:
+    def _stats(self, tmp_path, n=50, width=6):
+        db = TransactionDatabase(
+            [[i % 11, (i + 1) % 11, (i * 3) % 11][: 1 + i % width]
+             for i in range(n)],
+            name="plan",
+        )
+        path = tmp_path / "plan.dat"
+        write_fimi(db, path)
+        return scan_fimi(path)
+
+    def test_explicit_partition_count_wins(self, tmp_path):
+        stats = self._stats(tmp_path)
+        plan = plan_partitions(stats, n_partitions=5, max_memory_bytes=10**9)
+        assert plan.n_partitions == 5
+        assert plan.chunk_transactions == 10
+
+    def test_budget_picks_smallest_feasible(self, tmp_path):
+        stats = self._stats(tmp_path)
+        generous = plan_partitions(stats, max_memory_bytes=10**9)
+        assert generous.n_partitions == 1
+        tight = plan_partitions(
+            stats, max_memory_bytes=estimate_chunk_bytes(stats, 10)
+        )
+        assert tight.n_partitions == 5
+        assert tight.estimated_chunk_bytes <= tight.max_memory_bytes
+        # One fewer partition would overflow the budget.
+        bigger_chunk = estimate_chunk_bytes(
+            stats, plan_partitions(stats, n_partitions=4).chunk_transactions
+        )
+        assert bigger_chunk > tight.max_memory_bytes
+
+    def test_estimate_is_monotone_in_chunk_size(self, tmp_path):
+        stats = self._stats(tmp_path)
+        estimates = [estimate_chunk_bytes(stats, c) for c in (1, 5, 10, 50)]
+        assert estimates == sorted(estimates)
+
+    def test_impossible_budget_raises(self, tmp_path):
+        stats = self._stats(tmp_path)
+        with pytest.raises(ConfigurationError, match="max_memory_bytes"):
+            plan_partitions(stats, max_memory_bytes=16)
+
+    def test_invalid_inputs(self, tmp_path):
+        stats = self._stats(tmp_path)
+        with pytest.raises(ConfigurationError):
+            plan_partitions(stats, n_partitions=0)
+        with pytest.raises(ConfigurationError):
+            plan_partitions(stats, max_memory_bytes=0)
+        with pytest.raises(ConfigurationError):
+            predict_partition_seconds(stats, 0)
+
+
+class TestCostModelSweep:
+    def test_io_term(self):
+        model = CostModel()
+        assert model.io_time(BLACKLIGHT.io_bytes_per_sec) == pytest.approx(1.0)
+        assert model.io_time(0) == 0.0
+
+    def test_io_rate_is_validated(self):
+        with pytest.raises(ConfigurationError, match="io_bytes_per_sec"):
+            BLACKLIGHT.with_overrides(io_bytes_per_sec=0.0)
+
+    def test_io_floor_is_flat_and_partition_terms_grow(self, tmp_path):
+        db = TransactionDatabase(
+            [[i % 7, (i + 2) % 7] for i in range(200)], name="sweep"
+        )
+        path = tmp_path / "sweep.dat"
+        write_fimi(db, path)
+        stats = scan_fimi(path)
+        sweep = sweep_partition_counts(stats, [1, 2, 4, 8])
+        ios = [row["io_seconds"] for row in sweep]
+        assert ios == [ios[0]] * len(ios)  # same bytes read at any P
+        setups = [row["setup_seconds"] for row in sweep]
+        counts = [row["count_seconds"] for row in sweep]
+        assert setups == sorted(setups) and setups[0] < setups[-1]
+        assert counts == sorted(counts) and counts[0] < counts[-1]
+        totals = [row["total_seconds"] for row in sweep]
+        assert totals == sorted(totals)
+
+    def test_sweet_spot_honors_budget(self, tmp_path):
+        db = TransactionDatabase(
+            [[i % 7, (i + 2) % 7] for i in range(200)], name="sweep"
+        )
+        path = tmp_path / "sweep.dat"
+        write_fimi(db, path)
+        stats = scan_fimi(path)
+        assert predicted_sweet_spot(stats, [1, 2, 4, 8]) == 1
+        budget = estimate_chunk_bytes(stats, 50)
+        assert predicted_sweet_spot(
+            stats, [1, 2, 4, 8], max_memory_bytes=budget
+        ) == 4
+        with pytest.raises(ConfigurationError, match="no partition count"):
+            predicted_sweet_spot(stats, [1], max_memory_bytes=budget)
+
+
+class TestEngineWiring:
+    def test_db_and_db_path_are_exclusive(self, tmp_path, paper_db):
+        path = tmp_path / "x.dat"
+        write_fimi(paper_db, path)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            mine(paper_db, db_path=path, min_support=2)
+
+    def test_neither_db_nor_db_path(self):
+        with pytest.raises(ConfigurationError, match="needs a database"):
+            mine(min_support=2)
+
+    def test_out_of_core_knobs_rejected_in_memory(self, paper_db):
+        with pytest.raises(ConfigurationError, match="out-of-core"):
+            mine(paper_db, min_support=2, max_memory_bytes=10**6)
+        with pytest.raises(ConfigurationError, match="out-of-core"):
+            mine(paper_db, min_support=2, n_partitions=2)
+
+    def test_unknown_backend_option_rejected(self, tmp_path, paper_db):
+        path = tmp_path / "x.dat"
+        write_fimi(paper_db, path)
+        with pytest.raises(ConfigurationError, match="unknown option"):
+            mine(db_path=path, min_support=2, bogus_option=1)
+
+    def test_ledger_record(self, tmp_path, paper_db):
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "x.dat"
+        write_fimi(paper_db, path)
+        ledger = Ledger(tmp_path / "runs")
+        result = mine(
+            db_path=path, min_support=2, n_partitions=2, ledger=ledger,
+            live=False,
+        )
+        record = ledger.last(1)[0]
+        assert record.kind == "mine-out-of-core"
+        assert record.n_itemsets == len(result)
+        assert record.config["out_of_core"] is True
+        assert record.config["n_partitions"] == 2
+        assert record.dataset["sha256"] == scan_fimi(path).sha256
+        assert record.extra["n_candidates"] >= len(result)
+
+    def test_live_progress_is_monotone_and_finishes(self, tmp_path, paper_db):
+        from repro.obs.live import ProgressTracker, validate_status
+
+        path = tmp_path / "x.dat"
+        write_fimi(paper_db, path)
+        fractions = []
+        tracker = ProgressTracker(
+            kind="mine-out-of-core", backend="serial", algorithm="eclat",
+            dataset="x", on_update=lambda doc: fractions.append(
+                doc["progress"]["fraction"]
+            ),
+        )
+        mine(
+            db_path=path, min_support=2, n_partitions=3, live=tracker,
+        )
+        assert fractions == sorted(fractions)
+        document = tracker.status()
+        validate_status(document)
+        assert document["state"] == "done"
+        assert document["progress"] == {
+            # 3 phase-1 partitions + 3 phase-2 chunks
+            "completed": 6, "total": 6, "fraction": 1.0,
+        }
+
+    def test_failed_run_marks_tracker(self, tmp_path):
+        from repro.obs.live import ProgressTracker
+
+        path = tmp_path / "bad.dat"
+        path.write_text("1 2\nboom\n", encoding="utf-8")
+        tracker = ProgressTracker(kind="mine-out-of-core", dataset="bad")
+        with pytest.raises(Exception):
+            mine(db_path=path, min_support=1, live=tracker)
+        assert tracker.state == "failed"

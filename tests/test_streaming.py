@@ -1,0 +1,145 @@
+"""Tests for the bounded-memory streaming FIMI reader.
+
+The contract under test: a scan validates exactly what ``read_fimi``
+would parse, and concatenating the streamed chunks reproduces the
+in-memory database transaction-for-transaction — the invariant the SON
+out-of-core driver's exactness rests on.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.datasets import (
+    StreamStats,
+    partition_chunk_size,
+    read_fimi,
+    scan_fimi,
+    stream_fimi_chunks,
+    write_fimi,
+)
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import DatasetError
+
+TEXT = "1 2 3\n2 3\n\n7\n1 7 9\n3\n"
+
+
+@pytest.fixture
+def dat(tmp_path):
+    path = tmp_path / "stream.dat"
+    path.write_text(TEXT, encoding="utf-8")
+    return path
+
+
+class TestScan:
+    def test_stats_match_read_fimi(self, dat):
+        stats = scan_fimi(dat)
+        full = read_fimi(dat)
+        assert stats.n_transactions == full.n_transactions == 6
+        assert stats.n_items == full.n_items == 10
+        assert stats.total_items == 10  # raw tokens, incl. the blank line's 0
+        assert stats.avg_length == pytest.approx(10 / 6)
+
+    def test_sha256_is_the_file_hash(self, dat):
+        stats = scan_fimi(dat)
+        assert stats.sha256 == hashlib.sha256(dat.read_bytes()).hexdigest()
+        assert stats.file_bytes == dat.stat().st_size
+
+    def test_scan_validates_like_read_fimi(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1 2\n3 oops\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="line 2"):
+            scan_fimi(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("", encoding="utf-8")
+        stats = scan_fimi(path)
+        assert stats == StreamStats(
+            path=str(path), n_transactions=0, n_items=0, total_items=0,
+            file_bytes=0,
+            sha256=hashlib.sha256(b"").hexdigest(),
+        )
+        assert stats.avg_length == 0.0
+
+    def test_trailing_blank_lines_not_counted(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 2\n\n\n", encoding="utf-8")
+        assert scan_fimi(path).n_transactions == read_fimi(path).n_transactions == 1
+
+    def test_fingerprint_shape(self, dat):
+        fp = scan_fimi(dat).fingerprint()
+        assert fp["name"] == "stream"
+        assert set(fp) == {
+            "name", "n_transactions", "n_items", "avg_length", "sha256",
+            "file_bytes",
+        }
+
+
+class TestChunks:
+    def test_concat_equals_read_fimi(self, dat):
+        full = read_fimi(dat)
+        for chunk_tx in (1, 2, 3, 5, 6, 100):
+            chunks = list(stream_fimi_chunks(dat, chunk_tx, n_items=10))
+            flattened = [t.tolist() for c in chunks for t in c]
+            assert flattened == [t.tolist() for t in full]
+
+    def test_chunk_sizes_bounded(self, dat):
+        chunks = list(stream_fimi_chunks(dat, 4, n_items=10))
+        assert [c.n_transactions for c in chunks] == [4, 2]
+
+    def test_global_universe_propagates(self, dat):
+        # The last chunk contains only item 3, but must still index the
+        # full universe so packed rows align across chunks.
+        chunks = list(stream_fimi_chunks(dat, 5, n_items=10))
+        assert all(c.n_items == 10 for c in chunks)
+
+    def test_without_n_items_each_chunk_infers_its_own(self, dat):
+        chunks = list(stream_fimi_chunks(dat, 5))
+        assert chunks[-1].n_items == 4  # max item 3 in the final chunk
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("", encoding="utf-8")
+        assert list(stream_fimi_chunks(path, 10)) == []
+
+    def test_chunks_are_transaction_databases(self, dat):
+        chunk = next(stream_fimi_chunks(dat, 3, n_items=10))
+        assert isinstance(chunk, TransactionDatabase)
+        assert chunk.name.startswith("stream[chunk0")
+
+    def test_invalid_chunk_size_rejected(self, dat):
+        with pytest.raises(DatasetError, match="chunk_transactions"):
+            list(stream_fimi_chunks(dat, 0))
+
+    def test_roundtrip_via_write_fimi(self, tmp_path, paper_db):
+        path = tmp_path / "paper.dat"
+        write_fimi(paper_db, path)
+        chunks = list(stream_fimi_chunks(
+            path, 2, n_items=paper_db.n_items
+        ))
+        flattened = [t.tolist() for c in chunks for t in c]
+        assert flattened == [t.tolist() for t in paper_db]
+
+
+class TestPartitionChunkSize:
+    def test_ceil_division(self):
+        assert partition_chunk_size(10, 3) == 4
+        assert partition_chunk_size(10, 1) == 10
+        assert partition_chunk_size(10, 10) == 1
+        assert partition_chunk_size(10, 100) == 1
+
+    def test_yields_at_most_requested_partitions(self, dat):
+        # Ceil division guarantees <= p chunks (n=6, p=4 -> chunk 2 -> 3
+        # chunks), never more, and never an empty chunk.
+        n = scan_fimi(dat).n_transactions
+        for p in range(1, n + 2):
+            chunks = list(stream_fimi_chunks(dat, partition_chunk_size(n, p)))
+            assert 1 <= len(chunks) <= p
+            assert all(c.n_transactions >= 1 for c in chunks)
+            assert sum(c.n_transactions for c in chunks) == n
+
+    def test_degenerate_inputs(self):
+        assert partition_chunk_size(0, 4) == 1
+        with pytest.raises(DatasetError, match="n_partitions"):
+            partition_chunk_size(10, 0)
