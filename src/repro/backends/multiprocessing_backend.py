@@ -52,6 +52,7 @@ _WORKER: dict = {}
 def _init_worker(
     transactions: list, n_items: int, min_sup: int, representation: str,
     item_order: str, collect_obs: bool = False, live: bool = False,
+    sample_interval: float | None = None,
 ) -> None:
     from repro.obs.procmerge import WorkerTelemetry
 
@@ -63,6 +64,15 @@ def _init_worker(
     # message; only pay that when the parent actually holds a tracker.
     _WORKER["live"] = live
     obs = telemetry.obs
+    if obs is not None and sample_interval:
+        # The daemon sampler runs for the worker's whole life; its "C"
+        # samples sit in the telemetry sink and ship with each task's
+        # snapshot onto this worker's pid lane.
+        from repro.obs.sampler import ResourceSampler
+
+        _WORKER["sampler"] = ResourceSampler(
+            obs.sink, float(sample_interval)
+        ).start()
 
     def build() -> None:
         db = TransactionDatabase(transactions, n_items=n_items, name="worker")
@@ -167,6 +177,8 @@ def _ws_rebuild(prefix: tuple, member_ids: tuple) -> dict:
     """
     rep = _WORKER["rep"]
     singles = _WORKER["members"]
+    obs = _WORKER["telemetry"].obs
+    rebuild_start = time.perf_counter() if obs is not None else 0.0
     verts = {
         i: singles[i].vertical for i in sorted(set(prefix) | set(member_ids))
     }
@@ -175,6 +187,11 @@ def _ws_rebuild(prefix: tuple, member_ids: tuple) -> dict:
         for j in sorted(verts):
             if j > p:
                 verts[j], _cost = rep.combine(left, verts[j])
+    if obs is not None:
+        obs.sink.wall_event(
+            "task.rebuild", rebuild_start, cat="steal",
+            args={"prefix_len": len(prefix), "n_members": len(member_ids)},
+        )
     return {i: verts[i] for i in member_ids}
 
 
@@ -520,7 +537,8 @@ def run_eclat_multiprocessing(
     seen_pids: set[int] = set()
     transactions = [t.tolist() for t in db]
     init_args = (transactions, db.n_items, min_sup, representation,
-                 item_order, obs is not None, live is not None)
+                 item_order, obs is not None, live is not None,
+                 getattr(obs, "sample_interval", None))
     # Worksteal never clamps the team to the top-level task count — nested
     # spawns are exactly how surplus workers get fed (finding 4).
     workers = n_workers if worksteal else min(n_workers, n_tasks)

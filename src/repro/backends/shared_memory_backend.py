@@ -249,12 +249,19 @@ def _worker_main(
     tasks_done = 0
     busy_total = 0.0
     wait_total = 0.0
+    sampler = None
     try:
         if obs is not None:
             with obs.sink.span("worker.attach", cat="setup"):
                 shm, matrix = _attach(spec)
         else:
             shm, matrix = _attach(spec)
+        if obs is not None and init.get("sample_interval"):
+            from repro.obs.sampler import ResourceSampler
+
+            sampler = ResourceSampler(
+                obs.sink, float(init["sample_interval"])
+            ).start()
         fault = init.get("fault") or {}
         while True:
             wait_start = time.perf_counter()
@@ -278,6 +285,11 @@ def _worker_main(
                 )
             try:
                 kind, body = payload
+                if fault.get("slow_task") == task_id:
+                    # Fault injection: stretch this task's compute window.
+                    # The sleep sits inside the task span, so run anatomy
+                    # must name this task as the critical-path bottleneck.
+                    time.sleep(float(fault.get("slow_seconds", 0.25)))
                 if kind == "eclat":
                     out = _run_eclat_chunk(matrix, init, body, obs)
                 elif kind == "eclat_ws":
@@ -315,6 +327,8 @@ def _worker_main(
     except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
         pass  # parent tore the queues down; exit quietly
     finally:
+        if sampler is not None:
+            sampler.stop()
         if shm is not None:
             matrix = None  # release the exported buffer before closing
             shm.close()
@@ -990,6 +1004,7 @@ def run_eclat_shared_memory(
                 "min_sup": min_sup,
                 "itemsets": itemsets,
                 "collect_obs": obs is not None,
+                "sample_interval": getattr(obs, "sample_interval", None),
                 "live": live is not None,
                 "fault": _fault,
                 "spawn_depth": policy[0],
@@ -1088,6 +1103,7 @@ def run_apriori_shared_memory(
                 init = {
                     "min_sup": min_sup,
                     "collect_obs": obs is not None,
+                    "sample_interval": getattr(obs, "sample_interval", None),
                     "live": live is not None,
                     "fault": _fault,
                     "stall_dump_path": (

@@ -102,6 +102,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics", action="store_true",
         help="print the collected metrics report after the run",
     )
+    parser.add_argument(
+        "--metrics-prom", metavar="FILE", default=None,
+        help="write metrics in Prometheus text exposition format "
+             "(textfile-collector ready)",
+    )
+    parser.add_argument(
+        "--sample-interval", metavar="SECONDS", type=float, default=None,
+        help="sample RSS/CPU/io-bytes resource tracks into the trace at "
+             "this period (pairs with --trace-out)",
+    )
 
 
 def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
@@ -258,15 +268,23 @@ def _open_ledger(args: argparse.Namespace):
 
 def _build_obs(args: argparse.Namespace) -> ObsContext | None:
     """An ObsContext when any obs flag is set, else None (zero overhead)."""
+    interval = getattr(args, "sample_interval", None)
+    if interval is not None and interval <= 0:
+        raise SystemExit(
+            f"error: --sample-interval must be positive, got {interval}"
+        )
+    obs = None
     if args.trace_out:
         try:
             sink = ChromeTraceSink(args.trace_out)
         except ConfigurationError as exc:
             raise SystemExit(f"error: {exc}") from None
-        return ObsContext(sink=sink)
-    if args.metrics:
-        return ObsContext(sink=NullSink())
-    return None
+        obs = ObsContext(sink=sink)
+    elif args.metrics or getattr(args, "metrics_prom", None):
+        obs = ObsContext(sink=NullSink())
+    if obs is not None and interval is not None:
+        obs.sample_interval = interval
+    return obs
 
 
 def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
@@ -277,6 +295,12 @@ def _finish_obs(args: argparse.Namespace, obs: ObsContext | None) -> None:
     if args.metrics:
         print()
         print(render_metrics_report(obs.metrics))
+    prom_path = getattr(args, "metrics_prom", None)
+    if prom_path:
+        Path(prom_path).write_text(
+            obs.metrics.to_prometheus(), encoding="utf-8"
+        )
+        print(f"\nprometheus metrics written to {prom_path}")
     if args.trace_out:
         print(f"\ntrace written to {args.trace_out} (load in ui.perfetto.dev)")
 
@@ -693,6 +717,162 @@ def cmd_obs_compare(args: argparse.Namespace) -> int:
     return comparison.exit_code(args.threshold, strict=args.strict)
 
 
+def cmd_obs_anatomy(args: argparse.Namespace) -> int:
+    """Per-phase self-time attribution + critical path of one trace."""
+    from repro.obs.anatomy import (
+        analyze,
+        flamegraph_speedscope,
+        render_anatomy,
+        validate_speedscope,
+    )
+
+    try:
+        anatomy = analyze(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load trace {args.trace!r}: {exc}") \
+            from None
+    if anatomy.n_spans == 0:
+        raise SystemExit(f"error: {args.trace!r} holds no duration spans")
+    if args.json:
+        print(json.dumps(anatomy.summary(), indent=2))
+    else:
+        print(render_anatomy(anatomy))
+    if args.check:
+        errors = anatomy.check(rel_tol=args.tolerance)
+        try:
+            validate_speedscope(flamegraph_speedscope(anatomy))
+        except ValueError as exc:
+            errors.append(f"speedscope export invalid: {exc}")
+        if errors:
+            print()
+            for error in errors:
+                print(f"CHECK FAILED: {error}", file=sys.stderr)
+            return 1
+        print()
+        print("check ok: bucket self-times sum to lane wall; "
+              "speedscope export valid")
+    return 0
+
+
+def cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Export a trace as a flamegraph (speedscope JSON or collapsed)."""
+    from repro.obs.anatomy import (
+        analyze,
+        flamegraph_collapsed,
+        flamegraph_speedscope,
+    )
+
+    try:
+        anatomy = analyze(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load trace {args.trace!r}: {exc}") \
+            from None
+    if anatomy.n_spans == 0:
+        raise SystemExit(f"error: {args.trace!r} holds no duration spans")
+    trace_path = Path(args.trace)
+    stem = trace_path.stem
+    if args.format == "collapsed":
+        output = Path(args.output) if args.output else \
+            trace_path.with_name(f"{stem}.collapsed.txt")
+        output.write_text(flamegraph_collapsed(anatomy), encoding="utf-8")
+        print(f"collapsed stacks written to {output} "
+              f"(feed to flamegraph.pl or speedscope)")
+    else:
+        output = Path(args.output) if args.output else \
+            trace_path.with_name(f"{stem}.speedscope.json")
+        document = flamegraph_speedscope(anatomy, name=stem)
+        output.write_text(json.dumps(document), encoding="utf-8")
+        print(f"speedscope profile written to {output} "
+              f"(load at https://www.speedscope.app)")
+    return 0
+
+
+def _resolve_explain_source(token: str, ledger) -> tuple[dict, dict | None, str]:
+    """Resolve one ``obs explain`` operand.
+
+    A path to a trace file re-derives the anatomy; a ledger token
+    (run-id prefix or negative index) uses the anatomy summary recorded
+    in the run's ``extra``.  Returns ``(summary, record_or_None, label)``.
+    """
+    from repro.obs.anatomy import analyze
+
+    path = Path(token)
+    if path.exists():
+        try:
+            anatomy = analyze(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot load trace {token!r}: {exc}") from None
+        if anatomy.n_spans == 0:
+            raise SystemExit(f"error: {token!r} holds no duration spans")
+        return anatomy.summary(), None, token
+    record = ledger.find(token)
+    if record is None:
+        raise SystemExit(
+            f"error: {token!r} is neither a trace file nor a run in "
+            f"{ledger.path} (try 'repro obs tail')"
+        )
+    record_dict = record.to_json_dict()
+    summary = (record_dict.get("extra") or {}).get("anatomy")
+    if not isinstance(summary, dict):
+        raise SystemExit(
+            f"error: run {record.run_id[:12]} has no anatomy summary — it "
+            f"was recorded without tracing; re-run with --trace-out or "
+            f"pass a trace file"
+        )
+    return summary, record_dict, record.run_id[:12]
+
+
+def cmd_obs_explain(args: argparse.Namespace) -> int:
+    """Attribute the wall-clock delta between two runs per phase bucket."""
+    from repro.obs.anatomy import explain
+
+    ledger = _open_ledger(args)
+    base_summary, base_record, base_label = _resolve_explain_source(
+        args.baseline, ledger
+    )
+    cur_summary, cur_record, cur_label = _resolve_explain_source(
+        args.current, ledger
+    )
+    explanation = explain(base_summary, cur_summary)
+    print(explanation.render(base_label=base_label, current_label=cur_label))
+
+    # Predicted-vs-actual per phase, when both records carry the counters
+    # the cost model prices (runs recorded through the ledger with obs).
+    from repro.machine.cost_model import predicted_breakdown
+
+    rows = []
+    for label, record, summary in (
+        (base_label, base_record, base_summary),
+        (cur_label, cur_record, cur_summary),
+    ):
+        metrics = (record or {}).get("metrics") or {}
+        counters = metrics.get("counters")
+        if not counters:
+            continue
+        predicted = predicted_breakdown(counters, metrics.get("gauges"))
+        actual = summary.get("buckets") or {}
+        rows.append((label, predicted, actual))
+    if rows:
+        print()
+        print("predicted vs actual (cost model share of busy time):")
+        for label, predicted, actual in rows:
+            predicted_total = sum(predicted.values()) or 1.0
+            actual_busy = sum(
+                float(seconds) for bucket, seconds in actual.items()
+                if bucket != "idle"
+            ) or 1.0
+            parts = []
+            for bucket in ("compute", "steal", "ipc", "io"):
+                pred_share = predicted.get(bucket, 0.0) / predicted_total
+                act_share = float(actual.get(bucket, 0.0)) / actual_busy
+                parts.append(
+                    f"{bucket} {pred_share:.0%}/{act_share:.0%}"
+                )
+            print(f"  {label}: " + "  ".join(parts) + "  (predicted/actual)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -945,6 +1125,63 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--ledger-dir", metavar="DIR", default=None,
                       help="run-ledger directory (default: .repro/runs)")
     comp.set_defaults(func=cmd_obs_compare)
+
+    anat = obs_sub.add_parser(
+        "anatomy",
+        help="per-phase self-time attribution + critical path of a trace",
+    )
+    anat.add_argument(
+        "trace", help="trace file (Chrome trace JSON or JSONL)"
+    )
+    anat.add_argument(
+        "--check", action="store_true",
+        help="verify the self-time-sums-to-wall invariant and the "
+             "speedscope export; exit 1 on violation",
+    )
+    anat.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="relative tolerance for --check (default 0.02)",
+    )
+    anat.add_argument(
+        "--json", action="store_true",
+        help="print the anatomy summary as JSON instead of the report",
+    )
+    anat.set_defaults(func=cmd_obs_anatomy)
+
+    flame = obs_sub.add_parser(
+        "flame", help="export a trace as a flamegraph"
+    )
+    flame.add_argument(
+        "trace", help="trace file (Chrome trace JSON or JSONL)"
+    )
+    flame.add_argument(
+        "--format", choices=("speedscope", "collapsed"),
+        default="speedscope",
+        help="speedscope evented JSON (default) or collapsed stacks",
+    )
+    flame.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="output path (default: <trace stem>.speedscope.json / "
+             ".collapsed.txt)",
+    )
+    flame.set_defaults(func=cmd_obs_flame)
+
+    expl = obs_sub.add_parser(
+        "explain",
+        help="attribute the wall-clock delta between two runs per "
+             "phase bucket (compute/steal/ipc/io/idle)",
+    )
+    expl.add_argument(
+        "baseline",
+        help="trace file, run-id prefix, or negative index (-1 = latest)",
+    )
+    expl.add_argument(
+        "current",
+        help="trace file, run-id prefix, or negative index",
+    )
+    expl.add_argument("--ledger-dir", metavar="DIR", default=None,
+                      help="run-ledger directory (default: .repro/runs)")
+    expl.set_defaults(func=cmd_obs_explain)
     return parser
 
 

@@ -50,6 +50,8 @@ from repro.engine.registry import (
 )
 from repro.engine.vectorized import apriori_vectorized, eclat_vectorized
 from repro.errors import ConfigurationError
+from repro.obs.anatomy import anatomy_summary
+from repro.obs.sampler import maybe_start_sampler
 from repro.representations import REPRESENTATIONS, Representation, get_representation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -426,12 +428,17 @@ def mine(
     runner_kwargs = dict(options)
     if tracker is not None and _accepts_live(entry.runner):
         runner_kwargs["live"] = tracker
+    sampler = maybe_start_sampler(obs)
     try:
         result = entry.runner(db, rep_name, min_sup, obs=obs, **runner_kwargs)
     except BaseException:
+        if sampler is not None:
+            sampler.stop()
         if tracker is not None:
             tracker.finish("failed")
         raise
+    if sampler is not None:
+        sampler.stop()
     if tracker is not None:
         tracker.finish("done")
 
@@ -458,6 +465,17 @@ def mine(
             },
         )
     if ledger_active:
+        extra: dict = {}
+        if tracker is not None:
+            extra["live"] = {"run_id": tracker.run_id,
+                            "stalls": tracker.stalls}
+        if obs is not None:
+            # The per-bucket anatomy summary makes ledger records
+            # explainable after the fact (repro obs explain) even when
+            # the trace file itself is gone.
+            summary = anatomy_summary(obs.sink)
+            if summary is not None:
+                extra["anatomy"] = summary
         record_run(
             "mine",
             db=db,
@@ -469,11 +487,7 @@ def mine(
             n_itemsets=len(result),
             obs=obs,
             ledger=ledger,
-            extra=(
-                {"live": {"run_id": tracker.run_id,
-                          "stalls": tracker.stalls}}
-                if tracker is not None else None
-            ),
+            extra=extra or None,
         )
     return result
 

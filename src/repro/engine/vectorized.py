@@ -22,6 +22,7 @@ caller spelled it, because that is what actually ran.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -226,6 +227,7 @@ def rebuild_class_rows(
     ``mine.*`` — keeping the mining counters identical to the plain
     vectorized backend (the equivalence tests pin this).
     """
+    rebuild_start = time.perf_counter() if obs is not None else 0.0
     rows = matrix[np.asarray(members, dtype=np.intp)]
     if not prefix:
         return rows
@@ -240,6 +242,12 @@ def rebuild_class_rows(
         metrics.counter("worksteal.rebuild.intersections").inc(n)
         metrics.counter("worksteal.rebuild.read_bytes").inc(
             (n + len(prefix)) * matrix.shape[1]
+        )
+        # The steal-payload cost gets its own trace span (cat="steal") so
+        # run anatomy can attribute it separately from task compute.
+        obs.sink.wall_event(
+            "task.rebuild", rebuild_start, cat="steal",
+            args={"prefix_len": len(prefix), "n_members": len(members)},
         )
     return rows
 

@@ -118,6 +118,60 @@ class CostModel:
         )
 
 
+def predicted_breakdown(
+    counters: "dict[str, float] | None",
+    gauges: "dict[str, float] | None" = None,
+    spec: MachineSpec = BLACKLIGHT,
+) -> dict[str, float]:
+    """Cost-model per-bucket seconds predicted from a run's counters.
+
+    The run-anatomy layer measures where wall clock *went*
+    (compute / steal / ipc / io); this predicts the same split from the
+    counted work, so ``repro obs explain`` can show predicted-vs-actual
+    per phase.  The mapping is deliberately coarse — each term reuses the
+    pricing primitive that the simulator charges for the same work:
+
+    * **compute** — kernel bytes (``mine.intersection_read_bytes`` as
+      byte-granular element ops) plus local traffic for reads + writes;
+    * **steal** — one ``steal_attempt_cost`` per recorded steal plus the
+      rebuild payload priced as remote traffic
+      (``worksteal.rebuild.read_bytes``);
+    * **ipc** — fork/join for the recorded worker count plus per-snapshot
+      iteration overhead;
+    * **io** — ``outofcore.read_bytes`` at the sequential streaming rate.
+    """
+    counters = counters or {}
+    gauges = gauges or {}
+    model = CostModel(spec)
+
+    read = float(counters.get("mine.intersection_read_bytes", 0.0))
+    written = float(counters.get("mine.bytes_written", 0.0))
+    compute = float(model.compute_time(read)) + float(
+        model.local_time(read + written)
+    )
+
+    rebuild_bytes = float(counters.get("worksteal.rebuild.read_bytes", 0.0))
+    steals = sum(
+        value for name, value in counters.items() if name.endswith(".steals")
+    )
+    steal = float(steals) * spec.steal_attempt_cost + float(
+        model.remote_time(rebuild_bytes)
+    )
+
+    n_workers = max(
+        (value for name, value in gauges.items()
+         if name.endswith(".n_workers")),
+        default=0.0,
+    )
+    snapshots = float(counters.get("obs.snapshots.merged", 0.0))
+    ipc = model.fork_join_time(int(n_workers)) + model.iteration_overhead_time(
+        int(snapshots)
+    )
+
+    io = float(model.io_time(float(counters.get("outofcore.read_bytes", 0.0))))
+    return {"compute": compute, "steal": steal, "ipc": ipc, "io": io}
+
+
 def record_region_attribution(
     obs,
     label: str,

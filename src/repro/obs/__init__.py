@@ -31,7 +31,17 @@ The observability layer for the mining + NUMA-simulation pipeline:
   atomically-replaced status file under ``.repro/live/<run_id>.json``
   (``repro mine --progress`` / ``repro obs watch`` read it; the
   parent-side watchdog requests ``faulthandler`` traceback dumps from
-  stalled workers over SIGUSR1).
+  stalled workers over SIGUSR1);
+* :mod:`repro.obs.anatomy` is the derived-analysis layer over a recorded
+  trace: per-phase self-time attribution (compute / steal / ipc / io /
+  idle, summing to lane wall clock), the critical path bounding the run's
+  wall time, collapsed-stack + speedscope flamegraph exports, and the
+  anatomy summary recorded into each ledger record's ``extra``
+  (``repro obs anatomy|flame|explain``);
+* :mod:`repro.obs.sampler` runs a background :class:`ResourceSampler`
+  thread emitting RSS / CPU / io-byte counter tracks at a configurable
+  interval, threaded through the engine, both process backends' workers,
+  and out-of-core partition loops (``--sample-interval``).
 
 Key instrument names emitted by the pipeline::
 
@@ -52,6 +62,14 @@ Key instrument names emitted by the pipeline::
     obs.snapshots.merged / .dropped                     cross-process health
 """
 
+from repro.obs.anatomy import (
+    RunAnatomy,
+    analyze,
+    anatomy_summary,
+    explain,
+    flamegraph_collapsed,
+    flamegraph_speedscope,
+)
 from repro.obs.context import ObsContext
 from repro.obs.ledger import Ledger, RunRecord, record_run, set_default_ledger
 from repro.obs.live import (
@@ -70,6 +88,7 @@ from repro.obs.metrics import (
     sample_rusage,
 )
 from repro.obs.procmerge import WorkerTelemetry, merge_snapshot, snapshot
+from repro.obs.sampler import ResourceSampler
 from repro.obs.trace import (
     ChromeTraceSink,
     InMemorySink,
@@ -109,4 +128,11 @@ __all__ = [
     "read_status",
     "progress_line",
     "render_status",
+    "RunAnatomy",
+    "analyze",
+    "anatomy_summary",
+    "explain",
+    "flamegraph_collapsed",
+    "flamegraph_speedscope",
+    "ResourceSampler",
 ]

@@ -1,0 +1,866 @@
+"""Run anatomy: derived analysis over a recorded span stream.
+
+The sinks in :mod:`repro.obs.trace` record *what happened*; this module
+answers *why the run took as long as it did*.  It loads a span stream from
+any sink shape (in-memory, Chrome JSON document, JSONL — including
+procmerge'd per-pid worker lanes) and derives:
+
+* **self-time attribution** — every span's self time (duration minus its
+  children) lands in exactly one of five buckets: ``compute``, ``steal``
+  (work-stealing rebuild), ``ipc`` (dispatch / attach / serialization),
+  ``io`` and ``idle``.  Uncovered lane time is idle, so per lane the
+  bucket totals sum to the lane's wall clock (within tolerance —
+  ``RunAnatomy.check`` enforces the invariant).
+* **critical path** — the backward last-finisher walk over the leaf task
+  spans of all lanes: the chain of work (and gaps) that bounds the run's
+  wall clock, with per-node contribution.  Contributions sum to the run
+  wall.
+* **flamegraph exports** — Brendan-Gregg collapsed-stack text and
+  speedscope evented JSON (one profile per lane).
+* **resource timeline summaries** — min/max/last per counter track (the
+  ``"C"`` samples the :class:`repro.obs.sampler.ResourceSampler` emits).
+
+Container spans (``engine.mine``, ``shared_memory.mine``, …) wrap a whole
+run; their self time is orchestration and polling, so it buckets as
+``idle`` — unless the trace holds *only* container spans (a serial run
+with no inner instrumentation), in which case they count as ``compute``.
+Dispatch-echo lanes (pid 0, tid > 0: the parent's per-task mirror of the
+worker timeline) are reported per lane but excluded from global bucket
+totals and the critical path, so parallel work is not double-counted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import (
+    US_PER_SECOND,
+    ChromeTraceSink,
+    InMemorySink,
+    TraceEvent,
+    TraceSink,
+)
+
+#: Version of the ``summary()`` dict recorded into ledger ``extra``.
+ANATOMY_SCHEMA = 1
+
+#: The five self-time buckets, in reporting order.
+BUCKETS = ("compute", "steal", "ipc", "io", "idle")
+
+#: Spans that wrap an entire run (orchestration, not work).
+CONTAINER_NAMES = frozenset({
+    "engine.mine",
+    "engine.mine_out_of_core",
+    "shared_memory.mine",
+    "multiprocessing.mine",
+})
+
+_CAT_BUCKETS = {
+    "mine": "compute",
+    "task": "compute",
+    "kernel": "compute",
+    "steal": "steal",
+    "rebuild": "steal",
+    "dispatch": "ipc",
+    "setup": "ipc",
+    "serialize": "ipc",
+    "ipc": "ipc",
+    "io": "io",
+    "wait": "idle",
+    "idle": "idle",
+}
+
+_NAME_PREFIX_BUCKETS = (
+    ("task.wait", "idle"),
+    ("worker.", "ipc"),
+    ("outofcore.", "io"),
+)
+
+#: Timestamp comparison slack (microseconds).
+_EPS_US = 0.5
+
+#: Backstop for the backward critical-path walk.
+_MAX_CRITICAL_STEPS = 10_000
+
+
+def classify_span(name: str, cat: str = "", *,
+                  container_bucket: str = "idle") -> str:
+    """Map one span to its self-time bucket.
+
+    ``container_bucket`` is what run-wrapping container spans count as:
+    ``"idle"`` normally (their self time is orchestration around the real
+    work), ``"compute"`` when the trace has no inner spans at all.
+    """
+    if name in CONTAINER_NAMES or cat == "engine":
+        return container_bucket
+    bucket = _CAT_BUCKETS.get(cat)
+    if bucket is not None:
+        return bucket
+    for prefix, fallback in _NAME_PREFIX_BUCKETS:
+        if name.startswith(prefix):
+            return fallback
+    return "compute"
+
+
+# ---------------------------------------------------------------------------
+# Loading
+
+
+def _event_from_mapping(record: Mapping[str, Any]) -> TraceEvent:
+    """Build a :class:`TraceEvent` from a Chrome (``ph``) or snapshot
+    (``phase``) dict.  Raises ``ValueError``/``TypeError`` on junk."""
+    phase = record.get("ph", record.get("phase"))
+    name = record.get("name")
+    if not isinstance(phase, str) or not isinstance(name, str):
+        raise ValueError(f"not a trace event record: {record!r}")
+    args = record.get("args")
+    if args is not None and not isinstance(args, Mapping):
+        args = None
+    return TraceEvent(
+        name=name,
+        phase=phase,
+        ts=float(record.get("ts", 0.0)),
+        dur=float(record.get("dur", 0.0)),
+        pid=int(record.get("pid", 0)),
+        tid=int(record.get("tid", 0)),
+        cat=str(record.get("cat", "")),
+        args=dict(args) if args is not None else None,
+    )
+
+
+def _events_from_records(records: Iterable[Any]) -> tuple[list[TraceEvent], int]:
+    events: list[TraceEvent] = []
+    dropped = 0
+    for record in records:
+        if isinstance(record, TraceEvent):
+            events.append(record)
+            continue
+        if not isinstance(record, Mapping):
+            dropped += 1
+            continue
+        try:
+            events.append(_event_from_mapping(record))
+        except (TypeError, ValueError):
+            dropped += 1
+    return events, dropped
+
+
+def _load_trace_file(path: Path) -> tuple[list[TraceEvent], int]:
+    text = path.read_text(encoding="utf-8")
+    head = text.lstrip()[:1]
+    if head == "{":
+        # Either a Chrome trace document or JSONL (whose first line is an
+        # object too); only a whole-file parse tells them apart.
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            pass  # JSONL: fall through to the line-wise parser
+        else:
+            records = document.get("traceEvents")
+            if not isinstance(records, list):
+                raise ValueError(
+                    f"{path}: JSON object without a traceEvents list")
+            return _events_from_records(records)
+    elif head == "[":
+        return _events_from_records(json.loads(text))
+    # JSONL: one Chrome record per line.  A crash mid-write leaves a torn
+    # final line; any unparseable line is counted and skipped, never fatal.
+    events: list[TraceEvent] = []
+    dropped = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, Mapping):
+                raise ValueError("non-object line")
+            events.append(_event_from_mapping(record))
+        except (TypeError, ValueError):
+            dropped += 1
+    return events, dropped
+
+
+def load_events(source: Any) -> tuple[list[TraceEvent], int]:
+    """Normalize any span source into ``(events, dropped_records)``.
+
+    Accepts an :class:`InMemorySink`, a :class:`ChromeTraceSink` (its
+    buffered document), a path to a Chrome JSON or JSONL trace file, or an
+    iterable of :class:`TraceEvent` / event dicts.
+    """
+    if isinstance(source, InMemorySink):
+        return list(source.events), 0
+    if isinstance(source, ChromeTraceSink):
+        return _events_from_records(source.document()["traceEvents"])
+    if isinstance(source, TraceSink):
+        return [], 0
+    if isinstance(source, (str, Path)):
+        return _load_trace_file(Path(source))
+    return _events_from_records(source)
+
+
+# ---------------------------------------------------------------------------
+# Span forest + per-lane attribution
+
+
+@dataclass
+class SpanNode:
+    """One "X" span, nested by temporal containment within its lane."""
+
+    event: TraceEvent
+    children: list["SpanNode"] = field(default_factory=list)
+    self_us: float = 0.0
+    bucket: str = "compute"
+
+    @property
+    def name(self) -> str:
+        return self.event.name
+
+    @property
+    def start_us(self) -> float:
+        return self.event.ts
+
+    @property
+    def end_us(self) -> float:
+        return self.event.ts + self.event.dur
+
+    @property
+    def dur_us(self) -> float:
+        return self.event.dur
+
+
+def _build_forest(spans: list[TraceEvent]) -> list[SpanNode]:
+    """Nest a lane's "X" events by containment (sorted by start, longest
+    first, stack-based — the usual flamegraph reconstruction)."""
+    ordered = sorted(spans, key=lambda e: (e.ts, -e.dur))
+    roots: list[SpanNode] = []
+    stack: list[SpanNode] = []
+    for event in ordered:
+        node = SpanNode(event)
+        while stack and event.ts >= stack[-1].end_us - _EPS_US:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _assign_self_times(node: SpanNode, container_bucket: str) -> None:
+    child_total = 0.0
+    for child in node.children:
+        _assign_self_times(child, container_bucket)
+        child_total += child.dur_us
+    node.self_us = max(0.0, node.dur_us - child_total)
+    node.bucket = classify_span(node.name, node.event.cat,
+                                container_bucket=container_bucket)
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (start, end) intervals."""
+    total = 0.0
+    cursor = float("-inf")
+    for start, end in sorted(intervals):
+        if end <= cursor:
+            continue
+        total += end - max(start, cursor)
+        cursor = end
+    return total
+
+
+@dataclass
+class LaneAnatomy:
+    """Bucketed self-time attribution for one (pid, tid) trace lane."""
+
+    pid: int
+    tid: int
+    label: str
+    start_us: float
+    end_us: float
+    buckets: dict[str, float]  # microseconds, keyed by BUCKETS
+    roots: list[SpanNode]
+    n_spans: int
+    mirror: bool = False  # parent-side dispatch echo of a worker lane
+
+    @property
+    def wall_us(self) -> float:
+        return max(0.0, self.end_us - self.start_us)
+
+    def check(self, *, rel_tol: float = 0.02,
+              abs_tol_us: float = 2000.0) -> str | None:
+        """The invariant: bucket self-times sum to lane wall clock."""
+        total = sum(self.buckets.values())
+        wall = self.wall_us
+        if abs(total - wall) <= max(abs_tol_us, rel_tol * wall):
+            return None
+        return (f"lane {self.label}: bucket self-times sum to "
+                f"{total / US_PER_SECOND:.6f}s but lane wall is "
+                f"{wall / US_PER_SECOND:.6f}s")
+
+
+def _build_lane(pid: int, tid: int, spans: list[TraceEvent], label: str,
+                container_bucket: str) -> LaneAnatomy:
+    roots = _build_forest(spans)
+    for root in roots:
+        _assign_self_times(root, container_bucket)
+    start = min(event.ts for event in spans)
+    end = max(event.ts + event.dur for event in spans)
+    buckets = {bucket: 0.0 for bucket in BUCKETS}
+
+    def walk(node: SpanNode) -> None:
+        buckets[node.bucket] += node.self_us
+        for child in node.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    covered = _union_length([(r.start_us, r.end_us) for r in roots])
+    buckets["idle"] += max(0.0, (end - start) - covered)
+    mirror = pid == 0 and tid != 0 and all(e.cat == "dispatch" for e in spans)
+    return LaneAnatomy(pid=pid, tid=tid, label=label, start_us=start,
+                       end_us=end, buckets=buckets, roots=roots,
+                       n_spans=len(spans), mirror=mirror)
+
+
+# ---------------------------------------------------------------------------
+# Critical path
+
+
+@dataclass
+class CriticalStep:
+    """One link of the chain bounding wall clock: a span (or a gap)."""
+
+    name: str
+    pid: int
+    tid: int
+    start_us: float
+    end_us: float
+    contribution_us: float
+    bucket: str
+
+
+def _critical_leaves(lanes: list[LaneAnatomy]) -> list[SpanNode]:
+    """The spans eligible for the critical path: leaf work spans of real
+    lanes — no containers, no dispatch mirrors.  Falls back to all leaves
+    when a trace is containers-only."""
+
+    def leaves(include_containers: bool) -> list[SpanNode]:
+        out: list[SpanNode] = []
+
+        def walk(node: SpanNode) -> None:
+            if node.children:
+                for child in node.children:
+                    walk(child)
+                return
+            if node.event.cat == "dispatch":
+                return
+            if not include_containers and (
+                    node.name in CONTAINER_NAMES or node.event.cat == "engine"):
+                return
+            out.append(node)
+
+        for lane in lanes:
+            if lane.mirror:
+                continue
+            for root in lane.roots:
+                walk(root)
+        return out
+
+    return leaves(False) or leaves(True)
+
+
+def _critical_path(lanes: list[LaneAnatomy], start_us: float,
+                   end_us: float) -> list[CriticalStep]:
+    work = _critical_leaves(lanes)
+    lane_of: dict[int, tuple[int, int]] = {}
+    for lane in lanes:
+        stack = list(lane.roots)
+        while stack:
+            node = stack.pop()
+            lane_of[id(node)] = (lane.pid, lane.tid)
+            stack.extend(node.children)
+    steps: list[CriticalStep] = []
+    t = end_us
+    while t > start_us + _EPS_US and len(steps) < _MAX_CRITICAL_STEPS:
+        # Last-finisher walk: at time t, follow the span whose effective
+        # end min(end, t) is latest; among spans still running at t, the
+        # one that started earliest (the longest backward jump).
+        best: SpanNode | None = None
+        best_key: tuple[float, float] | None = None
+        for node in work:
+            if node.start_us >= t - _EPS_US:
+                continue
+            key = (min(node.end_us, t), -node.start_us)
+            if best_key is None or key > best_key:
+                best, best_key = node, key
+        if best is None:
+            steps.append(CriticalStep("(idle)", -1, -1, start_us, t,
+                                      t - start_us, "idle"))
+            break
+        eff_end = min(best.end_us, t)
+        if eff_end < t - _EPS_US:
+            steps.append(CriticalStep("(idle)", -1, -1, eff_end, t,
+                                      t - eff_end, "idle"))
+            t = eff_end
+        begin = max(best.start_us, start_us)
+        contribution = max(0.0, eff_end - begin)
+        if contribution > _EPS_US:
+            pid, tid = lane_of.get(id(best), (-1, -1))
+            steps.append(CriticalStep(best.name, pid, tid, begin, eff_end,
+                                      contribution, best.bucket))
+        t = begin
+    steps.reverse()
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# Whole-run anatomy
+
+
+@dataclass
+class RunAnatomy:
+    """The derived anatomy of one run's trace."""
+
+    lanes: list[LaneAnatomy]
+    start_us: float
+    end_us: float
+    critical_path: list[CriticalStep]
+    counter_tracks: dict[str, dict[str, float]]
+    n_events: int
+    n_spans: int
+    dropped: int
+
+    @property
+    def wall_seconds(self) -> float:
+        return max(0.0, self.end_us - self.start_us) / US_PER_SECOND
+
+    def buckets_seconds(self, *, include_mirrors: bool = False) -> dict[str, float]:
+        """Global per-bucket self-time in seconds (mirror lanes excluded
+        by default so dispatched work is not double-counted)."""
+        totals = {bucket: 0.0 for bucket in BUCKETS}
+        for lane in self.lanes:
+            if lane.mirror and not include_mirrors:
+                continue
+            for bucket, us in lane.buckets.items():
+                totals[bucket] += us / US_PER_SECOND
+        return totals
+
+    def critical_contributors(self, top: int = 5) -> list[tuple[str, float, str]]:
+        """Critical-path contribution aggregated by span name, largest
+        first: ``(name, seconds, bucket)`` tuples."""
+        totals: dict[str, float] = {}
+        bucket_of: dict[str, str] = {}
+        for step in self.critical_path:
+            totals[step.name] = totals.get(step.name, 0.0) + step.contribution_us
+            bucket_of.setdefault(step.name, step.bucket)
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+        return [(name, us / US_PER_SECOND, bucket_of[name])
+                for name, us in ranked[:top]]
+
+    def check(self, *, rel_tol: float = 0.02,
+              abs_tol_us: float = 2000.0) -> list[str]:
+        """All invariant violations (empty means the anatomy is sound)."""
+        errors = [
+            err for lane in self.lanes
+            if (err := lane.check(rel_tol=rel_tol, abs_tol_us=abs_tol_us))
+        ]
+        wall_us = max(0.0, self.end_us - self.start_us)
+        path_us = sum(step.contribution_us for step in self.critical_path)
+        if self.critical_path and abs(path_us - wall_us) > max(
+                abs_tol_us, rel_tol * wall_us):
+            errors.append(
+                f"critical path sums to {path_us / US_PER_SECOND:.6f}s "
+                f"but run wall is {wall_us / US_PER_SECOND:.6f}s")
+        return errors
+
+    def summary(self, top: int = 5) -> dict[str, Any]:
+        """The compact dict recorded into a ledger record's ``extra``."""
+        return {
+            "schema": ANATOMY_SCHEMA,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "buckets": {bucket: round(seconds, 6)
+                        for bucket, seconds in self.buckets_seconds().items()},
+            "critical_path": [
+                {"name": name, "seconds": round(seconds, 6), "bucket": bucket}
+                for name, seconds, bucket in self.critical_contributors(top)
+            ],
+            "n_spans": self.n_spans,
+            "n_lanes": sum(1 for lane in self.lanes if not lane.mirror),
+        }
+
+
+def _lane_labels(events: list[TraceEvent]) -> dict[tuple[int, int], str]:
+    process: dict[int, str] = {}
+    thread: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.phase != "M" or not event.args:
+            continue
+        name = event.args.get("name")
+        if not isinstance(name, str):
+            continue
+        if event.name == "process_name":
+            process[event.pid] = name
+        elif event.name == "thread_name":
+            thread[(event.pid, event.tid)] = name
+    labels: dict[tuple[int, int], str] = {}
+    for event in events:
+        key = (event.pid, event.tid)
+        if key in labels:
+            continue
+        proc = process.get(event.pid, f"pid{event.pid}")
+        thr = thread.get(key, f"tid{event.tid}")
+        labels[key] = f"{proc}/{thr}"
+    return labels
+
+
+def _counter_tracks(events: list[TraceEvent]) -> dict[str, dict[str, float]]:
+    tracks: dict[str, dict[str, float]] = {}
+    for event in events:
+        if event.phase != "C" or not event.args:
+            continue
+        for key, value in event.args.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            value = float(value)
+            track_id = f"pid{event.pid}.{event.name}.{key}"
+            track = tracks.get(track_id)
+            if track is None:
+                tracks[track_id] = {"n": 1.0, "min": value, "max": value,
+                                    "last": value}
+            else:
+                track["n"] += 1.0
+                track["min"] = min(track["min"], value)
+                track["max"] = max(track["max"], value)
+                track["last"] = value
+    return tracks
+
+
+def analyze(source: Any) -> RunAnatomy:
+    """Load a span source and derive its full anatomy."""
+    events, dropped = load_events(source)
+    spans = [event for event in events if event.phase == "X"]
+    all_containers = all(
+        event.name in CONTAINER_NAMES or event.cat == "engine"
+        for event in spans
+    )
+    container_bucket = "compute" if all_containers else "idle"
+    labels = _lane_labels(events)
+    by_lane: dict[tuple[int, int], list[TraceEvent]] = {}
+    for event in spans:
+        by_lane.setdefault((event.pid, event.tid), []).append(event)
+    lanes = [
+        _build_lane(pid, tid, lane_spans,
+                    labels.get((pid, tid), f"pid{pid}/tid{tid}"),
+                    container_bucket)
+        for (pid, tid), lane_spans in sorted(by_lane.items())
+    ]
+    real = [lane for lane in lanes if not lane.mirror] or lanes
+    if real:
+        start = min(lane.start_us for lane in real)
+        end = max(lane.end_us for lane in real)
+        path = _critical_path(lanes, start, end)
+    else:
+        start = end = 0.0
+        path = []
+    return RunAnatomy(
+        lanes=lanes,
+        start_us=start,
+        end_us=end,
+        critical_path=path,
+        counter_tracks=_counter_tracks(events),
+        n_events=len(events),
+        n_spans=len(spans),
+        dropped=dropped,
+    )
+
+
+def anatomy_summary(source: Any, *, top: int = 5) -> dict[str, Any] | None:
+    """``analyze(...).summary()`` that never raises (ledger recording)."""
+    try:
+        anatomy = analyze(source)
+    except Exception:
+        return None
+    if anatomy.n_spans == 0:
+        return None
+    return anatomy.summary(top=top)
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph exports
+
+
+def _frame_name(text: str) -> str:
+    return text.replace(";", ":").replace("\n", " ") or "(anonymous)"
+
+
+def flamegraph_collapsed(anatomy: RunAnatomy) -> str:
+    """Brendan-Gregg collapsed-stack text; values are self-time in
+    integer microseconds (``flamegraph.pl`` / speedscope both load it)."""
+    weights: dict[str, int] = {}
+
+    def walk(node: SpanNode, stack: str) -> None:
+        path = f"{stack};{_frame_name(node.name)}"
+        weight = int(round(node.self_us))
+        if weight > 0:
+            weights[path] = weights.get(path, 0) + weight
+        for child in node.children:
+            walk(child, path)
+
+    for lane in anatomy.lanes:
+        base = _frame_name(lane.label)
+        for root in lane.roots:
+            walk(root, base)
+    return "".join(f"{path} {weight}\n"
+                   for path, weight in sorted(weights.items()))
+
+
+def flamegraph_speedscope(anatomy: RunAnatomy, *,
+                          name: str = "repro run") -> dict[str, Any]:
+    """Speedscope evented-profile JSON: one profile per trace lane."""
+    frames: list[dict[str, str]] = []
+    frame_index: dict[str, int] = {}
+
+    def intern(frame: str) -> int:
+        index = frame_index.get(frame)
+        if index is None:
+            index = frame_index[frame] = len(frames)
+            frames.append({"name": frame})
+        return index
+
+    profiles: list[dict[str, Any]] = []
+    for lane in anatomy.lanes:
+        events: list[dict[str, Any]] = []
+
+        def emit(node: SpanNode, lo: float, hi: float) -> None:
+            # Clamp into the parent's open window so the event stream
+            # keeps strict stack discipline even for jittery timestamps.
+            start = max(node.start_us, lo)
+            end = min(node.end_us, hi)
+            if end - start <= 0:
+                return
+            index = intern(_frame_name(node.name))
+            events.append({"type": "O", "frame": index, "at": start})
+            cursor = start
+            for child in sorted(node.children, key=lambda n: n.start_us):
+                child_end = min(child.end_us, end)
+                emit(child, max(child.start_us, cursor), end)
+                cursor = max(cursor, child_end)
+            events.append({"type": "C", "frame": index, "at": end})
+
+        cursor = lane.start_us
+        for root in sorted(lane.roots, key=lambda n: n.start_us):
+            emit(root, max(root.start_us, cursor), lane.end_us)
+            cursor = max(cursor, min(root.end_us, lane.end_us))
+        profiles.append({
+            "type": "evented",
+            "name": lane.label,
+            "unit": "microseconds",
+            "startValue": lane.start_us,
+            "endValue": lane.end_us,
+            "events": events,
+        })
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+        "name": name,
+        "exporter": "repro obs flame",
+        "activeProfileIndex": 0,
+    }
+
+
+def validate_speedscope(document: Mapping[str, Any]) -> None:
+    """Structural validation of a speedscope document; raises
+    ``ValueError`` listing the first violation found."""
+    frames = document.get("shared", {}).get("frames")
+    if not isinstance(frames, list) or not all(
+            isinstance(f, Mapping) and isinstance(f.get("name"), str)
+            for f in frames):
+        raise ValueError("shared.frames must be a list of {name: str}")
+    profiles = document.get("profiles")
+    if not isinstance(profiles, list):
+        raise ValueError("profiles must be a list")
+    for profile in profiles:
+        label = profile.get("name", "?")
+        if profile.get("type") != "evented":
+            raise ValueError(f"profile {label}: type must be 'evented'")
+        stack: list[int] = []
+        last_at = float(profile.get("startValue", 0.0))
+        for event in profile.get("events", ()):
+            kind = event.get("type")
+            frame = event.get("frame")
+            at = event.get("at")
+            if not isinstance(frame, int) or not 0 <= frame < len(frames):
+                raise ValueError(f"profile {label}: bad frame index {frame!r}")
+            if not isinstance(at, (int, float)) or at < last_at - _EPS_US:
+                raise ValueError(
+                    f"profile {label}: timestamps must be non-decreasing")
+            last_at = max(last_at, float(at))
+            if kind == "O":
+                stack.append(frame)
+            elif kind == "C":
+                if not stack or stack.pop() != frame:
+                    raise ValueError(
+                        f"profile {label}: close event does not match the "
+                        f"open stack")
+            else:
+                raise ValueError(f"profile {label}: bad event type {kind!r}")
+        if stack:
+            raise ValueError(f"profile {label}: {len(stack)} unclosed span(s)")
+        if last_at > float(profile.get("endValue", last_at)) + _EPS_US:
+            raise ValueError(f"profile {label}: events run past endValue")
+
+
+# ---------------------------------------------------------------------------
+# Explain: ledger-aware anatomy diff
+
+
+@dataclass
+class BucketDelta:
+    bucket: str
+    base_s: float
+    current_s: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.current_s - self.base_s
+
+
+@dataclass
+class Explanation:
+    """Per-bucket attribution of the wall-clock delta between two runs."""
+
+    base: Mapping[str, Any]
+    current: Mapping[str, Any]
+    wall_base_s: float
+    wall_current_s: float
+    deltas: list[BucketDelta]
+    top: BucketDelta | None
+
+    @property
+    def wall_delta_s(self) -> float:
+        return self.wall_current_s - self.wall_base_s
+
+    def render(self, *, base_label: str = "baseline",
+               current_label: str = "current") -> str:
+        lines = [
+            f"explain: {base_label} -> {current_label}",
+            (f"wall: {self.wall_base_s:.3f}s -> {self.wall_current_s:.3f}s "
+             f"(delta {self.wall_delta_s:+.3f}s)"),
+            "",
+            f"{'bucket':<10} {'baseline':>10} {'current':>10} {'delta':>10}",
+        ]
+        for delta in self.deltas:
+            lines.append(
+                f"{delta.bucket:<10} {delta.base_s:>9.3f}s "
+                f"{delta.current_s:>9.3f}s {delta.delta_s:>+9.3f}s")
+        if self.top is not None:
+            lines.append("")
+            lines.append(f"top contributor: {self.top.bucket} "
+                         f"({self.top.delta_s:+.3f}s)")
+        path = self.current.get("critical_path")
+        if isinstance(path, list) and path:
+            lines.append("")
+            lines.append(f"critical path ({current_label}):")
+            for entry in path:
+                if isinstance(entry, Mapping):
+                    lines.append(
+                        f"  {entry.get('name', '?'):<28} "
+                        f"{float(entry.get('seconds', 0.0)):>8.3f}s  "
+                        f"{entry.get('bucket', '')}")
+        return "\n".join(lines)
+
+
+def _summary_buckets(summary: Mapping[str, Any]) -> dict[str, float]:
+    buckets = summary.get("buckets")
+    if not isinstance(buckets, Mapping):
+        return {}
+    return {str(bucket): float(seconds)
+            for bucket, seconds in buckets.items()
+            if isinstance(seconds, (int, float))}
+
+
+def explain(base_summary: Mapping[str, Any],
+            current_summary: Mapping[str, Any]) -> Explanation:
+    """Attribute ``current - base`` wall-clock per phase bucket.
+
+    The headline ``top`` contributor is the largest delta *in the
+    direction of the wall-clock change* among non-idle buckets — idle is
+    a symptom (someone waited), the other buckets are causes.
+    """
+    base_buckets = _summary_buckets(base_summary)
+    current_buckets = _summary_buckets(current_summary)
+    order = list(BUCKETS) + sorted(
+        (set(base_buckets) | set(current_buckets)) - set(BUCKETS))
+    deltas = [
+        BucketDelta(bucket, base_buckets.get(bucket, 0.0),
+                    current_buckets.get(bucket, 0.0))
+        for bucket in order
+        if bucket in base_buckets or bucket in current_buckets
+    ]
+    wall_base = float(base_summary.get("wall_seconds", 0.0))
+    wall_current = float(current_summary.get("wall_seconds", 0.0))
+    sign = 1.0 if wall_current >= wall_base else -1.0
+    ranked = sorted(deltas, key=lambda d: sign * d.delta_s, reverse=True)
+    top = next((d for d in ranked if d.bucket != "idle"
+                and sign * d.delta_s > 0.0), None)
+    if top is None and ranked and sign * ranked[0].delta_s > 0.0:
+        top = ranked[0]
+    return Explanation(
+        base=base_summary,
+        current=current_summary,
+        wall_base_s=wall_base,
+        wall_current_s=wall_current,
+        deltas=ranked,
+        top=top,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Text report
+
+
+def render_anatomy(anatomy: RunAnatomy) -> str:
+    """Human-readable anatomy report for ``repro obs anatomy``."""
+    lines = []
+    n_real = sum(1 for lane in anatomy.lanes if not lane.mirror)
+    lines.append(
+        f"run wall: {anatomy.wall_seconds:.3f}s across {n_real} lane(s), "
+        f"{anatomy.n_spans} span(s)")
+    if anatomy.dropped:
+        lines.append(f"  ({anatomy.dropped} unparseable record(s) dropped)")
+    totals = anatomy.buckets_seconds()
+    grand = sum(totals.values()) or 1.0
+    lines.append("")
+    lines.append(f"{'bucket':<10} {'seconds':>10} {'share':>8}")
+    for bucket in BUCKETS:
+        seconds = totals[bucket]
+        lines.append(f"{bucket:<10} {seconds:>9.3f}s {seconds / grand:>7.1%}")
+    contributors = anatomy.critical_contributors()
+    if contributors:
+        lines.append("")
+        lines.append("critical path (top contributors):")
+        for name, seconds, bucket in contributors:
+            lines.append(f"  {name:<28} {seconds:>8.3f}s  {bucket}")
+    lines.append("")
+    lines.append("lanes:")
+    for lane in anatomy.lanes:
+        mirror = "  [dispatch mirror]" if lane.mirror else ""
+        busy = sum(us for bucket, us in lane.buckets.items()
+                   if bucket != "idle") / US_PER_SECOND
+        lines.append(
+            f"  {lane.label:<24} wall {lane.wall_us / US_PER_SECOND:>7.3f}s  "
+            f"busy {busy:>7.3f}s  spans {lane.n_spans}{mirror}")
+    if anatomy.counter_tracks:
+        lines.append("")
+        lines.append("resource tracks (min / max / last):")
+        for track_id in sorted(anatomy.counter_tracks):
+            track = anatomy.counter_tracks[track_id]
+            lines.append(
+                f"  {track_id:<36} {track['min']:.4g} / {track['max']:.4g} "
+                f"/ {track['last']:.4g}  ({int(track['n'])} samples)")
+    return "\n".join(lines)

@@ -114,6 +114,16 @@ def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
         put("wall_seconds", record.get("wall_seconds"), "lower")
         put("cpu_seconds", record.get("cpu_seconds"), "lower")
         put("max_rss_bytes", record.get("max_rss_bytes"), "lower")
+        # Runs traced with obs carry an anatomy summary in extra: the
+        # per-bucket self-time breakdown compares like any other seconds.
+        extra = record.get("extra")
+        if isinstance(extra, Mapping):
+            anatomy = extra.get("anatomy")
+            if isinstance(anatomy, Mapping):
+                buckets = anatomy.get("buckets")
+                if isinstance(buckets, Mapping):
+                    for bucket, seconds in buckets.items():
+                        put(f"anatomy.{bucket}_seconds", seconds, "lower")
         return out
     # BENCH_kernels.json shape.
     for group, direction in (

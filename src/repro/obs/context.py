@@ -26,6 +26,10 @@ class ObsContext:
 
     sink: TraceSink = field(default_factory=NullSink)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: When set, execution surfaces (engine, backends, out-of-core) run a
+    #: background :class:`~repro.obs.sampler.ResourceSampler` at this
+    #: period (seconds), emitting "C" resource tracks into the sink.
+    sample_interval: float | None = None
 
     @property
     def tracing(self) -> bool:

@@ -203,6 +203,56 @@ class MetricsRegistry:
             "histograms": self.histograms(),
         }
 
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (textfile-collector ready).
+
+        Dotted instrument names are sanitized to the Prometheus charset
+        under a ``repro_`` namespace: counters become ``<name>_total``
+        counters, gauges stay gauges, and histograms export as summaries
+        (one ``{quantile=...}`` sample per reported percentile plus
+        ``_sum`` / ``_count``).  Write the result to a file ending in
+        ``.prom`` and point node_exporter's textfile collector at it.
+        """
+
+        def sanitize(name: str) -> str:
+            cleaned = "".join(
+                ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+                for ch in name
+            )
+            if cleaned and cleaned[0].isdigit():
+                cleaned = "_" + cleaned
+            return f"repro_{cleaned}"
+
+        def fmt(value: float) -> str:
+            if value == int(value) and abs(value) < 1e15:
+                return str(int(value))
+            return repr(float(value))
+
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            metric = sanitize(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {fmt(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            metric = sanitize(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {fmt(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            metric = sanitize(name)
+            values = self._histograms[name].values()
+            summary = self._histograms[name].summary()
+            lines.append(f"# TYPE {metric} summary")
+            for pct in SUMMARY_PERCENTILES:
+                key = f"p{pct:g}"
+                if key in summary:
+                    lines.append(
+                        f'{metric}{{quantile="{pct / 100.0:g}"}} '
+                        f"{fmt(summary[key])}"
+                    )
+            lines.append(f"{metric}_sum {fmt(float(sum(values)))}")
+            lines.append(f"{metric}_count {fmt(float(len(values)))}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     # -- reporting -----------------------------------------------------------
 
     def report_rows(self) -> list[list[str]]:

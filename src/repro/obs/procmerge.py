@@ -75,34 +75,58 @@ class WorkerTelemetry:
         """
         if self.obs is None:
             return None
-        snap = snapshot(self.obs, pid=self.pid)
         sink = self.obs.sink
         assert isinstance(sink, InMemorySink)
-        sink.events.clear()
-        self.obs.metrics = MetricsRegistry()
-        return snap
+        # Swap the buffers out before serializing: a background
+        # ResourceSampler thread may append events concurrently, and a
+        # swap (one attribute store each) never loses a late event to a
+        # copy-then-clear race.
+        events, sink.events = sink.events, []
+        metrics, self.obs.metrics = self.obs.metrics, MetricsRegistry()
+        return snapshot(self.obs, pid=self.pid, events=events, metrics=metrics)
 
 
-def snapshot(obs: ObsContext, *, pid: int | None = None) -> dict[str, Any]:
+def remap_timestamp_us(
+    ts_us: float, worker_epoch: float, parent_epoch: float
+) -> float:
+    """Map a worker-lane microsecond timestamp onto the parent's epoch.
+
+    Both epochs are ``perf_counter`` values from the same monotonic clock
+    family, so the remap is a pure offset: a worker event lands on the
+    parent timeline exactly where it happened in wall-clock terms.
+    """
+    return float(ts_us) + (float(worker_epoch) - float(parent_epoch)) * US_PER_SECOND
+
+
+def snapshot(
+    obs: ObsContext,
+    *,
+    pid: int | None = None,
+    events: list[TraceEvent] | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> dict[str, Any]:
     """Serialize an ObsContext into a plain-dict snapshot (no reset).
 
     Only :class:`InMemorySink` events can be exported; any other sink
     contributes an empty event list (its events already live elsewhere).
     Histograms export raw observations, not summaries, so the merged
-    percentiles equal a single-process run's.
+    percentiles equal a single-process run's.  ``events`` / ``metrics``
+    override the context's own (``drain`` passes the buffers it swapped
+    out).
     """
     sink = obs.sink
-    events: list[dict[str, Any]] = []
-    if isinstance(sink, InMemorySink):
-        events = [event.to_dict() for event in sink.events]
+    if events is None:
+        events = list(sink.events) if isinstance(sink, InMemorySink) else []
+    if metrics is None:
+        metrics = obs.metrics
     return {
         "schema": SNAPSHOT_SCHEMA,
         "pid": os.getpid() if pid is None else pid,
         "epoch": obs.sink.epoch,
-        "events": events,
-        "counters": obs.metrics.counters(),
-        "gauges": obs.metrics.gauges(),
-        "histogram_values": obs.metrics.histogram_values(),
+        "events": [event.to_dict() for event in events],
+        "counters": metrics.counters(),
+        "gauges": metrics.gauges(),
+        "histogram_values": metrics.histogram_values(),
     }
 
 
@@ -124,7 +148,7 @@ def _merge_events(
     if not isinstance(raw_events, list):
         return 0, len(raw_events) if hasattr(raw_events, "__len__") else 0
     try:
-        offset_us = (float(snap["epoch"]) - sink.epoch) * US_PER_SECOND
+        offset_us = remap_timestamp_us(0.0, float(snap["epoch"]), sink.epoch)
     except (KeyError, TypeError, ValueError):
         return 0, len(raw_events)
     kept = dropped = 0

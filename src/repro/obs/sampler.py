@@ -1,0 +1,166 @@
+"""Background resource timeline sampler.
+
+A :class:`ResourceSampler` runs a daemon thread that periodically snapshots
+the current process's resource usage — RSS, cumulative CPU seconds, and
+I/O byte counters — and emits each snapshot as a Chrome ``"C"`` counter
+event named ``"resource"`` on the owning :class:`~repro.obs.trace.TraceSink`.
+The anatomy layer (:mod:`repro.obs.anatomy`) rolls those samples up into
+per-track min/max/last summaries, and Perfetto renders them as counter
+tracks alongside the span lanes.
+
+The sampler is threaded through every execution surface: the engine
+samples the parent process, both process backends start one per worker
+(its events ride the normal procmerge snapshot path onto the worker's
+pid lane), and out-of-core mining samples across partitions.  Enable it
+with ``ObsContext(sample_interval=...)`` or CLI ``--sample-interval``.
+
+On Linux the values come from ``/proc/self/statm`` and ``/proc/self/io``;
+elsewhere the sampler degrades to ``resource.getrusage`` peak RSS and
+``time.process_time`` with zero I/O counters.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import US_PER_SECOND, TraceSink
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: Default sampling period in seconds.
+DEFAULT_INTERVAL = 0.05
+
+#: Counter-event name the sampler emits (one "C" event per sample).
+COUNTER_NAME = "resource"
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover - exotic OS
+    _PAGE_SIZE = 4096
+
+
+def _rss_bytes_fallback() -> float:
+    """Peak RSS via getrusage — coarse, but portable off Linux."""
+    try:
+        import resource
+
+        peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - platforms without getrusage
+        return 0.0
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024.0
+
+
+def sample_resources() -> dict[str, float]:
+    """One point-in-time resource snapshot of this process."""
+    values = {
+        "rss_bytes": 0.0,
+        "cpu_seconds": float(time.process_time()),
+        "io_read_bytes": 0.0,
+        "io_write_bytes": 0.0,
+    }
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            values["rss_bytes"] = float(int(handle.read().split()[1]) * _PAGE_SIZE)
+    except (OSError, ValueError, IndexError):
+        values["rss_bytes"] = _rss_bytes_fallback()
+    try:
+        with open("/proc/self/io", encoding="ascii") as handle:
+            for line in handle:
+                key, _, raw = line.partition(":")
+                if key == "read_bytes":
+                    values["io_read_bytes"] = float(int(raw))
+                elif key == "write_bytes":
+                    values["io_write_bytes"] = float(int(raw))
+    except (OSError, ValueError):
+        pass
+    return values
+
+
+class ResourceSampler:
+    """Daemon thread emitting periodic ``"C"`` resource samples.
+
+    Never raises from the sampling thread; a failed sample is skipped.
+    ``stop()`` joins the thread and emits one final sample so even very
+    short runs get at least two points per track.
+    """
+
+    def __init__(self, sink: TraceSink, interval: float = DEFAULT_INTERVAL, *,
+                 pid: int = 0, metrics: "MetricsRegistry | None" = None,
+                 name: str = COUNTER_NAME):
+        if not interval or interval <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive, got {interval!r}")
+        self._sink = sink
+        self._interval = float(interval)
+        self._pid = pid
+        self._metrics = metrics
+        self._name = name
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._peak_rss = 0.0
+        self.samples = 0
+
+    def _emit_once(self) -> None:
+        try:
+            values = sample_resources()
+            ts = (time.perf_counter() - self._sink.epoch) * US_PER_SECOND
+            self._sink.counter_sample(self._name, ts, values, pid=self._pid)
+            self.samples += 1
+            self._peak_rss = max(self._peak_rss, values["rss_bytes"])
+            if self._metrics is not None:
+                self._metrics.gauge("resource.peak_rss_bytes").set(self._peak_rss)
+                self._metrics.gauge("resource.samples").set(float(self.samples))
+        except Exception:
+            pass
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._emit_once()
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            return self
+        self._emit_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+        self._emit_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def maybe_start_sampler(obs, *, pid: int = 0,
+                        interval: float | None = None) -> ResourceSampler | None:
+    """Start a sampler for ``obs`` when sampling is configured.
+
+    ``interval`` overrides ``obs.sample_interval`` (workers receive the
+    interval through their init payload rather than a shared ObsContext).
+    Returns ``None`` when ``obs`` is missing or no interval is set.
+    """
+    if obs is None:
+        return None
+    period = interval if interval is not None else getattr(
+        obs, "sample_interval", None)
+    if not period:
+        return None
+    sampler = ResourceSampler(obs.sink, float(period), metrics=obs.metrics)
+    return sampler.start()

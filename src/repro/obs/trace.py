@@ -299,7 +299,16 @@ class InMemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Streams one JSON object per event line to ``path``."""
+    """Streams one JSON object per event line to ``path``.
+
+    Crash-tolerant: each event is serialized to a single ``write`` call and
+    flushed immediately, so a process killed mid-run loses at most the event
+    being written — every earlier line is already on disk.  A torn final
+    line is valid input for the anatomy loader, which skips unparseable
+    lines instead of failing.  The single-call write also keeps lines whole
+    when a background :class:`~repro.obs.sampler.ResourceSampler` thread
+    emits concurrently with the main thread.
+    """
 
     def __init__(self, path: str | Path) -> None:
         super().__init__()
@@ -309,8 +318,8 @@ class JsonlSink(TraceSink):
     def emit(self, event: TraceEvent) -> None:
         if self._handle.closed:
             raise ConfigurationError(f"JsonlSink {self.path} is already closed")
-        json.dump(event.to_chrome(), self._handle)
-        self._handle.write("\n")
+        self._handle.write(json.dumps(event.to_chrome()) + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         if not self._handle.closed:

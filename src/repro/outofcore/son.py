@@ -44,6 +44,8 @@ from repro.datasets.streaming import (
 )
 from repro.engine.registry import get_backend_entry
 from repro.errors import ConfigurationError
+from repro.obs.anatomy import anatomy_summary
+from repro.obs.sampler import maybe_start_sampler
 from repro.outofcore.planner import PartitionPlan, plan_partitions
 from repro.representations.bitvector_numpy import pack_database, popcount_rows
 
@@ -83,6 +85,7 @@ def count_candidate_supports(
     chunk_transactions: int,
     candidate_batch: int = CANDIDATE_BATCH,
     on_chunk=None,
+    obs: "ObsContext | None" = None,
 ) -> np.ndarray:
     """Exact global supports of ``candidates`` via one streaming pass.
 
@@ -91,6 +94,8 @@ def count_candidate_supports(
     reduces with ``bitwise_and`` across the ``k`` axis, and popcounts —
     int64 accumulation across chunks cannot overflow.  ``on_chunk`` (when
     given) is called once per processed chunk, feeding the progress plane.
+    With ``obs`` each chunk (stream + count) gets an ``outofcore.count_chunk``
+    span in the I/O category — phase 2 is stream-bound by design.
     """
     supports = np.zeros(len(candidates), dtype=np.int64)
     if not candidates:
@@ -113,6 +118,8 @@ def count_candidate_supports(
         for positions in by_size.values()
     ]
     batch = max(1, int(candidate_batch))
+    chunk_index = 0
+    chunk_start = time.perf_counter() if obs is not None else 0.0
     for chunk in stream_fimi_chunks(db_path, chunk_transactions, n_items=n_items):
         matrix = pack_database(chunk)
         for positions, item_rows in groups:
@@ -120,6 +127,17 @@ def count_candidate_supports(
                 rows = matrix[item_rows[start:start + batch]]
                 joined = np.bitwise_and.reduce(rows, axis=1)
                 supports[positions[start:start + batch]] += popcount_rows(joined)
+        if obs is not None:
+            # The span starts before the generator read the chunk, so it
+            # covers streaming plus counting for this chunk.
+            now = time.perf_counter()
+            obs.sink.wall_event(
+                "outofcore.count_chunk", chunk_start, now, cat="io",
+                args={"chunk": chunk_index,
+                      "transactions": chunk.n_transactions},
+            )
+            chunk_start = now
+            chunk_index += 1
         if on_chunk is not None:
             on_chunk()
     return supports
@@ -169,6 +187,8 @@ def _phase1_candidates(
 
     candidates: set[tuple[int, ...]] = set()
     rep_name: str | None = None
+    partition = 0
+    partition_start = time.perf_counter() if obs is not None else 0.0
     for chunk in stream_fimi_chunks(
         db_path, plan.chunk_transactions, n_items=stats.n_items
     ):
@@ -181,6 +201,17 @@ def _phase1_candidates(
         )
         local = entry.runner(chunk, rep_name, local_min, obs=obs, **options)
         candidates.update(local.itemsets)
+        if obs is not None:
+            now = time.perf_counter()
+            obs.sink.wall_event(
+                "outofcore.partition", partition_start, now, cat="mine",
+                args={"partition": partition,
+                      "transactions": chunk.n_transactions,
+                      "local_min_support": local_min,
+                      "local_itemsets": len(local)},
+            )
+            partition_start = now
+            partition += 1
         if tracker is not None:
             tracker.task_done()
     return candidates, rep_name
@@ -230,8 +261,17 @@ def mine_out_of_core(
     wall_start = time.perf_counter() if track else 0.0
     cpu_start = time.process_time() if ledger_active else 0.0
 
+    sampler = maybe_start_sampler(obs)
     try:
+        scan_start = time.perf_counter() if obs is not None else 0.0
         stats = scan_fimi(path)
+        if obs is not None:
+            obs.sink.wall_event(
+                "outofcore.scan", scan_start, cat="io",
+                args={"file_bytes": stats.file_bytes,
+                      "transactions": stats.n_transactions},
+            )
+            obs.metrics.counter("outofcore.read_bytes").inc(stats.file_bytes)
         min_sup = resolve_support_count(stats.n_transactions, min_support)
         plan = plan_partitions(
             stats, max_memory_bytes=max_memory_bytes, n_partitions=n_partitions
@@ -254,11 +294,19 @@ def mine_out_of_core(
             chunk_transactions=plan.chunk_transactions,
             candidate_batch=candidate_batch,
             on_chunk=on_chunk,
+            obs=obs,
         )
+        if obs is not None:
+            # Phase 1 and phase 2 each stream the whole file once more.
+            obs.metrics.counter("outofcore.read_bytes").inc(2 * stats.file_bytes)
     except BaseException:
+        if sampler is not None:
+            sampler.stop()
         if tracker is not None:
             tracker.finish("failed")
         raise
+    if sampler is not None:
+        sampler.stop()
     itemsets = {
         candidate: int(support)
         for candidate, support in zip(candidates, supports)
@@ -317,6 +365,12 @@ def mine_out_of_core(
                     {"live": {"run_id": tracker.run_id,
                               "stalls": tracker.stalls}}
                     if tracker is not None else {}
+                ),
+                **(
+                    {"anatomy": summary}
+                    if obs is not None
+                    and (summary := anatomy_summary(obs.sink)) is not None
+                    else {}
                 ),
             },
         )

@@ -1,0 +1,434 @@
+"""Run anatomy: bucket attribution, critical path, flamegraphs, explain.
+
+The synthetic tests pin the derivation rules on hand-built span streams
+(where every microsecond is known); the backend tests assert the same
+invariants on real shared-memory traces, including the fault-injection
+acceptance check: a deliberately slowed task must be named as the top
+contributor by both the critical path and ``explain``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import InMemorySink, ObsContext
+from repro.obs.anatomy import (
+    ANATOMY_SCHEMA,
+    BUCKETS,
+    analyze,
+    anatomy_summary,
+    classify_span,
+    explain,
+    flamegraph_collapsed,
+    flamegraph_speedscope,
+    load_events,
+    render_anatomy,
+    validate_speedscope,
+)
+from repro.obs.ledger import Ledger
+from repro.obs.trace import ChromeTraceSink, JsonlSink, TraceEvent, US_PER_SECOND
+
+
+def _span(name, ts, dur, *, pid=0, tid=0, cat=""):
+    return TraceEvent(name, "X", ts=ts, dur=dur, pid=pid, tid=tid, cat=cat)
+
+
+def _two_lane_events():
+    """Parent lane [0, 1000]µs; one worker lane with wait + task + gap."""
+    return [
+        _span("shared_memory.mine", 0.0, 1000.0, cat="mine"),
+        _span("worker.attach", 0.0, 100.0, pid=7, cat="setup"),
+        _span("task.wait", 100.0, 100.0, pid=7, cat="wait"),
+        _span("task.eclat", 200.0, 400.0, pid=7, cat="task"),
+    ]
+
+
+class TestClassifySpan:
+    def test_cat_mapping(self):
+        assert classify_span("x", "mine") == "compute"
+        assert classify_span("x", "task") == "compute"
+        assert classify_span("x", "steal") == "steal"
+        assert classify_span("x", "rebuild") == "steal"
+        assert classify_span("x", "dispatch") == "ipc"
+        assert classify_span("x", "setup") == "ipc"
+        assert classify_span("x", "io") == "io"
+        assert classify_span("x", "wait") == "idle"
+
+    def test_name_prefix_fallback(self):
+        assert classify_span("task.wait") == "idle"
+        assert classify_span("worker.attach") == "ipc"
+        assert classify_span("outofcore.scan") == "io"
+        assert classify_span("anything.else") == "compute"
+
+    def test_container_bucket(self):
+        assert classify_span("engine.mine", "engine") == "idle"
+        assert classify_span("shared_memory.mine", "mine") == "idle"
+        assert classify_span(
+            "engine.mine", "engine", container_bucket="compute"
+        ) == "compute"
+
+
+class TestBucketInvariant:
+    def test_lane_buckets_sum_to_wall(self):
+        anatomy = analyze(_two_lane_events())
+        assert anatomy.check() == []
+        for lane in anatomy.lanes:
+            assert sum(lane.buckets.values()) == pytest.approx(lane.wall_us)
+
+    def test_worker_lane_split(self):
+        anatomy = analyze(_two_lane_events())
+        worker = next(lane for lane in anatomy.lanes if lane.pid == 7)
+        assert worker.buckets["ipc"] == pytest.approx(100.0)
+        assert worker.buckets["idle"] == pytest.approx(100.0)  # task.wait
+        assert worker.buckets["compute"] == pytest.approx(400.0)
+
+    def test_container_self_time_is_idle(self):
+        anatomy = analyze(_two_lane_events())
+        parent = next(lane for lane in anatomy.lanes if lane.pid == 0)
+        assert parent.buckets["idle"] == pytest.approx(1000.0)
+        assert parent.buckets["compute"] == 0.0
+
+    def test_container_only_trace_counts_as_compute(self):
+        """A serial run with no inner spans: the container IS the work."""
+        anatomy = analyze([_span("engine.mine", 0.0, 500.0, cat="engine")])
+        assert anatomy.buckets_seconds()["compute"] == pytest.approx(
+            500.0 / US_PER_SECOND)
+
+    def test_nested_self_time(self):
+        anatomy = analyze([
+            _span("eclat.task1", 0.0, 100.0, cat="mine"),
+            _span("kernel.isect", 20.0, 40.0, cat="kernel"),
+        ])
+        lane = anatomy.lanes[0]
+        root = lane.roots[0]
+        assert root.self_us == pytest.approx(60.0)
+        assert root.children[0].self_us == pytest.approx(40.0)
+
+    def test_uncovered_lane_time_is_idle(self):
+        anatomy = analyze([
+            _span("a", 0.0, 100.0, cat="mine"),
+            _span("b", 400.0, 100.0, cat="mine"),
+        ])
+        lane = anatomy.lanes[0]
+        assert lane.buckets["idle"] == pytest.approx(300.0)
+        assert lane.buckets["compute"] == pytest.approx(200.0)
+
+
+class TestMirrorLanes:
+    def test_dispatch_echo_excluded_from_totals(self):
+        events = _two_lane_events() + [
+            _span("task0", 200.0, 400.0, pid=0, tid=1, cat="dispatch"),
+        ]
+        anatomy = analyze(events)
+        mirror = next(lane for lane in anatomy.lanes if lane.tid == 1)
+        assert mirror.mirror
+        totals = anatomy.buckets_seconds()
+        with_mirrors = anatomy.buckets_seconds(include_mirrors=True)
+        assert with_mirrors["ipc"] > totals["ipc"]
+        # Mirror spans also stay off the critical path.
+        assert all(step.tid != 1 or step.pid != 0
+                   for step in anatomy.critical_path)
+
+    def test_real_worker_lane_is_not_a_mirror(self):
+        anatomy = analyze(_two_lane_events())
+        assert not any(lane.mirror for lane in anatomy.lanes)
+
+
+class TestCriticalPath:
+    def test_contributions_sum_to_wall(self):
+        anatomy = analyze(_two_lane_events())
+        total = sum(step.contribution_us for step in anatomy.critical_path)
+        assert total == pytest.approx(1000.0)
+
+    def test_per_step_contributions(self):
+        anatomy = analyze(_two_lane_events())
+        contributions = dict(
+            (name, us) for name, us, _ in anatomy.critical_contributors())
+        # task.eclat [200,600] + the tail gap [600,1000] each bound 400µs;
+        # task.wait and worker.attach cover the first 200µs.
+        assert contributions["task.eclat"] == pytest.approx(400 / US_PER_SECOND)
+        assert contributions["(idle)"] == pytest.approx(400 / US_PER_SECOND)
+        assert contributions["task.wait"] == pytest.approx(100 / US_PER_SECOND)
+        assert contributions["worker.attach"] == pytest.approx(
+            100 / US_PER_SECOND)
+
+    def test_two_lane_overlap_picks_last_finisher(self):
+        anatomy = analyze([
+            _span("short", 0.0, 100.0, pid=1, cat="task"),
+            _span("long", 50.0, 900.0, pid=2, cat="task"),
+        ])
+        contributors = dict(
+            (name, us) for name, us, _ in anatomy.critical_contributors())
+        assert contributors["long"] == pytest.approx(900.0 / US_PER_SECOND)
+
+    def test_summary_shape(self):
+        summary = analyze(_two_lane_events()).summary()
+        assert summary["schema"] == ANATOMY_SCHEMA
+        assert set(summary["buckets"]) == set(BUCKETS)
+        assert summary["n_lanes"] == 2
+        assert all({"name", "seconds", "bucket"} <= set(entry)
+                   for entry in summary["critical_path"])
+
+
+class TestLoadEvents:
+    def test_in_memory_sink(self):
+        sink = InMemorySink()
+        with sink.span("task.a", cat="mine"):
+            pass
+        events, dropped = load_events(sink)
+        assert dropped == 0
+        assert any(e.name == "task.a" for e in events)
+
+    def test_chrome_sink_and_document_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path)
+        with sink.span("task.b", cat="mine"):
+            pass
+        events, _ = load_events(sink)
+        assert any(e.name == "task.b" for e in events)
+        sink.close()
+        events, dropped = load_events(path)
+        assert dropped == 0
+        assert any(e.name == "task.b" for e in events)
+
+    def test_json_array_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([
+            {"name": "t", "ph": "X", "ts": 0.0, "dur": 5.0},
+        ]))
+        events, dropped = load_events(path)
+        assert (len(events), dropped) == (1, 0)
+
+    def test_snapshot_phase_key(self):
+        events, dropped = load_events([
+            {"name": "t", "phase": "X", "ts": 0.0, "dur": 5.0},
+        ])
+        assert (len(events), dropped) == (1, 0)
+
+    def test_junk_records_counted_not_fatal(self):
+        events, dropped = load_events([
+            {"name": "ok", "ph": "X", "ts": 0.0, "dur": 1.0},
+            {"nonsense": True},
+            42,
+        ])
+        assert (len(events), dropped) == (1, 2)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_events(tmp_path / "absent.jsonl")
+
+
+class TestJsonlCrashWindow:
+    """Satellite: flush-per-event JsonlSink + torn-line-tolerant loader."""
+
+    def test_events_on_disk_without_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        with sink.span("task.a", cat="mine"):
+            pass
+        sink.instant("mark", 5.0)
+        # No close(): a crash here must not lose the flushed events.
+        events, dropped = load_events(path)
+        assert dropped == 0
+        assert {e.name for e in events} >= {"task.a", "mark"}
+        sink.close()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        with sink.span("task.a", cat="mine"):
+            pass
+        sink.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn", "ph": "X", "ts": 12')  # mid-crash
+        events, dropped = load_events(path)
+        assert dropped == 1
+        assert any(e.name == "task.a" for e in events)
+        anatomy = analyze(path)
+        assert anatomy.dropped == 1
+        assert anatomy.check() == []
+
+
+class TestFlamegraphs:
+    def test_collapsed_format(self):
+        anatomy = analyze(_two_lane_events())
+        lines = flamegraph_collapsed(anatomy).strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack
+            assert int(count) >= 1
+
+    def test_collapsed_counts_sum_to_self_time(self):
+        anatomy = analyze([
+            _span("eclat.task1", 0.0, 100.0, cat="mine"),
+            _span("kernel.isect", 20.0, 40.0, cat="kernel"),
+        ])
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in flamegraph_collapsed(anatomy).splitlines())
+        assert total == pytest.approx(100.0, abs=2.0)
+
+    def test_speedscope_validates(self):
+        anatomy = analyze(_two_lane_events())
+        document = flamegraph_speedscope(anatomy)
+        validate_speedscope(document)  # must not raise
+        assert document["$schema"].endswith("file-format-schema.json")
+        assert len(document["profiles"]) == len(anatomy.lanes)
+
+    def test_validate_rejects_unbalanced_stack(self):
+        anatomy = analyze(_two_lane_events())
+        document = flamegraph_speedscope(anatomy)
+        profile = document["profiles"][0]
+        profile["events"].append(
+            {"type": "O", "frame": 0, "at": profile["endValue"]})
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_speedscope(document)
+
+    def test_validate_rejects_bad_frame_index(self):
+        anatomy = analyze(_two_lane_events())
+        document = flamegraph_speedscope(anatomy)
+        document["profiles"][0]["events"][0]["frame"] = 9999
+        with pytest.raises(ValueError):
+            validate_speedscope(document)
+
+
+class TestCounterTracks:
+    def test_counter_samples_summarised(self):
+        sink = InMemorySink()
+        sink.counter_sample("resource", 10.0, {"rss_bytes": 100.0}, pid=3)
+        sink.counter_sample("resource", 20.0, {"rss_bytes": 300.0}, pid=3)
+        sink.counter_sample("resource", 30.0, {"rss_bytes": 200.0}, pid=3)
+        with sink.span("task.a", cat="mine"):
+            pass
+        anatomy = analyze(sink)
+        track = anatomy.counter_tracks["pid3.resource.rss_bytes"]
+        assert track == {"n": 3.0, "min": 100.0, "max": 300.0, "last": 200.0}
+
+
+class TestExplain:
+    def _summary(self, wall, **buckets):
+        return {"schema": ANATOMY_SCHEMA, "wall_seconds": wall,
+                "buckets": buckets, "critical_path": [], "n_spans": 1,
+                "n_lanes": 1}
+
+    def test_top_is_largest_non_idle_delta(self):
+        base = self._summary(1.0, compute=0.5, idle=0.5)
+        slow = self._summary(2.0, compute=1.3, idle=0.7)
+        result = explain(base, slow)
+        assert result.wall_delta_s == pytest.approx(1.0)
+        assert result.top is not None
+        assert result.top.bucket == "compute"
+        assert result.top.delta_s == pytest.approx(0.8)
+
+    def test_speedup_direction(self):
+        base = self._summary(2.0, io=1.5, idle=0.5)
+        fast = self._summary(0.6, io=0.1, idle=0.5)
+        result = explain(base, fast)
+        assert result.top.bucket == "io"
+        assert result.top.delta_s == pytest.approx(-1.4)
+
+    def test_idle_only_fallback(self):
+        base = self._summary(1.0, idle=1.0)
+        slow = self._summary(2.0, idle=2.0)
+        assert explain(base, slow).top.bucket == "idle"
+
+    def test_render_mentions_labels_and_buckets(self):
+        base = self._summary(1.0, compute=1.0)
+        slow = self._summary(2.0, compute=2.0)
+        text = explain(base, slow).render(base_label="a", current_label="b")
+        assert "a -> b" in text
+        assert "compute" in text
+        assert "+1.000s" in text
+
+
+class TestAnatomySummaryHelper:
+    def test_none_on_empty_sink(self):
+        assert anatomy_summary(InMemorySink()) is None
+
+    def test_never_raises_on_junk(self):
+        assert anatomy_summary(object()) is None
+
+    def test_summary_roundtrips_through_json(self):
+        summary = anatomy_summary(_two_lane_events())
+        assert summary == json.loads(json.dumps(summary))
+
+
+class TestRenderAnatomy:
+    def test_report_sections(self):
+        sink = InMemorySink()
+        sink.counter_sample("resource", 5.0, {"rss_bytes": 1.0})
+        text = render_anatomy(analyze(_two_lane_events() + sink.events))
+        assert "run wall:" in text
+        assert "bucket" in text
+        assert "critical path" in text
+        assert "resource tracks" in text
+
+
+class TestSharedMemoryAnatomy:
+    def test_invariants_on_real_trace(self, paper_db):
+        from repro.backends.shared_memory_backend import (
+            run_eclat_shared_memory,
+        )
+
+        obs = ObsContext(sink=InMemorySink())
+        run_eclat_shared_memory(paper_db, 2, n_workers=2, obs=obs)
+        anatomy = analyze(obs.sink)
+        assert anatomy.check() == []
+        assert anatomy.n_spans > 0
+        totals = anatomy.buckets_seconds()
+        assert totals["compute"] > 0.0
+        # Worker lanes (nonzero pids) made it through procmerge.
+        assert any(lane.pid != 0 for lane in anatomy.lanes)
+        validate_speedscope(flamegraph_speedscope(anatomy))
+
+    def test_fault_injection_names_slowed_task(self, paper_db):
+        """Acceptance: a task slowed by an injected sleep is the top
+        critical-path contributor, and explain blames compute."""
+        from repro.backends.shared_memory_backend import (
+            run_eclat_shared_memory,
+        )
+
+        def run(fault):
+            obs = ObsContext(sink=InMemorySink())
+            run_eclat_shared_memory(
+                paper_db, 2, n_workers=2, obs=obs, _fault=fault)
+            return analyze(obs.sink)
+
+        base = run(None)
+        slow = run({"slow_task": 0, "slow_seconds": 0.4})
+
+        name, seconds, bucket = slow.critical_contributors(top=1)[0]
+        assert name.startswith("task.")
+        assert bucket == "compute"
+        assert seconds >= 0.3
+
+        result = explain(base.summary(), slow.summary())
+        assert result.top is not None
+        assert result.top.bucket == "compute"
+        assert result.top.delta_s >= 0.3
+
+
+class TestLedgerAnatomy:
+    def test_mine_records_anatomy_extra(self, paper_db, tmp_path):
+        from repro.engine import mine
+
+        ledger = Ledger(tmp_path / "runs")
+        obs = ObsContext(sink=InMemorySink())
+        mine(paper_db, min_support=2, obs=obs, ledger=ledger)
+        record = ledger.records()[-1]
+        summary = record.extra["anatomy"]
+        assert summary["schema"] == ANATOMY_SCHEMA
+        assert summary["wall_seconds"] > 0.0
+        assert set(summary["buckets"]) == set(BUCKETS)
+
+    def test_obs_compare_sees_anatomy_buckets(self, paper_db, tmp_path):
+        from repro.engine import mine
+        from repro.obs.compare import _flatten_seconds
+
+        ledger = Ledger(tmp_path / "runs")
+        obs = ObsContext(sink=InMemorySink())
+        mine(paper_db, min_support=2, obs=obs, ledger=ledger)
+        flat = _flatten_seconds(ledger.records()[-1].to_json_dict())
+        assert "anatomy.compute_seconds" in flat

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import InMemorySink, ObsContext
 from repro.obs.metrics import sample_rusage
@@ -10,6 +11,7 @@ from repro.obs.procmerge import (
     SNAPSHOT_SCHEMA,
     WorkerTelemetry,
     merge_snapshot,
+    remap_timestamp_us,
     snapshot,
 )
 from repro.obs.trace import TraceEvent, US_PER_SECOND
@@ -197,3 +199,87 @@ class TestSampleRusage:
     def test_children_variant(self):
         # No children may have run yet; only shape is guaranteed.
         assert set(sample_rusage(children=True)) == set(sample_rusage())
+
+
+class TestRemapTimestampProperties:
+    """Hypothesis: the epoch remap preserves order and run-window bounds."""
+
+    epochs = st.floats(min_value=0.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False)
+    stamps = st.lists(
+        st.floats(min_value=0.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=20,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(stamps=stamps, worker_epoch=epochs, parent_epoch=epochs)
+    def test_monotone(self, stamps, worker_epoch, parent_epoch):
+        """Remapping is order-preserving: sorted in, sorted out."""
+        remapped = [
+            remap_timestamp_us(ts, worker_epoch, parent_epoch)
+            for ts in sorted(stamps)
+        ]
+        assert remapped == sorted(remapped)
+
+    @settings(max_examples=100, deadline=None)
+    @given(stamps=stamps,
+           start_delay=st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False, allow_infinity=False))
+    def test_inside_parent_run_window(self, stamps, start_delay):
+        """A worker event inside the worker's lifetime lands inside the
+        parent's run window: at/after the worker's spawn point on the
+        parent timeline, never before the parent epoch."""
+        parent_epoch = 1000.0
+        worker_epoch = parent_epoch + start_delay  # workers spawn later
+        spawn_offset_us = start_delay * US_PER_SECOND
+        for ts in stamps:
+            remapped = remap_timestamp_us(ts, worker_epoch, parent_epoch)
+            assert remapped >= spawn_offset_us - 1e-6
+            assert remapped >= 0.0
+            # Relative distances survive the remap exactly.
+            assert remapped - spawn_offset_us == pytest.approx(ts, abs=1e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(offset=st.floats(min_value=-100.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False))
+    def test_roundtrip(self, offset):
+        """Remapping there and back is the identity (up to float eps)."""
+        worker_epoch, parent_epoch = 500.0 + offset, 500.0
+        ts = 12_345.0
+        there = remap_timestamp_us(ts, worker_epoch, parent_epoch)
+        back = remap_timestamp_us(there, parent_epoch, worker_epoch)
+        assert back == pytest.approx(ts, abs=1e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(start_delay=st.floats(min_value=0.001, max_value=10.0,
+                                 allow_nan=False, allow_infinity=False),
+           durations=st.lists(
+               st.floats(min_value=0.0, max_value=1e6,
+                         allow_nan=False, allow_infinity=False),
+               min_size=1, max_size=5))
+    def test_merged_events_keep_order_and_window(self, start_delay, durations):
+        """End-to-end: events merged from a snapshot stay ordered and
+        inside [worker spawn, ∞) on the parent lane."""
+        parent = ObsContext(sink=InMemorySink())
+        worker_epoch = parent.sink.epoch + start_delay
+        ts = 0.0
+        events = []
+        for i, dur in enumerate(durations):
+            events.append(TraceEvent(f"t{i}", "X", ts=ts, dur=dur).to_dict())
+            ts += dur + 1.0
+        snap = {
+            "schema": SNAPSHOT_SCHEMA,
+            "pid": 7,
+            "epoch": worker_epoch,
+            "events": events,
+            "counters": {},
+            "gauges": {},
+            "histogram_values": {},
+        }
+        assert merge_snapshot(parent, snap)
+        merged = parent.sink.by_phase("X")
+        stamps = [event.ts for event in merged]
+        assert stamps == sorted(stamps)
+        spawn_offset_us = start_delay * US_PER_SECOND
+        assert all(s >= spawn_offset_us - 1e-6 for s in stamps)

@@ -1,0 +1,265 @@
+"""Resource sampler, Prometheus export, and the anatomy CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.fimi import write_fimi
+from repro.datasets.transaction_db import TransactionDatabase
+from repro.errors import ConfigurationError
+from repro.obs import InMemorySink, ObsContext
+from repro.obs.anatomy import analyze
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import (
+    COUNTER_NAME,
+    ResourceSampler,
+    maybe_start_sampler,
+    sample_resources,
+)
+
+EXPECTED_KEYS = {"rss_bytes", "cpu_seconds", "io_read_bytes", "io_write_bytes"}
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    db = TransactionDatabase(
+        [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]] * 3, name="samplerdb"
+    )
+    path = tmp_path / "data.dat"
+    write_fimi(db, path)
+    return str(path)
+
+
+class TestSampleResources:
+    def test_keys_and_sanity(self):
+        values = sample_resources()
+        assert set(values) == EXPECTED_KEYS
+        assert values["rss_bytes"] > 0
+        assert values["cpu_seconds"] >= 0
+
+
+class TestResourceSampler:
+    def test_emits_counter_events(self):
+        sink = InMemorySink()
+        sampler = ResourceSampler(sink, 0.01, pid=9)
+        sampler.start()
+        import time
+
+        time.sleep(0.05)
+        sampler.stop()
+        samples = [e for e in sink.events if e.phase == "C"]
+        assert len(samples) >= 2  # immediate start sample + final stop sample
+        assert all(e.name == COUNTER_NAME and e.pid == 9 for e in samples)
+        assert all(set(e.args) == EXPECTED_KEYS for e in samples)
+        # Timestamps are relative to the sink epoch and non-decreasing.
+        stamps = [e.ts for e in samples]
+        assert stamps == sorted(stamps)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSampler(InMemorySink(), 0.0)
+        with pytest.raises(ConfigurationError):
+            ResourceSampler(InMemorySink(), -1.0)
+
+    def test_stop_is_idempotent(self):
+        sampler = ResourceSampler(InMemorySink(), 0.01).start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_context_manager(self):
+        sink = InMemorySink()
+        with ResourceSampler(sink, 0.01):
+            pass
+        assert any(e.phase == "C" for e in sink.events)
+
+    def test_metrics_gauges(self):
+        metrics = MetricsRegistry()
+        with ResourceSampler(InMemorySink(), 0.01, metrics=metrics):
+            pass
+        gauges = metrics.gauges()
+        assert gauges["resource.peak_rss_bytes"] > 0
+        assert gauges["resource.samples"] >= 1
+
+
+class TestMaybeStartSampler:
+    def test_none_without_obs_or_interval(self):
+        assert maybe_start_sampler(None) is None
+        assert maybe_start_sampler(ObsContext(sink=InMemorySink())) is None
+
+    def test_starts_from_obs_interval(self):
+        obs = ObsContext(sink=InMemorySink(), sample_interval=0.01)
+        sampler = maybe_start_sampler(obs)
+        assert sampler is not None
+        sampler.stop()
+        assert any(e.phase == "C" for e in obs.sink.events)
+
+    def test_explicit_interval_overrides(self):
+        obs = ObsContext(sink=InMemorySink())
+        sampler = maybe_start_sampler(obs, interval=0.01)
+        assert sampler is not None
+        sampler.stop()
+
+
+class TestSamplerThroughBackends:
+    def test_shared_memory_worker_lanes_sampled(self, paper_db):
+        from repro.backends.shared_memory_backend import (
+            run_eclat_shared_memory,
+        )
+
+        obs = ObsContext(sink=InMemorySink(), sample_interval=0.005)
+        run_eclat_shared_memory(paper_db, 2, n_workers=2, obs=obs)
+        pids = {e.pid for e in obs.sink.events
+                if e.phase == "C" and e.name == COUNTER_NAME}
+        assert any(pid != 0 for pid in pids)  # worker samples merged in
+
+    def test_multiprocessing_worker_lanes_sampled(self, paper_db):
+        from repro.backends.multiprocessing_backend import (
+            run_eclat_multiprocessing,
+        )
+
+        obs = ObsContext(sink=InMemorySink(), sample_interval=0.005)
+        run_eclat_multiprocessing(
+            paper_db, 2, representation="tidset", n_workers=2, obs=obs)
+        pids = {e.pid for e in obs.sink.events
+                if e.phase == "C" and e.name == COUNTER_NAME}
+        assert any(pid != 0 for pid in pids)
+
+    def test_out_of_core_sampled_and_io_attributed(self, paper_db, tmp_path):
+        from repro.outofcore import mine_out_of_core
+
+        path = tmp_path / "data.dat"
+        write_fimi(paper_db, path)
+        obs = ObsContext(sink=InMemorySink(), sample_interval=0.005)
+        mine_out_of_core(path, min_support=2, obs=obs, n_partitions=2)
+        assert any(e.phase == "C" for e in obs.sink.events)
+        assert obs.metrics.counters()["outofcore.read_bytes"] > 0
+        anatomy = analyze(obs.sink)
+        assert anatomy.check() == []
+        assert anatomy.buckets_seconds()["io"] > 0.0
+        names = {e.name for e in obs.sink.events if e.phase == "X"}
+        assert "outofcore.scan" in names
+        assert "outofcore.partition" in names
+        assert "outofcore.count_chunk" in names
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.counter("mine.intersections").inc(7)
+        metrics.gauge("shared_memory.n_workers").set(4)
+        metrics.histogram("worker.task_s").observe(0.5)
+        metrics.histogram("worker.task_s").observe(1.5)
+        text = metrics.to_prometheus()
+        assert "# TYPE repro_mine_intersections_total counter" in text
+        assert "repro_mine_intersections_total 7" in text
+        assert "# TYPE repro_shared_memory_n_workers gauge" in text
+        assert "repro_shared_memory_n_workers 4" in text
+        assert "# TYPE repro_worker_task_s summary" in text
+        assert 'repro_worker_task_s{quantile="0.5"}' in text
+        assert "repro_worker_task_s_sum 2" in text
+        assert "repro_worker_task_s_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_is_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_name_sanitization(self):
+        metrics = MetricsRegistry()
+        metrics.counter("1weird.name-x").inc(1)
+        text = metrics.to_prometheus()
+        assert "repro__1weird_name_x_total 1" in text
+
+
+class TestCliObservability:
+    def test_metrics_prom_flag(self, fimi_file, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main(["mine", fimi_file, "-s", "2",
+                     "--metrics-prom", str(prom)]) == 0
+        text = prom.read_text()
+        assert text.startswith("# TYPE repro_")
+        assert "prometheus metrics written" in capsys.readouterr().out
+
+    def test_sample_interval_flag(self, fimi_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["mine", fimi_file, "-s", "2", "--trace-out", str(trace),
+                     "--sample-interval", "0.01"]) == 0
+        document = json.loads(trace.read_text())
+        assert any(e.get("ph") == "C" and e.get("name") == COUNTER_NAME
+                   for e in document["traceEvents"])
+
+    def test_sample_interval_rejects_nonpositive(self, fimi_file):
+        with pytest.raises(SystemExit):
+            main(["mine", fimi_file, "-s", "2", "--sample-interval", "0"])
+
+    def _trace(self, fimi_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["mine", fimi_file, "-s", "2", "-b", "shared_memory",
+                     "-w", "2", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_obs_anatomy_check(self, fimi_file, tmp_path, capsys):
+        trace = self._trace(fimi_file, tmp_path, capsys)
+        assert main(["obs", "anatomy", str(trace), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "run wall:" in out
+        assert "check ok" in out
+
+    def test_obs_anatomy_json(self, fimi_file, tmp_path, capsys):
+        trace = self._trace(fimi_file, tmp_path, capsys)
+        assert main(["obs", "anatomy", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "buckets" in summary and "critical_path" in summary
+
+    def test_obs_anatomy_rejects_empty(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}')
+        with pytest.raises(SystemExit):
+            main(["obs", "anatomy", str(empty)])
+
+    def test_obs_flame_both_formats(self, fimi_file, tmp_path, capsys):
+        trace = self._trace(fimi_file, tmp_path, capsys)
+        assert main(["obs", "flame", str(trace)]) == 0
+        speedscope = tmp_path / "trace.speedscope.json"
+        document = json.loads(speedscope.read_text())
+        assert document["profiles"]
+        assert main(["obs", "flame", str(trace), "--format", "collapsed"]) == 0
+        collapsed = (tmp_path / "trace.collapsed.txt").read_text()
+        assert collapsed.strip()
+
+    def test_obs_explain_traces(self, fimi_file, tmp_path, capsys):
+        trace_a = self._trace(fimi_file, tmp_path, capsys)
+        trace_b = tmp_path / "b.json"
+        assert main(["mine", fimi_file, "-s", "2", "-b", "shared_memory",
+                     "-w", "2", "--trace-out", str(trace_b)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "explain", str(trace_a), str(trace_b)]) == 0
+        out = capsys.readouterr().out
+        assert "wall:" in out
+        assert "bucket" in out
+
+    def test_obs_explain_ledger_runs(self, fimi_file, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        for trace in ("a.json", "b.json"):
+            assert main([
+                "mine", fimi_file, "-s", "2", "-b", "shared_memory",
+                "-w", "2", "--trace-out", str(tmp_path / trace),
+                "--ledger-dir", str(runs),
+            ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "explain", "-2", "-1",
+                     "--ledger-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "predicted vs actual" in out
+
+    def test_obs_explain_missing_anatomy(self, fimi_file, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        # No --trace-out: the ledger record carries no anatomy summary.
+        assert main(["mine", fimi_file, "-s", "2",
+                     "--ledger-dir", str(runs)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="trace-out"):
+            main(["obs", "explain", "-1", "-1", "--ledger-dir", str(runs)])
