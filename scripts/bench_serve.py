@@ -1,0 +1,353 @@
+"""Benchmark: the mining query server under closed-loop load.
+
+``repro serve`` exists so the expensive parts — parsing the dataset,
+packing the bit matrix, mining — happen once per *distinct* query, not
+once per request.  This script drives the server with closed-loop client
+threads (each sends, waits for the answer, sends again) and writes
+``BENCH_serve.json`` at the repo root:
+
+* **requests_per_second.{cold,cache_hit,coalesced}** — sustained
+  throughput per workload (machine-bound; recorded, not cross-gated);
+* **latency_p50_seconds.* / latency_p99_seconds.*** — per-request
+  latency percentiles per workload;
+* **speedup_vs_cold.{cache_hit,coalesced}** — p50 latency ratio against
+  the cold workload, the machine-independent metric the CI gate
+  compares (``repro obs compare --ratios-only``).
+
+Workloads (all POST ``/mine`` on one dataset + support):
+
+* **cold** — ``fresh: true`` at concurrency 1: every request runs the
+  engine (the cache and the index are bypassed);
+* **cache_hit** — identical non-fresh requests after one priming call:
+  every request is answered from the ledger-keyed cache;
+* **coalesced** — ``fresh: true`` at concurrency 4: identical inflight
+  requests coalesce onto one backend run.
+
+With ``--shed-requests N`` the script additionally fires an N-wide
+concurrent burst of fresh queries and asserts the admission layer sheds
+the overflow with 429 + ``Retry-After`` (the load-shed path CI pins).
+
+By default the server runs in-process (:class:`repro.serve.ServerThread`);
+``--url`` targets an externally-booted ``repro serve`` instead — the CI
+job uses that to exercise the real process.
+
+    PYTHONPATH=src python scripts/bench_serve.py                  # full
+    PYTHONPATH=src python scripts/bench_serve.py --smoke --check  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.parse import urlsplit
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def _env_min_ratio(default: float) -> float:
+    """--min-ratio default: REPRO_BENCH_MIN_RATIO env var wins if set."""
+    raw = os.environ.get("REPRO_BENCH_MIN_RATIO")
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"warning: ignoring unparsable REPRO_BENCH_MIN_RATIO={raw!r}",
+              file=sys.stderr)
+        return default
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class _Target:
+    """Where the clients point: host, port, and the query payload."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    def connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=120)
+
+
+def _post(
+    conn: http.client.HTTPConnection, path: str, payload: bytes
+) -> tuple[int, dict, dict[str, str]]:
+    conn.request("POST", path, payload,
+                 {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    body = response.read()
+    return (
+        response.status,
+        json.loads(body) if body else {},
+        {k.lower(): v for k, v in response.getheaders()},
+    )
+
+
+def run_workload(
+    target: _Target,
+    payload: dict,
+    *,
+    n_requests: int,
+    concurrency: int,
+) -> dict[str, float]:
+    """Closed-loop: ``concurrency`` threads split ``n_requests`` evenly."""
+    payload_bytes = json.dumps(payload).encode()
+    latencies: list[float] = []
+    failures: list[int] = []
+    lock = threading.Lock()
+
+    def worker(count: int) -> None:
+        conn = target.connect()
+        try:
+            for _ in range(count):
+                started = time.perf_counter()
+                status, _, _ = _post(conn, "/mine", payload_bytes)
+                elapsed = time.perf_counter() - started
+                with lock:
+                    if status == 200:
+                        latencies.append(elapsed)
+                    else:
+                        failures.append(status)
+        finally:
+            conn.close()
+
+    per_thread = [n_requests // concurrency] * concurrency
+    for i in range(n_requests % concurrency):
+        per_thread[i] += 1
+    threads = [
+        threading.Thread(target=worker, args=(count,))
+        for count in per_thread if count
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} request(s) failed with statuses "
+            f"{sorted(set(failures))}"
+        )
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "wall_seconds": wall,
+        "requests_per_second": len(ordered) / wall if wall else 0.0,
+        "p50_seconds": _percentile(ordered, 0.50),
+        "p99_seconds": _percentile(ordered, 0.99),
+    }
+
+
+def run_shed_burst(
+    target: _Target, payload: dict, n_requests: int
+) -> dict[str, object]:
+    """Fire ``n_requests`` concurrently; count 200s vs shed 429s."""
+    payload_bytes = json.dumps(dict(payload, fresh=True)).encode()
+    results: list[tuple[int, str | None]] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_requests)
+
+    def worker() -> None:
+        conn = target.connect()
+        try:
+            barrier.wait(timeout=30)
+            status, _, headers = _post(conn, "/mine", payload_bytes)
+            with lock:
+                results.append((status, headers.get("retry-after")))
+        except Exception:
+            with lock:
+                results.append((-1, None))
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(n_requests)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    statuses = [s for s, _ in results]
+    shed = [(s, ra) for s, ra in results if s == 429]
+    return {
+        "requests": n_requests,
+        "ok_count": statuses.count(200),
+        "shed_count": len(shed),
+        "other": sorted(
+            {s for s in statuses if s not in (200, 429)}
+        ),
+        "retry_after_present": all(ra is not None for _, ra in shed),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="T10I4",
+                        help="dataset the queries target (default: T10I4)")
+    parser.add_argument("--min-support", type=float, default=0.02,
+                        help="query support threshold (default: 0.02)")
+    parser.add_argument("--url", default=None,
+                        help="base URL of an already-running repro serve "
+                             "(default: boot one in-process)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI workload: fewer requests per phase")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override per-workload request count")
+    parser.add_argument("--shed-requests", type=int, default=0,
+                        help="also fire this many concurrent fresh queries "
+                             "and require the admission layer to shed some "
+                             "with 429 + Retry-After")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_serve.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless cache hits beat cold mines by "
+                             "--min-ratio (and the shed burst shed, if any)")
+    parser.add_argument("--min-ratio", type=float,
+                        default=_env_min_ratio(10.0),
+                        help="cache-hit-vs-cold p50 speedup bar (default "
+                             "10, or REPRO_BENCH_MIN_RATIO if set)")
+    args = parser.parse_args()
+
+    if args.requests is not None:
+        n_cold = n_hits = n_coalesced = args.requests
+    elif args.smoke:
+        n_cold, n_hits, n_coalesced = 3, 30, 8
+    else:
+        n_cold, n_hits, n_coalesced = 6, 120, 24
+
+    payload = {"dataset": args.dataset, "min_support": args.min_support}
+    handle = None
+    if args.url:
+        parts = urlsplit(args.url)
+        target = _Target(parts.hostname or "127.0.0.1", parts.port or 80)
+        print(f"target: external server at {args.url}")
+    else:
+        from repro.datasets import get_dataset
+        from repro.serve import MiningServer, ServerThread
+
+        db = get_dataset(args.dataset)
+        server = MiningServer(datasets=[db], max_inflight=8)
+        handle = ServerThread(server).start()
+        target = _Target(server.host, server.port)
+        print(f"target: in-process server on port {server.port} "
+              f"({db.n_transactions} transactions, {db.n_items} items)")
+
+    try:
+        conn = target.connect()
+        status, answer, _ = _post(
+            conn, "/mine", json.dumps(payload).encode()
+        )
+        conn.close()
+        if status != 200:
+            print(f"FATAL: priming query answered {status}: {answer}",
+                  file=sys.stderr)
+            return 2
+        print(f"priming query: {answer['n_itemsets']} itemsets "
+              f"(source={answer['source']})")
+
+        workloads = {
+            "cold": run_workload(
+                target, dict(payload, fresh=True),
+                n_requests=n_cold, concurrency=1,
+            ),
+            "cache_hit": run_workload(
+                target, payload, n_requests=n_hits, concurrency=2,
+            ),
+            "coalesced": run_workload(
+                target, dict(payload, fresh=True),
+                n_requests=n_coalesced, concurrency=4,
+            ),
+        }
+        for name, stats in workloads.items():
+            print(f"  {name:<10s} {stats['requests']:4d} requests  "
+                  f"{stats['requests_per_second']:10.1f} req/s  "
+                  f"p50 {stats['p50_seconds'] * 1e3:9.3f} ms  "
+                  f"p99 {stats['p99_seconds'] * 1e3:9.3f} ms")
+
+        shed = None
+        if args.shed_requests:
+            shed = run_shed_burst(target, payload, args.shed_requests)
+            print(f"  shed burst {shed['requests']} concurrent: "
+                  f"{shed['ok_count']} ok, {shed['shed_count']} shed (429)"
+                  + (f", other statuses {shed['other']}"
+                     if shed["other"] else ""))
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    cold_p50 = workloads["cold"]["p50_seconds"]
+    speedup = {
+        name: (cold_p50 / stats["p50_seconds"]
+               if stats["p50_seconds"] else float("inf"))
+        for name, stats in workloads.items() if name != "cold"
+    }
+    for name, ratio in speedup.items():
+        print(f"  speedup_vs_cold.{name}: {ratio:.1f}x")
+
+    record = {
+        "dataset": args.dataset,
+        "min_support": args.min_support,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "external_url": args.url,
+        "requests_per_second": {
+            name: stats["requests_per_second"]
+            for name, stats in workloads.items()
+        },
+        "latency_p50_seconds": {
+            name: stats["p50_seconds"]
+            for name, stats in workloads.items()
+        },
+        "latency_p99_seconds": {
+            name: stats["p99_seconds"]
+            for name, stats in workloads.items()
+        },
+        "speedup_vs_cold": speedup,
+        "shed": shed,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        if speedup["cache_hit"] < args.min_ratio:
+            failures.append(
+                f"cache-hit speedup {speedup['cache_hit']:.1f}x is below "
+                f"the {args.min_ratio:.1f}x bar"
+            )
+        if shed is not None:
+            if shed["shed_count"] == 0:
+                failures.append(
+                    f"{shed['requests']} concurrent requests produced no "
+                    "429 — the admission layer never shed"
+                )
+            elif not shed["retry_after_present"]:
+                failures.append("a 429 arrived without a Retry-After header")
+            if shed["other"]:
+                failures.append(
+                    f"shed burst hit unexpected statuses {shed['other']}"
+                )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: cache hits beat cold mines by >= {args.min_ratio:.1f}x "
+              f"({speedup['cache_hit']:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

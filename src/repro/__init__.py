@@ -57,7 +57,7 @@ from repro.index import ItemsetIndex
 from repro.obs import ObsContext
 from repro.representations import get_representation
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MiningResult",

@@ -873,6 +873,75 @@ def cmd_obs_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the mining query server until interrupted (Ctrl-C / SIGTERM)."""
+    import asyncio
+    import signal
+
+    from repro.serve import MiningServer
+
+    databases = [_load_database(source) for source in args.datasets]
+    obs = _build_obs(args)
+    try:
+        with _ledger_scope(args) as ledger:
+            server = MiningServer(
+                datasets=databases,
+                indexes=args.index or (),
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                default_deadline_seconds=args.deadline_seconds,
+                retry_after_seconds=args.retry_after_seconds,
+                cache_entries=args.cache_entries,
+                executor_workers=args.executor_workers,
+                obs=obs,
+                ledger=ledger,
+            )
+            for entry in server.datasets():
+                line = (
+                    f"resident: {entry.name} "
+                    f"({entry.fingerprint['n_transactions']} transactions, "
+                    f"{entry.fingerprint['n_items']} items, "
+                    f"packed {entry.packed_bytes} bytes)"
+                )
+                if entry.index is not None:
+                    line += (
+                        f" + index (floor={entry.index.floor}, "
+                        f"n_closed={entry.index.n_closed})"
+                    )
+                print(line)
+
+            async def _run() -> None:
+                await server.start()
+                print(
+                    f"serving on http://{server.host}:{server.port} "
+                    f"(endpoints: {', '.join(server.router.paths())})",
+                    flush=True,
+                )
+                loop = asyncio.get_running_loop()
+                stop = asyncio.Event()
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    loop.add_signal_handler(sig, stop.set)
+                serving = asyncio.ensure_future(server.serve_forever())
+                try:
+                    await stop.wait()
+                finally:
+                    serving.cancel()
+                    await asyncio.gather(serving, return_exceptions=True)
+                    await server.aclose()
+
+            try:
+                asyncio.run(_run())
+            except KeyboardInterrupt:
+                pass
+            print("serve: shut down cleanly")
+    except (ConfigurationError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    finally:
+        _finish_obs(args, obs)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1039,6 +1108,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ledger_flags(prof)
     prof.set_defaults(func=cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="mining-as-a-service: resident datasets behind an HTTP API",
+        description=(
+            "Load datasets (and optional index artifacts) once, keep them "
+            "resident, and answer POST /mine, /topk, /rules plus "
+            "GET /healthz, /stats until interrupted.  Requests are "
+            "admitted against a bounded inflight depth (excess sheds with "
+            "429 + Retry-After), cached by the ledger's (dataset, config) "
+            "identity, and identical concurrent queries coalesce onto one "
+            "backend run."
+        ),
+    )
+    serve.add_argument(
+        "datasets", nargs="+",
+        help="FIMI file paths or dataset names to keep resident",
+    )
+    serve.add_argument(
+        "--index", action="append", metavar="ARTIFACT",
+        help="index artifact to attach (must match a resident dataset; "
+             "repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="listen port (0 picks a free one); default 8737",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="queries admitted concurrently before shedding (default 8)",
+    )
+    serve.add_argument(
+        "--deadline-seconds", type=float, default=30.0,
+        help="default per-request deadline (default 30)",
+    )
+    serve.add_argument(
+        "--retry-after-seconds", type=float, default=1.0,
+        help="Retry-After hint attached to shed (429) responses",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="answer-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--executor-workers", type=int, default=None,
+        help="backend thread-pool width (default: --max-inflight)",
+    )
+    _add_obs_flags(serve)
+    _add_ledger_flags(serve)
+    serve.set_defaults(func=cmd_serve)
 
     obs_cmd = sub.add_parser(
         "obs",

@@ -21,7 +21,7 @@ New backends register through :func:`register_backend` instead of adding
 another ad-hoc ``run_*`` function.
 """
 
-from repro.engine.api import execute, mine
+from repro.engine.api import execute, mine, resolve_run_config
 from repro.engine.registry import (
     BackendEntry,
     available_algorithms,
@@ -35,6 +35,7 @@ from repro.engine.vectorized import apriori_vectorized, eclat_vectorized
 __all__ = [
     "mine",
     "execute",
+    "resolve_run_config",
     "BackendEntry",
     "register_backend",
     "get_backend_entry",

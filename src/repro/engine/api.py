@@ -134,6 +134,35 @@ def _ledger_config(
     return config
 
 
+def resolve_run_config(
+    db: TransactionDatabase,
+    *,
+    algorithm: str = "eclat",
+    representation: Representation | str = "auto",
+    backend: str = "serial",
+    min_support: float | int,
+    **options,
+) -> dict:
+    """Validate a run request and return its **canonical ledger config**.
+
+    This is the exact dict :func:`mine` hashes into the run ledger
+    (``config_hash``): algorithm and backend resolved against the
+    registry, ``representation="auto"`` resolved for this database, the
+    support threshold resolved to an absolute count, and options checked
+    and canonicalized.  Callers that need the ledger identity of a run
+    *without running it* — the query server keys its answer cache on the
+    ledger's (config hash, dataset fingerprint) pair — use this instead
+    of duplicating the resolution rules.
+
+    Raises the same typed errors as :func:`mine` for invalid requests.
+    """
+    entry = get_backend_entry(backend, algorithm)
+    rep_name = _resolve_representation(representation, entry, db)
+    min_sup = resolve_min_support(db, min_support)
+    _check_options(entry, options)
+    return _ledger_config(algorithm, rep_name, backend, min_sup, options)
+
+
 @lru_cache(maxsize=None)
 def _accepts_live(runner) -> bool:
     """Whether a registered runner can take the ``live=`` tracker kwarg.

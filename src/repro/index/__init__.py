@@ -268,6 +268,23 @@ class ItemsetIndex:
             info["path"] = str(self.path)
         return info
 
+    def fingerprint_matches(self, fingerprint: Mapping[str, Any]) -> bool:
+        """Whether a ready-made dataset fingerprint is this index's source.
+
+        The fingerprint is the :func:`repro.obs.ledger.fingerprint_database`
+        mapping; comparison covers the shared identity keys.  Callers with
+        the database itself should prefer :meth:`check_database`, whose
+        error message names the mismatching key.
+        """
+        expected = self._header.get("dataset", {})
+        for key in ("sha256", "n_transactions", "n_items"):
+            if (
+                key in expected and key in fingerprint
+                and expected[key] != fingerprint[key]
+            ):
+                return False
+        return True
+
     def check_database(self, db: "TransactionDatabase") -> None:
         """Raise unless ``db`` is the database this index was built from."""
         from repro.obs.ledger import fingerprint_database

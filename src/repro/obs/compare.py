@@ -15,7 +15,10 @@ One comparator handles every record shape the repo produces:
   ``speedup_vs_remine.*`` ratios;
 * **``BENCH_outofcore.json``** — ``inmemory_seconds``, per-partition-count
   ``outofcore_seconds.*`` / ``predicted_seconds.*``, ``peak_rss_bytes``,
-  and the ``efficiency_vs_inmemory.*`` ratios.
+  and the ``efficiency_vs_inmemory.*`` ratios;
+* **``BENCH_serve.json``** — per-workload ``requests_per_second.*``,
+  ``latency_p50_seconds.*`` / ``latency_p99_seconds.*``, and the
+  ``speedup_vs_cold.*`` ratios.
 
 Each metric has a *direction*: for ``lower``-is-better metrics (seconds,
 bytes) a regression is ``current > baseline * (1 + threshold)``; for
@@ -23,7 +26,10 @@ bytes) a regression is ``current > baseline * (1 + threshold)``; for
 (1 - threshold)``.  Ratios divide out absolute machine speed (each record's
 own baseline kernel, measured in the same run), so they are the metrics to
 gate on when baseline and current ran on different machines — pass
-``ratios_only=True`` (the CI default) for exactly that.
+``ratios_only=True`` (the CI default) for exactly that.  Direction and
+ratio-ness are *independent* flags: serve throughput (req/s) is
+higher-is-better but machine-dependent, so it carries ``ratio=False`` and
+stays out of the cross-machine gate.
 
 Records describing different workloads (different dataset, smoke flag,
 pair count, support threshold, or ledger config hash) are **incomparable**:
@@ -101,13 +107,23 @@ class Comparison:
         return 1 if self.regressions(threshold) else 0
 
 
-def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
-    """Extract ``name -> (value, direction)`` from any known record shape."""
-    out: dict[str, tuple[float, str]] = {}
+def _flatten_seconds(
+    record: Mapping[str, Any],
+) -> dict[str, tuple[float, str, bool]]:
+    """Extract ``name -> (value, direction, is_ratio)`` from any known
+    record shape.  ``is_ratio`` marks machine-independent metrics (the
+    ones ``ratios_only`` keeps); it defaults to ``direction == "higher"``,
+    which is exact for every pre-serve shape — serve overrides it for
+    throughput, which is higher-is-better but machine-bound."""
+    out: dict[str, tuple[float, str, bool]] = {}
 
-    def put(name: str, value: Any, direction: str) -> None:
+    def put(
+        name: str, value: Any, direction: str, ratio: bool | None = None
+    ) -> None:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
-            out[name] = (float(value), direction)
+            if ratio is None:
+                ratio = direction == "higher"
+            out[name] = (float(value), direction, ratio)
 
     # Ledger RunRecord shape.
     if "schema" in record and "wall_seconds" in record:
@@ -175,6 +191,19 @@ def _flatten_seconds(record: Mapping[str, Any]) -> dict[str, tuple[float, str]]:
         if isinstance(values, Mapping):
             for key, value in values.items():
                 put(f"{group}.{key}", value, direction)
+    # BENCH_serve.json shape.  Throughput is higher-is-better but scales
+    # with the machine, so ratio=False keeps it out of cross-machine gates;
+    # speedup_vs_cold divides two same-run timings and is the gateable one.
+    for group, direction, ratio in (
+        ("requests_per_second", "higher", False),
+        ("latency_p50_seconds", "lower", False),
+        ("latency_p99_seconds", "lower", False),
+        ("speedup_vs_cold", "higher", True),
+    ):
+        values = record.get(group)
+        if isinstance(values, Mapping):
+            for key, value in values.items():
+                put(f"{group}.{key}", value, direction, ratio)
     return out
 
 
@@ -225,9 +254,9 @@ def compare_records(
     shared = sorted(set(base_metrics) & set(current_metrics))
     deltas = []
     for name in shared:
-        value_base, direction = base_metrics[name]
-        value_current, _ = current_metrics[name]
-        if ratios_only and direction != "higher":
+        value_base, direction, is_ratio = base_metrics[name]
+        value_current, _, _ = current_metrics[name]
+        if ratios_only and not is_ratio:
             continue
         if metrics is not None and name not in metrics:
             continue

@@ -231,11 +231,26 @@ class Ledger:
         return self.root / self.FILENAME
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Write one record as a single line; creates the directory."""
+        """Write one record as a single line; creates the directory.
+
+        The line goes out as **one** ``os.write`` on an ``O_APPEND`` fd:
+        POSIX appends are atomic per write call, so concurrent writers —
+        the serve layer appends from multiple processes and threads —
+        interleave whole lines, never torn fragments.  A buffered
+        text-mode handle gives no such guarantee (its flush may split
+        one line across several syscalls).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record.to_json_dict(), default=str)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        data = (
+            json.dumps(record.to_json_dict(), default=str) + "\n"
+        ).encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
         return record
 
     def iter_records(self) -> Iterator[RunRecord]:

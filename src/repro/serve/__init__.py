@@ -1,0 +1,59 @@
+"""repro.serve — mining-as-a-service.
+
+A stdlib-only asyncio HTTP service that keeps datasets, packed bit
+matrices, and :class:`~repro.index.ItemsetIndex` artifacts resident in
+one process and answers mining queries concurrently.  The module map:
+
+* :mod:`repro.serve.http` — minimal HTTP/1.1 framing (no external deps);
+* :mod:`repro.serve.router` — (method, path) dispatch with 404/405
+  semantics;
+* :mod:`repro.serve.admission` — deadlines, bounded inflight depth,
+  429-with-Retry-After load shedding;
+* :mod:`repro.serve.cache` — the LRU answer cache keyed by the run
+  ledger's (dataset fingerprint, config hash) identity pair;
+* :mod:`repro.serve.batching` — single-flight coalescing of identical
+  concurrent queries onto one backend run;
+* :mod:`repro.serve.server` — :class:`MiningServer` tying it together,
+  plus :class:`ServerThread` for tests/benchmarks and the ``/stats``
+  schema contract (:func:`validate_stats`).
+
+Start one from the CLI with ``repro serve DATASET [--index ART] ...``.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineExpired,
+    ShedError,
+)
+from repro.serve.batching import Coalescer
+from repro.serve.cache import CacheKey, ResultCache
+from repro.serve.http import HttpError, Request, read_request, response_bytes
+from repro.serve.router import Router
+from repro.serve.server import (
+    SERVE_LEDGER_KIND,
+    STATS_SCHEMA_VERSION,
+    MiningServer,
+    ResidentDataset,
+    ServerThread,
+    validate_stats,
+)
+
+__all__ = [
+    "MiningServer",
+    "ServerThread",
+    "ResidentDataset",
+    "AdmissionController",
+    "ShedError",
+    "DeadlineExpired",
+    "Coalescer",
+    "ResultCache",
+    "CacheKey",
+    "Router",
+    "HttpError",
+    "Request",
+    "read_request",
+    "response_bytes",
+    "STATS_SCHEMA_VERSION",
+    "SERVE_LEDGER_KIND",
+    "validate_stats",
+]

@@ -1,0 +1,116 @@
+"""Admission control: bounded concurrency, per-request deadlines, shedding.
+
+The service's stability contract: a burst larger than the machine can
+mine must fail **fast and explicitly** (HTTP 429 plus a ``Retry-After``
+hint) instead of queueing unboundedly until every request times out.
+Two independent gates implement it:
+
+* **depth** — at most ``max_inflight`` mine-class requests are admitted
+  at once (admitted = waiting on or occupying the backend executor; cache
+  hits release their slot in microseconds).  Request ``max_inflight + 1``
+  is shed with :class:`ShedError` → 429.
+* **deadline** — every request carries a deadline (its own
+  ``deadline_seconds`` or the server default).  A request whose deadline
+  has already passed is rejected with :class:`DeadlineExpired` **before**
+  any mining happens, and a request still waiting when its deadline
+  arrives is abandoned by its waiter (the backend run, which cannot be
+  killed mid-flight, completes and populates the cache for the next
+  caller).
+
+Everything here runs on the event loop thread, so plain integers are
+race-free; the controller never blocks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+
+class ShedError(Exception):
+    """Raised when the inflight cap is hit; maps to 429 + Retry-After."""
+
+    def __init__(self, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"queue full; retry after {retry_after_seconds:g}s"
+        )
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DeadlineExpired(Exception):
+    """Raised when a request's deadline passes; maps to 504."""
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(f"deadline exceeded ({stage})")
+        self.stage = stage  # "admission" | "backend"
+
+
+class AdmissionController:
+    """Depth + deadline gatekeeper for the mine-class endpoints."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 8,
+        default_deadline_seconds: float = 30.0,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be positive")
+        self.max_inflight = max_inflight
+        self.default_deadline_seconds = default_deadline_seconds
+        self.retry_after_seconds = retry_after_seconds
+        self.inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.deadline_rejected = 0
+
+    def deadline_for(self, deadline_seconds: float | None) -> float:
+        """An absolute ``time.monotonic`` deadline for one request."""
+        budget = (
+            self.default_deadline_seconds
+            if deadline_seconds is None
+            else float(deadline_seconds)
+        )
+        return time.monotonic() + budget
+
+    @staticmethod
+    def remaining(deadline: float) -> float:
+        return deadline - time.monotonic()
+
+    def admit(self, deadline: float) -> None:
+        """Take one slot or raise; the caller must pair with :meth:`release`.
+
+        The deadline gate runs first: an already-expired request must not
+        consume a slot (nor count as shed load — it was never serveable).
+        """
+        if self.remaining(deadline) <= 0:
+            self.deadline_rejected += 1
+            raise DeadlineExpired("admission")
+        if self.inflight >= self.max_inflight:
+            self.shed_total += 1
+            raise ShedError(self.retry_after_seconds)
+        self.inflight += 1
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        self.inflight -= 1
+
+    def expire(self, stage: str) -> None:
+        """Record a post-admission deadline expiry and raise it."""
+        self.deadline_rejected += 1
+        raise DeadlineExpired(stage)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``admission`` object in ``/stats``."""
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "deadline_rejected": self.deadline_rejected,
+            "default_deadline_seconds": self.default_deadline_seconds,
+            "retry_after_seconds": self.retry_after_seconds,
+        }

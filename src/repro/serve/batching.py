@@ -1,0 +1,126 @@
+"""Request coalescing: identical concurrent queries share one backend run.
+
+A popular (dataset, config) pair arriving N times while the first copy
+is still mining must not run the engine N times — the paper's whole
+point is that the expensive part is the mine, and the service's whole
+point is amortizing it.  The :class:`Coalescer` keeps one future per
+in-flight cache key; the first request becomes the **leader** (it runs
+the backend), every concurrent duplicate becomes a **follower** and
+awaits the leader's future.  The result fans out to all waiters, and
+each waiter still applies its *own* deadline — a follower can time out
+without cancelling the leader's run (the future is shielded), so the
+answer still lands in the cache for the next caller.
+
+Single event-loop discipline again: the dict is only touched from loop
+callbacks, so no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.serve.cache import CacheKey
+
+
+class Coalescer:
+    """One shared future per in-flight cache key."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[CacheKey, asyncio.Future] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self.leaders = 0
+        self.followers = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: CacheKey,
+        thunk: Callable[[], Awaitable[dict[str, Any]]],
+        *,
+        timeout: float | None = None,
+    ) -> tuple[dict[str, Any], bool]:
+        """Run ``thunk`` once per key; returns ``(payload, coalesced)``.
+
+        ``coalesced`` is True for followers that rode an existing run.
+        ``timeout`` bounds only this caller's wait: on expiry the shared
+        run keeps going (``asyncio.shield``) and ``TimeoutError``
+        propagates to the caller.  A leader whose thunk raises fans the
+        exception out to every follower of that run.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.followers += 1
+            payload = await asyncio.wait_for(
+                asyncio.shield(existing), timeout
+            )
+            return payload, True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            # The leader's own wait is deadline-bounded too, but the
+            # underlying work is shielded so followers (and the cache)
+            # still get the answer if only the leader gives up.
+            task = asyncio.ensure_future(thunk())
+            self._tasks.add(task)
+            task.add_done_callback(self._settle(future))
+            payload = await asyncio.wait_for(asyncio.shield(task), timeout)
+            return payload, False
+        finally:
+            if future.done():
+                self._inflight.pop(key, None)
+            else:
+                # Leader timed out but the run continues: leave the future
+                # registered so late duplicates still coalesce; the settle
+                # callback cleans up when the run finishes.
+                pass
+
+    def _settle(self, future: asyncio.Future):
+        """Propagate a task's outcome into the shared future, then unregister."""
+
+        def callback(task: asyncio.Task) -> None:
+            self._tasks.discard(task)
+            if task.cancelled():
+                if not future.done():
+                    future.cancel()
+                for key, value in list(self._inflight.items()):
+                    if value is future:
+                        del self._inflight[key]
+                return
+            if not future.done():
+                exc = task.exception()
+                if exc is not None:
+                    future.set_exception(exc)
+                    # Every waiter may have timed out already; mark the
+                    # exception retrieved so gc never logs a phantom error.
+                    future.exception()
+                else:
+                    future.set_result(task.result())
+            # Drop whichever key maps to this future (the leader's finally
+            # may have removed it already on the fast path).
+            for key, value in list(self._inflight.items()):
+                if value is future:
+                    del self._inflight[key]
+
+        return callback
+
+    async def cancel_pending(self) -> None:
+        """Cancel any still-running leader tasks (server shutdown)."""
+        pending = [task for task in self._tasks if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``coalesce`` object in ``/stats``."""
+        return {
+            "inflight_keys": len(self._inflight),
+            "leaders": self.leaders,
+            "followers": self.followers,
+        }

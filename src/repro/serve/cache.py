@@ -1,0 +1,71 @@
+"""The ledger-keyed answer cache.
+
+The run ledger already gives every mining run a stable identity: the
+(config hash, dataset fingerprint) pair (:mod:`repro.obs.ledger`).  The
+serve cache reuses **exactly that key** — a cache hit literally means
+"the ledger has seen this run before and the answer is still resident".
+No second keying scheme, no cache/ledger drift: the config hashed here
+is the same canonical dict the engine writes into the ledger record
+(:func:`repro.engine.resolve_run_config`), extended with the query kind
+for the non-mine endpoints.
+
+Entries are whole JSON-serializable answer payloads (itemset listings,
+rule listings), evicted LRU beyond ``max_entries``.  The cache runs on
+the event loop thread only, so a plain ``OrderedDict`` needs no lock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+#: (dataset sha256 fingerprint, canonical config hash).
+CacheKey = tuple[str, str]
+
+
+class ResultCache:
+    """LRU answer cache keyed by the ledger's (config, dataset) identity."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> dict[str, Any] | None:
+        """The cached answer payload, refreshed to most-recently-used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, payload: dict[str, Any]) -> None:
+        """Store one answer; evicts the least-recently-used beyond the cap."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``cache`` object in ``/stats``."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }

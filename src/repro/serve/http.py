@@ -1,0 +1,188 @@
+"""A minimal stdlib HTTP/1.1 layer for :mod:`repro.serve`.
+
+The query server speaks just enough HTTP for JSON request/response
+serving over ``asyncio`` streams — no routing framework, no external
+dependency, no TLS.  The subset implemented:
+
+* request line + headers + ``Content-Length``-framed bodies (no chunked
+  transfer encoding — a 411/400 is returned instead of guessing);
+* persistent connections (HTTP/1.1 keep-alive semantics, honoring an
+  explicit ``Connection: close`` from either side);
+* hard limits on header block and body size, so a malformed or hostile
+  client costs one bounded read, not memory.
+
+Anything outside the subset raises :class:`HttpError`, which the
+connection loop converts into a JSON error response with the right
+status code.  Parsing is deliberately strict where it is cheap to be
+(request-line shape, integer ``Content-Length``) and lenient where
+clients genuinely vary (header case, optional ``\\r``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import urlsplit
+
+#: Reason phrases for every status the server emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Upper bounds: one request line / header block / body.
+MAX_REQUEST_LINE_BYTES = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps directly to a response status."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str  # the raw request target, query string included
+    headers: dict[str, str]  # header names lower-cased
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    #: Filled by the router/server for logging and tracing.
+    request_id: int = 0
+    received_monotonic: float = 0.0
+    _json: Any = field(default=None, repr=False)
+
+    @property
+    def path(self) -> str:
+        """The target without its query string."""
+        return urlsplit(self.target).path
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON; raises 400 on anything unparsable."""
+        if self._json is None:
+            if not self.body:
+                raise HttpError(400, "request body must be a JSON object")
+            try:
+                self._json = json.loads(self.body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpError(400, f"invalid JSON body: {exc}") from None
+        return self._json
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed input and lets stream-level
+    exceptions (``IncompleteReadError``, ``ConnectionResetError``)
+    propagate — the connection loop treats both as a dead peer.
+    """
+    line = await reader.readline()
+    if not line:
+        return None  # peer closed between requests: normal keep-alive end
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise HttpError(431, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if not raw:
+            raise HttpError(400, "truncated header block")
+        if raw in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "header block too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {raw[:64]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(411, "chunked bodies are not supported; "
+                             "send Content-Length")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"invalid Content-Length {length_text!r}") \
+            from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(), target=target, headers=headers,
+        body=body, version=version,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: Any,
+    *,
+    headers: Mapping[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response (status line + headers + body)."""
+    body = json.dumps(payload, default=str).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def error_payload(status: int, message: str) -> dict[str, Any]:
+    """The uniform JSON error body."""
+    return {
+        "error": message,
+        "status": status,
+        "reason": STATUS_PHRASES.get(status, "Unknown"),
+    }

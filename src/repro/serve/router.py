@@ -1,0 +1,52 @@
+"""Exact-path request routing for the query server.
+
+Five endpoints, no path parameters, so the router is a dict — the value
+it adds over inlining is correct 404-vs-405 semantics (a known path hit
+with the wrong method must answer 405 with an ``Allow`` header, not a
+generic 404) and a single place the server registers handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable
+
+from repro.serve.http import HttpError, Request
+
+#: A handler returns (status, JSON payload, extra headers).
+Handler = Callable[[Request], Awaitable[tuple[int, object, dict[str, str]]]]
+
+
+class Router:
+    """(method, path) → handler with proper 404/405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Handler] = {}
+
+    def add(self, method: str, path: str, handler: Handler) -> None:
+        key = (method.upper(), path)
+        if key in self._routes:
+            raise ValueError(f"duplicate route {key}")
+        self._routes[key] = handler
+
+    def paths(self) -> list[str]:
+        return sorted({path for _, path in self._routes})
+
+    def resolve(self, method: str, path: str) -> Handler:
+        """The handler for this request, or the precise HttpError."""
+        handler = self._routes.get((method.upper(), path))
+        if handler is not None:
+            return handler
+        allowed = sorted(
+            m for (m, p) in self._routes if p == path
+        )
+        if allowed:
+            raise HttpError(
+                405,
+                f"{method} not allowed on {path}; allowed: "
+                + ", ".join(allowed),
+                headers={"Allow": ", ".join(allowed)},
+            )
+        raise HttpError(
+            404,
+            f"unknown path {path!r}; available: " + ", ".join(self.paths()),
+        )

@@ -1,0 +1,999 @@
+"""The long-lived mining query server (``repro serve``).
+
+One process loads datasets and index artifacts **once** — parsed
+transaction databases, their packed bit matrices, and memory-mapped
+:class:`~repro.index.ItemsetIndex` artifacts stay resident — and then
+answers queries concurrently over HTTP until stopped:
+
+==========  ======  ====================================================
+``/mine``   POST    frequent itemsets at a support threshold
+``/topk``   POST    the k most frequent itemsets
+``/rules``  POST    association rules at support + confidence thresholds
+``/healthz``  GET   liveness (never blocks behind mining)
+``/stats``    GET   schema-versioned service counters (v1)
+==========  ======  ====================================================
+
+Request lifecycle (see DESIGN.md): **admission** (deadline gate + bounded
+inflight depth, excess shed with 429 + ``Retry-After``) → **cache**
+(answers keyed by the run ledger's (config hash, dataset fingerprint)
+pair — a hit returns without mining) → **coalesce** (identical concurrent
+requests share one backend run) → **engine** (a resident index answers
+any support ≥ its floor in O(answer); otherwise ``repro.mine()`` runs on
+a bounded thread pool so the event loop — and ``/healthz`` — never
+blocks) → **ledger** (every answered query appends a ``serve-query``
+record; engine runs additionally append their usual ``mine`` record).
+
+Observability: when the server holds an :class:`~repro.obs.ObsContext`,
+each request gets its own trace lane (``tid`` = request id) carrying the
+request span and the engine spans it caused, and the shared metrics
+registry counts requests, hits, sheds, and coalesced runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import sys
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from itertools import count
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.engine import mine as _engine_mine
+from repro.engine import resolve_run_config
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.ledger import config_hash, fingerprint_database, record_run
+from repro.obs.trace import TraceEvent, TraceSink
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineExpired,
+    ShedError,
+)
+from repro.serve.batching import Coalescer
+from repro.serve.cache import ResultCache
+from repro.serve.http import (
+    HttpError,
+    Request,
+    error_payload,
+    read_request,
+    response_bytes,
+)
+from repro.serve.router import Router
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datasets.transaction_db import TransactionDatabase
+    from repro.index import ItemsetIndex
+    from repro.obs import ObsContext
+
+__all__ = [
+    "MiningServer",
+    "ServerThread",
+    "ResidentDataset",
+    "STATS_SCHEMA_VERSION",
+    "SERVE_LEDGER_KIND",
+    "validate_stats",
+]
+
+#: Bumped whenever the ``/stats`` document gains/renames fields; the CI
+#: job gates the shape through :func:`validate_stats`.
+STATS_SCHEMA_VERSION = 1
+
+#: Ledger ``kind`` appended per answered query.
+SERVE_LEDGER_KIND = "serve-query"
+
+#: Rolling latency window backing the /stats percentiles.
+_LATENCY_WINDOW = 4096
+
+#: Body fields accepted per endpoint (typo = 400, not silent default).
+_COMMON_FIELDS = frozenset({
+    "dataset", "min_support", "algorithm", "representation", "backend",
+    "options", "deadline_seconds", "fresh", "top",
+})
+_FIELDS_BY_KIND = {
+    "mine": _COMMON_FIELDS,
+    "topk": _COMMON_FIELDS | {"k"},
+    "rules": _COMMON_FIELDS | {"min_confidence"},
+}
+
+
+@dataclass
+class ResidentDataset:
+    """One dataset held in memory for the server's lifetime."""
+
+    name: str
+    db: "TransactionDatabase"
+    fingerprint: dict[str, Any]
+    packed: Any = None  # the packed bit matrix (np.ndarray), kept resident
+    packed_bytes: int = 0
+    index: "ItemsetIndex | None" = None
+
+    def snapshot(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "sha256": self.fingerprint.get("sha256", ""),
+            "n_transactions": int(self.fingerprint.get("n_transactions", 0)),
+            "n_items": int(self.fingerprint.get("n_items", 0)),
+            "packed_bytes": int(self.packed_bytes),
+            "index": None,
+        }
+        if self.index is not None:
+            entry["index"] = {
+                "floor": self.index.floor,
+                "n_closed": self.index.n_closed,
+            }
+        return entry
+
+
+@dataclass(frozen=True)
+class _QuerySpec:
+    """One validated query, ready to execute on the backend."""
+
+    kind: str  # "mine" | "topk" | "rules"
+    algorithm: str
+    representation: str
+    backend: str
+    min_support: int  # absolute count, resolved
+    options: dict[str, Any] = field(default_factory=dict)
+    k: int | None = None
+    min_confidence: float = 0.6
+    fresh: bool = False
+    limit: int | None = None
+
+
+class _RequestLaneSink(TraceSink):
+    """A per-request view of the server's sink: default-lane events are
+    rewritten onto the request's ``tid`` lane, so one trace shows every
+    request — and the engine spans it caused — as its own timeline."""
+
+    def __init__(self, base: TraceSink, tid: int) -> None:
+        super().__init__()
+        self._base = base
+        self._tid = tid
+        self.enabled = base.enabled
+        self.epoch = base.epoch  # shared clock: lanes must line up
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.pid == 0 and event.tid == 0:
+            event = replace(event, tid=self._tid)
+        self._base.emit(event)
+
+    def close(self) -> None:  # lifetime belongs to the server's ObsContext
+        pass
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty window."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def default_miner(db, **kwargs):
+    """The production backend runner: ``repro.mine`` without live status.
+
+    A per-request live status file would turn every query into filesystem
+    writes; the serve layer has its own ``/stats`` plane instead.
+    """
+    return _engine_mine(db, live=False, **kwargs)
+
+
+class MiningServer:
+    """The asyncio HTTP service; construct, :meth:`start`, serve.
+
+    Parameters
+    ----------
+    datasets:
+        Loaded :class:`TransactionDatabase` objects to keep resident.
+    indexes:
+        :class:`ItemsetIndex` objects (or artifact paths) to attach; each
+        must fingerprint-match one of ``datasets``.
+    max_inflight / default_deadline_seconds / retry_after_seconds:
+        Admission policy (see :mod:`repro.serve.admission`).
+    cache_entries:
+        LRU answer-cache capacity (0 disables caching).
+    executor_workers:
+        Backend thread-pool width; mining runs here, never on the loop.
+    default_backend / default_algorithm:
+        Engine defaults for requests that do not name one.
+    obs / ledger:
+        Optional shared :class:`ObsContext` and :class:`Ledger`; the
+        server never closes either (the caller owns their lifetime).
+    miner:
+        Injectable backend runner ``f(db, **mine_kwargs)`` (tests swap in
+        slow/instrumented ones); defaults to :func:`default_miner`.
+    """
+
+    def __init__(
+        self,
+        *,
+        datasets: Iterable["TransactionDatabase"] = (),
+        indexes: Iterable["ItemsetIndex | str | Path"] = (),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 8,
+        default_deadline_seconds: float = 30.0,
+        retry_after_seconds: float = 1.0,
+        cache_entries: int = 256,
+        executor_workers: int | None = None,
+        default_backend: str = "serial",
+        default_algorithm: str = "eclat",
+        obs: "ObsContext | None" = None,
+        ledger=None,
+        miner: Callable[..., Any] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.obs = obs
+        self.ledger = ledger
+        self.default_backend = default_backend
+        self.default_algorithm = default_algorithm
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            default_deadline_seconds=default_deadline_seconds,
+            retry_after_seconds=retry_after_seconds,
+        )
+        self.cache = ResultCache(cache_entries)
+        self.coalescer = Coalescer()
+        self._miner = miner if miner is not None else default_miner
+        if executor_workers is None:
+            executor_workers = max_inflight
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, executor_workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._datasets: dict[str, ResidentDataset] = {}
+        self._config_cache: dict[tuple, dict[str, Any]] = {}
+        self._request_ids = count(1)
+        self._started_unix = time.time()
+        self._requests_total = 0
+        self._requests_by_endpoint: dict[str, int] = {}
+        self._requests_by_status: dict[str, int] = {}
+        self._latencies: list[float] = []
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/stats", self._handle_stats)
+        self.router.add("POST", "/mine", self._make_query_handler("mine"))
+        self.router.add("POST", "/topk", self._make_query_handler("topk"))
+        self.router.add("POST", "/rules", self._make_query_handler("rules"))
+        for db in datasets:
+            self.add_dataset(db)
+        for index in indexes:
+            self.add_index(index)
+
+    # -- residency ---------------------------------------------------------
+
+    def add_dataset(self, db: "TransactionDatabase") -> ResidentDataset:
+        """Load one database into residency (fingerprint + packed matrix)."""
+        from repro.representations.bitvector_numpy import pack_database
+
+        if db.name in self._datasets:
+            raise ConfigurationError(
+                f"duplicate resident dataset name {db.name!r}"
+            )
+        packed = pack_database(db) if db.n_transactions else None
+        entry = ResidentDataset(
+            name=db.name,
+            db=db,
+            fingerprint=fingerprint_database(db),
+            packed=packed,
+            packed_bytes=int(packed.nbytes) if packed is not None else 0,
+        )
+        self._datasets[db.name] = entry
+        return entry
+
+    def add_index(self, index: "ItemsetIndex | str | Path") -> ResidentDataset:
+        """Attach an index artifact to the resident dataset it was built from."""
+        from repro.index import ItemsetIndex
+
+        if not isinstance(index, ItemsetIndex):
+            index = ItemsetIndex.open(index)
+        for entry in self._datasets.values():
+            if index.fingerprint_matches(entry.fingerprint):
+                entry.index = index
+                return entry
+        raise ConfigurationError(
+            f"index {index!r} matches no resident dataset "
+            f"(loaded: {sorted(self._datasets)})"
+        )
+
+    def datasets(self) -> list[ResidentDataset]:
+        return list(self._datasets.values())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the real port."""
+        self._asyncio_server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        sockets = self._asyncio_server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    async def serve_forever(self) -> None:
+        assert self._asyncio_server is not None, "call start() first"
+        await self._asyncio_server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        # Orphaned leader runs (their waiters timed out) die with the server.
+        await self.coalescer.cancel_pending()
+        # Never block shutdown on a mining run that cannot be killed.
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection + dispatch ---------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        except asyncio.CancelledError:  # shutdown severs open keep-alives
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(response_bytes(
+                        exc.status, error_payload(exc.status, exc.message),
+                        headers=exc.headers, keep_alive=False,
+                    ))
+                    await writer.drain()
+                    self._count_request("invalid", exc.status, 0.0)
+                    return
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return
+                if request is None:
+                    return
+                request.request_id = next(self._request_ids)
+                request.received_monotonic = time.monotonic()
+                started_perf = time.perf_counter()
+                status, payload, headers = await self._dispatch(request)
+                keep = request.keep_alive
+                # Record stats and the trace lane *before* sending the
+                # response: once a client has read its reply, /stats and
+                # the trace must already reflect the request.
+                latency = time.monotonic() - request.received_monotonic
+                self._count_request(request.path, status, latency)
+                if self.obs is not None:
+                    self.obs.sink.wall_event(
+                        f"serve.request{request.path}", started_perf,
+                        tid=request.request_id, cat="serve",
+                        args={"status": status, "path": request.path},
+                    )
+                try:
+                    writer.write(response_bytes(
+                        status, payload, headers=headers, keep_alive=keep,
+                    ))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                if not keep:
+                    return
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: Request
+    ) -> tuple[int, Any, dict[str, str]]:
+        """Route + run one request, mapping every failure to a status."""
+        try:
+            handler = self.router.resolve(request.method, request.path)
+            return await handler(request)
+        except HttpError as exc:
+            return exc.status, error_payload(exc.status, exc.message), \
+                exc.headers
+        except ShedError as exc:
+            payload = error_payload(429, str(exc))
+            payload["retry_after_seconds"] = exc.retry_after_seconds
+            return 429, payload, {
+                "Retry-After": str(
+                    max(1, math.ceil(exc.retry_after_seconds))
+                ),
+            }
+        except DeadlineExpired as exc:
+            payload = error_payload(504, str(exc))
+            payload["stage"] = exc.stage
+            return 504, payload, {}
+        except (ConfigurationError, ReproError) as exc:
+            return 400, error_payload(400, str(exc)), {}
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            traceback.print_exc(file=sys.stderr)
+            return 500, error_payload(500, f"internal error: {exc}"), {}
+
+    def _count_request(self, path: str, status: int, latency: float) -> None:
+        self._requests_total += 1
+        self._requests_by_endpoint[path] = \
+            self._requests_by_endpoint.get(path, 0) + 1
+        key = str(status)
+        self._requests_by_status[key] = \
+            self._requests_by_status.get(key, 0) + 1
+        self._latencies.append(latency)
+        if len(self._latencies) > _LATENCY_WINDOW:
+            del self._latencies[: len(self._latencies) - _LATENCY_WINDOW]
+        if self.obs is not None:
+            self.obs.metrics.counter("serve.requests").inc()
+            self.obs.metrics.counter(f"serve.status.{status}").inc()
+
+    # -- control endpoints ---------------------------------------------------
+
+    async def _handle_healthz(
+        self, request: Request
+    ) -> tuple[int, Any, dict[str, str]]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_unix,
+            "datasets": sorted(self._datasets),
+        }, {}
+
+    async def _handle_stats(
+        self, request: Request
+    ) -> tuple[int, Any, dict[str, str]]:
+        return 200, self.stats(), {}
+
+    def stats(self) -> dict[str, Any]:
+        """The schema-versioned ``/stats`` document (v1)."""
+        import repro
+
+        window = sorted(self._latencies)
+        return {
+            "schema": STATS_SCHEMA_VERSION,
+            "service": "repro-serve",
+            "version": repro.__version__,
+            "started_unix": self._started_unix,
+            "uptime_seconds": time.time() - self._started_unix,
+            "requests": {
+                "total": self._requests_total,
+                "by_endpoint": dict(self._requests_by_endpoint),
+                "by_status": dict(self._requests_by_status),
+            },
+            "admission": self.admission.snapshot(),
+            "cache": self.cache.snapshot(),
+            "coalesce": self.coalescer.snapshot(),
+            "latency": {
+                "count": len(window),
+                "p50_seconds": _percentile(window, 0.50),
+                "p99_seconds": _percentile(window, 0.99),
+            },
+            "datasets": [
+                entry.snapshot() for entry in self._datasets.values()
+            ],
+        }
+
+    # -- the mine-class endpoints --------------------------------------------
+
+    def _make_query_handler(self, kind: str):
+        async def handler(request: Request):
+            return await self._handle_query(request, kind)
+
+        return handler
+
+    def _parse_query(
+        self, body: Any, kind: str
+    ) -> tuple[ResidentDataset, _QuerySpec, dict[str, Any]]:
+        """Validate one request body into (dataset, spec, ledger config)."""
+        if not isinstance(body, Mapping):
+            raise HttpError(400, "request body must be a JSON object")
+        unknown = set(body) - _FIELDS_BY_KIND[kind]
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown field(s) {sorted(unknown)}; accepted: "
+                + ", ".join(sorted(_FIELDS_BY_KIND[kind])),
+            )
+        name = body.get("dataset")
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "field 'dataset' (string) is required")
+        entry = self._datasets.get(name)
+        if entry is None:
+            raise HttpError(
+                404,
+                f"dataset {name!r} is not resident on this server "
+                f"(loaded: {sorted(self._datasets)})",
+            )
+        algorithm = body.get("algorithm", self.default_algorithm)
+        representation = body.get("representation", "auto")
+        backend = body.get("backend", self.default_backend)
+        options = body.get("options") or {}
+        if not isinstance(options, Mapping):
+            raise HttpError(400, "field 'options' must be an object")
+        min_support = body.get("min_support")
+        if min_support is None:
+            if kind == "topk" and entry.index is not None:
+                min_support = entry.index.floor
+            else:
+                raise HttpError(
+                    400, "field 'min_support' (number) is required"
+                )
+        if not isinstance(min_support, (int, float)) \
+                or isinstance(min_support, bool):
+            raise HttpError(400, "field 'min_support' must be a number")
+        k = None
+        if kind == "topk":
+            k = body.get("k", 10)
+            if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+                raise HttpError(400, "field 'k' must be a non-negative int")
+        min_confidence = 0.6
+        if kind == "rules":
+            min_confidence = body.get("min_confidence", 0.6)
+            if not isinstance(min_confidence, (int, float)) \
+                    or isinstance(min_confidence, bool):
+                raise HttpError(400, "field 'min_confidence' must be a number")
+        limit = body.get("top")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+        ):
+            raise HttpError(400, "field 'top' must be a non-negative int")
+
+        # The canonical ledger config: the exact dict a plain repro.mine()
+        # would hash, so the cache key IS the ledger key.  Memoized —
+        # resolution walks the database for representation="auto".
+        memo_key = (
+            name, kind, algorithm, str(representation), backend,
+            repr(min_support), tuple(sorted(options.items())),
+            k, min_confidence if kind == "rules" else None,
+        )
+        config = self._config_cache.get(memo_key)
+        if config is None:
+            config = resolve_run_config(
+                entry.db,
+                algorithm=algorithm,
+                representation=representation,
+                backend=backend,
+                min_support=min_support,
+                **dict(options),
+            )
+            config["query"] = kind
+            if kind == "topk":
+                config["k"] = k
+            if kind == "rules":
+                config["min_confidence"] = min_confidence
+            self._config_cache[memo_key] = config
+            if len(self._config_cache) > 4096:
+                self._config_cache.clear()  # crude cap; entries are tiny
+        spec = _QuerySpec(
+            kind=kind,
+            algorithm=algorithm,
+            representation=config["representation"],
+            backend=backend,
+            min_support=int(config["min_support"]),
+            options=dict(options),
+            k=k,
+            min_confidence=float(min_confidence),
+            fresh=bool(body.get("fresh", False)),
+            limit=limit,
+        )
+        return entry, spec, config
+
+    async def _handle_query(
+        self, request: Request, kind: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        """admission → cache → coalesce → engine → ledger, one request."""
+        body = request.json()
+        entry, spec, config = self._parse_query(body, kind)
+        key = (entry.fingerprint.get("sha256", ""), config_hash(config))
+        deadline = self.admission.deadline_for(
+            self._deadline_seconds(body)
+        )
+        rid = request.request_id
+        if self.obs is not None:
+            self.obs.sink.set_thread_name(
+                0, rid, f"req {rid} {kind} {entry.name}"
+            )
+
+        self.admission.admit(deadline)
+        try:
+            source = None
+            coalesced = False
+            if not spec.fresh:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    source = "cache"
+                    payload = cached
+                    if self.obs is not None:
+                        self.obs.metrics.counter("serve.cache.hits").inc()
+            if source is None:
+                loop = asyncio.get_running_loop()
+
+                def run_backend() -> dict[str, Any]:
+                    return self._answer(entry, spec, config, rid)
+
+                async def thunk() -> dict[str, Any]:
+                    return await loop.run_in_executor(
+                        self._executor, run_backend
+                    )
+
+                try:
+                    payload, coalesced = await self.coalescer.run(
+                        key, thunk,
+                        timeout=self.admission.remaining(deadline),
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.admission.expire("backend")
+                source = "coalesced" if coalesced else payload["source"]
+                if not spec.fresh:
+                    self.cache.put(key, payload)
+        finally:
+            self.admission.release()
+
+        latency = time.monotonic() - request.received_monotonic
+        self._record_query(
+            entry, config, payload, source=source, latency=latency,
+            request_id=rid, coalesced=coalesced,
+        )
+        response = dict(payload)
+        response["source"] = source
+        response["elapsed_seconds"] = latency
+        response["request_id"] = rid
+        if spec.limit is not None and "itemsets" in response:
+            response["itemsets"] = response["itemsets"][: spec.limit]
+        if spec.limit is not None and "rules" in response:
+            response["rules"] = response["rules"][: spec.limit]
+        return 200, response, {}
+
+    def _deadline_seconds(self, body: Mapping[str, Any]) -> float | None:
+        value = body.get("deadline_seconds")
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise HttpError(400, "field 'deadline_seconds' must be a number")
+        return float(value)
+
+    def _record_query(
+        self,
+        entry: ResidentDataset,
+        config: dict[str, Any],
+        payload: Mapping[str, Any],
+        *,
+        source: str,
+        latency: float,
+        request_id: int,
+        coalesced: bool,
+    ) -> None:
+        """Append the per-request ``serve-query`` ledger record."""
+        if self.obs is not None:
+            self.obs.metrics.counter(f"serve.source.{source}").inc()
+        record_run(
+            SERVE_LEDGER_KIND,
+            dataset=entry.fingerprint,
+            config=config,
+            wall_seconds=latency,
+            cpu_seconds=0.0,
+            n_itemsets=payload.get("n_itemsets"),
+            ledger=self.ledger,
+            extra={
+                "source": source,
+                "endpoint": config.get("query", "mine"),
+                "request_id": request_id,
+                "coalesced": coalesced,
+            },
+        )
+
+    # -- the blocking backend step (executor threads only) --------------------
+
+    def _answer(
+        self,
+        entry: ResidentDataset,
+        spec: _QuerySpec,
+        config: Mapping[str, Any],
+        request_id: int,
+    ) -> dict[str, Any]:
+        """Produce one answer payload; runs on the executor, may block.
+
+        A resident index that covers the support answers in O(answer);
+        ``fresh`` requests and uncovered supports run the engine.  CHARM
+        requests always run the engine (the index restores *frequent*
+        itemsets, a CHARM run returns closed ones only).
+        """
+        request_obs = None
+        if self.obs is not None:
+            request_obs = self._request_obs(request_id)
+        index = entry.index
+        if (
+            not spec.fresh
+            and index is not None
+            and spec.kind in ("mine", "topk", "rules")
+            and spec.algorithm != "charm"
+            and spec.min_support >= index.floor
+        ):
+            started = time.perf_counter()
+            payload = self._answer_from_index(index, spec)
+            if request_obs is not None:
+                request_obs.sink.wall_event(
+                    "serve.index", started, cat="serve",
+                    args={"floor": index.floor, "query": spec.kind},
+                )
+                request_obs.metrics.counter("serve.source.index.runs").inc()
+            return payload
+
+        result = self._miner(
+            entry.db,
+            algorithm=spec.algorithm,
+            representation=spec.representation,
+            backend=spec.backend,
+            min_support=spec.min_support,
+            obs=request_obs,
+            ledger=self.ledger,
+            **spec.options,
+        )
+        if spec.kind == "mine":
+            return self._mine_payload(result)
+        if spec.kind == "topk":
+            pairs = result.top_k(spec.k, min_support=spec.min_support)
+            return {
+                "source": "engine",
+                "k": spec.k,
+                "n_itemsets": len(pairs),
+                "itemsets": [
+                    [list(items), int(support)] for items, support in pairs
+                ],
+            }
+        rules = result.rules(min_confidence=spec.min_confidence)
+        return self._rules_payload(rules, spec)
+
+    def _answer_from_index(
+        self, index: "ItemsetIndex", spec: _QuerySpec
+    ) -> dict[str, Any]:
+        if spec.kind == "topk":
+            pairs = index.top_k(spec.k, min_support=spec.min_support)
+            return {
+                "source": "index",
+                "k": spec.k,
+                "n_itemsets": len(pairs),
+                "itemsets": [
+                    [list(items), int(support)] for items, support in pairs
+                ],
+            }
+        if spec.kind == "rules":
+            rules = index.rules(
+                min_support=spec.min_support,
+                min_confidence=spec.min_confidence,
+            )
+            payload = self._rules_payload(rules, spec)
+            payload["source"] = "index"
+            return payload
+        result = index.frequent_at(spec.min_support)
+        payload = self._mine_payload(result)
+        payload["source"] = "index"
+        return payload
+
+    @staticmethod
+    def _mine_payload(result) -> dict[str, Any]:
+        ordered = sorted(
+            result.itemsets.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return {
+            "source": "engine",
+            "n_itemsets": len(ordered),
+            "min_support": int(result.min_support),
+            "itemsets": [
+                [list(items), int(support)] for items, support in ordered
+            ],
+        }
+
+    @staticmethod
+    def _rules_payload(rules, spec: _QuerySpec) -> dict[str, Any]:
+        return {
+            "source": "engine",
+            "n_itemsets": len(rules),
+            "min_confidence": spec.min_confidence,
+            "rules": [
+                {
+                    "antecedent": list(rule.antecedent),
+                    "consequent": list(rule.consequent),
+                    "support": rule.support,
+                    "confidence": rule.confidence,
+                    "lift": rule.lift,
+                }
+                for rule in rules
+            ],
+        }
+
+    def _request_obs(self, request_id: int):
+        """A per-request ObsContext: shared metrics, request-lane sink."""
+        from repro.obs import ObsContext
+
+        return ObsContext(
+            sink=_RequestLaneSink(self.obs.sink, request_id),
+            metrics=self.obs.metrics,
+        )
+
+
+# --------------------------------------------------------------------------
+# /stats schema contract
+# --------------------------------------------------------------------------
+
+
+def validate_stats(document: Any) -> None:
+    """Raise ``ValueError`` when a ``/stats`` document violates schema v1.
+
+    The CI serve job gates the live endpoint through this — like
+    :func:`repro.obs.live.validate_status`, the schema is a published
+    contract, not an internal detail.
+    """
+    problems: list[str] = []
+    if not isinstance(document, Mapping):
+        raise ValueError("stats document must be a JSON object")
+    if document.get("schema") != STATS_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {STATS_SCHEMA_VERSION}, got "
+            f"{document.get('schema')!r}"
+        )
+    if document.get("service") != "repro-serve":
+        problems.append("service must be 'repro-serve'")
+    for key in ("started_unix", "uptime_seconds"):
+        if not isinstance(document.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    requests = document.get("requests")
+    if not isinstance(requests, Mapping):
+        problems.append("requests must be an object")
+    else:
+        if not isinstance(requests.get("total"), int):
+            problems.append("requests.total must be an int")
+        for key in ("by_endpoint", "by_status"):
+            group = requests.get(key)
+            if not isinstance(group, Mapping) or not all(
+                isinstance(v, int) for v in group.values()
+            ):
+                problems.append(
+                    f"requests.{key} must map names to int counts"
+                )
+    admission = document.get("admission")
+    if not isinstance(admission, Mapping):
+        problems.append("admission must be an object")
+    else:
+        for key in ("inflight", "max_inflight", "admitted_total",
+                    "shed_total", "deadline_rejected"):
+            if not isinstance(admission.get(key), int):
+                problems.append(f"admission.{key} must be an int")
+    cache = document.get("cache")
+    if not isinstance(cache, Mapping):
+        problems.append("cache must be an object")
+    else:
+        for key in ("entries", "max_entries", "hits", "misses"):
+            if not isinstance(cache.get(key), int):
+                problems.append(f"cache.{key} must be an int")
+    coalesce = document.get("coalesce")
+    if not isinstance(coalesce, Mapping):
+        problems.append("coalesce must be an object")
+    else:
+        for key in ("inflight_keys", "leaders", "followers"):
+            if not isinstance(coalesce.get(key), int):
+                problems.append(f"coalesce.{key} must be an int")
+    latency = document.get("latency")
+    if not isinstance(latency, Mapping):
+        problems.append("latency must be an object")
+    else:
+        if not isinstance(latency.get("count"), int):
+            problems.append("latency.count must be an int")
+        for key in ("p50_seconds", "p99_seconds"):
+            value = latency.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"latency.{key} must be a number >= 0")
+    datasets = document.get("datasets")
+    if not isinstance(datasets, list):
+        problems.append("datasets must be a list")
+    else:
+        for position, entry in enumerate(datasets):
+            if not isinstance(entry, Mapping):
+                problems.append(f"datasets[{position}] must be an object")
+                continue
+            for key in ("name", "sha256"):
+                if not isinstance(entry.get(key), str):
+                    problems.append(f"datasets[{position}].{key} "
+                                    "must be a string")
+            for key in ("n_transactions", "n_items", "packed_bytes"):
+                if not isinstance(entry.get(key), int):
+                    problems.append(f"datasets[{position}].{key} "
+                                    "must be an int")
+            index = entry.get("index")
+            if index is not None and not isinstance(index, Mapping):
+                problems.append(f"datasets[{position}].index must be "
+                                "null or an object")
+    if problems:
+        raise ValueError("; ".join(problems))
+
+
+# --------------------------------------------------------------------------
+# Thread harness (tests + in-process benchmarking)
+# --------------------------------------------------------------------------
+
+
+class ServerThread:
+    """Run a :class:`MiningServer` on a dedicated event-loop thread.
+
+    The test suite and ``scripts/bench_serve.py`` drive the server with
+    plain blocking ``http.client`` calls; this harness owns the loop
+    thread and gives them a bound port::
+
+        handle = ServerThread(server)
+        handle.start()
+        ... http.client.HTTPConnection("127.0.0.1", handle.port) ...
+        handle.stop()
+    """
+
+    def __init__(self, server: MiningServer) -> None:
+        self.server = server
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._ready = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start within timeout")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind failures to start()
+            self._startup_error = exc
+            self._ready.set()
+            self.loop.close()
+            return
+        self._ready.set()
+        try:
+            self.loop.run_forever()
+        finally:
+            self.loop.run_until_complete(self.server.aclose())
+            self.loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.loop is None or self._thread is None:
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -401,3 +401,50 @@ class TestTailBlockBoundaryEdges:
         tail = ledger.tail(10)
         assert len(tail) == 4
         assert tail[-1].wall_seconds == pytest.approx(99.5)
+
+
+def _hammer_ledger(path: str, n_records: int, tag: int) -> None:
+    """Child-process body for the concurrent-append test (must be
+    module-level so multiprocessing can import it)."""
+    ledger = Ledger(path)
+    # Pad extra so each line spans several KiB: a torn write would be
+    # easy to produce if appends were not a single atomic syscall.
+    padding = f"writer-{tag}-" + "x" * 4096
+    for i in range(n_records):
+        ledger.append(_record(i, extra={"tag": tag, "i": i, "pad": padding}))
+
+
+class TestConcurrentAppends:
+    def test_two_processes_never_tear_lines(self, tmp_path):
+        """Interleaved appends from two processes keep every line intact.
+
+        The serve layer appends serve-query records from multiple worker
+        threads and processes concurrently with engine mine records; a
+        buffered text-mode append could flush one record across several
+        write(2) calls, letting another writer's line land in the middle.
+        ``Ledger.append`` must therefore issue one O_APPEND write per
+        record.  Torn lines would fail JSON parsing and be dropped by the
+        reader, so an exact record count proves atomicity.
+        """
+        import multiprocessing
+
+        n_each = 150
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_hammer_ledger, args=(str(tmp_path), n_each, tag))
+            for tag in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        records = Ledger(tmp_path).records()
+        assert len(records) == 2 * n_each
+        seen = {(r.extra["tag"], r.extra["i"]) for r in records}
+        assert len(seen) == 2 * n_each
+        # Every line is valid JSON ending in exactly one newline.
+        with Ledger(tmp_path).path.open("rb") as handle:
+            for line in handle:
+                assert line.endswith(b"\n")
+                json.loads(line)

@@ -88,6 +88,54 @@ class TestCompareRecords:
         assert comparison.exit_code(0.25) == 0          # skip by default
         assert comparison.exit_code(0.25, strict=True) == 2
 
+    def test_bench_serve_shape_and_ratio_flags(self):
+        def record(speedup: float, rps: float) -> dict:
+            return {
+                "dataset": "T10I4",
+                "min_support": 0.02,
+                "smoke": False,
+                "requests_per_second": {"cold": rps, "cache_hit": rps * 30},
+                "latency_p50_seconds": {"cold": 0.09, "cache_hit": 0.003},
+                "latency_p99_seconds": {"cold": 0.10, "cache_hit": 0.02},
+                "speedup_vs_cold": {"cache_hit": speedup},
+            }
+
+        comparison = compare_records(record(30.0, 10.0), record(28.0, 9.5))
+        names = {d.name for d in comparison.deltas}
+        assert "requests_per_second.cold" in names
+        assert "latency_p50_seconds.cache_hit" in names
+        assert "speedup_vs_cold.cache_hit" in names
+        assert comparison.exit_code(0.25) == 0
+        # Same machine, halved throughput: the full comparison catches it.
+        assert compare_records(
+            record(30.0, 10.0), record(30.0, 5.0)
+        ).exit_code(0.25) == 1
+
+        # Cross-machine mode: throughput is higher-is-better but machine
+        # bound, so ratios_only keeps ONLY the speedup ratios — a 2x
+        # slower machine must not fail the gate.
+        ratios = compare_records(
+            record(30.0, 10.0), record(28.0, 5.0), ratios_only=True,
+        )
+        assert [d.name for d in ratios.deltas] == ["speedup_vs_cold.cache_hit"]
+        assert ratios.exit_code(0.25) == 0
+
+        # A genuine serve regression (cache hits barely faster than cold)
+        # does fail it.
+        regressed = compare_records(
+            record(30.0, 10.0), record(2.0, 10.0), ratios_only=True,
+        )
+        assert regressed.exit_code(0.25) == 1
+
+    def test_serve_workload_mismatch_is_incomparable(self):
+        base = {"dataset": "T10I4", "min_support": 0.02,
+                "speedup_vs_cold": {"cache_hit": 30.0}}
+        other = {"dataset": "T10I4", "min_support": 0.05,
+                 "speedup_vs_cold": {"cache_hit": 30.0}}
+        comparison = compare_records(base, other)
+        assert not comparison.comparable
+        assert "min_support" in comparison.reason
+
     def test_metric_restriction(self):
         comparison = compare_records(
             _ledger_record(1.0), _ledger_record(2.0),

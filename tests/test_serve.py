@@ -1,0 +1,593 @@
+"""The mining query server: HTTP framing, admission, cache, coalescing.
+
+Most tests drive a real :class:`MiningServer` over real sockets through
+:class:`ServerThread` with an *injected* miner, so backend latency is
+controlled (sleeps) and call counts observable — the admission and
+coalescing behaviours under test are timing-dependent by nature, and a
+deterministic backend makes them exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import mine
+from repro.errors import ConfigurationError
+from repro.index import ItemsetIndex
+from repro.obs import InMemorySink, ObsContext
+from repro.obs.ledger import Ledger
+from repro.serve import (
+    SERVE_LEDGER_KIND,
+    AdmissionController,
+    Coalescer,
+    DeadlineExpired,
+    HttpError,
+    MiningServer,
+    ResultCache,
+    Router,
+    ServerThread,
+    ShedError,
+    read_request,
+    validate_stats,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+class CountingMiner:
+    """Wraps the real engine; counts calls and optionally sleeps first."""
+
+    def __init__(self, delay: float = 0.0, ledger=None):
+        self.delay = delay
+        self.ledger = ledger
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, db, **kwargs):
+        with self._lock:
+            self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        kwargs.setdefault("ledger", self.ledger)
+        return mine(db, live=False, **kwargs)
+
+
+def _client(handle: ServerThread) -> http.client.HTTPConnection:
+    return http.client.HTTPConnection(
+        "127.0.0.1", handle.port, timeout=30
+    )
+
+
+def _post(conn, path, payload):
+    conn.request("POST", path, json.dumps(payload).encode(),
+                 {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    body = json.loads(response.read())
+    return response.status, body, {
+        k.lower(): v for k, v in response.getheaders()
+    }
+
+
+def _get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+@pytest.fixture
+def server_factory(tiny_db):
+    """Build + start servers against ``tiny_db``; stops them afterwards."""
+    handles: list[ServerThread] = []
+
+    def build(**kwargs) -> ServerThread:
+        kwargs.setdefault("datasets", [tiny_db])
+        handle = ServerThread(MiningServer(**kwargs)).start()
+        handles.append(handle)
+        return handle
+
+    yield build
+    for handle in handles:
+        handle.stop()
+
+
+# -- HTTP framing -----------------------------------------------------------
+
+
+class TestHttpFraming:
+    def _parse(self, raw: bytes):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_request(reader)
+
+        return asyncio.run(run())
+
+    def test_parses_post_with_body(self):
+        request = self._parse(
+            b"POST /mine?x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\nContent-Length: 2\r\n\r\n{}"
+        )
+        assert request.method == "POST"
+        assert request.path == "/mine"
+        assert request.body == b"{}"
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert self._parse(b"") is None
+
+    def test_http10_defaults_to_close(self):
+        request = self._parse(b"GET /healthz HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._parse(
+                b"POST /mine HTTP/1.1\r\nContent-Length: ha\r\n\r\n"
+            )
+        assert excinfo.value.status == 400
+
+    def test_chunked_transfer_is_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._parse(
+                b"POST /mine HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+        assert excinfo.value.status == 411
+
+    def test_oversized_request_line_is_431(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 431
+
+    def test_invalid_json_body_is_400(self):
+        request = self._parse(
+            b"POST /mine HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestRouter:
+    def test_unknown_path_is_404(self):
+        router = Router()
+
+        async def handler(request):
+            return 200, {}, {}
+
+        router.add("GET", "/healthz", handler)
+        with pytest.raises(HttpError) as excinfo:
+            router.resolve("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405_with_allow(self):
+        router = Router()
+
+        async def handler(request):
+            return 200, {}, {}
+
+        router.add("POST", "/mine", handler)
+        with pytest.raises(HttpError) as excinfo:
+            router.resolve("GET", "/mine")
+        assert excinfo.value.status == 405
+        assert excinfo.value.headers["Allow"] == "POST"
+
+
+# -- admission (pure, event-loop-free) --------------------------------------
+
+
+class TestAdmission:
+    def test_expired_deadline_rejected_before_consuming_a_slot(self):
+        admission = AdmissionController(max_inflight=2)
+        deadline = time.monotonic() - 0.001  # already past
+        with pytest.raises(DeadlineExpired) as excinfo:
+            admission.admit(deadline)
+        assert excinfo.value.stage == "admission"
+        snap = admission.snapshot()
+        assert snap["inflight"] == 0
+        assert snap["deadline_rejected"] == 1
+        assert snap["shed_total"] == 0
+
+    def test_queue_full_sheds(self):
+        admission = AdmissionController(
+            max_inflight=1, retry_after_seconds=2.5
+        )
+        deadline = admission.deadline_for(None)
+        admission.admit(deadline)
+        with pytest.raises(ShedError) as excinfo:
+            admission.admit(deadline)
+        assert excinfo.value.retry_after_seconds == 2.5
+        admission.release()
+        admission.admit(deadline)  # slot freed, admits again
+        assert admission.snapshot()["shed_total"] == 1
+
+    def test_cache_lru_and_counters(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(("a", "1"), {"v": 1})
+        cache.put(("b", "2"), {"v": 2})
+        assert cache.get(("a", "1")) == {"v": 1}
+        cache.put(("c", "3"), {"v": 3})  # evicts ("b","2"), the LRU
+        assert cache.get(("b", "2")) is None
+        snap = cache.snapshot()
+        assert snap["entries"] == 2
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+
+class TestCoalescer:
+    def test_concurrent_identical_keys_share_one_run(self):
+        coalescer = Coalescer()
+        runs = []
+
+        async def scenario():
+            async def thunk():
+                runs.append(1)
+                await asyncio.sleep(0.05)
+                return {"answer": 42}
+
+            results = await asyncio.gather(*[
+                coalescer.run(("k", "k"), thunk) for _ in range(5)
+            ])
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(runs) == 1
+        assert all(payload == {"answer": 42} for payload, _ in results)
+        assert sum(1 for _, coalesced in results if coalesced) == 4
+        assert coalescer.snapshot()["followers"] == 4
+
+
+# -- the server over real sockets -------------------------------------------
+
+
+class TestServerEndpoints:
+    def test_mine_topk_rules_and_healthz(self, server_factory, tiny_db):
+        handle = server_factory()
+        conn = _client(handle)
+        status, body = _get(conn, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+        status, body, _ = _post(conn, "/mine",
+                                {"dataset": "tiny", "min_support": 2})
+        assert status == 200
+        assert body["source"] == "engine"
+        expected = mine(tiny_db, min_support=2, live=False)
+        assert body["n_itemsets"] == len(expected)
+        assert {tuple(i): s for i, s in body["itemsets"]} == expected.itemsets
+
+        status, body, _ = _post(conn, "/topk",
+                                {"dataset": "tiny", "min_support": 2, "k": 2})
+        assert status == 200
+        assert len(body["itemsets"]) == 2
+
+        status, body, _ = _post(
+            conn, "/rules",
+            {"dataset": "tiny", "min_support": 2, "min_confidence": 0.7},
+        )
+        assert status == 200
+        assert all(rule["confidence"] >= 0.7 for rule in body["rules"])
+
+    def test_error_statuses(self, server_factory):
+        handle = server_factory()
+        conn = _client(handle)
+        status, body, _ = _post(conn, "/mine",
+                                {"dataset": "ghost", "min_support": 2})
+        assert status == 404
+
+        status, body, _ = _post(
+            conn, "/mine",
+            {"dataset": "tiny", "min_support": 2, "bogus": 1},
+        )
+        assert status == 400 and "bogus" in body["error"]
+
+        conn.request("PUT", "/mine", b"{}")
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 405
+        assert response.getheader("Allow") == "POST"
+
+        conn.request("POST", "/mine", b"not json")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400 and "JSON" in body["error"]
+
+        # A bad engine config (unknown algorithm) maps to 400, not 500.
+        status, body, _ = _post(
+            conn, "/mine",
+            {"dataset": "tiny", "min_support": 2, "algorithm": "magic"},
+        )
+        assert status == 400
+
+    def test_cache_hit_answers_without_mining(self, server_factory, tiny_db):
+        miner = CountingMiner()
+        handle = server_factory(miner=miner)
+        conn = _client(handle)
+        query = {"dataset": "tiny", "min_support": 2}
+        status, first, _ = _post(conn, "/mine", query)
+        status, second, _ = _post(conn, "/mine", query)
+        assert miner.calls == 1
+        assert first["source"] == "engine"
+        assert second["source"] == "cache"
+        assert second["itemsets"] == first["itemsets"]
+        # A different support is a different ledger config -> a miss.
+        _post(conn, "/mine", {"dataset": "tiny", "min_support": 3})
+        assert miner.calls == 2
+
+    def test_fresh_bypasses_the_cache(self, server_factory):
+        miner = CountingMiner()
+        handle = server_factory(miner=miner)
+        conn = _client(handle)
+        query = {"dataset": "tiny", "min_support": 2}
+        _post(conn, "/mine", query)
+        status, body, _ = _post(conn, "/mine", dict(query, fresh=True))
+        assert status == 200
+        assert body["source"] == "engine"
+        assert miner.calls == 2
+
+    def test_index_serves_at_or_above_floor(self, server_factory, tiny_db,
+                                            tmp_path):
+        artifact = tmp_path / "tiny.idx"
+        ItemsetIndex.build(tiny_db, 2).save(artifact)
+        miner = CountingMiner()
+        handle = server_factory(indexes=[artifact], miner=miner)
+        conn = _client(handle)
+        status, body, _ = _post(conn, "/mine",
+                                {"dataset": "tiny", "min_support": 3})
+        assert status == 200
+        assert body["source"] == "index"
+        assert miner.calls == 0
+        expected = mine(tiny_db, min_support=3, live=False)
+        assert {tuple(i): s for i, s in body["itemsets"]} == expected.itemsets
+        # CHARM answers closed itemsets; the index must not impersonate it.
+        status, body, _ = _post(
+            conn, "/mine",
+            {"dataset": "tiny", "min_support": 3, "algorithm": "charm"},
+        )
+        assert status == 200 and body["source"] == "engine"
+        assert miner.calls == 1
+
+    def test_index_mismatch_is_rejected_at_boot(self, tiny_db, paper_db,
+                                                tmp_path):
+        artifact = tmp_path / "paper.idx"
+        ItemsetIndex.build(paper_db, 2).save(artifact)
+        with pytest.raises(ConfigurationError):
+            MiningServer(datasets=[tiny_db], indexes=[artifact])
+
+    def test_stats_document_validates(self, server_factory):
+        handle = server_factory()
+        conn = _client(handle)
+        _post(conn, "/mine", {"dataset": "tiny", "min_support": 2})
+        _post(conn, "/mine", {"dataset": "tiny", "min_support": 2})
+        status, stats = _get(conn, "/stats")
+        assert status == 200
+        validate_stats(stats)
+        assert stats["requests"]["by_endpoint"]["/mine"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["datasets"][0]["name"] == "tiny"
+        assert stats["datasets"][0]["packed_bytes"] > 0
+
+    def test_validate_stats_rejects_bad_documents(self):
+        with pytest.raises(ValueError):
+            validate_stats([])
+        with pytest.raises(ValueError, match="schema"):
+            validate_stats({"schema": 99, "service": "repro-serve"})
+        server = MiningServer()
+        good = server.stats()
+        validate_stats(good)
+        del good["admission"]["inflight"]
+        with pytest.raises(ValueError, match="admission.inflight"):
+            validate_stats(good)
+
+
+class TestAdmissionOverHttp:
+    def test_queue_full_sheds_429_with_retry_after(self, server_factory):
+        miner = CountingMiner(delay=0.8)
+        handle = server_factory(
+            miner=miner, max_inflight=1, retry_after_seconds=3.0,
+        )
+        first_done = threading.Event()
+        first_status = []
+
+        def slow_request():
+            conn = _client(handle)
+            status, _, _ = _post(
+                conn, "/mine",
+                {"dataset": "tiny", "min_support": 2, "fresh": True},
+            )
+            first_status.append(status)
+            first_done.set()
+            conn.close()
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.25)  # let the slow one occupy the only slot
+        conn = _client(handle)
+        status, body, headers = _post(
+            conn, "/mine", {"dataset": "tiny", "min_support": 3},
+        )
+        assert status == 429
+        assert body["retry_after_seconds"] == 3.0
+        assert headers["retry-after"] == "3"
+        first_done.wait(timeout=10)
+        thread.join(timeout=10)
+        assert first_status == [200]
+        assert miner.calls == 1  # the shed request never reached the miner
+
+    def test_expired_deadline_rejected_before_mining(self, server_factory):
+        miner = CountingMiner()
+        handle = server_factory(miner=miner)
+        conn = _client(handle)
+        status, body, _ = _post(
+            conn, "/mine",
+            {"dataset": "tiny", "min_support": 2, "deadline_seconds": 0},
+        )
+        assert status == 504
+        assert body["stage"] == "admission"
+        assert miner.calls == 0
+
+    def test_slow_backend_times_out_with_504(self, server_factory):
+        miner = CountingMiner(delay=1.5)
+        handle = server_factory(miner=miner)
+        conn = _client(handle)
+        started = time.monotonic()
+        status, body, _ = _post(
+            conn, "/mine",
+            {"dataset": "tiny", "min_support": 2, "fresh": True,
+             "deadline_seconds": 0.2},
+        )
+        assert status == 504
+        assert body["stage"] == "backend"
+        assert time.monotonic() - started < 1.0  # answered before the mine
+
+    def test_healthz_responsive_while_backend_is_slow(self, server_factory,
+                                                      tiny_db):
+        """The fault-injected shared-memory backend (slow_task) occupies
+        the executor; the event loop must keep answering /healthz."""
+        from repro.backends.shared_memory_backend import (
+            run_eclat_shared_memory,
+        )
+
+        def slow_faulty_miner(db, *, algorithm, representation, backend,
+                              min_support, obs=None, ledger=None, **options):
+            return run_eclat_shared_memory(
+                db, min_support, n_workers=2, obs=obs,
+                _fault={"slow_task": 0, "slow_seconds": 0.6},
+            )
+
+        handle = server_factory(miner=slow_faulty_miner)
+        done = threading.Event()
+        statuses = []
+
+        def mine_request():
+            conn = _client(handle)
+            status, _, _ = _post(
+                conn, "/mine",
+                {"dataset": "tiny", "min_support": 2, "fresh": True},
+            )
+            statuses.append(status)
+            done.set()
+            conn.close()
+
+        thread = threading.Thread(target=mine_request)
+        thread.start()
+        time.sleep(0.1)
+        conn = _client(handle)
+        started = time.monotonic()
+        status, body = _get(conn, "/healthz")
+        elapsed = time.monotonic() - started
+        assert status == 200
+        assert elapsed < 0.4  # did not wait for the 0.6s-stalled mine
+        done.wait(timeout=15)
+        thread.join(timeout=15)
+        assert statuses == [200]
+
+
+class TestCoalescingOverHttp:
+    def test_identical_concurrent_requests_share_one_mine(
+        self, server_factory, tmp_path
+    ):
+        """N identical concurrent queries -> exactly one engine run (one
+        ledger ``mine`` record) and N ``serve-query`` records."""
+        ledger = Ledger(tmp_path / "runs")
+        miner = CountingMiner(delay=0.5, ledger=ledger)
+        handle = server_factory(miner=miner, ledger=ledger, max_inflight=8)
+        n_clients = 4
+        barrier = threading.Barrier(n_clients)
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            conn = _client(handle)
+            barrier.wait(timeout=10)
+            status, body, _ = _post(
+                conn, "/mine",
+                {"dataset": "tiny", "min_support": 2, "fresh": True},
+            )
+            with lock:
+                results.append((status, body["source"], body["n_itemsets"]))
+            conn.close()
+
+        threads = [threading.Thread(target=client) for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert miner.calls == 1
+        assert [status for status, _, _ in results] == [200] * n_clients
+        assert len({n for _, _, n in results}) == 1  # same answer fanned out
+        sources = sorted(source for _, source, _ in results)
+        assert sources.count("coalesced") == n_clients - 1
+
+        records = ledger.records()
+        mine_records = [r for r in records if r.kind == "mine"]
+        serve_records = [r for r in records if r.kind == SERVE_LEDGER_KIND]
+        assert len(mine_records) == 1
+        assert len(serve_records) == n_clients
+        assert {r.extra["source"] for r in serve_records} <= {
+            "engine", "coalesced"
+        }
+        # Every serve record carries the same identity pair the cache used.
+        assert len({r.config_hash for r in serve_records}) == 1
+
+
+class TestObservability:
+    def test_requests_get_their_own_trace_lane(self, server_factory):
+        obs = ObsContext(sink=InMemorySink())
+        handle = server_factory(obs=obs)
+        conn = _client(handle)
+        _post(conn, "/mine", {"dataset": "tiny", "min_support": 2})
+        _post(conn, "/mine", {"dataset": "tiny", "min_support": 3})
+        events = obs.sink.events
+        request_lanes = {
+            e.tid for e in events if e.name.startswith("serve.request")
+        }
+        assert len(request_lanes) == 2  # one lane per request id
+        # Engine spans ran inside the request lanes, not the default one.
+        engine_lanes = {
+            e.tid for e in events if e.name.startswith("engine.mine")
+        }
+        assert engine_lanes <= request_lanes
+        assert obs.metrics.counter("serve.requests").value == 2
+        assert obs.metrics.counter("serve.status.200").value == 2
+
+    def test_serve_query_ledger_record_shape(self, server_factory, tiny_db,
+                                             tmp_path):
+        ledger = Ledger(tmp_path / "runs")
+        handle = server_factory(ledger=ledger)
+        conn = _client(handle)
+        _post(conn, "/topk", {"dataset": "tiny", "min_support": 2, "k": 3})
+        record = [
+            r for r in ledger.records() if r.kind == SERVE_LEDGER_KIND
+        ][-1]
+        assert record.config["query"] == "topk"
+        assert record.config["k"] == 3
+        assert record.dataset["name"] == "tiny"
+        assert record.extra["endpoint"] == "topk"
+        assert record.extra["source"] == "engine"
+
+
+class TestServeCli:
+    def test_serve_help_smoke(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--help"],
+            capture_output=True, text=True, timeout=60,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            cwd=ROOT,
+        )
+        assert completed.returncode == 0
+        for needle in ("--max-inflight", "--deadline-seconds",
+                       "--cache-entries", "--index"):
+            assert needle in completed.stdout
